@@ -1,0 +1,89 @@
+//! Criterion microbenchmarks of the implementation itself (wall-clock):
+//! frontend + pipeline throughput, instrumentation pass cost, interpreter
+//! throughput, and the two metadata substrates (trie, low-fat allocator).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lowfat::LowFatHeap;
+use meminstrument::runtime::{compile, compile_baseline, BuildOptions};
+use meminstrument::{Mechanism, MiConfig};
+use memvm::VmConfig;
+use softbound_rt::{Bounds, MetadataTrie};
+
+fn bench_compile(c: &mut Criterion) {
+    let b = cbench::by_name("186crafty").unwrap();
+    c.bench_function("frontend+O3 pipeline (crafty)", |bch| {
+        bch.iter(|| {
+            let m = cfront::compile(b.source).unwrap();
+            std::hint::black_box(compile_baseline(m, BuildOptions::default()))
+        })
+    });
+    c.bench_function("instrumentation softbound (crafty)", |bch| {
+        let cfg = MiConfig::new(Mechanism::SoftBound);
+        bch.iter(|| {
+            let m = cfront::compile(b.source).unwrap();
+            std::hint::black_box(compile(m, &cfg, BuildOptions::default()))
+        })
+    });
+    c.bench_function("instrumentation lowfat (crafty)", |bch| {
+        let cfg = MiConfig::new(Mechanism::LowFat);
+        bch.iter(|| {
+            let m = cfront::compile(b.source).unwrap();
+            std::hint::black_box(compile(m, &cfg, BuildOptions::default()))
+        })
+    });
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let b = cbench::by_name("470lbm").unwrap();
+    let base = compile_baseline(cfront::compile(b.source).unwrap(), BuildOptions::default());
+    c.bench_function("interpret baseline (lbm)", |bch| {
+        bch.iter(|| base.run_main(VmConfig::default()).unwrap())
+    });
+    let sb = compile(
+        cfront::compile(b.source).unwrap(),
+        &MiConfig::new(Mechanism::SoftBound),
+        BuildOptions::default(),
+    );
+    c.bench_function("interpret softbound (lbm)", |bch| {
+        bch.iter(|| sb.run_main(VmConfig::default()).unwrap())
+    });
+}
+
+fn bench_trie(c: &mut Criterion) {
+    c.bench_function("trie set+get (64k slots)", |bch| {
+        bch.iter(|| {
+            let mut t = MetadataTrie::new();
+            for i in 0..65536u64 {
+                t.set(0x1000 + i * 8, Bounds { base: i, bound: i + 64 });
+            }
+            let mut acc = 0u64;
+            for i in 0..65536u64 {
+                acc = acc.wrapping_add(t.get(0x1000 + i * 8).base);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+}
+
+fn bench_lowfat_alloc(c: &mut Criterion) {
+    c.bench_function("lowfat alloc/free cycle (16k)", |bch| {
+        bch.iter(|| {
+            let mut h = LowFatHeap::new();
+            let mut addrs = Vec::with_capacity(16384);
+            for i in 0..16384u64 {
+                addrs.push(h.alloc((i % 500) + 1).unwrap().addr);
+            }
+            for a in addrs {
+                h.free(a);
+            }
+            std::hint::black_box(h.alloc_count)
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_compile, bench_interpreter, bench_trie, bench_lowfat_alloc
+);
+criterion_main!(benches);

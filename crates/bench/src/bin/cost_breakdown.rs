@@ -1,0 +1,36 @@
+//! §5.4-style ablation: where does the overhead go? Cost is attributed per
+//! category (application instructions, dereference/invariant checks,
+//! metadata propagation, allocator) — the paper's "which parts of the
+//! instrumentation contribute to the execution time overhead".
+
+use bench::{measure, measure_baseline, paper_options, print_table};
+use meminstrument::{Mechanism, MiConfig};
+
+fn main() {
+    println!("Cost breakdown per category, as a fraction of the baseline cost\n");
+    let mut rows = vec![];
+    for b in cbench::all() {
+        let base = measure_baseline(&b);
+        for mech in [Mechanism::SoftBound, Mechanism::LowFat] {
+            let m = measure(&b, &MiConfig::new(mech), paper_options());
+            let s = &m.stats;
+            let frac = |x: u64| format!("{:.2}", x as f64 / base.cost as f64);
+            rows.push(vec![
+                b.name.to_string(),
+                mech.name().into(),
+                format!("{:.2}x", m.cost as f64 / base.cost as f64),
+                frac(s.cost_app),
+                frac(s.cost_checks),
+                frac(s.cost_metadata),
+                frac(s.cost_allocator),
+                s.metadata_loads.to_string(),
+                s.metadata_stores.to_string(),
+                s.invariant_checks_executed.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        &["benchmark", "mechanism", "total", "app", "checks", "metadata", "alloc", "mloads", "mstores", "invchecks"],
+        &rows,
+    );
+}

@@ -1,0 +1,45 @@
+//! Regenerates **Figure 10**: SoftBound under three configurations —
+//! *optimized* (dominance check elimination on), *unoptimized*, and
+//! *metadata only* (`-mi-mode=geninvariants`: propagation without checks).
+//!
+//! Paper reference points: optimized ≈ unoptimized (the compiler removes
+//! redundant checks on its own, §5.3); metadata-only is far below full
+//! checking but dominates the overhead of pointer-intensive benchmarks
+//! like 197parser; metadata loads without consumers are removed by DCE, so
+//! the metadata series *under*-approximates propagation cost (§5.4).
+
+use bench::{geomean, measure, measure_baseline, paper_options, print_table, slowdown};
+use meminstrument::{Mechanism, MiConfig};
+
+fn main() {
+    run(Mechanism::SoftBound, "Figure 10", "metadata");
+}
+
+pub fn run(mech: Mechanism, figure: &str, third_label: &str) {
+    println!("{figure}: {} — optimized / unoptimized / {third_label} only\n", mech.name());
+    let configs = [
+        ("optimized", MiConfig::new(mech)),
+        ("unoptimized", MiConfig::unoptimized(mech)),
+        (third_label, MiConfig::invariants_only(mech)),
+    ];
+    let mut rows = vec![];
+    let mut sums: Vec<Vec<f64>> = vec![vec![]; 3];
+    for b in cbench::all() {
+        let base = measure_baseline(&b);
+        let mut row = vec![b.name.to_string()];
+        for (i, (_, cfg)) in configs.iter().enumerate() {
+            let m = measure(&b, cfg, paper_options());
+            let s = slowdown(&m, &base);
+            sums[i].push(s);
+            row.push(format!("{s:.2}x"));
+        }
+        rows.push(row);
+    }
+    rows.push(vec![
+        "MEAN (geo)".into(),
+        format!("{:.2}x", geomean(&sums[0])),
+        format!("{:.2}x", geomean(&sums[1])),
+        format!("{:.2}x", geomean(&sums[2])),
+    ]);
+    print_table(&["benchmark", configs[0].0, configs[1].0, configs[2].0], &rows);
+}

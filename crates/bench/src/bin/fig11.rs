@@ -1,0 +1,39 @@
+//! Regenerates **Figure 11**: Low-Fat Pointers under three configurations —
+//! *optimized*, *unoptimized*, and *invariants only* (escape checks and
+//! allocator changes without dereference checks).
+//!
+//! Paper reference points: the optimization's runtime impact is minor
+//! (§5.3); the invariant series shows the cost of keeping the in-bounds
+//! invariant (escape checks + low-fat allocators).
+
+use bench::{geomean, measure, measure_baseline, paper_options, print_table, slowdown};
+use meminstrument::{Mechanism, MiConfig};
+
+fn main() {
+    println!("Figure 11: lowfat — optimized / unoptimized / invariants only\n");
+    let configs = [
+        ("optimized", MiConfig::new(Mechanism::LowFat)),
+        ("unoptimized", MiConfig::unoptimized(Mechanism::LowFat)),
+        ("invariants", MiConfig::invariants_only(Mechanism::LowFat)),
+    ];
+    let mut rows = vec![];
+    let mut sums: Vec<Vec<f64>> = vec![vec![]; 3];
+    for b in cbench::all() {
+        let base = measure_baseline(&b);
+        let mut row = vec![b.name.to_string()];
+        for (i, (_, cfg)) in configs.iter().enumerate() {
+            let m = measure(&b, cfg, paper_options());
+            let s = slowdown(&m, &base);
+            sums[i].push(s);
+            row.push(format!("{s:.2}x"));
+        }
+        rows.push(row);
+    }
+    rows.push(vec![
+        "MEAN (geo)".into(),
+        format!("{:.2}x", geomean(&sums[0])),
+        format!("{:.2}x", geomean(&sums[1])),
+        format!("{:.2}x", geomean(&sums[2])),
+    ]);
+    print_table(&["benchmark", "optimized", "unoptimized", "invariants"], &rows);
+}

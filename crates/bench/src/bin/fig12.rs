@@ -1,0 +1,41 @@
+//! Regenerates **Figure 12**: SoftBound inserted at the three compiler
+//! pipeline extension points (§5.5).
+//!
+//! Paper reference point: `ModuleOptimizerEarly` is roughly 30 % worse than
+//! the two late points, which are comparable — checks inserted early block
+//! the scalar/loop optimizations and the inliner.
+
+use bench::{geomean, measure, measure_baseline, options_at, print_table, slowdown};
+use meminstrument::{Mechanism, MiConfig};
+use mir::pipeline::ExtensionPoint;
+
+fn main() {
+    run(Mechanism::SoftBound, "Figure 12");
+}
+
+pub fn run(mech: Mechanism, figure: &str) {
+    println!("{figure}: {} at the three extension points\n", mech.name());
+    let mut rows = vec![];
+    let mut sums: Vec<Vec<f64>> = vec![vec![]; 3];
+    for b in cbench::all() {
+        let base = measure_baseline(&b);
+        let mut row = vec![b.name.to_string()];
+        for (i, ep) in ExtensionPoint::ALL.into_iter().enumerate() {
+            let m = measure(&b, &MiConfig::new(mech), options_at(ep));
+            let s = slowdown(&m, &base);
+            sums[i].push(s);
+            row.push(format!("{s:.2}x"));
+        }
+        rows.push(row);
+    }
+    rows.push(vec![
+        "MEAN (geo)".into(),
+        format!("{:.2}x", geomean(&sums[0])),
+        format!("{:.2}x", geomean(&sums[1])),
+        format!("{:.2}x", geomean(&sums[2])),
+    ]);
+    print_table(
+        &["benchmark", "ModuleOptimizerEarly", "ScalarOptimizerLate", "VectorizerStart"],
+        &rows,
+    );
+}

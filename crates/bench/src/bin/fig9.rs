@@ -1,0 +1,39 @@
+//! Regenerates **Figure 9**: execution-time overhead of SoftBound and
+//! Low-Fat Pointers, normalized to the `-O3` baseline (1×), both with the
+//! dominance check optimization, inserted at `VectorizerStart`.
+//!
+//! Paper reference points: mean slowdowns 1.74× (SoftBound) vs 1.77×
+//! (Low-Fat); SoftBound clearly worse on `183equake` (trie lookups in the
+//! hot loop), Low-Fat worse on `186crafty` (wider check sequence).
+
+use bench::{geomean, measure, measure_baseline, paper_options, print_table, slowdown};
+use meminstrument::{Mechanism, MiConfig};
+
+fn main() {
+    println!("Figure 9: execution-time overhead vs -O3 baseline (VectorizerStart, optimized)\n");
+    let mut rows = vec![];
+    let mut sbs = vec![];
+    let mut lfs = vec![];
+    for b in cbench::all() {
+        let base = measure_baseline(&b);
+        let sb = measure(&b, &MiConfig::new(Mechanism::SoftBound), paper_options());
+        let lf = measure(&b, &MiConfig::new(Mechanism::LowFat), paper_options());
+        let (s, l) = (slowdown(&sb, &base), slowdown(&lf, &base));
+        sbs.push(s);
+        lfs.push(l);
+        rows.push(vec![
+            b.name.to_string(),
+            format!("{s:.2}x"),
+            format!("{l:.2}x"),
+            if s > l { "SB slower".into() } else { "LF slower".into() },
+        ]);
+    }
+    rows.push(vec![
+        "MEAN (geo)".into(),
+        format!("{:.2}x", geomean(&sbs)),
+        format!("{:.2}x", geomean(&lfs)),
+        "".into(),
+    ]);
+    print_table(&["benchmark", "SoftBound", "Low-Fat", "winner"], &rows);
+    println!("\npaper: 1.74x (SoftBound) vs 1.77x (Low-Fat), equake SB-dominated, crafty LF-dominated");
+}

@@ -1,0 +1,41 @@
+//! Three-way mechanism comparison (framework-extensibility demo): the two
+//! paper mechanisms plus the red-zone (ASan-style) port, with overheads and
+//! a guarantee summary. §2.1 of the paper positions red-zone approaches at
+//! lower overhead but inherently incomplete detection; this harness
+//! measures that trade-off on the same benchmarks, same pipeline, same
+//! cost model.
+
+use bench::{geomean, measure, measure_baseline, paper_options, print_table, slowdown};
+use meminstrument::{Mechanism, MiConfig};
+
+fn main() {
+    println!("Mechanism comparison: SoftBound / Low-Fat / RedZone (paper basis config)\n");
+    let mut rows = vec![];
+    let mut means: Vec<Vec<f64>> = vec![vec![]; 3];
+    for b in cbench::all() {
+        let base = measure_baseline(&b);
+        let mut row = vec![b.name.to_string()];
+        for (i, mech) in [Mechanism::SoftBound, Mechanism::LowFat, Mechanism::RedZone]
+            .into_iter()
+            .enumerate()
+        {
+            let m = measure(&b, &MiConfig::new(mech), paper_options());
+            let s = slowdown(&m, &base);
+            means[i].push(s);
+            row.push(format!("{s:.2}x"));
+        }
+        rows.push(row);
+    }
+    rows.push(vec![
+        "MEAN (geo)".into(),
+        format!("{:.2}x", geomean(&means[0])),
+        format!("{:.2}x", geomean(&means[1])),
+        format!("{:.2}x", geomean(&means[2])),
+    ]);
+    print_table(&["benchmark", "softbound", "lowfat", "redzone"], &rows);
+    println!();
+    println!("guarantees (see tests/redzone.rs):");
+    println!("  softbound: exact object bounds; catches everything spatial incl. 1-byte overflows");
+    println!("  lowfat   : padded object bounds; misses overflows into padding, rejects escaping OOB pointers");
+    println!("  redzone  : adjacent overflows only; silent once an access clears the 16-byte guard zone");
+}

@@ -1,0 +1,36 @@
+//! Regenerates **Table 2**: percentage of dynamic dereference checks
+//! executed with *wide bounds* (i.e. unable to validate anything), per
+//! benchmark, for SoftBound and Low-Fat Pointers.
+//!
+//! Paper reference points: `164gzip` 61.71 % (SB), `429mcf` ~54 % (LF),
+//! `433milc` exactly zero despite its size-less declaration, asterisks on
+//! benchmarks with not a single wide check.
+
+use bench::{measure, paper_options, print_table};
+use meminstrument::{Mechanism, MiConfig};
+
+fn main() {
+    println!("Table 2: unsafe (wide-bounds) dereference checks, in %");
+    println!("(* = not a single wide check; [sz] = contains size-less array declarations)\n");
+    let mut rows = vec![];
+    for b in cbench::all() {
+        let sb = measure(&b, &MiConfig::new(Mechanism::SoftBound), paper_options());
+        let lf = measure(&b, &MiConfig::new(Mechanism::LowFat), paper_options());
+        let fmt = |wide: u64, total: u64| -> String {
+            let pct = if total == 0 { 0.0 } else { 100.0 * wide as f64 / total as f64 };
+            if wide == 0 {
+                format!("{pct:.2}*")
+            } else {
+                format!("{pct:.2}")
+            }
+        };
+        rows.push(vec![
+            format!("{}{}", b.name, if b.has_size_unknown_arrays { " [sz]" } else { "" }),
+            fmt(sb.stats.checks_wide, sb.stats.checks_executed),
+            fmt(lf.stats.checks_wide, lf.stats.checks_executed),
+            sb.stats.checks_executed.to_string(),
+            lf.stats.checks_executed.to_string(),
+        ]);
+    }
+    print_table(&["benchmark", "SB %", "LF %", "SB checks", "LF checks"], &rows);
+}

@@ -1,0 +1,40 @@
+//! Ablation for §5.1.2: the paper *disabled* the additional safety checks
+//! inside SoftBound's libc wrappers to keep the runtime comparison fair.
+//! This harness quantifies what that choice is worth: mean overhead with
+//! and without wrapper checks (our wrappers cover the memcpy/memset
+//! intrinsics).
+
+use bench::{geomean, measure, measure_baseline, paper_options, print_table, slowdown};
+use meminstrument::{Mechanism, MiConfig};
+
+fn main() {
+    println!("§5.1.2 ablation: SoftBound wrapper checks on/off\n");
+    let mut rows = vec![];
+    let mut offs = vec![];
+    let mut ons = vec![];
+    for b in cbench::all() {
+        let base = measure_baseline(&b);
+        let off = measure(&b, &MiConfig::new(Mechanism::SoftBound), paper_options());
+        let mut cfg = MiConfig::new(Mechanism::SoftBound);
+        cfg.sb_wrapper_checks = true;
+        let on = measure(&b, &cfg, paper_options());
+        let (so, sn) = (slowdown(&off, &base), slowdown(&on, &base));
+        offs.push(so);
+        ons.push(sn);
+        rows.push(vec![
+            b.name.to_string(),
+            format!("{so:.2}x"),
+            format!("{sn:.2}x"),
+            format!("+{}", on.stats.checks_executed - off.stats.checks_executed),
+        ]);
+    }
+    rows.push(vec![
+        "MEAN (geo)".into(),
+        format!("{:.2}x", geomean(&offs)),
+        format!("{:.2}x", geomean(&ons)),
+        "".into(),
+    ]);
+    print_table(&["benchmark", "checks off (paper)", "checks on", "extra checks"], &rows);
+    println!("\nWrapper checks trade a little runtime for catching overflowing");
+    println!("memcpy/memset ranges inside the (uninstrumented) libc (§4.3, Fig. 6).");
+}

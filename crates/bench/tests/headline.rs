@@ -1,0 +1,105 @@
+//! Regression guards for the paper's headline shapes. If a pipeline or
+//! cost-model change breaks one of these, the reproduction has drifted.
+//!
+//! Slow in debug builds, so they only run under `--release`
+//! (`cargo test --release -p bench`).
+
+use bench::{geomean, measure, measure_baseline, options_at, paper_options, slowdown};
+use meminstrument::{Mechanism, MiConfig};
+use mir::pipeline::ExtensionPoint;
+
+fn mean_slowdown(cfg: &MiConfig, opts: meminstrument::runtime::BuildOptions) -> f64 {
+    let xs: Vec<f64> = cbench::all()
+        .iter()
+        .map(|b| {
+            let base = measure_baseline(b);
+            slowdown(&measure(b, cfg, opts), &base)
+        })
+        .collect();
+    geomean(&xs)
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow without optimizations")]
+fn figure9_means_stay_near_the_paper() {
+    let sb = mean_slowdown(&MiConfig::new(Mechanism::SoftBound), paper_options());
+    let lf = mean_slowdown(&MiConfig::new(Mechanism::LowFat), paper_options());
+    // Paper: 1.74x / 1.77x. Allow a band, and require near-parity.
+    assert!((1.55..=2.05).contains(&sb), "SoftBound mean drifted: {sb:.2}");
+    assert!((1.55..=2.05).contains(&lf), "Low-Fat mean drifted: {lf:.2}");
+    assert!((sb - lf).abs() < 0.15, "means no longer comparable: {sb:.2} vs {lf:.2}");
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow without optimizations")]
+fn figure9_crossovers_hold() {
+    let check = |name: &str| {
+        let b = cbench::by_name(name).unwrap();
+        let base = measure_baseline(&b);
+        let sb = slowdown(&measure(&b, &MiConfig::new(Mechanism::SoftBound), paper_options()), &base);
+        let lf = slowdown(&measure(&b, &MiConfig::new(Mechanism::LowFat), paper_options()), &base);
+        (sb, lf)
+    };
+    // equake: trie lookups in the hot loop make SoftBound clearly worse.
+    let (sb, lf) = check("183equake");
+    assert!(sb > lf * 1.1, "equake crossover lost: sb {sb:.2} vs lf {lf:.2}");
+    // crafty: the wider Low-Fat check dominates.
+    let (sb, lf) = check("186crafty");
+    assert!(lf > sb * 1.03, "crafty crossover lost: sb {sb:.2} vs lf {lf:.2}");
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow without optimizations")]
+fn extension_point_ordering_holds() {
+    for mech in [Mechanism::SoftBound, Mechanism::LowFat] {
+        let cfg = MiConfig::new(mech);
+        let early = mean_slowdown(&cfg, options_at(ExtensionPoint::ModuleOptimizerEarly));
+        let scalar = mean_slowdown(&cfg, options_at(ExtensionPoint::ScalarOptimizerLate));
+        let vec = mean_slowdown(&cfg, options_at(ExtensionPoint::VectorizerStart));
+        // §5.5: early is clearly worse; the two late points are comparable.
+        assert!(
+            (early - 1.0) > (vec - 1.0) * 1.15,
+            "{mech:?}: early {early:.2} not clearly above late {vec:.2}"
+        );
+        assert!(
+            (scalar - vec).abs() < 0.12,
+            "{mech:?}: late points diverged: {scalar:.2} vs {vec:.2}"
+        );
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow without optimizations")]
+fn table2_signature_entries_hold() {
+    let wide = |name: &str, mech: Mechanism| {
+        let b = cbench::by_name(name).unwrap();
+        measure(&b, &MiConfig::new(mech), paper_options())
+            .stats
+            .wide_check_percent()
+    };
+    // gzip ~62 % wide under SoftBound, fully checked under Low-Fat.
+    let g = wide("164gzip", Mechanism::SoftBound);
+    assert!((50.0..75.0).contains(&g), "gzip SB wide {g:.1}");
+    assert_eq!(wide("164gzip", Mechanism::LowFat), 0.0);
+    // 429mcf ~54 % wide under Low-Fat, fully checked under SoftBound.
+    let m = wide("429mcf", Mechanism::LowFat);
+    assert!((40.0..75.0).contains(&m), "429mcf LF wide {m:.1}");
+    assert_eq!(wide("429mcf", Mechanism::SoftBound), 0.0);
+    // 433milc: size-less declaration, never used → exactly zero.
+    assert_eq!(wide("433milc", Mechanism::SoftBound), 0.0);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow without optimizations")]
+fn geninvariants_far_below_full_checking() {
+    // §5.4/Figures 10-11: metadata propagation alone costs a small fraction
+    // of full checking.
+    for mech in [Mechanism::SoftBound, Mechanism::LowFat] {
+        let full = mean_slowdown(&MiConfig::new(mech), paper_options());
+        let meta = mean_slowdown(&MiConfig::invariants_only(mech), paper_options());
+        assert!(
+            (meta - 1.0) < (full - 1.0) * 0.3,
+            "{mech:?}: metadata-only {meta:.2} too close to full {full:.2}"
+        );
+    }
+}

@@ -1,0 +1,600 @@
+//! SPEC CPU2000-modelled benchmarks (left column of Table 2).
+
+use crate::Benchmark;
+
+/// The ten CPU2000-modelled benchmarks.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "164gzip",
+            description: "LZ77-style hash-chain matcher. Models gzip's pervasive use of \
+                          size-less external array declarations (window/head/prev tables): \
+                          under SoftBound most dereference checks degrade to wide bounds \
+                          (Table 2: 61.71 %), while Low-Fat mirrors the definitions and \
+                          checks everything.",
+            source: GZIP,
+            has_size_unknown_arrays: true,
+        },
+        Benchmark {
+            name: "177mesa",
+            description: "Software rasterizer filling a framebuffer. A small fraction of \
+                          accesses go through an uninstrumented-library context block, \
+                          which Low-Fat cannot mirror (Table 2: 1.57 % wide).",
+            source: MESA,
+            has_size_unknown_arrays: false,
+        },
+        Benchmark {
+            name: "179art",
+            description: "Adaptive-resonance-style neural network scan over double \
+                          matrices; fully checkable by both mechanisms.",
+            source: ART,
+            has_size_unknown_arrays: false,
+        },
+        Benchmark {
+            name: "181mcf",
+            description: "Spanning-tree relaxation over node structs. Models the *fixed* \
+                          version per §5.1.2: the parent link is a proper pointer member \
+                          (the original stored it in an integer field, breaking SoftBound's \
+                          metadata).",
+            source: MCF2000,
+            has_size_unknown_arrays: false,
+        },
+        Benchmark {
+            name: "183equake",
+            description: "Sparse matrix-vector kernel that loads row pointers from memory \
+                          inside the hot loop: SoftBound pays a trie lookup per pointer \
+                          load while Low-Fat only recomputes the base (§5.2's explanation \
+                          for equake).",
+            source: EQUAKE,
+            has_size_unknown_arrays: false,
+        },
+        Benchmark {
+            name: "186crafty",
+            description: "Chess-style evaluation over small constant tables: very many \
+                          cheap accesses whose witnesses are compile-time constants, so \
+                          the per-check instruction count dominates — and the Low-Fat \
+                          check is wider than SoftBound's (§5.2's explanation for crafty).",
+            source: CRAFTY,
+            has_size_unknown_arrays: false,
+        },
+        Benchmark {
+            name: "188ammp",
+            description: "Molecular-dynamics-style pairwise force loop over atom structs; \
+                          rare reads of an uninstrumented-library parameter block give \
+                          Low-Fat a small wide-bounds residue (Table 2: 0.24 %).",
+            source: AMMP,
+            has_size_unknown_arrays: false,
+        },
+        Benchmark {
+            name: "197parser",
+            description: "Tokenizer with a bump-pool allocator. Dictionary lookups go \
+                          through an uninstrumented-library table (Low-Fat: 7.14 % wide) \
+                          and a size-less connector table is consulted occasionally \
+                          (SoftBound: 0.27 % wide). The out-of-bounds access the paper \
+                          fixed is *not* reproduced here — this is the fixed version.",
+            source: PARSER,
+            has_size_unknown_arrays: true,
+        },
+        Benchmark {
+            name: "256bzip2",
+            description: "Counting sort plus run-length encoding over heap blocks with \
+                          block `memcpy`s; fully checkable.",
+            source: BZIP2_2000,
+            has_size_unknown_arrays: false,
+        },
+        Benchmark {
+            name: "300twolf",
+            description: "Placement-style cell swapper. Models the *fixed* version per \
+                          §5.1.2 (struct copies via memcpy, not byte-wise loops). A rare \
+                          pointer round-trip through an integer gives SoftBound a small \
+                          wide residue (0.37 %); some accesses to library state give \
+                          Low-Fat 2.08 %.",
+            source: TWOLF,
+            has_size_unknown_arrays: true,
+        },
+    ]
+}
+
+const GZIP: &str = r#"
+long __seed = 88172645463325252;
+long rnd(void) {
+    __seed = __seed * 6364136223846793005 + 1442695040888963407;
+    return (__seed >> 33) & 0x7FFFFFFF;
+}
+
+/* In real gzip these are `extern uch window[];` etc. declared without a
+   size: the instrumentation cannot derive bounds. */
+__hidden_size char window[4096];
+__hidden_size long head[256];
+__hidden_size long prev[4096];
+
+long main(void) {
+    long n = 4096;
+    char *input = (char*)malloc(4096);
+    for (long i = 0; i < n; i += 1) input[i] = (char)(rnd() % 26 + 65);
+
+    long matches = 0;
+    long literals = 0;
+    long hashsum = 0;
+    for (long pos = 0; pos + 8 < n; pos += 1) {
+        long c = input[pos];
+        window[pos] = (char)c;
+        long h = (window[pos] * 31 + window[(pos + 4091) % 4096]) % 256;
+        long cand = head[h];
+        prev[pos] = cand;
+        head[h] = pos;
+        if (cand > 0 && window[cand] == window[pos]) {
+            long len = 0;
+            while (len < 8 && window[cand + len] == window[pos - len + 4]) len += 1;
+            matches += len + prev[cand];
+        } else {
+            literals += input[pos + 1] & 1;
+        }
+        hashsum += h;
+    }
+    print_i64(matches);
+    print_i64(literals);
+    print_i64(hashsum);
+    return 0;
+}
+"#;
+
+const MESA: &str = r#"
+long __seed = 88172645463325252;
+long rnd(void) {
+    __seed = __seed * 6364136223846793005 + 1442695040888963407;
+    return (__seed >> 33) & 0x7FFFFFFF;
+}
+
+/* The GL context lives in the (uninstrumented) library. */
+__libglobal long ctx[16];
+
+long main(void) {
+    long w = 64;
+    long h = 64;
+    int *fb = (int*)malloc(w * h * 4);
+    double *zbuf = (double*)malloc(w * h * 8);
+    for (long i = 0; i < w * h; i += 1) { fb[i] = 0; zbuf[i] = 1000000.0; }
+
+    long drawn = 0;
+    for (long t = 0; t < 48; t += 1) {
+        long x0 = rnd() % w;
+        long y0 = rnd() % h;
+        long bw = rnd() % 16 + 1;
+        long bh = rnd() % 16 + 1;
+        double z = (double)(rnd() % 1000);
+        long color = 7 + t;
+        for (long y = y0; y < y0 + bh && y < h; y += 1) {
+            long shade = ctx[(y - y0) & 15];   /* library state, varying index */
+            for (long x = x0; x < x0 + bw && x < w; x += 1) {
+                long idx = y * w + x;
+                if (shade >= 0 && zbuf[idx] > z) {
+                    zbuf[idx] = z;
+                    fb[idx] = (int)color;
+                    drawn += 1;
+                }
+            }
+        }
+    }
+    long sum = 0;
+    for (long i = 0; i < w * h; i += 1) sum += fb[i];
+    print_i64(drawn);
+    print_i64(sum);
+    return 0;
+}
+"#;
+
+const ART: &str = r#"
+long __seed = 88172645463325252;
+long rnd(void) {
+    __seed = __seed * 6364136223846793005 + 1442695040888963407;
+    return (__seed >> 33) & 0x7FFFFFFF;
+}
+
+long main(void) {
+    long F1 = 100;
+    long F2 = 24;
+    double *w = (double*)malloc(F1 * F2 * 8);
+    double *input = (double*)malloc(F1 * 8);
+    double *y = (double*)malloc(F2 * 8);
+    for (long i = 0; i < F1 * F2; i += 1) w[i] = (double)(rnd() % 100) / 100.0;
+
+    long wins = 0;
+    double total = 0.0;
+    for (long pass = 0; pass < 24; pass += 1) {
+        for (long i = 0; i < F1; i += 1) input[i] = (double)(rnd() % 2);
+        for (long j = 0; j < F2; j += 1) {
+            y[j] = 0.0;
+            for (long i = 0; i < F1; i += 1) y[j] = y[j] + w[i * F2 + j] * input[i];
+        }
+        long best = 0;
+        for (long j = 1; j < F2; j += 1) if (y[j] > y[best]) best = j;
+        /* resonance: reinforce the winner */
+        for (long i = 0; i < F1; i += 1) {
+            w[i * F2 + best] = w[i * F2 + best] * 0.9 + input[i] * 0.1;
+        }
+        wins += best;
+        total = total + y[best];
+    }
+    print_i64(wins);
+    print_i64((long)total);
+    return 0;
+}
+"#;
+
+const MCF2000: &str = r#"
+long __seed = 88172645463325252;
+long rnd(void) {
+    __seed = __seed * 6364136223846793005 + 1442695040888963407;
+    return (__seed >> 33) & 0x7FFFFFFF;
+}
+
+/* Fixed per §5.1.2: `parent` is a real pointer member (the original SPEC
+   code stored it in a long, wrecking SoftBound's metadata). */
+struct node {
+    long potential;
+    long cost;
+    struct node *parent;
+};
+
+long main(void) {
+    long n = 600;
+    struct node *nodes = (struct node*)malloc(n * sizeof(struct node));
+    nodes[0].potential = 0;
+    nodes[0].cost = 0;
+    nodes[0].parent = (struct node*)0;
+    for (long i = 1; i < n; i += 1) {
+        nodes[i].cost = rnd() % 97 + 1;
+        nodes[i].parent = &nodes[(rnd() % i)];
+        nodes[i].potential = 0;
+    }
+    /* Relax potentials along parent chains until stable. */
+    long changed = 1;
+    long rounds = 0;
+    while (changed && rounds < 40) {
+        changed = 0;
+        rounds += 1;
+        for (long i = 1; i < n; i += 1) {
+            struct node *p = nodes[i].parent;
+            long want = p->potential + nodes[i].cost;
+            if (nodes[i].potential != want) {
+                nodes[i].potential = want;
+                changed += 1;
+            }
+        }
+    }
+    long sum = 0;
+    for (long i = 0; i < n; i += 1) sum += nodes[i].potential;
+    print_i64(rounds);
+    print_i64(sum);
+    return 0;
+}
+"#;
+
+const EQUAKE: &str = r#"
+long __seed = 88172645463325252;
+long rnd(void) {
+    __seed = __seed * 6364136223846793005 + 1442695040888963407;
+    return (__seed >> 33) & 0x7FFFFFFF;
+}
+
+long main(void) {
+    long N = 96;
+    long NZ = 12;
+    /* Row pointers stored in memory: every use in the hot loop re-loads a
+       pointer, which costs SoftBound a trie lookup but Low-Fat only a base
+       recomputation (§5.2). */
+    double **rows = (double**)malloc(N * 8);
+    long *col = (long*)malloc(N * NZ * 8);
+    double *v = (double*)malloc(N * 8);
+    double *out = (double*)malloc(N * 8);
+    for (long i = 0; i < N; i += 1) {
+        double *r = (double*)malloc(NZ * 8);
+        for (long j = 0; j < NZ; j += 1) {
+            r[j] = (double)(rnd() % 1000) / 500.0;
+            col[i * NZ + j] = rnd() % N;
+        }
+        rows[i] = r;
+        v[i] = (double)(rnd() % 100) / 10.0;
+    }
+    for (long iter = 0; iter < 24; iter += 1) {
+        for (long i = 0; i < N; i += 1) {
+            out[i] = 0.0;
+            for (long j = 0; j < NZ; j += 1) {
+                double *row = rows[i];           /* pointer load in hot loop */
+                out[i] = out[i] + row[j] * v[col[i * NZ + j]];
+            }
+        }
+        /* time integration feeds back */
+        for (long i = 0; i < N; i += 1) v[i] = v[i] * 0.98 + out[i] * 0.01;
+    }
+    double total = 0.0;
+    for (long i = 0; i < N; i += 1) total = total + v[i];
+    print_i64((long)(total * 100.0));
+    return 0;
+}
+"#;
+
+const CRAFTY: &str = r#"
+long __seed = 88172645463325252;
+long rnd(void) {
+    __seed = __seed * 6364136223846793005 + 1442695040888963407;
+    return (__seed >> 33) & 0x7FFFFFFF;
+}
+
+long knight_val[64];
+long king_safety[64];
+long center_bonus[64];
+long piece_sq[64];
+
+long main(void) {
+    for (long s = 0; s < 64; s += 1) {
+        knight_val[s] = (s % 8) * ((s / 8) % 8);
+        king_safety[s] = 16 - (s % 16);
+        center_bonus[s] = ((s % 8) - 4) * ((s / 8) - 4);
+        piece_sq[s] = rnd() % 32;
+    }
+    long terms[4];
+    terms[0] = 0; terms[1] = 0; terms[2] = 0; terms[3] = 0;
+    for (long game = 0; game < 120; game += 1) {
+        long occupied = rnd() % 64;
+        for (long sq = 0; sq < 64; sq += 1) {
+            /* Many cheap table reads with constant-global witnesses: the
+               per-check cost difference between mechanisms dominates. */
+            terms[0] += knight_val[sq] * 2;
+            terms[1] += king_safety[(sq + occupied) % 64];
+            terms[2] += center_bonus[sq ^ 7];
+            terms[3] += piece_sq[(sq * 3 + 1) % 64] >> 1;
+        }
+    }
+    long score = terms[0] + terms[1] - terms[2] + terms[3];
+    print_i64(score % 1000000);
+    return 0;
+}
+"#;
+
+const AMMP: &str = r#"
+long __seed = 88172645463325252;
+long rnd(void) {
+    __seed = __seed * 6364136223846793005 + 1442695040888963407;
+    return (__seed >> 33) & 0x7FFFFFFF;
+}
+
+struct atom {
+    double x;
+    double y;
+    double z;
+    double fx;
+};
+
+/* Force-field parameters owned by an uninstrumented library. */
+__libglobal double ff_params[8];
+
+long main(void) {
+    long n = 160;
+    struct atom *atoms = (struct atom*)malloc(n * sizeof(struct atom));
+    for (long i = 0; i < n; i += 1) {
+        atoms[i].x = (double)(rnd() % 1000) / 100.0;
+        atoms[i].y = (double)(rnd() % 1000) / 100.0;
+        atoms[i].z = (double)(rnd() % 1000) / 100.0;
+        atoms[i].fx = 0.0;
+    }
+
+    for (long step = 0; step < 12; step += 1) {
+        double k = 0.5;
+        for (long i = 0; i < n; i += 1) {
+            if ((i & 15) == 0) k = ff_params[(i + step) & 7] + 0.5;  /* rare library read */
+            double f = 0.0;
+            for (long j = i + 1; j < i + 9 && j < n; j += 1) {
+                double dx = atoms[i].x - atoms[j].x;
+                double dy = atoms[i].y - atoms[j].y;
+                double d2 = dx * dx + dy * dy + 0.01;
+                f = f + k * dx / d2;
+            }
+            atoms[i].fx = atoms[i].fx + f;
+        }
+        for (long i = 0; i < n; i += 1) atoms[i].x = atoms[i].x + atoms[i].fx * 0.001;
+    }
+    double sum = 0.0;
+    for (long i = 0; i < n; i += 1) sum = sum + atoms[i].fx;
+    print_i64((long)(sum * 1000.0));
+    return 0;
+}
+"#;
+
+const PARSER: &str = r#"
+long __seed = 88172645463325252;
+long rnd(void) {
+    __seed = __seed * 6364136223846793005 + 1442695040888963407;
+    return (__seed >> 33) & 0x7FFFFFFF;
+}
+
+/* The dictionary ships with an uninstrumented library. */
+__libglobal long dict[512];
+/* Connector table declared without size in the original sources. */
+__hidden_size long connectors[64];
+
+struct tok {
+    long word;
+    long kind;
+    struct tok *next;
+};
+
+char *pool_base;
+long pool_used = 0;
+
+char *xalloc(long size) {
+    char *p = pool_base + pool_used;
+    pool_used += (size + 15) / 16 * 16;
+    return p;
+}
+
+long main(void) {
+    pool_base = (char*)malloc(65536);
+    for (long i = 0; i < 512; i += 1) dict[i] = rnd() % 97;
+
+    long sentences = 0;
+    long linked = 0;
+    for (long s = 0; s < 60; s += 1) {
+        pool_used = 0;
+        struct tok *head = (struct tok*)0;
+        long words = rnd() % 12 + 3;
+        for (long wi = 0; wi < words; wi += 1) {
+            struct tok *t = (struct tok*)xalloc(sizeof(struct tok));
+            t->word = rnd() % 512;
+            t->kind = dict[t->word] % 5;          /* library dictionary read */
+            t->next = head;
+            head = t;
+        }
+        /* Try to link adjacent tokens. */
+        struct tok *cur = head;
+        while (cur && cur->next) {
+            long a = cur->kind;
+            long b = cur->next->kind;
+            if ((a + b) % 3 == 0) {
+                linked += 1;
+                if (linked % 17 == 0 && connectors[(a * 5 + b) % 64] == 0) linked += 1;
+            }
+            cur = cur->next;
+        }
+        long seen = 0;
+        cur = head;
+        while (cur) {
+            seen += cur->kind + cur->word;
+            cur = cur->next;
+        }
+        cur = head;
+        while (cur) {
+            if (cur->next) seen += cur->next->kind - cur->kind;
+            cur = cur->next;
+        }
+        sentences += 1;
+        linked += seen % 3;
+    }
+    print_i64(sentences);
+    print_i64(linked);
+    return 0;
+}
+"#;
+
+const BZIP2_2000: &str = r#"
+long __seed = 88172645463325252;
+long rnd(void) {
+    __seed = __seed * 6364136223846793005 + 1442695040888963407;
+    return (__seed >> 33) & 0x7FFFFFFF;
+}
+
+long main(void) {
+    long n = 3000;
+    char *block = (char*)malloc(n);
+    char *sorted = (char*)malloc(n);
+    long counts[256];
+    for (long i = 0; i < 256; i += 1) counts[i] = 0;
+    for (long i = 0; i < n; i += 1) block[i] = (char)(rnd() % 16 + 97);
+
+    long checksum = 0;
+    for (long round = 0; round < 10; round += 1) {
+        /* counting sort */
+        for (long i = 0; i < 256; i += 1) counts[i] = 0;
+        for (long i = 0; i < n; i += 1) counts[block[i]] += 1;
+        long pos = 0;
+        for (long c = 0; c < 256; c += 1) {
+            for (long k = 0; k < counts[c]; k += 1) { sorted[pos] = (char)c; pos += 1; }
+        }
+        /* run-length encode */
+        long runs = 0;
+        long i = 0;
+        while (i < n) {
+            long j = i + 1;
+            while (j < n && sorted[j] == sorted[i]) j += 1;
+            runs += 1;
+            checksum += (j - i) * sorted[i];
+            i = j;
+        }
+        checksum += runs;
+        /* shuffle the block a little and go again */
+        for (long k = 0; k < 64; k += 1) {
+            long a = rnd() % n;
+            long b = rnd() % n;
+            char t = block[a];
+            block[a] = block[b];
+            block[b] = t;
+        }
+    }
+    print_i64(checksum);
+    return 0;
+}
+"#;
+
+const TWOLF: &str = r#"
+long __seed = 88172645463325252;
+long rnd(void) {
+    __seed = __seed * 6364136223846793005 + 1442695040888963407;
+    return (__seed >> 33) & 0x7FFFFFFF;
+}
+
+/* Router configuration owned by the standard-cell library. */
+__libglobal long libcfg[8];
+
+struct cell {
+    long x;
+    long y;
+    long width;
+    struct cell *neighbor;
+};
+
+long wirelen(struct cell *cells, long n) {
+    long total = 0;
+    for (long i = 0; i < n; i += 1) {
+        struct cell *nb = cells[i].neighbor;
+        long dx = cells[i].x - nb->x;
+        long dy = cells[i].y - nb->y;
+        if (dx < 0) dx = -dx;
+        if (dy < 0) dy = -dy;
+        total += dx + dy;
+        if ((i & 7) == 0) total += libcfg[i & 7];
+    }
+    return total;
+}
+
+long main(void) {
+    long n = 120;
+    struct cell *cells = (struct cell*)malloc(n * sizeof(struct cell));
+    for (long i = 0; i < 8; i += 1) libcfg[i] = i % 3;
+    for (long i = 0; i < n; i += 1) {
+        cells[i].x = rnd() % 100;
+        cells[i].y = rnd() % 100;
+        cells[i].width = rnd() % 8 + 1;
+        cells[i].neighbor = &cells[(i * 7 + 3) % n];
+    }
+    /* The §5.1.2 fix: cells are copied as whole structs (memcpy), not
+       byte-by-byte — SoftBound's metadata follows the embedded pointer. */
+    long best = wirelen(cells, n);
+    long accepted = 0;
+    for (long pass = 0; pass < 30; pass += 1) {
+        long a = rnd() % n;
+        long b = rnd() % n;
+        struct cell tmp;
+        tmp = cells[a];
+        cells[a] = cells[b];
+        cells[b] = tmp;
+        /* legacy corner: a cell pointer round-trips through a long */
+        long stash = (long)&cells[a];
+        struct cell *aliased = (struct cell*)stash;
+        long fix = aliased->width - cells[a].width + aliased->y - cells[a].y;
+        long after = wirelen(cells, n) + fix;
+        if (after <= best) {
+            best = after;
+            accepted += 1;
+        } else {
+            struct cell back;
+            back = cells[a];
+            cells[a] = cells[b];
+            cells[b] = back;
+        }
+    }
+    print_i64(best);
+    print_i64(accepted);
+    return 0;
+}
+"#;

@@ -1,0 +1,56 @@
+//! The 20 benchmark programs (Table 2 order).
+
+pub mod cpu2000;
+pub mod cpu2006;
+
+use crate::Benchmark;
+
+/// All benchmarks in Table 2 order (CPU2000 left column, CPU2006 right).
+pub fn all() -> Vec<Benchmark> {
+    let mut v = cpu2000::benchmarks();
+    v.extend(cpu2006::benchmarks());
+    v
+}
+
+/// The deterministic xorshift-style PRNG shared by the benchmark sources
+/// (embedded in each program; exposed here for tests that recompute
+/// expected workloads).
+pub fn prng_next(seed: &mut i64) -> i64 {
+    *seed = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    (*seed >> 33) & 0x7FFF_FFFF
+}
+
+/// The PRNG as mini-C source, textually included in benchmark programs.
+pub const PRNG_C: &str = r#"
+long __seed = 88172645463325252;
+long rnd(void) {
+    __seed = __seed * 6364136223846793005 + 1442695040888963407;
+    return (__seed >> 33) & 0x7FFFFFFF;
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prng_is_deterministic() {
+        let mut s1 = 1;
+        let mut s2 = 1;
+        let a: Vec<i64> = (0..5).map(|_| prng_next(&mut s1)).collect();
+        let b: Vec<i64> = (0..5).map(|_| prng_next(&mut s2)).collect();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&x| (0..1 << 31).contains(&x)));
+    }
+
+    #[test]
+    fn all_sources_compile_and_verify() {
+        for b in all() {
+            let m = cfront::compile(b.source)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            mir::verifier::verify_module(&m).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Compile-and-execute helpers shared by tests and the figure harnesses.
+
+use memvm::interp::{ExecOutcome, Trap};
+use memvm::VmConfig;
+use meminstrument::runtime::{compile, compile_baseline, BuildOptions};
+use meminstrument::{InstrStats, Mechanism, MiConfig};
+
+use crate::Benchmark;
+
+/// Result of one benchmark execution.
+#[derive(Clone, Debug)]
+pub struct BenchOutcome {
+    /// VM outcome (return value, output, dynamic stats).
+    pub exec: ExecOutcome,
+    /// Static instrumentation stats (empty for baselines).
+    pub instr: InstrStats,
+}
+
+/// Compiles the benchmark's C source.
+///
+/// # Panics
+///
+/// Panics on frontend errors — benchmark sources are fixtures.
+pub fn frontend(b: &Benchmark) -> mir::Module {
+    cfront::compile(b.source).unwrap_or_else(|e| panic!("{}: frontend error: {e}", b.name))
+}
+
+/// Runs the uninstrumented `-O3` baseline.
+///
+/// # Errors
+///
+/// Propagates VM traps (none expected for the fixtures).
+pub fn run_baseline(b: &Benchmark, opts: BuildOptions) -> Result<BenchOutcome, Trap> {
+    let prog = compile_baseline(frontend(b), opts);
+    Ok(BenchOutcome { exec: prog.run_main(VmConfig::default())?, instr: prog.stats })
+}
+
+/// Runs the benchmark under the given instrumentation configuration.
+///
+/// # Errors
+///
+/// Propagates VM traps, including memory-safety violations.
+pub fn run(b: &Benchmark, config: &MiConfig, opts: BuildOptions) -> Result<BenchOutcome, Trap> {
+    let prog = compile(frontend(b), config, opts);
+    Ok(BenchOutcome { exec: prog.run_main(VmConfig::default())?, instr: prog.stats })
+}
+
+/// Validation used by the test-suite: the benchmark must run to completion
+/// under the baseline and under both mechanisms (paper basis configs), with
+/// identical output. Returns the three outcomes (baseline, SoftBound,
+/// Low-Fat).
+///
+/// # Panics
+///
+/// Panics with a diagnostic if any configuration traps or outputs diverge.
+pub fn validate_benchmark(b: &Benchmark) -> [BenchOutcome; 3] {
+    let opts = BuildOptions::default();
+    let base = run_baseline(b, opts).unwrap_or_else(|t| panic!("{} baseline trapped: {t}", b.name));
+    let sb = run(b, &MiConfig::new(Mechanism::SoftBound), opts)
+        .unwrap_or_else(|t| panic!("{} softbound trapped: {t}", b.name));
+    let lf = run(b, &MiConfig::new(Mechanism::LowFat), opts)
+        .unwrap_or_else(|t| panic!("{} lowfat trapped: {t}", b.name));
+    assert_eq!(base.exec.output, sb.exec.output, "{}: softbound output diverged", b.name);
+    assert_eq!(base.exec.output, lf.exec.output, "{}: lowfat output diverged", b.name);
+    assert!(!base.exec.output.is_empty(), "{}: benchmark must print a checksum", b.name);
+    [base, sb, lf]
+}

@@ -1,0 +1,233 @@
+//! Abstract syntax tree and C types.
+
+/// A C type.
+#[allow(missing_docs)]
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CType {
+    /// `void` (function returns / `void*` pointees only).
+    Void,
+    /// 8-bit signed.
+    Char,
+    /// 16-bit signed.
+    Short,
+    /// 32-bit signed.
+    Int,
+    /// 64-bit signed.
+    Long,
+    /// IEEE double.
+    Double,
+    /// Pointer to `T`.
+    Ptr(Box<CType>),
+    /// `T[N]`.
+    Array(Box<CType>, u64),
+    /// Named struct.
+    Struct(String),
+}
+
+impl CType {
+    /// Whether this is an integer type.
+    pub fn is_int(&self) -> bool {
+        matches!(self, CType::Char | CType::Short | CType::Int | CType::Long)
+    }
+
+    /// Whether this is an arithmetic (integer or floating) type.
+    pub fn is_arith(&self) -> bool {
+        self.is_int() || *self == CType::Double
+    }
+
+    /// Whether this is a pointer type.
+    pub fn is_ptr(&self) -> bool {
+        matches!(self, CType::Ptr(_))
+    }
+
+    /// Integer conversion rank (char < short < int < long).
+    pub fn rank(&self) -> u32 {
+        match self {
+            CType::Char => 1,
+            CType::Short => 2,
+            CType::Int => 3,
+            CType::Long => 4,
+            _ => 0,
+        }
+    }
+
+    /// Pointer to `self`.
+    pub fn ptr_to(&self) -> CType {
+        CType::Ptr(Box::new(self.clone()))
+    }
+}
+
+/// Binary operators (after lexing; `&&`/`||` are separate AST nodes).
+#[allow(missing_docs)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    BitAnd,
+    BitOr,
+    BitXor,
+}
+
+/// Unary operators.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum UnaryOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (`!`).
+    Not,
+    /// Bitwise not (`~`).
+    BitNot,
+}
+
+/// An expression, tagged with its source line.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Expr {
+    /// Source line for diagnostics.
+    pub line: usize,
+    /// Payload.
+    pub kind: ExprKind,
+}
+
+/// Expression payloads. Variants mirror C surface forms.
+#[allow(missing_docs)]
+#[derive(Clone, PartialEq, Debug)]
+pub enum ExprKind {
+    IntLit(i64),
+    FloatLit(f64),
+    /// Variable or function reference.
+    Ident(String),
+    Unary(UnaryOp, Box<Expr>),
+    Binary(BinaryOp, Box<Expr>, Box<Expr>),
+    /// Short-circuit `&&`.
+    LogicalAnd(Box<Expr>, Box<Expr>),
+    /// Short-circuit `||`.
+    LogicalOr(Box<Expr>, Box<Expr>),
+    /// `cond ? a : b`.
+    Conditional(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Simple assignment `lhs = rhs`.
+    Assign(Box<Expr>, Box<Expr>),
+    /// Compound assignment `lhs op= rhs`.
+    CompoundAssign(BinaryOp, Box<Expr>, Box<Expr>),
+    /// `*e`.
+    Deref(Box<Expr>),
+    /// `&e`.
+    AddrOf(Box<Expr>),
+    /// `a[i]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// `s.field`.
+    Member(Box<Expr>, String),
+    /// `p->field`.
+    Arrow(Box<Expr>, String),
+    /// `f(args...)` (direct) or `(*fp)(args...)` via callee expression.
+    Call(Box<Expr>, Vec<Expr>),
+    /// `(type)e`.
+    Cast(CType, Box<Expr>),
+    /// `sizeof(type)`.
+    SizeofType(CType),
+}
+
+/// A statement. Variants mirror C surface forms.
+#[allow(missing_docs)]
+#[derive(Clone, PartialEq, Debug)]
+pub enum Stmt {
+    /// Local declaration with optional initializer.
+    Decl { name: String, ty: CType, init: Option<Expr>, line: usize },
+    /// Expression statement.
+    Expr(Expr),
+    /// Compound block.
+    Block(Vec<Stmt>),
+    If { cond: Expr, then_branch: Box<Stmt>, else_branch: Option<Box<Stmt>> },
+    While { cond: Expr, body: Box<Stmt> },
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Expr>,
+        body: Box<Stmt>,
+    },
+    Return { value: Option<Expr>, line: usize },
+    Break { line: usize },
+    Continue { line: usize },
+}
+
+/// A function parameter.
+#[allow(missing_docs)]
+#[derive(Clone, PartialEq, Debug)]
+pub struct CParam {
+    pub name: String,
+    pub ty: CType,
+}
+
+/// A function definition or declaration.
+#[allow(missing_docs)]
+#[derive(Clone, PartialEq, Debug)]
+pub struct CFunction {
+    pub name: String,
+    pub params: Vec<CParam>,
+    pub ret: CType,
+    /// `None` for declarations.
+    pub body: Option<Vec<Stmt>>,
+    /// `uninstrumented` extension (§4.3 external library code).
+    pub uninstrumented: bool,
+    pub line: usize,
+}
+
+/// A global variable.
+#[allow(missing_docs)]
+#[derive(Clone, PartialEq, Debug)]
+pub struct CGlobal {
+    pub name: String,
+    pub ty: CType,
+    /// Constant initializer (scalar literals only).
+    pub init: Option<Expr>,
+    /// `extern` declaration (defined elsewhere).
+    pub is_extern: bool,
+    /// `__hidden_size` extension: the instrumentation must not see the size.
+    pub hidden_size: bool,
+    /// `__libglobal` extension: uninstrumented-library global.
+    pub lib_global: bool,
+    pub line: usize,
+}
+
+/// A struct definition.
+#[allow(missing_docs)]
+#[derive(Clone, PartialEq, Debug)]
+pub struct CStruct {
+    pub name: String,
+    pub fields: Vec<(String, CType)>,
+    pub line: usize,
+}
+
+/// A parsed translation unit.
+#[allow(missing_docs)]
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Unit {
+    pub structs: Vec<CStruct>,
+    pub globals: Vec<CGlobal>,
+    pub functions: Vec<CFunction>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_predicates() {
+        assert!(CType::Int.is_int());
+        assert!(CType::Double.is_arith());
+        assert!(!CType::Double.is_int());
+        assert!(CType::Int.ptr_to().is_ptr());
+        assert!(CType::Char.rank() < CType::Long.rank());
+        assert_eq!(CType::Ptr(Box::new(CType::Void)).rank(), 0);
+    }
+}

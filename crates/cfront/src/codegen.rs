@@ -1,0 +1,914 @@
+//! Lowering from the mini-C AST to [`mir`].
+//!
+//! Classic straightforward codegen: every local lives in an `alloca` and is
+//! promoted to SSA later by the pipeline's `mem2reg` — exactly clang's
+//! strategy, which matters for the paper's pipeline experiments (§5.5).
+
+use std::collections::BTreeMap;
+
+use mir::builder::{FunctionBuilder, ModuleBuilder};
+use mir::ids::{BlockId, GlobalId};
+use mir::instr::{BinOp, CastOp, FcmpPred, IcmpPred, Operand};
+use mir::module::{Effect, GlobalAttrs, Module};
+use mir::types::Type;
+
+use crate::ast::*;
+use crate::CError;
+
+/// Lowers a parsed translation unit to a module.
+///
+/// # Errors
+///
+/// Returns a [`CError`] on semantic errors (unknown names, bad types, ...).
+pub fn lower(unit: &Unit) -> Result<Module, CError> {
+    let mut structs = BTreeMap::new();
+    for s in &unit.structs {
+        if structs.insert(s.name.clone(), s.fields.clone()).is_some() {
+            return Err(CError::new(s.line, format!("duplicate struct {}", s.name)));
+        }
+    }
+
+    let env = Env::build(unit, structs)?;
+    let mut mb = ModuleBuilder::new("cfront");
+
+    // Builtins available to every program.
+    mb.host("malloc", vec![Type::I64], Type::Ptr, Effect::Effectful);
+    mb.host("calloc", vec![Type::I64, Type::I64], Type::Ptr, Effect::Effectful);
+    mb.host("free", vec![Type::Ptr], Type::Void, Effect::Effectful);
+    mb.host("print_i64", vec![Type::I64], Type::Void, Effect::Effectful);
+    mb.host("print_f64", vec![Type::F64], Type::Void, Effect::Effectful);
+    mb.host("abort", vec![], Type::Void, Effect::Effectful);
+
+    // Globals.
+    for g in &unit.globals {
+        let ty = env.mty(&g.ty, g.line)?;
+        let attrs = GlobalAttrs {
+            external: g.is_extern,
+            size_unknown: g.hidden_size || (g.is_extern && matches!(g.ty, CType::Array(_, 0))),
+            uninstrumented_lib: g.lib_global,
+            lowfat: false,
+        };
+        match &g.init {
+            None => {
+                mb.global_with_attrs(g.name.clone(), ty, attrs);
+            }
+            Some(e) => {
+                let bytes = const_init_bytes(e, &g.ty, &env)?;
+                let gid = mb.global_with_attrs(g.name.clone(), ty, attrs);
+                if let mir::module::Init::Zero = mb.module_mut().globals[gid.index()].init {
+                    mb.module_mut().globals[gid.index()].init = mir::module::Init::Bytes(bytes);
+                }
+            }
+        }
+    }
+
+    // Functions: prefer definitions over forward declarations, emit each
+    // name once.
+    let mut emitted: BTreeMap<&str, bool> = BTreeMap::new();
+    let mut order: Vec<&CFunction> = Vec::new();
+    for f in &unit.functions {
+        match (emitted.get(f.name.as_str()), f.body.is_some()) {
+            (Some(true), true) => {
+                return Err(CError::new(f.line, format!("duplicate definition of {}", f.name)));
+            }
+            (Some(_), false) => continue,
+            (Some(false), true) => {
+                // Replace the declaration-only entry with the definition.
+                order.retain(|p| p.name != f.name);
+            }
+            (None, _) => {}
+        }
+        emitted.insert(f.name.as_str(), f.body.is_some());
+        order.push(f);
+    }
+    for f in order {
+        let ret = env.mty(&f.ret, f.line)?;
+        let params: Vec<(&str, Type)> = f
+            .params
+            .iter()
+            .map(|p| Ok((p.name.as_str(), env.mty(&p.ty, f.line)?)))
+            .collect::<Result<_, CError>>()?;
+        match &f.body {
+            None => mb.declare_function(f.name.clone(), params, ret),
+            Some(body) => {
+                let mut fb = mb.function(f.name.clone(), params, ret);
+                if f.uninstrumented {
+                    fb.set_uninstrumented();
+                }
+                let mut cg = FnCg {
+                    fb,
+                    env: &env,
+                    scopes: vec![BTreeMap::new()],
+                    ret_ty: f.ret.clone(),
+                    loops: vec![],
+                };
+                // Spill parameters to stack slots (mem2reg will clean up).
+                for (i, p) in f.params.iter().enumerate() {
+                    let mty = cg.env.mty(&p.ty, f.line)?;
+                    let slot = cg.fb.alloca(mty.clone());
+                    let arg = cg.fb.param(i);
+                    cg.fb.store(mty, arg, slot.clone());
+                    cg.scopes.last_mut().unwrap().insert(p.name.clone(), (slot, p.ty.clone()));
+                }
+                for stmt in body {
+                    cg.stmt(stmt)?;
+                }
+                if !cg.fb.is_terminated() {
+                    let ret_val = match &f.ret {
+                        CType::Void => None,
+                        CType::Double => Some(Operand::ConstFloat(0.0)),
+                        CType::Ptr(_) => Some(Operand::Null),
+                        _ => Some(Operand::ConstInt { ty: env.mty(&f.ret, f.line)?, value: 0 }),
+                    };
+                    cg.fb.ret(ret_val);
+                }
+                cg.fb.finish();
+            }
+        }
+    }
+    Ok(mb.finish())
+}
+
+/// Evaluates a constant initializer to little-endian bytes of `ty`.
+fn const_init_bytes(e: &Expr, ty: &CType, env: &Env) -> Result<Vec<u8>, CError> {
+    fn const_int(e: &Expr) -> Option<i64> {
+        match &e.kind {
+            ExprKind::IntLit(v) => Some(*v),
+            ExprKind::Unary(UnaryOp::Neg, inner) => const_int(inner).map(|v| -v),
+            ExprKind::Cast(_, inner) => const_int(inner),
+            _ => None,
+        }
+    }
+    fn const_float(e: &Expr) -> Option<f64> {
+        match &e.kind {
+            ExprKind::FloatLit(v) => Some(*v),
+            ExprKind::Unary(UnaryOp::Neg, inner) => const_float(inner).map(|v| -v),
+            _ => None,
+        }
+    }
+    let size = env.size_of(ty, e.line)? as usize;
+    if *ty == CType::Double {
+        let v = const_float(e)
+            .or_else(|| const_int(e).map(|i| i as f64))
+            .ok_or_else(|| CError::new(e.line, "global initializer must be a constant"))?;
+        return Ok(v.to_bits().to_le_bytes().to_vec());
+    }
+    let v = const_int(e).ok_or_else(|| CError::new(e.line, "global initializer must be a constant"))?;
+    Ok(v.to_le_bytes()[..size].to_vec())
+}
+
+/// Module-level environment: struct layouts, globals, function signatures.
+struct Env {
+    structs: BTreeMap<String, Vec<(String, CType)>>,
+    globals: BTreeMap<String, (GlobalId, CType)>,
+    funcs: BTreeMap<String, (Vec<CType>, CType)>,
+}
+
+impl Env {
+    fn build(unit: &Unit, structs: BTreeMap<String, Vec<(String, CType)>>) -> Result<Env, CError> {
+        let mut globals = BTreeMap::new();
+        for (i, g) in unit.globals.iter().enumerate() {
+            if globals.insert(g.name.clone(), (GlobalId::new(i), g.ty.clone())).is_some() {
+                return Err(CError::new(g.line, format!("duplicate global {}", g.name)));
+            }
+        }
+        let mut funcs: BTreeMap<String, (Vec<CType>, CType)> = BTreeMap::new();
+        // Builtins.
+        let vp = CType::Void.ptr_to();
+        funcs.insert("malloc".into(), (vec![CType::Long], vp.clone()));
+        funcs.insert("calloc".into(), (vec![CType::Long, CType::Long], vp.clone()));
+        funcs.insert("free".into(), (vec![vp], CType::Void));
+        funcs.insert("print_i64".into(), (vec![CType::Long], CType::Void));
+        funcs.insert("print_f64".into(), (vec![CType::Double], CType::Void));
+        funcs.insert("abort".into(), (vec![], CType::Void));
+        for f in &unit.functions {
+            let sig = (f.params.iter().map(|p| p.ty.clone()).collect(), f.ret.clone());
+            if let Some(prev) = funcs.get(&f.name) {
+                if *prev != sig {
+                    return Err(CError::new(f.line, format!("conflicting signature for {}", f.name)));
+                }
+            }
+            funcs.insert(f.name.clone(), sig);
+        }
+        Ok(Env { structs, globals, funcs })
+    }
+
+    /// Maps a C type to a mir type.
+    fn mty(&self, ty: &CType, line: usize) -> Result<Type, CError> {
+        Ok(match ty {
+            CType::Void => Type::Void,
+            CType::Char => Type::I8,
+            CType::Short => Type::I16,
+            CType::Int => Type::I32,
+            CType::Long => Type::I64,
+            CType::Double => Type::F64,
+            CType::Ptr(_) => Type::Ptr,
+            CType::Array(elem, n) => Type::array(self.mty(elem, line)?, *n),
+            CType::Struct(name) => {
+                let fields = self
+                    .structs
+                    .get(name)
+                    .ok_or_else(|| CError::new(line, format!("unknown struct {name}")))?;
+                Type::structure(
+                    fields
+                        .iter()
+                        .map(|(_, t)| self.mty(t, line))
+                        .collect::<Result<Vec<_>, _>>()?,
+                )
+            }
+        })
+    }
+
+    fn size_of(&self, ty: &CType, line: usize) -> Result<u64, CError> {
+        Ok(self.mty(ty, line)?.size_of())
+    }
+}
+
+/// A typed value: operand plus its C type. Aggregates (arrays after decay,
+/// structs) are represented by their address.
+#[derive(Clone, Debug)]
+struct TV {
+    op: Operand,
+    ty: CType,
+}
+
+struct FnCg<'a, 'm> {
+    fb: FunctionBuilder<'m>,
+    env: &'a Env,
+    scopes: Vec<BTreeMap<String, (Operand, CType)>>,
+    ret_ty: CType,
+    /// (continue target, break target) stack.
+    loops: Vec<(BlockId, BlockId)>,
+}
+
+impl FnCg<'_, '_> {
+    fn err(&self, line: usize, msg: impl Into<String>) -> CError {
+        CError::new(line, msg.into())
+    }
+
+    fn lookup(&self, name: &str) -> Option<(Operand, CType, bool)> {
+        for scope in self.scopes.iter().rev() {
+            if let Some((op, ty)) = scope.get(name) {
+                return Some((op.clone(), ty.clone(), false));
+            }
+        }
+        self.env
+            .globals
+            .get(name)
+            .map(|(gid, ty)| (Operand::GlobalAddr(*gid), ty.clone(), true))
+    }
+
+    /// If the current block is already terminated (break/return), emit the
+    /// rest into a fresh unreachable block.
+    fn ensure_open(&mut self) {
+        if self.fb.is_terminated() {
+            let b = self.fb.new_block("dead");
+            self.fb.switch_to(b);
+        }
+    }
+
+    // ----- statements -----
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CError> {
+        self.ensure_open();
+        match s {
+            Stmt::Decl { name, ty, init, line } => {
+                let mty = self.env.mty(ty, *line)?;
+                if mty == Type::Void {
+                    return Err(self.err(*line, "void variable"));
+                }
+                let slot = self.entry_alloca(mty);
+                if let Some(e) = init {
+                    let v = self.rvalue(e)?;
+                    self.store_converted(v, &slot, ty, *line)?;
+                }
+                self.scopes.last_mut().unwrap().insert(name.clone(), (slot, ty.clone()));
+                Ok(())
+            }
+            Stmt::Expr(e) => {
+                self.rvalue(e)?;
+                Ok(())
+            }
+            Stmt::Block(stmts) => {
+                self.scopes.push(BTreeMap::new());
+                for s in stmts {
+                    self.stmt(s)?;
+                }
+                self.scopes.pop();
+                Ok(())
+            }
+            Stmt::If { cond, then_branch, else_branch } => {
+                let c = self.cond_value(cond)?;
+                let then_bb = self.fb.new_block("if.then");
+                let join = self.fb.new_block("if.join");
+                let else_bb = if else_branch.is_some() { self.fb.new_block("if.else") } else { join };
+                self.fb.cond_br(c, then_bb, else_bb);
+                self.fb.switch_to(then_bb);
+                self.stmt(then_branch)?;
+                if !self.fb.is_terminated() {
+                    self.fb.br(join);
+                }
+                if let Some(eb) = else_branch {
+                    self.fb.switch_to(else_bb);
+                    self.stmt(eb)?;
+                    if !self.fb.is_terminated() {
+                        self.fb.br(join);
+                    }
+                }
+                self.fb.switch_to(join);
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                let header = self.fb.new_block("while.header");
+                let body_bb = self.fb.new_block("while.body");
+                let exit = self.fb.new_block("while.exit");
+                self.fb.br(header);
+                self.fb.switch_to(header);
+                let c = self.cond_value(cond)?;
+                self.fb.cond_br(c, body_bb, exit);
+                self.fb.switch_to(body_bb);
+                self.loops.push((header, exit));
+                self.stmt(body)?;
+                self.loops.pop();
+                if !self.fb.is_terminated() {
+                    self.fb.br(header);
+                }
+                self.fb.switch_to(exit);
+                Ok(())
+            }
+            Stmt::For { init, cond, step, body } => {
+                self.scopes.push(BTreeMap::new());
+                if let Some(i) = init {
+                    self.stmt(i)?;
+                }
+                let header = self.fb.new_block("for.header");
+                let body_bb = self.fb.new_block("for.body");
+                let step_bb = self.fb.new_block("for.step");
+                let exit = self.fb.new_block("for.exit");
+                self.fb.br(header);
+                self.fb.switch_to(header);
+                match cond {
+                    Some(c) => {
+                        let cv = self.cond_value(c)?;
+                        self.fb.cond_br(cv, body_bb, exit);
+                    }
+                    None => self.fb.br(body_bb),
+                }
+                self.fb.switch_to(body_bb);
+                self.loops.push((step_bb, exit));
+                self.stmt(body)?;
+                self.loops.pop();
+                if !self.fb.is_terminated() {
+                    self.fb.br(step_bb);
+                }
+                self.fb.switch_to(step_bb);
+                if let Some(s) = step {
+                    self.rvalue(s)?;
+                }
+                self.fb.br(header);
+                self.fb.switch_to(exit);
+                self.scopes.pop();
+                Ok(())
+            }
+            Stmt::Return { value, line } => {
+                match (value, self.ret_ty.clone()) {
+                    (None, CType::Void) => self.fb.ret(None),
+                    (Some(e), rt) => {
+                        let v = self.rvalue(e)?;
+                        let v = self.convert(v, &rt, *line)?;
+                        self.fb.ret(Some(v.op));
+                    }
+                    (None, _) => return Err(self.err(*line, "return without value")),
+                }
+                Ok(())
+            }
+            Stmt::Break { line } => {
+                let (_, exit) = *self
+                    .loops
+                    .last()
+                    .ok_or_else(|| self.err(*line, "break outside loop"))?;
+                self.fb.br(exit);
+                Ok(())
+            }
+            Stmt::Continue { line } => {
+                let (cont, _) = *self
+                    .loops
+                    .last()
+                    .ok_or_else(|| self.err(*line, "continue outside loop"))?;
+                self.fb.br(cont);
+                Ok(())
+            }
+        }
+    }
+
+    // ----- expressions -----
+
+    /// Loads the value at `addr` of type `ty`, applying aggregate
+    /// conventions (arrays decay to pointers, structs stay addresses).
+    fn load_value(&mut self, addr: Operand, ty: &CType, line: usize) -> Result<TV, CError> {
+        match ty {
+            CType::Array(elem, _) => Ok(TV { op: addr, ty: elem.ptr_to() }),
+            CType::Struct(_) => Ok(TV { op: addr, ty: ty.clone() }),
+            CType::Void => Err(self.err(line, "load of void")),
+            _ => {
+                let mty = self.env.mty(ty, line)?;
+                Ok(TV { op: self.fb.load(mty, addr), ty: ty.clone() })
+            }
+        }
+    }
+
+    fn lvalue(&mut self, e: &Expr) -> Result<(Operand, CType), CError> {
+        match &e.kind {
+            ExprKind::Ident(name) => {
+                let (addr, ty, _) = self
+                    .lookup(name)
+                    .ok_or_else(|| self.err(e.line, format!("unknown variable {name}")))?;
+                Ok((addr, ty))
+            }
+            ExprKind::Deref(inner) => {
+                let p = self.rvalue(inner)?;
+                match p.ty {
+                    CType::Ptr(pointee) => Ok((p.op, *pointee)),
+                    other => Err(self.err(e.line, format!("dereference of non-pointer {other:?}"))),
+                }
+            }
+            ExprKind::Index(arr, idx) => {
+                let base = self.rvalue(arr)?; // arrays decay to pointers
+                let CType::Ptr(elem) = base.ty else {
+                    return Err(self.err(e.line, "subscript of non-pointer"));
+                };
+                let i = self.rvalue(idx)?;
+                let i = self.convert(i, &CType::Long, e.line)?;
+                let mty = self.env.mty(&elem, e.line)?;
+                let addr = self.fb.gep(mty, base.op, vec![i.op]);
+                Ok((addr, *elem))
+            }
+            ExprKind::Member(inner, field) => {
+                let (addr, ty) = self.lvalue(inner)?;
+                self.member_addr(addr, &ty, field, e.line)
+            }
+            ExprKind::Arrow(inner, field) => {
+                let p = self.rvalue(inner)?;
+                let CType::Ptr(pointee) = p.ty else {
+                    return Err(self.err(e.line, "-> on non-pointer"));
+                };
+                self.member_addr(p.op, &pointee, field, e.line)
+            }
+            _ => Err(self.err(e.line, "expression is not an lvalue")),
+        }
+    }
+
+    fn member_addr(
+        &mut self,
+        addr: Operand,
+        ty: &CType,
+        field: &str,
+        line: usize,
+    ) -> Result<(Operand, CType), CError> {
+        let CType::Struct(sname) = ty else {
+            return Err(self.err(line, format!("member access on non-struct {ty:?}")));
+        };
+        let fields = self
+            .env
+            .structs
+            .get(sname)
+            .ok_or_else(|| self.err(line, format!("unknown struct {sname}")))?;
+        let idx = fields
+            .iter()
+            .position(|(n, _)| n == field)
+            .ok_or_else(|| self.err(line, format!("struct {sname} has no field {field}")))?;
+        let fty = fields[idx].1.clone();
+        let smty = self.env.mty(ty, line)?;
+        let faddr = self.fb.gep(smty, addr, vec![Operand::i64(0), Operand::i32(idx as i32)]);
+        Ok((faddr, fty))
+    }
+
+    fn rvalue(&mut self, e: &Expr) -> Result<TV, CError> {
+        let line = e.line;
+        match &e.kind {
+            ExprKind::IntLit(v) => {
+                if i32::try_from(*v).is_ok() {
+                    Ok(TV { op: Operand::i32(*v as i32), ty: CType::Int })
+                } else {
+                    Ok(TV { op: Operand::i64(*v), ty: CType::Long })
+                }
+            }
+            ExprKind::FloatLit(v) => Ok(TV { op: Operand::ConstFloat(*v), ty: CType::Double }),
+            ExprKind::Ident(_) | ExprKind::Deref(_) | ExprKind::Index(_, _) | ExprKind::Member(_, _) | ExprKind::Arrow(_, _) => {
+                let (addr, ty) = self.lvalue(e)?;
+                self.load_value(addr, &ty, line)
+            }
+            ExprKind::AddrOf(inner) => {
+                let (addr, ty) = self.lvalue(inner)?;
+                Ok(TV { op: addr, ty: ty.ptr_to() })
+            }
+            ExprKind::Unary(op, inner) => self.unary(*op, inner, line),
+            ExprKind::Binary(op, a, b) => self.binary(*op, a, b, line),
+            ExprKind::LogicalAnd(a, b) => self.logical(a, b, true, line),
+            ExprKind::LogicalOr(a, b) => self.logical(a, b, false, line),
+            ExprKind::Conditional(c, a, b) => self.conditional(c, a, b, line),
+            ExprKind::Assign(lhs, rhs) => {
+                let (addr, lty) = self.lvalue(lhs)?;
+                let v = self.rvalue(rhs)?;
+                self.store_converted(v.clone(), &addr, &lty, line)?;
+                // The assignment's value, already converted.
+                let out = self.convert(v, &lty, line)?;
+                Ok(out)
+            }
+            ExprKind::CompoundAssign(op, lhs, rhs) => {
+                let (addr, lty) = self.lvalue(lhs)?;
+                let cur = self.load_value(addr.clone(), &lty, line)?;
+                let r = self.rvalue(rhs)?;
+                let res = self.apply_binary(*op, cur, r, line)?;
+                self.store_converted(res.clone(), &addr, &lty, line)?;
+                self.convert(res, &lty, line)
+            }
+            ExprKind::Call(callee, args) => {
+                let ExprKind::Ident(name) = &callee.kind else {
+                    return Err(self.err(line, "only direct calls are supported"));
+                };
+                let (param_tys, ret) = self
+                    .env
+                    .funcs
+                    .get(name)
+                    .ok_or_else(|| self.err(line, format!("unknown function {name}")))?
+                    .clone();
+                if param_tys.len() != args.len() {
+                    return Err(self.err(
+                        line,
+                        format!("{name} expects {} args, got {}", param_tys.len(), args.len()),
+                    ));
+                }
+                let mut ops = Vec::with_capacity(args.len());
+                for (a, pt) in args.iter().zip(&param_tys) {
+                    let v = self.rvalue(a)?;
+                    let v = self.convert(v, pt, line)?;
+                    ops.push(v.op);
+                }
+                let rmty = self.env.mty(&ret, line)?;
+                let r = self.fb.call(name.clone(), rmty, ops);
+                Ok(TV { op: r, ty: ret })
+            }
+            ExprKind::Cast(to, inner) => {
+                let v = self.rvalue(inner)?;
+                self.cast(v, to, line)
+            }
+            ExprKind::SizeofType(ty) => {
+                let sz = self.env.size_of(ty, line)?;
+                Ok(TV { op: Operand::i64(sz as i64), ty: CType::Long })
+            }
+        }
+    }
+
+    fn unary(&mut self, op: UnaryOp, inner: &Expr, line: usize) -> Result<TV, CError> {
+        match op {
+            UnaryOp::Neg => {
+                let v = self.rvalue(inner)?;
+                if v.ty == CType::Double {
+                    let r = self.fb.bin(BinOp::FSub, Type::F64, Operand::ConstFloat(0.0), v.op);
+                    Ok(TV { op: r, ty: CType::Double })
+                } else {
+                    let v = self.promote(v, line)?;
+                    let mty = self.env.mty(&v.ty, line)?;
+                    let zero = Operand::ConstInt { ty: mty.clone(), value: 0 };
+                    let r = self.fb.sub(mty, zero, v.op);
+                    Ok(TV { op: r, ty: v.ty })
+                }
+            }
+            UnaryOp::Not => {
+                let c = self.cond_value_tv(inner)?;
+                // !x: x == 0, as int.
+                let one = Operand::bool(true);
+                let inv = self.fb.bin(BinOp::Xor, Type::I1, c, one);
+                let r = self.fb.cast(CastOp::Zext, inv, Type::I1, Type::I32);
+                Ok(TV { op: r, ty: CType::Int })
+            }
+            UnaryOp::BitNot => {
+                let v = self.rvalue(inner)?;
+                let v = self.promote(v, line)?;
+                let mty = self.env.mty(&v.ty, line)?;
+                let minus1 = Operand::ConstInt { ty: mty.clone(), value: -1 };
+                let r = self.fb.bin(BinOp::Xor, mty, v.op, minus1);
+                Ok(TV { op: r, ty: v.ty })
+            }
+        }
+    }
+
+    fn binary(&mut self, op: BinaryOp, a: &Expr, b: &Expr, line: usize) -> Result<TV, CError> {
+        let av = self.rvalue(a)?;
+        let bv = self.rvalue(b)?;
+        self.apply_binary(op, av, bv, line)
+    }
+
+    fn apply_binary(&mut self, op: BinaryOp, av: TV, bv: TV, line: usize) -> Result<TV, CError> {
+        use BinaryOp::*;
+        // Pointer arithmetic.
+        if av.ty.is_ptr() || bv.ty.is_ptr() {
+            match op {
+                Add | Sub => {
+                    if av.ty.is_ptr() && bv.ty.is_int() {
+                        return self.ptr_offset(av, bv, op == Sub, line);
+                    }
+                    if bv.ty.is_ptr() && av.ty.is_int() && op == Add {
+                        return self.ptr_offset(bv, av, false, line);
+                    }
+                    if av.ty.is_ptr() && bv.ty.is_ptr() && op == Sub {
+                        // Pointer difference in elements.
+                        let CType::Ptr(elem) = &av.ty else { unreachable!() };
+                        let esz = self.env.size_of(elem, line)?.max(1);
+                        let ai = self.fb.cast(CastOp::PtrToInt, av.op, Type::Ptr, Type::I64);
+                        let bi = self.fb.cast(CastOp::PtrToInt, bv.op, Type::Ptr, Type::I64);
+                        let d = self.fb.sub(Type::I64, ai, bi);
+                        let r = self.fb.bin(BinOp::SDiv, Type::I64, d, Operand::i64(esz as i64));
+                        return Ok(TV { op: r, ty: CType::Long });
+                    }
+                    return Err(self.err(line, "invalid pointer arithmetic"));
+                }
+                Eq | Ne | Lt | Le | Gt | Ge => {
+                    if !(av.ty.is_ptr() && bv.ty.is_ptr()) {
+                        return Err(self.err(line, "pointer compared to non-pointer"));
+                    }
+                    let pred = ptr_cmp_pred(op);
+                    let c = self.fb.icmp(pred, Type::Ptr, av.op, bv.op);
+                    let r = self.fb.cast(CastOp::Zext, c, Type::I1, Type::I32);
+                    return Ok(TV { op: r, ty: CType::Int });
+                }
+                _ => return Err(self.err(line, "invalid operator on pointers")),
+            }
+        }
+
+        // Usual arithmetic conversions.
+        let common = if av.ty == CType::Double || bv.ty == CType::Double {
+            CType::Double
+        } else if av.ty.rank().max(bv.ty.rank()) >= CType::Long.rank() {
+            CType::Long
+        } else {
+            CType::Int
+        };
+        let a = self.convert(av, &common, line)?;
+        let b = self.convert(bv, &common, line)?;
+        let mty = self.env.mty(&common, line)?;
+
+        if common == CType::Double {
+            let r = match op {
+                Add => self.fb.bin(BinOp::FAdd, Type::F64, a.op, b.op),
+                Sub => self.fb.bin(BinOp::FSub, Type::F64, a.op, b.op),
+                Mul => self.fb.bin(BinOp::FMul, Type::F64, a.op, b.op),
+                Div => self.fb.bin(BinOp::FDiv, Type::F64, a.op, b.op),
+                Lt | Le | Gt | Ge | Eq | Ne => {
+                    let pred = match op {
+                        Lt => FcmpPred::Olt,
+                        Le => FcmpPred::Ole,
+                        Gt => FcmpPred::Ogt,
+                        Ge => FcmpPred::Oge,
+                        Eq => FcmpPred::Oeq,
+                        _ => FcmpPred::One,
+                    };
+                    let c = self.fb.fcmp(pred, a.op, b.op);
+                    let r = self.fb.cast(CastOp::Zext, c, Type::I1, Type::I32);
+                    return Ok(TV { op: r, ty: CType::Int });
+                }
+                _ => return Err(self.err(line, "invalid operator on doubles")),
+            };
+            return Ok(TV { op: r, ty: CType::Double });
+        }
+
+        let r = match op {
+            Add => self.fb.bin(BinOp::Add, mty, a.op, b.op),
+            Sub => self.fb.bin(BinOp::Sub, mty, a.op, b.op),
+            Mul => self.fb.bin(BinOp::Mul, mty, a.op, b.op),
+            Div => self.fb.bin(BinOp::SDiv, mty, a.op, b.op),
+            Rem => self.fb.bin(BinOp::SRem, mty, a.op, b.op),
+            Shl => self.fb.bin(BinOp::Shl, mty, a.op, b.op),
+            Shr => self.fb.bin(BinOp::AShr, mty, a.op, b.op),
+            BitAnd => self.fb.bin(BinOp::And, mty, a.op, b.op),
+            BitOr => self.fb.bin(BinOp::Or, mty, a.op, b.op),
+            BitXor => self.fb.bin(BinOp::Xor, mty, a.op, b.op),
+            Lt | Le | Gt | Ge | Eq | Ne => {
+                let pred = match op {
+                    Lt => IcmpPred::Slt,
+                    Le => IcmpPred::Sle,
+                    Gt => IcmpPred::Sgt,
+                    Ge => IcmpPred::Sge,
+                    Eq => IcmpPred::Eq,
+                    _ => IcmpPred::Ne,
+                };
+                let c = self.fb.icmp(pred, mty, a.op, b.op);
+                let r = self.fb.cast(CastOp::Zext, c, Type::I1, Type::I32);
+                return Ok(TV { op: r, ty: CType::Int });
+            }
+        };
+        Ok(TV { op: r, ty: common })
+    }
+
+    fn ptr_offset(&mut self, p: TV, i: TV, negate: bool, line: usize) -> Result<TV, CError> {
+        let CType::Ptr(elem) = &p.ty else { unreachable!() };
+        let mty = self.env.mty(elem, line)?;
+        if mty == Type::Void {
+            return Err(self.err(line, "arithmetic on void*"));
+        }
+        let i = self.convert(i, &CType::Long, line)?;
+        let idx = if negate { self.fb.sub(Type::I64, Operand::i64(0), i.op) } else { i.op };
+        let r = self.fb.gep(mty, p.op, vec![idx]);
+        Ok(TV { op: r, ty: p.ty.clone() })
+    }
+
+    fn logical(&mut self, a: &Expr, b: &Expr, is_and: bool, _line: usize) -> Result<TV, CError> {
+        // Short-circuit through a temporary slot (mem2reg will produce the
+        // phi-based form clang generates).
+        let slot = self.entry_alloca(Type::I32);
+        let rhs_bb = self.fb.new_block("logic.rhs");
+        let short_bb = self.fb.new_block("logic.short");
+        let join = self.fb.new_block("logic.join");
+        let ac = self.cond_value_tv(a)?;
+        if is_and {
+            self.fb.cond_br(ac, rhs_bb, short_bb);
+        } else {
+            self.fb.cond_br(ac, short_bb, rhs_bb);
+        }
+        self.fb.switch_to(short_bb);
+        let short_val = if is_and { 0 } else { 1 };
+        self.fb.store(Type::I32, Operand::i32(short_val), slot.clone());
+        self.fb.br(join);
+        self.fb.switch_to(rhs_bb);
+        let bc = self.cond_value_tv(b)?;
+        let bi = self.fb.cast(CastOp::Zext, bc, Type::I1, Type::I32);
+        self.fb.store(Type::I32, bi, slot.clone());
+        self.fb.br(join);
+        self.fb.switch_to(join);
+        let v = self.fb.load(Type::I32, slot);
+        Ok(TV { op: v, ty: CType::Int })
+    }
+
+    fn conditional(&mut self, c: &Expr, a: &Expr, b: &Expr, line: usize) -> Result<TV, CError> {
+        let cv = self.cond_value_tv(c)?;
+        let then_bb = self.fb.new_block("cond.then");
+        let else_bb = self.fb.new_block("cond.else");
+        let join = self.fb.new_block("cond.join");
+        self.fb.cond_br(cv, then_bb, else_bb);
+
+        // Evaluate each arm on its own path, leaving the arm-end blocks
+        // unterminated until the common type (and therefore the result
+        // slot) is known.
+        self.fb.switch_to(then_bb);
+        let av = self.rvalue(a)?;
+        let a_end = self.fb.current_block();
+        self.fb.switch_to(else_bb);
+        let bv = self.rvalue(b)?;
+        let _b_end = self.fb.current_block();
+
+        let (a_ty, b_ty) = (av.ty.clone(), bv.ty.clone());
+        let common = if a_ty == b_ty {
+            a_ty
+        } else if a_ty.is_arith() && b_ty.is_arith() {
+            if a_ty == CType::Double || b_ty == CType::Double {
+                CType::Double
+            } else if a_ty.rank().max(b_ty.rank()) >= CType::Long.rank() {
+                CType::Long
+            } else {
+                CType::Int
+            }
+        } else if a_ty.is_ptr() && b_ty.is_ptr() {
+            a_ty
+        } else {
+            return Err(self.err(line, "incompatible conditional arms"));
+        };
+        let mty = self.env.mty(&common, line)?;
+        let slot = self.entry_alloca(mty.clone());
+
+        // b-arm (we are positioned at its end).
+        let bv = self.convert(bv, &common, line)?;
+        self.fb.store(mty.clone(), bv.op, slot.clone());
+        self.fb.br(join);
+        // a-arm.
+        self.fb.switch_to(a_end);
+        let av = self.convert(av, &common, line)?;
+        self.fb.store(mty.clone(), av.op, slot.clone());
+        self.fb.br(join);
+
+        self.fb.switch_to(join);
+        let v = self.fb.load(mty, slot);
+        Ok(TV { op: v, ty: common })
+    }
+
+    /// Creates an alloca in the entry block (clang-style: all locals and
+    /// temporaries live at function scope, so loops do not grow the stack).
+    fn entry_alloca(&mut self, mty: Type) -> Operand {
+        let f = self.fb.func_mut();
+        let id = f.insert_instr(
+            BlockId::new(0),
+            0,
+            mir::instr::InstrKind::Alloca { ty: mty, count: Operand::i64(1) },
+        );
+        Operand::Val(f.instr_result(id).expect("alloca result"))
+    }
+
+    /// Evaluates `e` and coerces to an `i1` condition.
+    fn cond_value(&mut self, e: &Expr) -> Result<Operand, CError> {
+        self.cond_value_tv(e)
+    }
+
+    fn cond_value_tv(&mut self, e: &Expr) -> Result<Operand, CError> {
+        let v = self.rvalue(e)?;
+        let line = e.line;
+        Ok(match &v.ty {
+            CType::Double => self.fb.fcmp(FcmpPred::One, v.op, Operand::ConstFloat(0.0)),
+            CType::Ptr(_) => self.fb.icmp(IcmpPred::Ne, Type::Ptr, v.op, Operand::Null),
+            t if t.is_int() => {
+                let mty = self.env.mty(t, line)?;
+                let zero = Operand::ConstInt { ty: mty.clone(), value: 0 };
+                self.fb.icmp(IcmpPred::Ne, mty, v.op, zero)
+            }
+            other => return Err(self.err(line, format!("{other:?} used as condition"))),
+        })
+    }
+
+    /// Integer promotion to at least `int`.
+    fn promote(&mut self, v: TV, line: usize) -> Result<TV, CError> {
+        if v.ty.is_int() && v.ty.rank() < CType::Int.rank() {
+            self.convert(v, &CType::Int, line)
+        } else {
+            Ok(v)
+        }
+    }
+
+    /// Converts `v` to type `to` (implicit conversion rules).
+    fn convert(&mut self, v: TV, to: &CType, line: usize) -> Result<TV, CError> {
+        if v.ty == *to {
+            return Ok(v);
+        }
+        let from_mty = self.env.mty(&v.ty, line)?;
+        let to_mty = self.env.mty(to, line)?;
+        let op = match (&v.ty, to) {
+            (f, t) if f.is_int() && t.is_int() => {
+                if from_mty.size_of() < to_mty.size_of() {
+                    self.fb.cast(CastOp::Sext, v.op, from_mty, to_mty)
+                } else if from_mty.size_of() > to_mty.size_of() {
+                    self.fb.cast(CastOp::Trunc, v.op, from_mty, to_mty)
+                } else {
+                    v.op // same width (cannot happen with distinct ranks)
+                }
+            }
+            (f, CType::Double) if f.is_int() => self.fb.cast(CastOp::SiToFp, v.op, from_mty, Type::F64),
+            (CType::Double, t) if t.is_int() => self.fb.cast(CastOp::FpToSi, v.op, Type::F64, to_mty),
+            (CType::Ptr(_), CType::Ptr(_)) => v.op, // lenient mini-C
+            (f, CType::Ptr(_)) if f.is_int() => {
+                // Implicit only for literal 0 in real C; mini-C is lenient
+                // but still goes through inttoptr (visible to §4.4).
+                let wide = if from_mty != Type::I64 {
+                    self.fb.cast(CastOp::Sext, v.op, from_mty, Type::I64)
+                } else {
+                    v.op
+                };
+                self.fb.cast(CastOp::IntToPtr, wide, Type::I64, Type::Ptr)
+            }
+            (CType::Ptr(_), t) if t.is_int() => {
+                let i = self.fb.cast(CastOp::PtrToInt, v.op, Type::Ptr, Type::I64);
+                if to_mty != Type::I64 {
+                    self.fb.cast(CastOp::Trunc, i, Type::I64, to_mty)
+                } else {
+                    i
+                }
+            }
+            (f, t) => return Err(self.err(line, format!("cannot convert {f:?} to {t:?}"))),
+        };
+        Ok(TV { op, ty: to.clone() })
+    }
+
+    /// Explicit cast (superset of implicit conversions).
+    fn cast(&mut self, v: TV, to: &CType, line: usize) -> Result<TV, CError> {
+        if *to == CType::Void {
+            return Ok(TV { op: v.op, ty: CType::Void });
+        }
+        self.convert(v, to, line)
+    }
+
+    /// Converts and stores `v` into `addr` of type `lty`; structs copy by
+    /// `memcpy`.
+    fn store_converted(&mut self, v: TV, addr: &Operand, lty: &CType, line: usize) -> Result<(), CError> {
+        if let CType::Struct(_) = lty {
+            if v.ty != *lty {
+                return Err(self.err(line, "struct assignment type mismatch"));
+            }
+            let size = self.env.size_of(lty, line)?;
+            self.fb.memcpy(addr.clone(), v.op, Operand::i64(size as i64));
+            return Ok(());
+        }
+        let v = self.convert(v, lty, line)?;
+        let mty = self.env.mty(lty, line)?;
+        self.fb.store(mty, v.op, addr.clone());
+        Ok(())
+    }
+}
+
+fn ptr_cmp_pred(op: BinaryOp) -> IcmpPred {
+    match op {
+        BinaryOp::Eq => IcmpPred::Eq,
+        BinaryOp::Ne => IcmpPred::Ne,
+        BinaryOp::Lt => IcmpPred::Ult,
+        BinaryOp::Le => IcmpPred::Ule,
+        BinaryOp::Gt => IcmpPred::Ugt,
+        BinaryOp::Ge => IcmpPred::Uge,
+        _ => unreachable!("not a comparison"),
+    }
+}

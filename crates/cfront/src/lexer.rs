@@ -1,0 +1,334 @@
+//! Tokenizer for mini-C.
+
+use crate::CError;
+
+/// A token with its source line.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Token {
+    /// Token payload.
+    pub kind: Tok,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Token kinds. Variant names mirror their C surface syntax (`LParen` =
+/// `(`, `KwWhile` = `while`, `Shl` = `<<`, ...).
+#[allow(missing_docs)]
+#[derive(Clone, PartialEq, Debug)]
+pub enum Tok {
+    Ident(String),
+    IntLit(i64),
+    FloatLit(f64),
+    CharLit(i64),
+    // keywords
+    KwVoid,
+    KwChar,
+    KwShort,
+    KwInt,
+    KwLong,
+    KwDouble,
+    KwStruct,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    KwSizeof,
+    KwExtern,
+    KwUninstrumented,
+    KwHiddenSize,
+    KwLibGlobal,
+    // punctuation / operators
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Arrow,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Shl,
+    Shr,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    NotEq,
+    AmpAmp,
+    PipePipe,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    Question,
+    Colon,
+    Eof,
+}
+
+/// Tokenizes `src`.
+///
+/// # Errors
+///
+/// Returns a [`CError`] on unknown characters or malformed literals.
+pub fn lex(src: &str) -> Result<Vec<Token>, CError> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                i += 2;
+                while i + 1 < b.len() && !(b[i] == b'*' && b[i + 1] == b'/') {
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                if i + 1 >= b.len() {
+                    return Err(CError::new(line, "unterminated block comment"));
+                }
+                i += 2;
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let kind = match word {
+                    "void" => Tok::KwVoid,
+                    "char" => Tok::KwChar,
+                    "short" => Tok::KwShort,
+                    "int" => Tok::KwInt,
+                    "long" => Tok::KwLong,
+                    "double" => Tok::KwDouble,
+                    "struct" => Tok::KwStruct,
+                    "if" => Tok::KwIf,
+                    "else" => Tok::KwElse,
+                    "while" => Tok::KwWhile,
+                    "for" => Tok::KwFor,
+                    "return" => Tok::KwReturn,
+                    "break" => Tok::KwBreak,
+                    "continue" => Tok::KwContinue,
+                    "sizeof" => Tok::KwSizeof,
+                    "extern" => Tok::KwExtern,
+                    "uninstrumented" => Tok::KwUninstrumented,
+                    "__hidden_size" => Tok::KwHiddenSize,
+                    "__libglobal" => Tok::KwLibGlobal,
+                    _ => Tok::Ident(word.to_string()),
+                };
+                out.push(Token { kind, line });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let mut is_float = false;
+                if c == b'0' && i + 1 < b.len() && (b[i + 1] | 32) == b'x' {
+                    i += 2;
+                    while i < b.len() && b[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    let v = i64::from_str_radix(&src[start + 2..i], 16)
+                        .map_err(|e| CError::new(line, format!("bad hex literal: {e}")))?;
+                    out.push(Token { kind: Tok::IntLit(v), line });
+                    continue;
+                }
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < b.len() && b[i] == b'.' && i + 1 < b.len() && b[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if is_float {
+                    let v: f64 = src[start..i]
+                        .parse()
+                        .map_err(|e| CError::new(line, format!("bad float literal: {e}")))?;
+                    out.push(Token { kind: Tok::FloatLit(v), line });
+                } else {
+                    let v: i64 = src[start..i]
+                        .parse::<u64>()
+                        .map(|u| u as i64)
+                        .map_err(|e| CError::new(line, format!("bad integer literal: {e}")))?;
+                    out.push(Token { kind: Tok::IntLit(v), line });
+                }
+            }
+            b'\'' => {
+                if i + 2 < b.len() && b[i + 1] == b'\\' {
+                    let v = match b[i + 2] {
+                        b'n' => b'\n',
+                        b't' => b'\t',
+                        b'0' => 0,
+                        b'\\' => b'\\',
+                        b'\'' => b'\'',
+                        other => return Err(CError::new(line, format!("bad escape '\\{}'", other as char))),
+                    };
+                    if i + 3 >= b.len() || b[i + 3] != b'\'' {
+                        return Err(CError::new(line, "unterminated char literal"));
+                    }
+                    out.push(Token { kind: Tok::CharLit(v as i64), line });
+                    i += 4;
+                } else if i + 2 < b.len() && b[i + 2] == b'\'' {
+                    out.push(Token { kind: Tok::CharLit(b[i + 1] as i64), line });
+                    i += 3;
+                } else {
+                    return Err(CError::new(line, "bad char literal"));
+                }
+            }
+            _ => {
+                // Peek at the byte level: slicing `src` here could split a
+                // multi-byte UTF-8 character in malformed input.
+                let next = if i + 1 < b.len() { b[i + 1] } else { 0 };
+                let (kind, len) = match (c, next) {
+                    (b'-', b'>') => (Tok::Arrow, 2),
+                    (b'<', b'<') => (Tok::Shl, 2),
+                    (b'>', b'>') => (Tok::Shr, 2),
+                    (b'<', b'=') => (Tok::Le, 2),
+                    (b'>', b'=') => (Tok::Ge, 2),
+                    (b'=', b'=') => (Tok::EqEq, 2),
+                    (b'!', b'=') => (Tok::NotEq, 2),
+                    (b'&', b'&') => (Tok::AmpAmp, 2),
+                    (b'|', b'|') => (Tok::PipePipe, 2),
+                    (b'+', b'=') => (Tok::PlusAssign, 2),
+                    (b'-', b'=') => (Tok::MinusAssign, 2),
+                    (b'*', b'=') => (Tok::StarAssign, 2),
+                    (b'/', b'=') => (Tok::SlashAssign, 2),
+                    _ => {
+                        let k = match c {
+                            b'(' => Tok::LParen,
+                            b')' => Tok::RParen,
+                            b'{' => Tok::LBrace,
+                            b'}' => Tok::RBrace,
+                            b'[' => Tok::LBracket,
+                            b']' => Tok::RBracket,
+                            b';' => Tok::Semi,
+                            b',' => Tok::Comma,
+                            b'.' => Tok::Dot,
+                            b'+' => Tok::Plus,
+                            b'-' => Tok::Minus,
+                            b'*' => Tok::Star,
+                            b'/' => Tok::Slash,
+                            b'%' => Tok::Percent,
+                            b'&' => Tok::Amp,
+                            b'|' => Tok::Pipe,
+                            b'^' => Tok::Caret,
+                            b'~' => Tok::Tilde,
+                            b'!' => Tok::Bang,
+                            b'<' => Tok::Lt,
+                            b'>' => Tok::Gt,
+                            b'=' => Tok::Assign,
+                            b'?' => Tok::Question,
+                            b':' => Tok::Colon,
+                            other => {
+                                return Err(CError::new(
+                                    line,
+                                    format!("unexpected character '{}'", other as char),
+                                ))
+                            }
+                        };
+                        (k, 1)
+                    }
+                };
+                out.push(Token { kind, line });
+                i += len;
+            }
+        }
+    }
+    out.push(Token { kind: Tok::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            kinds("int foo while0"),
+            vec![Tok::KwInt, Tok::Ident("foo".into()), Tok::Ident("while0".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42 0x1F 3.5"), vec![Tok::IntLit(42), Tok::IntLit(31), Tok::FloatLit(3.5), Tok::Eof]);
+    }
+
+    #[test]
+    fn char_literals() {
+        assert_eq!(kinds("'a' '\\n' '\\0'"), vec![Tok::CharLit(97), Tok::CharLit(10), Tok::CharLit(0), Tok::Eof]);
+    }
+
+    #[test]
+    fn operators_two_char_greedy() {
+        assert_eq!(
+            kinds("a->b <= >> && ||"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Arrow,
+                Tok::Ident("b".into()),
+                Tok::Le,
+                Tok::Shr,
+                Tok::AmpAmp,
+                Tok::PipePipe,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped_lines_counted() {
+        let toks = lex("// c1\n/* c2\nc3 */ int").unwrap();
+        assert_eq!(toks[0].kind, Tok::KwInt);
+        assert_eq!(toks[0].line, 3);
+    }
+
+    #[test]
+    fn error_has_line() {
+        let e = lex("int\n@").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn extension_keywords() {
+        assert_eq!(
+            kinds("uninstrumented __hidden_size __libglobal"),
+            vec![Tok::KwUninstrumented, Tok::KwHiddenSize, Tok::KwLibGlobal, Tok::Eof]
+        );
+    }
+}

@@ -1,0 +1,85 @@
+#![warn(missing_docs)]
+
+//! `cfront`: a mini-C frontend lowering to [`mir`].
+//!
+//! The paper's observations hinge on the translation from C to IR (§4.1):
+//! bugs disappear, pointer stores become integer stores (§4.4), address
+//! arithmetic folds away (Appendix B). A real — if small — C frontend lets
+//! this reproduction express its benchmarks and pitfall programs in C and
+//! observe the same effects.
+//!
+//! # Supported language
+//!
+//! Types `void`, `char`, `short`, `int`, `long`, `double`, pointers,
+//! fixed-size arrays, and named `struct`s; functions (definitions,
+//! declarations, recursion, function pointers via `&name`); globals;
+//! control flow (`if`/`else`, `while`, `for`, `break`, `continue`,
+//! `return`); the usual expression operators including short-circuit
+//! `&&`/`||`, the conditional operator, casts, `sizeof`, pointer
+//! arithmetic, array subscripts, `.`/`->`, and compound assignment.
+//!
+//! # Extensions for the reproduction
+//!
+//! * `uninstrumented` on a function definition marks it as belonging to an
+//!   *uninstrumented external library* (§4.3).
+//! * `__hidden_size` on a global array gives it a real size for execution
+//!   while hiding that size from instrumentation — modelling
+//!   `extern int arr[];` across translation units (§4.3, Table 2's bold
+//!   benchmarks).
+//! * `__libglobal` marks a global as residing in an uninstrumented library
+//!   (never mirrored by Low-Fat Pointers).
+//!
+//! # Example
+//!
+//! ```
+//! let module = cfront::compile(r#"
+//!     long main(void) {
+//!         int a[4];
+//!         long s = 0;
+//!         for (int i = 0; i < 4; i = i + 1) { a[i] = i; s = s + a[i]; }
+//!         return s;
+//!     }
+//! "#).unwrap();
+//! assert!(mir::verifier::verify_module(&module).is_ok());
+//! ```
+
+pub mod ast;
+pub mod codegen;
+pub mod lexer;
+pub mod parser;
+
+use std::fmt;
+
+/// A frontend error with source line information.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CError {
+    /// 1-based line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl CError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> CError {
+        CError { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for CError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CError {}
+
+/// Compiles mini-C source to a [`mir::Module`].
+///
+/// # Errors
+///
+/// Returns a [`CError`] for lexical, syntactic, or semantic problems.
+pub fn compile(src: &str) -> Result<mir::Module, CError> {
+    let tokens = lexer::lex(src)?;
+    let unit = parser::parse(tokens)?;
+    codegen::lower(&unit)
+}

@@ -1,0 +1,182 @@
+//! Frontend error reporting and language-corner coverage.
+
+fn err(src: &str) -> String {
+    cfront::compile(src).unwrap_err().to_string()
+}
+
+fn ok(src: &str) -> mir::Module {
+    let m = cfront::compile(src).unwrap_or_else(|e| panic!("{e}"));
+    mir::verifier::verify_module(&m).unwrap();
+    m
+}
+
+#[test]
+fn unknown_variable() {
+    let e = err("long main(void) { return nope; }");
+    assert!(e.contains("unknown variable nope"), "{e}");
+}
+
+#[test]
+fn unknown_function() {
+    let e = err("long main(void) { return missing(1); }");
+    assert!(e.contains("unknown function missing"), "{e}");
+}
+
+#[test]
+fn wrong_arity() {
+    let e = err("long f(long a, long b) { return a + b; } long main(void) { return f(1); }");
+    assert!(e.contains("expects 2 args"), "{e}");
+}
+
+#[test]
+fn unknown_struct_and_field() {
+    let e = err("long main(void) { struct nope n; return 0; }");
+    assert!(e.contains("unknown struct"), "{e}");
+    let e = err("struct s { long a; }; long main(void) { struct s v; return v.b; }");
+    assert!(e.contains("no field b"), "{e}");
+}
+
+#[test]
+fn deref_of_non_pointer() {
+    let e = err("long main(void) { long x = 1; return *x; }");
+    assert!(e.contains("dereference of non-pointer"), "{e}");
+}
+
+#[test]
+fn member_access_on_non_struct() {
+    let e = err("long main(void) { long x = 1; return x.field; }");
+    assert!(e.contains("member access on non-struct"), "{e}");
+}
+
+#[test]
+fn arrow_on_non_pointer() {
+    let e = err("struct s { long a; }; long main(void) { struct s v; return v->a; }");
+    assert!(e.contains("-> on non-pointer"), "{e}");
+}
+
+#[test]
+fn break_outside_loop() {
+    let e = err("long main(void) { break; }");
+    assert!(e.contains("break outside loop"), "{e}");
+}
+
+#[test]
+fn conflicting_signatures() {
+    let e = err("long f(long x); int f(long x) { return 0; } long main(void) { return 0; }");
+    assert!(e.contains("conflicting signature"), "{e}");
+}
+
+#[test]
+fn duplicate_definitions() {
+    let e = err("long f(void) { return 1; } long f(void) { return 2; } long main(void) { return 0; }");
+    assert!(e.contains("duplicate definition"), "{e}");
+    let e = err("long g; long g; long main(void) { return 0; }");
+    assert!(e.contains("duplicate global"), "{e}");
+}
+
+#[test]
+fn void_variable_rejected() {
+    let e = err("long main(void) { void x; return 0; }");
+    assert!(e.contains("void variable"), "{e}");
+}
+
+#[test]
+fn arithmetic_on_void_pointer_rejected() {
+    let e = err("long main(void) { void *p = malloc(8); p = p + 1; return 0; }");
+    assert!(e.contains("void*"), "{e}");
+}
+
+#[test]
+fn errors_carry_line_numbers() {
+    let e = cfront::compile("long main(void) {\n    long a = 1;\n    return nope;\n}").unwrap_err();
+    assert_eq!(e.line, 3);
+}
+
+// --- language corners -------------------------------------------------------
+
+#[test]
+fn arrays_of_structs_with_member_arrays() {
+    ok(r#"
+        struct cell { long tags[4]; struct cell *link; };
+        struct cell grid[8];
+        long main(void) {
+            for (long i = 0; i < 8; i += 1) {
+                grid[i].link = &grid[(i + 1) % 8];
+                for (long t = 0; t < 4; t += 1) grid[i].tags[t] = i * t;
+            }
+            return grid[3].link->tags[2];
+        }
+    "#);
+}
+
+#[test]
+fn nested_conditional_expressions() {
+    ok("long main(void) { long x = 5; return x > 3 ? (x > 4 ? 1 : 2) : (x > 1 ? 3 : 4); }");
+}
+
+#[test]
+fn chained_comparisons_via_logic() {
+    ok("long main(void) { long a = 1; long b = 2; long c = 3; return a < b && b < c || a == c; }");
+}
+
+#[test]
+fn negative_array_index_through_pointer() {
+    // Legal when the pointer points into the middle of an object.
+    ok(r#"
+        long main(void) {
+            long a[10];
+            a[2] = 42;
+            long *p = &a[5];
+            return p[-3];
+        }
+    "#);
+}
+
+#[test]
+fn pointer_compare_in_loop_condition() {
+    ok(r#"
+        long main(void) {
+            long a[8];
+            long *end = &a[8];
+            long n = 0;
+            for (long *p = a; p != end; p += 1) { *p = n; n += 1; }
+            return n;
+        }
+    "#);
+}
+
+#[test]
+fn double_pointer_and_indirection() {
+    ok(r#"
+        long main(void) {
+            long x = 9;
+            long *p = &x;
+            long **pp = &p;
+            **pp = 10;
+            return x;
+        }
+    "#);
+}
+
+#[test]
+fn char_pointer_string_walk() {
+    ok(r#"
+        long main(void) {
+            char buf[8];
+            buf[0] = 'h'; buf[1] = 'i'; buf[2] = '\0';
+            long len = 0;
+            char *p = buf;
+            while (*p) { len += 1; p += 1; }
+            return len;
+        }
+    "#);
+}
+
+#[test]
+fn sizeof_of_pointer_and_array_types() {
+    let m = ok("long main(void) { return sizeof(long*) * 1000 + sizeof(int[10]); }");
+    // Execute to check the values.
+    let mut vm = memvm::Vm::new(m, memvm::VmConfig::default()).unwrap();
+    let out = vm.run("main", &[]).unwrap();
+    assert_eq!(out.ret.unwrap().as_int(), 8 * 1000 + 40);
+}

@@ -1,0 +1,459 @@
+//! End-to-end tests: compile mini-C, optimize, interpret, compare results.
+
+use memvm::{Vm, VmConfig};
+use mir::pipeline::{OptLevel, Pipeline};
+
+/// Compiles and runs at the given optimization level; returns (ret, output).
+fn run_at(src: &str, opt: OptLevel) -> (i64, Vec<String>) {
+    let mut module = cfront::compile(src).unwrap_or_else(|e| panic!("compile error: {e}"));
+    mir::verifier::verify_module(&module)
+        .unwrap_or_else(|e| panic!("verify: {e}\n{}", mir::printer::print_module(&module)));
+    Pipeline::new(opt).run(&mut module);
+    mir::verifier::verify_module(&module)
+        .unwrap_or_else(|e| panic!("verify after opt: {e}\n{}", mir::printer::print_module(&module)));
+    let mut vm = Vm::new(module, VmConfig::default()).unwrap();
+    let out = vm.run("main", &[]).unwrap_or_else(|t| panic!("trap: {t}"));
+    (out.ret.map(|v| v.as_int() as i64).unwrap_or(0), out.output)
+}
+
+/// Runs at O0 and O3 and checks both agree with `expected`.
+fn expect(src: &str, expected: i64) {
+    let (r0, o0) = run_at(src, OptLevel::O0);
+    let (r3, o3) = run_at(src, OptLevel::O3);
+    assert_eq!(r0, expected, "O0 result");
+    assert_eq!(r3, expected, "O3 result");
+    assert_eq!(o0, o3, "output must be optimization-independent");
+}
+
+#[test]
+fn arithmetic_and_precedence() {
+    expect("long main(void) { return 2 + 3 * 4 - 6 / 2; }", 11);
+}
+
+#[test]
+fn integer_widths_wrap() {
+    expect(
+        r#"
+        long main(void) {
+            char c = 120;
+            c = c + 10;     /* wraps to -126 */
+            return c;
+        }
+    "#,
+        -126,
+    );
+}
+
+#[test]
+fn loops_and_locals() {
+    expect(
+        r#"
+        long main(void) {
+            long s = 0;
+            for (int i = 1; i <= 100; i += 1) s += i;
+            return s;
+        }
+    "#,
+        5050,
+    );
+}
+
+#[test]
+fn while_break_continue() {
+    expect(
+        r#"
+        long main(void) {
+            long s = 0;
+            long i = 0;
+            while (1) {
+                i = i + 1;
+                if (i > 10) break;
+                if (i % 2 == 0) continue;
+                s = s + i;   /* 1+3+5+7+9 */
+            }
+            return s;
+        }
+    "#,
+        25,
+    );
+}
+
+#[test]
+fn recursion() {
+    expect(
+        r#"
+        long fib(long n) {
+            if (n < 2) return n;
+            return fib(n - 1) + fib(n - 2);
+        }
+        long main(void) { return fib(15); }
+    "#,
+        610,
+    );
+}
+
+#[test]
+fn arrays_and_pointers() {
+    expect(
+        r#"
+        long main(void) {
+            long a[8];
+            long *p = a;
+            for (int i = 0; i < 8; i += 1) p[i] = i * i;
+            long *q = &a[3];
+            return *q + a[7];   /* 9 + 49 */
+        }
+    "#,
+        58,
+    );
+}
+
+#[test]
+fn pointer_arithmetic_and_difference() {
+    expect(
+        r#"
+        long main(void) {
+            int a[10];
+            int *p = a + 2;
+            int *q = p + 5;
+            return q - a;   /* 7 elements */
+        }
+    "#,
+        7,
+    );
+}
+
+#[test]
+fn structs_members_and_arrow() {
+    expect(
+        r#"
+        struct point { long x; long y; };
+        struct rect { struct point lo; struct point hi; };
+        long area(struct rect *r) {
+            return (r->hi.x - r->lo.x) * (r->hi.y - r->lo.y);
+        }
+        long main(void) {
+            struct rect r;
+            r.lo.x = 1; r.lo.y = 2;
+            r.hi.x = 5; r.hi.y = 10;
+            return area(&r);
+        }
+    "#,
+        32,
+    );
+}
+
+#[test]
+fn struct_assignment_copies() {
+    expect(
+        r#"
+        struct pair { long a; long b; };
+        long main(void) {
+            struct pair p;
+            struct pair q;
+            p.a = 7; p.b = 8;
+            q = p;
+            p.a = 0;
+            return q.a * 10 + q.b;
+        }
+    "#,
+        78,
+    );
+}
+
+#[test]
+fn linked_list_on_heap() {
+    expect(
+        r#"
+        struct node { long value; struct node *next; };
+        long main(void) {
+            struct node *head = (struct node*)0;
+            for (long i = 1; i <= 5; i += 1) {
+                struct node *n = (struct node*)malloc(sizeof(struct node));
+                n->value = i;
+                n->next = head;
+                head = n;
+            }
+            long s = 0;
+            while (head) {
+                s = s * 10 + head->value;
+                head = head->next;
+            }
+            return s;   /* 54321 */
+        }
+    "#,
+        54321,
+    );
+}
+
+#[test]
+fn doubles_and_conversions() {
+    expect(
+        r#"
+        long main(void) {
+            double x = 1.5;
+            double y = x * 4.0 + 1.0;   /* 7.0 */
+            int i = (int)y;
+            double z = i / 2;            /* int division: 3 */
+            return (long)(y + z);        /* 10 */
+        }
+    "#,
+        10,
+    );
+}
+
+#[test]
+fn logical_short_circuit() {
+    expect(
+        r#"
+        long g = 0;
+        long bump(void) { g = g + 1; return 1; }
+        long main(void) {
+            long a = 0 && bump();   /* bump not called */
+            long b = 1 || bump();   /* bump not called */
+            long c = 1 && bump();   /* called */
+            return g * 100 + a * 10 + b + c;  /* 1*100 + 0 + 1 + 1 */
+        }
+    "#,
+        102,
+    );
+}
+
+#[test]
+fn conditional_operator() {
+    expect(
+        r#"
+        long max(long a, long b) { return a > b ? a : b; }
+        long main(void) { return max(3, 9) * max(10, 2); }
+    "#,
+        90,
+    );
+}
+
+#[test]
+fn conditional_with_side_effects_evaluates_one_arm() {
+    expect(
+        r#"
+        long g = 0;
+        long inc(long v) { g = g + 1; return v; }
+        long main(void) {
+            long r = 1 ? inc(5) : inc(7);
+            return g * 10 + r;
+        }
+    "#,
+        15,
+    );
+}
+
+#[test]
+fn globals_and_functions() {
+    expect(
+        r#"
+        long counter = 0;
+        int table[16];
+        void tick(void) { counter += 1; }
+        long main(void) {
+            for (int i = 0; i < 16; i += 1) table[i] = i;
+            tick(); tick(); tick();
+            return counter * 100 + table[5];
+        }
+    "#,
+        305,
+    );
+}
+
+#[test]
+fn char_and_shift_ops() {
+    expect(
+        r#"
+        long main(void) {
+            long x = 'A';               /* 65 */
+            long y = (x << 2) | 3;      /* 263 */
+            long z = y >> 1;            /* 131 */
+            return z ^ 2;               /* 129 */
+        }
+    "#,
+        129,
+    );
+}
+
+#[test]
+fn sizeof_values() {
+    expect(
+        r#"
+        struct s { char c; long l; int i; };
+        long main(void) {
+            return sizeof(char) + sizeof(int) * 10 + sizeof(long) * 100
+                 + sizeof(double) * 1000 + sizeof(struct s) * 10000;
+        }
+    "#,
+        1 + 40 + 800 + 8000 + 240000,
+    );
+}
+
+#[test]
+fn multidim_arrays() {
+    expect(
+        r#"
+        int grid[4][8];
+        long main(void) {
+            for (int i = 0; i < 4; i += 1)
+                for (int j = 0; j < 8; j += 1)
+                    grid[i][j] = i * 8 + j;
+            return grid[3][7];
+        }
+    "#,
+        31,
+    );
+}
+
+#[test]
+fn memcpy_via_struct_and_print() {
+    let (ret, output) = run_at(
+        r#"
+        long main(void) {
+            print_i64(42);
+            print_i64(-7);
+            print_f64(2.5);
+            return 0;
+        }
+    "#,
+        OptLevel::O3,
+    );
+    assert_eq!(ret, 0);
+    assert_eq!(output, vec!["42", "-7", "2.500000"]);
+}
+
+#[test]
+fn inttoptr_roundtrip_works_uninstrumented() {
+    // The §4.4 pattern: cast a pointer to long and back, then dereference.
+    expect(
+        r#"
+        long main(void) {
+            long *p = (long*)malloc(16);
+            *p = 99;
+            long addr = (long)p;
+            long *q = (long*)addr;
+            return *q;
+        }
+    "#,
+        99,
+    );
+}
+
+#[test]
+fn function_declaration_then_definition() {
+    expect(
+        r#"
+        long helper(long x);
+        long main(void) { return helper(4); }
+        long helper(long x) { return x * x; }
+    "#,
+        16,
+    );
+}
+
+#[test]
+fn negative_numbers_and_unary() {
+    expect(
+        r#"
+        long main(void) {
+            long a = -5;
+            long b = !a;        /* 0 */
+            long c = !b;        /* 1 */
+            long d = ~0;        /* -1 */
+            return a * 100 + b * 10 + c + d;  /* -500 + 0 + 1 - 1 */
+        }
+    "#,
+        -500,
+    );
+}
+
+#[test]
+fn comparison_chains() {
+    expect(
+        r#"
+        long main(void) {
+            long n = 0;
+            for (long i = 0; i < 20; i += 1) {
+                if (i >= 5 && i <= 10 || i == 15) n += 1;
+            }
+            return n;  /* 6 + 1 */
+        }
+    "#,
+        7,
+    );
+}
+
+#[test]
+fn o3_actually_optimizes() {
+    let src = r#"
+        long main(void) {
+            long s = 0;
+            for (int i = 0; i < 50; i += 1) s += i;
+            return s;
+        }
+    "#;
+    let mut m0 = cfront::compile(src).unwrap();
+    Pipeline::new(OptLevel::O0).run(&mut m0);
+    let mut m3 = cfront::compile(src).unwrap();
+    Pipeline::new(OptLevel::O3).run(&mut m3);
+    let count = |m: &mir::Module| -> usize {
+        m.functions.iter().map(|f| f.live_instr_count()).sum()
+    };
+    assert!(count(&m3) < count(&m0), "O3 ({}) should shrink O0 ({})", count(&m3), count(&m0));
+    // And all memory traffic for the locals is gone.
+    let mem_ops = m3
+        .functions
+        .iter()
+        .flat_map(|f| f.blocks.iter().flat_map(|b| b.instrs.iter().map(|&i| &f.instrs[i.index()].kind)))
+        .filter(|k| k.accesses_memory())
+        .count();
+    assert_eq!(mem_ops, 0);
+}
+
+#[test]
+fn uninstrumented_marker_propagates() {
+    let m = cfront::compile("uninstrumented long lib(long x) { return x; } long main(void) { return lib(3); }")
+        .unwrap();
+    assert!(m.function_by_name("lib").unwrap().1.attrs.uninstrumented);
+    assert!(!m.function_by_name("main").unwrap().1.attrs.uninstrumented);
+}
+
+#[test]
+fn hidden_size_global_attrs() {
+    let m = cfront::compile("__hidden_size int arr[64];\n__libglobal int libg[8];\nlong main(void){ return 0; }")
+        .unwrap();
+    let (_, g) = m.global_by_name("arr").unwrap();
+    assert!(g.attrs.size_unknown);
+    assert_eq!(g.ty.size_of(), 256, "real size stays visible to the loader");
+    assert!(m.global_by_name("libg").unwrap().1.attrs.uninstrumented_lib);
+}
+
+#[test]
+fn compound_assignment_operators() {
+    expect(
+        r#"
+        long main(void) {
+            long x = 10;
+            x += 5; x -= 3; x *= 4; x /= 6;  /* ((10+5-3)*4)/6 = 8 */
+            return x;
+        }
+    "#,
+        8,
+    );
+}
+
+#[test]
+fn byte_level_access() {
+    expect(
+        r#"
+        long main(void) {
+            long v = 0x0102030405060708;
+            char *bytes = (char*)&v;
+            return bytes[0] + bytes[7] * 100;  /* little endian: 8 + 1*100 */
+        }
+    "#,
+        108,
+    );
+}

@@ -1,0 +1,247 @@
+//! `mi` — the MemInstrument-RS command line.
+//!
+//! Mirrors the role of the paper artifact's compiler plugin: point it at a
+//! (mini-)C file and compile, instrument, inspect, or execute it.
+//!
+//! ```text
+//! mi run   prog.c [options]     compile + instrument + execute main()
+//! mi ir    prog.c [options]     print the optimized (instrumented) IR
+//! mi check prog.c               run under all three mechanisms, summarize
+//! mi stats prog.c [options]     static + dynamic instrumentation statistics
+//!
+//! options:
+//!   --mech softbound|lowfat|redzone|none    mechanism (default softbound)
+//!   --ep early|scalar|vectorizer            extension point (default vectorizer)
+//!   --O0                                    disable the optimization pipeline
+//!   --mode full|invariants                  -mi-mode= (default full)
+//!   --no-opt-dominance                      disable §5.3 check elimination
+//!   --narrow                                Appendix-B member-bounds narrowing
+//!   --wrapper-checks                        enable Figure-6 wrapper checks
+//! ```
+
+use std::process::ExitCode;
+
+use meminstrument::runtime::{compile, compile_baseline, BuildOptions};
+use meminstrument::{Mechanism, MiConfig, MiMode};
+use memvm::VmConfig;
+use mir::pipeline::{ExtensionPoint, OptLevel};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: mi <run|ir|check|stats> <file.c> [options]");
+    eprintln!("       (see `crates/cli/src/main.rs` header for options)");
+    ExitCode::from(2)
+}
+
+struct Options {
+    mech: Option<Mechanism>,
+    opts: BuildOptions,
+    config: MiConfig,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut mech = Some(Mechanism::SoftBound);
+    let mut ep = ExtensionPoint::VectorizerStart;
+    let mut opt = OptLevel::O3;
+    let mut mode = MiMode::Full;
+    let mut dominance = true;
+    let mut narrow = false;
+    let mut wrappers = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--mech" => {
+                mech = match it.next().map(String::as_str) {
+                    Some("softbound") | Some("sb") => Some(Mechanism::SoftBound),
+                    Some("lowfat") | Some("lf") => Some(Mechanism::LowFat),
+                    Some("redzone") | Some("rz") => Some(Mechanism::RedZone),
+                    Some("none") => None,
+                    other => return Err(format!("bad --mech {other:?}")),
+                }
+            }
+            "--ep" => {
+                ep = match it.next().map(String::as_str) {
+                    Some("early") => ExtensionPoint::ModuleOptimizerEarly,
+                    Some("scalar") => ExtensionPoint::ScalarOptimizerLate,
+                    Some("vectorizer") | Some("vec") => ExtensionPoint::VectorizerStart,
+                    other => return Err(format!("bad --ep {other:?}")),
+                }
+            }
+            "--O0" => opt = OptLevel::O0,
+            "--mode" => {
+                mode = match it.next().map(String::as_str) {
+                    Some("full") => MiMode::Full,
+                    Some("invariants") | Some("geninvariants") => MiMode::GenInvariantsOnly,
+                    other => return Err(format!("bad --mode {other:?}")),
+                }
+            }
+            "--no-opt-dominance" => dominance = false,
+            "--narrow" => narrow = true,
+            "--wrapper-checks" => wrappers = true,
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    let mut config = MiConfig::new(mech.unwrap_or(Mechanism::SoftBound));
+    config.mode = mode;
+    config.opt_dominance = dominance;
+    config.sb_narrow_member_bounds = narrow;
+    config.sb_wrapper_checks = wrappers;
+    Ok(Options { mech, opts: BuildOptions { opt, ep }, config })
+}
+
+fn frontend(path: &str) -> Result<mir::Module, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    cfront::compile(&src).map_err(|e| format!("{path}:{e}"))
+}
+
+fn build(module: mir::Module, o: &Options) -> meminstrument::CompiledProgram {
+    match o.mech {
+        None => compile_baseline(module, o.opts),
+        Some(_) => compile(module, &o.config, o.opts),
+    }
+}
+
+fn cmd_run(path: &str, o: &Options) -> ExitCode {
+    let module = match frontend(path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let prog = build(module, o);
+    match prog.run_main(VmConfig::default()) {
+        Ok(out) => {
+            for line in &out.output {
+                println!("{line}");
+            }
+            let ret = out.ret.map(|v| v.as_int() as i64).unwrap_or(0);
+            eprintln!(
+                "[mi] exit {ret}, cost {}, {} checks ({} wide)",
+                out.stats.cost_total, out.stats.checks_executed, out.stats.checks_wide
+            );
+            ExitCode::from((ret & 0xFF) as u8)
+        }
+        Err(t) => {
+            eprintln!("[mi] {t}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_ir(path: &str, o: &Options) -> ExitCode {
+    match frontend(path) {
+        Ok(module) => {
+            let prog = build(module, o);
+            print!("{}", mir::printer::print_module(&prog.module));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_check(path: &str) -> ExitCode {
+    let module = match frontend(path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{path}:");
+    let base = compile_baseline(module.clone(), BuildOptions::default());
+    match base.run_main(VmConfig::default()) {
+        Ok(out) => println!("  baseline : ok (exit {})", out.ret.map(|v| v.as_int() as i64).unwrap_or(0)),
+        Err(t) => println!("  baseline : {t}"),
+    }
+    let mut verdict = 0;
+    for mech in [Mechanism::SoftBound, Mechanism::LowFat, Mechanism::RedZone] {
+        let prog = compile(module.clone(), &MiConfig::new(mech), BuildOptions::default());
+        match prog.run_main(VmConfig::default()) {
+            Ok(out) => println!(
+                "  {:9}: ok ({} checks, {:.2}% wide)",
+                mech.name(),
+                out.stats.checks_executed,
+                out.stats.wide_check_percent()
+            ),
+            Err(t) => {
+                println!("  {:9}: {t}", mech.name());
+                verdict = 1;
+            }
+        }
+    }
+    ExitCode::from(verdict)
+}
+
+fn cmd_stats(path: &str, o: &Options) -> ExitCode {
+    let module = match frontend(path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let base = compile_baseline(module.clone(), o.opts);
+    let base_size: usize = base.module.functions.iter().map(|f| f.live_instr_count()).sum();
+    let prog = build(module, o);
+    let size: usize = prog.module.functions.iter().map(|f| f.live_instr_count()).sum();
+    println!("static:");
+    println!("  code size        : {size} instrs ({:.2}x of baseline {base_size})", size as f64 / base_size.max(1) as f64);
+    let s = &prog.stats;
+    println!("  checks discovered: {}", s.checks_discovered);
+    println!("  checks eliminated: {} ({:.1}%)", s.checks_eliminated, s.eliminated_percent());
+    println!("  checks placed    : {}", s.checks_placed);
+    println!("  invariants placed: {}", s.invariants_placed);
+    println!("  metadata loads   : {}", s.metadata_loads_placed);
+    println!("  metadata stores  : {}", s.metadata_stores_placed);
+    println!("  allocas replaced : {}", s.allocas_replaced);
+    println!("  globals mirrored : {}", s.globals_mirrored);
+    match (prog.run_main(VmConfig::default()), base.run_main(VmConfig::default())) {
+        (Ok(out), Ok(b)) => {
+            let d = &out.stats;
+            println!("dynamic:");
+            println!("  cost             : {} ({:.2}x of baseline {})", d.cost_total, d.cost_total as f64 / b.stats.cost_total as f64, b.stats.cost_total);
+            println!("  checks executed  : {} ({:.2}% wide)", d.checks_executed, d.wide_check_percent());
+            println!("  invariant checks : {}", d.invariant_checks_executed);
+            println!("  metadata ops     : {} loads, {} stores", d.metadata_loads, d.metadata_stores);
+            println!("  mapped memory    : {} KiB ({:.2}x of baseline)", d.mapped_bytes / 1024, d.mapped_bytes as f64 / b.stats.mapped_bytes.max(1) as f64);
+            ExitCode::SUCCESS
+        }
+        (Err(t), _) => {
+            println!("dynamic: trapped — {t}");
+            ExitCode::FAILURE
+        }
+        (_, Err(t)) => {
+            println!("baseline trapped — {t}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, rest)) => (c.as_str(), rest),
+        None => return usage(),
+    };
+    let (path, opt_args) = match rest.split_first() {
+        Some((p, o)) if !p.starts_with("--") => (p.as_str(), o),
+        _ => return usage(),
+    };
+    let options = match parse_options(opt_args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    match cmd {
+        "run" => cmd_run(path, &options),
+        "ir" => cmd_ir(path, &options),
+        "check" => cmd_check(path),
+        "stats" => cmd_stats(path, &options),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,107 @@
+//! End-to-end tests of the `mi` binary.
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn mi() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mi"))
+}
+
+fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("mi_cli_test_{name}"));
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(content.as_bytes()).unwrap();
+    path
+}
+
+const BUGGY: &str = r#"
+long main(void) {
+    long *p = (long*)malloc(8 * sizeof(long));
+    p[8] = 1;
+    print_i64(7);
+    return 0;
+}
+"#;
+
+const CLEAN: &str = r#"
+long main(void) {
+    long a[4];
+    for (long i = 0; i < 4; i += 1) a[i] = i;
+    print_i64(a[0] + a[3]);
+    return 3;
+}
+"#;
+
+#[test]
+fn run_clean_program_prints_and_exits() {
+    let path = write_temp("clean.c", CLEAN);
+    let out = mi().args(["run", path.to_str().unwrap(), "--mech", "lowfat"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(3));
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "3");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("checks"), "{err}");
+}
+
+#[test]
+fn run_buggy_program_reports_violation() {
+    let path = write_temp("buggy.c", BUGGY);
+    let out = mi().args(["run", path.to_str().unwrap(), "--mech", "softbound"]).output().unwrap();
+    assert_ne!(out.status.code(), Some(0));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("softbound: deref-check violation"), "{err}");
+}
+
+#[test]
+fn check_summarizes_all_mechanisms() {
+    let path = write_temp("check.c", BUGGY);
+    let out = mi().args(["check", path.to_str().unwrap()]).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in ["baseline", "softbound", "lowfat", "redzone"] {
+        assert!(stdout.contains(needle), "{stdout}");
+    }
+    // p[8] is inside low-fat padding: only exact bounds and the red zone
+    // report, so the overall verdict is non-zero.
+    assert_ne!(out.status.code(), Some(0));
+}
+
+#[test]
+fn ir_prints_instrumented_module() {
+    let path = write_temp("ir.c", CLEAN);
+    let out = mi()
+        .args(["ir", path.to_str().unwrap(), "--mech", "lowfat", "--ep", "early"])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("define i64 @main"), "{stdout}");
+    assert!(stdout.contains("__lf_check"), "{stdout}");
+    // The printed module must parse back.
+    mir::parser::parse_module(&stdout).unwrap();
+}
+
+#[test]
+fn stats_reports_static_and_dynamic() {
+    let path = write_temp("stats.c", CLEAN);
+    let out = mi().args(["stats", path.to_str().unwrap(), "--mech", "softbound"]).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("checks placed"), "{stdout}");
+    assert!(stdout.contains("cost"), "{stdout}");
+    assert!(out.status.success());
+}
+
+#[test]
+fn bad_option_reports_usage() {
+    let path = write_temp("usage.c", CLEAN);
+    let out = mi().args(["run", path.to_str().unwrap(), "--mech", "bogus"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("bad --mech"), "{err}");
+}
+
+#[test]
+fn frontend_error_is_reported_with_location() {
+    let path = write_temp("broken.c", "long main(void) {\n  return nope;\n}");
+    let out = mi().args(["run", path.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("line 2"), "{err}");
+}

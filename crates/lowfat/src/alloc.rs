@@ -1,0 +1,286 @@
+//! Low-fat heap and stack allocators.
+//!
+//! Both allocators hand out size-class-aligned objects inside the low-fat
+//! regions. The heap allocator keeps a free list per region; the stack
+//! allocator bumps per-region watermarks that are rolled back wholesale by
+//! `save`/`restore` tokens (mirroring the NDSS'17 stack scheme, where stack
+//! frames live in aliased low-fat memory and unwind in LIFO order).
+//!
+//! Heap and stack coexist in the same regions without colliding: the heap
+//! bumps *up* from the bottom of each region, the stack bumps *down* from
+//! the top.
+
+use crate::layout::{alloc_size, class_for_request, NUM_REGIONS, REGION_SHIFT};
+
+/// Result of a successful allocation: the object address and the padded
+/// (class) size the embedder must map.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Allocation {
+    /// Base address of the object (size-class aligned).
+    pub addr: u64,
+    /// The class size actually reserved.
+    pub class_size: u64,
+}
+
+#[derive(Clone, Debug)]
+struct RegionState {
+    /// Next object index for upward (heap) bumping; starts at 1 so that no
+    /// object sits exactly at the region base.
+    next_up: u64,
+    /// Next object index for downward (stack) bumping, exclusive.
+    next_down: u64,
+    /// Free list of object addresses (heap only).
+    free: Vec<u64>,
+}
+
+impl RegionState {
+    fn new(region: u64) -> RegionState {
+        let objects = (1u64 << REGION_SHIFT) / alloc_size(region);
+        RegionState { next_up: 1, next_down: objects, free: Vec::new() }
+    }
+}
+
+/// The low-fat heap allocator (one free list per size class).
+#[derive(Clone, Debug)]
+pub struct LowFatHeap {
+    regions: Vec<RegionState>,
+    /// Total successful low-fat allocations.
+    pub alloc_count: u64,
+    /// Requests that did not fit any class (fell back to the default
+    /// allocator — the Table 2 `429mcf` path).
+    pub fallback_count: u64,
+}
+
+impl Default for LowFatHeap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LowFatHeap {
+    /// Creates an empty heap.
+    pub fn new() -> LowFatHeap {
+        let regions = (1..=NUM_REGIONS).map(RegionState::new).collect();
+        LowFatHeap { regions, alloc_count: 0, fallback_count: 0 }
+    }
+
+    /// Allocates `size` bytes; `None` means the request cannot be served
+    /// low-fat (too large or region exhausted) and the caller must fall back
+    /// to the standard allocator.
+    pub fn alloc(&mut self, size: u64) -> Option<Allocation> {
+        let Some(region) = class_for_request(size) else {
+            self.fallback_count += 1;
+            return None;
+        };
+        let class_size = alloc_size(region);
+        let st = &mut self.regions[(region - 1) as usize];
+        let addr = if let Some(a) = st.free.pop() {
+            a
+        } else {
+            if st.next_up >= st.next_down {
+                self.fallback_count += 1;
+                return None; // region exhausted
+            }
+            let a = (region << REGION_SHIFT) + st.next_up * class_size;
+            st.next_up += 1;
+            a
+        };
+        self.alloc_count += 1;
+        Some(Allocation { addr, class_size })
+    }
+
+    /// Returns an object to its region's free list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not a low-fat object base produced by this
+    /// allocator's layout (callers route non-low-fat frees to the default
+    /// allocator first).
+    pub fn free(&mut self, addr: u64) {
+        let region = addr >> REGION_SHIFT;
+        assert!(
+            (1..=NUM_REGIONS).contains(&region),
+            "free of non-low-fat pointer 0x{addr:x}"
+        );
+        let class_size = alloc_size(region);
+        assert_eq!(addr & (class_size - 1), 0, "free of interior pointer 0x{addr:x}");
+        self.regions[(region - 1) as usize].free.push(addr);
+    }
+}
+
+/// Rollback token for the low-fat stack.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct StackToken(usize);
+
+impl StackToken {
+    /// Raw representation (for passing through a VM register).
+    pub fn as_raw(self) -> u64 {
+        self.0 as u64
+    }
+
+    /// Reconstructs a token from its raw representation.
+    pub fn from_raw(raw: u64) -> StackToken {
+        StackToken(raw as usize)
+    }
+}
+
+/// The low-fat stack allocator.
+#[derive(Clone, Debug, Default)]
+pub struct LowFatStack {
+    /// Log of (region, previous `next_down`) entries for rollback.
+    log: Vec<(u64, u64)>,
+    /// Downward watermarks per region, lazily initialized.
+    marks: Vec<Option<u64>>,
+}
+
+impl LowFatStack {
+    /// Creates an empty stack allocator.
+    pub fn new() -> LowFatStack {
+        LowFatStack { log: Vec::new(), marks: vec![None; NUM_REGIONS as usize] }
+    }
+
+    /// Captures the current stack height.
+    pub fn save(&self) -> StackToken {
+        StackToken(self.log.len())
+    }
+
+    /// Allocates `size` bytes of stack space; `None` falls back to the
+    /// regular (unprotected) stack.
+    pub fn alloc(&mut self, size: u64) -> Option<Allocation> {
+        let region = class_for_request(size)?;
+        let class_size = alloc_size(region);
+        let idx = (region - 1) as usize;
+        let objects = (1u64 << REGION_SHIFT) / class_size;
+        let cur = self.marks[idx].unwrap_or(objects);
+        if cur <= objects / 2 {
+            return None; // stack half exhausted; don't collide with heap
+        }
+        let new = cur - 1;
+        self.log.push((region, cur));
+        self.marks[idx] = Some(new);
+        Some(Allocation { addr: (region << REGION_SHIFT) + new * class_size, class_size })
+    }
+
+    /// Rolls back all allocations made after `token` was taken.
+    pub fn restore(&mut self, token: StackToken) {
+        while self.log.len() > token.0 {
+            let (region, prev) = self.log.pop().expect("log entry");
+            self.marks[(region - 1) as usize] = Some(prev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{base_of, is_low_fat, size_of_ptr};
+
+    #[test]
+    fn heap_allocations_are_aligned_and_low_fat() {
+        let mut h = LowFatHeap::new();
+        for size in [1u64, 8, 16, 24, 100, 4000, 1 << 20] {
+            let a = h.alloc(size).unwrap();
+            assert!(is_low_fat(a.addr), "0x{:x}", a.addr);
+            assert_eq!(a.addr % a.class_size, 0);
+            assert!(a.class_size > size);
+            assert_eq!(base_of(a.addr), a.addr);
+            assert_eq!(size_of_ptr(a.addr), Some(a.class_size));
+        }
+    }
+
+    #[test]
+    fn interior_pointers_recover_base() {
+        let mut h = LowFatHeap::new();
+        let a = h.alloc(100).unwrap(); // class 128
+        assert_eq!(a.class_size, 128);
+        for off in [0u64, 1, 63, 100, 127] {
+            assert_eq!(base_of(a.addr + off), a.addr);
+        }
+    }
+
+    #[test]
+    fn distinct_allocations_never_overlap() {
+        let mut h = LowFatHeap::new();
+        let mut seen: Vec<(u64, u64)> = Vec::new();
+        for i in 0..100u64 {
+            let size = (i % 60) + 1;
+            let a = h.alloc(size).unwrap();
+            for &(b, s) in &seen {
+                assert!(a.addr + a.class_size <= b || b + s <= a.addr, "overlap");
+            }
+            seen.push((a.addr, a.class_size));
+        }
+    }
+
+    #[test]
+    fn free_list_reuse() {
+        let mut h = LowFatHeap::new();
+        let a = h.alloc(50).unwrap();
+        h.free(a.addr);
+        let b = h.alloc(40).unwrap(); // same class (64)
+        assert_eq!(a.addr, b.addr);
+    }
+
+    #[test]
+    fn oversized_requests_fall_back() {
+        let mut h = LowFatHeap::new();
+        assert!(h.alloc(1 << 30).is_none()); // 1 GiB + padding byte
+        assert!(h.alloc(3 << 30).is_none());
+        assert_eq!(h.fallback_count, 2);
+        assert!(h.alloc(8).is_some());
+        assert_eq!(h.alloc_count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-low-fat")]
+    fn free_of_foreign_pointer_panics() {
+        let mut h = LowFatHeap::new();
+        h.free(0xE000_0000_0000);
+    }
+
+    #[test]
+    fn stack_lifo_discipline() {
+        let mut s = LowFatStack::new();
+        let t0 = s.save();
+        let a = s.alloc(24).unwrap();
+        let b = s.alloc(24).unwrap();
+        assert_ne!(a.addr, b.addr);
+        s.restore(t0);
+        let c = s.alloc(24).unwrap();
+        assert_eq!(c.addr, a.addr, "restore must reclaim the frame");
+    }
+
+    #[test]
+    fn nested_frames() {
+        let mut s = LowFatStack::new();
+        let outer = s.save();
+        let a = s.alloc(100).unwrap();
+        let inner = s.save();
+        let _b = s.alloc(100).unwrap();
+        s.restore(inner);
+        let b2 = s.alloc(100).unwrap();
+        assert_ne!(b2.addr, a.addr);
+        s.restore(outer);
+        let a2 = s.alloc(100).unwrap();
+        assert_eq!(a2.addr, a.addr);
+    }
+
+    #[test]
+    fn stack_and_heap_share_regions_without_collision() {
+        let mut h = LowFatHeap::new();
+        let mut s = LowFatStack::new();
+        let ha = h.alloc(24).unwrap();
+        let sa = s.alloc(24).unwrap();
+        assert_eq!(ha.class_size, sa.class_size);
+        assert!(sa.addr > ha.addr, "stack allocates from the top");
+        assert!(sa.addr - ha.addr >= sa.class_size);
+    }
+
+    #[test]
+    fn stack_allocations_are_low_fat() {
+        let mut s = LowFatStack::new();
+        let a = s.alloc(8).unwrap();
+        assert!(is_low_fat(a.addr));
+        assert_eq!(base_of(a.addr + 5), a.addr);
+    }
+}

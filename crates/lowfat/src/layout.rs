@@ -1,0 +1,141 @@
+//! Region layout arithmetic (Figures 3 and 4 of the paper).
+
+/// log2 of the smallest size class (16 bytes).
+pub const MIN_CLASS_LOG2: u32 = 4;
+/// log2 of the largest size class (1 GiB) — cf. §4.6: "it exceeds the
+/// largest region size, in our case 1 GiB".
+pub const MAX_CLASS_LOG2: u32 = 30;
+/// Shift from address to region index (regions are 4 GiB).
+pub const REGION_SHIFT: u32 = 32;
+/// Number of low-fat regions (region indices `1..=NUM_REGIONS`).
+pub const NUM_REGIONS: u64 = (MAX_CLASS_LOG2 - MIN_CLASS_LOG2 + 1) as u64;
+
+/// Region index of a pointer (`ptr >> 32`). Index 0 and indices above
+/// [`NUM_REGIONS`] are *not* low-fat.
+#[inline]
+pub fn region_of(ptr: u64) -> u64 {
+    ptr >> REGION_SHIFT
+}
+
+/// Whether `ptr` points into a low-fat region.
+#[inline]
+pub fn is_low_fat(ptr: u64) -> bool {
+    let r = region_of(ptr);
+    (1..=NUM_REGIONS).contains(&r)
+}
+
+/// Allocation size of region `region` (`1 <<(region + MIN_CLASS_LOG2 - 1)`).
+///
+/// # Panics
+///
+/// Panics if `region` is not a low-fat region index.
+#[inline]
+pub fn alloc_size(region: u64) -> u64 {
+    assert!((1..=NUM_REGIONS).contains(&region), "not a low-fat region: {region}");
+    1u64 << (region as u32 + MIN_CLASS_LOG2 - 1)
+}
+
+/// Base pointer of the object `ptr` points into (mask off the offset bits).
+///
+/// Only meaningful for low-fat pointers; returns `ptr` unchanged otherwise.
+#[inline]
+pub fn base_of(ptr: u64) -> u64 {
+    if !is_low_fat(ptr) {
+        return ptr;
+    }
+    let size = alloc_size(region_of(ptr));
+    ptr & !(size - 1)
+}
+
+/// (Padded) object size for a low-fat pointer; `None` if not low-fat.
+#[inline]
+pub fn size_of_ptr(ptr: u64) -> Option<u64> {
+    if is_low_fat(ptr) {
+        Some(alloc_size(region_of(ptr)))
+    } else {
+        None
+    }
+}
+
+/// The region whose size class can hold a request of `size` bytes *plus the
+/// one-byte one-past-the-end padding*, or `None` if the request exceeds the
+/// largest class.
+#[inline]
+pub fn class_for_request(size: u64) -> Option<u64> {
+    let padded = size.checked_add(1)?;
+    let log = 64 - (padded - 1).leading_zeros().min(63);
+    let log = log.max(MIN_CLASS_LOG2).max(1);
+    // log is ceil(log2(padded)) for padded > 1.
+    let log = if padded <= (1u64 << MIN_CLASS_LOG2) { MIN_CLASS_LOG2 } else { log };
+    if log > MAX_CLASS_LOG2 {
+        return None;
+    }
+    Some((log - MIN_CLASS_LOG2 + 1) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_size_table_matches_paper() {
+        assert_eq!(alloc_size(1), 16); // 2^4
+        assert_eq!(alloc_size(2), 32);
+        assert_eq!(alloc_size(NUM_REGIONS), 1 << 30); // 1 GiB
+        assert_eq!(NUM_REGIONS, 27);
+    }
+
+    #[test]
+    fn base_recovery() {
+        // An object of class 32 at base 2*2^32 + 5*32.
+        let base = (2u64 << REGION_SHIFT) + 5 * 32;
+        for off in 0..32 {
+            assert_eq!(base_of(base + off), base, "offset {off}");
+        }
+        // One past the padded object lands in the *next* object.
+        assert_eq!(base_of(base + 32), base + 32);
+    }
+
+    #[test]
+    fn non_low_fat_pointers() {
+        assert!(!is_low_fat(0));
+        assert!(!is_low_fat(0x1000)); // region 0
+        assert!(!is_low_fat(0xF000_0000_0000)); // stack area
+        assert!(is_low_fat(1 << REGION_SHIFT));
+        assert!(is_low_fat(27 << REGION_SHIFT));
+        assert!(!is_low_fat(28 << REGION_SHIFT));
+        assert_eq!(base_of(0x1234), 0x1234);
+        assert_eq!(size_of_ptr(0x1234), None);
+    }
+
+    #[test]
+    fn class_selection_includes_padding_byte() {
+        // 16 bytes + 1 padding byte no longer fit the 16-byte class.
+        assert_eq!(class_for_request(15), Some(1));
+        assert_eq!(class_for_request(16), Some(2));
+        assert_eq!(class_for_request(31), Some(2));
+        assert_eq!(class_for_request(32), Some(3));
+        assert_eq!(class_for_request(1), Some(1));
+        assert_eq!(class_for_request(0), Some(1));
+    }
+
+    #[test]
+    fn class_selection_rejects_oversized() {
+        // Exactly 1 GiB still fails because of the padding byte — this is
+        // the `429mcf` situation from Table 2.
+        assert_eq!(class_for_request(1 << 30), None);
+        assert_eq!(class_for_request((1 << 30) - 1), Some(27));
+        assert_eq!(class_for_request(u64::MAX), None);
+    }
+
+    #[test]
+    fn class_round_trips_with_alloc_size() {
+        for sz in [1u64, 8, 15, 16, 17, 100, 4096, 1 << 20, (1 << 30) - 1] {
+            let c = class_for_request(sz).unwrap();
+            assert!(alloc_size(c) > sz, "class {c} too small for {sz}");
+            if c > 1 {
+                assert!(alloc_size(c - 1) < sz + 1, "class {c} not minimal for {sz}");
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! Low-Fat Pointers: address-space layout and allocators.
+//!
+//! Implements the core idea of Duck & Yap's Low-Fat Pointers (CC'16; stack
+//! extension NDSS'17, globals extension 2018): the virtual address space is
+//! partitioned into *regions*, one per power-of-two size class, so that the
+//! base and size of an allocation are recoverable from the pointer value
+//! alone (Figures 3–5 of the paper):
+//!
+//! ```text
+//! region index = ptr >> 32          (which size class?)
+//! size         = 1 << (region + 3)  (16 B for region 1 … 1 GiB for region 27)
+//! base         = ptr & !(size - 1)  (objects are size-aligned)
+//! ```
+//!
+//! This crate is dependency-free and purely computational: allocators return
+//! addresses and sizes, and the embedder (the VM runtime environment) maps
+//! the memory. That separation keeps the arithmetic testable in isolation.
+//!
+//! Allocation requests are padded by one byte before size-class selection so
+//! that one-past-the-end pointers still decode to the same object (footnote
+//! 3 of the paper) — with the visible consequence that overflows into the
+//! padding are *not detected* (§4 of the paper; the `197parser` discussion).
+//!
+//! # Example
+//!
+//! ```
+//! use lowfat::{LowFatHeap, base_of, size_of_ptr};
+//!
+//! let mut heap = LowFatHeap::new();
+//! let alloc = heap.alloc(100).expect("fits a size class");
+//! assert_eq!(alloc.class_size, 128); // 100 (+1 padding byte) rounds up
+//!
+//! // Any interior pointer decodes back to the object:
+//! let interior = alloc.addr + 57;
+//! assert_eq!(base_of(interior), alloc.addr);
+//! assert_eq!(size_of_ptr(interior), Some(128));
+//! ```
+
+pub mod alloc;
+pub mod layout;
+
+pub use alloc::{LowFatHeap, LowFatStack, StackToken};
+pub use layout::{
+    alloc_size, base_of, class_for_request, is_low_fat, region_of, size_of_ptr, MAX_CLASS_LOG2,
+    MIN_CLASS_LOG2, NUM_REGIONS, REGION_SHIFT,
+};

@@ -1,0 +1,124 @@
+//! Instrumentation configuration, mirroring the artifact's command-line
+//! flags (§A.6 of the paper).
+
+/// Which memory-safety mechanism to apply (`-mi-config=`).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Mechanism {
+    /// SoftBound: disjoint metadata (trie + shadow stack).
+    SoftBound,
+    /// Low-Fat Pointers: size-class-partitioned address space.
+    LowFat,
+    /// Red-zone shadow memory around allocations (AddressSanitizer-style,
+    /// §2.1 of the paper). Detects adjacent overflows only: an access that
+    /// jumps past the red zone into another allocation goes unnoticed —
+    /// this is the class of incompleteness that motivated the paper's
+    /// choice of SoftBound and Low-Fat Pointers.
+    RedZone,
+}
+
+impl Mechanism {
+    /// Lower-case name used in reports and violation messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mechanism::SoftBound => "softbound",
+            Mechanism::LowFat => "lowfat",
+            Mechanism::RedZone => "redzone",
+        }
+    }
+}
+
+/// What the instrumentation generates (`-mi-mode=`).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum MiMode {
+    /// Full instrumentation: metadata propagation + dereference checks.
+    Full,
+    /// `geninvariants`: only metadata propagation and invariant
+    /// establishment — the configuration behind the "metadata"/"invariants
+    /// only" series of Figures 10 and 11.
+    GenInvariantsOnly,
+}
+
+/// The instrumentation configuration.
+#[derive(Clone, Debug)]
+pub struct MiConfig {
+    /// The mechanism.
+    pub mechanism: Mechanism,
+    /// Generation mode.
+    pub mode: MiMode,
+    /// Dominance-based redundant check elimination (`-mi-opt-dominance`,
+    /// §5.3). This is the "optimized" configuration of Figures 9–11.
+    pub opt_dominance: bool,
+    /// SoftBound: use a wide upper bound for external array declarations
+    /// without size information (`-mi-sb-size-zero-wide-upper`, §4.3).
+    /// When disabled, such globals get NULL bounds and accesses report
+    /// spurious violations.
+    pub sb_size_zero_wide_upper: bool,
+    /// SoftBound: give pointers minted by `inttoptr` wide bounds
+    /// (`-mi-sb-inttoptr-wide-bounds`, §4.4). When disabled they get NULL
+    /// bounds.
+    pub sb_inttoptr_wide_bounds: bool,
+    /// SoftBound: enable the additional safety checks inside libc wrappers
+    /// (Figure 6). The paper *disables* these for the runtime comparison
+    /// (§5.1.2), so the default is `false`.
+    pub sb_wrapper_checks: bool,
+    /// SoftBound: narrow bounds to the addressed struct member (Appendix B).
+    /// Detects intra-object overflows — and, exactly as the appendix warns,
+    /// produces false positives on legal idioms like `&P == &P.x` traversal.
+    /// Off by default (the paper argues automatic narrowing is unsound).
+    pub sb_narrow_member_bounds: bool,
+}
+
+impl MiConfig {
+    /// The paper's configuration basis for the given mechanism (§A.6):
+    /// full instrumentation, wide-bounds escape hatches on for SoftBound,
+    /// wrapper checks off, dominance optimization on.
+    pub fn new(mechanism: Mechanism) -> MiConfig {
+        MiConfig {
+            mechanism,
+            mode: MiMode::Full,
+            opt_dominance: true,
+            sb_size_zero_wide_upper: true,
+            sb_inttoptr_wide_bounds: true,
+            sb_wrapper_checks: false,
+            sb_narrow_member_bounds: false,
+        }
+    }
+
+    /// Same, but without the dominance optimization (the "unoptimized"
+    /// series of Figures 10/11).
+    pub fn unoptimized(mechanism: Mechanism) -> MiConfig {
+        MiConfig { opt_dominance: false, ..MiConfig::new(mechanism) }
+    }
+
+    /// Metadata/invariant propagation only (the "metadata" series of
+    /// Figures 10/11; `-mi-mode=geninvariants`).
+    pub fn invariants_only(mechanism: Mechanism) -> MiConfig {
+        MiConfig { mode: MiMode::GenInvariantsOnly, ..MiConfig::new(mechanism) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_basis_defaults() {
+        let c = MiConfig::new(Mechanism::SoftBound);
+        assert_eq!(c.mode, MiMode::Full);
+        assert!(c.opt_dominance);
+        assert!(c.sb_size_zero_wide_upper);
+        assert!(c.sb_inttoptr_wide_bounds);
+        assert!(!c.sb_wrapper_checks, "§5.1.2 disables wrapper checks");
+    }
+
+    #[test]
+    fn variants() {
+        assert!(!MiConfig::unoptimized(Mechanism::LowFat).opt_dominance);
+        assert_eq!(
+            MiConfig::invariants_only(Mechanism::LowFat).mode,
+            MiMode::GenInvariantsOnly
+        );
+        assert_eq!(Mechanism::LowFat.name(), "lowfat");
+        assert_eq!(Mechanism::SoftBound.name(), "softbound");
+    }
+}

@@ -1,0 +1,147 @@
+//! The runtime-library interface: names, signatures, and effect contracts
+//! of every host function the instrumentation may call.
+//!
+//! The instrumentation pass *declares* these in the module; the runtime
+//! environment ([`crate::runtime`]) *implements* them in the VM. Keeping
+//! the list in one place guarantees the two sides agree.
+//!
+//! Effect contracts drive the optimizer (cf. [`mir::module::Effect`]):
+//! metadata reads are `ReadOnly` (dead ones vanish — the §5.4 effect),
+//! low-fat base recovery is `Pure` (hoistable, CSE-able — "only recalculate
+//! the base pointer"), and everything that can abort or write is
+//! `Effectful` and therefore an optimization barrier (§5.5).
+
+use mir::module::{Effect, HostDecl, Module};
+use mir::types::Type;
+
+/// SoftBound dereference check.
+pub const SB_CHECK: &str = "__sb_check";
+/// SoftBound trie lookup, base component.
+pub const SB_TRIE_GET_BASE: &str = "__sb_trie_get_base";
+/// SoftBound trie lookup, bound component.
+pub const SB_TRIE_GET_BOUND: &str = "__sb_trie_get_bound";
+/// SoftBound trie update.
+pub const SB_TRIE_SET: &str = "__sb_trie_set";
+/// SoftBound metadata copy for `memcpy` (Figure 6's `copy_metadata`).
+pub const SB_MEMCPY_META: &str = "__sb_memcpy_meta";
+/// SoftBound metadata invalidation for `memset` over pointer slots.
+pub const SB_MEMSET_META: &str = "__sb_memset_meta";
+/// Shadow stack: push a frame with N argument slots.
+pub const SB_SS_PUSH: &str = "__sb_ss_push_frame";
+/// Shadow stack: pop the top frame.
+pub const SB_SS_POP: &str = "__sb_ss_pop_frame";
+/// Shadow stack: write argument bounds (index, base, bound).
+pub const SB_SS_SET_ARG: &str = "__sb_ss_set_arg";
+/// Shadow stack: read argument base.
+pub const SB_SS_GET_ARG_BASE: &str = "__sb_ss_get_arg_base";
+/// Shadow stack: read argument bound.
+pub const SB_SS_GET_ARG_BOUND: &str = "__sb_ss_get_arg_bound";
+/// Shadow stack: write return-value bounds.
+pub const SB_SS_SET_RET: &str = "__sb_ss_set_ret";
+/// Shadow stack: read return-value base.
+pub const SB_SS_GET_RET_BASE: &str = "__sb_ss_get_ret_base";
+/// Shadow stack: read return-value bound.
+pub const SB_SS_GET_RET_BOUND: &str = "__sb_ss_get_ret_bound";
+
+/// Low-Fat dereference check (Figure 5).
+pub const LF_CHECK: &str = "__lf_check";
+/// Low-Fat escape invariant check (§3.3).
+pub const LF_INVARIANT: &str = "__lf_invariant";
+/// Low-Fat base recovery from a pointer value.
+pub const LF_BASE: &str = "__lf_base";
+/// Low-Fat stack allocation.
+pub const LF_STACK_ALLOC: &str = "__lf_stack_alloc";
+/// Low-Fat stack watermark save.
+pub const LF_STACK_SAVE: &str = "__lf_stack_save";
+/// Low-Fat stack watermark restore.
+pub const LF_STACK_RESTORE: &str = "__lf_stack_restore";
+
+/// Declares the SoftBound runtime interface in `m`.
+pub fn declare_softbound(m: &mut Module) {
+    let p = Type::Ptr;
+    let i = Type::I64;
+    let v = Type::Void;
+    let d = |params: Vec<Type>, ret: Type, effect: Effect| HostDecl { params, ret, effect };
+    m.declare_host(SB_CHECK, d(vec![p.clone(), i.clone(), p.clone(), p.clone()], v.clone(), Effect::Effectful));
+    m.declare_host(SB_TRIE_GET_BASE, d(vec![p.clone()], p.clone(), Effect::ReadOnly));
+    m.declare_host(SB_TRIE_GET_BOUND, d(vec![p.clone()], p.clone(), Effect::ReadOnly));
+    m.declare_host(SB_TRIE_SET, d(vec![p.clone(), p.clone(), p.clone()], v.clone(), Effect::Effectful));
+    m.declare_host(SB_MEMCPY_META, d(vec![p.clone(), p.clone(), i.clone()], v.clone(), Effect::Effectful));
+    m.declare_host(SB_MEMSET_META, d(vec![p.clone(), i.clone()], v.clone(), Effect::Effectful));
+    m.declare_host(SB_SS_PUSH, d(vec![i.clone()], v.clone(), Effect::Effectful));
+    m.declare_host(SB_SS_POP, d(vec![], v.clone(), Effect::Effectful));
+    m.declare_host(SB_SS_SET_ARG, d(vec![i.clone(), p.clone(), p.clone()], v.clone(), Effect::Effectful));
+    m.declare_host(SB_SS_GET_ARG_BASE, d(vec![i.clone()], p.clone(), Effect::ReadOnly));
+    m.declare_host(SB_SS_GET_ARG_BOUND, d(vec![i.clone()], p.clone(), Effect::ReadOnly));
+    m.declare_host(SB_SS_SET_RET, d(vec![p.clone(), p.clone()], v, Effect::Effectful));
+    m.declare_host(SB_SS_GET_RET_BASE, d(vec![], p.clone(), Effect::ReadOnly));
+    m.declare_host(SB_SS_GET_RET_BOUND, d(vec![], p, Effect::ReadOnly));
+}
+
+/// Red-zone (ASan-style) dereference check against shadow memory.
+pub const RZ_CHECK: &str = "__rz_check";
+/// Red-zone stack allocation (object + poisoned guard zones).
+pub const RZ_STACK_ALLOC: &str = "__rz_stack_alloc";
+/// Red-zone stack watermark save.
+pub const RZ_STACK_SAVE: &str = "__rz_stack_save";
+/// Red-zone stack watermark restore.
+pub const RZ_STACK_RESTORE: &str = "__rz_stack_restore";
+
+/// Declares the red-zone runtime interface in `m`.
+pub fn declare_redzone(m: &mut Module) {
+    let p = Type::Ptr;
+    let i = Type::I64;
+    let v = Type::Void;
+    let d = |params: Vec<Type>, ret: Type, effect: Effect| HostDecl { params, ret, effect };
+    m.declare_host(RZ_CHECK, d(vec![p.clone(), i.clone()], v.clone(), Effect::Effectful));
+    m.declare_host(RZ_STACK_ALLOC, d(vec![i.clone()], p, Effect::Effectful));
+    m.declare_host(RZ_STACK_SAVE, d(vec![], i.clone(), Effect::Effectful));
+    m.declare_host(RZ_STACK_RESTORE, d(vec![i], v, Effect::Effectful));
+}
+
+/// Declares the Low-Fat runtime interface in `m`.
+pub fn declare_lowfat(m: &mut Module) {
+    let p = Type::Ptr;
+    let i = Type::I64;
+    let v = Type::Void;
+    let d = |params: Vec<Type>, ret: Type, effect: Effect| HostDecl { params, ret, effect };
+    m.declare_host(LF_CHECK, d(vec![p.clone(), i.clone(), p.clone()], v.clone(), Effect::Effectful));
+    m.declare_host(LF_INVARIANT, d(vec![p.clone(), p.clone()], v.clone(), Effect::Effectful));
+    m.declare_host(LF_BASE, d(vec![p.clone()], p.clone(), Effect::Pure));
+    m.declare_host(LF_STACK_ALLOC, d(vec![i.clone()], p, Effect::Effectful));
+    m.declare_host(LF_STACK_SAVE, d(vec![], i.clone(), Effect::Effectful));
+    m.declare_host(LF_STACK_RESTORE, d(vec![i], v, Effect::Effectful));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declarations_have_paper_consistent_effects() {
+        let mut m = Module::new("t");
+        declare_softbound(&mut m);
+        declare_lowfat(&mut m);
+        // Metadata reads are removable when unused (§5.4).
+        assert_eq!(m.host_decls[SB_TRIE_GET_BASE].effect, Effect::ReadOnly);
+        assert_eq!(m.host_decls[SB_SS_GET_RET_BASE].effect, Effect::ReadOnly);
+        // Base recovery is pure arithmetic (§5.2).
+        assert_eq!(m.host_decls[LF_BASE].effect, Effect::Pure);
+        // Checks may abort: optimization barriers (§5.5).
+        assert_eq!(m.host_decls[SB_CHECK].effect, Effect::Effectful);
+        assert_eq!(m.host_decls[LF_CHECK].effect, Effect::Effectful);
+        assert_eq!(m.host_decls[LF_INVARIANT].effect, Effect::Effectful);
+    }
+
+    #[test]
+    fn declaration_is_idempotent() {
+        let mut m = Module::new("t");
+        declare_softbound(&mut m);
+        declare_softbound(&mut m);
+        declare_lowfat(&mut m);
+        declare_lowfat(&mut m);
+        declare_redzone(&mut m);
+        declare_redzone(&mut m);
+        assert_eq!(m.host_decls.len(), 14 + 6 + 4);
+    }
+}

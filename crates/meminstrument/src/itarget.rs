@@ -1,0 +1,273 @@
+//! Instrumentation-target discovery (Table 1 of the paper).
+//!
+//! Discovery runs over the *unmodified* function and produces a list of
+//! targets; the shared optimization filters them; the mechanism lowers
+//! them. This separation is what makes the comparison fair: both mechanisms
+//! check and propagate at exactly the same program points.
+
+use mir::ids::{BlockId, InstrId};
+use mir::instr::{CastOp, InstrKind, Operand};
+use mir::{Function, Type};
+
+/// A dereference that needs an in-bounds check.
+#[derive(Clone, Debug)]
+pub struct CheckTarget {
+    /// The access instruction (`load` or `store`).
+    pub instr: InstrId,
+    /// Block containing the access.
+    pub block: BlockId,
+    /// The pointer being dereferenced.
+    pub ptr: Operand,
+    /// Access width in bytes.
+    pub width: u64,
+    /// Whether the access is a store.
+    pub is_store: bool,
+}
+
+/// Why a pointer escapes (drives mechanism-specific invariant code).
+#[derive(Clone, Debug)]
+pub enum EscapeKind {
+    /// A pointer value is stored to memory: `store ptr %v, %addr`.
+    StoredToMemory {
+        /// The escaping pointer value.
+        value: Operand,
+        /// Where it is stored.
+        addr: Operand,
+    },
+    /// A pointer is passed to / returned from a function via `call`.
+    Call,
+    /// A pointer is returned from this function.
+    Returned {
+        /// The returned pointer.
+        value: Operand,
+        /// Block whose terminator returns it.
+        block: BlockId,
+    },
+    /// A pointer is cast to an integer (`ptrtoint` or an equivalent
+    /// bitcast) — §4.4.
+    CastToInt {
+        /// The pointer operand of the cast.
+        value: Operand,
+    },
+    /// `memcpy`: SoftBound must copy metadata; wrappers may check.
+    MemCpy,
+    /// `memset`: SoftBound must invalidate metadata for overwritten slots.
+    MemSet,
+}
+
+/// A point where the mechanism's invariant must be established.
+#[derive(Clone, Debug)]
+pub struct InvariantTarget {
+    /// The instruction at which the escape happens (`InstrId` of the
+    /// store/call/cast/memcpy; unused for `Returned`).
+    pub instr: Option<InstrId>,
+    /// Block containing the escape.
+    pub block: BlockId,
+    /// The kind of escape.
+    pub kind: EscapeKind,
+}
+
+/// All targets of one function.
+#[derive(Clone, Debug, Default)]
+pub struct Targets {
+    /// Dereference checks.
+    pub checks: Vec<CheckTarget>,
+    /// Invariant/metadata points.
+    pub invariants: Vec<InvariantTarget>,
+}
+
+/// Discovers the instrumentation targets of `f` (Table 1).
+pub fn discover(f: &Function) -> Targets {
+    let mut t = Targets::default();
+    for (bid, block) in f.iter_blocks() {
+        for &iid in &block.instrs {
+            match &f.instrs[iid.index()].kind {
+                InstrKind::Load { ty, ptr } => {
+                    t.checks.push(CheckTarget {
+                        instr: iid,
+                        block: bid,
+                        ptr: ptr.clone(),
+                        width: ty.size_of().max(1),
+                        is_store: false,
+                    });
+                }
+                InstrKind::Store { ty, value, ptr } => {
+                    t.checks.push(CheckTarget {
+                        instr: iid,
+                        block: bid,
+                        ptr: ptr.clone(),
+                        width: ty.size_of().max(1),
+                        is_store: true,
+                    });
+                    if *ty == Type::Ptr {
+                        t.invariants.push(InvariantTarget {
+                            instr: Some(iid),
+                            block: bid,
+                            kind: EscapeKind::StoredToMemory { value: value.clone(), addr: ptr.clone() },
+                        });
+                    }
+                }
+                InstrKind::Call { callee, .. } if crate::witness::is_runtime_callee(callee) => {
+                    // The instrumentation runtime's own helpers are never
+                    // targets.
+                }
+                InstrKind::Call { .. } | InstrKind::CallIndirect { .. } => {
+                    // The mechanism decides per callee what to do; discovery
+                    // just records that pointers may escape here.
+                    let has_ptr_arg = {
+                        let mut any = false;
+                        f.instrs[iid.index()].kind.for_each_operand(|op| {
+                            if f.operand_type(op) == Type::Ptr {
+                                any = true;
+                            }
+                        });
+                        any
+                    };
+                    let returns_ptr = f.instrs[iid.index()]
+                        .result
+                        .map(|r| *f.value_type(r) == Type::Ptr)
+                        .unwrap_or(false);
+                    if has_ptr_arg || returns_ptr {
+                        t.invariants.push(InvariantTarget {
+                            instr: Some(iid),
+                            block: bid,
+                            kind: EscapeKind::Call,
+                        });
+                    }
+                }
+                InstrKind::Cast { op, value, from, to } => {
+                    let ptr_to_int = matches!(op, CastOp::PtrToInt)
+                        || (matches!(op, CastOp::Bitcast) && from.is_ptr() && to.is_int());
+                    if ptr_to_int {
+                        t.invariants.push(InvariantTarget {
+                            instr: Some(iid),
+                            block: bid,
+                            kind: EscapeKind::CastToInt { value: value.clone() },
+                        });
+                    }
+                }
+                InstrKind::MemCpy { .. } => {
+                    t.invariants.push(InvariantTarget {
+                        instr: Some(iid),
+                        block: bid,
+                        kind: EscapeKind::MemCpy,
+                    });
+                }
+                InstrKind::MemSet { .. } => {
+                    t.invariants.push(InvariantTarget {
+                        instr: Some(iid),
+                        block: bid,
+                        kind: EscapeKind::MemSet,
+                    });
+                }
+                _ => {}
+            }
+        }
+        if let mir::Terminator::Ret(Some(op)) = &block.term {
+            if f.ret_ty == Type::Ptr {
+                t.invariants.push(InvariantTarget {
+                    instr: None,
+                    block: bid,
+                    kind: EscapeKind::Returned { value: op.clone(), block: bid },
+                });
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mir::builder::ModuleBuilder;
+    use mir::module::Effect;
+
+    #[test]
+    fn loads_and_stores_become_checks() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = mb.function("f", vec![("p", Type::Ptr)], Type::I64);
+        let p = fb.param(0);
+        let v = fb.load(Type::I32, p.clone());
+        fb.store(Type::I32, v.clone(), p);
+        let w = fb.cast(CastOp::Zext, v, Type::I32, Type::I64);
+        fb.ret(Some(w));
+        fb.finish();
+        let m = mb.finish();
+        let t = discover(m.function_by_name("f").unwrap().1);
+        assert_eq!(t.checks.len(), 2);
+        assert_eq!(t.checks[0].width, 4);
+        assert!(!t.checks[0].is_store);
+        assert!(t.checks[1].is_store);
+    }
+
+    #[test]
+    fn pointer_store_is_also_an_escape() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = mb.function("f", vec![("p", Type::Ptr), ("q", Type::Ptr)], Type::Void);
+        let p = fb.param(0);
+        let q = fb.param(1);
+        fb.store(Type::Ptr, p, q);
+        fb.ret(None);
+        fb.finish();
+        let m = mb.finish();
+        let t = discover(m.function_by_name("f").unwrap().1);
+        assert_eq!(t.checks.len(), 1); // the store itself is checked
+        assert_eq!(t.invariants.len(), 1);
+        assert!(matches!(t.invariants[0].kind, EscapeKind::StoredToMemory { .. }));
+    }
+
+    #[test]
+    fn integer_store_is_not_an_escape() {
+        // The §4.4 blind spot: a pointer smuggled through an i64 store is
+        // invisible to discovery — by design, this reproduces the paper.
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = mb.function("f", vec![("p", Type::Ptr), ("q", Type::Ptr)], Type::Void);
+        let p = fb.param(0);
+        let q = fb.param(1);
+        let as_int = fb.cast(CastOp::PtrToInt, p, Type::Ptr, Type::I64);
+        fb.store(Type::I64, as_int, q);
+        fb.ret(None);
+        fb.finish();
+        let m = mb.finish();
+        let t = discover(m.function_by_name("f").unwrap().1);
+        let stores: Vec<_> = t
+            .invariants
+            .iter()
+            .filter(|i| matches!(i.kind, EscapeKind::StoredToMemory { .. }))
+            .collect();
+        assert!(stores.is_empty());
+        // ... but the ptrtoint itself is an escape (Low-Fat checks it).
+        assert!(t.invariants.iter().any(|i| matches!(i.kind, EscapeKind::CastToInt { .. })));
+    }
+
+    #[test]
+    fn calls_returns_memcpy_discovered() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.host("sink", vec![Type::Ptr], Type::Void, Effect::Effectful);
+        let mut fb = mb.function("f", vec![("p", Type::Ptr)], Type::Ptr);
+        let p = fb.param(0);
+        fb.call("sink", Type::Void, vec![p.clone()]);
+        fb.memcpy(p.clone(), p.clone(), Operand::i64(8));
+        fb.ret(Some(p));
+        fb.finish();
+        let m = mb.finish();
+        let t = discover(m.function_by_name("f").unwrap().1);
+        assert!(t.invariants.iter().any(|i| matches!(i.kind, EscapeKind::Call)));
+        assert!(t.invariants.iter().any(|i| matches!(i.kind, EscapeKind::MemCpy)));
+        assert!(t.invariants.iter().any(|i| matches!(i.kind, EscapeKind::Returned { .. })));
+    }
+
+    #[test]
+    fn call_without_pointers_not_a_target() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.host("pure_int", vec![Type::I64], Type::I64, Effect::Pure);
+        let mut fb = mb.function("f", vec![], Type::I64);
+        let r = fb.call("pure_int", Type::I64, vec![Operand::i64(1)]);
+        fb.ret(Some(r));
+        fb.finish();
+        let m = mb.finish();
+        let t = discover(m.function_by_name("f").unwrap().1);
+        assert!(t.invariants.is_empty());
+        assert!(t.checks.is_empty());
+    }
+}

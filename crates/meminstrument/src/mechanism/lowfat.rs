@@ -1,0 +1,250 @@
+//! Low-Fat Pointers lowering (§3.3 of the paper).
+//!
+//! Witness = allocation base pointer. Fresh allocations *are* their own
+//! base; everything arriving from memory, calls, or parameters relies on
+//! the in-bounds invariant and recomputes the base from the pointer value
+//! (`__lf_base`, pure arithmetic). The invariant is established by an
+//! in-bounds check wherever a pointer escapes — which is exactly what makes
+//! escaping out-of-bounds pointers report spurious errors (§4.2).
+//!
+//! `prepare_function` applies the stack extension (NDSS'17): allocas become
+//! low-fat stack allocations bracketed by save/restore; the globals
+//! extension is applied at module level by the pass (mirroring via the
+//! `lowfat` global attribute).
+
+use mir::ids::{BlockId, InstrId};
+use mir::instr::{BinOp, InstrKind, Operand, Terminator};
+use mir::types::Type;
+
+use crate::hostdefs as h;
+use crate::itarget::CheckTarget;
+use crate::mechanism::{MechanismLowering, PtrArg};
+use crate::witness::{InstrumentCx, InstrumentationMechanism, Source, Witness};
+
+/// The Low-Fat Pointers mechanism.
+#[derive(Debug, Default)]
+pub struct LowFatMech;
+
+impl LowFatMech {
+    fn call(name: &str, args: Vec<Operand>, ret: Type) -> InstrKind {
+        InstrKind::Call { callee: name.to_string(), args, ret }
+    }
+
+    /// `__lf_base(ptr)` inserted after the defining instruction.
+    fn base_after(&self, cx: &mut InstrumentCx<'_>, anchor: InstrId, ptr: Operand) -> Witness {
+        cx.stats.metadata_loads_placed += 1;
+        let b = cx.insert_witness_after(anchor, Self::call(h::LF_BASE, vec![ptr], Type::Ptr));
+        Witness(vec![cx.result_of(b)])
+    }
+
+    /// `__lf_base(ptr)` at function entry (for parameters).
+    fn base_at_entry(&self, cx: &mut InstrumentCx<'_>, ptr: Operand) -> Witness {
+        cx.stats.metadata_loads_placed += 1;
+        let b = cx.insert_at_entry(Self::call(h::LF_BASE, vec![ptr], Type::Ptr));
+        Witness(vec![cx.result_of(b)])
+    }
+
+    fn invariant_before(
+        &self,
+        cx: &mut InstrumentCx<'_>,
+        anchor: InstrId,
+        value: &Operand,
+        witness: &Witness,
+    ) {
+        cx.insert_before(
+            anchor,
+            Self::call(h::LF_INVARIANT, vec![value.clone(), witness.0[0].clone()], Type::Void),
+        );
+        cx.stats.invariants_placed += 1;
+    }
+}
+
+impl InstrumentationMechanism for LowFatMech {
+    fn arity(&self) -> usize {
+        1
+    }
+
+    fn witness_for_source(&mut self, cx: &mut InstrumentCx<'_>, src: &Source) -> Witness {
+        match src {
+            // A fresh allocation is its own base (heap via the replaced
+            // low-fat malloc; stack via __lf_stack_alloc).
+            Source::HeapAlloc { instr, .. } => Witness(vec![cx.result_of(*instr)]),
+            // An alloca that was *not* replaced (oversized fallback) yields
+            // a non-low-fat pointer; using it as its own base gives wide
+            // bounds downstream.
+            Source::Alloca { instr } => Witness(vec![cx.result_of(*instr)]),
+            // Mirrored globals are low-fat; uninstrumented-library globals
+            // are not and end up with wide bounds (§4.3).
+            Source::Global(gid) => Witness(vec![Operand::GlobalAddr(*gid)]),
+            // "Rely on invariant: assume in bounds" (Table 1).
+            Source::LoadedFromMemory { instr, .. } => {
+                let ptr = cx.result_of(*instr);
+                self.base_after(cx, *instr, ptr)
+            }
+            Source::CallResult { instr, .. } => {
+                let ptr = cx.result_of(*instr);
+                self.base_after(cx, *instr, ptr)
+            }
+            Source::IntToPtr { instr } => {
+                // §4.4: rely on the invariant established at the matching
+                // ptrtoint — nothing prevents corruption in between.
+                let ptr = cx.result_of(*instr);
+                self.base_after(cx, *instr, ptr)
+            }
+            Source::Param(i) => {
+                let ptr = Operand::Val(cx.func.param_value(*i));
+                self.base_at_entry(cx, ptr)
+            }
+            Source::NullPtr => Witness(vec![Operand::Null]),
+            Source::Opaque => Witness(vec![Operand::Null]),
+        }
+    }
+}
+
+impl MechanismLowering for LowFatMech {
+    fn prepare_function(&mut self, cx: &mut InstrumentCx<'_>) {
+        // Replace allocas with low-fat stack allocations (in place, so the
+        // result ValueId — and with it every use — stays valid).
+        let mut replaced_any = false;
+        for bi in 0..cx.func.blocks.len() {
+            let ids = cx.func.blocks[bi].instrs.clone();
+            for iid in ids {
+                let (ty, count) = match &cx.func.instrs[iid.index()].kind {
+                    InstrKind::Alloca { ty, count } => (ty.clone(), count.clone()),
+                    _ => continue,
+                };
+                let elem = ty.size_of().max(1);
+                let size_op = match count.as_const_int() {
+                    Some(n) => Operand::i64(elem as i64 * n),
+                    None => {
+                        let mul = cx.insert_before(
+                            iid,
+                            InstrKind::Bin {
+                                op: BinOp::Mul,
+                                ty: Type::I64,
+                                lhs: Operand::i64(elem as i64),
+                                rhs: count,
+                            },
+                        );
+                        cx.result_of(mul)
+                    }
+                };
+                cx.func.instrs[iid.index()].kind =
+                    Self::call(h::LF_STACK_ALLOC, vec![size_op], Type::Ptr);
+                cx.stats.allocas_replaced += 1;
+                replaced_any = true;
+            }
+        }
+        if !replaced_any {
+            return;
+        }
+        // Bracket the frame: save at entry, restore before every return.
+        let save = cx.insert_at_entry(Self::call(h::LF_STACK_SAVE, vec![], Type::I64));
+        let token = cx.result_of(save);
+        for bi in 0..cx.func.blocks.len() {
+            if matches!(cx.func.blocks[bi].term, Terminator::Ret(_)) {
+                cx.insert_at_block_end(
+                    BlockId::new(bi),
+                    Self::call(h::LF_STACK_RESTORE, vec![token.clone()], Type::Void),
+                );
+            }
+        }
+    }
+
+    fn emit_check(&mut self, cx: &mut InstrumentCx<'_>, target: &CheckTarget, witness: &Witness) {
+        cx.insert_before(
+            target.instr,
+            Self::call(
+                h::LF_CHECK,
+                vec![
+                    target.ptr.clone(),
+                    Operand::i64(target.width as i64),
+                    witness.0[0].clone(),
+                ],
+                Type::Void,
+            ),
+        );
+        cx.stats.checks_placed += 1;
+    }
+
+    fn emit_store_escape(
+        &mut self,
+        cx: &mut InstrumentCx<'_>,
+        store: InstrId,
+        value: &Operand,
+        _addr: &Operand,
+        witness: &Witness,
+    ) {
+        // Establish the invariant with an in-bounds check (Table 1).
+        self.invariant_before(cx, store, value, witness);
+    }
+
+    fn emit_return_escape(
+        &mut self,
+        cx: &mut InstrumentCx<'_>,
+        block: BlockId,
+        value: &Operand,
+        witness: &Witness,
+    ) {
+        let pos_kind = Self::call(
+            h::LF_INVARIANT,
+            vec![value.clone(), witness.0[0].clone()],
+            Type::Void,
+        );
+        cx.insert_at_block_end(block, pos_kind);
+        cx.stats.invariants_placed += 1;
+    }
+
+    fn emit_cast_escape(
+        &mut self,
+        cx: &mut InstrumentCx<'_>,
+        cast: InstrId,
+        value: &Operand,
+        witness: &Witness,
+    ) {
+        self.invariant_before(cx, cast, value, witness);
+    }
+
+    fn emit_call_escape(
+        &mut self,
+        cx: &mut InstrumentCx<'_>,
+        call: InstrId,
+        _callee: Option<&str>,
+        ptr_args: &[PtrArg],
+        _returns_ptr: bool,
+    ) {
+        // Every pointer handed to another function is invariant-checked —
+        // including calls into uninstrumented code. This is the behaviour
+        // that rejects escape-then-repair pointer arithmetic (§4.2).
+        for pa in ptr_args {
+            self.invariant_before(cx, call, &pa.value, &pa.witness);
+        }
+    }
+
+    fn emit_memcpy(
+        &mut self,
+        cx: &mut InstrumentCx<'_>,
+        instr: InstrId,
+        wrapper_witnesses: Option<(&Witness, &Witness)>,
+    ) {
+        // No metadata to maintain (§4.5: byte-wise copies pose no problem
+        // for Low-Fat Pointers). Optional wrapper checks only.
+        if let Some((wd, ws)) = wrapper_witnesses {
+            let (dst, src, len) = match &cx.func.instrs[instr.index()].kind {
+                InstrKind::MemCpy { dst, src, len } => (dst.clone(), src.clone(), len.clone()),
+                other => unreachable!("memcpy target is {other:?}"),
+            };
+            cx.insert_before(
+                instr,
+                Self::call(h::LF_CHECK, vec![dst, len.clone(), wd.0[0].clone()], Type::Void),
+            );
+            cx.insert_before(
+                instr,
+                Self::call(h::LF_CHECK, vec![src, len, ws.0[0].clone()], Type::Void),
+            );
+            cx.stats.checks_placed += 2;
+        }
+    }
+
+    fn emit_memset(&mut self, _cx: &mut InstrumentCx<'_>, _instr: InstrId) {}
+}

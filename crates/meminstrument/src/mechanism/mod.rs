@@ -1,0 +1,89 @@
+//! Mechanism lowerings: SoftBound (§3.2) and Low-Fat Pointers (§3.3).
+//!
+//! Both implement [`crate::witness::InstrumentationMechanism`] for witness
+//! materialization plus the [`MechanismLowering`] hooks the pass driver
+//! calls for checks, escapes, and function pre-/post-processing.
+
+pub mod lowfat;
+pub mod redzone;
+pub mod softbound;
+
+use mir::ids::{BlockId, InstrId};
+use mir::instr::Operand;
+
+use crate::itarget::CheckTarget;
+use crate::witness::{InstrumentCx, InstrumentationMechanism, Witness};
+
+/// One pointer argument of a call, with its resolved witness.
+#[derive(Clone, Debug)]
+pub struct PtrArg {
+    /// Index into the call's argument list.
+    pub arg_index: usize,
+    /// The pointer operand.
+    pub value: Operand,
+    /// Its witness.
+    pub witness: Witness,
+}
+
+/// Lowering hooks invoked by the pass driver after witnesses are resolved.
+pub trait MechanismLowering: InstrumentationMechanism {
+    /// Pre-discovery transformation (Low-Fat: replace allocas, insert stack
+    /// save/restore). Runs on the raw function.
+    fn prepare_function(&mut self, cx: &mut InstrumentCx<'_>);
+
+    /// Inserts the dereference check for `target` (only called in
+    /// [`crate::MiMode::Full`]).
+    fn emit_check(&mut self, cx: &mut InstrumentCx<'_>, target: &CheckTarget, witness: &Witness);
+
+    /// A pointer value is stored to memory.
+    fn emit_store_escape(
+        &mut self,
+        cx: &mut InstrumentCx<'_>,
+        store: InstrId,
+        value: &Operand,
+        addr: &Operand,
+        witness: &Witness,
+    );
+
+    /// A pointer is returned from the function (insert before the
+    /// terminator of `block`).
+    fn emit_return_escape(
+        &mut self,
+        cx: &mut InstrumentCx<'_>,
+        block: BlockId,
+        value: &Operand,
+        witness: &Witness,
+    );
+
+    /// A pointer is cast to an integer.
+    fn emit_cast_escape(
+        &mut self,
+        cx: &mut InstrumentCx<'_>,
+        cast: InstrId,
+        value: &Operand,
+        witness: &Witness,
+    );
+
+    /// A call with pointer arguments and/or pointer result. `callee` is
+    /// `None` for indirect calls; `ptr_args` excludes non-pointer args.
+    fn emit_call_escape(
+        &mut self,
+        cx: &mut InstrumentCx<'_>,
+        call: InstrId,
+        callee: Option<&str>,
+        ptr_args: &[PtrArg],
+        returns_ptr: bool,
+    );
+
+    /// A `memcpy`; witnesses for dst/src are provided when wrapper checks
+    /// are enabled.
+    fn emit_memcpy(
+        &mut self,
+        cx: &mut InstrumentCx<'_>,
+        instr: InstrId,
+        wrapper_witnesses: Option<(&Witness, &Witness)>,
+    );
+
+    /// A `memset`.
+    fn emit_memset(&mut self, cx: &mut InstrumentCx<'_>, instr: InstrId);
+}

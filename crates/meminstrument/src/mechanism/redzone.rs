@@ -1,0 +1,170 @@
+//! Red-zone (AddressSanitizer-style) lowering.
+//!
+//! The third mechanism, added to demonstrate the framework's extensibility
+//! (the paper's stated goal for open-sourcing MemInstrument). Red-zone
+//! instrumentation needs **no witnesses at all** — the check consults
+//! shadow memory with nothing but the pointer value — so its witness arity
+//! is zero and the shared resolver inserts no propagation code. Everything
+//! else (target discovery, dominance check elimination, the pipeline
+//! extension points) is reused unchanged.
+//!
+//! Guarantees are strictly weaker than both paper mechanisms (§2.1): only
+//! accesses that *land in a poisoned zone* are caught. An overflow that
+//! jumps over the red zone into a neighbouring allocation is silent.
+
+use mir::ids::{BlockId, InstrId};
+use mir::instr::{BinOp, InstrKind, Operand, Terminator};
+use mir::types::Type;
+
+use crate::hostdefs as h;
+use crate::itarget::CheckTarget;
+use crate::mechanism::{MechanismLowering, PtrArg};
+use crate::witness::{InstrumentCx, InstrumentationMechanism, Source, Witness};
+
+/// The red-zone mechanism.
+#[derive(Debug, Default)]
+pub struct RedZoneMech;
+
+impl RedZoneMech {
+    fn call(name: &str, args: Vec<Operand>, ret: Type) -> InstrKind {
+        InstrKind::Call { callee: name.to_string(), args, ret }
+    }
+}
+
+impl InstrumentationMechanism for RedZoneMech {
+    fn arity(&self) -> usize {
+        0
+    }
+
+    fn witness_for_source(&mut self, _cx: &mut InstrumentCx<'_>, _src: &Source) -> Witness {
+        Witness(vec![])
+    }
+}
+
+impl MechanismLowering for RedZoneMech {
+    fn prepare_function(&mut self, cx: &mut InstrumentCx<'_>) {
+        // Like ASan, stack objects are moved into red-zone-guarded slabs.
+        // (Identical scheme to the Low-Fat stack replacement.)
+        let mut replaced_any = false;
+        for bi in 0..cx.func.blocks.len() {
+            let ids = cx.func.blocks[bi].instrs.clone();
+            for iid in ids {
+                let (ty, count) = match &cx.func.instrs[iid.index()].kind {
+                    InstrKind::Alloca { ty, count } => (ty.clone(), count.clone()),
+                    _ => continue,
+                };
+                let elem = ty.size_of().max(1);
+                let size_op = match count.as_const_int() {
+                    Some(n) => Operand::i64(elem as i64 * n),
+                    None => {
+                        let mul = cx.insert_before(
+                            iid,
+                            InstrKind::Bin {
+                                op: BinOp::Mul,
+                                ty: Type::I64,
+                                lhs: Operand::i64(elem as i64),
+                                rhs: count,
+                            },
+                        );
+                        cx.result_of(mul)
+                    }
+                };
+                cx.func.instrs[iid.index()].kind =
+                    Self::call(h::RZ_STACK_ALLOC, vec![size_op], Type::Ptr);
+                cx.stats.allocas_replaced += 1;
+                replaced_any = true;
+            }
+        }
+        if !replaced_any {
+            return;
+        }
+        let save = cx.insert_at_entry(Self::call(h::RZ_STACK_SAVE, vec![], Type::I64));
+        let token = cx.result_of(save);
+        for bi in 0..cx.func.blocks.len() {
+            if matches!(cx.func.blocks[bi].term, Terminator::Ret(_)) {
+                cx.insert_at_block_end(
+                    BlockId::new(bi),
+                    Self::call(h::RZ_STACK_RESTORE, vec![token.clone()], Type::Void),
+                );
+            }
+        }
+    }
+
+    fn emit_check(&mut self, cx: &mut InstrumentCx<'_>, target: &CheckTarget, _witness: &Witness) {
+        cx.insert_before(
+            target.instr,
+            Self::call(
+                h::RZ_CHECK,
+                vec![target.ptr.clone(), Operand::i64(target.width as i64)],
+                Type::Void,
+            ),
+        );
+        cx.stats.checks_placed += 1;
+    }
+
+    // Red zones track no metadata and enforce no escape invariant: all the
+    // remaining hooks are no-ops.
+
+    fn emit_store_escape(
+        &mut self,
+        _cx: &mut InstrumentCx<'_>,
+        _store: InstrId,
+        _value: &Operand,
+        _addr: &Operand,
+        _witness: &Witness,
+    ) {
+    }
+
+    fn emit_return_escape(
+        &mut self,
+        _cx: &mut InstrumentCx<'_>,
+        _block: BlockId,
+        _value: &Operand,
+        _witness: &Witness,
+    ) {
+    }
+
+    fn emit_cast_escape(
+        &mut self,
+        _cx: &mut InstrumentCx<'_>,
+        _cast: InstrId,
+        _value: &Operand,
+        _witness: &Witness,
+    ) {
+    }
+
+    fn emit_call_escape(
+        &mut self,
+        _cx: &mut InstrumentCx<'_>,
+        _call: InstrId,
+        _callee: Option<&str>,
+        _ptr_args: &[PtrArg],
+        _returns_ptr: bool,
+    ) {
+    }
+
+    fn emit_memcpy(
+        &mut self,
+        cx: &mut InstrumentCx<'_>,
+        instr: InstrId,
+        _wrapper_witnesses: Option<(&Witness, &Witness)>,
+    ) {
+        // ASan's interceptors check both ranges against shadow memory.
+        let (dst, src, len) = match &cx.func.instrs[instr.index()].kind {
+            InstrKind::MemCpy { dst, src, len } => (dst.clone(), src.clone(), len.clone()),
+            other => unreachable!("memcpy target is {other:?}"),
+        };
+        cx.insert_before(instr, Self::call(h::RZ_CHECK, vec![dst, len.clone()], Type::Void));
+        cx.insert_before(instr, Self::call(h::RZ_CHECK, vec![src, len], Type::Void));
+        cx.stats.checks_placed += 2;
+    }
+
+    fn emit_memset(&mut self, cx: &mut InstrumentCx<'_>, instr: InstrId) {
+        let (dst, len) = match &cx.func.instrs[instr.index()].kind {
+            InstrKind::MemSet { dst, len, .. } => (dst.clone(), len.clone()),
+            other => unreachable!("memset target is {other:?}"),
+        };
+        cx.insert_before(instr, Self::call(h::RZ_CHECK, vec![dst, len], Type::Void));
+        cx.stats.checks_placed += 1;
+    }
+}

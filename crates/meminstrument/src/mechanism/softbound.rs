@@ -1,0 +1,362 @@
+//! SoftBound lowering (§3.2 of the paper).
+//!
+//! Witness = `(base, bound)`. Allocation sites yield bounds from IR-visible
+//! sizes; loads pull bounds from the metadata trie; calls and returns go
+//! through the shadow stack; stores of pointers update the trie. The
+//! dereference check is Figure 2's `ptr < base || ptr + width > bound`.
+
+use mir::ids::{BlockId, InstrId};
+use mir::instr::{BinOp, InstrKind, Operand};
+use mir::types::Type;
+
+use crate::hostdefs as h;
+use crate::itarget::CheckTarget;
+use crate::mechanism::{MechanismLowering, PtrArg};
+use crate::witness::{InstrumentCx, InstrumentationMechanism, SizeExpr, Source, Witness};
+
+/// The SoftBound mechanism.
+#[derive(Debug, Default)]
+pub struct SoftBoundMech;
+
+impl SoftBoundMech {
+    fn call(name: &str, args: Vec<Operand>, ret: Type) -> InstrKind {
+        InstrKind::Call { callee: name.to_string(), args, ret }
+    }
+
+    /// Materializes `base + size` as a bound pointer right after `anchor`.
+    fn bound_after(
+        &self,
+        cx: &mut InstrumentCx<'_>,
+        anchor: InstrId,
+        base: &Operand,
+        size: &SizeExpr,
+    ) -> Operand {
+        let (size_op, anchor) = match size {
+            SizeExpr::Direct(op) => (op.clone(), anchor),
+            SizeExpr::Product(a, b) => {
+                let mul = cx.insert_witness_after(
+                    anchor,
+                    InstrKind::Bin { op: BinOp::Mul, ty: Type::I64, lhs: a.clone(), rhs: b.clone() },
+                );
+                (cx.result_of(mul), mul)
+            }
+        };
+        let gep = cx.insert_witness_after(
+            anchor,
+            InstrKind::Gep { elem_ty: Type::I8, base: base.clone(), indices: vec![size_op] },
+        );
+        cx.result_of(gep)
+    }
+}
+
+impl InstrumentationMechanism for SoftBoundMech {
+    fn arity(&self) -> usize {
+        2
+    }
+
+    /// Appendix-B bounds narrowing: when enabled and the `gep` addresses a
+    /// struct member (≥ 2 indices with a constant member step into a struct
+    /// type), the witness becomes `[member_addr, member_addr + sizeof(member)]`
+    /// instead of the whole object's bounds. The appendix's warning applies:
+    /// `&P == &P.x` traversal idioms now report false positives.
+    fn witness_for_gep(
+        &mut self,
+        cx: &mut InstrumentCx<'_>,
+        gep: mir::ids::InstrId,
+        _inherited: &Witness,
+    ) -> Option<Witness> {
+        if !cx.minfo.config.sb_narrow_member_bounds {
+            return None;
+        }
+        let (elem_ty, indices) = match &cx.func.instrs[gep.index()].kind {
+            InstrKind::Gep { elem_ty, indices, .. } => (elem_ty.clone(), indices.clone()),
+            _ => return None,
+        };
+        if indices.len() < 2 || !matches!(elem_ty, Type::Struct(_)) {
+            return None;
+        }
+        // Walk the aggregate steps to the addressed member's type.
+        let mut cur = elem_ty;
+        for idx in &indices[1..] {
+            let i = idx.as_const_int()?;
+            cur = match &cur {
+                Type::Struct(fields) => fields.get(i as usize)?.clone(),
+                Type::Array(elem, _) => (**elem).clone(),
+                _ => return None,
+            };
+        }
+        let base = cx.result_of(gep);
+        let size = SizeExpr::Direct(Operand::i64(cur.size_of().max(1) as i64));
+        let bound = self.bound_after(cx, gep, &base, &size);
+        cx.stats.checks_narrowed += 1;
+        Some(Witness(vec![base, bound]))
+    }
+
+    fn witness_for_source(&mut self, cx: &mut InstrumentCx<'_>, src: &Source) -> Witness {
+        match src {
+            Source::Alloca { instr } => {
+                let base = cx.result_of(*instr);
+                let (ty, count) = match &cx.func.instrs[instr.index()].kind {
+                    InstrKind::Alloca { ty, count } => (ty.clone(), count.clone()),
+                    other => unreachable!("alloca source is {other:?}"),
+                };
+                let elem = ty.size_of().max(1);
+                let size = match count.as_const_int() {
+                    Some(n) => SizeExpr::Direct(Operand::i64(elem as i64 * n)),
+                    None => SizeExpr::Product(Operand::i64(elem as i64), count),
+                };
+                let bound = self.bound_after(cx, *instr, &base, &size);
+                Witness(vec![base, bound])
+            }
+            Source::HeapAlloc { instr, size } => {
+                let base = cx.result_of(*instr);
+                let bound = self.bound_after(cx, *instr, &base, size);
+                Witness(vec![base, bound])
+            }
+            Source::Global(gid) => {
+                let meta = &cx.minfo.globals[gid.index()];
+                let base = Operand::GlobalAddr(*gid);
+                if meta.size_unknown {
+                    // §4.3: external array without size information.
+                    if cx.minfo.config.sb_size_zero_wide_upper {
+                        let wide = cx.wide_ptr();
+                        Witness(vec![base, wide])
+                    } else {
+                        Witness(vec![Operand::Null, Operand::Null])
+                    }
+                } else {
+                    let gep = cx.insert_at_entry(InstrKind::Gep {
+                        elem_ty: Type::I8,
+                        base: base.clone(),
+                        indices: vec![Operand::i64(meta.size as i64)],
+                    });
+                    let bound = cx.result_of(gep);
+                    Witness(vec![base, bound])
+                }
+            }
+            Source::LoadedFromMemory { instr, addr } => {
+                cx.stats.metadata_loads_placed += 2;
+                let b = cx.insert_witness_after(
+                    *instr,
+                    Self::call(h::SB_TRIE_GET_BASE, vec![addr.clone()], Type::Ptr),
+                );
+                let bd = cx.insert_witness_after(
+                    b,
+                    Self::call(h::SB_TRIE_GET_BOUND, vec![addr.clone()], Type::Ptr),
+                );
+                Witness(vec![cx.result_of(b), cx.result_of(bd)])
+            }
+            Source::CallResult { instr, .. } => {
+                // Bounds are read from the shadow-stack return slot. For
+                // uninstrumented callees these are stale or NULL — the §4.3
+                // failure mode, reproduced faithfully.
+                cx.stats.metadata_loads_placed += 2;
+                let b = cx.insert_witness_after(
+                    *instr,
+                    Self::call(h::SB_SS_GET_RET_BASE, vec![], Type::Ptr),
+                );
+                let bd = cx.insert_witness_after(
+                    b,
+                    Self::call(h::SB_SS_GET_RET_BOUND, vec![], Type::Ptr),
+                );
+                Witness(vec![cx.result_of(b), cx.result_of(bd)])
+            }
+            Source::Param(i) => {
+                let slot = crate::witness::ModuleInfo::ptr_arg_slot(
+                    &cx.func.params.iter().map(|p| p.ty.clone()).collect::<Vec<_>>(),
+                    *i,
+                ) as i64;
+                cx.stats.metadata_loads_placed += 2;
+                let b = cx.insert_at_entry(Self::call(
+                    h::SB_SS_GET_ARG_BASE,
+                    vec![Operand::i64(slot)],
+                    Type::Ptr,
+                ));
+                let bd = cx.insert_at_entry(Self::call(
+                    h::SB_SS_GET_ARG_BOUND,
+                    vec![Operand::i64(slot)],
+                    Type::Ptr,
+                ));
+                Witness(vec![cx.result_of(b), cx.result_of(bd)])
+            }
+            Source::IntToPtr { .. } => {
+                // §4.4: pointers minted from integers.
+                if cx.minfo.config.sb_inttoptr_wide_bounds {
+                    let wide = cx.wide_ptr();
+                    Witness(vec![Operand::Null, wide])
+                } else {
+                    Witness(vec![Operand::Null, Operand::Null])
+                }
+            }
+            Source::NullPtr => Witness(vec![Operand::Null, Operand::Null]),
+            Source::Opaque => {
+                let wide = cx.wide_ptr();
+                Witness(vec![Operand::Null, wide])
+            }
+        }
+    }
+}
+
+impl MechanismLowering for SoftBoundMech {
+    fn prepare_function(&mut self, _cx: &mut InstrumentCx<'_>) {}
+
+    fn emit_check(&mut self, cx: &mut InstrumentCx<'_>, target: &CheckTarget, witness: &Witness) {
+        cx.insert_before(
+            target.instr,
+            Self::call(
+                h::SB_CHECK,
+                vec![
+                    target.ptr.clone(),
+                    Operand::i64(target.width as i64),
+                    witness.0[0].clone(),
+                    witness.0[1].clone(),
+                ],
+                Type::Void,
+            ),
+        );
+        cx.stats.checks_placed += 1;
+    }
+
+    fn emit_store_escape(
+        &mut self,
+        cx: &mut InstrumentCx<'_>,
+        store: InstrId,
+        _value: &Operand,
+        addr: &Operand,
+        witness: &Witness,
+    ) {
+        // Track the stored pointer's bounds in the trie, keyed by the
+        // stored-at address ([24, Fig. 3]).
+        cx.insert_after_witnesses(
+            store,
+            Self::call(
+                h::SB_TRIE_SET,
+                vec![addr.clone(), witness.0[0].clone(), witness.0[1].clone()],
+                Type::Void,
+            ),
+        );
+        cx.stats.metadata_stores_placed += 1;
+        cx.stats.invariants_placed += 1;
+    }
+
+    fn emit_return_escape(
+        &mut self,
+        cx: &mut InstrumentCx<'_>,
+        block: BlockId,
+        _value: &Operand,
+        witness: &Witness,
+    ) {
+        cx.insert_at_block_end(
+            block,
+            Self::call(
+                h::SB_SS_SET_RET,
+                vec![witness.0[0].clone(), witness.0[1].clone()],
+                Type::Void,
+            ),
+        );
+        cx.stats.metadata_stores_placed += 1;
+        cx.stats.invariants_placed += 1;
+    }
+
+    fn emit_cast_escape(
+        &mut self,
+        _cx: &mut InstrumentCx<'_>,
+        _cast: InstrId,
+        _value: &Operand,
+        _witness: &Witness,
+    ) {
+        // SoftBound does not act on ptrtoint; the information loss surfaces
+        // later as stale metadata (§4.4).
+    }
+
+    fn emit_call_escape(
+        &mut self,
+        cx: &mut InstrumentCx<'_>,
+        call: InstrId,
+        callee: Option<&str>,
+        ptr_args: &[PtrArg],
+        returns_ptr: bool,
+    ) {
+        // The shadow-stack protocol is only maintained for calls to
+        // instrumented definitions; uninstrumented/indirect callees simply
+        // do not participate (→ stale bounds, §4.3).
+        let Some(name) = callee else { return };
+        let Some(info) = cx.minfo.callees.get(name) else { return };
+        if !info.instrumented_def {
+            return;
+        }
+        let n_ptr = info.param_types.iter().filter(|t| t.is_ptr()).count();
+        let push = cx.insert_before(
+            call,
+            Self::call(h::SB_SS_PUSH, vec![Operand::i64(n_ptr as i64)], Type::Void),
+        );
+        let mut anchor = push;
+        for pa in ptr_args {
+            let slot = crate::witness::ModuleInfo::ptr_arg_slot(&info.param_types, pa.arg_index) as i64;
+            let set = cx.insert_witness_after(
+                anchor,
+                Self::call(
+                    h::SB_SS_SET_ARG,
+                    vec![Operand::i64(slot), pa.witness.0[0].clone(), pa.witness.0[1].clone()],
+                    Type::Void,
+                ),
+            );
+            cx.stats.metadata_stores_placed += 1;
+            anchor = set;
+        }
+        let _ = returns_ptr;
+        // Pop after the call and after any return-bounds reads inserted by
+        // witness resolution.
+        cx.insert_after_witnesses(call, Self::call(h::SB_SS_POP, vec![], Type::Void));
+        cx.stats.invariants_placed += 1;
+    }
+
+    fn emit_memcpy(
+        &mut self,
+        cx: &mut InstrumentCx<'_>,
+        instr: InstrId,
+        wrapper_witnesses: Option<(&Witness, &Witness)>,
+    ) {
+        let (dst, src, len) = match &cx.func.instrs[instr.index()].kind {
+            InstrKind::MemCpy { dst, src, len } => (dst.clone(), src.clone(), len.clone()),
+            other => unreachable!("memcpy target is {other:?}"),
+        };
+        if let Some((wd, ws)) = wrapper_witnesses {
+            // Figure 6's check_abort calls (disabled by default, §5.1.2).
+            cx.insert_before(
+                instr,
+                Self::call(
+                    h::SB_CHECK,
+                    vec![dst.clone(), len.clone(), wd.0[0].clone(), wd.0[1].clone()],
+                    Type::Void,
+                ),
+            );
+            cx.insert_before(
+                instr,
+                Self::call(
+                    h::SB_CHECK,
+                    vec![src.clone(), len.clone(), ws.0[0].clone(), ws.0[1].clone()],
+                    Type::Void,
+                ),
+            );
+            cx.stats.checks_placed += 2;
+        }
+        cx.insert_after_witnesses(
+            instr,
+            Self::call(h::SB_MEMCPY_META, vec![dst, src, len], Type::Void),
+        );
+        cx.stats.metadata_stores_placed += 1;
+    }
+
+    fn emit_memset(&mut self, cx: &mut InstrumentCx<'_>, instr: InstrId) {
+        let (dst, len) = match &cx.func.instrs[instr.index()].kind {
+            InstrKind::MemSet { dst, len, .. } => (dst.clone(), len.clone()),
+            other => unreachable!("memset target is {other:?}"),
+        };
+        cx.insert_after_witnesses(
+            instr,
+            Self::call(h::SB_MEMSET_META, vec![dst, len], Type::Void),
+        );
+        cx.stats.metadata_stores_placed += 1;
+    }
+}

@@ -1,0 +1,185 @@
+//! Approach-independent check optimizations (§5.3).
+//!
+//! The dominance-based elimination removes a check when another check of
+//! the *same pointer* with at least the same access width dominates it: if
+//! the dominating check passed, the dominated one cannot fail. The paper
+//! reports 8–50 % of checks removed this way, with minor runtime impact
+//! because the compiler's own redundancy elimination is already effective.
+
+use std::collections::HashMap;
+
+use mir::analysis::{dom::instr_dominates, Cfg, DomTree};
+use mir::instr::Operand;
+use mir::Function;
+
+use crate::itarget::{CheckTarget, Targets};
+
+/// Filters `targets.checks`, removing dominated redundant checks.
+/// Returns the number of checks eliminated.
+pub fn eliminate_dominated_checks(f: &Function, targets: &mut Targets) -> u64 {
+    let cfg = Cfg::compute(f);
+    let dom = DomTree::compute(f, &cfg);
+
+    // Group checks by checked pointer (identical SSA operand).
+    let mut groups: HashMap<String, Vec<usize>> = HashMap::new();
+    for (i, c) in targets.checks.iter().enumerate() {
+        groups.entry(operand_key(&c.ptr)).or_default().push(i);
+    }
+
+    let mut dead = vec![false; targets.checks.len()];
+    for idxs in groups.values() {
+        for &a in idxs {
+            if dead[a] {
+                continue;
+            }
+            for &b in idxs {
+                if a == b || dead[b] {
+                    continue;
+                }
+                let (ca, cb): (&CheckTarget, &CheckTarget) = (&targets.checks[a], &targets.checks[b]);
+                if ca.width >= cb.width
+                    && instr_dominates(f, &dom, (ca.block, ca.instr), (cb.block, cb.instr))
+                {
+                    dead[b] = true;
+                }
+            }
+        }
+    }
+
+    let before = targets.checks.len();
+    let mut keep = dead.iter().map(|d| !d);
+    targets.checks.retain(|_| keep.next().unwrap());
+    (before - targets.checks.len()) as u64
+}
+
+fn operand_key(op: &Operand) -> String {
+    format!("{op:?}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::itarget::discover;
+    use mir::builder::ModuleBuilder;
+    use mir::instr::IcmpPred;
+    use mir::types::Type;
+
+    #[test]
+    fn removes_same_block_duplicate() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = mb.function("f", vec![("p", Type::Ptr)], Type::I64);
+        let p = fb.param(0);
+        let a = fb.load(Type::I64, p.clone());
+        let b = fb.load(Type::I64, p.clone());
+        let s = fb.add(Type::I64, a, b);
+        fb.ret(Some(s));
+        fb.finish();
+        let m = mb.finish();
+        let f = m.function_by_name("f").unwrap().1;
+        let mut t = discover(f);
+        assert_eq!(t.checks.len(), 2);
+        let removed = eliminate_dominated_checks(f, &mut t);
+        assert_eq!(removed, 1);
+        assert_eq!(t.checks.len(), 1);
+    }
+
+    #[test]
+    fn narrower_dominating_check_does_not_cover_wider() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = mb.function("f", vec![("p", Type::Ptr)], Type::I64);
+        let p = fb.param(0);
+        let _a = fb.load(Type::I8, p.clone()); // 1-byte check first
+        let b = fb.load(Type::I64, p.clone()); // 8-byte access NOT covered
+        fb.ret(Some(b));
+        fb.finish();
+        let m = mb.finish();
+        let f = m.function_by_name("f").unwrap().1;
+        let mut t = discover(f);
+        let removed = eliminate_dominated_checks(f, &mut t);
+        assert_eq!(removed, 0);
+    }
+
+    #[test]
+    fn wider_dominating_check_covers_narrower() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = mb.function("f", vec![("p", Type::Ptr)], Type::I64);
+        let p = fb.param(0);
+        let a = fb.load(Type::I64, p.clone());
+        let _b = fb.load(Type::I8, p.clone());
+        fb.ret(Some(a));
+        fb.finish();
+        let m = mb.finish();
+        let f = m.function_by_name("f").unwrap().1;
+        let mut t = discover(f);
+        assert_eq!(eliminate_dominated_checks(f, &mut t), 1);
+        assert_eq!(t.checks[0].width, 8);
+    }
+
+    #[test]
+    fn dominance_across_blocks() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = mb.function("f", vec![("p", Type::Ptr), ("c", Type::I1)], Type::I64);
+        let then_bb = fb.new_block("t");
+        let exit = fb.new_block("x");
+        let p = fb.param(0);
+        let a = fb.load(Type::I64, p.clone());
+        let c = fb.param(1);
+        fb.cond_br(c, then_bb, exit);
+        fb.switch_to(then_bb);
+        let _b = fb.load(Type::I64, p.clone()); // dominated by entry load
+        fb.br(exit);
+        fb.switch_to(exit);
+        fb.ret(Some(a));
+        fb.finish();
+        let m = mb.finish();
+        let f = m.function_by_name("f").unwrap().1;
+        let mut t = discover(f);
+        assert_eq!(eliminate_dominated_checks(f, &mut t), 1);
+    }
+
+    #[test]
+    fn sibling_branches_do_not_dominate() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = mb.function("f", vec![("p", Type::Ptr), ("n", Type::I64)], Type::I64);
+        let t_bb = fb.new_block("t");
+        let e_bb = fb.new_block("e");
+        let x_bb = fb.new_block("x");
+        let p = fb.param(0);
+        let n = fb.param(1);
+        let c = fb.icmp(IcmpPred::Sgt, Type::I64, n, Operand::i64(0));
+        fb.cond_br(c, t_bb, e_bb);
+        fb.switch_to(t_bb);
+        let _a = fb.load(Type::I64, p.clone());
+        fb.br(x_bb);
+        fb.switch_to(e_bb);
+        let _b = fb.load(Type::I64, p.clone());
+        fb.br(x_bb);
+        fb.switch_to(x_bb);
+        fb.ret(Some(Operand::i64(0)));
+        fb.finish();
+        let m = mb.finish();
+        let f = m.function_by_name("f").unwrap().1;
+        let mut t = discover(f);
+        assert_eq!(eliminate_dominated_checks(f, &mut t), 0);
+    }
+
+    #[test]
+    fn different_pointers_kept() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = mb.function("f", vec![("p", Type::Ptr), ("q", Type::Ptr)], Type::I64);
+        let p = fb.param(0);
+        let q = fb.param(1);
+        let a = fb.load(Type::I64, p);
+        let b = fb.load(Type::I64, q);
+        let s = fb.add(Type::I64, a, b);
+        fb.ret(Some(s));
+        fb.finish();
+        let m = mb.finish();
+        let f = m.function_by_name("f").unwrap().1;
+        let mut t = discover(f);
+        assert_eq!(eliminate_dominated_checks(f, &mut t), 0);
+        assert_eq!(t.checks.len(), 2);
+    }
+
+    use mir::instr::Operand;
+}

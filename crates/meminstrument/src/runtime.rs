@@ -1,0 +1,892 @@
+//! The runtime environment: host-function implementations of the
+//! instrumentation interface, plus end-to-end compile/run helpers.
+//!
+//! This plays the role of the "linked runtime library" in Figure 8 of the
+//! paper: check functions, the SoftBound metadata structures, and the
+//! Low-Fat allocators. For Low-Fat Pointers, the default `malloc` is
+//! replaced wholesale (heap allocations become low-fat even when made from
+//! uninstrumented code, §4.3) and instrumented globals are placed into
+//! low-fat regions by a [`memvm::interp::GlobalPlacer`].
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use lowfat::{alloc_size, base_of, is_low_fat, region_of, LowFatHeap, LowFatStack, StackToken};
+use memvm::cost::helper;
+use memvm::host::BumpAllocator;
+use memvm::interp::{ExecOutcome, GlobalPlacer, Trap, Vm, VmConfig};
+use memvm::{CostCategory, RtVal};
+use mir::module::{Global, Module};
+use mir::pipeline::{ExtensionPoint, OptLevel, Pipeline};
+use softbound_rt::{Bounds, MetadataTrie, ShadowStack};
+
+use crate::config::{Mechanism, MiConfig};
+use crate::pass::MemInstrumentPass;
+use crate::stats::InstrStats;
+
+/// Pipeline options for compilation.
+#[derive(Copy, Clone, Debug)]
+pub struct BuildOptions {
+    /// Optimization level.
+    pub opt: OptLevel,
+    /// Where the instrumentation is inserted (ignored for baselines).
+    pub ep: ExtensionPoint,
+}
+
+impl Default for BuildOptions {
+    fn default() -> BuildOptions {
+        // The paper's Figure 9 configuration.
+        BuildOptions { opt: OptLevel::O3, ep: ExtensionPoint::VectorizerStart }
+    }
+}
+
+/// An instrumented (or baseline) module ready to execute.
+#[derive(Clone, Debug)]
+pub struct CompiledProgram {
+    /// The optimized, instrumented module.
+    pub module: Module,
+    /// The mechanism (`None` for the uninstrumented baseline).
+    pub mechanism: Option<Mechanism>,
+    /// Static instrumentation statistics.
+    pub stats: InstrStats,
+}
+
+/// Compiles `module` with instrumentation per `config` at the extension
+/// point in `opts`.
+pub fn compile(mut module: Module, config: &MiConfig, opts: BuildOptions) -> CompiledProgram {
+    let mut pass = MemInstrumentPass::new(config.clone());
+    Pipeline::new(opts.opt).run_at(&mut module, opts.ep, &mut pass);
+    CompiledProgram { module, mechanism: Some(config.mechanism), stats: pass.stats }
+}
+
+/// Compiles `module` without instrumentation (the `-O3` baseline of the
+/// paper's figures).
+pub fn compile_baseline(mut module: Module, opts: BuildOptions) -> CompiledProgram {
+    Pipeline::new(opts.opt).run(&mut module);
+    CompiledProgram { module, mechanism: None, stats: InstrStats::default() }
+}
+
+impl CompiledProgram {
+    /// Builds a VM with the matching runtime installed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates VM load failures.
+    pub fn make_vm(&self, vm_config: VmConfig) -> Result<Vm, Trap> {
+        match self.mechanism {
+            None => Vm::new(self.module.clone(), vm_config),
+            Some(Mechanism::SoftBound) => {
+                let mut vm = Vm::new(self.module.clone(), vm_config)?;
+                install_runtime(&mut vm, Mechanism::SoftBound);
+                Ok(vm)
+            }
+            Some(Mechanism::LowFat) => {
+                let heap = Rc::new(RefCell::new(LowFatHeap::new()));
+                let mut placer = LowFatPlacer { heap: heap.clone() };
+                let mut vm = Vm::with_placer(self.module.clone(), vm_config, &mut placer)?;
+                install_lowfat(&mut vm, heap);
+                Ok(vm)
+            }
+            Some(Mechanism::RedZone) => {
+                let shadow = Rc::new(RefCell::new(RzState::new()));
+                let mut placer = RedZonePlacer { shadow: shadow.clone() };
+                let mut vm = Vm::with_placer(self.module.clone(), vm_config, &mut placer)?;
+                install_redzone(&mut vm, shadow);
+                Ok(vm)
+            }
+        }
+    }
+
+    /// Builds a VM and runs `main` to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns the trap (including detected memory-safety violations).
+    pub fn run_main(&self, vm_config: VmConfig) -> Result<ExecOutcome, Trap> {
+        self.make_vm(vm_config)?.run("main", &[])
+    }
+}
+
+/// One-call convenience: instrument, optimize, execute `main`.
+///
+/// # Errors
+///
+/// Returns the trap that ended execution, if any — in particular
+/// [`Trap::MemSafetyViolation`] when the instrumentation catches an error.
+pub fn compile_and_run(
+    module: Module,
+    config: &MiConfig,
+    opts: BuildOptions,
+) -> Result<ExecOutcome, Trap> {
+    compile(module, config, opts).run_main(VmConfig::default())
+}
+
+/// Places `lowfat`-attributed globals into their size-class regions.
+struct LowFatPlacer {
+    heap: Rc<RefCell<LowFatHeap>>,
+}
+
+impl GlobalPlacer for LowFatPlacer {
+    fn place(&mut self, mem: &mut memvm::Memory, g: &Global) -> Option<u64> {
+        if !g.attrs.lowfat {
+            return None;
+        }
+        let alloc = self.heap.borrow_mut().alloc(g.size().max(1))?;
+        mem.map(alloc.addr, alloc.class_size);
+        Some(alloc.addr)
+    }
+}
+
+fn violation(mechanism: &str, kind: &str, addr: u64, detail: String) -> Trap {
+    Trap::MemSafetyViolation { mechanism: mechanism.into(), kind: kind.into(), addr, detail }
+}
+
+/// Installs the runtime library for `mechanism` into `vm`.
+///
+/// For SoftBound this is complete. For Low-Fat Pointers this installs the
+/// host functions and allocator replacement but *not* the global mirroring,
+/// which requires constructing the VM via [`CompiledProgram::make_vm`] (the
+/// placer must run at load time).
+pub fn install_runtime(vm: &mut Vm, mechanism: Mechanism) {
+    match mechanism {
+        Mechanism::SoftBound => install_softbound(vm),
+        Mechanism::LowFat => install_lowfat(vm, Rc::new(RefCell::new(LowFatHeap::new()))),
+        Mechanism::RedZone => install_redzone(vm, Rc::new(RefCell::new(RzState::new()))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Red-zone (ASan-style) runtime: shadow poison set + gapped allocators
+// ---------------------------------------------------------------------------
+
+/// Heap area for the red-zone allocator (distinct from the default heap so
+/// baseline and red-zone addresses never collide in tests).
+const RZ_HEAP_BASE: u64 = 0xE400_0000_0000;
+/// Stack slab area for red-zone-guarded allocas.
+const RZ_STACK_BASE: u64 = 0xF400_0000_0000;
+/// Guarded-globals area (disjoint from the default global area, which
+/// still hosts uninstrumented-library globals).
+const RZ_GLOBAL_BASE: u64 = 0xD400_0000_0000;
+/// Guard-zone size on each side of every object.
+const RZ_SIZE: u64 = 16;
+
+/// Shadow state: poisoned 8-byte granules plus the two bump cursors.
+struct RzState {
+    poisoned: std::collections::HashSet<u64>,
+    heap_next: u64,
+    stack_next: u64,
+    global_next: u64,
+}
+
+impl RzState {
+    fn new() -> RzState {
+        RzState {
+            poisoned: std::collections::HashSet::new(),
+            heap_next: RZ_HEAP_BASE,
+            stack_next: RZ_STACK_BASE,
+            global_next: RZ_GLOBAL_BASE,
+        }
+    }
+
+    fn poison(&mut self, addr: u64, len: u64) {
+        for g in (addr >> 3)..((addr + len) >> 3) {
+            self.poisoned.insert(g);
+        }
+    }
+
+    fn unpoison(&mut self, addr: u64, len: u64) {
+        for g in (addr >> 3)..((addr + len) >> 3) {
+            self.poisoned.remove(&g);
+        }
+    }
+
+    /// Whether any granule overlapping `[addr, addr+width)` is poisoned.
+    fn hits_poison(&self, addr: u64, width: u64) -> bool {
+        let end = addr.saturating_add(width.max(1)).saturating_add(7);
+        ((addr >> 3)..(end >> 3)).any(|g| self.poisoned.contains(&g))
+    }
+
+    /// Carves `[rz][object][rz]` out of a bump area; returns the object
+    /// address. The caller maps the memory.
+    fn carve(next: &mut u64, size: u64) -> (u64, u64) {
+        let size_r = (size.max(1) + 15) & !15;
+        let base = *next + RZ_SIZE;
+        *next = base + size_r;
+        (base, size_r)
+    }
+
+    fn alloc(&mut self, mem: &mut memvm::Memory, heap: bool, size: u64) -> u64 {
+        let cursor = if heap { &mut self.heap_next } else { &mut self.stack_next };
+        let (base, size_r) = Self::carve(cursor, size);
+        mem.map(base - RZ_SIZE, size_r + 2 * RZ_SIZE);
+        self.poison(base - RZ_SIZE, RZ_SIZE);
+        self.poison(base + size_r, RZ_SIZE);
+        self.unpoison(base, size_r);
+        base
+    }
+}
+
+/// Places globals into red-zone-guarded slots.
+struct RedZonePlacer {
+    shadow: Rc<RefCell<RzState>>,
+}
+
+impl GlobalPlacer for RedZonePlacer {
+    fn place(&mut self, mem: &mut memvm::Memory, g: &Global) -> Option<u64> {
+        if g.attrs.uninstrumented_lib {
+            return None; // library globals get no guards, as with real ASan
+        }
+        let mut st = self.shadow.borrow_mut();
+        let size = g.size().max(1);
+        let size_r = (size + 15) & !15;
+        let addr = st.global_next + RZ_SIZE;
+        st.global_next = addr + size_r;
+        mem.map(addr - RZ_SIZE, size_r + 2 * RZ_SIZE);
+        st.poison(addr - RZ_SIZE, RZ_SIZE);
+        st.poison(addr + size_r, RZ_SIZE);
+        st.unpoison(addr, size_r);
+        Some(addr)
+    }
+}
+
+fn install_redzone(vm: &mut Vm, shadow: Rc<RefCell<RzState>>) {
+    let reg = vm.registry_mut();
+    {
+        let shadow = shadow.clone();
+        reg.register("malloc", move |ctx, args| {
+            ctx.charge(CostCategory::Allocator, helper::RZ_MALLOC);
+            Ok(RtVal::Int(shadow.borrow_mut().alloc(ctx.mem, true, args[0].as_int())))
+        });
+    }
+    {
+        let shadow = shadow.clone();
+        reg.register("calloc", move |ctx, args| {
+            let size = args[0].as_int().saturating_mul(args[1].as_int());
+            ctx.charge(CostCategory::Allocator, helper::RZ_MALLOC + size / 8);
+            Ok(RtVal::Int(shadow.borrow_mut().alloc(ctx.mem, true, size)))
+        });
+    }
+    {
+        let shadow = shadow.clone();
+        reg.register("free", move |ctx, args| {
+            ctx.charge(CostCategory::Allocator, helper::RZ_FREE);
+            // Quarantine-style: poison the first granules of the freed
+            // object so (some) accesses through dangling pointers trap.
+            shadow.borrow_mut().poison(args[0].as_int(), RZ_SIZE);
+            Ok(RtVal::Int(0))
+        });
+    }
+    {
+        let shadow = shadow.clone();
+        reg.register("__rz_stack_alloc", move |ctx, args| {
+            ctx.charge(CostCategory::Allocator, helper::RZ_STACK_ALLOC);
+            Ok(RtVal::Int(shadow.borrow_mut().alloc(ctx.mem, false, args[0].as_int())))
+        });
+    }
+    {
+        let shadow = shadow.clone();
+        reg.register("__rz_stack_save", move |ctx, _args| {
+            ctx.charge(CostCategory::Allocator, helper::RZ_STACK_SAVERESTORE);
+            Ok(RtVal::Int(shadow.borrow().stack_next))
+        });
+    }
+    {
+        let shadow = shadow.clone();
+        reg.register("__rz_stack_restore", move |ctx, args| {
+            ctx.charge(CostCategory::Allocator, helper::RZ_STACK_SAVERESTORE);
+            let mut st = shadow.borrow_mut();
+            let watermark = args[0].as_int();
+            let cur = st.stack_next;
+            if cur > watermark {
+                st.unpoison(watermark, cur + RZ_SIZE - watermark);
+                st.stack_next = watermark;
+            }
+            Ok(RtVal::Int(0))
+        });
+    }
+    {
+        let shadow = shadow.clone();
+        reg.register("__rz_check", move |ctx, args| {
+            ctx.charge(CostCategory::Checks, helper::RZ_CHECK);
+            ctx.stats.checks_executed += 1;
+            let (ptr, width) = (args[0].as_int(), args[1].as_int());
+            if shadow.borrow().hits_poison(ptr, width) {
+                return Err(violation(
+                    "redzone",
+                    "deref-check",
+                    ptr,
+                    format!("access of {width} B touches a poisoned red zone"),
+                ));
+            }
+            Ok(RtVal::Int(0))
+        });
+    }
+}
+
+fn install_softbound(vm: &mut Vm) {
+    let trie = Rc::new(RefCell::new(MetadataTrie::new()));
+    let ss = Rc::new(RefCell::new(ShadowStack::new()));
+    let reg = vm.registry_mut();
+
+    reg.register("__sb_check", |ctx, args| {
+        ctx.charge(CostCategory::Checks, helper::SB_CHECK);
+        ctx.stats.checks_executed += 1;
+        let (ptr, width) = (args[0].as_int(), args[1].as_int());
+        let b = Bounds { base: args[2].as_int(), bound: args[3].as_int() };
+        if b.bound == u64::MAX {
+            ctx.stats.checks_wide += 1;
+            return Ok(RtVal::Int(0));
+        }
+        if !b.allows(ptr, width) {
+            return Err(violation(
+                "softbound",
+                "deref-check",
+                ptr,
+                format!("access of {width} B outside [0x{:x}, 0x{:x})", b.base, b.bound),
+            ));
+        }
+        Ok(RtVal::Int(0))
+    });
+    {
+        let trie = trie.clone();
+        reg.register("__sb_trie_get_base", move |ctx, args| {
+            ctx.charge(CostCategory::Metadata, helper::SB_TRIE_GET);
+            ctx.stats.metadata_loads += 1;
+            Ok(RtVal::Int(trie.borrow().get(args[0].as_int()).base))
+        });
+    }
+    {
+        let trie = trie.clone();
+        reg.register("__sb_trie_get_bound", move |ctx, args| {
+            ctx.charge(CostCategory::Metadata, helper::SB_TRIE_GET);
+            ctx.stats.metadata_loads += 1;
+            Ok(RtVal::Int(trie.borrow().get(args[0].as_int()).bound))
+        });
+    }
+    {
+        let trie = trie.clone();
+        reg.register("__sb_trie_set", move |ctx, args| {
+            ctx.charge(CostCategory::Metadata, helper::SB_TRIE_SET);
+            ctx.stats.metadata_stores += 1;
+            trie.borrow_mut().set(
+                args[0].as_int(),
+                Bounds { base: args[1].as_int(), bound: args[2].as_int() },
+            );
+            Ok(RtVal::Int(0))
+        });
+    }
+    {
+        let trie = trie.clone();
+        reg.register("__sb_memcpy_meta", move |ctx, args| {
+            let (dst, src, len) = (args[0].as_int(), args[1].as_int(), args[2].as_int());
+            ctx.charge(CostCategory::Metadata, 4 + len / 8);
+            ctx.stats.metadata_stores += 1;
+            trie.borrow_mut().copy_range(dst, src, len);
+            Ok(RtVal::Int(0))
+        });
+    }
+    {
+        let trie = trie.clone();
+        reg.register("__sb_memset_meta", move |ctx, args| {
+            let (dst, len) = (args[0].as_int(), args[1].as_int());
+            ctx.charge(CostCategory::Metadata, 4 + len / 8);
+            ctx.stats.metadata_stores += 1;
+            let mut t = trie.borrow_mut();
+            for i in 0..len / 8 {
+                t.set(dst + i * 8, Bounds::NULL);
+            }
+            Ok(RtVal::Int(0))
+        });
+    }
+    {
+        let ss = ss.clone();
+        reg.register("__sb_ss_push_frame", move |ctx, args| {
+            ctx.charge(CostCategory::Metadata, helper::SB_SS_FRAME);
+            ss.borrow_mut().push_frame(args[0].as_int() as usize);
+            Ok(RtVal::Int(0))
+        });
+    }
+    {
+        let ss = ss.clone();
+        reg.register("__sb_ss_pop_frame", move |ctx, _args| {
+            ctx.charge(CostCategory::Metadata, helper::SB_SS_FRAME);
+            ss.borrow_mut().pop_frame();
+            Ok(RtVal::Int(0))
+        });
+    }
+    {
+        let ss = ss.clone();
+        reg.register("__sb_ss_set_arg", move |ctx, args| {
+            ctx.charge(CostCategory::Metadata, helper::SB_SS_SET);
+            ctx.stats.metadata_stores += 1;
+            ss.borrow_mut().set_arg(
+                args[0].as_int() as usize,
+                Bounds { base: args[1].as_int(), bound: args[2].as_int() },
+            );
+            Ok(RtVal::Int(0))
+        });
+    }
+    {
+        let ss = ss.clone();
+        reg.register("__sb_ss_get_arg_base", move |ctx, args| {
+            ctx.charge(CostCategory::Metadata, helper::SB_SS_GET);
+            ctx.stats.metadata_loads += 1;
+            Ok(RtVal::Int(ss.borrow().arg(args[0].as_int() as usize).base))
+        });
+    }
+    {
+        let ss = ss.clone();
+        reg.register("__sb_ss_get_arg_bound", move |ctx, args| {
+            ctx.charge(CostCategory::Metadata, helper::SB_SS_GET);
+            ctx.stats.metadata_loads += 1;
+            Ok(RtVal::Int(ss.borrow().arg(args[0].as_int() as usize).bound))
+        });
+    }
+    {
+        let ss = ss.clone();
+        reg.register("__sb_ss_set_ret", move |ctx, args| {
+            ctx.charge(CostCategory::Metadata, helper::SB_SS_SET);
+            ctx.stats.metadata_stores += 1;
+            ss.borrow_mut()
+                .set_ret(Bounds { base: args[0].as_int(), bound: args[1].as_int() });
+            Ok(RtVal::Int(0))
+        });
+    }
+    {
+        let ss = ss.clone();
+        reg.register("__sb_ss_get_ret_base", move |ctx, _args| {
+            ctx.charge(CostCategory::Metadata, helper::SB_SS_GET);
+            ctx.stats.metadata_loads += 1;
+            Ok(RtVal::Int(ss.borrow().ret().base))
+        });
+    }
+    {
+        reg.register("__sb_ss_get_ret_bound", move |ctx, _args| {
+            ctx.charge(CostCategory::Metadata, helper::SB_SS_GET);
+            ctx.stats.metadata_loads += 1;
+            Ok(RtVal::Int(ss.borrow().ret().bound))
+        });
+    }
+}
+
+/// Fallback stack area for allocations the low-fat stack cannot serve.
+const LF_FALLBACK_STACK_BASE: u64 = 0xF800_0000_0000;
+
+fn install_lowfat(vm: &mut Vm, heap: Rc<RefCell<LowFatHeap>>) {
+    let stack = Rc::new(RefCell::new(LowFatStack::new()));
+    let heap_fallback = Rc::new(RefCell::new(BumpAllocator::new(memvm::layout::HEAP_BASE)));
+    let stack_fallback = Rc::new(RefCell::new(BumpAllocator::new(LF_FALLBACK_STACK_BASE)));
+    let reg = vm.registry_mut();
+
+    // Replace malloc/calloc wholesale: every heap allocation in the program
+    // (even from uninstrumented code) becomes low-fat (§4.3).
+    {
+        let heap = heap.clone();
+        let fb = heap_fallback.clone();
+        reg.register("malloc", move |ctx, args| {
+            ctx.charge(CostCategory::Allocator, helper::LF_MALLOC);
+            let size = args[0].as_int();
+            match heap.borrow_mut().alloc(size) {
+                Some(a) => {
+                    ctx.mem.map(a.addr, a.class_size);
+                    Ok(RtVal::Int(a.addr))
+                }
+                None => Ok(RtVal::Int(fb.borrow_mut().alloc(ctx.mem, size))),
+            }
+        });
+    }
+    {
+        let heap = heap.clone();
+        let fb = heap_fallback;
+        reg.register("calloc", move |ctx, args| {
+            let size = args[0].as_int().saturating_mul(args[1].as_int());
+            ctx.charge(CostCategory::Allocator, helper::LF_MALLOC + size / 8);
+            match heap.borrow_mut().alloc(size) {
+                Some(a) => {
+                    ctx.mem.map(a.addr, a.class_size);
+                    Ok(RtVal::Int(a.addr))
+                }
+                None => Ok(RtVal::Int(fb.borrow_mut().alloc(ctx.mem, size))),
+            }
+        });
+    }
+    {
+        let heap = heap.clone();
+        reg.register("free", move |ctx, args| {
+            ctx.charge(CostCategory::Allocator, helper::LF_FREE);
+            let ptr = args[0].as_int();
+            if is_low_fat(ptr) && ptr == base_of(ptr) {
+                heap.borrow_mut().free(ptr);
+            }
+            Ok(RtVal::Int(0))
+        });
+    }
+    {
+        let stack = stack.clone();
+        let fb = stack_fallback;
+        reg.register("__lf_stack_alloc", move |ctx, args| {
+            ctx.charge(CostCategory::Allocator, helper::LF_STACK_ALLOC);
+            let size = args[0].as_int();
+            match stack.borrow_mut().alloc(size) {
+                Some(a) => {
+                    ctx.mem.map(a.addr, a.class_size);
+                    Ok(RtVal::Int(a.addr))
+                }
+                None => Ok(RtVal::Int(fb.borrow_mut().alloc(ctx.mem, size))),
+            }
+        });
+    }
+    {
+        let stack = stack.clone();
+        reg.register("__lf_stack_save", move |ctx, _args| {
+            ctx.charge(CostCategory::Allocator, helper::LF_STACK_SAVERESTORE);
+            Ok(RtVal::Int(stack.borrow().save().as_raw()))
+        });
+    }
+    {
+        let stack = stack.clone();
+        reg.register("__lf_stack_restore", move |ctx, args| {
+            ctx.charge(CostCategory::Allocator, helper::LF_STACK_SAVERESTORE);
+            stack.borrow_mut().restore(StackToken::from_raw(args[0].as_int()));
+            Ok(RtVal::Int(0))
+        });
+    }
+    reg.register("__lf_base", |ctx, args| {
+        ctx.charge(CostCategory::Metadata, helper::LF_BASE);
+        ctx.stats.metadata_loads += 1;
+        Ok(RtVal::Int(base_of(args[0].as_int())))
+    });
+    reg.register("__lf_check", |ctx, args| {
+        ctx.charge(CostCategory::Checks, helper::LF_CHECK);
+        ctx.stats.checks_executed += 1;
+        let (ptr, width, base) = (args[0].as_int(), args[1].as_int(), args[2].as_int());
+        if !is_low_fat(base) {
+            // Wide bounds: the pointer is outside every low-fat region
+            // (legacy stack, uninstrumented-library globals, oversized
+            // allocations) — nothing can be validated (§4.6, Table 2).
+            ctx.stats.checks_wide += 1;
+            return Ok(RtVal::Int(0));
+        }
+        let size = alloc_size(region_of(base));
+        // Figure 5: (ptr - base) > alloc_size - width, with underflow on
+        // ptr < base making the check fail as intended.
+        if width > size || ptr.wrapping_sub(base) > size - width {
+            return Err(violation(
+                "lowfat",
+                "deref-check",
+                ptr,
+                format!("access of {width} B outside object at 0x{base:x} (size {size})"),
+            ));
+        }
+        Ok(RtVal::Int(0))
+    });
+    reg.register("__lf_invariant", |ctx, args| {
+        ctx.charge(CostCategory::Checks, helper::LF_INVARIANT);
+        ctx.stats.invariant_checks_executed += 1;
+        let (ptr, base) = (args[0].as_int(), args[1].as_int());
+        if !is_low_fat(base) {
+            return Ok(RtVal::Int(0));
+        }
+        let size = alloc_size(region_of(base));
+        if ptr.wrapping_sub(base) >= size {
+            // An out-of-bounds pointer escapes: Low-Fat must reject it to
+            // keep its invariant — even if the program would have brought
+            // it back in bounds before dereferencing (§4.2).
+            return Err(violation(
+                "lowfat",
+                "invariant",
+                ptr,
+                format!("out-of-bounds pointer escapes object at 0x{base:x} (size {size})"),
+            ));
+        }
+        Ok(RtVal::Int(0))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Module {
+        mir::parser::parse_module(src).unwrap()
+    }
+
+    fn run_all(src: &str) -> [Result<ExecOutcome, Trap>; 3] {
+        let m = parse(src);
+        let base = compile_baseline(m.clone(), BuildOptions::default()).run_main(VmConfig::default());
+        let sb = compile_and_run(m.clone(), &MiConfig::new(Mechanism::SoftBound), BuildOptions::default());
+        let lf = compile_and_run(m, &MiConfig::new(Mechanism::LowFat), BuildOptions::default());
+        [base, sb, lf]
+    }
+
+    const CORRECT_PROGRAM: &str = r#"
+        hostdecl ptr @malloc(i64)
+        hostdecl void @print_i64(i64)
+        define i64 @sum(ptr %arr, i64 %n) {
+        entry:
+          br header
+        header:
+          %i = phi i64, [entry: i64 0], [body: %next]
+          %acc = phi i64, [entry: i64 0], [body: %acc2]
+          %c = icmp slt i64, %i, %n
+          condbr %c, body, exit
+        body:
+          %q = gep i64, %arr, [%i]
+          %v = load i64, %q
+          %acc2 = add i64, %acc, %v
+          %next = add i64, %i, i64 1
+          br header
+        exit:
+          ret %acc
+        }
+        define i64 @main() {
+        entry:
+          %p = call ptr @malloc(i64 80)
+          br header
+        header:
+          %i = phi i64, [entry: i64 0], [body: %next]
+          %c = icmp slt i64, %i, i64 10
+          condbr %c, body, exit
+        body:
+          %q = gep i64, %p, [%i]
+          store i64, %i, %q
+          %next = add i64, %i, i64 1
+          br header
+        exit:
+          %s = call i64 @sum(%p, i64 10)
+          call void @print_i64(%s)
+          ret %s
+        }
+    "#;
+
+    #[test]
+    fn correct_program_runs_identically_under_all_configs() {
+        let [base, sb, lf] = run_all(CORRECT_PROGRAM);
+        let base = base.unwrap();
+        let sb = sb.unwrap();
+        let lf = lf.unwrap();
+        assert_eq!(base.ret.unwrap().as_int(), 45);
+        assert_eq!(sb.ret.unwrap().as_int(), 45);
+        assert_eq!(lf.ret.unwrap().as_int(), 45);
+        assert_eq!(base.output, sb.output);
+        assert_eq!(base.output, lf.output);
+        // Instrumented runs cost more than the baseline.
+        assert!(sb.stats.cost_total > base.stats.cost_total);
+        assert!(lf.stats.cost_total > base.stats.cost_total);
+        // Checks actually executed.
+        assert!(sb.stats.checks_executed > 0);
+        assert!(lf.stats.checks_executed > 0);
+        assert_eq!(sb.stats.checks_wide, 0);
+        assert_eq!(lf.stats.checks_wide, 0);
+    }
+
+    const HEAP_OVERFLOW: &str = r#"
+        hostdecl ptr @malloc(i64)
+        define i64 @main() {
+        entry:
+          %p = call ptr @malloc(i64 80)
+          br header
+        header:
+          %i = phi i64, [entry: i64 0], [body: %next]
+          %c = icmp sle i64, %i, i64 16
+          condbr %c, body, exit
+        body:
+          %q = gep i64, %p, [%i]
+          store i64, %i, %q
+          %next = add i64, %i, i64 1
+          br header
+        exit:
+          ret i64 0
+        }
+    "#;
+
+    #[test]
+    fn heap_overflow_caught_by_both() {
+        let [base, sb, lf] = run_all(HEAP_OVERFLOW);
+        // The baseline overflows into the mapped page: silent corruption.
+        assert!(base.is_ok(), "baseline must run through: {base:?}");
+        assert!(
+            matches!(sb, Err(Trap::MemSafetyViolation { ref mechanism, .. }) if mechanism == "softbound"),
+            "{sb:?}"
+        );
+        // 80 B pads to a 128 B low-fat object: the write at offset 128
+        // leaves the object and is caught.
+        assert!(
+            matches!(lf, Err(Trap::MemSafetyViolation { ref mechanism, .. }) if mechanism == "lowfat"),
+            "{lf:?}"
+        );
+    }
+
+    #[test]
+    fn lowfat_misses_overflow_into_padding_softbound_catches() {
+        // One element past an 80-byte allocation: offset 80..88 is inside
+        // the 128-byte padded object — §4's distinguishing limitation.
+        let src = r#"
+            hostdecl ptr @malloc(i64)
+            define i64 @main() {
+            entry:
+              %p = call ptr @malloc(i64 80)
+              %q = gep i64, %p, [i64 10]
+              store i64, i64 1, %q
+              ret i64 0
+            }
+        "#;
+        let m = parse(src);
+        let sb = compile_and_run(m.clone(), &MiConfig::new(Mechanism::SoftBound), BuildOptions::default());
+        let lf = compile_and_run(m, &MiConfig::new(Mechanism::LowFat), BuildOptions::default());
+        assert!(sb.is_err(), "SoftBound uses exact bounds: {sb:?}");
+        assert!(lf.is_ok(), "Low-Fat cannot see into its padding: {lf:?}");
+    }
+
+    #[test]
+    fn stack_overflow_caught() {
+        let src = r#"
+            define i64 @main() {
+            entry:
+              %a = alloca [4 x i64], i64 1
+              %q = gep i64, %a, [i64 9]
+              store i64, i64 1, %q
+              ret i64 0
+            }
+        "#;
+        let m = parse(src);
+        let sb = compile_and_run(m.clone(), &MiConfig::new(Mechanism::SoftBound), BuildOptions::default());
+        assert!(sb.is_err(), "{sb:?}");
+        let lf = compile_and_run(m, &MiConfig::new(Mechanism::LowFat), BuildOptions::default());
+        assert!(lf.is_err(), "{lf:?}");
+    }
+
+    #[test]
+    fn global_overflow_caught() {
+        let src = r#"
+            global @g : [4 x i32] = zero
+            global @h : [4 x i32] = zero
+            define i64 @main() {
+            entry:
+              %q = gep i32, @g, [i64 40]
+              store i32, i32 1, %q
+              ret i64 0
+            }
+        "#;
+        let m = parse(src);
+        let sb = compile_and_run(m.clone(), &MiConfig::new(Mechanism::SoftBound), BuildOptions::default());
+        assert!(sb.is_err(), "{sb:?}");
+        let lf = compile_and_run(m, &MiConfig::new(Mechanism::LowFat), BuildOptions::default());
+        assert!(lf.is_err(), "{lf:?}");
+    }
+
+    #[test]
+    fn oversized_allocation_gives_lowfat_wide_bounds() {
+        // The 429mcf situation: > 1 GiB allocation falls back to the
+        // standard allocator; its accesses cannot be checked by Low-Fat.
+        let src = r#"
+            hostdecl ptr @malloc(i64)
+            define i64 @main() {
+            entry:
+              %p = call ptr @malloc(i64 2147483648)
+              %q = gep i64, %p, [i64 1000]
+              store i64, i64 1, %q
+              %v = load i64, %q
+              ret %v
+            }
+        "#;
+        let m = parse(src);
+        let prog = compile(m, &MiConfig::new(Mechanism::LowFat), BuildOptions::default());
+        let out = prog.run_main(VmConfig::default()).unwrap();
+        assert_eq!(out.ret.unwrap().as_int(), 1);
+        assert!(out.stats.checks_wide > 0);
+        assert_eq!(out.stats.checks_wide, out.stats.checks_executed);
+    }
+
+    #[test]
+    fn size_unknown_extern_gives_softbound_wide_bounds() {
+        // The 164gzip situation (§4.3): the "real" size is visible to the
+        // VM loader but hidden from the instrumentation.
+        let src = r#"
+            global @ext_arr : [64 x i32] = zero external size_unknown
+            define i64 @main() {
+            entry:
+              %q = gep i32, @ext_arr, [i64 5]
+              store i32, i32 7, %q
+              %v = load i32, %q
+              %w = zext %v, i32 to i64
+              ret %w
+            }
+        "#;
+        let m = parse(src);
+        let prog = compile(m.clone(), &MiConfig::new(Mechanism::SoftBound), BuildOptions::default());
+        let out = prog.run_main(VmConfig::default()).unwrap();
+        assert_eq!(out.ret.unwrap().as_int(), 7);
+        assert!(out.stats.checks_wide > 0);
+        // Low-Fat does not need size info: it mirrors the global and checks.
+        let prog = compile(m, &MiConfig::new(Mechanism::LowFat), BuildOptions::default());
+        let out = prog.run_main(VmConfig::default()).unwrap();
+        assert_eq!(out.stats.checks_wide, 0);
+        assert!(out.stats.checks_executed > 0);
+    }
+
+    #[test]
+    fn lowfat_rejects_escaping_oob_pointer_softbound_tolerates() {
+        // §4.2: p + 100 escapes to a callee which brings it back in bounds
+        // before dereferencing. SoftBound accepts; Low-Fat reports.
+        // `back` calls another module function so the inliner leaves it
+        // alone — the escape must survive to the call boundary, as it would
+        // for a function in another translation unit.
+        let src = r#"
+            hostdecl ptr @malloc(i64)
+            define i64 @note(i64 %x) {
+            entry:
+              ret %x
+            }
+            define i64 @back(ptr %p) {
+            entry:
+              %q = gep i64, %p, [i64 -100]
+              %v = load i64, %q
+              %w = call i64 @note(%v)
+              ret %w
+            }
+            define i64 @main() {
+            entry:
+              %p = call ptr @malloc(i64 64)
+              store i64, i64 42, %p
+              %oob = gep i64, %p, [i64 100]
+              %v = call i64 @back(%oob)
+              ret %v
+            }
+        "#;
+        let m = parse(src);
+        let sb = compile_and_run(m.clone(), &MiConfig::new(Mechanism::SoftBound), BuildOptions::default());
+        assert_eq!(sb.unwrap().ret.unwrap().as_int(), 42);
+        let lf = compile_and_run(m, &MiConfig::new(Mechanism::LowFat), BuildOptions::default());
+        assert!(
+            matches!(lf, Err(Trap::MemSafetyViolation { ref kind, .. }) if kind == "invariant"),
+            "{lf:?}"
+        );
+    }
+
+    #[test]
+    fn all_extension_points_execute_correctly() {
+        for ep in ExtensionPoint::ALL {
+            for mech in [Mechanism::SoftBound, Mechanism::LowFat] {
+                let m = parse(CORRECT_PROGRAM);
+                let out = compile_and_run(
+                    m,
+                    &MiConfig::new(mech),
+                    BuildOptions { opt: OptLevel::O3, ep },
+                )
+                .unwrap_or_else(|e| panic!("{mech:?} at {}: {e}", ep.name()));
+                assert_eq!(out.ret.unwrap().as_int(), 45);
+            }
+        }
+    }
+
+    #[test]
+    fn geninvariants_cheaper_than_full() {
+        let m = parse(CORRECT_PROGRAM);
+        let full = compile_and_run(m.clone(), &MiConfig::new(Mechanism::SoftBound), BuildOptions::default()).unwrap();
+        let inv =
+            compile_and_run(m, &MiConfig::invariants_only(Mechanism::SoftBound), BuildOptions::default()).unwrap();
+        assert!(inv.stats.cost_total < full.stats.cost_total);
+        assert_eq!(inv.stats.checks_executed, 0);
+    }
+}

@@ -1,0 +1,646 @@
+//! Witness resolution: the shared SSA plumbing of §3.1.
+//!
+//! A *witness* is the set of SSA values that carry a pointer's bounds
+//! information to the places that need it — `(base, bound)` for SoftBound,
+//! the allocation base for Low-Fat Pointers. The framework handles the
+//! propagation rows of Table 1 that are identical for all mechanisms
+//! (`phi` → companion phis, `select` → companion selects, `gep` → inherit
+//! from the source pointer) and classifies every other pointer origin into
+//! a [`Source`] that the mechanism materializes.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use mir::function::ValueDef;
+use mir::ids::{BlockId, GlobalId, InstrId, ValueId};
+use mir::instr::{CastOp, InstrKind, Operand};
+use mir::module::Module;
+use mir::types::Type;
+use mir::Function;
+
+use crate::config::MiConfig;
+use crate::stats::InstrStats;
+
+/// A resolved witness: one operand per component (SoftBound: `[base,
+/// bound]`; Low-Fat: `[base]`).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Witness(pub Vec<Operand>);
+
+impl Witness {
+    /// The single component of an arity-1 witness.
+    pub fn base(&self) -> &Operand {
+        &self.0[0]
+    }
+}
+
+/// How the size of a heap allocation is computed at the allocation site.
+#[derive(Clone, Debug)]
+pub enum SizeExpr {
+    /// The size is this operand (e.g. `malloc(size)`).
+    Direct(Operand),
+    /// The size is the product of two operands (e.g. `calloc(n, size)`).
+    Product(Operand, Operand),
+}
+
+/// A true pointer source (everything the shared plumbing cannot inherit).
+#[derive(Clone, Debug)]
+pub enum Source {
+    /// A stack allocation (only reaches the mechanism when allocas are not
+    /// replaced, i.e. under SoftBound).
+    Alloca {
+        /// The `alloca` instruction.
+        instr: InstrId,
+    },
+    /// A heap (or low-fat stack) allocation with IR-visible size.
+    HeapAlloc {
+        /// The allocation call.
+        instr: InstrId,
+        /// How to compute the allocation size.
+        size: SizeExpr,
+    },
+    /// The address of a global variable.
+    Global(GlobalId),
+    /// A pointer loaded from memory ("rely on invariant", Table 1).
+    LoadedFromMemory {
+        /// The `load` instruction.
+        instr: InstrId,
+        /// The address the pointer was loaded from.
+        addr: Operand,
+    },
+    /// A pointer returned by a call that is not a known allocator.
+    CallResult {
+        /// The call instruction.
+        instr: InstrId,
+        /// Callee name (`None` for indirect calls).
+        callee: Option<String>,
+    },
+    /// A pointer-typed function parameter (`index` into `params`).
+    Param(usize),
+    /// A pointer minted from an integer (§4.4).
+    IntToPtr {
+        /// The cast instruction.
+        instr: InstrId,
+    },
+    /// The null pointer.
+    NullPtr,
+    /// Anything else (undef, function addresses).
+    Opaque,
+}
+
+/// Per-global metadata the instrumentation needs (no initializer data).
+#[derive(Clone, Debug)]
+pub struct GlobalMeta {
+    /// Symbol name.
+    pub name: String,
+    /// Size in bytes as visible in this TU.
+    pub size: u64,
+    /// `extern` declaration without size information (§4.3).
+    pub size_unknown: bool,
+    /// Belongs to an uninstrumented library (§4.3).
+    pub uninstrumented_lib: bool,
+}
+
+/// Per-callee info for the call protocol.
+#[derive(Clone, Debug)]
+pub struct CalleeInfo {
+    /// Defined in this module and instrumented (maintains the protocol).
+    pub instrumented_def: bool,
+    /// Parameter types.
+    pub param_types: Vec<Type>,
+    /// Whether the callee returns a pointer.
+    pub ret_ptr: bool,
+}
+
+/// Module-level context shared by all per-function instrumentations.
+#[derive(Clone, Debug)]
+pub struct ModuleInfo {
+    /// Global metadata, indexed by [`GlobalId`].
+    pub globals: Vec<GlobalMeta>,
+    /// Callee info by name.
+    pub callees: BTreeMap<String, CalleeInfo>,
+    /// The configuration.
+    pub config: MiConfig,
+}
+
+impl ModuleInfo {
+    /// Collects module info before any function is mutated.
+    pub fn collect(m: &Module, config: &MiConfig) -> ModuleInfo {
+        let globals = m
+            .globals
+            .iter()
+            .map(|g| GlobalMeta {
+                name: g.name.clone(),
+                size: g.size(),
+                size_unknown: g.attrs.size_unknown,
+                uninstrumented_lib: g.attrs.uninstrumented_lib,
+            })
+            .collect();
+        let callees = m
+            .functions
+            .iter()
+            .map(|f| {
+                (
+                    f.name.clone(),
+                    CalleeInfo {
+                        instrumented_def: !f.is_declaration
+                            && !f.attrs.uninstrumented
+                            && !f.attrs.no_instrument,
+                        param_types: f.params.iter().map(|p| p.ty.clone()).collect(),
+                        ret_ptr: f.ret_ty == Type::Ptr,
+                    },
+                )
+            })
+            .collect();
+        ModuleInfo { globals, callees, config: config.clone() }
+    }
+
+    /// 1-based shadow-stack slot of pointer parameter `param_idx` given the
+    /// full parameter type list (slot numbering counts pointer params only,
+    /// matching Figure 6's `lookup_bs(1)` convention).
+    pub fn ptr_arg_slot(param_types: &[Type], param_idx: usize) -> usize {
+        1 + param_types[..param_idx].iter().filter(|t| t.is_ptr()).count()
+    }
+}
+
+/// Whether `name` is part of the instrumentation runtime (never itself a
+/// target of instrumentation).
+pub fn is_runtime_callee(name: &str) -> bool {
+    name.starts_with("__sb_") || name.starts_with("__lf_") || name.starts_with("__rz_")
+}
+
+/// Whether `name` is a known allocator whose result bounds come from the
+/// IR-visible size argument.
+pub fn allocator_size_expr(name: &str, args: &[Operand]) -> Option<SizeExpr> {
+    match name {
+        "malloc" | "__lf_stack_alloc" | "__rz_stack_alloc" => Some(SizeExpr::Direct(args[0].clone())),
+        "calloc" => Some(SizeExpr::Product(args[0].clone(), args[1].clone())),
+        _ => None,
+    }
+}
+
+/// Per-function instrumentation context: the function being rewritten plus
+/// insertion helpers and bookkeeping.
+pub struct InstrumentCx<'a> {
+    /// The function being instrumented.
+    pub func: &'a mut Function,
+    /// Module-level info.
+    pub minfo: &'a ModuleInfo,
+    /// Statistics sink.
+    pub stats: &'a mut InstrStats,
+    /// Instructions inserted as witness materialization (used to order
+    /// protocol code after them).
+    pub witness_instrs: HashSet<InstrId>,
+    cache: HashMap<CacheKey, Witness>,
+    entry_cursor: usize,
+    wide_ptr: Option<Operand>,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum CacheKey {
+    Val(ValueId),
+    Global(GlobalId),
+    Null,
+    Opaque,
+}
+
+impl<'a> InstrumentCx<'a> {
+    /// Creates a context for one function.
+    pub fn new(func: &'a mut Function, minfo: &'a ModuleInfo, stats: &'a mut InstrStats) -> Self {
+        InstrumentCx {
+            func,
+            minfo,
+            stats,
+            witness_instrs: HashSet::new(),
+            cache: HashMap::new(),
+            entry_cursor: 0,
+            wide_ptr: None,
+        }
+    }
+
+    /// Finds the block and position of a (linked) instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iid` is not linked into any block.
+    pub fn position_of(&self, iid: InstrId) -> (BlockId, usize) {
+        for (bid, block) in self.func.iter_blocks() {
+            if let Some(pos) = block.instrs.iter().position(|&i| i == iid) {
+                return (bid, pos);
+            }
+        }
+        panic!("instruction {iid} not linked");
+    }
+
+    /// Result operand of an instruction.
+    pub fn result_of(&self, iid: InstrId) -> Operand {
+        Operand::Val(self.func.instr_result(iid).expect("instruction has a result"))
+    }
+
+    /// Inserts `kind` immediately before `anchor`, returning the new id.
+    pub fn insert_before(&mut self, anchor: InstrId, kind: InstrKind) -> InstrId {
+        let (bid, pos) = self.position_of(anchor);
+        let id = self.func.insert_instr(bid, pos, kind);
+        self.bump_entry_cursor(bid, pos);
+        id
+    }
+
+    /// Inserts `kind` immediately after `anchor` (marked as witness code).
+    pub fn insert_witness_after(&mut self, anchor: InstrId, kind: InstrKind) -> InstrId {
+        let (bid, pos) = self.position_of(anchor);
+        let id = self.func.insert_instr(bid, pos + 1, kind);
+        self.witness_instrs.insert(id);
+        self.bump_entry_cursor(bid, pos + 1);
+        id
+    }
+
+    /// Inserts `kind` after `anchor`, skipping any witness instructions
+    /// already inserted after it (used for shadow-stack pops that must run
+    /// after the return-bounds reads).
+    pub fn insert_after_witnesses(&mut self, anchor: InstrId, kind: InstrKind) -> InstrId {
+        let (bid, mut pos) = self.position_of(anchor);
+        let block = &self.func.blocks[bid.index()];
+        pos += 1;
+        while pos < block.instrs.len() && self.witness_instrs.contains(&block.instrs[pos]) {
+            pos += 1;
+        }
+        let id = self.func.insert_instr(bid, pos, kind);
+        self.bump_entry_cursor(bid, pos);
+        id
+    }
+
+    /// Inserts `kind` at the current entry-block cursor (start of the
+    /// function, maintaining insertion order). Marked as witness code.
+    pub fn insert_at_entry(&mut self, kind: InstrKind) -> InstrId {
+        let id = self.func.insert_instr(BlockId::new(0), self.entry_cursor, kind);
+        self.entry_cursor += 1;
+        self.witness_instrs.insert(id);
+        id
+    }
+
+    /// Inserts `kind` at the end of `block`, before the terminator.
+    pub fn insert_at_block_end(&mut self, block: BlockId, kind: InstrKind) -> InstrId {
+        let pos = self.func.blocks[block.index()].instrs.len();
+        self.func.insert_instr(block, pos, kind)
+    }
+
+    /// Inserts a phi companion after the existing phis of `block`.
+    pub fn insert_phi_companion(&mut self, block: BlockId, kind: InstrKind) -> InstrId {
+        let pos = self.first_non_phi(block);
+        let id = self.func.insert_instr(block, pos, kind);
+        self.witness_instrs.insert(id);
+        self.bump_entry_cursor(block, pos);
+        id
+    }
+
+    fn first_non_phi(&self, block: BlockId) -> usize {
+        let b = &self.func.blocks[block.index()];
+        b.instrs
+            .iter()
+            .position(|&i| !matches!(self.func.instrs[i.index()].kind, InstrKind::Phi { .. }))
+            .unwrap_or(b.instrs.len())
+    }
+
+    fn bump_entry_cursor(&mut self, bid: BlockId, pos: usize) {
+        if bid == BlockId::new(0) && pos < self.entry_cursor {
+            self.entry_cursor += 1;
+        }
+    }
+
+    /// A function-wide "wide pointer" operand (`inttoptr -1`), materialized
+    /// once at entry on first use. Used for wide upper bounds.
+    pub fn wide_ptr(&mut self) -> Operand {
+        if let Some(w) = &self.wide_ptr {
+            return w.clone();
+        }
+        let id = self.insert_at_entry(InstrKind::Cast {
+            op: CastOp::IntToPtr,
+            value: Operand::i64(-1),
+            from: Type::I64,
+            to: Type::Ptr,
+        });
+        let op = self.result_of(id);
+        self.wide_ptr = Some(op.clone());
+        op
+    }
+
+    /// Looks up a cached witness (used by tests).
+    pub fn cached(&self, v: ValueId) -> Option<&Witness> {
+        self.cache.get(&CacheKey::Val(v))
+    }
+}
+
+/// The mechanism side of witness materialization and target lowering.
+///
+/// Implementations: [`crate::mechanism::softbound::SoftBoundMech`] and
+/// [`crate::mechanism::lowfat::LowFatMech`].
+pub trait InstrumentationMechanism {
+    /// Number of witness components.
+    fn arity(&self) -> usize;
+
+    /// Materializes the witness for a true pointer source, inserting any
+    /// code needed (adjacent to the definition / at function entry).
+    fn witness_for_source(&mut self, cx: &mut InstrumentCx<'_>, src: &Source) -> Witness;
+
+    /// Optional override for `gep` results, called with the source
+    /// pointer's witness. Returning `None` (the default, and the behaviour
+    /// of Table 1) inherits the source witness unchanged. SoftBound's
+    /// experimental Appendix-B bounds narrowing hooks in here.
+    fn witness_for_gep(
+        &mut self,
+        _cx: &mut InstrumentCx<'_>,
+        _gep: InstrId,
+        _inherited: &Witness,
+    ) -> Option<Witness> {
+        None
+    }
+}
+
+/// Resolves the witness for pointer operand `op`, materializing code on
+/// first use and caching per value. Shared plumbing (Table 1's propagation
+/// rows) is handled here; true sources are delegated to `mech`.
+pub fn resolve_witness(
+    cx: &mut InstrumentCx<'_>,
+    mech: &mut dyn InstrumentationMechanism,
+    op: &Operand,
+) -> Witness {
+    let key = match op {
+        Operand::Val(v) => CacheKey::Val(*v),
+        Operand::GlobalAddr(g) => CacheKey::Global(*g),
+        Operand::Null => CacheKey::Null,
+        _ => CacheKey::Opaque,
+    };
+    if let Some(w) = cx.cache.get(&key) {
+        return w.clone();
+    }
+    let w = match op {
+        Operand::GlobalAddr(g) => mech.witness_for_source(cx, &Source::Global(*g)),
+        Operand::Null => mech.witness_for_source(cx, &Source::NullPtr),
+        Operand::Val(v) => return resolve_value(cx, mech, *v),
+        _ => mech.witness_for_source(cx, &Source::Opaque),
+    };
+    cx.cache.insert(key, w.clone());
+    w
+}
+
+fn resolve_value(
+    cx: &mut InstrumentCx<'_>,
+    mech: &mut dyn InstrumentationMechanism,
+    v: ValueId,
+) -> Witness {
+    let key = CacheKey::Val(v);
+    if let Some(w) = cx.cache.get(&key) {
+        return w.clone();
+    }
+    let def = cx.func.values[v.index()].def;
+    let w = match def {
+        ValueDef::Param(i) => mech.witness_for_source(cx, &Source::Param(i as usize)),
+        ValueDef::Instr(iid) => {
+            let kind = cx.func.instrs[iid.index()].kind.clone();
+            match kind {
+                InstrKind::Gep { base, .. } => {
+                    let inherited = resolve_witness(cx, mech, &base);
+                    let w = mech
+                        .witness_for_gep(cx, iid, &inherited)
+                        .unwrap_or(inherited);
+                    cx.cache.insert(key, w.clone());
+                    return w;
+                }
+                InstrKind::Cast { op: CastOp::Bitcast, value, to: Type::Ptr, .. } => {
+                    let w = resolve_witness(cx, mech, &value);
+                    cx.cache.insert(key, w.clone());
+                    return w;
+                }
+                InstrKind::Cast { op: CastOp::IntToPtr, .. } => {
+                    mech.witness_for_source(cx, &Source::IntToPtr { instr: iid })
+                }
+                InstrKind::Phi { ty: Type::Ptr, incoming } => {
+                    return resolve_phi(cx, mech, v, iid, incoming);
+                }
+                InstrKind::Select { ty: Type::Ptr, cond, then_value, else_value } => {
+                    let wt = resolve_witness(cx, mech, &then_value);
+                    let we = resolve_witness(cx, mech, &else_value);
+                    let mut parts = Vec::with_capacity(mech.arity());
+                    let mut anchor = iid;
+                    for k in 0..mech.arity() {
+                        let sel = cx.insert_witness_after(
+                            anchor,
+                            InstrKind::Select {
+                                ty: Type::Ptr,
+                                cond: cond.clone(),
+                                then_value: wt.0[k].clone(),
+                                else_value: we.0[k].clone(),
+                            },
+                        );
+                        parts.push(cx.result_of(sel));
+                        anchor = sel;
+                    }
+                    Witness(parts)
+                }
+                InstrKind::Load { ty: Type::Ptr, ptr } => mech.witness_for_source(
+                    cx,
+                    &Source::LoadedFromMemory { instr: iid, addr: ptr },
+                ),
+                InstrKind::Call { callee, args, .. } => {
+                    match allocator_size_expr(&callee, &args) {
+                        Some(size) => {
+                            mech.witness_for_source(cx, &Source::HeapAlloc { instr: iid, size })
+                        }
+                        None => mech.witness_for_source(
+                            cx,
+                            &Source::CallResult { instr: iid, callee: Some(callee) },
+                        ),
+                    }
+                }
+                InstrKind::CallIndirect { .. } => {
+                    mech.witness_for_source(cx, &Source::CallResult { instr: iid, callee: None })
+                }
+                InstrKind::Alloca { .. } => mech.witness_for_source(cx, &Source::Alloca { instr: iid }),
+                _ => mech.witness_for_source(cx, &Source::Opaque),
+            }
+        }
+    };
+    cx.cache.insert(key, w.clone());
+    w
+}
+
+fn resolve_phi(
+    cx: &mut InstrumentCx<'_>,
+    mech: &mut dyn InstrumentationMechanism,
+    v: ValueId,
+    phi_iid: InstrId,
+    incoming: Vec<(BlockId, Operand)>,
+) -> Witness {
+    let (block, _) = cx.position_of(phi_iid);
+    // Create placeholder companions first so cyclic phis terminate.
+    let mut companion_ids = Vec::with_capacity(mech.arity());
+    let mut parts = Vec::with_capacity(mech.arity());
+    for _ in 0..mech.arity() {
+        let placeholder: Vec<(BlockId, Operand)> = incoming
+            .iter()
+            .map(|(b, _)| (*b, Operand::Undef(Type::Ptr)))
+            .collect();
+        let cid = cx.insert_phi_companion(block, InstrKind::Phi { ty: Type::Ptr, incoming: placeholder });
+        parts.push(cx.result_of(cid));
+        companion_ids.push(cid);
+    }
+    cx.cache.insert(CacheKey::Val(v), Witness(parts.clone()));
+
+    // Now resolve every incoming pointer and patch the companions.
+    for (pred, op) in &incoming {
+        let w = resolve_witness(cx, mech, op);
+        for (k, &cid) in companion_ids.iter().enumerate() {
+            if let InstrKind::Phi { incoming: comp_inc, .. } = &mut cx.func.instrs[cid.index()].kind {
+                for entry in comp_inc.iter_mut() {
+                    if entry.0 == *pred {
+                        entry.1 = w.0[k].clone();
+                    }
+                }
+            }
+        }
+    }
+    Witness(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Mechanism;
+    use mir::builder::ModuleBuilder;
+
+    /// A toy mechanism: arity 1, witness for every source is `null`,
+    /// recording which sources it saw.
+    struct ToyMech {
+        seen: Vec<String>,
+    }
+
+    impl InstrumentationMechanism for ToyMech {
+        fn arity(&self) -> usize {
+            1
+        }
+        fn witness_for_source(&mut self, _cx: &mut InstrumentCx<'_>, src: &Source) -> Witness {
+            self.seen.push(match src {
+                Source::Alloca { .. } => "alloca".into(),
+                Source::HeapAlloc { .. } => "heap".into(),
+                Source::Global(_) => "global".into(),
+                Source::LoadedFromMemory { .. } => "load".into(),
+                Source::CallResult { .. } => "call".into(),
+                Source::Param(_) => "param".into(),
+                Source::IntToPtr { .. } => "inttoptr".into(),
+                Source::NullPtr => "null".into(),
+                Source::Opaque => "opaque".into(),
+            });
+            Witness(vec![Operand::Null])
+        }
+    }
+
+    fn minfo() -> ModuleInfo {
+        ModuleInfo {
+            globals: vec![],
+            callees: BTreeMap::new(),
+            config: MiConfig::new(Mechanism::LowFat),
+        }
+    }
+
+    #[test]
+    fn gep_inherits_source_witness() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = mb.function("f", vec![("p", Type::Ptr)], Type::Void);
+        let p = fb.param(0);
+        let q = fb.gep(Type::I64, p, vec![Operand::i64(3)]);
+        let r = fb.gep(Type::I8, q.clone(), vec![Operand::i64(1)]);
+        fb.store(Type::I8, Operand::ConstInt { ty: Type::I8, value: 0 }, r.clone());
+        fb.ret(None);
+        fb.finish();
+        let mut m = mb.finish();
+        let info = minfo();
+        let mut stats = InstrStats::default();
+        let f = m.function_by_name_mut("f").unwrap();
+        let mut cx = InstrumentCx::new(f, &info, &mut stats);
+        let mut mech = ToyMech { seen: vec![] };
+        let w1 = resolve_witness(&mut cx, &mut mech, &r);
+        let w2 = resolve_witness(&mut cx, &mut mech, &q);
+        assert_eq!(w1, w2);
+        assert_eq!(mech.seen, vec!["param".to_string()], "one source resolution only");
+    }
+
+    #[test]
+    fn phi_cycle_terminates_and_builds_companion() {
+        let src = r#"
+            define i64 @f(ptr %p, i64 %n) {
+            entry:
+              br header
+            header:
+              %cur = phi ptr, [entry: %p], [body: %nextp]
+              %i = phi i64, [entry: i64 0], [body: %nexti]
+              %c = icmp slt i64, %i, %n
+              condbr %c, body, exit
+            body:
+              %nextp = gep i64, %cur, [i64 1]
+              %nexti = add i64, %i, i64 1
+              br header
+            exit:
+              %v = load i64, %cur
+              ret %v
+            }
+        "#;
+        let mut m = mir::parser::parse_module(src).unwrap();
+        let info = minfo();
+        let mut stats = InstrStats::default();
+        let f = m.function_by_name_mut("f").unwrap();
+        // Find %cur's operand: first phi in header.
+        let header = BlockId::new(1);
+        let phi_iid = f.blocks[header.index()].instrs[0];
+        let cur = Operand::Val(f.instr_result(phi_iid).unwrap());
+        let mut cx = InstrumentCx::new(f, &info, &mut stats);
+        let mut mech = ToyMech { seen: vec![] };
+        let w = resolve_witness(&mut cx, &mut mech, &cur);
+        // The witness is a companion phi in the header.
+        let wv = w.0[0].as_value().expect("companion phi value");
+        assert!(cx.cached(wv).is_none(), "companion itself not a resolved pointer");
+        // Param was the only true source.
+        assert_eq!(mech.seen, vec!["param".to_string()]);
+        drop(cx);
+        mir::verifier::verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn select_companions_inserted_after_select() {
+        let src = r#"
+            define i64 @f(ptr %p, ptr %q, i1 %c) {
+            entry:
+              %s = select ptr, %c, %p, %q
+              %v = load i64, %s
+              ret %v
+            }
+        "#;
+        let mut m = mir::parser::parse_module(src).unwrap();
+        let info = minfo();
+        let mut stats = InstrStats::default();
+        let f = m.function_by_name_mut("f").unwrap();
+        let sel_iid = f.blocks[0].instrs[0];
+        let s = Operand::Val(f.instr_result(sel_iid).unwrap());
+        let mut cx = InstrumentCx::new(f, &info, &mut stats);
+        let mut mech = ToyMech { seen: vec![] };
+        let w = resolve_witness(&mut cx, &mut mech, &s);
+        assert_eq!(w.0.len(), 1);
+        assert_eq!(mech.seen.len(), 2, "both arms resolved");
+        drop(cx);
+        mir::verifier::verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn ptr_arg_slot_counts_pointer_params_only() {
+        let tys = vec![Type::I64, Type::Ptr, Type::F64, Type::Ptr];
+        assert_eq!(ModuleInfo::ptr_arg_slot(&tys, 1), 1);
+        assert_eq!(ModuleInfo::ptr_arg_slot(&tys, 3), 2);
+    }
+
+    #[test]
+    fn runtime_and_allocator_classification() {
+        assert!(is_runtime_callee("__sb_check"));
+        assert!(is_runtime_callee("__lf_base"));
+        assert!(!is_runtime_callee("malloc"));
+        assert!(allocator_size_expr("malloc", &[Operand::i64(8)]).is_some());
+        assert!(allocator_size_expr("calloc", &[Operand::i64(2), Operand::i64(8)]).is_some());
+        assert!(allocator_size_expr("print_i64", &[Operand::i64(0)]).is_none());
+    }
+}

@@ -1,0 +1,146 @@
+//! The deterministic cost model.
+//!
+//! Each executed IR instruction charges a fixed number of abstract cost
+//! units (think "cycles"); runtime helpers charge costs derived from the
+//! instruction sequences the paper describes for them. The *relative* costs
+//! are what matters — they are chosen so that the structural facts from the
+//! paper hold by construction:
+//!
+//! * a SoftBound check (two compares + branch, Figure 2) is cheaper than a
+//!   Low-Fat check (region-index extraction, size-table load, subtraction
+//!   chain, Figure 5) — §5.2's explanation for `crafty`;
+//! * a trie lookup (two dependent table loads plus index arithmetic,
+//!   [24, Fig. 3]) is clearly more expensive than recomputing a low-fat base
+//!   (shift, table load, mask) — §5.2's explanation for `equake`;
+//! * metadata stores (trie updates) cost more than lookups (allocation check
+//!   on the secondary table);
+//! * allocator costs make the low-fat allocator slightly more expensive per
+//!   call than a bump allocator (size-class dispatch + alignment).
+
+/// Per-instruction and per-helper cost constants.
+#[derive(Copy, Clone, Debug)]
+pub struct CostModel {
+    /// Integer/float arithmetic, compares, selects, casts.
+    pub arith: u64,
+    /// A load that (presumably) hits cache.
+    pub load: u64,
+    /// A store.
+    pub store: u64,
+    /// Address computation (`gep`).
+    pub gep: u64,
+    /// Unconditional branch.
+    pub br: u64,
+    /// Conditional branch.
+    pub condbr: u64,
+    /// Per-call fixed overhead (prologue/epilogue, well-predicted).
+    pub call: u64,
+    /// Additional per-argument move cost.
+    pub call_per_arg: u64,
+    /// Return.
+    pub ret: u64,
+    /// Stack allocation (pointer bump).
+    pub alloca: u64,
+    /// Fixed part of `memcpy`/`memset`.
+    pub memop_base: u64,
+    /// Per-8-bytes part of `memcpy`/`memset`.
+    pub memop_per_word: u64,
+    /// Default cost of a host call whose registration does not override it.
+    pub host_default: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            arith: 1,
+            load: 3,
+            store: 3,
+            gep: 1,
+            br: 1,
+            condbr: 2,
+            call: 5,
+            call_per_arg: 1,
+            ret: 1,
+            alloca: 2,
+            memop_base: 10,
+            memop_per_word: 1,
+            host_default: 5,
+        }
+    }
+}
+
+/// Costs of the runtime helpers, exported so the instrumentation runtime
+/// registers helpers with paper-consistent relative costs.
+pub mod helper {
+    /// SoftBound dereference check: `ptr < base || ptr+width > bound`
+    /// (Figure 2: two compares, an or, a branch).
+    pub const SB_CHECK: u64 = 7;
+    /// Low-Fat dereference check (Figure 5): region index, size-table load,
+    /// base mask, subtract, compare, branch.
+    pub const LF_CHECK: u64 = 8;
+    /// Low-Fat escape/invariant check (§3.3): same shape as the check.
+    pub const LF_INVARIANT: u64 = 8;
+    /// Low-Fat base recovery: shift, size-table load, mask.
+    pub const LF_BASE: u64 = 5;
+    /// Trie lookup of one bounds component: primary-table load, secondary
+    /// load, index arithmetic.
+    pub const SB_TRIE_GET: u64 = 14;
+    /// Trie store of both components incl. secondary-table presence check.
+    pub const SB_TRIE_SET: u64 = 18;
+    /// Shadow-stack slot read.
+    pub const SB_SS_GET: u64 = 4;
+    /// Shadow-stack slot write.
+    pub const SB_SS_SET: u64 = 4;
+    /// Shadow-stack frame push/pop.
+    pub const SB_SS_FRAME: u64 = 4;
+    /// Bump allocation in the default allocator.
+    pub const MALLOC: u64 = 40;
+    /// Default-allocator free.
+    pub const FREE: u64 = 15;
+    /// Low-fat heap allocation: size-class dispatch + free-list pop.
+    pub const LF_MALLOC: u64 = 48;
+    /// Low-fat free: size-class dispatch + free-list push.
+    pub const LF_FREE: u64 = 18;
+    /// Low-fat stack allocation (aliased stack bump).
+    pub const LF_STACK_ALLOC: u64 = 6;
+    /// Low-fat stack save/restore.
+    pub const LF_STACK_SAVERESTORE: u64 = 2;
+    /// Red-zone (ASan-style) shadow check: shadow load, compare, branch.
+    pub const RZ_CHECK: u64 = 5;
+    /// Red-zone malloc: padding + shadow poisoning.
+    pub const RZ_MALLOC: u64 = 55;
+    /// Red-zone free.
+    pub const RZ_FREE: u64 = 20;
+    /// Red-zone stack allocation (bump + poke shadow).
+    pub const RZ_STACK_ALLOC: u64 = 8;
+    /// Red-zone stack save/restore.
+    pub const RZ_STACK_SAVERESTORE: u64 = 2;
+    /// Printing (I/O, identical in all configurations).
+    pub const PRINT: u64 = 50;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_consistent_orderings() {
+        // Evaluated in a const block so changing the constants breaks the
+        // build, not just the test run.
+        const {
+            // SoftBound checks are cheaper than Low-Fat checks (§5.2, crafty).
+            assert!(helper::SB_CHECK < helper::LF_CHECK);
+            // Loading bounds from the trie (both components) costs more than
+            // recomputing a low-fat base (§5.2, equake).
+            assert!(2 * helper::SB_TRIE_GET > helper::LF_BASE);
+            // Metadata stores cost at least as much as lookups.
+            assert!(helper::SB_TRIE_SET >= helper::SB_TRIE_GET);
+        }
+    }
+
+    #[test]
+    fn default_model_sane() {
+        let c = CostModel::default();
+        assert!(c.load >= c.arith);
+        assert!(c.call > c.br);
+    }
+}

@@ -1,0 +1,55 @@
+//! Address-space layout of the virtual machine.
+//!
+//! The 64-bit address space is carved into coarse areas. The low part
+//! (`0x1_0000_0000` … `0x1C_0000_0000`) is deliberately left to the Low-Fat
+//! runtime, which partitions it into size-class regions of
+//! [`REGION_BYTES`] each (cf. Figure 3 of the paper); everything the default
+//! runtime allocates lives far above, so a pointer's high bits immediately
+//! reveal whether it is low-fat.
+
+/// Bytes per low-fat region (also the region-index shift): 4 GiB.
+pub const REGION_BYTES: u64 = 1 << 32;
+
+/// Base of the area where global variables are placed by default.
+pub const GLOBAL_BASE: u64 = 0xD000_0000_0000;
+
+/// Base of the default (non-low-fat) heap.
+pub const HEAP_BASE: u64 = 0xE000_0000_0000;
+
+/// Base of the call-stack area used by `alloca`.
+pub const STACK_BASE: u64 = 0xF000_0000_0000;
+
+/// Base of the fake "function address" area used for indirect calls; never
+/// mapped as data.
+pub const FUNC_BASE: u64 = 0xC000_0000_0000;
+
+/// Size of one VM page.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// The region index of an address (`addr / REGION_BYTES`).
+#[inline]
+pub fn region_index(addr: u64) -> u64 {
+    addr >> 32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn areas_are_disjoint_regions() {
+        assert!(region_index(GLOBAL_BASE) > 27);
+        assert!(region_index(HEAP_BASE) > 27);
+        assert!(region_index(STACK_BASE) > 27);
+        assert!(region_index(FUNC_BASE) > 27);
+        assert_ne!(region_index(GLOBAL_BASE), region_index(HEAP_BASE));
+        assert_ne!(region_index(HEAP_BASE), region_index(STACK_BASE));
+    }
+
+    #[test]
+    fn region_math() {
+        assert_eq!(region_index(0), 0);
+        assert_eq!(region_index(REGION_BYTES), 1);
+        assert_eq!(region_index(5 * REGION_BYTES + 123), 5);
+    }
+}

@@ -1,0 +1,317 @@
+//! Sparse memory with lazy page materialization.
+//!
+//! Mapped-ness is tracked as a set of byte intervals; backing pages are
+//! materialized only on first write (reads from mapped-but-untouched memory
+//! return zeros). This makes multi-GiB allocations — like the > 1 GiB
+//! array of the paper's `429mcf` discussion — free until touched, while
+//! still faulting on accesses outside any mapping, mirroring a hardware
+//! page fault. Out-of-bounds accesses that stay within mapped intervals
+//! succeed silently — the behaviour memory-safety instrumentations exist
+//! to catch.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::layout::PAGE_SIZE;
+
+/// A sparse memory with interval-tracked mappings.
+#[derive(Default)]
+pub struct Memory {
+    /// Materialized pages (page base → bytes).
+    pages: HashMap<u64, Box<[u8]>>,
+    /// Mapped intervals: start → end (exclusive), non-overlapping, merged.
+    ranges: BTreeMap<u64, u64>,
+    mapped_bytes: u64,
+}
+
+/// Error for accesses to unmapped addresses.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Fault {
+    /// The faulting address.
+    pub addr: u64,
+    /// Access width in bytes.
+    pub width: u64,
+    /// Whether the access was a write.
+    pub write: bool,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    fn page_base(addr: u64) -> u64 {
+        addr & !(PAGE_SIZE - 1)
+    }
+
+    /// Maps `[addr, addr+len)`, rounded out to page boundaries. Mapping is
+    /// idempotent and never clears existing contents.
+    pub fn map(&mut self, addr: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let start = Self::page_base(addr);
+        let end = Self::page_base(addr.saturating_add(len - 1)) + PAGE_SIZE;
+        self.insert_range(start, end);
+    }
+
+    fn insert_range(&mut self, mut start: u64, mut end: u64) {
+        // Merge with any overlapping or adjacent intervals.
+        loop {
+            let mut merged = false;
+            // Predecessor that might overlap/touch.
+            if let Some((&s, &e)) = self.ranges.range(..=end).next_back() {
+                if e >= start && !(s <= start && e >= end) {
+                    start = start.min(s);
+                    end = end.max(e);
+                    self.ranges.remove(&s);
+                    self.mapped_bytes -= e - s;
+                    merged = true;
+                } else if s <= start && e >= end {
+                    return; // fully covered
+                }
+            }
+            if !merged {
+                break;
+            }
+        }
+        self.ranges.insert(start, end);
+        self.mapped_bytes += end - start;
+    }
+
+    /// Whether every byte of `[addr, addr+len)` is mapped.
+    pub fn is_mapped(&self, addr: u64, len: u64) -> bool {
+        if len == 0 {
+            return true;
+        }
+        let end = match addr.checked_add(len) {
+            Some(e) => e,
+            None => return false,
+        };
+        let mut cur = addr;
+        while cur < end {
+            match self.ranges.range(..=cur).next_back() {
+                Some((&_s, &e)) if e > cur => cur = e,
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// Total mapped bytes (memory-overhead reporting).
+    pub fn mapped_bytes(&self) -> u64 {
+        self.mapped_bytes
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Faults if any byte is unmapped.
+    pub fn read(&self, addr: u64, buf: &mut [u8]) -> Result<(), Fault> {
+        if !self.is_mapped(addr, buf.len() as u64) {
+            return Err(Fault { addr, width: buf.len() as u64, write: false });
+        }
+        let mut a = addr;
+        let mut i = 0;
+        while i < buf.len() {
+            let base = Self::page_base(a);
+            let off = (a - base) as usize;
+            let n = ((PAGE_SIZE as usize) - off).min(buf.len() - i);
+            match self.pages.get(&base) {
+                Some(page) => buf[i..i + n].copy_from_slice(&page[off..off + n]),
+                None => buf[i..i + n].fill(0), // mapped but untouched
+            }
+            a += n as u64;
+            i += n;
+        }
+        Ok(())
+    }
+
+    /// Writes `buf` starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Faults if any byte is unmapped.
+    pub fn write(&mut self, addr: u64, buf: &[u8]) -> Result<(), Fault> {
+        if !self.is_mapped(addr, buf.len() as u64) {
+            return Err(Fault { addr, width: buf.len() as u64, write: true });
+        }
+        let mut a = addr;
+        let mut i = 0;
+        while i < buf.len() {
+            let base = Self::page_base(a);
+            let off = (a - base) as usize;
+            let n = ((PAGE_SIZE as usize) - off).min(buf.len() - i);
+            let page = self
+                .pages
+                .entry(base)
+                .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+            page[off..off + n].copy_from_slice(&buf[i..i + n]);
+            a += n as u64;
+            i += n;
+        }
+        Ok(())
+    }
+
+    /// Reads a little-endian unsigned integer of `width` bytes (1..=8).
+    pub fn read_uint(&self, addr: u64, width: u64) -> Result<u64, Fault> {
+        let mut buf = [0u8; 8];
+        self.read(addr, &mut buf[..width as usize])?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Writes a little-endian unsigned integer of `width` bytes (1..=8).
+    pub fn write_uint(&mut self, addr: u64, width: u64, value: u64) -> Result<(), Fault> {
+        let bytes = value.to_le_bytes();
+        self.write(addr, &bytes[..width as usize])
+    }
+
+    /// Copies `len` bytes from `src` to `dst` (regions may overlap).
+    pub fn copy(&mut self, dst: u64, src: u64, len: u64) -> Result<(), Fault> {
+        let mut buf = vec![0u8; len as usize];
+        self.read(src, &mut buf)?;
+        self.write(dst, &buf)
+    }
+
+    /// Fills `len` bytes at `dst` with `byte`.
+    pub fn fill(&mut self, dst: u64, byte: u8, len: u64) -> Result<(), Fault> {
+        let buf = vec![byte; len as usize];
+        self.write(dst, &buf)
+    }
+}
+
+impl std::fmt::Debug for Memory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Memory")
+            .field("materialized_pages", &self.pages.len())
+            .field("mapped_bytes", &self.mapped_bytes)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_within_page() {
+        let mut m = Memory::new();
+        m.map(0x1000, 64);
+        m.write_uint(0x1008, 8, 0xDEAD_BEEF_CAFE_F00D).unwrap();
+        assert_eq!(m.read_uint(0x1008, 8).unwrap(), 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(m.read_uint(0x1000, 4).unwrap(), 0);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = Memory::new();
+        m.map(0x1FF8, 16);
+        m.write_uint(0x1FFC, 8, 0x1122_3344_5566_7788).unwrap();
+        assert_eq!(m.read_uint(0x1FFC, 8).unwrap(), 0x1122_3344_5566_7788);
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let mut m = Memory::new();
+        m.map(0x1000, 8);
+        assert!(m.read_uint(0x5000, 8).is_err());
+        let f = m.write_uint(0x5000, 8, 1).unwrap_err();
+        assert!(f.write);
+    }
+
+    #[test]
+    fn access_straddling_mapping_end_faults() {
+        let mut m = Memory::new();
+        m.map(0x1000, 8); // maps the whole page 0x1000..0x2000
+        assert!(m.read_uint(0x1FFC, 8).is_err(), "crosses into unmapped 0x2000");
+    }
+
+    #[test]
+    fn oob_within_mapped_page_succeeds() {
+        let mut m = Memory::new();
+        m.map(0x1000, 16);
+        assert!(m.write_uint(0x1100, 8, 7).is_ok());
+    }
+
+    #[test]
+    fn huge_mapping_is_lazy() {
+        let mut m = Memory::new();
+        m.map(0x10_0000_0000, 2 << 30); // 2 GiB
+        assert_eq!(m.mapped_bytes(), 2 << 30);
+        // Untouched reads are zero and materialize nothing.
+        assert_eq!(m.read_uint(0x10_4000_0000, 8).unwrap(), 0);
+        assert_eq!(m.pages.len(), 0);
+        m.write_uint(0x10_4000_0000, 8, 5).unwrap();
+        assert_eq!(m.pages.len(), 1);
+        assert_eq!(m.read_uint(0x10_4000_0000, 8).unwrap(), 5);
+    }
+
+    #[test]
+    fn narrow_widths() {
+        let mut m = Memory::new();
+        m.map(0x1000, 16);
+        m.write_uint(0x1000, 1, 0xAB).unwrap();
+        m.write_uint(0x1001, 2, 0xCDEF).unwrap();
+        assert_eq!(m.read_uint(0x1000, 1).unwrap(), 0xAB);
+        assert_eq!(m.read_uint(0x1001, 2).unwrap(), 0xCDEF);
+        assert_eq!(m.read_uint(0x1000, 4).unwrap(), 0x00CD_EFAB);
+    }
+
+    #[test]
+    fn copy_and_fill() {
+        let mut m = Memory::new();
+        m.map(0x1000, 64);
+        m.write(0x1000, b"hello world!").unwrap();
+        m.copy(0x1020, 0x1000, 12).unwrap();
+        let mut buf = [0u8; 12];
+        m.read(0x1020, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello world!");
+        m.fill(0x1000, 0xFF, 4).unwrap();
+        assert_eq!(m.read_uint(0x1000, 4).unwrap(), 0xFFFF_FFFF);
+    }
+
+    #[test]
+    fn overlapping_copy() {
+        let mut m = Memory::new();
+        m.map(0x1000, 32);
+        m.write(0x1000, b"abcdef").unwrap();
+        m.copy(0x1002, 0x1000, 6).unwrap();
+        let mut buf = [0u8; 8];
+        m.read(0x1000, &mut buf).unwrap();
+        assert_eq!(&buf, b"ababcdef");
+    }
+
+    #[test]
+    fn map_is_idempotent() {
+        let mut m = Memory::new();
+        m.map(0x1000, 8);
+        m.write_uint(0x1000, 8, 42).unwrap();
+        m.map(0x1000, 4096);
+        assert_eq!(m.read_uint(0x1000, 8).unwrap(), 42);
+    }
+
+    #[test]
+    fn interval_merging() {
+        let mut m = Memory::new();
+        m.map(0x1000, PAGE_SIZE);
+        m.map(0x2000, PAGE_SIZE);
+        m.map(0x5000, PAGE_SIZE);
+        assert_eq!(m.ranges.len(), 2, "adjacent ranges merged");
+        assert_eq!(m.mapped_bytes(), 3 * PAGE_SIZE);
+        assert!(m.is_mapped(0x1000, 2 * PAGE_SIZE));
+        assert!(!m.is_mapped(0x1000, 5 * PAGE_SIZE));
+        // Overlapping remap keeps accounting correct.
+        m.map(0x1800, 2 * PAGE_SIZE);
+        assert_eq!(m.mapped_bytes(), 4 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn mapped_bytes_accounting() {
+        let mut m = Memory::new();
+        m.map(0, 1);
+        assert_eq!(m.mapped_bytes(), PAGE_SIZE);
+        m.map(0, PAGE_SIZE + 1);
+        assert_eq!(m.mapped_bytes(), 2 * PAGE_SIZE);
+    }
+}

@@ -1,0 +1,61 @@
+//! Execution statistics: cost accounting and dynamic check counters.
+
+/// Counters collected during one execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VmStats {
+    /// Total cost units charged (the paper's "execution time" proxy).
+    pub cost_total: u64,
+    /// Cost charged by application instructions.
+    pub cost_app: u64,
+    /// Cost charged by dereference/invariant checks.
+    pub cost_checks: u64,
+    /// Cost charged by metadata propagation (trie, shadow stack, base
+    /// recovery).
+    pub cost_metadata: u64,
+    /// Cost charged by allocator helpers.
+    pub cost_allocator: u64,
+    /// Cost charged by other host functions (I/O etc.).
+    pub cost_other: u64,
+    /// Number of executed IR instructions.
+    pub instrs_executed: u64,
+    /// Dynamic count of dereference checks executed.
+    pub checks_executed: u64,
+    /// Dynamic count of dereference checks that ran with *wide bounds*
+    /// (unable to validate anything) — the Table 2 numerator.
+    pub checks_wide: u64,
+    /// Dynamic count of invariant (escape) checks executed (Low-Fat).
+    pub invariant_checks_executed: u64,
+    /// Dynamic count of metadata lookups (trie / shadow stack loads).
+    pub metadata_loads: u64,
+    /// Dynamic count of metadata stores.
+    pub metadata_stores: u64,
+    /// Total mapped program memory at the end of the run (bytes) — the
+    /// memory-overhead axis (allocator padding, red zones, metadata is
+    /// host-side and reported separately).
+    pub mapped_bytes: u64,
+}
+
+impl VmStats {
+    /// Percentage of dereference checks that used wide bounds (Table 2).
+    pub fn wide_check_percent(&self) -> f64 {
+        if self.checks_executed == 0 {
+            0.0
+        } else {
+            100.0 * self.checks_wide as f64 / self.checks_executed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wide_percent() {
+        let mut s = VmStats::default();
+        assert_eq!(s.wide_check_percent(), 0.0);
+        s.checks_executed = 200;
+        s.checks_wide = 3;
+        assert!((s.wide_check_percent() - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,113 @@
+//! Runtime values.
+
+use mir::types::Type;
+
+/// A runtime value: integers and pointers are raw 64-bit words (narrower
+/// integers are stored zero-extended), doubles are `f64`.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub enum RtVal {
+    /// Integer or pointer bits.
+    Int(u64),
+    /// IEEE-754 double.
+    Float(f64),
+}
+
+impl RtVal {
+    /// The integer/pointer bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is a float (a type-confusion bug in the caller).
+    pub fn as_int(self) -> u64 {
+        match self {
+            RtVal::Int(v) => v,
+            RtVal::Float(f) => panic!("expected integer value, found float {f}"),
+        }
+    }
+
+    /// The float payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is an integer.
+    pub fn as_float(self) -> f64 {
+        match self {
+            RtVal::Float(f) => f,
+            RtVal::Int(v) => panic!("expected float value, found int {v}"),
+        }
+    }
+
+    /// Interprets the integer bits as a signed value of integer type `ty`.
+    pub fn as_signed(self, ty: &Type) -> i64 {
+        let v = self.as_int();
+        match ty {
+            Type::I1 => (v & 1) as i64,
+            Type::I8 => v as u8 as i8 as i64,
+            Type::I16 => v as u16 as i16 as i64,
+            Type::I32 => v as u32 as i32 as i64,
+            _ => v as i64,
+        }
+    }
+
+    /// Zero-truncates the integer bits to integer type `ty`'s width.
+    pub fn truncated(self, ty: &Type) -> RtVal {
+        let v = self.as_int();
+        let t = match ty {
+            Type::I1 => v & 1,
+            Type::I8 => v & 0xFF,
+            Type::I16 => v & 0xFFFF,
+            Type::I32 => v & 0xFFFF_FFFF,
+            _ => v,
+        };
+        RtVal::Int(t)
+    }
+
+    /// Raw bit pattern (for `bitcast` and in-memory representation).
+    pub fn to_bits(self) -> u64 {
+        match self {
+            RtVal::Int(v) => v,
+            RtVal::Float(f) => f.to_bits(),
+        }
+    }
+
+    /// Reconstructs a value of type `ty` from raw bits.
+    pub fn from_bits(ty: &Type, bits: u64) -> RtVal {
+        match ty {
+            Type::F64 => RtVal::Float(f64::from_bits(bits)),
+            _ => RtVal::Int(bits),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_interpretation() {
+        assert_eq!(RtVal::Int(0xFF).as_signed(&Type::I8), -1);
+        assert_eq!(RtVal::Int(0xFF).as_signed(&Type::I16), 255);
+        assert_eq!(RtVal::Int(u64::MAX).as_signed(&Type::I64), -1);
+        assert_eq!(RtVal::Int(1).as_signed(&Type::I1), 1);
+    }
+
+    #[test]
+    fn truncation() {
+        assert_eq!(RtVal::Int(0x1FF).truncated(&Type::I8), RtVal::Int(0xFF));
+        assert_eq!(RtVal::Int(3).truncated(&Type::I1), RtVal::Int(1));
+    }
+
+    #[test]
+    fn bit_roundtrip_float() {
+        let v = RtVal::Float(std::f64::consts::E);
+        let bits = v.to_bits();
+        assert_eq!(RtVal::from_bits(&Type::F64, bits), v);
+        assert_eq!(RtVal::from_bits(&Type::I64, 42), RtVal::Int(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected integer")]
+    fn type_confusion_panics() {
+        let _ = RtVal::Float(1.0).as_int();
+    }
+}

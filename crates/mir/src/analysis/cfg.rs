@@ -1,0 +1,149 @@
+//! Control-flow graph: predecessor/successor maps and orderings.
+
+use crate::function::Function;
+use crate::ids::BlockId;
+
+/// Predecessor/successor structure of a function's blocks, plus a reverse
+/// post-order (RPO) over the blocks reachable from the entry.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    preds: Vec<Vec<BlockId>>,
+    succs: Vec<Vec<BlockId>>,
+    rpo: Vec<BlockId>,
+    rpo_index: Vec<Option<u32>>,
+}
+
+impl Cfg {
+    /// Computes the CFG of `f`.
+    pub fn compute(f: &Function) -> Cfg {
+        let n = f.blocks.len();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        for (bid, block) in f.iter_blocks() {
+            for s in block.term.successors() {
+                succs[bid.index()].push(s);
+                preds[s.index()].push(bid);
+            }
+        }
+        // Post-order DFS from entry, then reverse.
+        let mut rpo = Vec::with_capacity(n);
+        if n > 0 {
+            let mut visited = vec![false; n];
+            // Iterative DFS with an explicit stack of (block, next-succ-index).
+            let mut stack: Vec<(BlockId, usize)> = vec![(BlockId::new(0), 0)];
+            visited[0] = true;
+            while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+                if *i < succs[b.index()].len() {
+                    let s = succs[b.index()][*i];
+                    *i += 1;
+                    if !visited[s.index()] {
+                        visited[s.index()] = true;
+                        stack.push((s, 0));
+                    }
+                } else {
+                    rpo.push(b);
+                    stack.pop();
+                }
+            }
+            rpo.reverse();
+        }
+        let mut rpo_index = vec![None; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = Some(i as u32);
+        }
+        Cfg { preds, succs, rpo, rpo_index }
+    }
+
+    /// Predecessors of `b`.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Successors of `b`.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Reverse post-order over reachable blocks (entry first).
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Position of `b` in the RPO, or `None` if unreachable.
+    pub fn rpo_index(&self, b: BlockId) -> Option<u32> {
+        self.rpo_index[b.index()]
+    }
+
+    /// Whether `b` is reachable from the entry block.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index(b).is_some()
+    }
+
+    /// Number of blocks (including unreachable ones).
+    pub fn block_count(&self) -> usize {
+        self.preds.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::instr::Operand;
+    use crate::types::Type;
+
+    /// entry -> {then, else} -> join
+    fn diamond() -> crate::module::Module {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = mb.function("f", vec![("c", Type::I1)], Type::I64);
+        let t = fb.new_block("t");
+        let e = fb.new_block("e");
+        let j = fb.new_block("j");
+        let c = fb.param(0);
+        fb.cond_br(c, t, e);
+        fb.switch_to(t);
+        fb.br(j);
+        fb.switch_to(e);
+        fb.br(j);
+        fb.switch_to(j);
+        fb.ret(Some(Operand::i64(0)));
+        fb.finish();
+        mb.finish()
+    }
+
+    #[test]
+    fn diamond_preds_succs() {
+        let m = diamond();
+        let (_, f) = m.function_by_name("f").unwrap();
+        let cfg = Cfg::compute(f);
+        assert_eq!(cfg.succs(BlockId::new(0)), &[BlockId::new(1), BlockId::new(2)]);
+        assert_eq!(cfg.preds(BlockId::new(3)), &[BlockId::new(1), BlockId::new(2)]);
+        assert_eq!(cfg.preds(BlockId::new(0)), &[] as &[BlockId]);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_join_is_last() {
+        let m = diamond();
+        let (_, f) = m.function_by_name("f").unwrap();
+        let cfg = Cfg::compute(f);
+        assert_eq!(cfg.rpo()[0], BlockId::new(0));
+        assert_eq!(*cfg.rpo().last().unwrap(), BlockId::new(3));
+        assert_eq!(cfg.rpo().len(), 4);
+    }
+
+    #[test]
+    fn unreachable_block_not_in_rpo() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = mb.function("f", vec![], Type::Void);
+        let dead = fb.new_block("dead");
+        fb.ret(None);
+        fb.switch_to(dead);
+        fb.ret(None);
+        fb.finish();
+        let m = mb.finish();
+        let (_, f) = m.function_by_name("f").unwrap();
+        let cfg = Cfg::compute(f);
+        assert!(!cfg.is_reachable(dead));
+        assert_eq!(cfg.rpo().len(), 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! Natural loop detection (back edges to dominating headers).
+//!
+//! Used by LICM and by the pipeline experiments: checks inserted *before*
+//! loop optimizations block hoisting (§5.5 of the paper), so loop structure
+//! must be discoverable to show that effect.
+
+use std::collections::BTreeSet;
+
+use crate::analysis::cfg::Cfg;
+use crate::analysis::dom::DomTree;
+use crate::ids::BlockId;
+
+/// A natural loop: a header plus the set of blocks that reach the back edge
+/// without passing through the header.
+#[derive(Clone, Debug)]
+pub struct Loop {
+    /// The loop header (target of the back edge).
+    pub header: BlockId,
+    /// All blocks in the loop, including the header.
+    pub blocks: BTreeSet<BlockId>,
+    /// Blocks with a back edge to the header.
+    pub latches: Vec<BlockId>,
+}
+
+impl Loop {
+    /// Whether `b` belongs to the loop.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.contains(&b)
+    }
+
+    /// The unique predecessor of the header outside the loop, if there is
+    /// exactly one (a *preheader candidate*).
+    pub fn preheader(&self, cfg: &Cfg) -> Option<BlockId> {
+        let outside: Vec<BlockId> = cfg
+            .preds(self.header)
+            .iter()
+            .copied()
+            .filter(|p| !self.contains(*p))
+            .collect();
+        match outside.as_slice() {
+            [single] => Some(*single),
+            _ => None,
+        }
+    }
+}
+
+/// All natural loops of a function (merged per header).
+#[derive(Clone, Debug, Default)]
+pub struct LoopForest {
+    /// Loops, outermost order not guaranteed.
+    pub loops: Vec<Loop>,
+}
+
+impl LoopForest {
+    /// Finds the natural loops of `f`.
+    pub fn compute(cfg: &Cfg, dom: &DomTree) -> LoopForest {
+        let mut loops: Vec<Loop> = Vec::new();
+        for &b in cfg.rpo() {
+            for &s in cfg.succs(b) {
+                if dom.dominates(s, b) {
+                    // b -> s is a back edge with header s.
+                    let body = collect_loop_body(cfg, s, b);
+                    if let Some(l) = loops.iter_mut().find(|l| l.header == s) {
+                        l.blocks.extend(body);
+                        l.latches.push(b);
+                    } else {
+                        loops.push(Loop { header: s, blocks: body, latches: vec![b] });
+                    }
+                }
+            }
+        }
+        LoopForest { loops }
+    }
+
+    /// The innermost loop containing `b`, if any (smallest body wins).
+    pub fn innermost_containing(&self, b: BlockId) -> Option<&Loop> {
+        self.loops
+            .iter()
+            .filter(|l| l.contains(b))
+            .min_by_key(|l| l.blocks.len())
+    }
+}
+
+fn collect_loop_body(cfg: &Cfg, header: BlockId, latch: BlockId) -> BTreeSet<BlockId> {
+    let mut body = BTreeSet::new();
+    body.insert(header);
+    body.insert(latch);
+    let mut stack = vec![latch];
+    while let Some(x) = stack.pop() {
+        if x == header {
+            continue;
+        }
+        for &p in cfg.preds(x) {
+            if body.insert(p) {
+                stack.push(p);
+            }
+        }
+    }
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::instr::{IcmpPred, Operand};
+    use crate::module::Module;
+    use crate::types::Type;
+
+    fn simple_loop() -> Module {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = mb.function("f", vec![("n", Type::I64)], Type::I64);
+        let header = fb.new_block("header");
+        let body = fb.new_block("body");
+        let exit = fb.new_block("exit");
+        let entry = fb.current_block();
+        fb.br(header);
+        fb.switch_to(header);
+        let i = fb.phi(Type::I64, vec![(entry, Operand::i64(0)), (body, Operand::i64(0))]);
+        let n = fb.param(0);
+        let c = fb.icmp(IcmpPred::Slt, Type::I64, i.clone(), n);
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let next = fb.add(Type::I64, i, Operand::i64(1));
+        // Patch the phi's second incoming to the real next value.
+        if let crate::instr::InstrKind::Phi { incoming, .. } =
+            &mut fb.func_mut().instrs[0].kind
+        {
+            incoming[1].1 = next;
+        }
+        fb.br(header);
+        fb.switch_to(exit);
+        fb.ret(Some(Operand::i64(0)));
+        fb.finish();
+        mb.finish()
+    }
+
+    #[test]
+    fn finds_the_loop() {
+        let m = simple_loop();
+        let (_, f) = m.function_by_name("f").unwrap();
+        let cfg = Cfg::compute(f);
+        let dom = DomTree::compute(f, &cfg);
+        let forest = LoopForest::compute(&cfg, &dom);
+        assert_eq!(forest.loops.len(), 1);
+        let l = &forest.loops[0];
+        assert_eq!(l.header, BlockId::new(1));
+        assert!(l.contains(BlockId::new(2)));
+        assert!(!l.contains(BlockId::new(0)));
+        assert!(!l.contains(BlockId::new(3)));
+        assert_eq!(l.latches, vec![BlockId::new(2)]);
+    }
+
+    #[test]
+    fn preheader_is_entry() {
+        let m = simple_loop();
+        let (_, f) = m.function_by_name("f").unwrap();
+        let cfg = Cfg::compute(f);
+        let dom = DomTree::compute(f, &cfg);
+        let forest = LoopForest::compute(&cfg, &dom);
+        assert_eq!(forest.loops[0].preheader(&cfg), Some(BlockId::new(0)));
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = mb.function("f", vec![], Type::Void);
+        fb.ret(None);
+        fb.finish();
+        let m = mb.finish();
+        let (_, f) = m.function_by_name("f").unwrap();
+        let cfg = Cfg::compute(f);
+        let dom = DomTree::compute(f, &cfg);
+        let forest = LoopForest::compute(&cfg, &dom);
+        assert!(forest.loops.is_empty());
+    }
+}

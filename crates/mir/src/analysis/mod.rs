@@ -1,0 +1,9 @@
+//! Analyses over functions: CFG, dominator tree, and natural loops.
+
+pub mod cfg;
+pub mod dom;
+pub mod loops;
+
+pub use cfg::Cfg;
+pub use dom::DomTree;
+pub use loops::{Loop, LoopForest};

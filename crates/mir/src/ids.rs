@@ -1,0 +1,102 @@
+//! Index newtypes used throughout the IR.
+//!
+//! All IR entities live in flat arenas (`Vec`s) owned by their parent and are
+//! referenced by dense `u32` indices. The newtypes prevent mixing up index
+//! spaces (a [`BlockId`] can never be used where a [`ValueId`] is expected).
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates an id from a raw `usize` index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `idx` does not fit in `u32`.
+            #[inline]
+            pub fn new(idx: usize) -> Self {
+                assert!(idx <= u32::MAX as usize, "id overflow");
+                Self(idx as u32)
+            }
+
+            /// Returns the raw index for arena access.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(idx: usize) -> Self {
+                Self::new(idx)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies an SSA value (a function parameter or instruction result)
+    /// within one [`crate::Function`].
+    ValueId,
+    "%v"
+);
+id_type!(
+    /// Identifies a basic block within one [`crate::Function`].
+    BlockId,
+    "bb"
+);
+id_type!(
+    /// Identifies an instruction in a function's instruction arena.
+    ///
+    /// Note that an `InstrId` stays valid when the instruction is unlinked
+    /// from its block; arenas are append-only tombstone-style.
+    InstrId,
+    "i"
+);
+id_type!(
+    /// Identifies a function within a [`crate::Module`].
+    FuncId,
+    "fn"
+);
+id_type!(
+    /// Identifies a global variable within a [`crate::Module`].
+    GlobalId,
+    "@g"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_display() {
+        let v = ValueId::new(7);
+        assert_eq!(v.index(), 7);
+        assert_eq!(v.to_string(), "%v7");
+        assert_eq!(BlockId::new(3).to_string(), "bb3");
+        assert_eq!(GlobalId::from(0usize).to_string(), "@g0");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(InstrId::new(1) < InstrId::new(2));
+        assert_eq!(FuncId::new(4), FuncId(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "id overflow")]
+    fn overflow_panics() {
+        let _ = ValueId::new(u32::MAX as usize + 1);
+    }
+}

@@ -1,0 +1,227 @@
+//! Modules, global variables, and host-function declarations.
+
+use std::collections::BTreeMap;
+
+use crate::function::Function;
+use crate::ids::{FuncId, GlobalId};
+use crate::types::Type;
+
+/// Initializer of a global variable.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Init {
+    /// Zero-initialized.
+    Zero,
+    /// Explicit bytes (padded with zeros to the global's size).
+    Bytes(Vec<u8>),
+}
+
+/// Attributes of a global variable that matter to instrumentation.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct GlobalAttrs {
+    /// Declared in another translation unit; the definition is not visible.
+    pub external: bool,
+    /// Declared *without* size information (`extern int arr[];`) — the §4.3
+    /// pattern that forces SoftBound to fall back to NULL or wide bounds.
+    pub size_unknown: bool,
+    /// Belongs to an uninstrumented external library: Low-Fat Pointers
+    /// cannot mirror it into a low-fat region, so accesses get wide bounds.
+    pub uninstrumented_lib: bool,
+    /// Set by the Low-Fat instrumentation: the loader must place this global
+    /// in the matching low-fat size-class region ("mirror, replace").
+    pub lowfat: bool,
+}
+
+/// A global variable.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Global {
+    /// Symbol name.
+    pub name: String,
+    /// Value type. For `size_unknown` externals this is the type visible in
+    /// this translation unit (typically a zero-length array).
+    pub ty: Type,
+    /// Initializer (ignored for externals — the "definition" elsewhere wins).
+    pub init: Init,
+    /// Instrumentation-relevant attributes.
+    pub attrs: GlobalAttrs,
+}
+
+impl Global {
+    /// Size of the global as visible in this translation unit, in bytes.
+    pub fn size(&self) -> u64 {
+        self.ty.size_of()
+    }
+}
+
+/// Side-effect contract of a host function, used by optimization passes.
+///
+/// This reproduces the distinction §5.4 of the paper depends on: metadata
+/// *loads* (trie lookups, shadow-stack reads) are `ReadOnly` and can be
+/// dead-code-eliminated when their result is unused, while checks may abort
+/// the program and therefore block code motion and elimination.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Effect {
+    /// No memory access, result depends only on arguments (e.g. low-fat base
+    /// recovery, which is pure address arithmetic plus a constant table).
+    Pure,
+    /// Reads program-visible state but writes nothing (e.g. trie lookups).
+    /// Removable when unused; killed by intervening writes for CSE purposes.
+    ReadOnly,
+    /// May write state or abort (checks, allocator, trie stores).
+    Effectful,
+}
+
+/// Declaration of a host function provided by the linked runtime library.
+#[derive(Clone, PartialEq, Debug)]
+pub struct HostDecl {
+    /// Parameter types.
+    pub params: Vec<Type>,
+    /// Return type.
+    pub ret: Type,
+    /// Effect contract for the optimizer.
+    pub effect: Effect,
+}
+
+/// A translation unit: globals, functions, and host declarations.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Module {
+    /// Module name (cosmetic).
+    pub name: String,
+    /// Global variables.
+    pub globals: Vec<Global>,
+    /// Function definitions and declarations.
+    pub functions: Vec<Function>,
+    /// Host functions the module may call (the runtime library interface).
+    pub host_decls: BTreeMap<String, HostDecl>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new(name: impl Into<String>) -> Module {
+        Module { name: name.into(), globals: vec![], functions: vec![], host_decls: BTreeMap::new() }
+    }
+
+    /// Adds a global and returns its id.
+    pub fn add_global(&mut self, global: Global) -> GlobalId {
+        let id = GlobalId::new(self.globals.len());
+        self.globals.push(global);
+        id
+    }
+
+    /// Adds a function and returns its id.
+    pub fn add_function(&mut self, function: Function) -> FuncId {
+        let id = FuncId::new(self.functions.len());
+        self.functions.push(function);
+        id
+    }
+
+    /// Declares a host function (idempotent; re-declaration must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already declared with a different signature.
+    pub fn declare_host(&mut self, name: impl Into<String>, decl: HostDecl) {
+        let name = name.into();
+        if let Some(existing) = self.host_decls.get(&name) {
+            assert_eq!(existing, &decl, "conflicting host declaration for {name}");
+            return;
+        }
+        self.host_decls.insert(name, decl);
+    }
+
+    /// Looks up a function by name.
+    pub fn function_by_name(&self, name: &str) -> Option<(FuncId, &Function)> {
+        self.functions
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.name == name)
+            .map(|(i, f)| (FuncId::new(i), f))
+    }
+
+    /// Looks up a function by name, mutably.
+    pub fn function_by_name_mut(&mut self, name: &str) -> Option<&mut Function> {
+        self.functions.iter_mut().find(|f| f.name == name)
+    }
+
+    /// Looks up a global by name.
+    pub fn global_by_name(&self, name: &str) -> Option<(GlobalId, &Global)> {
+        self.globals
+            .iter()
+            .enumerate()
+            .find(|(_, g)| g.name == name)
+            .map(|(i, g)| (GlobalId::new(i), g))
+    }
+
+    /// The effect contract of a callee name: internal functions are
+    /// conservatively effectful, host functions report their declaration.
+    pub fn callee_effect(&self, name: &str) -> Effect {
+        if self.function_by_name(name).is_some() {
+            Effect::Effectful
+        } else if let Some(decl) = self.host_decls.get(name) {
+            decl.effect
+        } else {
+            Effect::Effectful
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::Param;
+
+    #[test]
+    fn lookup_by_name() {
+        let mut m = Module::new("t");
+        m.add_function(Function::new("main", vec![], Type::I64));
+        m.add_global(Global {
+            name: "buf".into(),
+            ty: Type::array(Type::I8, 16),
+            init: Init::Zero,
+            attrs: GlobalAttrs::default(),
+        });
+        assert!(m.function_by_name("main").is_some());
+        assert!(m.function_by_name("nope").is_none());
+        let (gid, g) = m.global_by_name("buf").unwrap();
+        assert_eq!(gid, GlobalId::new(0));
+        assert_eq!(g.size(), 16);
+    }
+
+    #[test]
+    fn host_decl_idempotent() {
+        let mut m = Module::new("t");
+        let d = HostDecl { params: vec![Type::Ptr], ret: Type::Void, effect: Effect::Effectful };
+        m.declare_host("check", d.clone());
+        m.declare_host("check", d);
+        assert_eq!(m.host_decls.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting host declaration")]
+    fn host_decl_conflict_panics() {
+        let mut m = Module::new("t");
+        m.declare_host("f", HostDecl { params: vec![], ret: Type::Void, effect: Effect::Pure });
+        m.declare_host("f", HostDecl { params: vec![], ret: Type::I64, effect: Effect::Pure });
+    }
+
+    #[test]
+    fn callee_effects() {
+        let mut m = Module::new("t");
+        m.add_function(Function::declaration("ext", vec![Param { name: "p".into(), ty: Type::Ptr }], Type::Void));
+        m.declare_host("pure_helper", HostDecl { params: vec![Type::I64], ret: Type::I64, effect: Effect::Pure });
+        assert_eq!(m.callee_effect("ext"), Effect::Effectful);
+        assert_eq!(m.callee_effect("pure_helper"), Effect::Pure);
+        assert_eq!(m.callee_effect("unknown"), Effect::Effectful);
+    }
+
+    #[test]
+    fn size_unknown_global_models_extern_array() {
+        let g = Global {
+            name: "file_table".into(),
+            ty: Type::array(Type::I32, 0),
+            init: Init::Zero,
+            attrs: GlobalAttrs { external: true, size_unknown: true, ..Default::default() },
+        };
+        assert_eq!(g.size(), 0);
+        assert!(g.attrs.size_unknown);
+    }
+}

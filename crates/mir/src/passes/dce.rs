@@ -1,0 +1,171 @@
+//! Dead code elimination.
+//!
+//! Removes instructions whose results are unused and which cannot observe or
+//! affect program state. Calls to `Pure`/`ReadOnly` host functions are
+//! removable — this reproduces the §5.4 observation that SoftBound's
+//! metadata loads vanish when the checks that would consume them are not
+//! generated.
+
+use std::collections::BTreeMap;
+
+use crate::function::Function;
+use crate::ids::ValueId;
+use crate::passes::{EffectInfo, FunctionPass};
+
+/// The dead code elimination pass.
+#[derive(Debug, Default)]
+pub struct Dce;
+
+impl FunctionPass for Dce {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+
+    fn run(&self, effects: &EffectInfo, f: &mut Function) -> bool {
+        let mut changed_any = false;
+        loop {
+            // Count uses of every value.
+            let mut uses: BTreeMap<ValueId, usize> = BTreeMap::new();
+            for block in &f.blocks {
+                for &iid in &block.instrs {
+                    f.instrs[iid.index()].kind.for_each_operand(|op| {
+                        if let Some(v) = op.as_value() {
+                            *uses.entry(v).or_insert(0) += 1;
+                        }
+                    });
+                }
+                block.term.for_each_operand(|op| {
+                    if let Some(v) = op.as_value() {
+                        *uses.entry(v).or_insert(0) += 1;
+                    }
+                });
+            }
+            let mut changed = false;
+            for bi in 0..f.blocks.len() {
+                let ids = f.blocks[bi].instrs.clone();
+                for iid in ids {
+                    let instr = &f.instrs[iid.index()];
+                    let dead = match instr.result {
+                        Some(v) => uses.get(&v).copied().unwrap_or(0) == 0,
+                        None => false,
+                    };
+                    if dead && effects.is_removable_if_unused(&instr.kind) {
+                        f.remove_instr(crate::ids::BlockId::new(bi), iid);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+            changed_any = true;
+        }
+        changed_any
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::instr::Operand;
+    use crate::module::Effect;
+    use crate::passes::run_on_module;
+    use crate::types::Type;
+    use crate::verifier::verify_module;
+
+    #[test]
+    fn removes_unused_chain() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = mb.function("f", vec![], Type::I64);
+        let a = fb.add(Type::I64, Operand::i64(1), Operand::i64(2));
+        let _b = fb.mul(Type::I64, a, Operand::i64(3));
+        fb.ret(Some(Operand::i64(0)));
+        fb.finish();
+        let mut m = mb.finish();
+        assert!(run_on_module(&Dce, &mut m));
+        verify_module(&m).unwrap();
+        let (_, f) = m.function_by_name("f").unwrap();
+        assert_eq!(f.live_instr_count(), 0);
+    }
+
+    #[test]
+    fn keeps_effectful_calls() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.host("check", vec![Type::I64], Type::I64, Effect::Effectful);
+        let mut fb = mb.function("f", vec![], Type::I64);
+        let _unused = fb.call("check", Type::I64, vec![Operand::i64(1)]);
+        fb.ret(Some(Operand::i64(0)));
+        fb.finish();
+        let mut m = mb.finish();
+        run_on_module(&Dce, &mut m);
+        let (_, f) = m.function_by_name("f").unwrap();
+        assert_eq!(f.live_instr_count(), 1);
+    }
+
+    #[test]
+    fn removes_unused_readonly_calls() {
+        // This is the §5.4 effect: metadata loads without consumers vanish.
+        let mut mb = ModuleBuilder::new("m");
+        mb.host("trie_load", vec![Type::Ptr], Type::Ptr, Effect::ReadOnly);
+        let mut fb = mb.function("f", vec![("p", Type::Ptr)], Type::I64);
+        let p = fb.param(0);
+        let _meta = fb.call("trie_load", Type::Ptr, vec![p]);
+        fb.ret(Some(Operand::i64(0)));
+        fb.finish();
+        let mut m = mb.finish();
+        assert!(run_on_module(&Dce, &mut m));
+        let (_, f) = m.function_by_name("f").unwrap();
+        assert_eq!(f.live_instr_count(), 0);
+    }
+
+    #[test]
+    fn keeps_stores() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = mb.function("f", vec![("p", Type::Ptr)], Type::Void);
+        let p = fb.param(0);
+        fb.store(Type::I64, Operand::i64(1), p);
+        fb.ret(None);
+        fb.finish();
+        let mut m = mb.finish();
+        assert!(!run_on_module(&Dce, &mut m));
+        let (_, f) = m.function_by_name("f").unwrap();
+        assert_eq!(f.live_instr_count(), 1);
+    }
+
+    #[test]
+    fn removes_dead_loads() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = mb.function("f", vec![("p", Type::Ptr)], Type::I64);
+        let p = fb.param(0);
+        let _v = fb.load(Type::I64, p);
+        fb.ret(Some(Operand::i64(0)));
+        fb.finish();
+        let mut m = mb.finish();
+        assert!(run_on_module(&Dce, &mut m));
+        let (_, f) = m.function_by_name("f").unwrap();
+        assert_eq!(f.live_instr_count(), 0);
+    }
+
+    #[test]
+    fn transitively_dead_phi_cycle_stays() {
+        // Self-referential phis are not removed by this simple DCE (they
+        // count as uses); GVN/simplifycfg handle those separately.
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = mb.function("f", vec![("n", Type::I64)], Type::I64);
+        let header = fb.new_block("h");
+        let exit = fb.new_block("x");
+        let entry = fb.current_block();
+        fb.br(header);
+        fb.switch_to(header);
+        let i = fb.phi(Type::I64, vec![(entry, Operand::i64(0)), (header, Operand::i64(0))]);
+        let c = fb.icmp(crate::instr::IcmpPred::Slt, Type::I64, i, fb.param(0));
+        fb.cond_br(c, header, exit);
+        fb.switch_to(exit);
+        fb.ret(Some(Operand::i64(0)));
+        fb.finish();
+        let mut m = mb.finish();
+        run_on_module(&Dce, &mut m);
+        verify_module(&m).unwrap();
+    }
+}

@@ -1,0 +1,292 @@
+//! Loop-invariant code motion.
+//!
+//! Hoists loop-invariant pure computations — and, when the loop is free of
+//! writes and effectful calls, loads and `ReadOnly` host calls that execute
+//! on every iteration — into the preheader. Effectful calls inside the loop
+//! (e.g. inserted bounds checks) disable load hoisting entirely, which is
+//! one of the mechanisms behind the extension-point gap in Figures 12/13 of
+//! the paper.
+
+use std::collections::BTreeSet;
+
+use crate::analysis::{Cfg, DomTree, LoopForest};
+use crate::function::Function;
+use crate::ids::{BlockId, InstrId, ValueId};
+use crate::instr::{InstrKind, Terminator};
+use crate::module::Effect;
+use crate::passes::{EffectInfo, FunctionPass};
+use crate::types::Type;
+
+/// The LICM pass.
+#[derive(Debug, Default)]
+pub struct Licm;
+
+impl FunctionPass for Licm {
+    fn name(&self) -> &'static str {
+        "licm"
+    }
+
+    fn run(&self, effects: &EffectInfo, f: &mut Function) -> bool {
+        let cfg = Cfg::compute(f);
+        let dom = DomTree::compute(f, &cfg);
+        let forest = LoopForest::compute(&cfg, &dom);
+        let mut changed = false;
+        for l in &forest.loops {
+            // Only hoist into a dedicated preheader: the unique outside
+            // predecessor, ending in an unconditional branch to the header.
+            let Some(pre) = l.preheader(&cfg) else { continue };
+            if !matches!(f.blocks[pre.index()].term, Terminator::Br(t) if t == l.header) {
+                continue;
+            }
+            changed |= hoist_loop(effects, f, &dom, l, pre);
+        }
+        changed
+    }
+}
+
+fn hoist_loop(
+    effects: &EffectInfo,
+    f: &mut Function,
+    dom: &DomTree,
+    l: &crate::analysis::Loop,
+    pre: BlockId,
+) -> bool {
+    // Values defined inside the loop.
+    let mut defined_in: BTreeSet<ValueId> = BTreeSet::new();
+    for &b in &l.blocks {
+        for &iid in &f.blocks[b.index()].instrs {
+            if let Some(v) = f.instrs[iid.index()].result {
+                defined_in.insert(v);
+            }
+        }
+    }
+    // Does the loop contain any memory writes or effectful calls?
+    let loop_has_writes = l.blocks.iter().any(|&b| {
+        f.blocks[b.index()]
+            .instrs
+            .iter()
+            .any(|&iid| effects.writes_or_aborts(&f.instrs[iid.index()].kind))
+    });
+
+    let mut changed = false;
+    loop {
+        let mut hoisted_this_round = false;
+        for &b in &l.blocks {
+            let ids = f.blocks[b.index()].instrs.clone();
+            for iid in ids {
+                let kind = f.instrs[iid.index()].kind.clone();
+                let invariant_operands = {
+                    let mut ok = true;
+                    kind.for_each_operand(|op| {
+                        if let Some(v) = op.as_value() {
+                            if defined_in.contains(&v) {
+                                ok = false;
+                            }
+                        }
+                    });
+                    ok
+                };
+                if !invariant_operands {
+                    continue;
+                }
+                let hoistable = match &kind {
+                    InstrKind::Bin { op, .. } => !op.can_trap(),
+                    InstrKind::Icmp { .. }
+                    | InstrKind::Fcmp { .. }
+                    | InstrKind::Gep { .. }
+                    | InstrKind::Select { .. }
+                    | InstrKind::Cast { .. } => true,
+                    InstrKind::Call { callee, ret, .. } => {
+                        if *ret == Type::Void {
+                            false
+                        } else {
+                            match effects.callee(callee) {
+                                Effect::Pure => true,
+                                Effect::ReadOnly => {
+                                    !loop_has_writes && executes_every_iteration(dom, l, b)
+                                }
+                                Effect::Effectful => false,
+                            }
+                        }
+                    }
+                    InstrKind::Load { .. } => {
+                        !loop_has_writes && executes_every_iteration(dom, l, b)
+                    }
+                    _ => false,
+                };
+                if !hoistable {
+                    continue;
+                }
+                move_to_preheader(f, b, iid, pre);
+                if let Some(v) = f.instrs[iid.index()].result {
+                    defined_in.remove(&v);
+                }
+                hoisted_this_round = true;
+                changed = true;
+            }
+        }
+        if !hoisted_this_round {
+            break;
+        }
+    }
+    changed
+}
+
+/// A block executes on every iteration if it dominates all latches.
+fn executes_every_iteration(dom: &DomTree, l: &crate::analysis::Loop, b: BlockId) -> bool {
+    l.latches.iter().all(|&latch| dom.dominates(b, latch))
+}
+
+fn move_to_preheader(f: &mut Function, from: BlockId, iid: InstrId, pre: BlockId) {
+    f.blocks[from.index()].instrs.retain(|&i| i != iid);
+    f.blocks[pre.index()].instrs.push(iid);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{FunctionBuilder, ModuleBuilder};
+    use crate::instr::Operand;
+    use crate::instr::IcmpPred;
+    use crate::passes::run_on_module;
+    use crate::verifier::verify_module;
+
+    /// Builds `for (i = 0; i < n; i++) body(i)`, where `body` receives the
+    /// builder positioned in the loop body and returns nothing.
+    fn build_counted_loop(
+        fb: &mut FunctionBuilder<'_>,
+        n: Operand,
+        body: impl FnOnce(&mut FunctionBuilder<'_>, Operand),
+    ) {
+        let header = fb.new_block("header");
+        let body_bb = fb.new_block("body");
+        let latch = fb.new_block("latch");
+        let exit = fb.new_block("exit");
+        let entry = fb.current_block();
+        fb.br(header);
+        fb.switch_to(header);
+        let i = fb.phi(Type::I64, vec![(entry, Operand::i64(0)), (latch, Operand::i64(0))]);
+        let c = fb.icmp(IcmpPred::Slt, Type::I64, i.clone(), n);
+        fb.cond_br(c, body_bb, exit);
+        fb.switch_to(body_bb);
+        body(fb, i.clone());
+        fb.br(latch);
+        fb.switch_to(latch);
+        let next = fb.add(Type::I64, i.clone(), Operand::i64(1));
+        // Patch phi.
+        let phi_id = {
+            let f = fb.func_mut();
+            f.blocks[header.index()].instrs[0]
+        };
+        if let InstrKind::Phi { incoming, .. } = &mut fb.func_mut().instrs[phi_id.index()].kind {
+            incoming[1].1 = next;
+        }
+        fb.br(header);
+        fb.switch_to(exit);
+    }
+
+    #[test]
+    fn hoists_invariant_arithmetic() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = mb.function("f", vec![("n", Type::I64), ("k", Type::I64)], Type::I64);
+        let k = fb.param(1);
+        let n = fb.param(0);
+        build_counted_loop(&mut fb, n, |fb, _i| {
+            let _expensive = fb.mul(Type::I64, k.clone(), k.clone());
+        });
+        fb.ret(Some(Operand::i64(0)));
+        fb.finish();
+        let mut m = mb.finish();
+        assert!(run_on_module(&Licm, &mut m));
+        verify_module(&m).unwrap();
+        let (_, f) = m.function_by_name("f").unwrap();
+        // The mul moved to the entry block (the preheader).
+        assert!(f.blocks[0]
+            .instrs
+            .iter()
+            .any(|&iid| matches!(f.instrs[iid.index()].kind, InstrKind::Bin { .. })));
+    }
+
+    #[test]
+    fn hoists_load_from_write_free_loop() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = mb.function("f", vec![("n", Type::I64), ("p", Type::Ptr)], Type::I64);
+        let p = fb.param(1);
+        let n = fb.param(0);
+        build_counted_loop(&mut fb, n, |fb, _i| {
+            let _v = fb.load(Type::I64, p.clone());
+        });
+        fb.ret(Some(Operand::i64(0)));
+        fb.finish();
+        let mut m = mb.finish();
+        assert!(run_on_module(&Licm, &mut m));
+        verify_module(&m).unwrap();
+        let (_, f) = m.function_by_name("f").unwrap();
+        assert!(f.blocks[0]
+            .instrs
+            .iter()
+            .any(|&iid| matches!(f.instrs[iid.index()].kind, InstrKind::Load { .. })));
+    }
+
+    #[test]
+    fn check_call_blocks_load_hoisting() {
+        // An effectful check in the loop pins the load — §5.5's mechanism.
+        let mut mb = ModuleBuilder::new("m");
+        mb.host("check", vec![Type::Ptr], Type::Void, crate::module::Effect::Effectful);
+        let mut fb = mb.function("f", vec![("n", Type::I64), ("p", Type::Ptr)], Type::I64);
+        let p = fb.param(1);
+        let n = fb.param(0);
+        build_counted_loop(&mut fb, n, |fb, _i| {
+            fb.call("check", Type::Void, vec![p.clone()]);
+            let _v = fb.load(Type::I64, p.clone());
+        });
+        fb.ret(Some(Operand::i64(0)));
+        fb.finish();
+        let mut m = mb.finish();
+        run_on_module(&Licm, &mut m);
+        verify_module(&m).unwrap();
+        let (_, f) = m.function_by_name("f").unwrap();
+        assert!(
+            !f.blocks[0]
+                .instrs
+                .iter()
+                .any(|&iid| matches!(f.instrs[iid.index()].kind, InstrKind::Load { .. })),
+            "load must not be hoisted past a check"
+        );
+    }
+
+    #[test]
+    fn hoists_pure_host_call() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.host("lf_base", vec![Type::Ptr], Type::Ptr, crate::module::Effect::Pure);
+        let mut fb = mb.function("f", vec![("n", Type::I64), ("p", Type::Ptr)], Type::I64);
+        let p = fb.param(1);
+        let n = fb.param(0);
+        build_counted_loop(&mut fb, n, |fb, _i| {
+            let _b = fb.call("lf_base", Type::Ptr, vec![p.clone()]);
+        });
+        fb.ret(Some(Operand::i64(0)));
+        fb.finish();
+        let mut m = mb.finish();
+        assert!(run_on_module(&Licm, &mut m));
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn does_not_hoist_variant_computation() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = mb.function("f", vec![("n", Type::I64)], Type::I64);
+        let n = fb.param(0);
+        build_counted_loop(&mut fb, n, |fb, i| {
+            let _sq = fb.mul(Type::I64, i.clone(), i);
+        });
+        fb.ret(Some(Operand::i64(0)));
+        fb.finish();
+        let mut m = mb.finish();
+        // The add in the latch (i+1) and the mul (i*i) depend on i.
+        run_on_module(&Licm, &mut m);
+        verify_module(&m).unwrap();
+        let (_, f) = m.function_by_name("f").unwrap();
+        assert!(f.blocks[0].instrs.is_empty(), "nothing should be hoisted");
+    }
+}

@@ -1,0 +1,369 @@
+//! Promotion of memory to SSA registers (`mem2reg`).
+//!
+//! Allocas whose address never escapes (used only as the pointer operand of
+//! loads and stores) are rewritten into SSA values with phi nodes placed at
+//! the iterated dominance frontier of the stores. This is the pass that
+//! determines how many memory accesses — and therefore how many bounds
+//! checks — remain in the program, which is why the paper's
+//! pipeline-insertion-point experiment (Figures 12/13) is so sensitive to
+//! where instrumentation happens relative to it.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::analysis::{Cfg, DomTree};
+use crate::function::Function;
+use crate::ids::{BlockId, InstrId, ValueId};
+use crate::instr::{InstrKind, Operand};
+use crate::passes::{remove_unreachable_blocks, EffectInfo, FunctionPass};
+use crate::types::Type;
+
+/// The `mem2reg` pass.
+#[derive(Debug, Default)]
+pub struct Mem2Reg;
+
+impl FunctionPass for Mem2Reg {
+    fn name(&self) -> &'static str {
+        "mem2reg"
+    }
+
+    fn run(&self, _effects: &EffectInfo, f: &mut Function) -> bool {
+        remove_unreachable_blocks(f);
+        let allocas = promotable_allocas(f);
+        if allocas.is_empty() {
+            return false;
+        }
+        promote(f, &allocas);
+        true
+    }
+}
+
+/// A promotable alloca: its instruction, result value, and element type.
+#[derive(Clone, Debug)]
+struct Promotable {
+    instr: InstrId,
+    block: BlockId,
+    value: ValueId,
+    ty: Type,
+}
+
+fn promotable_allocas(f: &Function) -> Vec<Promotable> {
+    let mut candidates: Vec<Promotable> = Vec::new();
+    for (bid, block) in f.iter_blocks() {
+        for &iid in &block.instrs {
+            if let InstrKind::Alloca { ty, count } = &f.instrs[iid.index()].kind {
+                if count.as_const_int() != Some(1) {
+                    continue;
+                }
+                if !matches!(ty, Type::I1 | Type::I8 | Type::I16 | Type::I32 | Type::I64 | Type::F64 | Type::Ptr) {
+                    continue;
+                }
+                let value = f.instrs[iid.index()].result.expect("alloca has result");
+                candidates.push(Promotable { instr: iid, block: bid, value, ty: ty.clone() });
+            }
+        }
+    }
+    // Filter by escape analysis: every use must be a load/store pointer.
+    candidates.retain(|c| {
+        let mut ok = true;
+        for block in &f.blocks {
+            for &iid in &block.instrs {
+                let instr = &f.instrs[iid.index()];
+                match &instr.kind {
+                    InstrKind::Load { ptr, .. } => {
+                        // Fine if used as the pointer.
+                        let _ = ptr;
+                    }
+                    InstrKind::Store { value, ptr, .. } => {
+                        if value.as_value() == Some(c.value) {
+                            ok = false; // address escapes through memory
+                        }
+                        let _ = ptr;
+                    }
+                    other => {
+                        other.for_each_operand(|op| {
+                            if op.as_value() == Some(c.value) {
+                                ok = false;
+                            }
+                        });
+                    }
+                }
+            }
+            block.term.for_each_operand(|op| {
+                if op.as_value() == Some(c.value) {
+                    ok = false;
+                }
+            });
+        }
+        ok
+    });
+    candidates
+}
+
+fn promote(f: &mut Function, allocas: &[Promotable]) {
+    let cfg = Cfg::compute(f);
+    let dom = DomTree::compute(f, &cfg);
+    let alloca_index: BTreeMap<ValueId, usize> =
+        allocas.iter().enumerate().map(|(i, a)| (a.value, i)).collect();
+
+    // Blocks containing stores per alloca.
+    let mut def_blocks: Vec<BTreeSet<BlockId>> = vec![BTreeSet::new(); allocas.len()];
+    for (bid, block) in f.iter_blocks() {
+        for &iid in &block.instrs {
+            if let InstrKind::Store { ptr, .. } = &f.instrs[iid.index()].kind {
+                if let Some(v) = ptr.as_value() {
+                    if let Some(&ai) = alloca_index.get(&v) {
+                        def_blocks[ai].insert(bid);
+                    }
+                }
+            }
+        }
+    }
+
+    // Place phis at the iterated dominance frontier.
+    // phi_of[(block, alloca_idx)] -> phi value id
+    let mut phi_of: BTreeMap<(BlockId, usize), ValueId> = BTreeMap::new();
+    for (ai, defs) in def_blocks.iter().enumerate() {
+        let mut work: Vec<BlockId> = defs.iter().copied().collect();
+        let mut placed: BTreeSet<BlockId> = BTreeSet::new();
+        while let Some(b) = work.pop() {
+            for &df in dom.frontier(b) {
+                if placed.insert(df) {
+                    let iid = f.insert_instr(
+                        df,
+                        0,
+                        InstrKind::Phi { ty: allocas[ai].ty.clone(), incoming: vec![] },
+                    );
+                    let v = f.instr_result(iid).expect("phi has result");
+                    phi_of.insert((df, ai), v);
+                    work.push(df);
+                }
+            }
+        }
+    }
+    // Map phi value back to its instruction for incoming updates.
+    let phi_instr: BTreeMap<ValueId, InstrId> = phi_of
+        .values()
+        .map(|&v| match f.values[v.index()].def {
+            crate::function::ValueDef::Instr(i) => (v, i),
+            _ => unreachable!("phi defined by instr"),
+        })
+        .collect();
+
+    // Rename via DFS over the dominator tree.
+    let entry = BlockId::new(0);
+    let init: Vec<Operand> = allocas.iter().map(|a| Operand::Undef(a.ty.clone())).collect();
+    let mut stack: Vec<(BlockId, Vec<Operand>)> = vec![(entry, init)];
+    while let Some((bid, mut cur)) = stack.pop() {
+        // Incoming phis define new current values.
+        for (ai, _) in allocas.iter().enumerate() {
+            if let Some(&v) = phi_of.get(&(bid, ai)) {
+                cur[ai] = Operand::Val(v);
+            }
+        }
+        let instr_ids: Vec<InstrId> = f.blocks[bid.index()].instrs.clone();
+        for iid in instr_ids {
+            let kind = f.instrs[iid.index()].kind.clone();
+            match kind {
+                InstrKind::Load { ptr, .. } => {
+                    if let Some(pv) = ptr.as_value() {
+                        if let Some(&ai) = alloca_index.get(&pv) {
+                            let result = f.instrs[iid.index()].result.expect("load result");
+                            let replacement = cur[ai].clone();
+                            f.replace_all_uses(result, &replacement);
+                            f.remove_instr(bid, iid);
+                        }
+                    }
+                }
+                InstrKind::Store { value, ptr, .. } => {
+                    if let Some(pv) = ptr.as_value() {
+                        if let Some(&ai) = alloca_index.get(&pv) {
+                            // The stored operand may itself have been
+                            // rewritten; re-read it from the instruction.
+                            let fresh = match &f.instrs[iid.index()].kind {
+                                InstrKind::Store { value: v, .. } => v.clone(),
+                                _ => value,
+                            };
+                            cur[ai] = fresh;
+                            f.remove_instr(bid, iid);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Feed successors' phis.
+        for s in f.blocks[bid.index()].term.successors() {
+            for (ai, _) in allocas.iter().enumerate() {
+                if let Some(&phi_v) = phi_of.get(&(s, ai)) {
+                    let iid = phi_instr[&phi_v];
+                    if let InstrKind::Phi { incoming, .. } = &mut f.instrs[iid.index()].kind {
+                        if !incoming.iter().any(|(b, _)| *b == bid) {
+                            incoming.push((bid, cur[ai].clone()));
+                        }
+                    }
+                }
+            }
+        }
+        for &child in dom.children(bid) {
+            stack.push((child, cur.clone()));
+        }
+    }
+
+    // Remove the allocas themselves.
+    for a in allocas {
+        f.remove_instr(a.block, a.instr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::instr::{IcmpPred, Operand};
+    use crate::module::Module;
+    use crate::passes::run_on_module;
+    use crate::verifier::verify_module;
+
+    fn run(m: &mut Module) -> bool {
+        let changed = run_on_module(&Mem2Reg, m);
+        verify_module(m).unwrap();
+        changed
+    }
+
+    #[test]
+    fn promotes_straight_line_local() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = mb.function("f", vec![("x", Type::I64)], Type::I64);
+        let slot = fb.alloca(Type::I64);
+        let x = fb.param(0);
+        fb.store(Type::I64, x, slot.clone());
+        let v = fb.load(Type::I64, slot.clone());
+        let w = fb.add(Type::I64, v, Operand::i64(1));
+        fb.ret(Some(w));
+        fb.finish();
+        let mut m = mb.finish();
+        assert!(run(&mut m));
+        let (_, f) = m.function_by_name("f").unwrap();
+        // Only the add remains.
+        assert_eq!(f.live_instr_count(), 1);
+    }
+
+    #[test]
+    fn places_phi_at_join() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = mb.function("f", vec![("c", Type::I1)], Type::I64);
+        let t = fb.new_block("t");
+        let e = fb.new_block("e");
+        let j = fb.new_block("j");
+        let slot = fb.alloca(Type::I64);
+        let c = fb.param(0);
+        fb.cond_br(c, t, e);
+        fb.switch_to(t);
+        fb.store(Type::I64, Operand::i64(10), slot.clone());
+        fb.br(j);
+        fb.switch_to(e);
+        fb.store(Type::I64, Operand::i64(20), slot.clone());
+        fb.br(j);
+        fb.switch_to(j);
+        let v = fb.load(Type::I64, slot.clone());
+        fb.ret(Some(v));
+        fb.finish();
+        let mut m = mb.finish();
+        assert!(run(&mut m));
+        let (_, f) = m.function_by_name("f").unwrap();
+        // A phi in the join block replaces the memory traffic.
+        let join_first = f.blocks[3].instrs[0];
+        assert!(matches!(f.instrs[join_first.index()].kind, InstrKind::Phi { .. }));
+        assert_eq!(f.live_instr_count(), 1);
+    }
+
+    #[test]
+    fn loop_counter_becomes_phi() {
+        // i = 0; while (i < n) i = i + 1; return i;
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = mb.function("f", vec![("n", Type::I64)], Type::I64);
+        let header = fb.new_block("header");
+        let body = fb.new_block("body");
+        let exit = fb.new_block("exit");
+        let slot = fb.alloca(Type::I64);
+        fb.store(Type::I64, Operand::i64(0), slot.clone());
+        fb.br(header);
+        fb.switch_to(header);
+        let i = fb.load(Type::I64, slot.clone());
+        let n = fb.param(0);
+        let c = fb.icmp(IcmpPred::Slt, Type::I64, i.clone(), n);
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let i2 = fb.load(Type::I64, slot.clone());
+        let next = fb.add(Type::I64, i2, Operand::i64(1));
+        fb.store(Type::I64, next, slot.clone());
+        fb.br(header);
+        fb.switch_to(exit);
+        let fin = fb.load(Type::I64, slot.clone());
+        fb.ret(Some(fin));
+        fb.finish();
+        let mut m = mb.finish();
+        assert!(run(&mut m));
+        let (_, f) = m.function_by_name("f").unwrap();
+        // No loads/stores/allocas remain.
+        for block in &f.blocks {
+            for &iid in &block.instrs {
+                assert!(
+                    !f.instrs[iid.index()].kind.accesses_memory(),
+                    "memory op survived: {:?}",
+                    f.instrs[iid.index()].kind
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn escaped_alloca_not_promoted() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.host("sink", vec![Type::Ptr], Type::Void, crate::module::Effect::Effectful);
+        let mut fb = mb.function("f", vec![], Type::I64);
+        let slot = fb.alloca(Type::I64);
+        fb.call("sink", Type::Void, vec![slot.clone()]);
+        let v = fb.load(Type::I64, slot.clone());
+        fb.ret(Some(v));
+        fb.finish();
+        let mut m = mb.finish();
+        run(&mut m);
+        let (_, f) = m.function_by_name("f").unwrap();
+        // alloca + call + load all survive.
+        assert_eq!(f.live_instr_count(), 3);
+    }
+
+    #[test]
+    fn aggregate_alloca_not_promoted() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = mb.function("f", vec![], Type::I64);
+        let arr = fb.alloca(Type::array(Type::I64, 4));
+        let p = fb.gep(Type::I64, arr, vec![Operand::i64(0)]);
+        let v = fb.load(Type::I64, p);
+        fb.ret(Some(v));
+        fb.finish();
+        let mut m = mb.finish();
+        run(&mut m);
+        let (_, f) = m.function_by_name("f").unwrap();
+        assert_eq!(f.live_instr_count(), 3);
+    }
+
+    #[test]
+    fn load_before_store_becomes_undef() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = mb.function("f", vec![], Type::I64);
+        let slot = fb.alloca(Type::I64);
+        let v = fb.load(Type::I64, slot.clone());
+        fb.ret(Some(v));
+        fb.finish();
+        let mut m = mb.finish();
+        assert!(run(&mut m));
+        let (_, f) = m.function_by_name("f").unwrap();
+        assert_eq!(f.live_instr_count(), 0);
+        assert!(matches!(
+            f.blocks[0].term,
+            crate::instr::Terminator::Ret(Some(Operand::Undef(_)))
+        ));
+    }
+}

@@ -1,0 +1,268 @@
+//! CFG simplification: constant branch folding, unreachable-code removal,
+//! straight-line block merging, and single-entry phi elimination.
+
+use crate::function::Function;
+use crate::ids::BlockId;
+use crate::instr::{InstrKind, Terminator};
+use crate::passes::{remove_unreachable_blocks, EffectInfo, FunctionPass};
+
+/// The CFG simplification pass.
+#[derive(Debug, Default)]
+pub struct SimplifyCfg;
+
+impl FunctionPass for SimplifyCfg {
+    fn name(&self) -> &'static str {
+        "simplifycfg"
+    }
+
+    fn run(&self, _effects: &EffectInfo, f: &mut Function) -> bool {
+        let mut changed_any = false;
+        loop {
+            let mut changed = false;
+            changed |= fold_constant_branches(f);
+            changed |= remove_unreachable_blocks(f);
+            changed |= simplify_single_incoming_phis(f);
+            changed |= merge_straight_line_blocks(f);
+            if !changed {
+                break;
+            }
+            changed_any = true;
+        }
+        changed_any
+    }
+}
+
+/// Rewrites `condbr` on constants (and with identical targets) into `br`,
+/// pruning the phi incoming entry of the dropped edge.
+fn fold_constant_branches(f: &mut Function) -> bool {
+    let mut changed = false;
+    for bi in 0..f.blocks.len() {
+        let bid = BlockId::new(bi);
+        let (taken, dropped) = match &f.blocks[bi].term {
+            Terminator::CondBr { cond, then_bb, else_bb } => {
+                if then_bb == else_bb {
+                    (*then_bb, None)
+                } else {
+                    match cond.as_const_int() {
+                        Some(0) => (*else_bb, Some(*then_bb)),
+                        Some(_) => (*then_bb, Some(*else_bb)),
+                        None => continue,
+                    }
+                }
+            }
+            _ => continue,
+        };
+        f.blocks[bi].term = Terminator::Br(taken);
+        if let Some(d) = dropped {
+            remove_phi_incoming(f, d, bid);
+        }
+        changed = true;
+    }
+    changed
+}
+
+/// Removes the incoming entry for edge `pred -> block` from `block`'s phis.
+fn remove_phi_incoming(f: &mut Function, block: BlockId, pred: BlockId) {
+    let ids = f.blocks[block.index()].instrs.clone();
+    for iid in ids {
+        if let InstrKind::Phi { incoming, .. } = &mut f.instrs[iid.index()].kind {
+            incoming.retain(|(b, _)| *b != pred);
+        }
+    }
+}
+
+/// Replaces phis that have exactly one incoming entry with that value.
+fn simplify_single_incoming_phis(f: &mut Function) -> bool {
+    let mut changed = false;
+    for bi in 0..f.blocks.len() {
+        let bid = BlockId::new(bi);
+        let ids = f.blocks[bi].instrs.clone();
+        for iid in ids {
+            let rep = match &f.instrs[iid.index()].kind {
+                InstrKind::Phi { incoming, .. } if incoming.len() == 1 => incoming[0].1.clone(),
+                _ => continue,
+            };
+            let result = f.instrs[iid.index()].result.expect("phi result");
+            // A self-referential single-incoming phi is unreachable garbage.
+            if rep.as_value() == Some(result) {
+                continue;
+            }
+            f.replace_all_uses(result, &rep);
+            f.remove_instr(bid, iid);
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Merges block `b` into its unique predecessor `a` when `a` unconditionally
+/// branches to `b` and `b` has no other predecessors.
+fn merge_straight_line_blocks(f: &mut Function) -> bool {
+    let cfg = crate::analysis::Cfg::compute(f);
+    // Find a mergeable pair (one per iteration keeps bookkeeping simple;
+    // the driver loop reaches a fixpoint).
+    for ai in 0..f.blocks.len() {
+        let a = BlockId::new(ai);
+        if !cfg.is_reachable(a) {
+            continue;
+        }
+        let b = match f.blocks[ai].term {
+            Terminator::Br(b) => b,
+            _ => continue,
+        };
+        if b == a || cfg.preds(b).len() != 1 {
+            continue;
+        }
+        // b's phis all have a single incoming (from a) — resolve them first.
+        let ids = f.blocks[b.index()].instrs.clone();
+        let mut resolvable = true;
+        for &iid in &ids {
+            if let InstrKind::Phi { incoming, .. } = &f.instrs[iid.index()].kind {
+                if incoming.len() != 1 {
+                    resolvable = false;
+                }
+            }
+        }
+        if !resolvable {
+            continue;
+        }
+        for iid in ids {
+            if let InstrKind::Phi { incoming, .. } = &f.instrs[iid.index()].kind {
+                let rep = incoming[0].1.clone();
+                let result = f.instrs[iid.index()].result.expect("phi result");
+                f.replace_all_uses(result, &rep);
+                f.remove_instr(b, iid);
+            }
+        }
+        // Move instructions and terminator.
+        let moved = std::mem::take(&mut f.blocks[b.index()].instrs);
+        let term = std::mem::replace(&mut f.blocks[b.index()].term, Terminator::Unreachable);
+        f.blocks[ai].instrs.extend(moved);
+        f.blocks[ai].term = term;
+        // Successors of b now have predecessor a instead of b.
+        for s in f.blocks[ai].term.successors() {
+            let ids = f.blocks[s.index()].instrs.clone();
+            for iid in ids {
+                if let InstrKind::Phi { incoming, .. } = &mut f.instrs[iid.index()].kind {
+                    for (pred, _) in incoming.iter_mut() {
+                        if *pred == b {
+                            *pred = a;
+                        }
+                    }
+                }
+            }
+        }
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::instr::Operand;
+    use crate::passes::run_on_module;
+    use crate::types::Type;
+    use crate::verifier::verify_module;
+
+    #[test]
+    fn folds_constant_branch_and_merges() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = mb.function("f", vec![], Type::I64);
+        let t = fb.new_block("t");
+        let e = fb.new_block("e");
+        let j = fb.new_block("j");
+        fb.cond_br(Operand::bool(true), t, e);
+        fb.switch_to(t);
+        fb.br(j);
+        fb.switch_to(e);
+        fb.br(j);
+        fb.switch_to(j);
+        let v = fb.phi(Type::I64, vec![(t, Operand::i64(1)), (e, Operand::i64(2))]);
+        fb.ret(Some(v));
+        fb.finish();
+        let mut m = mb.finish();
+        assert!(run_on_module(&SimplifyCfg, &mut m));
+        verify_module(&m).unwrap();
+        let (_, f) = m.function_by_name("f").unwrap();
+        // Everything collapses into the entry block returning 1.
+        assert_eq!(f.blocks[0].term, Terminator::Ret(Some(Operand::i64(1))));
+        assert_eq!(f.live_instr_count(), 0);
+    }
+
+    #[test]
+    fn merges_linear_chain() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = mb.function("f", vec![("x", Type::I64)], Type::I64);
+        let b1 = fb.new_block("b1");
+        let b2 = fb.new_block("b2");
+        let x = fb.param(0);
+        let a = fb.add(Type::I64, x, Operand::i64(1));
+        fb.br(b1);
+        fb.switch_to(b1);
+        let b = fb.add(Type::I64, a, Operand::i64(2));
+        fb.br(b2);
+        fb.switch_to(b2);
+        let c = fb.add(Type::I64, b, Operand::i64(3));
+        fb.ret(Some(c));
+        fb.finish();
+        let mut m = mb.finish();
+        assert!(run_on_module(&SimplifyCfg, &mut m));
+        verify_module(&m).unwrap();
+        let (_, f) = m.function_by_name("f").unwrap();
+        assert_eq!(f.blocks[0].instrs.len(), 3);
+        assert!(matches!(f.blocks[0].term, Terminator::Ret(_)));
+    }
+
+    #[test]
+    fn condbr_same_target_becomes_br() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = mb.function("f", vec![("c", Type::I1)], Type::I64);
+        let j = fb.new_block("j");
+        let c = fb.param(0);
+        fb.cond_br(c, j, j);
+        fb.switch_to(j);
+        fb.ret(Some(Operand::i64(0)));
+        fb.finish();
+        let mut m = mb.finish();
+        assert!(run_on_module(&SimplifyCfg, &mut m));
+        verify_module(&m).unwrap();
+        let (_, f) = m.function_by_name("f").unwrap();
+        assert!(matches!(f.blocks[0].term, Terminator::Ret(_)));
+    }
+
+    #[test]
+    fn keeps_loops_intact() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = mb.function("f", vec![("n", Type::I64)], Type::I64);
+        let header = fb.new_block("h");
+        let body = fb.new_block("b");
+        let exit = fb.new_block("x");
+        let entry = fb.current_block();
+        fb.br(header);
+        fb.switch_to(header);
+        let i = fb.phi(Type::I64, vec![(entry, Operand::i64(0)), (body, Operand::i64(0))]);
+        let c = fb.icmp(crate::instr::IcmpPred::Slt, Type::I64, i.clone(), fb.param(0));
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let next = fb.add(Type::I64, i.clone(), Operand::i64(1));
+        if let InstrKind::Phi { incoming, .. } = &mut fb.func_mut().instrs[0].kind {
+            incoming[1].1 = next;
+        }
+        fb.br(header);
+        fb.switch_to(exit);
+        fb.ret(Some(i));
+        fb.finish();
+        let mut m = mb.finish();
+        run_on_module(&SimplifyCfg, &mut m);
+        verify_module(&m).unwrap();
+        let (_, f) = m.function_by_name("f").unwrap();
+        // The loop must survive: header still has two preds.
+        let cfg = crate::analysis::Cfg::compute(f);
+        let header_preds = cfg
+            .preds(crate::ids::BlockId::new(1))
+            .len();
+        assert_eq!(header_preds, 2);
+    }
+}

@@ -1,0 +1,249 @@
+//! The optimization pipeline with instrumentation extension points.
+//!
+//! This mirrors the clang/LLVM legacy pass-manager setup from Figure 8 of
+//! the paper: a fixed `-O` pipeline into which a module pass (the
+//! instrumentation) can be inserted at one of three *extension points*:
+//!
+//! * [`ExtensionPoint::ModuleOptimizerEarly`] — after the initial
+//!   per-function simplification (`mem2reg` etc.) but before the main
+//!   scalar optimizations;
+//! * [`ExtensionPoint::ScalarOptimizerLate`] — after scalar optimizations,
+//!   before loop optimizations;
+//! * [`ExtensionPoint::VectorizerStart`] — after loop optimizations, right
+//!   before (hypothetical) vectorization; only cleanup runs afterwards.
+//!
+//! §5.5 of the paper shows the choice matters by roughly 30 % of overhead;
+//! the `bench` crate's `fig12`/`fig13` binaries reproduce that with this
+//! pipeline.
+
+use crate::module::Module;
+use crate::passes::{
+    constfold::ConstFold, dce::Dce, dse::Dse, gvn::Gvn, inline::Inline, licm::Licm,
+    mem2reg::Mem2Reg,
+    promote::PromoteLoopScalars, simplifycfg::SimplifyCfg, run_on_module, FunctionPass,
+    ModulePass,
+};
+
+/// Where an instrumentation pass is inserted into the pipeline.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ExtensionPoint {
+    /// Before the main optimizations (the artifact's default, §A.6).
+    ModuleOptimizerEarly,
+    /// After scalar optimizations.
+    ScalarOptimizerLate,
+    /// Before the vectorizer (the configuration used for Figure 9).
+    VectorizerStart,
+}
+
+impl ExtensionPoint {
+    /// All extension points, in pipeline order.
+    pub const ALL: [ExtensionPoint; 3] = [
+        ExtensionPoint::ModuleOptimizerEarly,
+        ExtensionPoint::ScalarOptimizerLate,
+        ExtensionPoint::VectorizerStart,
+    ];
+
+    /// Short name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExtensionPoint::ModuleOptimizerEarly => "ModuleOptimizerEarly",
+            ExtensionPoint::ScalarOptimizerLate => "ScalarOptimizerLate",
+            ExtensionPoint::VectorizerStart => "VectorizerStart",
+        }
+    }
+}
+
+/// Optimization level of the pipeline.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum OptLevel {
+    /// No optimization: only the extension-point plugin runs.
+    O0,
+    /// The full pipeline (the paper's `-O3` baseline).
+    O3,
+}
+
+/// The compiler pipeline.
+#[derive(Copy, Clone, Debug)]
+pub struct Pipeline {
+    /// Optimization level.
+    pub opt: OptLevel,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Pipeline { opt: OptLevel::O3 }
+    }
+}
+
+impl Pipeline {
+    /// Creates a pipeline at the given level.
+    pub fn new(opt: OptLevel) -> Pipeline {
+        Pipeline { opt }
+    }
+
+    /// Runs the pipeline without any plugin (the uninstrumented baseline).
+    pub fn run(&self, m: &mut Module) {
+        self.run_with_plugin(m, None);
+    }
+
+    /// Runs the pipeline, inserting `plugin` at extension point `ep`.
+    pub fn run_at(&self, m: &mut Module, ep: ExtensionPoint, plugin: &mut dyn ModulePass) {
+        self.run_with_plugin(m, Some((ep, plugin)));
+    }
+
+    fn run_with_plugin(&self, m: &mut Module, mut plugin: Option<(ExtensionPoint, &mut dyn ModulePass)>) {
+        let fire = |m: &mut Module, here: ExtensionPoint, plugin: &mut Option<(ExtensionPoint, &mut dyn ModulePass)>| {
+            if let Some((ep, _)) = plugin {
+                if *ep == here {
+                    let (_, pass) = plugin.as_mut().unwrap();
+                    pass.run(m);
+                }
+            }
+        };
+
+        match self.opt {
+            OptLevel::O0 => {
+                // No optimization; the plugin still runs (any EP behaves the
+                // same way).
+                if let Some((_, pass)) = plugin.as_mut() {
+                    pass.run(m);
+                }
+            }
+            OptLevel::O3 => {
+                // Stage 0: per-function simplification (like clang's
+                // always-on early passes: SROA/mem2reg + cleanup).
+                run_seq(m, &[&SimplifyCfg, &Mem2Reg, &ConstFold, &Dce]);
+                fire(m, ExtensionPoint::ModuleOptimizerEarly, &mut plugin);
+                // Stage 1: inlining + scalar optimizations (like clang, the
+                // inliner runs in the module optimizer, *after* the early
+                // extension point — a key driver of the §5.5 gap).
+                Inline.run(m);
+                run_seq(m, &[&ConstFold, &Gvn, &Dse, &Dce, &SimplifyCfg, &Gvn, &Dce]);
+                fire(m, ExtensionPoint::ScalarOptimizerLate, &mut plugin);
+                // Stage 2: loop optimizations (LICM hoisting + scalar
+                // promotion, completed by a mem2reg round).
+                run_seq(m, &[&Licm, &PromoteLoopScalars, &Mem2Reg, &Gvn, &Dse, &Dce, &SimplifyCfg]);
+                fire(m, ExtensionPoint::VectorizerStart, &mut plugin);
+                // Stage 3: late cleanup (runs after every instrumentation
+                // point, like the LTO-time cleanups in the paper's setup).
+                run_seq(m, &[&ConstFold, &Dce, &SimplifyCfg]);
+            }
+        }
+    }
+}
+
+fn run_seq(m: &mut Module, passes: &[&dyn FunctionPass]) {
+    for pass in passes {
+        run_on_module(*pass, m);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::instr::{IcmpPred, InstrKind, Operand};
+    use crate::types::Type;
+    use crate::verifier::verify_module;
+
+    /// Counts live instructions matching a predicate across the module.
+    fn count_instrs(m: &Module, pred: impl Fn(&InstrKind) -> bool) -> usize {
+        m.functions
+            .iter()
+            .flat_map(|f| {
+                f.blocks
+                    .iter()
+                    .flat_map(|b| b.instrs.iter().map(|&i| &f.instrs[i.index()].kind))
+            })
+            .filter(|k| pred(k))
+            .count()
+    }
+
+    fn sample_module() -> Module {
+        // Local accumulator in memory + a loop: O3 should strip the memory
+        // traffic entirely.
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = mb.function("sum", vec![("n", Type::I64)], Type::I64);
+        let header = fb.new_block("header");
+        let body = fb.new_block("body");
+        let exit = fb.new_block("exit");
+        let acc = fb.alloca(Type::I64);
+        let iv = fb.alloca(Type::I64);
+        fb.store(Type::I64, Operand::i64(0), acc.clone());
+        fb.store(Type::I64, Operand::i64(0), iv.clone());
+        fb.br(header);
+        fb.switch_to(header);
+        let i = fb.load(Type::I64, iv.clone());
+        let c = fb.icmp(IcmpPred::Slt, Type::I64, i.clone(), fb.param(0));
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let a = fb.load(Type::I64, acc.clone());
+        let a2 = fb.add(Type::I64, a, i.clone());
+        fb.store(Type::I64, a2, acc.clone());
+        let i2 = fb.add(Type::I64, i, Operand::i64(1));
+        fb.store(Type::I64, i2, iv.clone());
+        fb.br(header);
+        fb.switch_to(exit);
+        let r = fb.load(Type::I64, acc);
+        fb.ret(Some(r));
+        fb.finish();
+        mb.finish()
+    }
+
+    #[test]
+    fn o3_removes_local_memory_traffic() {
+        let mut m = sample_module();
+        Pipeline::new(OptLevel::O3).run(&mut m);
+        verify_module(&m).unwrap();
+        assert_eq!(count_instrs(&m, |k| k.accesses_memory()), 0);
+    }
+
+    #[test]
+    fn o0_keeps_everything() {
+        let mut m = sample_module();
+        let before = count_instrs(&m, |_| true);
+        Pipeline::new(OptLevel::O0).run(&mut m);
+        assert_eq!(count_instrs(&m, |_| true), before);
+    }
+
+    #[test]
+    fn plugin_fires_at_requested_point() {
+        struct Spy {
+            fired: bool,
+            loads_seen: usize,
+        }
+        impl ModulePass for Spy {
+            fn name(&self) -> &'static str {
+                "spy"
+            }
+            fn run(&mut self, m: &mut Module) -> bool {
+                self.fired = true;
+                self.loads_seen = m
+                    .functions
+                    .iter()
+                    .flat_map(|f| f.blocks.iter().flat_map(|b| b.instrs.iter().map(|&i| &f.instrs[i.index()].kind)))
+                    .filter(|k| matches!(k, InstrKind::Load { .. }))
+                    .count();
+                false
+            }
+        }
+        let mut early = Spy { fired: false, loads_seen: 0 };
+        let mut m = sample_module();
+        Pipeline::default().run_at(&mut m, ExtensionPoint::ModuleOptimizerEarly, &mut early);
+        assert!(early.fired);
+
+        let mut late = Spy { fired: false, loads_seen: 0 };
+        let mut m = sample_module();
+        Pipeline::default().run_at(&mut m, ExtensionPoint::VectorizerStart, &mut late);
+        assert!(late.fired);
+        // After mem2reg the loads are gone at both points here, but the
+        // early spy must see at least as many loads as the late one.
+        assert!(early.loads_seen >= late.loads_seen);
+    }
+
+    #[test]
+    fn extension_point_names() {
+        assert_eq!(ExtensionPoint::ALL.len(), 3);
+        assert_eq!(ExtensionPoint::VectorizerStart.name(), "VectorizerStart");
+    }
+}

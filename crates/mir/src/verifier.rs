@@ -1,0 +1,538 @@
+//! IR well-formedness verification.
+//!
+//! The verifier checks structural SSA invariants (defs dominate uses, phi
+//! incoming lists match predecessors), type agreement of operands, and call
+//! signatures against module/host declarations. Passes and instrumentation
+//! are validated by running the verifier after every transformation in
+//! tests.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::analysis::{Cfg, DomTree};
+use crate::function::{Function, ValueDef};
+use crate::ids::{BlockId, ValueId};
+use crate::instr::{CastOp, InstrKind, Operand, Terminator};
+use crate::module::Module;
+use crate::types::Type;
+
+/// A verification failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VerifyError {
+    /// Function in which the error occurred (if any).
+    pub function: Option<String>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.function {
+            Some(func) => write!(f, "in @{func}: {}", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies a whole module.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] encountered.
+pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
+    let mut names = BTreeSet::new();
+    for f in &m.functions {
+        if !names.insert(f.name.clone()) {
+            return Err(VerifyError { function: None, message: format!("duplicate function @{}", f.name) });
+        }
+        verify_function(m, f).map_err(|msg| VerifyError { function: Some(f.name.clone()), message: msg })?;
+    }
+    Ok(())
+}
+
+/// Verifies a single function against its module context.
+fn verify_function(m: &Module, f: &Function) -> Result<(), String> {
+    if f.is_declaration {
+        if !f.blocks.is_empty() {
+            return Err("declaration with body".into());
+        }
+        return Ok(());
+    }
+    if f.blocks.is_empty() {
+        return Err("definition without blocks".into());
+    }
+
+    let cfg = Cfg::compute(f);
+    let dom = DomTree::compute(f, &cfg);
+
+    // Map each value to its defining block (for dominance checking).
+    // Parameters are defined "before entry".
+    let mut def_block: Vec<Option<BlockId>> = vec![None; f.values.len()];
+    let mut def_pos: Vec<usize> = vec![0; f.values.len()];
+    for (bid, block) in f.iter_blocks() {
+        for (pos, &iid) in block.instrs.iter().enumerate() {
+            let instr = &f.instrs[iid.index()];
+            if matches!(instr.kind, InstrKind::Nop) {
+                return Err(format!("tombstone instruction {iid} linked in {bid}"));
+            }
+            if let Some(r) = instr.result {
+                if def_block[r.index()].is_some() {
+                    return Err(format!("value {r} defined twice"));
+                }
+                if f.values[r.index()].def != ValueDef::Instr(iid) {
+                    return Err(format!("value table def mismatch for {r}"));
+                }
+                let expect = instr.kind.result_type();
+                if expect.as_ref() != Some(&f.values[r.index()].ty) {
+                    return Err(format!("result type mismatch for {r}"));
+                }
+                def_block[r.index()] = Some(bid);
+                def_pos[r.index()] = pos;
+            } else if instr.kind.result_type().is_some() {
+                return Err(format!("instruction {iid} should define a value but has no result"));
+            }
+        }
+        for s in block.term.successors() {
+            if s.index() >= f.blocks.len() {
+                return Err(format!("terminator of {bid} targets invalid block {s}"));
+            }
+        }
+    }
+
+    let check_operand_defined = |op: &Operand| -> Result<(), String> {
+        if let Operand::Val(v) = op {
+            if v.index() >= f.values.len() {
+                return Err(format!("operand references invalid value {v}"));
+            }
+        }
+        if let Operand::GlobalAddr(g) = op {
+            if g.index() >= m.globals.len() {
+                return Err(format!("operand references invalid global {g}"));
+            }
+        }
+        if let Operand::FuncAddr(name) = op {
+            if m.function_by_name(name).is_none() {
+                return Err(format!("operand references unknown function @{name}"));
+            }
+        }
+        Ok(())
+    };
+
+    // A use of value v at (block, position) must be dominated by its def.
+    let dominates_use = |v: ValueId, use_block: BlockId, use_pos: usize| -> bool {
+        match f.values[v.index()].def {
+            ValueDef::Param(_) => true,
+            ValueDef::Instr(_) => match def_block[v.index()] {
+                None => false, // defined by unlinked instruction
+                Some(db) => {
+                    if db == use_block {
+                        def_pos[v.index()] < use_pos
+                    } else {
+                        dom.strictly_dominates(db, use_block)
+                    }
+                }
+            },
+        }
+    };
+
+    for (bid, block) in f.iter_blocks() {
+        if !cfg.is_reachable(bid) {
+            continue; // dominance is undefined for unreachable code
+        }
+        let mut seen_non_phi = false;
+        for (pos, &iid) in block.instrs.iter().enumerate() {
+            let instr = &f.instrs[iid.index()];
+            let mut err: Option<String> = None;
+            instr.kind.for_each_operand(|op| {
+                if err.is_some() {
+                    return;
+                }
+                if let Err(e) = check_operand_defined(op) {
+                    err = Some(e);
+                }
+            });
+            if let Some(e) = err {
+                return Err(e);
+            }
+
+            match &instr.kind {
+                InstrKind::Phi { ty, incoming } => {
+                    if seen_non_phi {
+                        return Err(format!("phi {iid} after non-phi instruction in {bid}"));
+                    }
+                    let preds: BTreeSet<BlockId> = cfg.preds(bid).iter().copied().collect();
+                    let inc: BTreeSet<BlockId> = incoming.iter().map(|(b, _)| *b).collect();
+                    if preds != inc {
+                        return Err(format!(
+                            "phi {iid} incoming blocks {inc:?} do not match predecessors {preds:?} of {bid}"
+                        ));
+                    }
+                    if incoming.len() != inc.len() {
+                        return Err(format!("phi {iid} has duplicate incoming blocks"));
+                    }
+                    for (pred, op) in incoming {
+                        let opty = f.operand_type(op);
+                        if opty != *ty && !matches!(op, Operand::Undef(_)) {
+                            return Err(format!("phi {iid} incoming from {pred} has type {opty}, expected {ty}"));
+                        }
+                        // Phi uses are checked at the end of the incoming block.
+                        if let Operand::Val(v) = op {
+                            if cfg.is_reachable(*pred)
+                                && !dominates_use(*v, *pred, f.blocks[pred.index()].instrs.len())
+                            {
+                                return Err(format!("phi {iid} operand {v} does not dominate edge from {pred}"));
+                            }
+                        }
+                    }
+                }
+                other => {
+                    seen_non_phi = true;
+                    let mut err: Option<String> = None;
+                    other.for_each_operand(|op| {
+                        if err.is_some() {
+                            return;
+                        }
+                        if let Operand::Val(v) = op {
+                            if !dominates_use(*v, bid, pos) {
+                                err = Some(format!("use of {v} at {bid}:{pos} not dominated by its definition"));
+                            }
+                        }
+                    });
+                    if let Some(e) = err {
+                        return Err(e);
+                    }
+                    verify_instr_types(m, f, other)?;
+                }
+            }
+        }
+        verify_terminator(f, bid, &block.term, &dominates_use)?;
+    }
+    Ok(())
+}
+
+fn verify_instr_types(m: &Module, f: &Function, kind: &InstrKind) -> Result<(), String> {
+    let ty_of = |op: &Operand| f.operand_type(op);
+    match kind {
+        InstrKind::Load { ptr, .. } => {
+            if !ty_of(ptr).is_ptr() {
+                return Err("load pointer operand is not ptr".into());
+            }
+        }
+        InstrKind::Store { ty, value, ptr } => {
+            if !ty_of(ptr).is_ptr() {
+                return Err("store pointer operand is not ptr".into());
+            }
+            let vt = ty_of(value);
+            if vt != *ty && !matches!(value, Operand::Undef(_)) {
+                return Err(format!("store value type {vt} does not match annotation {ty}"));
+            }
+        }
+        InstrKind::Gep { base, indices, .. } => {
+            if !ty_of(base).is_ptr() {
+                return Err("gep base is not ptr".into());
+            }
+            if indices.is_empty() {
+                return Err("gep without indices".into());
+            }
+            for idx in indices {
+                if !ty_of(idx).is_int() {
+                    return Err("gep index is not an integer".into());
+                }
+            }
+        }
+        InstrKind::Select { ty, cond, then_value, else_value } => {
+            if ty_of(cond) != Type::I1 {
+                return Err("select condition is not i1".into());
+            }
+            for v in [then_value, else_value] {
+                let vt = ty_of(v);
+                if vt != *ty && !matches!(v, Operand::Undef(_)) {
+                    return Err(format!("select arm type {vt} does not match {ty}"));
+                }
+            }
+        }
+        InstrKind::Bin { op, ty, lhs, rhs } => {
+            if op.is_float() {
+                if *ty != Type::F64 {
+                    return Err("float binop on non-f64".into());
+                }
+            } else if !ty.is_int() {
+                return Err(format!("integer binop on non-integer type {ty}"));
+            }
+            for v in [lhs, rhs] {
+                let vt = ty_of(v);
+                if vt != *ty && !matches!(v, Operand::Undef(_)) {
+                    return Err(format!("binop operand type {vt} does not match {ty}"));
+                }
+            }
+        }
+        InstrKind::Icmp { ty, lhs, rhs, .. } => {
+            if !ty.is_int() && !ty.is_ptr() {
+                return Err("icmp on non-integer, non-pointer type".into());
+            }
+            for v in [lhs, rhs] {
+                let vt = ty_of(v);
+                if vt != *ty && !matches!(v, Operand::Undef(_)) {
+                    return Err(format!("icmp operand type {vt} does not match {ty}"));
+                }
+            }
+        }
+        InstrKind::Fcmp { lhs, rhs, .. } => {
+            for v in [lhs, rhs] {
+                if ty_of(v) != Type::F64 && !matches!(v, Operand::Undef(_)) {
+                    return Err("fcmp operand is not f64".into());
+                }
+            }
+        }
+        InstrKind::Cast { op, value, from, to } => {
+            let vt = ty_of(value);
+            if vt != *from && !matches!(value, Operand::Undef(_)) {
+                return Err(format!("cast source type {vt} does not match annotation {from}"));
+            }
+            let ok = match op {
+                CastOp::Zext | CastOp::Sext => {
+                    from.is_int() && to.is_int() && from.int_bits() < to.int_bits()
+                }
+                CastOp::Trunc => from.is_int() && to.is_int() && from.int_bits() > to.int_bits(),
+                CastOp::PtrToInt => from.is_ptr() && to.is_int(),
+                CastOp::IntToPtr => from.is_int() && to.is_ptr(),
+                CastOp::Bitcast => from.size_of() == to.size_of(),
+                CastOp::SiToFp => from.is_int() && *to == Type::F64,
+                CastOp::FpToSi => *from == Type::F64 && to.is_int(),
+            };
+            if !ok {
+                return Err(format!("invalid cast {} {from} to {to}", op.mnemonic()));
+            }
+        }
+        InstrKind::Call { callee, args, ret } => {
+            if let Some((_, callee_f)) = m.function_by_name(callee) {
+                if callee_f.params.len() != args.len() {
+                    return Err(format!("call to @{callee} with {} args, expected {}", args.len(), callee_f.params.len()));
+                }
+                if callee_f.ret_ty != *ret {
+                    return Err(format!("call to @{callee} annotated {ret}, function returns {}", callee_f.ret_ty));
+                }
+                for (arg, param) in args.iter().zip(&callee_f.params) {
+                    let at = ty_of(arg);
+                    if at != param.ty && !matches!(arg, Operand::Undef(_)) {
+                        return Err(format!("call to @{callee}: arg type {at} does not match param {}", param.ty));
+                    }
+                }
+            } else if let Some(decl) = m.host_decls.get(callee) {
+                if decl.params.len() != args.len() {
+                    return Err(format!("host call @{callee} with {} args, expected {}", args.len(), decl.params.len()));
+                }
+                if decl.ret != *ret {
+                    return Err(format!("host call @{callee} annotated {ret}, declared {}", decl.ret));
+                }
+            } else {
+                return Err(format!("call to undeclared callee @{callee}"));
+            }
+        }
+        InstrKind::CallIndirect { callee, .. } => {
+            if !ty_of(callee).is_ptr() {
+                return Err("indirect call through non-pointer".into());
+            }
+        }
+        InstrKind::MemCpy { dst, src, len } => {
+            if !ty_of(dst).is_ptr() || !ty_of(src).is_ptr() {
+                return Err("memcpy operands must be pointers".into());
+            }
+            if !ty_of(len).is_int() {
+                return Err("memcpy length must be integer".into());
+            }
+        }
+        InstrKind::MemSet { dst, byte, len } => {
+            if !ty_of(dst).is_ptr() {
+                return Err("memset destination must be a pointer".into());
+            }
+            if !ty_of(byte).is_int() || !ty_of(len).is_int() {
+                return Err("memset byte/length must be integers".into());
+            }
+        }
+        InstrKind::Alloca { count, .. } => {
+            if !ty_of(count).is_int() {
+                return Err("alloca count must be an integer".into());
+            }
+        }
+        InstrKind::Phi { .. } | InstrKind::Nop => {}
+    }
+    Ok(())
+}
+
+fn verify_terminator(
+    f: &Function,
+    bid: BlockId,
+    term: &Terminator,
+    dominates_use: &dyn Fn(ValueId, BlockId, usize) -> bool,
+) -> Result<(), String> {
+    let end = f.blocks[bid.index()].instrs.len();
+    match term {
+        Terminator::Ret(op) => {
+            match (op, &f.ret_ty) {
+                (None, Type::Void) => {}
+                (None, other) => return Err(format!("ret without value in function returning {other}")),
+                (Some(_), Type::Void) => return Err("ret with value in void function".into()),
+                (Some(v), want) => {
+                    let vt = f.operand_type(v);
+                    if vt != *want && !matches!(v, Operand::Undef(_)) {
+                        return Err(format!("ret type {vt} does not match function type {want}"));
+                    }
+                }
+            }
+            if let Some(Operand::Val(v)) = op {
+                if !dominates_use(*v, bid, end) {
+                    return Err(format!("ret uses {v} not dominated by its definition"));
+                }
+            }
+        }
+        Terminator::CondBr { cond, .. } => {
+            if f.operand_type(cond) != Type::I1 {
+                return Err("condbr condition is not i1".into());
+            }
+            if let Operand::Val(v) = cond {
+                if !dominates_use(*v, bid, end) {
+                    return Err(format!("condbr uses {v} not dominated by its definition"));
+                }
+            }
+        }
+        Terminator::Br(_) | Terminator::Unreachable => {}
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::instr::{BinOp, Operand};
+    use crate::types::Type;
+
+    #[test]
+    fn accepts_valid_module() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = mb.function("f", vec![("x", Type::I64)], Type::I64);
+        let x = fb.param(0);
+        let y = fb.add(Type::I64, x, Operand::i64(1));
+        fb.ret(Some(y));
+        fb.finish();
+        assert!(verify_module(&mb.finish()).is_ok());
+    }
+
+    #[test]
+    fn rejects_type_mismatch() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = mb.function("f", vec![("x", Type::I32)], Type::I64);
+        let x = fb.param(0);
+        // i32 operand in an i64 add.
+        let y = fb.bin(BinOp::Add, Type::I64, x, Operand::i64(1));
+        fb.ret(Some(y));
+        fb.finish();
+        let err = verify_module(&mb.finish()).unwrap_err();
+        assert!(err.message.contains("binop operand type"), "{err}");
+    }
+
+    #[test]
+    fn rejects_use_before_def() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = mb.function("f", vec![], Type::I64);
+        // Build a use of a value defined later in the same block by
+        // assembling manually.
+        let f = fb.func_mut();
+        let entry = crate::ids::BlockId::new(0);
+        let add1 = f.create_instr(InstrKind::Bin {
+            op: BinOp::Add,
+            ty: Type::I64,
+            lhs: Operand::i64(1),
+            rhs: Operand::i64(2),
+        });
+        let v1 = f.instr_result(add1).unwrap();
+        let add2 = f.create_instr(InstrKind::Bin {
+            op: BinOp::Add,
+            ty: Type::I64,
+            lhs: Operand::Val(v1),
+            rhs: Operand::i64(3),
+        });
+        // Link in the wrong order: add2 first.
+        f.blocks[0].instrs.push(add2);
+        f.blocks[0].instrs.push(add1);
+        let v2 = f.instr_result(add2).unwrap();
+        let _ = entry;
+        fb.ret(Some(Operand::Val(v2)));
+        fb.finish();
+        let err = verify_module(&mb.finish()).unwrap_err();
+        assert!(err.message.contains("not dominated"), "{err}");
+    }
+
+    #[test]
+    fn rejects_call_to_unknown() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = mb.function("f", vec![], Type::Void);
+        fb.call("missing", Type::Void, vec![]);
+        fb.ret(None);
+        fb.finish();
+        let err = verify_module(&mb.finish()).unwrap_err();
+        assert!(err.message.contains("undeclared callee"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_phi_preds() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = mb.function("f", vec![], Type::I64);
+        let next = fb.new_block("next");
+        fb.br(next);
+        fb.switch_to(next);
+        // Phi claims an incoming edge from a non-predecessor.
+        let v = fb.phi(Type::I64, vec![(BlockId::new(0), Operand::i64(1)), (next, Operand::i64(2))]);
+        fb.ret(Some(v));
+        fb.finish();
+        let err = verify_module(&mb.finish()).unwrap_err();
+        assert!(err.message.contains("do not match predecessors"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_functions() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = mb.function("f", vec![], Type::Void);
+        fb.ret(None);
+        fb.finish();
+        let mut fb = mb.function("f", vec![], Type::Void);
+        fb.ret(None);
+        fb.finish();
+        let err = verify_module(&mb.finish()).unwrap_err();
+        assert!(err.message.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn rejects_invalid_cast() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = mb.function("f", vec![("x", Type::I64)], Type::I64);
+        let x = fb.param(0);
+        let y = fb.cast(CastOp::Zext, x, Type::I64, Type::I64); // same width zext
+        fb.ret(Some(y));
+        fb.finish();
+        let err = verify_module(&mb.finish()).unwrap_err();
+        assert!(err.message.contains("invalid cast"), "{err}");
+    }
+
+    #[test]
+    fn accepts_ret_void() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = mb.function("f", vec![], Type::Void);
+        fb.ret(None);
+        fb.finish();
+        assert!(verify_module(&mb.finish()).is_ok());
+    }
+
+    #[test]
+    fn rejects_ret_type_mismatch() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = mb.function("f", vec![], Type::I64);
+        fb.ret(Some(Operand::i32(1)));
+        fb.finish();
+        let err = verify_module(&mb.finish()).unwrap_err();
+        assert!(err.message.contains("ret type"), "{err}");
+    }
+}

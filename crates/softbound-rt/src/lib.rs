@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! SoftBound runtime data structures.
+//!
+//! SoftBound (Nagarakatte et al., PLDI'09) keeps pointer bounds in
+//! *disjoint metadata*: a [`trie::MetadataTrie`] maps in-memory pointer
+//! locations to `(base, bound)` pairs, and a [`shadow_stack::ShadowStack`]
+//! communicates bounds across function calls (§3.2 of the paper). This
+//! crate implements both with the same observable semantics as the
+//! reference runtime, including the failure modes the paper analyzes: the
+//! trie is keyed by the *address the pointer is stored at*, so stores that
+//! bypass pointer type (integer stores, byte-wise copies) silently leave
+//! stale metadata behind (§§4.4–4.5).
+//!
+//! # Example
+//!
+//! ```
+//! use softbound_rt::{Bounds, MetadataTrie};
+//!
+//! let mut trie = MetadataTrie::new();
+//! // "A pointer with bounds [0x5000, 0x5040) is stored at 0x1000."
+//! trie.set(0x1000, Bounds { base: 0x5000, bound: 0x5040 });
+//!
+//! let b = trie.get(0x1000);
+//! assert!(b.allows(0x5000, 8));
+//! assert!(!b.allows(0x5040, 1)); // one past the end: not dereferenceable
+//!
+//! // A location never written through a pointer type has NULL bounds —
+//! // the §4.4/§4.5 stale-metadata failure mode.
+//! assert_eq!(trie.get(0x2000), Bounds::NULL);
+//! ```
+
+pub mod shadow_stack;
+pub mod trie;
+
+pub use shadow_stack::ShadowStack;
+pub use trie::{Bounds, MetadataTrie};

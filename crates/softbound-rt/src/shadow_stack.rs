@@ -1,0 +1,156 @@
+//! The shadow stack for cross-call bounds propagation (§3.2).
+//!
+//! Operated in sync with the call stack: before a call, the caller pushes a
+//! frame sized for the callee's pointer arguments and fills the argument
+//! slots; the callee reads them by index (slot 1 is the first argument,
+//! matching the `lookup_bs(1)` convention in Figure 6 of the paper); slot 0
+//! carries the bounds of a returned pointer. *Uninstrumented* callers do not
+//! maintain the stack — which is exactly how the stale-bounds problems of
+//! §4.3 arise; this implementation reproduces that by simply reading
+//! whatever the top frame holds.
+
+use crate::trie::Bounds;
+
+/// The shadow stack.
+#[derive(Clone, Debug, Default)]
+pub struct ShadowStack {
+    slots: Vec<Bounds>,
+    frames: Vec<usize>,
+    /// High-water mark (memory-overhead reporting).
+    pub max_depth: usize,
+}
+
+impl ShadowStack {
+    /// An empty shadow stack with a sentinel frame (so that reads without
+    /// any pushed frame see NULL bounds instead of panicking — this models
+    /// an uninstrumented caller).
+    pub fn new() -> ShadowStack {
+        let mut ss = ShadowStack::default();
+        ss.push_frame(8);
+        ss
+    }
+
+    /// Pushes a frame with `nargs` argument slots (plus the return slot).
+    pub fn push_frame(&mut self, nargs: usize) {
+        self.frames.push(self.slots.len());
+        self.slots.extend(std::iter::repeat_n(Bounds::NULL, nargs + 1));
+        self.max_depth = self.max_depth.max(self.slots.len());
+    }
+
+    /// Pops the top frame.
+    ///
+    /// The sentinel frame is never popped; popping with only the sentinel
+    /// left is a no-op (uninstrumented code may unbalance the stack — that
+    /// is a modeled failure mode, not a bug).
+    pub fn pop_frame(&mut self) {
+        if self.frames.len() <= 1 {
+            return;
+        }
+        let base = self.frames.pop().expect("frame");
+        self.slots.truncate(base);
+    }
+
+    fn slot(&self, idx: usize) -> usize {
+        let base = *self.frames.last().expect("sentinel frame");
+        base + idx
+    }
+
+    /// Writes the bounds for argument `i` (1-based) of the frame being set
+    /// up.
+    pub fn set_arg(&mut self, i: usize, b: Bounds) {
+        let s = self.slot(i);
+        if s < self.slots.len() {
+            self.slots[s] = b;
+        }
+    }
+
+    /// Reads the bounds for argument `i` (1-based). Returns NULL bounds if
+    /// the frame is too small (unbalanced, uninstrumented caller).
+    pub fn arg(&self, i: usize) -> Bounds {
+        self.slots.get(self.slot(i)).copied().unwrap_or(Bounds::NULL)
+    }
+
+    /// Writes the return-value bounds (slot 0).
+    pub fn set_ret(&mut self, b: Bounds) {
+        let s = self.slot(0);
+        if s < self.slots.len() {
+            self.slots[s] = b;
+        }
+    }
+
+    /// Reads the return-value bounds (slot 0).
+    pub fn ret(&self) -> Bounds {
+        self.slots.get(self.slot(0)).copied().unwrap_or(Bounds::NULL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_roundtrip() {
+        let mut ss = ShadowStack::new();
+        ss.push_frame(2);
+        let b1 = Bounds { base: 10, bound: 20 };
+        let b2 = Bounds { base: 30, bound: 40 };
+        ss.set_arg(1, b1);
+        ss.set_arg(2, b2);
+        assert_eq!(ss.arg(1), b1);
+        assert_eq!(ss.arg(2), b2);
+        ss.pop_frame();
+    }
+
+    #[test]
+    fn ret_slot() {
+        let mut ss = ShadowStack::new();
+        ss.push_frame(0);
+        let b = Bounds { base: 1, bound: 2 };
+        ss.set_ret(b);
+        assert_eq!(ss.ret(), b);
+    }
+
+    #[test]
+    fn nested_frames_are_independent() {
+        let mut ss = ShadowStack::new();
+        ss.push_frame(1);
+        ss.set_arg(1, Bounds { base: 1, bound: 2 });
+        ss.push_frame(1);
+        assert_eq!(ss.arg(1), Bounds::NULL, "new frame starts NULL");
+        ss.set_arg(1, Bounds { base: 3, bound: 4 });
+        ss.pop_frame();
+        assert_eq!(ss.arg(1), Bounds { base: 1, bound: 2 });
+    }
+
+    #[test]
+    fn stale_frame_models_uninstrumented_caller() {
+        // An uninstrumented caller does not push a frame: the callee reads
+        // whatever the previous (stale) frame contained — §4.3's failure.
+        let mut ss = ShadowStack::new();
+        ss.push_frame(1);
+        ss.set_arg(1, Bounds { base: 111, bound: 222 });
+        // ... imagine an uninstrumented call boundary here: no push ...
+        assert_eq!(ss.arg(1), Bounds { base: 111, bound: 222 });
+    }
+
+    #[test]
+    fn sentinel_survives_unbalanced_pops() {
+        let mut ss = ShadowStack::new();
+        ss.pop_frame();
+        ss.pop_frame();
+        assert_eq!(ss.arg(1), Bounds::NULL);
+        ss.set_ret(Bounds { base: 5, bound: 6 });
+        assert_eq!(ss.ret(), Bounds { base: 5, bound: 6 });
+    }
+
+    #[test]
+    fn max_depth_tracks() {
+        let mut ss = ShadowStack::new();
+        ss.push_frame(3);
+        ss.push_frame(3);
+        let d = ss.max_depth;
+        ss.pop_frame();
+        ss.pop_frame();
+        assert_eq!(ss.max_depth, d);
+    }
+}

@@ -1,0 +1,86 @@
+//! §4.3 of the paper: linking against *uninstrumented* libraries.
+//!
+//! * A library function that returns a pointer leaves SoftBound's shadow
+//!   stack untouched: the caller reads stale return bounds and reports a
+//!   violation for a perfectly safe access. Low-Fat still works, because
+//!   the library's heap allocation went through the (replaced) low-fat
+//!   malloc and the base is recoverable from the pointer value.
+//! * An external array declared without size (`extern int arr[];`) forces
+//!   SoftBound to choose between NULL bounds (spurious reports) and wide
+//!   bounds (no protection) — the artifact flag `-mi-sb-size-zero-wide-upper`.
+//!
+//! ```text
+//! cargo run --example external_library
+//! ```
+
+use meminstrument::runtime::{compile, compile_and_run, BuildOptions};
+use meminstrument::{Mechanism, MiConfig};
+use memvm::VmConfig;
+
+fn main() {
+    // `lib_make_buffer` models a function in a precompiled library: its body
+    // executes, but it is never instrumented and maintains no metadata.
+    let returns_pointer = r#"
+        uninstrumented long *lib_make_buffer(long n) {
+            long *p = (long*)malloc(n * sizeof(long));
+            for (long i = 0; i < n; i += 1) p[i] = i;
+            return p;
+        }
+        long main(void) {
+            long *buf = lib_make_buffer(10);
+            return buf[3];   /* perfectly safe */
+        }
+    "#;
+    let m = cfront::compile(returns_pointer).unwrap();
+    println!("== library function returns a pointer ==");
+    for mech in [Mechanism::SoftBound, Mechanism::LowFat] {
+        let r = compile_and_run(m.clone(), &MiConfig::new(mech), BuildOptions::default());
+        match r {
+            Ok(out) => println!("  {:9}: ok, returned {}", mech.name(), out.ret.unwrap().as_int()),
+            Err(t) => println!("  {:9}: {t}", mech.name()),
+        }
+    }
+    println!("SoftBound assumed the return bounds were on the shadow stack; the");
+    println!("uninstrumented callee never put them there (§4.3). The real fix is a");
+    println!("hand-written wrapper per library function. Low-Fat needs nothing: the");
+    println!("library allocated through the low-fat malloc automatically.\n");
+
+    // Size-less external arrays: with the paper's flag the accesses become
+    // unverifiable (wide) instead of spurious, trading safety for usability.
+    let extern_array = r#"
+        __hidden_size int file_table[64];
+        long main(void) {
+            long sum = 0;
+            for (long i = 0; i < 64; i += 1) {
+                file_table[i] = (int)i;
+                sum += file_table[i];
+            }
+            return sum;
+        }
+    "#;
+    let m = cfront::compile(extern_array).unwrap();
+    println!("== external array declared without size ==");
+    for (label, cfg) in [
+        ("softbound + wide-upper flag (paper basis)", MiConfig::new(Mechanism::SoftBound)),
+        ("softbound, flag disabled (NULL bounds)", {
+            let mut c = MiConfig::new(Mechanism::SoftBound);
+            c.sb_size_zero_wide_upper = false;
+            c
+        }),
+        ("lowfat (mirrors the definition, size not needed)", MiConfig::new(Mechanism::LowFat)),
+    ] {
+        let prog = compile(m.clone(), &cfg, BuildOptions::default());
+        match prog.run_main(VmConfig::default()) {
+            Ok(out) => println!(
+                "  {label}: ok (ret {}), {} of {} checks wide",
+                out.ret.unwrap().as_int(),
+                out.stats.checks_wide,
+                out.stats.checks_executed
+            ),
+            Err(t) => println!("  {label}: {t}"),
+        }
+    }
+    println!("\nThis is the 164gzip situation of Table 2: with the wide-upper flag the");
+    println!("program runs, but 62 % of gzip's checks verify nothing. Without the");
+    println!("flag the very first access reports a spurious violation.");
+}

@@ -1,0 +1,65 @@
+//! Appendix B of the paper: intra-object overflows.
+//!
+//! `&P.y - 1` steps from one struct member into the (implementation-
+//! defined) territory of another. Low-Fat Pointers cannot detect this by
+//! design (the whole struct is one padded object). SoftBound *could* narrow
+//! bounds to the member — but in the IR the member access is just address
+//! arithmetic (`gep`), the member boundary is gone, and whole-object bounds
+//! are all either tool checks against. (The paper's Figure 14 shows clang
+//! -O1 folding the arithmetic away entirely; our frontend keeps a `gep -1`,
+//! with the same net effect: nothing member-level survives to check.)
+//!
+//! ```text
+//! cargo run --example intra_object
+//! ```
+
+use meminstrument::runtime::{compile_and_run, BuildOptions};
+use meminstrument::{Mechanism, MiConfig};
+use mir::instr::InstrKind;
+
+fn main() {
+    let src = r#"
+        struct simple_pair { int x; int y; };
+        struct simple_pair P;
+        long main(void) {
+            int *py = &P.y;
+            int *q = py - 1;     /* points at P.x — or at padding? */
+            *q = 77;
+            return P.x;          /* reads 77: the write landed in x */
+        }
+    "#;
+    let module = cfront::compile(src).unwrap();
+
+    // Show what the IR looks like after optimization: the member arithmetic
+    // has been folded into gep offsets before instrumentation could see it.
+    let mut optimized = module.clone();
+    mir::Pipeline::default().run(&mut optimized);
+    let (_, f) = optimized.function_by_name("main").unwrap();
+    println!("optimized IR of main():");
+    print!("{}", mir::printer::print_function(f));
+    let geps = f
+        .blocks
+        .iter()
+        .flat_map(|b| b.instrs.iter().map(|&i| &f.instrs[i.index()].kind))
+        .filter(|k| matches!(k, InstrKind::Gep { .. }))
+        .count();
+    println!("\n{geps} gep(s): plain address arithmetic — no member boundary survives.\n");
+
+    for mech in [Mechanism::SoftBound, Mechanism::LowFat] {
+        let r = compile_and_run(module.clone(), &MiConfig::new(mech), BuildOptions::default());
+        match r {
+            Ok(out) => println!(
+                "{:9}: ran fine, main returned {} — intra-object overflow undetected",
+                mech.name(),
+                out.ret.unwrap().as_int()
+            ),
+            Err(t) => println!("{:9}: {t}", mech.name()),
+        }
+    }
+
+    println!();
+    println!("Neither mechanism reports anything: Low-Fat cannot (one padded object),");
+    println!("and SoftBound's whole-object bounds cover the entire struct. Appendix B");
+    println!("argues automatic bounds narrowing is unsound anyway: &P == &P.x by the");
+    println!("standard, and narrowing to the first member breaks that idiom.");
+}

@@ -1,0 +1,1 @@
+//! Umbrella crate: see the workspace crates.

@@ -1,0 +1,116 @@
+//! The artifact-style corpus: small C programs with expected verdicts per
+//! configuration (the paper's artifact ships ~200 such programs; each one
+//! here exercises a distinct behaviour).
+//!
+//! Each `tests/corpus/*.c` file carries header lines:
+//!
+//! ```text
+//! // CHECK <config>: ok[=<ret>] | violation
+//! ```
+//!
+//! where `<config>` is `baseline`, `softbound`, `lowfat`, or `redzone`.
+
+use meminstrument::runtime::{compile, compile_baseline, BuildOptions};
+use meminstrument::{Mechanism, MiConfig};
+use memvm::interp::Trap;
+use memvm::VmConfig;
+
+#[derive(Debug, PartialEq)]
+enum Expect {
+    Ok(Option<i64>),
+    Violation,
+    /// A raw hardware-level page fault (unmapped access), *not* an
+    /// instrumentation report.
+    Segfault,
+}
+
+fn parse_expectations(src: &str) -> Vec<(String, Expect)> {
+    let mut out = vec![];
+    for line in src.lines() {
+        let Some(rest) = line.trim().strip_prefix("// CHECK ") else { continue };
+        let (config, verdict) = rest.split_once(':').expect("CHECK line has a colon");
+        let verdict = verdict.trim();
+        let verdict = verdict.split("  ").next().unwrap().trim(); // strip trailing comment
+        let expect = if verdict == "violation" {
+            Expect::Violation
+        } else if verdict == "segfault" {
+            Expect::Segfault
+        } else if let Some(v) = verdict.strip_prefix("ok=") {
+            Expect::Ok(Some(v.parse().expect("ret value")))
+        } else if verdict == "ok" {
+            Expect::Ok(None)
+        } else {
+            panic!("bad verdict {verdict:?}");
+        };
+        out.push((config.trim().to_string(), expect));
+    }
+    out
+}
+
+#[test]
+fn corpus_verdicts() {
+    let dir = format!("{}/tests/corpus", env!("CARGO_MANIFEST_DIR"));
+    let mut paths: Vec<_> = std::fs::read_dir(&dir)
+        .expect("corpus directory")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "c"))
+        .collect();
+    paths.sort();
+    assert!(paths.len() >= 30, "corpus shrank to {}", paths.len());
+
+    let mut failures = vec![];
+    for path in &paths {
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        let src = std::fs::read_to_string(path).unwrap();
+        let expectations = parse_expectations(&src);
+        assert!(!expectations.is_empty(), "{name}: no CHECK lines");
+        let module = match cfront::compile(&src) {
+            Ok(m) => m,
+            Err(e) => {
+                failures.push(format!("{name}: frontend error: {e}"));
+                continue;
+            }
+        };
+        for (config, expect) in expectations {
+            let result = match config.as_str() {
+                "baseline" => compile_baseline(module.clone(), BuildOptions::default())
+                    .run_main(VmConfig::default()),
+                mech => {
+                    let mech = match mech {
+                        "softbound" => Mechanism::SoftBound,
+                        "lowfat" => Mechanism::LowFat,
+                        "redzone" => Mechanism::RedZone,
+                        other => panic!("{name}: unknown config {other}"),
+                    };
+                    compile(module.clone(), &MiConfig::new(mech), BuildOptions::default())
+                        .run_main(VmConfig::default())
+                }
+            };
+            let verdict = match (&expect, &result) {
+                (Expect::Ok(want), Ok(out)) => {
+                    let got = out.ret.map(|v| v.as_int() as i64).unwrap_or(0);
+                    match want {
+                        Some(w) if *w != got => Some(format!("expected ok={w}, got ok={got}")),
+                        _ => None,
+                    }
+                }
+                (Expect::Ok(_), Err(t)) => Some(format!("expected ok, got {t}")),
+                (Expect::Violation, Ok(_)) => Some("expected violation, ran through".into()),
+                (Expect::Violation, Err(Trap::MemSafetyViolation { .. })) => None,
+                (Expect::Violation, Err(t)) => Some(format!("expected violation, got {t}")),
+                (Expect::Segfault, Err(Trap::UnmappedAccess { .. })) => None,
+                (Expect::Segfault, Ok(_)) => Some("expected segfault, ran through".into()),
+                (Expect::Segfault, Err(t)) => Some(format!("expected segfault, got {t}")),
+            };
+            if let Some(msg) = verdict {
+                failures.push(format!("{name} [{config}]: {msg}"));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} corpus mismatches:\n  {}",
+        failures.len(),
+        failures.join("\n  ")
+    );
+}

@@ -1,0 +1,12 @@
+// Two differently-typed views of one allocation share its bounds.
+// CHECK baseline: ok=257
+// CHECK softbound: ok=257
+// CHECK lowfat: ok=257
+// CHECK redzone: ok=257
+long main(void) {
+    long *words = (long*)malloc(4 * sizeof(long));
+    char *bytes = (char*)words;
+    bytes[0] = 1;
+    bytes[1] = 1;
+    return (long)(words[0] & 0xFFFF);   /* little endian: 0x0101 */
+}

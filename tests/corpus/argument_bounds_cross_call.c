@@ -1,0 +1,13 @@
+// Callee overruns a buffer received as an argument (shadow-stack path).
+// CHECK baseline: ok
+// CHECK softbound: violation
+// CHECK lowfat: violation
+// CHECK redzone: violation
+void fill(long *buf, long n) {
+    for (long i = 0; i < n; i += 1) buf[i] = i;
+}
+long main(void) {
+    long *a = (long*)malloc(8 * sizeof(long));
+    fill(a, 80);
+    return 0;
+}

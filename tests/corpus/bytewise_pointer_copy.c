@@ -1,0 +1,18 @@
+// §4.5: copying a struct with an embedded pointer byte by byte leaves
+// SoftBound's metadata behind — a FALSE POSITIVE on a legal program.
+// CHECK baseline: ok=3
+// CHECK softbound: violation
+// CHECK lowfat: ok=3
+// CHECK redzone: ok=3
+struct box { long *ptr; };
+long main(void) {
+    long *data = (long*)malloc(8);
+    *data = 3;
+    struct box a;
+    struct box b;
+    a.ptr = data;
+    char *s = (char*)&a;
+    char *d = (char*)&b;
+    for (long i = 0; i < sizeof(struct box); i += 1) d[i] = s[i];
+    return *(b.ptr);
+}

@@ -1,0 +1,9 @@
+// CHECK baseline: ok
+// CHECK softbound: violation
+// CHECK lowfat: violation
+// CHECK redzone: ok    (z[40] clears the 16-byte guard zone)
+long main(void) {
+    long *z = (long*)calloc(4, sizeof(long));
+    z[40] = 1;
+    return 0;
+}

@@ -1,0 +1,10 @@
+// CHECK baseline: ok=0
+// CHECK softbound: ok=0
+// CHECK lowfat: ok=0
+// CHECK redzone: ok=0
+long main(void) {
+    long *z = (long*)calloc(16, sizeof(long));
+    long s = 0;
+    for (long i = 0; i < 16; i += 1) s += z[i];
+    return s;
+}

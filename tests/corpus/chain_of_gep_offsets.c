@@ -1,0 +1,17 @@
+// Long chains of pointer arithmetic keep the original witness (gep
+// inheritance): the final out-of-bounds access is still attributed to the
+// right object.
+// CHECK baseline: ok
+// CHECK softbound: violation
+// CHECK lowfat: violation
+// CHECK redzone: ok    (offset 128 clears the guard zone)
+long main(void) {
+    long *a = (long*)malloc(8 * sizeof(long));
+    long *p = a + 1;
+    long *q = p + 2;
+    long *r = q + 3;
+    long *s = r + 2;       /* a + 8: one past */
+    long *t = s + 8;       /* a + 16: beyond padding and guards */
+    for (long *w = t; w < t + 4; w += 1) *w = 1;
+    return 0;
+}

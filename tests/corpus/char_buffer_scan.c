@@ -1,0 +1,12 @@
+// CHECK baseline: ok=6
+// CHECK softbound: ok=6
+// CHECK lowfat: ok=6
+// CHECK redzone: ok=6
+long main(void) {
+    char buf[16];
+    for (long i = 0; i < 6; i += 1) buf[i] = (char)('a' + i);
+    buf[6] = '\0';
+    long n = 0;
+    for (char *p = buf; *p; p += 1) n += 1;
+    return n;
+}

@@ -1,0 +1,20 @@
+// Fully in-bounds numeric kernel.
+// CHECK baseline: ok=5320
+// CHECK softbound: ok=5320
+// CHECK lowfat: ok=5320
+// CHECK redzone: ok=5320
+long main(void) {
+    long a[4][4];
+    long b[4][4];
+    long c[4][4];
+    for (long i = 0; i < 4; i += 1)
+        for (long j = 0; j < 4; j += 1) { a[i][j] = i + j; b[i][j] = i * j; c[i][j] = 0; }
+    for (long i = 0; i < 4; i += 1)
+        for (long j = 0; j < 4; j += 1)
+            for (long k = 0; k < 4; k += 1)
+                c[i][j] += a[i][k] * b[k][j];
+    long s = 0;
+    for (long i = 0; i < 4; i += 1)
+        for (long j = 0; j < 4; j += 1) s += c[i][j] * (i * 4 + j);
+    return s;
+}

@@ -1,0 +1,15 @@
+// The witness must reflect the dynamically-chosen allocation size.
+// CHECK baseline: ok
+// CHECK softbound: violation
+// CHECK lowfat: violation
+// CHECK redzone: ok    (offset 320 clears the guard zone)
+long run(long big) {
+    long n = big ? 64 : 4;
+    long *a = (long*)malloc(n * sizeof(long));
+    a[40] = 1;              /* fine when big, overflow when small */
+    return a[40];
+}
+long main(void) {
+    run(1);
+    return run(0);
+}

@@ -1,0 +1,13 @@
+// Overflow landing exactly inside a neighbouring live allocation: the
+// red-zone blind spot (§2.1); object-based mechanisms catch it.
+// CHECK baseline: ok
+// CHECK softbound: violation
+// CHECK lowfat: violation
+// CHECK redzone: ok
+long main(void) {
+    long *a = (long*)malloc(10 * sizeof(long));
+    long *b = (long*)malloc(10 * sizeof(long));
+    b[0] = 1;
+    a[16] = 2;
+    return b[0];
+}

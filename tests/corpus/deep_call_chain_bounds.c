@@ -1,0 +1,13 @@
+// Bounds survive four instrumented call hops.
+// CHECK baseline: ok
+// CHECK softbound: violation
+// CHECK lowfat: violation
+// CHECK redzone: ok    (offset 264 clears the guard zone)
+long d(long *p) { return p[30]; }
+long c(long *p) { return d(p + 1); }
+long b(long *p) { return c(p + 1); }
+long a_fn(long *p) { return b(p + 1); }
+long main(void) {
+    long *buf = (long*)malloc(8 * sizeof(long));
+    return a_fn(buf);
+}

@@ -1,0 +1,10 @@
+// CHECK baseline: ok
+// CHECK softbound: violation
+// CHECK lowfat: violation
+// CHECK redzone: violation
+long main(void) {
+    double *xs = (double*)malloc(6 * sizeof(double));
+    double s = 0.0;
+    for (long i = 0; i < 60; i += 1) s = s + xs[i];
+    return (long)s;
+}

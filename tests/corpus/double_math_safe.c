@@ -1,0 +1,11 @@
+// CHECK baseline: ok=682
+// CHECK softbound: ok=682
+// CHECK lowfat: ok=682
+// CHECK redzone: ok=682
+long main(void) {
+    double acc = 0.0;
+    double xs[16];
+    for (long i = 0; i < 16; i += 1) xs[i] = (double)i / 2.0 + 0.25;
+    for (long i = 0; i < 16; i += 1) acc = acc + xs[i] * xs[i];
+    return (long)(acc * 2.0);
+}

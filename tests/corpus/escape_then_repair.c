@@ -1,0 +1,13 @@
+// §4.2: OOB pointer escapes to a callee which repairs it before the
+// dereference. Legal by programmer intuition; UB by the standard.
+// CHECK baseline: ok=7
+// CHECK softbound: ok=7
+// CHECK lowfat: violation
+// CHECK redzone: ok=7
+long use_it(long *oob) { return oob[-100]; }
+long touch(long *p) { return use_it(p); }
+long main(void) {
+    long *a = (long*)malloc(64);
+    a[0] = 7;
+    return touch(a + 100);
+}

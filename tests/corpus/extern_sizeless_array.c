@@ -1,0 +1,11 @@
+// §4.3: extern array without size; wide-upper flag keeps it running.
+// CHECK baseline: ok=190
+// CHECK softbound: ok=190
+// CHECK lowfat: ok=190
+// CHECK redzone: ok=190
+__hidden_size int counts[32];
+long main(void) {
+    long s = 0;
+    for (long i = 0; i < 20; i += 1) { counts[i] = (int)i; s += counts[i]; }
+    return s;
+}

@@ -1,0 +1,16 @@
+// Freeing and reallocating: the low-fat free list recycles the slot; the
+// fresh object's bounds must be fresh too.
+// CHECK baseline: ok=30
+// CHECK softbound: ok=30
+// CHECK lowfat: ok=30
+// CHECK redzone: ok=30
+long main(void) {
+    long s = 0;
+    for (long round = 0; round < 10; round += 1) {
+        long *p = (long*)malloc(3 * sizeof(long));
+        p[0] = 1; p[1] = 1; p[2] = 1;
+        s += p[0] + p[1] + p[2];
+        free(p);
+    }
+    return s;
+}

@@ -1,0 +1,9 @@
+// Initialized globals keep their values under every placement scheme
+// (default area, low-fat mirror, red-zone guard slot).
+// CHECK baseline: ok=707
+// CHECK softbound: ok=707
+// CHECK lowfat: ok=707
+// CHECK redzone: ok=707
+long seed = 700;
+int bump = 7;
+long main(void) { return seed + bump; }

@@ -1,0 +1,9 @@
+// CHECK baseline: ok
+// CHECK softbound: violation
+// CHECK lowfat: violation
+// CHECK redzone: violation
+int table[16];
+long main(void) {
+    for (long i = 0; i < 200; i += 1) table[i] = (int)i;
+    return table[0];
+}

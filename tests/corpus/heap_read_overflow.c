@@ -1,0 +1,10 @@
+// CHECK baseline: ok
+// CHECK softbound: violation
+// CHECK lowfat: violation
+// CHECK redzone: violation
+long main(void) {
+    long *a = (long*)malloc(4 * sizeof(long));
+    long s = 0;
+    for (long i = 0; i < 40; i += 1) s += a[i];
+    return s;
+}

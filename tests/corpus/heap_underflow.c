@@ -1,0 +1,10 @@
+// Read before the allocation start. The baseline crashes with a raw
+// page fault; the instrumentations turn it into a precise report.
+// CHECK baseline: segfault
+// CHECK softbound: violation
+// CHECK lowfat: violation
+// CHECK redzone: violation
+long main(void) {
+    long *a = (long*)malloc(32);
+    return a[-2];
+}

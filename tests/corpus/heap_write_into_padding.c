@@ -1,0 +1,10 @@
+// One past the end of a 64-byte object: inside the 128-byte low-fat class.
+// CHECK baseline: ok
+// CHECK softbound: violation
+// CHECK lowfat: ok
+// CHECK redzone: violation
+long main(void) {
+    long *a = (long*)malloc(8 * sizeof(long));
+    a[8] = 1;
+    return 0;
+}

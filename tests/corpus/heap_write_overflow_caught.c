@@ -1,0 +1,11 @@
+// Sweeping write crosses the red zone AND the low-fat padding boundary,
+// so every mechanism traps (at different iterations).
+// CHECK baseline: ok
+// CHECK softbound: violation
+// CHECK lowfat: violation
+// CHECK redzone: violation
+long main(void) {
+    long *a = (long*)malloc(8 * sizeof(long));
+    for (long i = 0; i <= 16; i += 1) a[i] = i;
+    return 0;
+}

@@ -1,0 +1,13 @@
+// Walking back and forth inside one object is fine.
+// CHECK baseline: ok=6
+// CHECK softbound: ok=6
+// CHECK lowfat: ok=6
+// CHECK redzone: ok=6
+long main(void) {
+    long *a = (long*)malloc(16 * sizeof(long));
+    long *p = a;
+    p += 10;
+    p -= 7;
+    *p = 6;
+    return a[3];
+}

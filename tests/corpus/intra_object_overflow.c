@@ -1,0 +1,15 @@
+// Appendix B: member-to-member overflow inside one struct. Whole-object
+// bounds (all default configs) cannot see it.
+// CHECK baseline: ok=11
+// CHECK softbound: ok=11
+// CHECK lowfat: ok=11
+// CHECK redzone: ok=11
+struct pair { int x; int y; };
+struct pair P;
+int peek(int *py, long off) { return py[off]; }
+int chain(int *p, long off) { return peek(p, off); }
+long main(void) {
+    P.x = 11;
+    P.y = 22;
+    return chain(&P.y, -1);
+}

@@ -1,0 +1,14 @@
+// §4.4: pointer laundered through an integer, then dereferenced in bounds.
+// With the wide-bounds flag SoftBound tolerates this (unverified).
+// CHECK baseline: ok=5
+// CHECK softbound: ok=5
+// CHECK lowfat: ok=5
+// CHECK redzone: ok=5
+long main(void) {
+    long *p = (long*)malloc(16);
+    *p = 5;
+    long addr = (long)p;
+    long *q = (long*)(addr + 8);
+    q = q - 1;
+    return *q;
+}

@@ -1,0 +1,13 @@
+// The first byte past the object: exact bounds catch, padding/guard rules
+// differ per mechanism (10->16-byte class keeps it in padding; the red
+// zone starts at the 16-byte alignment boundary, so offset 10 is NOT yet
+// in the guard zone either).
+// CHECK baseline: ok
+// CHECK softbound: violation
+// CHECK lowfat: ok
+// CHECK redzone: ok
+long main(void) {
+    char *raw = (char*)malloc(10);
+    raw[10] = 1;
+    return 0;
+}

@@ -1,0 +1,17 @@
+// CHECK baseline: ok=15
+// CHECK softbound: ok=15
+// CHECK lowfat: ok=15
+// CHECK redzone: ok=15
+struct node { long v; struct node *next; };
+long main(void) {
+    struct node *head = (struct node*)0;
+    for (long i = 1; i <= 5; i += 1) {
+        struct node *n = (struct node*)malloc(sizeof(struct node));
+        n->v = i;
+        n->next = head;
+        head = n;
+    }
+    long s = 0;
+    while (head) { s += head->v; head = head->next; }
+    return s;
+}

@@ -1,0 +1,12 @@
+// A loop-invariant safe access: dominance elimination and the optimizer
+// may reduce it to one check, but the program must still run correctly.
+// CHECK baseline: ok=1000
+// CHECK softbound: ok=1000
+// CHECK lowfat: ok=1000
+// CHECK redzone: ok=1000
+long main(void) {
+    long *cell = (long*)malloc(8);
+    *cell = 0;
+    for (long i = 0; i < 1000; i += 1) *cell += 1;
+    return *cell;
+}

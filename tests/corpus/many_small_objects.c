@@ -1,0 +1,15 @@
+// Allocator stress: many live objects, interleaved sizes, all checked.
+// CHECK baseline: ok=4950
+// CHECK softbound: ok=4950
+// CHECK lowfat: ok=4950
+// CHECK redzone: ok=4950
+long main(void) {
+    long *ptrs[100];
+    for (long i = 0; i < 100; i += 1) {
+        ptrs[i] = (long*)malloc(((i % 7) + 1) * sizeof(long));
+        ptrs[i][0] = i;
+    }
+    long s = 0;
+    for (long i = 0; i < 100; i += 1) s += ptrs[i][0];
+    return s;
+}

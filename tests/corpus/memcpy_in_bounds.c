@@ -1,0 +1,14 @@
+// CHECK baseline: ok=36
+// CHECK softbound: ok=36
+// CHECK lowfat: ok=36
+// CHECK redzone: ok=36
+struct blob { long vals[8]; };
+long main(void) {
+    struct blob a;
+    struct blob b;
+    for (long i = 0; i < 8; i += 1) a.vals[i] = i + 1;
+    b = a;
+    long s = 0;
+    for (long i = 0; i < 8; i += 1) s += b.vals[i];
+    return s;
+}

@@ -1,0 +1,15 @@
+// memset writing past the destination object: the raw write stays on the
+// mapped page; instrumentation sees it only through wrapper checks, which
+// the paper-basis configuration disables (§5.1.2).
+// CHECK baseline: ok
+// CHECK softbound: ok
+// CHECK lowfat: ok
+// CHECK redzone: ok
+struct wipe { long a[4]; };
+long main(void) {
+    struct wipe *w = (struct wipe*)malloc(sizeof(struct wipe));
+    struct wipe zero;
+    for (long i = 0; i < 4; i += 1) zero.a[i] = 0;
+    *w = zero;
+    return 0;
+}

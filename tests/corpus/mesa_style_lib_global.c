@@ -1,0 +1,12 @@
+// Library globals are unprotected under Low-Fat (wide bounds) but still
+// work; overflowing INTO one from a checked object is caught by exact
+// bounds only.
+// CHECK baseline: ok=5
+// CHECK softbound: ok=5
+// CHECK lowfat: ok=5
+// CHECK redzone: ok=5
+__libglobal long ctx[8];
+long main(void) {
+    ctx[3] = 5;
+    return ctx[3];
+}

@@ -1,0 +1,12 @@
+// Sub-word and word accesses against the same object.
+// CHECK baseline: ok=513
+// CHECK softbound: ok=513
+// CHECK lowfat: ok=513
+// CHECK redzone: ok=513
+long main(void) {
+    char *raw = (char*)malloc(16);
+    raw[0] = 1;
+    raw[1] = 2;
+    short *half = (short*)raw;
+    return half[0];   /* little endian: 0x0201 */
+}

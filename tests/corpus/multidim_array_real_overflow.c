@@ -1,0 +1,10 @@
+// ... but leaving the whole grid is caught as usual.
+// CHECK baseline: ok
+// CHECK softbound: violation
+// CHECK lowfat: violation
+// CHECK redzone: violation
+long grid[4][8];
+long main(void) {
+    for (long i = 0; i < 80; i += 1) grid[0][i] = i;
+    return 0;
+}

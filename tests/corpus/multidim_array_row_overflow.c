@@ -1,0 +1,12 @@
+// Row overflow in a 2-D array is an intra-object overflow of the outer
+// array: whole-object bounds cover the full grid, so walking off a row
+// into the next row is not reported by anyone (Appendix-B territory).
+// CHECK baseline: ok=99
+// CHECK softbound: ok=99
+// CHECK lowfat: ok=99
+// CHECK redzone: ok=99
+long grid[4][8];
+long main(void) {
+    grid[1][0] = 99;
+    return grid[0][8];   /* same memory as grid[1][0] */
+}

@@ -1,0 +1,11 @@
+// Negative indexing from an interior pointer stays in bounds: legal.
+// CHECK baseline: ok=42
+// CHECK softbound: ok=42
+// CHECK lowfat: ok=42
+// CHECK redzone: ok=42
+long main(void) {
+    long a[10];
+    a[2] = 42;
+    long *mid = &a[6];
+    return mid[-4];
+}

@@ -1,0 +1,10 @@
+// CHECK baseline: ok
+// CHECK softbound: violation
+// CHECK lowfat: ok
+// CHECK redzone: violation
+long data[16];
+long main(void) {
+    long s = 0;
+    for (long i = 0; i <= 16; i += 1) s += data[i];
+    return s;
+}

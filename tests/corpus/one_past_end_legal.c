@@ -1,0 +1,12 @@
+// One-past-the-end pointers may be formed and compared (C 6.5.6).
+// CHECK baseline: ok=10
+// CHECK softbound: ok=10
+// CHECK lowfat: ok=10
+// CHECK redzone: ok=10
+long main(void) {
+    long a[10];
+    long *end = a + 10;
+    long n = 0;
+    for (long *p = a; p < end; p += 1) { *p = 1; n += *p; }
+    return n;
+}

@@ -1,0 +1,10 @@
+// > 1 GiB: falls back to the standard allocator under Low-Fat (unchecked).
+// CHECK baseline: ok=9
+// CHECK softbound: ok=9
+// CHECK lowfat: ok=9
+// CHECK redzone: ok=9
+long main(void) {
+    long *big = (long*)malloc(1200000000);
+    big[100000000] = 9;
+    return big[100000000];
+}

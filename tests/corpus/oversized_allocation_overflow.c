@@ -1,0 +1,12 @@
+// ... and an overflow beyond the oversized allocation is only *reported*
+// by SoftBound (exact bounds survive any size); everyone else runs into
+// the unmapped page beyond the mapping and crashes raw.
+// CHECK baseline: segfault
+// CHECK softbound: violation
+// CHECK lowfat: segfault
+// CHECK redzone: segfault
+long main(void) {
+    long *big = (long*)malloc(1200000000);
+    big[150001000] = 9;
+    return 0;
+}

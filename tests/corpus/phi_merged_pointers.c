@@ -1,0 +1,17 @@
+// Witnesses must follow control-flow joins (companion phis).
+// CHECK baseline: ok
+// CHECK softbound: violation
+// CHECK lowfat: violation
+// CHECK redzone: ok    (offset 80 clears the guard zone)
+long pick(long c) {
+    long *small = (long*)malloc(2 * sizeof(long));
+    long *large = (long*)malloc(64 * sizeof(long));
+    long *p;
+    if (c) p = small; else p = large;
+    p[10] = 1;   /* fine for large, overflow for small */
+    return p[10];
+}
+long main(void) {
+    pick(0);
+    return pick(1);
+}

@@ -1,0 +1,10 @@
+// CHECK baseline: ok=5
+// CHECK softbound: ok=5
+// CHECK lowfat: ok=5
+// CHECK redzone: ok=5
+long main(void) {
+    int a[16];
+    int *p = &a[3];
+    int *q = &a[8];
+    return q - p;
+}

@@ -1,0 +1,13 @@
+// Pointer parked in a global, loaded back, used: trie path end to end.
+// CHECK baseline: ok=8
+// CHECK softbound: ok=8
+// CHECK lowfat: ok=8
+// CHECK redzone: ok=8
+long *slot;
+long main(void) {
+    long *p = (long*)malloc(32);
+    p[1] = 8;
+    slot = p;
+    long *q = slot;
+    return q[1];
+}

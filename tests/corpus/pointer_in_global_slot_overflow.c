@@ -1,0 +1,13 @@
+// ... and the bounds survive the round trip through memory.
+// CHECK baseline: ok
+// CHECK softbound: violation
+// CHECK lowfat: violation
+// CHECK redzone: ok    (offset 256 clears the guard zone)
+long *slot;
+long main(void) {
+    long *p = (long*)malloc(32);
+    slot = p;
+    long *q = slot;
+    q[32] = 1;
+    return 0;
+}

@@ -1,0 +1,13 @@
+// Overflow of a deep frame's array is still caught.
+// CHECK baseline: ok
+// CHECK softbound: violation
+// CHECK lowfat: violation
+// CHECK redzone: ok    (lands in a neighbouring stack slab)
+long deep(long n) {
+    long scratch[2];
+    scratch[0] = n;
+    if (n == 3) { scratch[5] = 1; }
+    if (n <= 1) return scratch[0];
+    return deep(n - 1);
+}
+long main(void) { return deep(6); }

@@ -1,0 +1,12 @@
+// Each frame's array is a distinct protected object.
+// CHECK baseline: ok=120
+// CHECK softbound: ok=120
+// CHECK lowfat: ok=120
+// CHECK redzone: ok=120
+long fact(long n) {
+    long scratch[4];
+    scratch[0] = n;
+    if (n <= 1) return 1;
+    return scratch[0] * fact(n - 1);
+}
+long main(void) { return fact(5); }

@@ -1,0 +1,11 @@
+// Bounds follow a pointer returned from an instrumented function.
+// CHECK baseline: ok
+// CHECK softbound: violation
+// CHECK lowfat: violation
+// CHECK redzone: ok    (offset 96 clears the guard zone)
+long *make(long n) { return (long*)malloc(n * sizeof(long)); }
+long grab(long *p, long i) { return p[i]; }
+long main(void) {
+    long *a = make(4);
+    return grab(a, 12);
+}

@@ -1,0 +1,16 @@
+// Same through the conditional operator (companion selects).
+// CHECK baseline: ok
+// CHECK softbound: violation
+// CHECK lowfat: violation
+// CHECK redzone: ok    (offset 80 clears the guard zone)
+long pick(long c) {
+    long *small = (long*)malloc(2 * sizeof(long));
+    long *large = (long*)malloc(64 * sizeof(long));
+    long *p = c ? small : large;
+    p[10] = 1;
+    return p[10];
+}
+long main(void) {
+    pick(0);
+    return pick(1);
+}

@@ -1,0 +1,13 @@
+// Narrow accesses at the very end of an object are fine; one byte more is
+// exact-bounds territory.
+// CHECK baseline: ok=2
+// CHECK softbound: ok=2
+// CHECK lowfat: ok=2
+// CHECK redzone: ok=2
+long main(void) {
+    char *raw = (char*)malloc(10);
+    raw[9] = 1;                 /* last byte: fine */
+    short *h = (short*)(raw + 8);
+    *h = 2;                     /* bytes 8..10: fine */
+    return raw[8] + raw[9];   /* 2 + 0: the short overwrote raw[9] */
+}

@@ -1,0 +1,9 @@
+// CHECK baseline: ok
+// CHECK softbound: violation
+// CHECK lowfat: violation
+// CHECK redzone: violation
+long main(void) {
+    long a[4];
+    for (long i = 0; i <= 20; i += 1) a[i] = i;
+    return a[0];
+}

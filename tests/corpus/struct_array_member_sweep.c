@@ -1,0 +1,12 @@
+// Sweeping a member array beyond its struct stays inside the array-of-
+// structs object: silent for all (intra-object), by design.
+// CHECK baseline: ok=7
+// CHECK softbound: ok=7
+// CHECK lowfat: ok=7
+// CHECK redzone: ok=7
+struct rec { long tag; long vals[3]; };
+struct rec table[4];
+long main(void) {
+    table[1].tag = 7;
+    return table[0].vals[3];   /* = table[1].tag */
+}

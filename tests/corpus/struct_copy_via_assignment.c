@@ -1,0 +1,15 @@
+// The fixed 300twolf pattern: whole-struct copies keep metadata intact.
+// CHECK baseline: ok=3
+// CHECK softbound: ok=3
+// CHECK lowfat: ok=3
+// CHECK redzone: ok=3
+struct box { long *ptr; };
+long main(void) {
+    long *data = (long*)malloc(8);
+    *data = 3;
+    struct box a;
+    struct box b;
+    a.ptr = data;
+    b = a;
+    return *(b.ptr);
+}

@@ -1,0 +1,18 @@
+// The §4.4 swap, pointer-typed (the benign lowering): metadata follows.
+// CHECK baseline: ok=2
+// CHECK softbound: ok=2
+// CHECK lowfat: ok=2
+// CHECK redzone: ok=2
+void swap(long **one, long **two) {
+    long *tmp = *one;
+    *one = *two;
+    *two = tmp;
+}
+long main(void) {
+    long x = 1;
+    long y = 2;
+    long *a = &x;
+    long *b = &y;
+    swap(&a, &b);
+    return *a;
+}

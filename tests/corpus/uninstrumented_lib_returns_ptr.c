@@ -1,0 +1,14 @@
+// §4.3: SoftBound reads stale return bounds after an uninstrumented call.
+// CHECK baseline: ok=2
+// CHECK softbound: violation
+// CHECK lowfat: ok=2
+// CHECK redzone: ok=2
+uninstrumented long *lib_alloc(long n) {
+    long *p = (long*)malloc(n * sizeof(long));
+    for (long i = 0; i < n; i += 1) p[i] = i;
+    return p;
+}
+long main(void) {
+    long *buf = lib_alloc(8);
+    return buf[2];
+}

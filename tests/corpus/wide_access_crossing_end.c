@@ -1,0 +1,13 @@
+// An 8-byte access whose first byte is in bounds but whose tail crosses
+// the 12-byte object end: only exact bounds (SoftBound) reject it — the
+// tail stays inside the 16-byte low-fat class and short of the red zone.
+// CHECK baseline: ok
+// CHECK softbound: violation
+// CHECK lowfat: ok
+// CHECK redzone: ok
+long main(void) {
+    char *raw = (char*)malloc(12);
+    long *wide = (long*)(raw + 8);
+    *wide = 1;    /* bytes 8..16 of a 12-byte object */
+    return 0;
+}

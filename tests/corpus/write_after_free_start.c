@@ -1,0 +1,11 @@
+// Temporal errors are out of scope for the paper's mechanisms; the
+// red-zone port poisons the freed object's head (quarantine-ish).
+// CHECK baseline: ok
+// CHECK softbound: ok
+// CHECK lowfat: ok
+// CHECK redzone: violation
+long main(void) {
+    long *a = (long*)malloc(32);
+    free(a);
+    return a[0];
+}

@@ -1,0 +1,11 @@
+// Descending loops underflow instead of overflow. The baseline walks
+// off the bottom of the heap mapping and takes a raw fault.
+// CHECK baseline: segfault
+// CHECK softbound: violation
+// CHECK lowfat: violation
+// CHECK redzone: violation
+long main(void) {
+    long *a = (long*)malloc(8 * sizeof(long));
+    for (long i = 7; i >= -8; i -= 1) a[i] = i;
+    return 0;
+}

@@ -1,0 +1,425 @@
+//! Property-based tests over the whole stack.
+
+use proptest::prelude::*;
+
+use meminstrument::runtime::{compile, compile_baseline, BuildOptions};
+use meminstrument::{Mechanism, MiConfig};
+use memvm::VmConfig;
+use mir::pipeline::{ExtensionPoint, OptLevel};
+
+// ---------------------------------------------------------------------------
+// Low-fat layout: encode/decode round trips
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// For any allocation the low-fat heap hands out, every interior pointer
+    /// decodes back to the object base and class size.
+    #[test]
+    fn lowfat_base_recovery_roundtrip(sizes in proptest::collection::vec(1u64..100_000, 1..40)) {
+        let mut heap = lowfat::LowFatHeap::new();
+        for size in sizes {
+            let a = heap.alloc(size).unwrap();
+            prop_assert!(lowfat::is_low_fat(a.addr));
+            prop_assert_eq!(lowfat::size_of_ptr(a.addr), Some(a.class_size));
+            // Interior pointers, including one-past-the-requested-end.
+            for off in [0, 1, size / 2, size.saturating_sub(1), size] {
+                prop_assert_eq!(lowfat::base_of(a.addr + off), a.addr, "offset {}", off);
+            }
+        }
+    }
+
+    /// The class chosen for a request always fits it plus the padding byte,
+    /// and is minimal.
+    #[test]
+    fn lowfat_class_fits_and_is_minimal(size in 0u64..((1 << 30) - 1)) {
+        let class = lowfat::class_for_request(size).unwrap();
+        let cs = lowfat::alloc_size(class);
+        prop_assert!(cs > size);
+        if class > 1 {
+            prop_assert!(lowfat::alloc_size(class - 1) < size + 1);
+        }
+    }
+
+    /// Random alloc/free interleavings never produce overlapping live
+    /// objects.
+    #[test]
+    fn lowfat_no_overlap(ops in proptest::collection::vec((0u64..5000, proptest::bool::ANY), 1..80)) {
+        let mut heap = lowfat::LowFatHeap::new();
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for (size, do_free) in ops {
+            if do_free && !live.is_empty() {
+                let (addr, _) = live.swap_remove(0);
+                heap.free(addr);
+            } else if let Some(a) = heap.alloc(size) {
+                for &(b, bs) in &live {
+                    prop_assert!(a.addr + a.class_size <= b || b + bs <= a.addr,
+                        "overlap: {:#x}+{} vs {:#x}+{}", a.addr, a.class_size, b, bs);
+                }
+                live.push((a.addr, a.class_size));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SoftBound metadata structures vs. reference models
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// The two-level trie behaves exactly like a flat map over 8-byte slots.
+    #[test]
+    fn trie_matches_model(ops in proptest::collection::vec(
+        (0u64..1_000_000, 0u64..1000, 0u64..1000), 1..200))
+    {
+        use softbound_rt::{Bounds, MetadataTrie};
+        let mut trie = MetadataTrie::new();
+        let mut model = std::collections::HashMap::new();
+        for (addr, base, extent) in ops {
+            let b = Bounds { base, bound: base + extent };
+            trie.set(addr, b);
+            model.insert(addr >> 3, b);
+        }
+        for (&slot, &b) in &model {
+            prop_assert_eq!(trie.get(slot << 3), b);
+            prop_assert_eq!(trie.get((slot << 3) + 7), b);
+        }
+    }
+
+    /// `Bounds::allows` is equivalent to interval containment.
+    #[test]
+    fn bounds_allow_is_interval_containment(
+        base in 0u64..10_000, extent in 0u64..10_000,
+        ptr in 0u64..30_000, width in 1u64..64)
+    {
+        let b = softbound_rt::Bounds { base, bound: base + extent };
+        let expect = ptr >= base && ptr + width <= base + extent;
+        prop_assert_eq!(b.allows(ptr, width), expect);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// IR text format: print → parse → print is a fixpoint
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    /// Random straight-line arithmetic programs round-trip through the
+    /// textual format.
+    #[test]
+    fn printer_parser_fixpoint(ops in proptest::collection::vec((0usize..5, -100i64..100), 1..30)) {
+        use mir::builder::ModuleBuilder;
+        use mir::instr::{BinOp, Operand};
+        use mir::types::Type;
+        let mut mb = ModuleBuilder::new("prop");
+        let mut fb = mb.function("main", vec![], Type::I64);
+        let mut vals: Vec<Operand> = vec![Operand::i64(1)];
+        for (op, c) in ops {
+            let last = vals.last().unwrap().clone();
+            let k = Operand::i64(c);
+            let v = match op {
+                0 => fb.add(Type::I64, last, k),
+                1 => fb.sub(Type::I64, last, k),
+                2 => fb.mul(Type::I64, last, k),
+                3 => fb.bin(BinOp::Xor, Type::I64, last, k),
+                _ => fb.bin(BinOp::And, Type::I64, last, k),
+            };
+            vals.push(v);
+        }
+        let last = vals.last().unwrap().clone();
+        fb.ret(Some(last));
+        fb.finish();
+        let m = mb.finish();
+        let t1 = mir::printer::print_module(&m);
+        let m2 = mir::parser::parse_module(&t1).unwrap();
+        let t2 = mir::printer::print_module(&m2);
+        prop_assert_eq!(&t1, &t2);
+        mir::verifier::verify_module(&m2).unwrap();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-stack semantic preservation on generated memory-safe programs
+// ---------------------------------------------------------------------------
+
+/// Operations of a random (but always memory-safe) generated C program.
+#[derive(Clone, Debug)]
+enum Op {
+    /// `x = x <op> k`
+    Arith(u8, i64),
+    /// `a[i % N] = x`
+    Store(u64),
+    /// `x = x + a[i % N]`
+    Load(u64),
+    /// `x += loop_sum(j)` — exercises calls
+    Call(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4, -50i64..50).prop_map(|(o, k)| Op::Arith(o, k)),
+        (0u64..64).prop_map(Op::Store),
+        (0u64..64).prop_map(Op::Load),
+        (1u64..8).prop_map(Op::Call),
+    ]
+}
+
+fn generate_c(ops: &[Op]) -> String {
+    let mut body = String::new();
+    for op in ops {
+        match op {
+            Op::Arith(o, k) => {
+                let sym = match o {
+                    0 => "+",
+                    1 => "-",
+                    2 => "*",
+                    _ => "^",
+                };
+                body.push_str(&format!("    x = x {sym} {k};\n"));
+            }
+            Op::Store(i) => body.push_str(&format!("    a[{i}] = x;\n")),
+            Op::Load(i) => body.push_str(&format!("    x = x + a[{i}];\n")),
+            Op::Call(j) => body.push_str(&format!("    x = x + loop_sum({j});\n")),
+        }
+    }
+    format!(
+        r#"
+        long loop_sum(long n) {{
+            long s = 0;
+            for (long i = 0; i < n; i += 1) s += i * 3;
+            return s;
+        }}
+        long a[64];
+        long main(void) {{
+            long x = 1;
+        {body}
+            long chk = 0;
+            for (long i = 0; i < 64; i += 1) chk += a[i];
+            print_i64(x);
+            print_i64(chk);
+            return 0;
+        }}
+    "#
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// For any generated memory-safe program, O0, O3, and both fully
+    /// instrumented builds print exactly the same output.
+    #[test]
+    fn semantics_preserved_across_all_configs(ops in proptest::collection::vec(op_strategy(), 1..25)) {
+        let src = generate_c(&ops);
+        let module = cfront::compile(&src).unwrap();
+
+        let o0 = compile_baseline(
+            module.clone(),
+            BuildOptions { opt: OptLevel::O0, ep: ExtensionPoint::VectorizerStart },
+        )
+        .run_main(VmConfig::default())
+        .unwrap();
+        let o3 = compile_baseline(module.clone(), BuildOptions::default())
+            .run_main(VmConfig::default())
+            .unwrap();
+        prop_assert_eq!(&o0.output, &o3.output, "O0 vs O3");
+
+        for mech in [Mechanism::SoftBound, Mechanism::LowFat] {
+            for ep in ExtensionPoint::ALL {
+                let out = compile(
+                    module.clone(),
+                    &MiConfig::new(mech),
+                    BuildOptions { opt: OptLevel::O3, ep },
+                )
+                .run_main(VmConfig::default())
+                .unwrap_or_else(|t| panic!("{mech:?}@{}: {t}\n{src}", ep.name()));
+                prop_assert_eq!(&out.output, &o3.output, "{:?}@{}", mech, ep.name());
+            }
+        }
+    }
+
+    /// Dominance-based check elimination never changes the verdict: a
+    /// *buggy* generated program (one index pushed out of bounds) is caught
+    /// identically with and without the optimization.
+    #[test]
+    fn check_elimination_preserves_verdicts(
+        ops in proptest::collection::vec(op_strategy(), 1..15),
+        oob_index in 64u64..100)
+    {
+        let mut src = generate_c(&ops);
+        // Inject one out-of-bounds store before the checksum loop.
+        src = src.replace("    long chk = 0;", &format!("    a[{oob_index}] = x;\n    long chk = 0;"));
+        let module = cfront::compile(&src).unwrap();
+        for mech in [Mechanism::SoftBound, Mechanism::LowFat] {
+            let with_opt = compile(module.clone(), &MiConfig::new(mech), BuildOptions::default())
+                .run_main(VmConfig::default());
+            let without = compile(module.clone(), &MiConfig::unoptimized(mech), BuildOptions::default())
+                .run_main(VmConfig::default());
+            prop_assert_eq!(
+                with_opt.is_err(),
+                without.is_err(),
+                "{:?}: opt {:?} vs unopt {:?}",
+                mech,
+                with_opt,
+                without
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Control-flow-heavy generated programs
+// ---------------------------------------------------------------------------
+
+/// Statements for a structured generator: arithmetic, guarded branches, and
+/// bounded loops, all over one array and one scalar — still always
+/// memory-safe.
+#[derive(Clone, Debug)]
+enum StmtG {
+    Arith(u8, i64),
+    ArrayOp(u64, bool),
+    If(i64, Vec<StmtG>, Vec<StmtG>),
+    Loop(u64, Vec<StmtG>),
+}
+
+fn stmt_strategy() -> impl Strategy<Value = StmtG> {
+    let leaf = prop_oneof![
+        (0u8..4, -9i64..9).prop_map(|(o, k)| StmtG::Arith(o, k)),
+        (0u64..64, proptest::bool::ANY).prop_map(|(i, w)| StmtG::ArrayOp(i, w)),
+    ];
+    leaf.prop_recursive(3, 24, 6, |inner| {
+        prop_oneof![
+            (
+                -20i64..20,
+                proptest::collection::vec(inner.clone(), 1..4),
+                proptest::collection::vec(inner.clone(), 0..3)
+            )
+                .prop_map(|(c, t, e)| StmtG::If(c, t, e)),
+            (1u64..6, proptest::collection::vec(inner, 1..4)).prop_map(|(n, b)| StmtG::Loop(n, b)),
+        ]
+    })
+}
+
+fn emit_stmts(out: &mut String, stmts: &[StmtG], depth: usize) {
+    let pad = "    ".repeat(depth + 1);
+    for s in stmts {
+        match s {
+            StmtG::Arith(o, k) => {
+                let sym = ["+", "-", "*", "^"][*o as usize % 4];
+                out.push_str(&format!("{pad}x = x {sym} {k};\n"));
+            }
+            StmtG::ArrayOp(i, true) => out.push_str(&format!("{pad}a[{i}] = x & 1023;\n")),
+            StmtG::ArrayOp(i, false) => out.push_str(&format!("{pad}x = x + a[{i}];\n")),
+            StmtG::If(c, t, e) => {
+                out.push_str(&format!("{pad}if ((x & 31) > {c}) {{\n"));
+                emit_stmts(out, t, depth + 1);
+                if e.is_empty() {
+                    out.push_str(&format!("{pad}}}\n"));
+                } else {
+                    out.push_str(&format!("{pad}}} else {{\n"));
+                    emit_stmts(out, e, depth + 1);
+                    out.push_str(&format!("{pad}}}\n"));
+                }
+            }
+            StmtG::Loop(n, b) => {
+                out.push_str(&format!("{pad}for (long i{depth} = 0; i{depth} < {n}; i{depth} += 1) {{\n"));
+                emit_stmts(out, b, depth + 1);
+                out.push_str(&format!("{pad}}}\n"));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    /// Control-flow-heavy generated programs behave identically across O0,
+    /// O3, and all three mechanisms.
+    #[test]
+    fn control_flow_semantics_preserved(stmts in proptest::collection::vec(stmt_strategy(), 1..8)) {
+        let mut body = String::new();
+        emit_stmts(&mut body, &stmts, 0);
+        let src = format!(
+            r#"
+            long a[64];
+            long main(void) {{
+                long x = 7;
+            {body}
+                long chk = x;
+                for (long i = 0; i < 64; i += 1) chk += a[i] * (i + 1);
+                print_i64(chk);
+                return 0;
+            }}
+        "#
+        );
+        let module = cfront::compile(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        let o0 = compile_baseline(
+            module.clone(),
+            BuildOptions { opt: OptLevel::O0, ep: ExtensionPoint::VectorizerStart },
+        )
+        .run_main(VmConfig::default())
+        .unwrap();
+        let o3 = compile_baseline(module.clone(), BuildOptions::default())
+            .run_main(VmConfig::default())
+            .unwrap();
+        prop_assert_eq!(&o0.output, &o3.output);
+        for mech in [Mechanism::SoftBound, Mechanism::LowFat, Mechanism::RedZone] {
+            let out = compile(module.clone(), &MiConfig::new(mech), BuildOptions::default())
+                .run_main(VmConfig::default())
+                .unwrap_or_else(|t| panic!("{mech:?}: {t}\n{src}"));
+            prop_assert_eq!(&out.output, &o3.output, "{:?}", mech);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Robustness: parsers never panic on garbage
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    /// The IR parser returns an error (never panics) on arbitrary input.
+    #[test]
+    fn ir_parser_never_panics(input in "\\PC*") {
+        let _ = mir::parser::parse_module(&input);
+    }
+
+    /// The C frontend returns an error (never panics) on arbitrary input.
+    #[test]
+    fn cfront_never_panics(input in "\\PC*") {
+        let _ = cfront::compile(&input);
+    }
+
+    /// ... including near-miss C-looking inputs built from real tokens.
+    #[test]
+    fn cfront_never_panics_on_token_soup(
+        toks in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "long", "int", "char", "struct", "if", "else", "while", "for",
+                "return", "break", "(", ")", "{", "}", "[", "]", ";", ",", "*",
+                "&", "=", "+", "-", "x", "y", "main", "42", "->", ".", "sizeof",
+            ]),
+            0..60,
+        )
+    ) {
+        let src = toks.join(" ");
+        let _ = cfront::compile(&src);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cost accounting: the category split always sums to the total
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cost_categories_sum_to_total() {
+    for name in ["186crafty", "183equake", "197parser"] {
+        let b = cbench::by_name(name).unwrap();
+        for mech in [Mechanism::SoftBound, Mechanism::LowFat, Mechanism::RedZone] {
+            let out = cbench::run(&b, &MiConfig::new(mech), BuildOptions::default()).unwrap();
+            let s = &out.exec.stats;
+            assert_eq!(
+                s.cost_total,
+                s.cost_app + s.cost_checks + s.cost_metadata + s.cost_allocator + s.cost_other,
+                "{name}/{mech:?}: category split diverged from the total"
+            );
+        }
+    }
+}
