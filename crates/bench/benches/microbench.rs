@@ -1,89 +1,100 @@
-//! Criterion microbenchmarks of the implementation itself (wall-clock):
-//! frontend + pipeline throughput, instrumentation pass cost, interpreter
-//! throughput, and the two metadata substrates (trie, low-fat allocator).
+//! Microbenchmarks of the implementation itself (wall-clock): frontend +
+//! pipeline throughput, instrumentation pass cost, interpreter throughput,
+//! and the two metadata substrates (trie, low-fat allocator).
+//!
+//! Dependency-free harness (`harness = false`): each benchmark runs a
+//! fixed number of iterations and reports min/mean wall-clock per
+//! iteration. Run with `cargo bench -p bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
 use lowfat::LowFatHeap;
 use meminstrument::runtime::{compile, compile_baseline, BuildOptions};
 use meminstrument::{Mechanism, MiConfig};
 use memvm::VmConfig;
 use softbound_rt::{Bounds, MetadataTrie};
 
-fn bench_compile(c: &mut Criterion) {
+/// Times `f` over `iters` iterations and prints one result line.
+fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) {
+    // One warmup iteration keeps lazy init out of the first sample.
+    std::hint::black_box(f());
+    let mut min = f64::INFINITY;
+    let mut total = 0.0;
+    for _ in 0..iters {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        let dt = t.elapsed().as_secs_f64();
+        min = min.min(dt);
+        total += dt;
+    }
+    println!(
+        "{name:<40} {:>10.3} ms/iter (min), {:>10.3} ms/iter (mean), {iters} iters",
+        min * 1e3,
+        total / iters as f64 * 1e3
+    );
+}
+
+fn bench_compile() {
     let b = cbench::by_name("186crafty").unwrap();
-    c.bench_function("frontend+O3 pipeline (crafty)", |bch| {
-        bch.iter(|| {
-            let m = cfront::compile(b.source).unwrap();
-            std::hint::black_box(compile_baseline(m, BuildOptions::default()))
-        })
+    bench("frontend+O3 pipeline (crafty)", 10, || {
+        let m = cfront::compile(b.source).unwrap();
+        compile_baseline(m, BuildOptions::default())
     });
-    c.bench_function("instrumentation softbound (crafty)", |bch| {
-        let cfg = MiConfig::new(Mechanism::SoftBound);
-        bch.iter(|| {
-            let m = cfront::compile(b.source).unwrap();
-            std::hint::black_box(compile(m, &cfg, BuildOptions::default()))
-        })
+    let sb = MiConfig::new(Mechanism::SoftBound);
+    bench("instrumentation softbound (crafty)", 10, || {
+        let m = cfront::compile(b.source).unwrap();
+        compile(m, &sb, BuildOptions::default())
     });
-    c.bench_function("instrumentation lowfat (crafty)", |bch| {
-        let cfg = MiConfig::new(Mechanism::LowFat);
-        bch.iter(|| {
-            let m = cfront::compile(b.source).unwrap();
-            std::hint::black_box(compile(m, &cfg, BuildOptions::default()))
-        })
+    let lf = MiConfig::new(Mechanism::LowFat);
+    bench("instrumentation lowfat (crafty)", 10, || {
+        let m = cfront::compile(b.source).unwrap();
+        compile(m, &lf, BuildOptions::default())
     });
 }
 
-fn bench_interpreter(c: &mut Criterion) {
+fn bench_interpreter() {
     let b = cbench::by_name("470lbm").unwrap();
     let base = compile_baseline(cfront::compile(b.source).unwrap(), BuildOptions::default());
-    c.bench_function("interpret baseline (lbm)", |bch| {
-        bch.iter(|| base.run_main(VmConfig::default()).unwrap())
-    });
+    bench("interpret baseline (lbm)", 10, || base.run_main(VmConfig::default()).unwrap());
     let sb = compile(
         cfront::compile(b.source).unwrap(),
         &MiConfig::new(Mechanism::SoftBound),
         BuildOptions::default(),
     );
-    c.bench_function("interpret softbound (lbm)", |bch| {
-        bch.iter(|| sb.run_main(VmConfig::default()).unwrap())
+    bench("interpret softbound (lbm)", 10, || sb.run_main(VmConfig::default()).unwrap());
+}
+
+fn bench_trie() {
+    bench("trie set+get (64k slots)", 10, || {
+        let mut t = MetadataTrie::new();
+        for i in 0..65536u64 {
+            t.set(0x1000 + i * 8, Bounds { base: i, bound: i + 64 });
+        }
+        let mut acc = 0u64;
+        for i in 0..65536u64 {
+            acc = acc.wrapping_add(t.get(0x1000 + i * 8).base);
+        }
+        acc
     });
 }
 
-fn bench_trie(c: &mut Criterion) {
-    c.bench_function("trie set+get (64k slots)", |bch| {
-        bch.iter(|| {
-            let mut t = MetadataTrie::new();
-            for i in 0..65536u64 {
-                t.set(0x1000 + i * 8, Bounds { base: i, bound: i + 64 });
-            }
-            let mut acc = 0u64;
-            for i in 0..65536u64 {
-                acc = acc.wrapping_add(t.get(0x1000 + i * 8).base);
-            }
-            std::hint::black_box(acc)
-        })
+fn bench_lowfat_alloc() {
+    bench("lowfat alloc/free cycle (16k)", 10, || {
+        let mut h = LowFatHeap::new();
+        let mut addrs = Vec::with_capacity(16384);
+        for i in 0..16384u64 {
+            addrs.push(h.alloc((i % 500) + 1).unwrap().addr);
+        }
+        for a in addrs {
+            h.free(a);
+        }
+        h.alloc_count
     });
 }
 
-fn bench_lowfat_alloc(c: &mut Criterion) {
-    c.bench_function("lowfat alloc/free cycle (16k)", |bch| {
-        bch.iter(|| {
-            let mut h = LowFatHeap::new();
-            let mut addrs = Vec::with_capacity(16384);
-            for i in 0..16384u64 {
-                addrs.push(h.alloc((i % 500) + 1).unwrap().addr);
-            }
-            for a in addrs {
-                h.free(a);
-            }
-            std::hint::black_box(h.alloc_count)
-        })
-    });
+fn main() {
+    bench_compile();
+    bench_interpreter();
+    bench_trie();
+    bench_lowfat_alloc();
 }
-
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_compile, bench_interpreter, bench_trie, bench_lowfat_alloc
-);
-criterion_main!(benches);

@@ -30,7 +30,18 @@ fn main() {
         }
     }
     print_table(
-        &["benchmark", "mechanism", "total", "app", "checks", "metadata", "alloc", "mloads", "mstores", "invchecks"],
+        &[
+            "benchmark",
+            "mechanism",
+            "total",
+            "app",
+            "checks",
+            "metadata",
+            "alloc",
+            "mloads",
+            "mstores",
+            "invchecks",
+        ],
         &rows,
     );
 }

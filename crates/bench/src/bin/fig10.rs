@@ -8,7 +8,8 @@
 //! like 197parser; metadata loads without consumers are removed by DCE, so
 //! the metadata series *under*-approximates propagation cost (§5.4).
 
-use bench::{geomean, measure, measure_baseline, paper_options, print_table, slowdown};
+use bench::driver::{benchmark_programs, variants_configs, Driver, JobConfig};
+use bench::{geomean, measurement_of, paper_options, print_table, slowdown};
 use meminstrument::{Mechanism, MiConfig};
 
 fn main() {
@@ -17,18 +18,20 @@ fn main() {
 
 pub fn run(mech: Mechanism, figure: &str, third_label: &str) {
     println!("{figure}: {} — optimized / unoptimized / {third_label} only\n", mech.name());
+    let report = Driver::new(benchmark_programs(), variants_configs(mech)).run();
+    let base_cfg = JobConfig::baseline();
     let configs = [
-        ("optimized", MiConfig::new(mech)),
-        ("unoptimized", MiConfig::unoptimized(mech)),
-        (third_label, MiConfig::invariants_only(mech)),
+        ("optimized", JobConfig::with(MiConfig::new(mech), paper_options())),
+        ("unoptimized", JobConfig::with(MiConfig::unoptimized(mech), paper_options())),
+        (third_label, JobConfig::with(MiConfig::invariants_only(mech), paper_options())),
     ];
     let mut rows = vec![];
     let mut sums: Vec<Vec<f64>> = vec![vec![]; 3];
     for b in cbench::all() {
-        let base = measure_baseline(&b);
+        let base = measurement_of(&report, &b, &base_cfg);
         let mut row = vec![b.name.to_string()];
         for (i, (_, cfg)) in configs.iter().enumerate() {
-            let m = measure(&b, cfg, paper_options());
+            let m = measurement_of(&report, &b, cfg);
             let s = slowdown(&m, &base);
             sums[i].push(s);
             row.push(format!("{s:.2}x"));

@@ -6,23 +6,27 @@
 //! (§5.3); the invariant series shows the cost of keeping the in-bounds
 //! invariant (escape checks + low-fat allocators).
 
-use bench::{geomean, measure, measure_baseline, paper_options, print_table, slowdown};
+use bench::driver::{benchmark_programs, variants_configs, Driver, JobConfig};
+use bench::{geomean, measurement_of, paper_options, print_table, slowdown};
 use meminstrument::{Mechanism, MiConfig};
 
 fn main() {
-    println!("Figure 11: lowfat — optimized / unoptimized / invariants only\n");
+    let mech = Mechanism::LowFat;
+    println!("Figure 11: {} — optimized / unoptimized / invariants only\n", mech.name());
+    let report = Driver::new(benchmark_programs(), variants_configs(mech)).run();
+    let base_cfg = JobConfig::baseline();
     let configs = [
-        ("optimized", MiConfig::new(Mechanism::LowFat)),
-        ("unoptimized", MiConfig::unoptimized(Mechanism::LowFat)),
-        ("invariants", MiConfig::invariants_only(Mechanism::LowFat)),
+        ("optimized", JobConfig::with(MiConfig::new(mech), paper_options())),
+        ("unoptimized", JobConfig::with(MiConfig::unoptimized(mech), paper_options())),
+        ("invariants", JobConfig::with(MiConfig::invariants_only(mech), paper_options())),
     ];
     let mut rows = vec![];
     let mut sums: Vec<Vec<f64>> = vec![vec![]; 3];
     for b in cbench::all() {
-        let base = measure_baseline(&b);
+        let base = measurement_of(&report, &b, &base_cfg);
         let mut row = vec![b.name.to_string()];
         for (i, (_, cfg)) in configs.iter().enumerate() {
-            let m = measure(&b, cfg, paper_options());
+            let m = measurement_of(&report, &b, cfg);
             let s = slowdown(&m, &base);
             sums[i].push(s);
             row.push(format!("{s:.2}x"));

@@ -5,7 +5,8 @@
 //! the two late points, which are comparable — checks inserted early block
 //! the scalar/loop optimizations and the inliner.
 
-use bench::{geomean, measure, measure_baseline, options_at, print_table, slowdown};
+use bench::driver::{benchmark_programs, extension_point_configs, Driver, JobConfig};
+use bench::{geomean, measurement_of, options_at, print_table, slowdown};
 use meminstrument::{Mechanism, MiConfig};
 use mir::pipeline::ExtensionPoint;
 
@@ -15,13 +16,16 @@ fn main() {
 
 pub fn run(mech: Mechanism, figure: &str) {
     println!("{figure}: {} at the three extension points\n", mech.name());
+    let report = Driver::new(benchmark_programs(), extension_point_configs(mech)).run();
+    let base_cfg = JobConfig::baseline();
     let mut rows = vec![];
     let mut sums: Vec<Vec<f64>> = vec![vec![]; 3];
     for b in cbench::all() {
-        let base = measure_baseline(&b);
+        let base = measurement_of(&report, &b, &base_cfg);
         let mut row = vec![b.name.to_string()];
         for (i, ep) in ExtensionPoint::ALL.into_iter().enumerate() {
-            let m = measure(&b, &MiConfig::new(mech), options_at(ep));
+            let cfg = JobConfig::with(MiConfig::new(mech), options_at(ep));
+            let m = measurement_of(&report, &b, &cfg);
             let s = slowdown(&m, &base);
             sums[i].push(s);
             row.push(format!("{s:.2}x"));

@@ -6,18 +6,23 @@
 //! (Low-Fat); SoftBound clearly worse on `183equake` (trie lookups in the
 //! hot loop), Low-Fat worse on `186crafty` (wider check sequence).
 
-use bench::{geomean, measure, measure_baseline, paper_options, print_table, slowdown};
+use bench::driver::{benchmark_programs, fig9_configs, Driver, JobConfig};
+use bench::{geomean, measurement_of, paper_options, print_table, slowdown};
 use meminstrument::{Mechanism, MiConfig};
 
 fn main() {
     println!("Figure 9: execution-time overhead vs -O3 baseline (VectorizerStart, optimized)\n");
+    let report = Driver::new(benchmark_programs(), fig9_configs()).run();
+    let base_cfg = JobConfig::baseline();
+    let sb_cfg = JobConfig::with(MiConfig::new(Mechanism::SoftBound), paper_options());
+    let lf_cfg = JobConfig::with(MiConfig::new(Mechanism::LowFat), paper_options());
     let mut rows = vec![];
     let mut sbs = vec![];
     let mut lfs = vec![];
     for b in cbench::all() {
-        let base = measure_baseline(&b);
-        let sb = measure(&b, &MiConfig::new(Mechanism::SoftBound), paper_options());
-        let lf = measure(&b, &MiConfig::new(Mechanism::LowFat), paper_options());
+        let base = measurement_of(&report, &b, &base_cfg);
+        let sb = measurement_of(&report, &b, &sb_cfg);
+        let lf = measurement_of(&report, &b, &lf_cfg);
         let (s, l) = (slowdown(&sb, &base), slowdown(&lf, &base));
         sbs.push(s);
         lfs.push(l);
@@ -35,5 +40,7 @@ fn main() {
         "".into(),
     ]);
     print_table(&["benchmark", "SoftBound", "Low-Fat", "winner"], &rows);
-    println!("\npaper: 1.74x (SoftBound) vs 1.77x (Low-Fat), equake SB-dominated, crafty LF-dominated");
+    println!(
+        "\npaper: 1.74x (SoftBound) vs 1.77x (Low-Fat), equake SB-dominated, crafty LF-dominated"
+    );
 }

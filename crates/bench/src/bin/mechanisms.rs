@@ -15,9 +15,8 @@ fn main() {
     for b in cbench::all() {
         let base = measure_baseline(&b);
         let mut row = vec![b.name.to_string()];
-        for (i, mech) in [Mechanism::SoftBound, Mechanism::LowFat, Mechanism::RedZone]
-            .into_iter()
-            .enumerate()
+        for (i, mech) in
+            [Mechanism::SoftBound, Mechanism::LowFat, Mechanism::RedZone].into_iter().enumerate()
         {
             let m = measure(&b, &MiConfig::new(mech), paper_options());
             let s = slowdown(&m, &base);
@@ -37,5 +36,7 @@ fn main() {
     println!("guarantees (see tests/redzone.rs):");
     println!("  softbound: exact object bounds; catches everything spatial incl. 1-byte overflows");
     println!("  lowfat   : padded object bounds; misses overflows into padding, rejects escaping OOB pointers");
-    println!("  redzone  : adjacent overflows only; silent once an access clears the 16-byte guard zone");
+    println!(
+        "  redzone  : adjacent overflows only; silent once an access clears the 16-byte guard zone"
+    );
 }

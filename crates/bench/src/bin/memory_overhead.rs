@@ -18,9 +18,8 @@ fn main() {
     for b in cbench::all() {
         let base = measure_baseline(&b);
         let mut row = vec![b.name.to_string(), format!("{} KiB", base.stats.mapped_bytes / 1024)];
-        for (i, mech) in [Mechanism::SoftBound, Mechanism::LowFat, Mechanism::RedZone]
-            .into_iter()
-            .enumerate()
+        for (i, mech) in
+            [Mechanism::SoftBound, Mechanism::LowFat, Mechanism::RedZone].into_iter().enumerate()
         {
             let m = measure(&b, &MiConfig::new(mech), paper_options());
             let ratio = m.stats.mapped_bytes as f64 / base.stats.mapped_bytes as f64;

@@ -6,16 +6,20 @@
 //! `433milc` exactly zero despite its size-less declaration, asterisks on
 //! benchmarks with not a single wide check.
 
-use bench::{measure, paper_options, print_table};
+use bench::driver::{benchmark_programs, fig9_configs, Driver, JobConfig};
+use bench::{measurement_of, paper_options, print_table};
 use meminstrument::{Mechanism, MiConfig};
 
 fn main() {
     println!("Table 2: unsafe (wide-bounds) dereference checks, in %");
     println!("(* = not a single wide check; [sz] = contains size-less array declarations)\n");
+    let report = Driver::new(benchmark_programs(), fig9_configs()).run();
+    let sb_cfg = JobConfig::with(MiConfig::new(Mechanism::SoftBound), paper_options());
+    let lf_cfg = JobConfig::with(MiConfig::new(Mechanism::LowFat), paper_options());
     let mut rows = vec![];
     for b in cbench::all() {
-        let sb = measure(&b, &MiConfig::new(Mechanism::SoftBound), paper_options());
-        let lf = measure(&b, &MiConfig::new(Mechanism::LowFat), paper_options());
+        let sb = measurement_of(&report, &b, &sb_cfg);
+        let lf = measurement_of(&report, &b, &lf_cfg);
         let fmt = |wide: u64, total: u64| -> String {
             let pct = if total == 0 { 0.0 } else { 100.0 * wide as f64 / total as f64 };
             if wide == 0 {

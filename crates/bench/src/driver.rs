@@ -1,0 +1,697 @@
+//! `evald` — the parallel, cached evaluation driver.
+//!
+//! Every figure and table of the paper is a sweep over the same
+//! cross-product: program × configuration (mechanism/variant × extension
+//! point × opt level). Before this driver existed each figure binary
+//! re-ran its cells serially and recompiled the frontend for every cell.
+//! The driver instead:
+//!
+//! 1. enumerates the sweep as an explicit job matrix
+//!    ([`Driver::programs`] × [`Driver::configs`]);
+//! 2. executes jobs on `--jobs` worker threads (`std::thread::scope`, no
+//!    dependencies);
+//! 3. caches the frontend [`mir::Module`] per program and the
+//!    post-optimization pipeline prefix per (program, opt level, extension
+//!    point) — see [`meminstrument::runtime::pipeline_prefix`] — so shared
+//!    compilation work happens once per sweep, not once per cell;
+//! 4. records wall-clock per stage (frontend, pipeline, instrumentation,
+//!    execution) next to the existing [`InstrStats`]/[`VmStats`] and can
+//!    serialize everything into a machine-readable JSON report with a
+//!    stable schema and deterministic ordering (`schema` =
+//!    `"evald-report/1"`).
+//!
+//! Determinism contract: with timings excluded, the report is
+//! byte-identical no matter how many worker threads ran the sweep — cell
+//! order is the matrix order, and the VM itself is deterministic. The
+//! `tests/props.rs` pipeline-determinism properties pin down the
+//! preconditions this relies on.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use meminstrument::runtime::{
+    compile_baseline_from_prefix, compile_from_prefix, pipeline_prefix, BuildOptions,
+};
+use meminstrument::{InstrStats, MiConfig, MiMode};
+use memvm::{VmConfig, VmStats};
+use mir::pipeline::{ExtensionPoint, OptLevel};
+
+/// A program to evaluate: a name plus its mini-C source.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// Report key (benchmark name or corpus file name).
+    pub name: String,
+    /// Mini-C source text.
+    pub source: String,
+}
+
+impl From<&cbench::Benchmark> for Program {
+    fn from(b: &cbench::Benchmark) -> Program {
+        Program { name: b.name.to_string(), source: b.source.to_string() }
+    }
+}
+
+/// All benchmarks of the suite as driver programs, in Table 2 order.
+pub fn benchmark_programs() -> Vec<Program> {
+    cbench::all().iter().map(Program::from).collect()
+}
+
+/// One configuration column of the sweep matrix.
+#[derive(Clone, Debug)]
+pub struct JobConfig {
+    /// Instrumentation configuration; `None` is the uninstrumented
+    /// baseline.
+    pub config: Option<MiConfig>,
+    /// Pipeline options (opt level + extension point).
+    pub opts: BuildOptions,
+}
+
+impl JobConfig {
+    /// The uninstrumented baseline at the paper's `-O3` configuration.
+    pub fn baseline() -> JobConfig {
+        JobConfig { config: None, opts: BuildOptions::default() }
+    }
+
+    /// An uninstrumented baseline with explicit pipeline options.
+    pub fn baseline_with(opts: BuildOptions) -> JobConfig {
+        JobConfig { config: None, opts }
+    }
+
+    /// An instrumented configuration with explicit pipeline options.
+    pub fn with(config: MiConfig, opts: BuildOptions) -> JobConfig {
+        JobConfig { config: Some(config), opts }
+    }
+
+    /// Stable, human-readable cell label, unique per distinct
+    /// configuration: `<mech>[-unopt|-inv]@<opt>@<extension point>`, e.g.
+    /// `softbound@O3@VectorizerStart` or `baseline@O0@VectorizerStart`.
+    /// Report lookups key on this.
+    pub fn label(&self) -> String {
+        let mech = match &self.config {
+            None => "baseline".to_string(),
+            Some(c) => {
+                let suffix = if c.mode == MiMode::GenInvariantsOnly {
+                    "-inv"
+                } else if !c.opt_dominance {
+                    "-unopt"
+                } else {
+                    ""
+                };
+                format!("{}{suffix}", c.mechanism.name())
+            }
+        };
+        let opt = match self.opts.opt {
+            OptLevel::O0 => "O0",
+            OptLevel::O3 => "O3",
+        };
+        format!("{mech}@{opt}@{}", self.opts.ep.name())
+    }
+}
+
+/// Successful execution of one cell.
+#[derive(Clone, Debug)]
+pub struct CellOk {
+    /// Return value of `main` (if non-void).
+    pub ret: Option<i64>,
+    /// Lines the program printed.
+    pub output: Vec<String>,
+    /// Dynamic VM statistics.
+    pub stats: VmStats,
+    /// Static instrumentation statistics (defaults for baselines).
+    pub instr: InstrStats,
+}
+
+/// One cell of the completed sweep.
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    /// Program name.
+    pub program: String,
+    /// Configuration label (see [`JobConfig::label`]).
+    pub config: String,
+    /// Execution outcome; `Err` carries the trap display string.
+    pub outcome: Result<CellOk, String>,
+    /// Wall-clock spent in this cell's stages (the frontend/pipeline
+    /// portions are the shared cached stages, attributed to every cell
+    /// that consumed them).
+    pub timing: CellTiming,
+}
+
+impl CellResult {
+    /// The cell's outcome, panicking with a diagnostic on a trap. Figure
+    /// harnesses use this: benchmark programs are memory-safe fixtures.
+    pub fn ok(&self) -> &CellOk {
+        match &self.outcome {
+            Ok(ok) => ok,
+            Err(t) => panic!("{} [{}] trapped: {t}", self.program, self.config),
+        }
+    }
+}
+
+/// Per-cell stage wall-clock.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CellTiming {
+    /// Frontend compile of this cell's program (shared across its cells).
+    pub frontend: Duration,
+    /// Pipeline prefix up to the extension point (shared per (program,
+    /// opt, ep)).
+    pub pipeline: Duration,
+    /// Instrumentation + post-prefix pipeline stages (per cell).
+    pub instrumentation: Duration,
+    /// VM execution (per cell).
+    pub execution: Duration,
+}
+
+/// Cache effectiveness counters. Deterministic: they count the matrix
+/// shape, not scheduling.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Frontend compilations performed (one per program).
+    pub frontend_compiles: u64,
+    /// Cells that reused a cached frontend module.
+    pub frontend_reuses: u64,
+    /// Pipeline prefixes compiled (one per (program, opt, ep)).
+    pub prefix_compiles: u64,
+    /// Cells that reused a cached prefix.
+    pub prefix_reuses: u64,
+}
+
+/// Aggregate wall-clock of a sweep, per stage.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SweepTimings {
+    /// Worker threads used.
+    pub jobs: usize,
+    /// End-to-end wall-clock of [`Driver::run`].
+    pub wall: Duration,
+    /// Sum over unique frontend compilations.
+    pub frontend: Duration,
+    /// Sum over unique pipeline prefixes.
+    pub pipeline: Duration,
+    /// Sum over cells: instrumentation + pipeline completion.
+    pub instrumentation: Duration,
+    /// Sum over cells: VM execution.
+    pub execution: Duration,
+}
+
+/// The completed sweep.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Program names, in matrix order.
+    pub programs: Vec<String>,
+    /// Configuration labels, in matrix order.
+    pub configs: Vec<String>,
+    /// One result per (program, config), program-major — deterministic
+    /// matrix order, independent of scheduling.
+    pub cells: Vec<CellResult>,
+    /// Cache effectiveness counters.
+    pub cache: CacheStats,
+    /// Aggregate per-stage wall-clock.
+    pub timings: SweepTimings,
+}
+
+impl Report {
+    /// Looks up the cell for (`program`, `config`).
+    pub fn get(&self, program: &str, config: &JobConfig) -> Option<&CellResult> {
+        let label = config.label();
+        self.cells.iter().find(|c| c.program == program && c.config == label)
+    }
+
+    /// Looks up a cell that must exist and must have run to completion.
+    pub fn ok(&self, program: &str, config: &JobConfig) -> &CellOk {
+        self.get(program, config)
+            .unwrap_or_else(|| panic!("no cell {program} [{}]", config.label()))
+            .ok()
+    }
+
+    /// Serializes the report as JSON (schema `evald-report/1`).
+    ///
+    /// Key order and cell order are fixed, so two reports over the same
+    /// matrix are byte-identical regardless of worker count — unless
+    /// `include_timings` adds the (run-dependent) wall-clock section.
+    pub fn to_json(&self, include_timings: bool) -> String {
+        let mut out = String::with_capacity(64 * 1024);
+        out.push_str("{\n  \"schema\": \"evald-report/1\",\n");
+        let _ = writeln!(out, "  \"programs\": {},", json_str_array(&self.programs));
+        let _ = writeln!(out, "  \"configs\": {},", json_str_array(&self.configs));
+        let c = &self.cache;
+        let _ = writeln!(
+            out,
+            "  \"cache\": {{\"frontend_compiles\": {}, \"frontend_reuses\": {}, \"prefix_compiles\": {}, \"prefix_reuses\": {}}},",
+            c.frontend_compiles, c.frontend_reuses, c.prefix_compiles, c.prefix_reuses
+        );
+        out.push_str("  \"cells\": [\n");
+        for (i, cell) in self.cells.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"program\": {}, \"config\": {}",
+                json_str(&cell.program),
+                json_str(&cell.config)
+            );
+            match &cell.outcome {
+                Ok(ok) => {
+                    out.push_str(", \"ok\": true");
+                    match ok.ret {
+                        Some(r) => {
+                            let _ = write!(out, ", \"ret\": {r}");
+                        }
+                        None => out.push_str(", \"ret\": null"),
+                    }
+                    let _ = write!(out, ", \"output\": {}", json_str_array(&ok.output));
+                    let s = &ok.stats;
+                    let _ = write!(
+                        out,
+                        ", \"cost\": {}, \"cost_app\": {}, \"cost_checks\": {}, \"cost_metadata\": {}, \"cost_allocator\": {}, \"cost_other\": {}",
+                        s.cost_total, s.cost_app, s.cost_checks, s.cost_metadata, s.cost_allocator, s.cost_other
+                    );
+                    let _ = write!(
+                        out,
+                        ", \"instrs_executed\": {}, \"checks_executed\": {}, \"checks_wide\": {}, \"invariant_checks\": {}, \"metadata_loads\": {}, \"metadata_stores\": {}, \"mapped_bytes\": {}",
+                        s.instrs_executed, s.checks_executed, s.checks_wide,
+                        s.invariant_checks_executed, s.metadata_loads, s.metadata_stores, s.mapped_bytes
+                    );
+                    let st = &ok.instr;
+                    let _ = write!(
+                        out,
+                        ", \"static\": {{\"checks_discovered\": {}, \"checks_eliminated\": {}, \"checks_placed\": {}, \"invariants_placed\": {}, \"metadata_loads_placed\": {}, \"metadata_stores_placed\": {}, \"allocas_replaced\": {}, \"globals_mirrored\": {}, \"functions_instrumented\": {}, \"functions_skipped\": {}, \"checks_narrowed\": {}}}",
+                        st.checks_discovered, st.checks_eliminated, st.checks_placed,
+                        st.invariants_placed, st.metadata_loads_placed, st.metadata_stores_placed,
+                        st.allocas_replaced, st.globals_mirrored, st.functions_instrumented,
+                        st.functions_skipped, st.checks_narrowed
+                    );
+                }
+                Err(t) => {
+                    let _ = write!(out, ", \"ok\": false, \"trap\": {}", json_str(t));
+                }
+            }
+            if include_timings {
+                let t = &cell.timing;
+                let _ = write!(
+                    out,
+                    ", \"timing_us\": {{\"frontend\": {}, \"pipeline\": {}, \"instrumentation\": {}, \"execution\": {}}}",
+                    t.frontend.as_micros(),
+                    t.pipeline.as_micros(),
+                    t.instrumentation.as_micros(),
+                    t.execution.as_micros()
+                );
+            }
+            out.push_str(if i + 1 == self.cells.len() { "}\n" } else { "},\n" });
+        }
+        out.push_str("  ]");
+        if include_timings {
+            let t = &self.timings;
+            let _ = write!(
+                out,
+                ",\n  \"timings\": {{\"jobs\": {}, \"wall_us\": {}, \"stage_us\": {{\"frontend\": {}, \"pipeline\": {}, \"instrumentation\": {}, \"execution\": {}}}}}",
+                t.jobs,
+                t.wall.as_micros(),
+                t.frontend.as_micros(),
+                t.pipeline.as_micros(),
+                t.instrumentation.as_micros(),
+                t.execution.as_micros()
+            );
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+/// The evaluation driver: a job matrix plus execution settings.
+#[derive(Clone, Debug)]
+pub struct Driver {
+    /// Rows of the matrix.
+    pub programs: Vec<Program>,
+    /// Columns of the matrix; every config runs for every program.
+    pub configs: Vec<JobConfig>,
+    /// Worker threads (defaults to the machine's available parallelism).
+    pub jobs: usize,
+    /// VM configuration for execution.
+    pub vm: VmConfig,
+}
+
+impl Driver {
+    /// A driver over `programs` × `configs` using all available cores.
+    pub fn new(programs: Vec<Program>, configs: Vec<JobConfig>) -> Driver {
+        let jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Driver { programs, configs, jobs, vm: VmConfig::default() }
+    }
+
+    /// Sets the worker count (`--jobs`); 0 means "all cores".
+    pub fn with_jobs(mut self, jobs: usize) -> Driver {
+        if jobs > 0 {
+            self.jobs = jobs;
+        }
+        self
+    }
+
+    /// Runs the sweep and collects the report.
+    ///
+    /// Three phases, each internally parallel, each a pure function of the
+    /// matrix: frontend per program, pipeline prefix per (program, opt,
+    /// ep), then the cells themselves from cloned cached prefixes.
+    pub fn run(&self) -> Report {
+        let t_start = Instant::now();
+
+        // Phase 1 — frontend: one compile per program, shared by every
+        // cell in its row.
+        let frontends: Vec<(mir::Module, Duration)> = par_map(self.jobs, &self.programs, |_, p| {
+            let t = Instant::now();
+            let m = cfront::compile(&p.source)
+                .unwrap_or_else(|e| panic!("{}: frontend error: {e}", p.name));
+            (m, t.elapsed())
+        });
+
+        // Phase 2 — pipeline prefixes: one per (program, opt, ep) actually
+        // referenced by the matrix.
+        let mut prefix_keys: Vec<(usize, OptLevel, ExtensionPoint)> = Vec::new();
+        for pi in 0..self.programs.len() {
+            for cfg in &self.configs {
+                let key = (pi, cfg.opts.opt, cfg.opts.ep);
+                if !prefix_keys.contains(&key) {
+                    prefix_keys.push(key);
+                }
+            }
+        }
+        let prefixes: Vec<(mir::Module, Duration)> =
+            par_map(self.jobs, &prefix_keys, |_, &(pi, opt, ep)| {
+                let t = Instant::now();
+                let m = pipeline_prefix(frontends[pi].0.clone(), BuildOptions { opt, ep });
+                (m, t.elapsed())
+            });
+        let prefix_index: HashMap<(usize, OptLevel, ExtensionPoint), usize> =
+            prefix_keys.iter().enumerate().map(|(i, &k)| (k, i)).collect();
+
+        // Phase 3 — cells: instrument (completing the pipeline) + execute,
+        // from a clone of the cached prefix.
+        let cell_keys: Vec<(usize, usize)> = (0..self.programs.len())
+            .flat_map(|pi| (0..self.configs.len()).map(move |ci| (pi, ci)))
+            .collect();
+        let cells: Vec<CellResult> = par_map(self.jobs, &cell_keys, |_, &(pi, ci)| {
+            let cfg = &self.configs[ci];
+            let prefix_slot = prefix_index[&(pi, cfg.opts.opt, cfg.opts.ep)];
+            let (prefix, prefix_time) = &prefixes[prefix_slot];
+
+            let t = Instant::now();
+            let prog = match &cfg.config {
+                None => compile_baseline_from_prefix(prefix.clone(), cfg.opts),
+                Some(mi) => compile_from_prefix(prefix.clone(), mi, cfg.opts),
+            };
+            let instrumentation = t.elapsed();
+
+            let t = Instant::now();
+            let outcome = match prog.run_main(self.vm) {
+                Ok(out) => Ok(CellOk {
+                    ret: out.ret.map(|v| v.as_int() as i64),
+                    output: out.output,
+                    stats: out.stats,
+                    instr: prog.stats.clone(),
+                }),
+                Err(trap) => Err(trap.to_string()),
+            };
+            let execution = t.elapsed();
+
+            CellResult {
+                program: self.programs[pi].name.clone(),
+                config: cfg.label(),
+                outcome,
+                timing: CellTiming {
+                    frontend: frontends[pi].1,
+                    pipeline: *prefix_time,
+                    instrumentation,
+                    execution,
+                },
+            }
+        });
+
+        let n_cells = cells.len() as u64;
+        let cache = CacheStats {
+            frontend_compiles: self.programs.len() as u64,
+            frontend_reuses: n_cells - self.programs.len() as u64,
+            prefix_compiles: prefix_keys.len() as u64,
+            prefix_reuses: n_cells - prefix_keys.len() as u64,
+        };
+        let timings = SweepTimings {
+            jobs: self.jobs,
+            wall: t_start.elapsed(),
+            frontend: frontends.iter().map(|(_, d)| *d).sum(),
+            pipeline: prefixes.iter().map(|(_, d)| *d).sum(),
+            instrumentation: cells.iter().map(|c| c.timing.instrumentation).sum(),
+            execution: cells.iter().map(|c| c.timing.execution).sum(),
+        };
+        Report {
+            programs: self.programs.iter().map(|p| p.name.clone()).collect(),
+            configs: self.configs.iter().map(|c| c.label()).collect(),
+            cells,
+            cache,
+            timings,
+        }
+    }
+}
+
+/// Maps `f` over `items` on up to `jobs` scoped worker threads, preserving
+/// input order in the result. Workers pull indices from a shared atomic
+/// counter; a generous stack accommodates the interpreter's recursion on
+/// deeply recursive benchmark programs in debug builds.
+fn par_map<T: Sync, R: Send>(
+    jobs: usize,
+    items: &[T],
+    f: impl Fn(usize, &T) -> R + Sync,
+) -> Vec<R> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = jobs.max(1).min(n);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let slots = &slots;
+            let next = &next;
+            let f = &f;
+            std::thread::Builder::new()
+                .stack_size(32 * 1024 * 1024)
+                .spawn_scoped(s, move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    *slots[i].lock().unwrap() = Some(f(i, &items[i]));
+                })
+                .expect("spawn worker");
+        }
+    });
+    slots.into_iter().map(|m| m.into_inner().unwrap().expect("worker filled slot")).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Standard matrices
+// ---------------------------------------------------------------------------
+
+use meminstrument::Mechanism;
+
+/// Baseline + both paper mechanisms at the Figure 9 configuration.
+pub fn fig9_configs() -> Vec<JobConfig> {
+    vec![
+        JobConfig::baseline(),
+        JobConfig::with(MiConfig::new(Mechanism::SoftBound), BuildOptions::default()),
+        JobConfig::with(MiConfig::new(Mechanism::LowFat), BuildOptions::default()),
+    ]
+}
+
+/// Baseline + optimized/unoptimized/invariants-only for `mech`
+/// (Figures 10/11).
+pub fn variants_configs(mech: Mechanism) -> Vec<JobConfig> {
+    vec![
+        JobConfig::baseline(),
+        JobConfig::with(MiConfig::new(mech), BuildOptions::default()),
+        JobConfig::with(MiConfig::unoptimized(mech), BuildOptions::default()),
+        JobConfig::with(MiConfig::invariants_only(mech), BuildOptions::default()),
+    ]
+}
+
+/// Baseline + `mech` at all three extension points (Figures 12/13).
+pub fn extension_point_configs(mech: Mechanism) -> Vec<JobConfig> {
+    let mut v = vec![JobConfig::baseline()];
+    for ep in ExtensionPoint::ALL {
+        v.push(JobConfig::with(
+            MiConfig::new(mech),
+            BuildOptions { ep, ..BuildOptions::default() },
+        ));
+    }
+    v
+}
+
+/// The full paper sweep: everything `report`/`mi eval` needs — baseline,
+/// both mechanisms at all extension points, the unoptimized and
+/// invariants-only variants, and the red-zone extension (12 cells per
+/// program).
+pub fn paper_sweep_configs() -> Vec<JobConfig> {
+    let mut v = vec![JobConfig::baseline()];
+    for mech in [Mechanism::SoftBound, Mechanism::LowFat] {
+        for ep in ExtensionPoint::ALL {
+            v.push(JobConfig::with(
+                MiConfig::new(mech),
+                BuildOptions { ep, ..BuildOptions::default() },
+            ));
+        }
+        v.push(JobConfig::with(MiConfig::unoptimized(mech), BuildOptions::default()));
+        v.push(JobConfig::with(MiConfig::invariants_only(mech), BuildOptions::default()));
+    }
+    v.push(JobConfig::with(MiConfig::new(Mechanism::RedZone), BuildOptions::default()));
+    v
+}
+
+// ---------------------------------------------------------------------------
+// JSON helpers (no dependencies, deterministic output)
+// ---------------------------------------------------------------------------
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_str_array(items: &[String]) -> String {
+    let inner: Vec<String> = items.iter().map(|s| json_str(s)).collect();
+    format!("[{}]", inner.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_programs() -> Vec<Program> {
+        vec![
+            Program {
+                name: "sum".into(),
+                source: r#"
+                    long a[8];
+                    long main(void) {
+                        for (long i = 0; i < 8; i += 1) a[i] = i * 3;
+                        long s = 0;
+                        for (long i = 0; i < 8; i += 1) s += a[i];
+                        print_i64(s);
+                        return 0;
+                    }
+                "#
+                .into(),
+            },
+            Program {
+                name: "heap".into(),
+                source: r#"
+                    long main(void) {
+                        long *p = (long*)malloc(4 * sizeof(long));
+                        for (long i = 0; i < 4; i += 1) p[i] = i + 10;
+                        print_i64(p[0] + p[3]);
+                        return 0;
+                    }
+                "#
+                .into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn report_is_identical_for_any_worker_count() {
+        let configs = fig9_configs();
+        let r1 = Driver::new(tiny_programs(), configs.clone()).with_jobs(1).run();
+        let r8 = Driver::new(tiny_programs(), configs).with_jobs(8).run();
+        assert_eq!(r1.to_json(false), r8.to_json(false));
+        // With timings the reports still parse to the same deterministic
+        // cells, but the byte-identity guarantee is explicitly dropped.
+        assert_eq!(r1.cells.len(), 6);
+    }
+
+    #[test]
+    fn cache_counters_reflect_matrix_shape() {
+        // 2 programs × 5 configs, 3 distinct (opt, ep) pairs per program.
+        let configs = extension_point_configs(Mechanism::SoftBound);
+        assert_eq!(configs.len(), 4);
+        let r = Driver::new(tiny_programs(), configs).with_jobs(4).run();
+        assert_eq!(r.cache.frontend_compiles, 2);
+        assert_eq!(r.cache.frontend_reuses, 8 - 2);
+        // Baseline shares the VectorizerStart prefix with one instrumented
+        // config: 3 prefixes per program.
+        assert_eq!(r.cache.prefix_compiles, 6);
+        assert_eq!(r.cache.prefix_reuses, 8 - 6);
+    }
+
+    #[test]
+    fn cached_cells_match_direct_compilation() {
+        use meminstrument::runtime::{compile, compile_baseline};
+        let programs = tiny_programs();
+        let configs = paper_sweep_configs();
+        let r = Driver::new(programs.clone(), configs.clone()).with_jobs(3).run();
+        for p in &programs {
+            let m = cfront::compile(&p.source).unwrap();
+            for cfg in &configs {
+                let direct = match &cfg.config {
+                    None => compile_baseline(m.clone(), cfg.opts),
+                    Some(mi) => compile(m.clone(), mi, cfg.opts),
+                };
+                let direct_out = direct.run_main(VmConfig::default()).unwrap();
+                let cell = r.ok(&p.name, cfg);
+                assert_eq!(cell.output, direct_out.output, "{} [{}]", p.name, cfg.label());
+                assert_eq!(
+                    cell.stats.cost_total,
+                    direct_out.stats.cost_total,
+                    "{} [{}]",
+                    p.name,
+                    cfg.label()
+                );
+                assert_eq!(cell.instr, direct.stats, "{} [{}]", p.name, cfg.label());
+            }
+        }
+    }
+
+    #[test]
+    fn traps_are_reported_not_fatal() {
+        let buggy = Program {
+            name: "buggy".into(),
+            source: r#"
+                long main(void) {
+                    long *p = (long*)malloc(8 * sizeof(long));
+                    p[9] = 1;
+                    print_i64(p[9]);
+                    return 0;
+                }
+            "#
+            .into(),
+        };
+        let r = Driver::new(vec![buggy], fig9_configs()).with_jobs(2).run();
+        let sb = JobConfig::with(MiConfig::new(Mechanism::SoftBound), BuildOptions::default());
+        let cell = r.get("buggy", &sb).unwrap();
+        assert!(cell.outcome.is_err(), "{:?}", cell.outcome);
+        let json = r.to_json(false);
+        assert!(json.contains("\"ok\": false"), "{json}");
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(JobConfig::baseline().label(), "baseline@O3@VectorizerStart");
+        let lf_inv =
+            JobConfig::with(MiConfig::invariants_only(Mechanism::LowFat), BuildOptions::default());
+        assert_eq!(lf_inv.label(), "lowfat-inv@O3@VectorizerStart");
+        let sb_early = JobConfig::with(
+            MiConfig::new(Mechanism::SoftBound),
+            BuildOptions { ep: ExtensionPoint::ModuleOptimizerEarly, ..BuildOptions::default() },
+        );
+        assert_eq!(sb_early.label(), "softbound@O3@ModuleOptimizerEarly");
+    }
+}

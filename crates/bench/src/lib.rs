@@ -19,10 +19,12 @@
 //! Absolute cost units are a deterministic proxy (see `memvm::cost`); the
 //! comparisons reproduce the paper's *shapes*, not its wall-clock numbers.
 
+pub mod driver;
+
 use cbench::Benchmark;
-use memvm::VmStats;
 use meminstrument::runtime::BuildOptions;
 use meminstrument::{InstrStats, Mechanism, MiConfig};
+use memvm::VmStats;
 use mir::pipeline::ExtensionPoint;
 
 /// One measured configuration of one benchmark.
@@ -38,6 +40,23 @@ pub struct Measurement {
     pub stats: VmStats,
     /// Static instrumentation statistics.
     pub instr: InstrStats,
+}
+
+/// Extracts a [`Measurement`] from an `evald` report cell, panicking if
+/// the cell is missing or trapped (benchmarks are memory-safe fixtures).
+pub fn measurement_of(
+    report: &driver::Report,
+    b: &Benchmark,
+    cfg: &driver::JobConfig,
+) -> Measurement {
+    let cell = report.ok(b.name, cfg);
+    Measurement {
+        bench: b.name,
+        config: cfg.label(),
+        cost: cell.stats.cost_total,
+        stats: cell.stats.clone(),
+        instr: cell.instr.clone(),
+    }
 }
 
 /// Runs the uninstrumented `-O3` baseline.
@@ -97,11 +116,8 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
         }
     }
     let line = |cells: &[String]| {
-        let joined: Vec<String> = cells
-            .iter()
-            .enumerate()
-            .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
-            .collect();
+        let joined: Vec<String> =
+            cells.iter().enumerate().map(|(i, c)| format!("{c:>w$}", w = widths[i])).collect();
         println!("  {}", joined.join("  "));
     };
     line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());

@@ -4,6 +4,7 @@
 //! Slow in debug builds, so they only run under `--release`
 //! (`cargo test --release -p bench`).
 
+use bench::driver::{fig9_configs, Driver, JobConfig, Program};
 use bench::{geomean, measure, measure_baseline, options_at, paper_options, slowdown};
 use meminstrument::{Mechanism, MiConfig};
 use mir::pipeline::ExtensionPoint;
@@ -36,7 +37,8 @@ fn figure9_crossovers_hold() {
     let check = |name: &str| {
         let b = cbench::by_name(name).unwrap();
         let base = measure_baseline(&b);
-        let sb = slowdown(&measure(&b, &MiConfig::new(Mechanism::SoftBound), paper_options()), &base);
+        let sb =
+            slowdown(&measure(&b, &MiConfig::new(Mechanism::SoftBound), paper_options()), &base);
         let lf = slowdown(&measure(&b, &MiConfig::new(Mechanism::LowFat), paper_options()), &base);
         (sb, lf)
     };
@@ -73,9 +75,7 @@ fn extension_point_ordering_holds() {
 fn table2_signature_entries_hold() {
     let wide = |name: &str, mech: Mechanism| {
         let b = cbench::by_name(name).unwrap();
-        measure(&b, &MiConfig::new(mech), paper_options())
-            .stats
-            .wide_check_percent()
+        measure(&b, &MiConfig::new(mech), paper_options()).stats.wide_check_percent()
     };
     // gzip ~62 % wide under SoftBound, fully checked under Low-Fat.
     let g = wide("164gzip", Mechanism::SoftBound);
@@ -102,4 +102,38 @@ fn geninvariants_far_below_full_checking() {
             "{mech:?}: metadata-only {meta:.2} too close to full {full:.2}"
         );
     }
+}
+
+/// Debug-profile smoke variant of the headline guards: a three-benchmark
+/// subset through the `evald` driver, with loose bands. The full-suite
+/// assertions above stay release-only; this one keeps `cargo test -q`
+/// exercising the same code paths cheaply.
+#[test]
+fn headline_smoke_subset() {
+    let subset = ["181mcf", "183equake", "186crafty"];
+    let programs: Vec<Program> =
+        subset.iter().map(|n| Program::from(&cbench::by_name(n).unwrap())).collect();
+    let report = Driver::new(programs, fig9_configs()).run();
+    let base_cfg = JobConfig::baseline();
+    let sb_cfg = JobConfig::with(MiConfig::new(Mechanism::SoftBound), paper_options());
+    let lf_cfg = JobConfig::with(MiConfig::new(Mechanism::LowFat), paper_options());
+    let slow = |name: &str, cfg: &JobConfig| {
+        report.ok(name, cfg).stats.cost_total as f64
+            / report.ok(name, &base_cfg).stats.cost_total as f64
+    };
+    for name in subset {
+        let (sb, lf) = (slow(name, &sb_cfg), slow(name, &lf_cfg));
+        assert!(sb > 1.0 && sb < 5.0, "{name}: SoftBound slowdown implausible: {sb:.2}");
+        assert!(lf > 1.0 && lf < 5.0, "{name}: Low-Fat slowdown implausible: {lf:.2}");
+    }
+    // The two Figure 9 crossover benchmarks keep their winners even in the
+    // smoke subset.
+    assert!(
+        slow("183equake", &sb_cfg) > slow("183equake", &lf_cfg),
+        "equake must be SoftBound-dominated"
+    );
+    assert!(
+        slow("186crafty", &lf_cfg) > slow("186crafty", &sb_cfg),
+        "crafty must be Low-Fat-dominated"
+    );
 }

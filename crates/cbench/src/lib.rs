@@ -77,7 +77,13 @@ mod tests {
         for b in super::all() {
             let expect_bold = matches!(
                 b.name,
-                "164gzip" | "197parser" | "300twolf" | "433milc" | "445gobmk" | "456hmmer" | "458sjeng"
+                "164gzip"
+                    | "197parser"
+                    | "300twolf"
+                    | "433milc"
+                    | "445gobmk"
+                    | "456hmmer"
+                    | "458sjeng"
             );
             assert_eq!(b.has_size_unknown_arrays, expect_bold, "{}", b.name);
         }

@@ -16,9 +16,7 @@ pub fn all() -> Vec<Benchmark> {
 /// (embedded in each program; exposed here for tests that recompute
 /// expected workloads).
 pub fn prng_next(seed: &mut i64) -> i64 {
-    *seed = seed
-        .wrapping_mul(6364136223846793005)
-        .wrapping_add(1442695040888963407);
+    *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
     (*seed >> 33) & 0x7FFF_FFFF
 }
 
@@ -48,8 +46,7 @@ mod tests {
     #[test]
     fn all_sources_compile_and_verify() {
         for b in all() {
-            let m = cfront::compile(b.source)
-                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let m = cfront::compile(b.source).unwrap_or_else(|e| panic!("{}: {e}", b.name));
             mir::verifier::verify_module(&m).unwrap_or_else(|e| panic!("{}: {e}", b.name));
         }
     }

@@ -1,9 +1,9 @@
 //! Compile-and-execute helpers shared by tests and the figure harnesses.
 
-use memvm::interp::{ExecOutcome, Trap};
-use memvm::VmConfig;
 use meminstrument::runtime::{compile, compile_baseline, BuildOptions};
 use meminstrument::{InstrStats, Mechanism, MiConfig};
+use memvm::interp::{ExecOutcome, Trap};
+use memvm::VmConfig;
 
 use crate::Benchmark;
 

@@ -142,22 +142,41 @@ pub enum ExprKind {
 #[derive(Clone, PartialEq, Debug)]
 pub enum Stmt {
     /// Local declaration with optional initializer.
-    Decl { name: String, ty: CType, init: Option<Expr>, line: usize },
+    Decl {
+        name: String,
+        ty: CType,
+        init: Option<Expr>,
+        line: usize,
+    },
     /// Expression statement.
     Expr(Expr),
     /// Compound block.
     Block(Vec<Stmt>),
-    If { cond: Expr, then_branch: Box<Stmt>, else_branch: Option<Box<Stmt>> },
-    While { cond: Expr, body: Box<Stmt> },
+    If {
+        cond: Expr,
+        then_branch: Box<Stmt>,
+        else_branch: Option<Box<Stmt>>,
+    },
+    While {
+        cond: Expr,
+        body: Box<Stmt>,
+    },
     For {
         init: Option<Box<Stmt>>,
         cond: Option<Expr>,
         step: Option<Expr>,
         body: Box<Stmt>,
     },
-    Return { value: Option<Expr>, line: usize },
-    Break { line: usize },
-    Continue { line: usize },
+    Return {
+        value: Option<Expr>,
+        line: usize,
+    },
+    Break {
+        line: usize,
+    },
+    Continue {
+        line: usize,
+    },
 }
 
 /// A function parameter.

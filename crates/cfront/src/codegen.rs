@@ -153,7 +153,8 @@ fn const_init_bytes(e: &Expr, ty: &CType, env: &Env) -> Result<Vec<u8>, CError> 
             .ok_or_else(|| CError::new(e.line, "global initializer must be a constant"))?;
         return Ok(v.to_bits().to_le_bytes().to_vec());
     }
-    let v = const_int(e).ok_or_else(|| CError::new(e.line, "global initializer must be a constant"))?;
+    let v =
+        const_int(e).ok_or_else(|| CError::new(e.line, "global initializer must be a constant"))?;
     Ok(v.to_le_bytes()[..size].to_vec())
 }
 
@@ -185,7 +186,10 @@ impl Env {
             let sig = (f.params.iter().map(|p| p.ty.clone()).collect(), f.ret.clone());
             if let Some(prev) = funcs.get(&f.name) {
                 if *prev != sig {
-                    return Err(CError::new(f.line, format!("conflicting signature for {}", f.name)));
+                    return Err(CError::new(
+                        f.line,
+                        format!("conflicting signature for {}", f.name),
+                    ));
                 }
             }
             funcs.insert(f.name.clone(), sig);
@@ -210,10 +214,7 @@ impl Env {
                     .get(name)
                     .ok_or_else(|| CError::new(line, format!("unknown struct {name}")))?;
                 Type::structure(
-                    fields
-                        .iter()
-                        .map(|(_, t)| self.mty(t, line))
-                        .collect::<Result<Vec<_>, _>>()?,
+                    fields.iter().map(|(_, t)| self.mty(t, line)).collect::<Result<Vec<_>, _>>()?,
                 )
             }
         })
@@ -252,10 +253,7 @@ impl FnCg<'_, '_> {
                 return Some((op.clone(), ty.clone(), false));
             }
         }
-        self.env
-            .globals
-            .get(name)
-            .map(|(gid, ty)| (Operand::GlobalAddr(*gid), ty.clone(), true))
+        self.env.globals.get(name).map(|(gid, ty)| (Operand::GlobalAddr(*gid), ty.clone(), true))
     }
 
     /// If the current block is already terminated (break/return), emit the
@@ -301,7 +299,8 @@ impl FnCg<'_, '_> {
                 let c = self.cond_value(cond)?;
                 let then_bb = self.fb.new_block("if.then");
                 let join = self.fb.new_block("if.join");
-                let else_bb = if else_branch.is_some() { self.fb.new_block("if.else") } else { join };
+                let else_bb =
+                    if else_branch.is_some() { self.fb.new_block("if.else") } else { join };
                 self.fb.cond_br(c, then_bb, else_bb);
                 self.fb.switch_to(then_bb);
                 self.stmt(then_branch)?;
@@ -383,18 +382,14 @@ impl FnCg<'_, '_> {
                 Ok(())
             }
             Stmt::Break { line } => {
-                let (_, exit) = *self
-                    .loops
-                    .last()
-                    .ok_or_else(|| self.err(*line, "break outside loop"))?;
+                let (_, exit) =
+                    *self.loops.last().ok_or_else(|| self.err(*line, "break outside loop"))?;
                 self.fb.br(exit);
                 Ok(())
             }
             Stmt::Continue { line } => {
-                let (cont, _) = *self
-                    .loops
-                    .last()
-                    .ok_or_else(|| self.err(*line, "continue outside loop"))?;
+                let (cont, _) =
+                    *self.loops.last().ok_or_else(|| self.err(*line, "continue outside loop"))?;
                 self.fb.br(cont);
                 Ok(())
             }
@@ -494,7 +489,11 @@ impl FnCg<'_, '_> {
                 }
             }
             ExprKind::FloatLit(v) => Ok(TV { op: Operand::ConstFloat(*v), ty: CType::Double }),
-            ExprKind::Ident(_) | ExprKind::Deref(_) | ExprKind::Index(_, _) | ExprKind::Member(_, _) | ExprKind::Arrow(_, _) => {
+            ExprKind::Ident(_)
+            | ExprKind::Deref(_)
+            | ExprKind::Index(_, _)
+            | ExprKind::Member(_, _)
+            | ExprKind::Arrow(_, _) => {
                 let (addr, ty) = self.lvalue(e)?;
                 self.load_value(addr, &ty, line)
             }
@@ -849,8 +848,12 @@ impl FnCg<'_, '_> {
                     v.op // same width (cannot happen with distinct ranks)
                 }
             }
-            (f, CType::Double) if f.is_int() => self.fb.cast(CastOp::SiToFp, v.op, from_mty, Type::F64),
-            (CType::Double, t) if t.is_int() => self.fb.cast(CastOp::FpToSi, v.op, Type::F64, to_mty),
+            (f, CType::Double) if f.is_int() => {
+                self.fb.cast(CastOp::SiToFp, v.op, from_mty, Type::F64)
+            }
+            (CType::Double, t) if t.is_int() => {
+                self.fb.cast(CastOp::FpToSi, v.op, Type::F64, to_mty)
+            }
             (CType::Ptr(_), CType::Ptr(_)) => v.op, // lenient mini-C
             (f, CType::Ptr(_)) if f.is_int() => {
                 // Implicit only for literal 0 in real C; mini-C is lenient
@@ -885,7 +888,13 @@ impl FnCg<'_, '_> {
 
     /// Converts and stores `v` into `addr` of type `lty`; structs copy by
     /// `memcpy`.
-    fn store_converted(&mut self, v: TV, addr: &Operand, lty: &CType, line: usize) -> Result<(), CError> {
+    fn store_converted(
+        &mut self,
+        v: TV,
+        addr: &Operand,
+        lty: &CType,
+        line: usize,
+    ) -> Result<(), CError> {
         if let CType::Struct(_) = lty {
             if v.ty != *lty {
                 return Err(self.err(line, "struct assignment type mismatch"));

@@ -191,7 +191,12 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CError> {
                         b'0' => 0,
                         b'\\' => b'\\',
                         b'\'' => b'\'',
-                        other => return Err(CError::new(line, format!("bad escape '\\{}'", other as char))),
+                        other => {
+                            return Err(CError::new(
+                                line,
+                                format!("bad escape '\\{}'", other as char),
+                            ))
+                        }
                     };
                     if i + 3 >= b.len() || b[i + 3] != b'\'' {
                         return Err(CError::new(line, "unterminated char literal"));
@@ -286,12 +291,18 @@ mod tests {
 
     #[test]
     fn numbers() {
-        assert_eq!(kinds("42 0x1F 3.5"), vec![Tok::IntLit(42), Tok::IntLit(31), Tok::FloatLit(3.5), Tok::Eof]);
+        assert_eq!(
+            kinds("42 0x1F 3.5"),
+            vec![Tok::IntLit(42), Tok::IntLit(31), Tok::FloatLit(3.5), Tok::Eof]
+        );
     }
 
     #[test]
     fn char_literals() {
-        assert_eq!(kinds("'a' '\\n' '\\0'"), vec![Tok::CharLit(97), Tok::CharLit(10), Tok::CharLit(0), Tok::Eof]);
+        assert_eq!(
+            kinds("'a' '\\n' '\\0'"),
+            vec![Tok::CharLit(97), Tok::CharLit(10), Tok::CharLit(0), Tok::Eof]
+        );
     }
 
     #[test]

@@ -72,7 +72,13 @@ impl Parser {
     fn is_type_start(&self) -> bool {
         matches!(
             self.peek(),
-            Tok::KwVoid | Tok::KwChar | Tok::KwShort | Tok::KwInt | Tok::KwLong | Tok::KwDouble | Tok::KwStruct
+            Tok::KwVoid
+                | Tok::KwChar
+                | Tok::KwShort
+                | Tok::KwInt
+                | Tok::KwLong
+                | Tok::KwDouble
+                | Tok::KwStruct
         )
     }
 
@@ -191,13 +197,28 @@ impl Parser {
                     }
                     Some(stmts)
                 };
-                unit.functions.push(CFunction { name, params, ret: ty, body, uninstrumented, line });
+                unit.functions.push(CFunction {
+                    name,
+                    params,
+                    ret: ty,
+                    body,
+                    uninstrumented,
+                    line,
+                });
             } else {
                 // Global variable.
                 let ty = self.parse_array_suffix(ty, is_extern)?;
                 let init = if self.eat(&Tok::Assign) { Some(self.parse_expr()?) } else { None };
                 self.expect(Tok::Semi)?;
-                unit.globals.push(CGlobal { name, ty, init, is_extern, hidden_size, lib_global, line });
+                unit.globals.push(CGlobal {
+                    name,
+                    ty,
+                    init,
+                    is_extern,
+                    hidden_size,
+                    lib_global,
+                    line,
+                });
             }
         }
         Ok(unit)
@@ -246,11 +267,8 @@ impl Parser {
                 let cond = self.parse_expr()?;
                 self.expect(Tok::RParen)?;
                 let then_branch = Box::new(self.parse_stmt()?);
-                let else_branch = if self.eat(&Tok::KwElse) {
-                    Some(Box::new(self.parse_stmt()?))
-                } else {
-                    None
-                };
+                let else_branch =
+                    if self.eat(&Tok::KwElse) { Some(Box::new(self.parse_stmt()?)) } else { None };
                 Ok(Stmt::If { cond, then_branch, else_branch })
             }
             Tok::KwWhile => {
@@ -275,7 +293,8 @@ impl Parser {
                 };
                 let cond = if self.peek() == &Tok::Semi { None } else { Some(self.parse_expr()?) };
                 self.expect(Tok::Semi)?;
-                let step = if self.peek() == &Tok::RParen { None } else { Some(self.parse_expr()?) };
+                let step =
+                    if self.peek() == &Tok::RParen { None } else { Some(self.parse_expr()?) };
                 self.expect(Tok::RParen)?;
                 let body = Box::new(self.parse_stmt()?);
                 Ok(Stmt::For { init, cond, step, body })

@@ -68,7 +68,8 @@ fn conflicting_signatures() {
 
 #[test]
 fn duplicate_definitions() {
-    let e = err("long f(void) { return 1; } long f(void) { return 2; } long main(void) { return 0; }");
+    let e =
+        err("long f(void) { return 1; } long f(void) { return 2; } long main(void) { return 0; }");
     assert!(e.contains("duplicate definition"), "{e}");
     let e = err("long g; long g; long main(void) { return 0; }");
     assert!(e.contains("duplicate global"), "{e}");

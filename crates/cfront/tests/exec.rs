@@ -9,8 +9,9 @@ fn run_at(src: &str, opt: OptLevel) -> (i64, Vec<String>) {
     mir::verifier::verify_module(&module)
         .unwrap_or_else(|e| panic!("verify: {e}\n{}", mir::printer::print_module(&module)));
     Pipeline::new(opt).run(&mut module);
-    mir::verifier::verify_module(&module)
-        .unwrap_or_else(|e| panic!("verify after opt: {e}\n{}", mir::printer::print_module(&module)));
+    mir::verifier::verify_module(&module).unwrap_or_else(|e| {
+        panic!("verify after opt: {e}\n{}", mir::printer::print_module(&module))
+    });
     let mut vm = Vm::new(module, VmConfig::default()).unwrap();
     let out = vm.run("main", &[]).unwrap_or_else(|t| panic!("trap: {t}"));
     (out.ret.map(|v| v.as_int() as i64).unwrap_or(0), out.output)
@@ -398,15 +399,16 @@ fn o3_actually_optimizes() {
     Pipeline::new(OptLevel::O0).run(&mut m0);
     let mut m3 = cfront::compile(src).unwrap();
     Pipeline::new(OptLevel::O3).run(&mut m3);
-    let count = |m: &mir::Module| -> usize {
-        m.functions.iter().map(|f| f.live_instr_count()).sum()
-    };
+    let count =
+        |m: &mir::Module| -> usize { m.functions.iter().map(|f| f.live_instr_count()).sum() };
     assert!(count(&m3) < count(&m0), "O3 ({}) should shrink O0 ({})", count(&m3), count(&m0));
     // And all memory traffic for the locals is gone.
     let mem_ops = m3
         .functions
         .iter()
-        .flat_map(|f| f.blocks.iter().flat_map(|b| b.instrs.iter().map(|&i| &f.instrs[i.index()].kind)))
+        .flat_map(|f| {
+            f.blocks.iter().flat_map(|b| b.instrs.iter().map(|&i| &f.instrs[i.index()].kind))
+        })
         .filter(|k| k.accesses_memory())
         .count();
     assert_eq!(mem_ops, 0);
@@ -414,16 +416,20 @@ fn o3_actually_optimizes() {
 
 #[test]
 fn uninstrumented_marker_propagates() {
-    let m = cfront::compile("uninstrumented long lib(long x) { return x; } long main(void) { return lib(3); }")
-        .unwrap();
+    let m = cfront::compile(
+        "uninstrumented long lib(long x) { return x; } long main(void) { return lib(3); }",
+    )
+    .unwrap();
     assert!(m.function_by_name("lib").unwrap().1.attrs.uninstrumented);
     assert!(!m.function_by_name("main").unwrap().1.attrs.uninstrumented);
 }
 
 #[test]
 fn hidden_size_global_attrs() {
-    let m = cfront::compile("__hidden_size int arr[64];\n__libglobal int libg[8];\nlong main(void){ return 0; }")
-        .unwrap();
+    let m = cfront::compile(
+        "__hidden_size int arr[64];\n__libglobal int libg[8];\nlong main(void){ return 0; }",
+    )
+    .unwrap();
     let (_, g) = m.global_by_name("arr").unwrap();
     assert!(g.attrs.size_unknown);
     assert_eq!(g.ty.size_of(), 256, "real size stays visible to the loader");

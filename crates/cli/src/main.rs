@@ -8,6 +8,11 @@
 //! mi ir    prog.c [options]     print the optimized (instrumented) IR
 //! mi check prog.c               run under all three mechanisms, summarize
 //! mi stats prog.c [options]     static + dynamic instrumentation statistics
+//! mi eval  [prog.c ...] [--jobs N] [--out report.json] [--timings]
+//!                               run the full paper sweep (all mechanisms ×
+//!                               variants × extension points) through the
+//!                               parallel cached evaluation driver; with no
+//!                               files, sweeps the built-in benchmark suite
 //!
 //! options:
 //!   --mech softbound|lowfat|redzone|none    mechanism (default softbound)
@@ -28,6 +33,7 @@ use mir::pipeline::{ExtensionPoint, OptLevel};
 
 fn usage() -> ExitCode {
     eprintln!("usage: mi <run|ir|check|stats> <file.c> [options]");
+    eprintln!("       mi eval [file.c ...] [--jobs N] [--out report.json] [--timings]");
     eprintln!("       (see `crates/cli/src/main.rs` header for options)");
     ExitCode::from(2)
 }
@@ -153,7 +159,9 @@ fn cmd_check(path: &str) -> ExitCode {
     println!("{path}:");
     let base = compile_baseline(module.clone(), BuildOptions::default());
     match base.run_main(VmConfig::default()) {
-        Ok(out) => println!("  baseline : ok (exit {})", out.ret.map(|v| v.as_int() as i64).unwrap_or(0)),
+        Ok(out) => {
+            println!("  baseline : ok (exit {})", out.ret.map(|v| v.as_int() as i64).unwrap_or(0))
+        }
         Err(t) => println!("  baseline : {t}"),
     }
     let mut verdict = 0;
@@ -188,7 +196,10 @@ fn cmd_stats(path: &str, o: &Options) -> ExitCode {
     let prog = build(module, o);
     let size: usize = prog.module.functions.iter().map(|f| f.live_instr_count()).sum();
     println!("static:");
-    println!("  code size        : {size} instrs ({:.2}x of baseline {base_size})", size as f64 / base_size.max(1) as f64);
+    println!(
+        "  code size        : {size} instrs ({:.2}x of baseline {base_size})",
+        size as f64 / base_size.max(1) as f64
+    );
     let s = &prog.stats;
     println!("  checks discovered: {}", s.checks_discovered);
     println!("  checks eliminated: {} ({:.1}%)", s.checks_eliminated, s.eliminated_percent());
@@ -202,11 +213,27 @@ fn cmd_stats(path: &str, o: &Options) -> ExitCode {
         (Ok(out), Ok(b)) => {
             let d = &out.stats;
             println!("dynamic:");
-            println!("  cost             : {} ({:.2}x of baseline {})", d.cost_total, d.cost_total as f64 / b.stats.cost_total as f64, b.stats.cost_total);
-            println!("  checks executed  : {} ({:.2}% wide)", d.checks_executed, d.wide_check_percent());
+            println!(
+                "  cost             : {} ({:.2}x of baseline {})",
+                d.cost_total,
+                d.cost_total as f64 / b.stats.cost_total as f64,
+                b.stats.cost_total
+            );
+            println!(
+                "  checks executed  : {} ({:.2}% wide)",
+                d.checks_executed,
+                d.wide_check_percent()
+            );
             println!("  invariant checks : {}", d.invariant_checks_executed);
-            println!("  metadata ops     : {} loads, {} stores", d.metadata_loads, d.metadata_stores);
-            println!("  mapped memory    : {} KiB ({:.2}x of baseline)", d.mapped_bytes / 1024, d.mapped_bytes as f64 / b.stats.mapped_bytes.max(1) as f64);
+            println!(
+                "  metadata ops     : {} loads, {} stores",
+                d.metadata_loads, d.metadata_stores
+            );
+            println!(
+                "  mapped memory    : {} KiB ({:.2}x of baseline)",
+                d.mapped_bytes / 1024,
+                d.mapped_bytes as f64 / b.stats.mapped_bytes.max(1) as f64
+            );
             ExitCode::SUCCESS
         }
         (Err(t), _) => {
@@ -220,12 +247,112 @@ fn cmd_stats(path: &str, o: &Options) -> ExitCode {
     }
 }
 
+/// `mi eval`: the full paper sweep through the parallel cached driver.
+///
+/// Writes the `evald-report/1` JSON to `--out` (or stdout) and a one-line
+/// summary per stage to stderr. Without `--timings` the JSON is
+/// byte-identical for any `--jobs` value.
+fn cmd_eval(args: &[String]) -> ExitCode {
+    use bench::driver::{benchmark_programs, paper_sweep_configs, Driver, Program};
+    let mut jobs = 0usize;
+    let mut out_path: Option<String> = None;
+    let mut timings = false;
+    let mut files: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" | "-j" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => jobs = n,
+                None => {
+                    eprintln!("error: --jobs expects a number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--out" | "-o" => match it.next() {
+                Some(p) => out_path = Some(p.clone()),
+                None => {
+                    eprintln!("error: --out expects a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--timings" => timings = true,
+            f if !f.starts_with("--") => files.push(f.to_string()),
+            other => {
+                eprintln!("error: unknown eval option {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let programs: Vec<Program> = if files.is_empty() {
+        benchmark_programs()
+    } else {
+        let mut programs = Vec::new();
+        for f in &files {
+            let source = match std::fs::read_to_string(f) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {f}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let name = std::path::Path::new(f)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| f.clone());
+            programs.push(Program { name, source });
+        }
+        programs
+    };
+    let driver = Driver::new(programs, paper_sweep_configs()).with_jobs(jobs);
+    let report = driver.run();
+    let trapped = report.cells.iter().filter(|c| c.outcome.is_err()).count();
+    let t = &report.timings;
+    eprintln!(
+        "[mi eval] {} cells ({} programs x {} configs), {} trapped, {} worker(s)",
+        report.cells.len(),
+        report.programs.len(),
+        report.configs.len(),
+        trapped,
+        t.jobs
+    );
+    eprintln!(
+        "[mi eval] cache: {} frontend compiles / {} reuses, {} prefixes / {} reuses",
+        report.cache.frontend_compiles,
+        report.cache.frontend_reuses,
+        report.cache.prefix_compiles,
+        report.cache.prefix_reuses
+    );
+    eprintln!(
+        "[mi eval] wall {:.2}s (stage totals: frontend {:.2}s, pipeline {:.2}s, instrument {:.2}s, execute {:.2}s)",
+        t.wall.as_secs_f64(),
+        t.frontend.as_secs_f64(),
+        t.pipeline.as_secs_f64(),
+        t.instrumentation.as_secs_f64(),
+        t.execution.as_secs_f64()
+    );
+    let json = report.to_json(timings);
+    match out_path {
+        Some(p) => {
+            if let Err(e) = std::fs::write(&p, &json) {
+                eprintln!("error: {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("[mi eval] report written to {p}");
+        }
+        None => print!("{json}"),
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = match args.split_first() {
         Some((c, rest)) => (c.as_str(), rest),
         None => return usage(),
     };
+    if cmd == "eval" {
+        return cmd_eval(rest);
+    }
     let (path, opt_args) = match rest.split_first() {
         Some((p, o)) if !p.starts_with("--") => (p.as_str(), o),
         _ => return usage(),

@@ -105,3 +105,34 @@ fn frontend_error_is_reported_with_location() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("line 2"), "{err}");
 }
+
+#[test]
+fn eval_report_is_byte_identical_across_job_counts() {
+    let path = write_temp("eval_det.c", CLEAN);
+    let out1 = std::env::temp_dir().join("mi_cli_test_eval_j1.json");
+    let out8 = std::env::temp_dir().join("mi_cli_test_eval_j8.json");
+    for (jobs, out) in [("1", &out1), ("8", &out8)] {
+        let st = mi()
+            .args(["eval", path.to_str().unwrap(), "--jobs", jobs, "--out", out.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert!(st.status.success(), "{}", String::from_utf8_lossy(&st.stderr));
+    }
+    let j1 = std::fs::read_to_string(&out1).unwrap();
+    let j8 = std::fs::read_to_string(&out8).unwrap();
+    assert_eq!(j1, j8, "eval report must not depend on worker count");
+    assert!(j1.contains("\"schema\": \"evald-report/1\""), "{j1}");
+    assert!(j1.contains("\"frontend_reuses\": 11"), "{j1}");
+}
+
+#[test]
+fn eval_reports_violations_as_cells_not_failures() {
+    let path = write_temp("eval_buggy.c", BUGGY);
+    let out = mi().args(["eval", path.to_str().unwrap(), "--jobs", "2"]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"ok\": false"), "{json}");
+    assert!(json.contains("deref-check"), "{json}");
+    // The baseline cell of the same program still succeeds.
+    assert!(json.contains("\"ok\": true"), "{json}");
+}

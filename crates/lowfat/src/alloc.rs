@@ -98,10 +98,7 @@ impl LowFatHeap {
     /// allocator first).
     pub fn free(&mut self, addr: u64) {
         let region = addr >> REGION_SHIFT;
-        assert!(
-            (1..=NUM_REGIONS).contains(&region),
-            "free of non-low-fat pointer 0x{addr:x}"
-        );
+        assert!((1..=NUM_REGIONS).contains(&region), "free of non-low-fat pointer 0x{addr:x}");
         let class_size = alloc_size(region);
         assert_eq!(addr & (class_size - 1), 0, "free of interior pointer 0x{addr:x}");
         self.regions[(region - 1) as usize].free.push(addr);

@@ -114,10 +114,7 @@ mod tests {
     #[test]
     fn variants() {
         assert!(!MiConfig::unoptimized(Mechanism::LowFat).opt_dominance);
-        assert_eq!(
-            MiConfig::invariants_only(Mechanism::LowFat).mode,
-            MiMode::GenInvariantsOnly
-        );
+        assert_eq!(MiConfig::invariants_only(Mechanism::LowFat).mode, MiMode::GenInvariantsOnly);
         assert_eq!(Mechanism::LowFat.name(), "lowfat");
         assert_eq!(Mechanism::SoftBound.name(), "softbound");
     }

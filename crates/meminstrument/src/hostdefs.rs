@@ -62,15 +62,27 @@ pub fn declare_softbound(m: &mut Module) {
     let i = Type::I64;
     let v = Type::Void;
     let d = |params: Vec<Type>, ret: Type, effect: Effect| HostDecl { params, ret, effect };
-    m.declare_host(SB_CHECK, d(vec![p.clone(), i.clone(), p.clone(), p.clone()], v.clone(), Effect::Effectful));
+    m.declare_host(
+        SB_CHECK,
+        d(vec![p.clone(), i.clone(), p.clone(), p.clone()], v.clone(), Effect::Effectful),
+    );
     m.declare_host(SB_TRIE_GET_BASE, d(vec![p.clone()], p.clone(), Effect::ReadOnly));
     m.declare_host(SB_TRIE_GET_BOUND, d(vec![p.clone()], p.clone(), Effect::ReadOnly));
-    m.declare_host(SB_TRIE_SET, d(vec![p.clone(), p.clone(), p.clone()], v.clone(), Effect::Effectful));
-    m.declare_host(SB_MEMCPY_META, d(vec![p.clone(), p.clone(), i.clone()], v.clone(), Effect::Effectful));
+    m.declare_host(
+        SB_TRIE_SET,
+        d(vec![p.clone(), p.clone(), p.clone()], v.clone(), Effect::Effectful),
+    );
+    m.declare_host(
+        SB_MEMCPY_META,
+        d(vec![p.clone(), p.clone(), i.clone()], v.clone(), Effect::Effectful),
+    );
     m.declare_host(SB_MEMSET_META, d(vec![p.clone(), i.clone()], v.clone(), Effect::Effectful));
     m.declare_host(SB_SS_PUSH, d(vec![i.clone()], v.clone(), Effect::Effectful));
     m.declare_host(SB_SS_POP, d(vec![], v.clone(), Effect::Effectful));
-    m.declare_host(SB_SS_SET_ARG, d(vec![i.clone(), p.clone(), p.clone()], v.clone(), Effect::Effectful));
+    m.declare_host(
+        SB_SS_SET_ARG,
+        d(vec![i.clone(), p.clone(), p.clone()], v.clone(), Effect::Effectful),
+    );
     m.declare_host(SB_SS_GET_ARG_BASE, d(vec![i.clone()], p.clone(), Effect::ReadOnly));
     m.declare_host(SB_SS_GET_ARG_BOUND, d(vec![i.clone()], p.clone(), Effect::ReadOnly));
     m.declare_host(SB_SS_SET_RET, d(vec![p.clone(), p.clone()], v, Effect::Effectful));
@@ -105,7 +117,10 @@ pub fn declare_lowfat(m: &mut Module) {
     let i = Type::I64;
     let v = Type::Void;
     let d = |params: Vec<Type>, ret: Type, effect: Effect| HostDecl { params, ret, effect };
-    m.declare_host(LF_CHECK, d(vec![p.clone(), i.clone(), p.clone()], v.clone(), Effect::Effectful));
+    m.declare_host(
+        LF_CHECK,
+        d(vec![p.clone(), i.clone(), p.clone()], v.clone(), Effect::Effectful),
+    );
     m.declare_host(LF_INVARIANT, d(vec![p.clone(), p.clone()], v.clone(), Effect::Effectful));
     m.declare_host(LF_BASE, d(vec![p.clone()], p.clone(), Effect::Pure));
     m.declare_host(LF_STACK_ALLOC, d(vec![i.clone()], p, Effect::Effectful));

@@ -103,7 +103,10 @@ pub fn discover(f: &Function) -> Targets {
                         t.invariants.push(InvariantTarget {
                             instr: Some(iid),
                             block: bid,
-                            kind: EscapeKind::StoredToMemory { value: value.clone(), addr: ptr.clone() },
+                            kind: EscapeKind::StoredToMemory {
+                                value: value.clone(),
+                                addr: ptr.clone(),
+                            },
                         });
                     }
                 }

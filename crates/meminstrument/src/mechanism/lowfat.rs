@@ -156,11 +156,7 @@ impl MechanismLowering for LowFatMech {
             target.instr,
             Self::call(
                 h::LF_CHECK,
-                vec![
-                    target.ptr.clone(),
-                    Operand::i64(target.width as i64),
-                    witness.0[0].clone(),
-                ],
+                vec![target.ptr.clone(), Operand::i64(target.width as i64), witness.0[0].clone()],
                 Type::Void,
             ),
         );
@@ -186,11 +182,8 @@ impl MechanismLowering for LowFatMech {
         value: &Operand,
         witness: &Witness,
     ) {
-        let pos_kind = Self::call(
-            h::LF_INVARIANT,
-            vec![value.clone(), witness.0[0].clone()],
-            Type::Void,
-        );
+        let pos_kind =
+            Self::call(h::LF_INVARIANT, vec![value.clone(), witness.0[0].clone()], Type::Void);
         cx.insert_at_block_end(block, pos_kind);
         cx.stats.invariants_placed += 1;
     }

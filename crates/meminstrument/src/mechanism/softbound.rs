@@ -36,7 +36,12 @@ impl SoftBoundMech {
             SizeExpr::Product(a, b) => {
                 let mul = cx.insert_witness_after(
                     anchor,
-                    InstrKind::Bin { op: BinOp::Mul, ty: Type::I64, lhs: a.clone(), rhs: b.clone() },
+                    InstrKind::Bin {
+                        op: BinOp::Mul,
+                        ty: Type::I64,
+                        lhs: a.clone(),
+                        rhs: b.clone(),
+                    },
                 );
                 (cx.result_of(mul), mul)
             }
@@ -155,10 +160,8 @@ impl InstrumentationMechanism for SoftBoundMech {
                     *instr,
                     Self::call(h::SB_SS_GET_RET_BASE, vec![], Type::Ptr),
                 );
-                let bd = cx.insert_witness_after(
-                    b,
-                    Self::call(h::SB_SS_GET_RET_BOUND, vec![], Type::Ptr),
-                );
+                let bd = cx
+                    .insert_witness_after(b, Self::call(h::SB_SS_GET_RET_BOUND, vec![], Type::Ptr));
                 Witness(vec![cx.result_of(b), cx.result_of(bd)])
             }
             Source::Param(i) => {
@@ -292,7 +295,8 @@ impl MechanismLowering for SoftBoundMech {
         );
         let mut anchor = push;
         for pa in ptr_args {
-            let slot = crate::witness::ModuleInfo::ptr_arg_slot(&info.param_types, pa.arg_index) as i64;
+            let slot =
+                crate::witness::ModuleInfo::ptr_arg_slot(&info.param_types, pa.arg_index) as i64;
             let set = cx.insert_witness_after(
                 anchor,
                 Self::call(
@@ -353,10 +357,7 @@ impl MechanismLowering for SoftBoundMech {
             InstrKind::MemSet { dst, len, .. } => (dst.clone(), len.clone()),
             other => unreachable!("memset target is {other:?}"),
         };
-        cx.insert_after_witnesses(
-            instr,
-            Self::call(h::SB_MEMSET_META, vec![dst, len], Type::Void),
-        );
+        cx.insert_after_witnesses(instr, Self::call(h::SB_MEMSET_META, vec![dst, len], Type::Void));
         cx.stats.metadata_stores_placed += 1;
     }
 }

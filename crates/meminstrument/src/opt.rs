@@ -36,7 +36,8 @@ pub fn eliminate_dominated_checks(f: &Function, targets: &mut Targets) -> u64 {
                 if a == b || dead[b] {
                     continue;
                 }
-                let (ca, cb): (&CheckTarget, &CheckTarget) = (&targets.checks[a], &targets.checks[b]);
+                let (ca, cb): (&CheckTarget, &CheckTarget) =
+                    (&targets.checks[a], &targets.checks[b]);
                 if ca.width >= cb.width
                     && instr_dominates(f, &dom, (ca.block, ca.instr), (cb.block, cb.instr))
                 {

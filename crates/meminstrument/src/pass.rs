@@ -24,7 +24,9 @@ use mir::Function;
 use crate::config::{Mechanism, MiConfig, MiMode};
 use crate::hostdefs;
 use crate::itarget::{discover, EscapeKind, Targets};
-use crate::mechanism::{lowfat::LowFatMech, redzone::RedZoneMech, softbound::SoftBoundMech, MechanismLowering, PtrArg};
+use crate::mechanism::{
+    lowfat::LowFatMech, redzone::RedZoneMech, softbound::SoftBoundMech, MechanismLowering, PtrArg,
+};
 use crate::opt::eliminate_dominated_checks;
 use crate::stats::InstrStats;
 use crate::witness::{resolve_witness, InstrumentCx, ModuleInfo};
@@ -150,7 +152,9 @@ fn instrument_function(
             EscapeKind::MemCpy => {
                 if config.sb_wrapper_checks {
                     let iid = inv.instr.expect("memcpy instr");
-                    if let InstrKind::MemCpy { dst, src, .. } = cx.func.instrs[iid.index()].kind.clone() {
+                    if let InstrKind::MemCpy { dst, src, .. } =
+                        cx.func.instrs[iid.index()].kind.clone()
+                    {
                         resolve_witness(&mut cx, mech, &dst);
                         resolve_witness(&mut cx, mech, &src);
                     }
@@ -203,7 +207,9 @@ fn instrument_function(
             EscapeKind::MemCpy => {
                 let iid = inv.instr.expect("memcpy instr");
                 if config.sb_wrapper_checks {
-                    if let InstrKind::MemCpy { dst, src, .. } = cx.func.instrs[iid.index()].kind.clone() {
+                    if let InstrKind::MemCpy { dst, src, .. } =
+                        cx.func.instrs[iid.index()].kind.clone()
+                    {
                         let wd = resolve_witness(&mut cx, mech, &dst);
                         let ws = resolve_witness(&mut cx, mech, &src);
                         mech.emit_memcpy(&mut cx, iid, Some((&wd, &ws)));
@@ -221,7 +227,10 @@ fn instrument_function(
 
 /// Pointer-typed arguments (by index) and whether the call returns a
 /// pointer.
-fn call_shape(cx: &InstrumentCx<'_>, iid: mir::ids::InstrId) -> (Vec<(usize, mir::instr::Operand)>, bool) {
+fn call_shape(
+    cx: &InstrumentCx<'_>,
+    iid: mir::ids::InstrId,
+) -> (Vec<(usize, mir::instr::Operand)>, bool) {
     let instr = &cx.func.instrs[iid.index()];
     let args = match &instr.kind {
         InstrKind::Call { args, .. } | InstrKind::CallIndirect { args, .. } => args.clone(),
@@ -232,10 +241,7 @@ fn call_shape(cx: &InstrumentCx<'_>, iid: mir::ids::InstrId) -> (Vec<(usize, mir
         .enumerate()
         .filter(|(_, op)| cx.func.operand_type(op) == Type::Ptr)
         .collect();
-    let returns_ptr = instr
-        .result
-        .map(|r| *cx.func.value_type(r) == Type::Ptr)
-        .unwrap_or(false);
+    let returns_ptr = instr.result.map(|r| *cx.func.value_type(r) == Type::Ptr).unwrap_or(false);
     (ptr_args, returns_ptr)
 }
 
@@ -248,9 +254,7 @@ mod tests {
         m.functions
             .iter()
             .flat_map(|f| {
-                f.blocks
-                    .iter()
-                    .flat_map(|b| b.instrs.iter().map(|&i| &f.instrs[i.index()].kind))
+                f.blocks.iter().flat_map(|b| b.instrs.iter().map(|&i| &f.instrs[i.index()].kind))
             })
             .filter(|k| matches!(k, InstrKind::Call { callee, .. } if callee == name))
             .count()
@@ -260,7 +264,8 @@ mod tests {
         let mut m = mir::parser::parse_module(src).unwrap();
         let mut pass = MemInstrumentPass::new(config);
         pass.run(&mut m);
-        verify_module(&m).unwrap_or_else(|e| panic!("verify failed: {e}\n{}", mir::printer::print_module(&m)));
+        verify_module(&m)
+            .unwrap_or_else(|e| panic!("verify failed: {e}\n{}", mir::printer::print_module(&m)));
         (m, pass.stats)
     }
 
@@ -516,7 +521,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "exactly once")]
     fn double_run_panics() {
-        let mut m = mir::parser::parse_module("define i64 @main() {\nentry:\n  ret i64 0\n}\n").unwrap();
+        let mut m =
+            mir::parser::parse_module("define i64 @main() {\nentry:\n  ret i64 0\n}\n").unwrap();
         let mut pass = MemInstrumentPass::new(MiConfig::new(Mechanism::LowFat));
         pass.run(&mut m);
         pass.run(&mut m);

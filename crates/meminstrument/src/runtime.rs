@@ -53,16 +53,48 @@ pub struct CompiledProgram {
 
 /// Compiles `module` with instrumentation per `config` at the extension
 /// point in `opts`.
-pub fn compile(mut module: Module, config: &MiConfig, opts: BuildOptions) -> CompiledProgram {
-    let mut pass = MemInstrumentPass::new(config.clone());
-    Pipeline::new(opts.opt).run_at(&mut module, opts.ep, &mut pass);
-    CompiledProgram { module, mechanism: Some(config.mechanism), stats: pass.stats }
+pub fn compile(module: Module, config: &MiConfig, opts: BuildOptions) -> CompiledProgram {
+    compile_from_prefix(pipeline_prefix(module, opts), config, opts)
 }
 
 /// Compiles `module` without instrumentation (the `-O3` baseline of the
 /// paper's figures).
-pub fn compile_baseline(mut module: Module, opts: BuildOptions) -> CompiledProgram {
-    Pipeline::new(opts.opt).run(&mut module);
+pub fn compile_baseline(module: Module, opts: BuildOptions) -> CompiledProgram {
+    compile_baseline_from_prefix(pipeline_prefix(module, opts), opts)
+}
+
+/// Runs the pipeline stages *before* the extension point in `opts` and
+/// returns the module in the state an instrumentation pass would observe.
+///
+/// The result is a reusable snapshot: it only depends on (module, opt
+/// level, extension point), so the evaluation driver caches it and
+/// completes compilation per mechanism with [`compile_from_prefix`] /
+/// [`compile_baseline_from_prefix`] — the shared prefix is optimized once
+/// instead of once per sweep cell.
+pub fn pipeline_prefix(mut module: Module, opts: BuildOptions) -> Module {
+    Pipeline::new(opts.opt).run_to(&mut module, opts.ep);
+    module
+}
+
+/// Completes compilation of a [`pipeline_prefix`] snapshot with
+/// instrumentation per `config`. `opts` must match the options the prefix
+/// was built with; the composition equals [`compile`] on the original
+/// module.
+pub fn compile_from_prefix(
+    mut module: Module,
+    config: &MiConfig,
+    opts: BuildOptions,
+) -> CompiledProgram {
+    let mut pass = MemInstrumentPass::new(config.clone());
+    Pipeline::new(opts.opt).resume_at(&mut module, opts.ep, Some(&mut pass));
+    CompiledProgram { module, mechanism: Some(config.mechanism), stats: pass.stats }
+}
+
+/// Completes compilation of a [`pipeline_prefix`] snapshot without
+/// instrumentation; the composition equals [`compile_baseline`] on the
+/// original module.
+pub fn compile_baseline_from_prefix(mut module: Module, opts: BuildOptions) -> CompiledProgram {
+    Pipeline::new(opts.opt).resume_at(&mut module, opts.ep, None);
     CompiledProgram { module, mechanism: None, stats: InstrStats::default() }
 }
 
@@ -368,10 +400,8 @@ fn install_softbound(vm: &mut Vm) {
         reg.register("__sb_trie_set", move |ctx, args| {
             ctx.charge(CostCategory::Metadata, helper::SB_TRIE_SET);
             ctx.stats.metadata_stores += 1;
-            trie.borrow_mut().set(
-                args[0].as_int(),
-                Bounds { base: args[1].as_int(), bound: args[2].as_int() },
-            );
+            trie.borrow_mut()
+                .set(args[0].as_int(), Bounds { base: args[1].as_int(), bound: args[2].as_int() });
             Ok(RtVal::Int(0))
         });
     }
@@ -447,8 +477,7 @@ fn install_softbound(vm: &mut Vm) {
         reg.register("__sb_ss_set_ret", move |ctx, args| {
             ctx.charge(CostCategory::Metadata, helper::SB_SS_SET);
             ctx.stats.metadata_stores += 1;
-            ss.borrow_mut()
-                .set_ret(Bounds { base: args[0].as_int(), bound: args[1].as_int() });
+            ss.borrow_mut().set_ret(Bounds { base: args[0].as_int(), bound: args[1].as_int() });
             Ok(RtVal::Int(0))
         });
     }
@@ -613,8 +642,13 @@ mod tests {
 
     fn run_all(src: &str) -> [Result<ExecOutcome, Trap>; 3] {
         let m = parse(src);
-        let base = compile_baseline(m.clone(), BuildOptions::default()).run_main(VmConfig::default());
-        let sb = compile_and_run(m.clone(), &MiConfig::new(Mechanism::SoftBound), BuildOptions::default());
+        let base =
+            compile_baseline(m.clone(), BuildOptions::default()).run_main(VmConfig::default());
+        let sb = compile_and_run(
+            m.clone(),
+            &MiConfig::new(Mechanism::SoftBound),
+            BuildOptions::default(),
+        );
         let lf = compile_and_run(m, &MiConfig::new(Mechanism::LowFat), BuildOptions::default());
         [base, sb, lf]
     }
@@ -732,7 +766,11 @@ mod tests {
             }
         "#;
         let m = parse(src);
-        let sb = compile_and_run(m.clone(), &MiConfig::new(Mechanism::SoftBound), BuildOptions::default());
+        let sb = compile_and_run(
+            m.clone(),
+            &MiConfig::new(Mechanism::SoftBound),
+            BuildOptions::default(),
+        );
         let lf = compile_and_run(m, &MiConfig::new(Mechanism::LowFat), BuildOptions::default());
         assert!(sb.is_err(), "SoftBound uses exact bounds: {sb:?}");
         assert!(lf.is_ok(), "Low-Fat cannot see into its padding: {lf:?}");
@@ -750,7 +788,11 @@ mod tests {
             }
         "#;
         let m = parse(src);
-        let sb = compile_and_run(m.clone(), &MiConfig::new(Mechanism::SoftBound), BuildOptions::default());
+        let sb = compile_and_run(
+            m.clone(),
+            &MiConfig::new(Mechanism::SoftBound),
+            BuildOptions::default(),
+        );
         assert!(sb.is_err(), "{sb:?}");
         let lf = compile_and_run(m, &MiConfig::new(Mechanism::LowFat), BuildOptions::default());
         assert!(lf.is_err(), "{lf:?}");
@@ -769,7 +811,11 @@ mod tests {
             }
         "#;
         let m = parse(src);
-        let sb = compile_and_run(m.clone(), &MiConfig::new(Mechanism::SoftBound), BuildOptions::default());
+        let sb = compile_and_run(
+            m.clone(),
+            &MiConfig::new(Mechanism::SoftBound),
+            BuildOptions::default(),
+        );
         assert!(sb.is_err(), "{sb:?}");
         let lf = compile_and_run(m, &MiConfig::new(Mechanism::LowFat), BuildOptions::default());
         assert!(lf.is_err(), "{lf:?}");
@@ -814,7 +860,8 @@ mod tests {
             }
         "#;
         let m = parse(src);
-        let prog = compile(m.clone(), &MiConfig::new(Mechanism::SoftBound), BuildOptions::default());
+        let prog =
+            compile(m.clone(), &MiConfig::new(Mechanism::SoftBound), BuildOptions::default());
         let out = prog.run_main(VmConfig::default()).unwrap();
         assert_eq!(out.ret.unwrap().as_int(), 7);
         assert!(out.stats.checks_wide > 0);
@@ -855,7 +902,11 @@ mod tests {
             }
         "#;
         let m = parse(src);
-        let sb = compile_and_run(m.clone(), &MiConfig::new(Mechanism::SoftBound), BuildOptions::default());
+        let sb = compile_and_run(
+            m.clone(),
+            &MiConfig::new(Mechanism::SoftBound),
+            BuildOptions::default(),
+        );
         assert_eq!(sb.unwrap().ret.unwrap().as_int(), 42);
         let lf = compile_and_run(m, &MiConfig::new(Mechanism::LowFat), BuildOptions::default());
         assert!(
@@ -881,11 +932,51 @@ mod tests {
     }
 
     #[test]
+    fn prefix_composition_matches_direct_compilation() {
+        let m = parse(CORRECT_PROGRAM);
+        for ep in ExtensionPoint::ALL {
+            for opt in [OptLevel::O0, OptLevel::O3] {
+                let opts = BuildOptions { opt, ep };
+                let prefix = pipeline_prefix(m.clone(), opts);
+                let base_direct = compile_baseline(m.clone(), opts);
+                let base_split = compile_baseline_from_prefix(prefix.clone(), opts);
+                assert_eq!(
+                    mir::printer::print_module(&base_direct.module),
+                    mir::printer::print_module(&base_split.module),
+                    "baseline {opt:?}@{}",
+                    ep.name()
+                );
+                for mech in [Mechanism::SoftBound, Mechanism::LowFat, Mechanism::RedZone] {
+                    let cfg = MiConfig::new(mech);
+                    let direct = compile(m.clone(), &cfg, opts);
+                    let split = compile_from_prefix(prefix.clone(), &cfg, opts);
+                    assert_eq!(
+                        mir::printer::print_module(&direct.module),
+                        mir::printer::print_module(&split.module),
+                        "{mech:?} {opt:?}@{}",
+                        ep.name()
+                    );
+                    assert_eq!(direct.stats, split.stats, "{mech:?} {opt:?}@{}", ep.name());
+                }
+            }
+        }
+    }
+
+    #[test]
     fn geninvariants_cheaper_than_full() {
         let m = parse(CORRECT_PROGRAM);
-        let full = compile_and_run(m.clone(), &MiConfig::new(Mechanism::SoftBound), BuildOptions::default()).unwrap();
-        let inv =
-            compile_and_run(m, &MiConfig::invariants_only(Mechanism::SoftBound), BuildOptions::default()).unwrap();
+        let full = compile_and_run(
+            m.clone(),
+            &MiConfig::new(Mechanism::SoftBound),
+            BuildOptions::default(),
+        )
+        .unwrap();
+        let inv = compile_and_run(
+            m,
+            &MiConfig::invariants_only(Mechanism::SoftBound),
+            BuildOptions::default(),
+        )
+        .unwrap();
         assert!(inv.stats.cost_total < full.stats.cost_total);
         assert_eq!(inv.stats.checks_executed, 0);
     }

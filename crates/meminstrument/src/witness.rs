@@ -171,7 +171,9 @@ pub fn is_runtime_callee(name: &str) -> bool {
 /// IR-visible size argument.
 pub fn allocator_size_expr(name: &str, args: &[Operand]) -> Option<SizeExpr> {
     match name {
-        "malloc" | "__lf_stack_alloc" | "__rz_stack_alloc" => Some(SizeExpr::Direct(args[0].clone())),
+        "malloc" | "__lf_stack_alloc" | "__rz_stack_alloc" => {
+            Some(SizeExpr::Direct(args[0].clone()))
+        }
         "calloc" => Some(SizeExpr::Product(args[0].clone(), args[1].clone())),
         _ => None,
     }
@@ -398,9 +400,7 @@ fn resolve_value(
             match kind {
                 InstrKind::Gep { base, .. } => {
                     let inherited = resolve_witness(cx, mech, &base);
-                    let w = mech
-                        .witness_for_gep(cx, iid, &inherited)
-                        .unwrap_or(inherited);
+                    let w = mech.witness_for_gep(cx, iid, &inherited).unwrap_or(inherited);
                     cx.cache.insert(key, w.clone());
                     return w;
                 }
@@ -435,25 +435,24 @@ fn resolve_value(
                     }
                     Witness(parts)
                 }
-                InstrKind::Load { ty: Type::Ptr, ptr } => mech.witness_for_source(
-                    cx,
-                    &Source::LoadedFromMemory { instr: iid, addr: ptr },
-                ),
-                InstrKind::Call { callee, args, .. } => {
-                    match allocator_size_expr(&callee, &args) {
-                        Some(size) => {
-                            mech.witness_for_source(cx, &Source::HeapAlloc { instr: iid, size })
-                        }
-                        None => mech.witness_for_source(
-                            cx,
-                            &Source::CallResult { instr: iid, callee: Some(callee) },
-                        ),
-                    }
+                InstrKind::Load { ty: Type::Ptr, ptr } => {
+                    mech.witness_for_source(cx, &Source::LoadedFromMemory { instr: iid, addr: ptr })
                 }
+                InstrKind::Call { callee, args, .. } => match allocator_size_expr(&callee, &args) {
+                    Some(size) => {
+                        mech.witness_for_source(cx, &Source::HeapAlloc { instr: iid, size })
+                    }
+                    None => mech.witness_for_source(
+                        cx,
+                        &Source::CallResult { instr: iid, callee: Some(callee) },
+                    ),
+                },
                 InstrKind::CallIndirect { .. } => {
                     mech.witness_for_source(cx, &Source::CallResult { instr: iid, callee: None })
                 }
-                InstrKind::Alloca { .. } => mech.witness_for_source(cx, &Source::Alloca { instr: iid }),
+                InstrKind::Alloca { .. } => {
+                    mech.witness_for_source(cx, &Source::Alloca { instr: iid })
+                }
                 _ => mech.witness_for_source(cx, &Source::Opaque),
             }
         }
@@ -474,11 +473,10 @@ fn resolve_phi(
     let mut companion_ids = Vec::with_capacity(mech.arity());
     let mut parts = Vec::with_capacity(mech.arity());
     for _ in 0..mech.arity() {
-        let placeholder: Vec<(BlockId, Operand)> = incoming
-            .iter()
-            .map(|(b, _)| (*b, Operand::Undef(Type::Ptr)))
-            .collect();
-        let cid = cx.insert_phi_companion(block, InstrKind::Phi { ty: Type::Ptr, incoming: placeholder });
+        let placeholder: Vec<(BlockId, Operand)> =
+            incoming.iter().map(|(b, _)| (*b, Operand::Undef(Type::Ptr))).collect();
+        let cid =
+            cx.insert_phi_companion(block, InstrKind::Phi { ty: Type::Ptr, incoming: placeholder });
         parts.push(cx.result_of(cid));
         companion_ids.push(cid);
     }
@@ -488,7 +486,8 @@ fn resolve_phi(
     for (pred, op) in &incoming {
         let w = resolve_witness(cx, mech, op);
         for (k, &cid) in companion_ids.iter().enumerate() {
-            if let InstrKind::Phi { incoming: comp_inc, .. } = &mut cx.func.instrs[cid.index()].kind {
+            if let InstrKind::Phi { incoming: comp_inc, .. } = &mut cx.func.instrs[cid.index()].kind
+            {
                 for entry in comp_inc.iter_mut() {
                     if entry.0 == *pred {
                         entry.1 = w.0[k].clone();

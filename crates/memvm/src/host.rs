@@ -182,10 +182,11 @@ pub fn default_registry(cost: &CostModel) -> HostRegistry {
         let mut addr = args[0].as_int();
         let mut bytes = Vec::new();
         loop {
-            let b = ctx
-                .mem
-                .read_uint(addr, 1)
-                .map_err(|f| Trap::UnmappedAccess { addr: f.addr, width: 1, write: false })? as u8;
+            let b = ctx.mem.read_uint(addr, 1).map_err(|f| Trap::UnmappedAccess {
+                addr: f.addr,
+                width: 1,
+                write: false,
+            })? as u8;
             if b == 0 || bytes.len() > 4096 {
                 break;
             }

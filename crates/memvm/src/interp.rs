@@ -187,8 +187,11 @@ impl Vm {
                 }
             };
             if let Init::Bytes(bytes) = &g.init {
-                mem.write(addr, bytes)
-                    .map_err(|f| Trap::UnmappedAccess { addr: f.addr, width: f.width, write: true })?;
+                mem.write(addr, bytes).map_err(|f| Trap::UnmappedAccess {
+                    addr: f.addr,
+                    width: f.width,
+                    write: true,
+                })?;
             }
             global_addrs.push(addr);
         }
@@ -283,7 +286,6 @@ impl Vm {
         result
     }
 
-
     /// Executes the phi cluster at the head of `cur` (simultaneous
     /// assignment semantics); returns the index of the first non-phi
     /// instruction. Split out of the interpreter loop to keep the
@@ -294,7 +296,7 @@ impl Vm {
         fid: FuncId,
         cur: BlockId,
         prev: Option<BlockId>,
-        frame: &mut Vec<Option<RtVal>>,
+        frame: &mut [Option<RtVal>],
     ) -> Result<usize, Trap> {
         let module = std::rc::Rc::clone(&self.module);
         let func = &module.functions[fid.index()];
@@ -326,7 +328,11 @@ impl Vm {
         Ok(first_non_phi)
     }
 
-    fn exec_function_inner(&mut self, fid: FuncId, args: Vec<RtVal>) -> Result<Option<RtVal>, Trap> {
+    fn exec_function_inner(
+        &mut self,
+        fid: FuncId,
+        args: Vec<RtVal>,
+    ) -> Result<Option<RtVal>, Trap> {
         let module = std::rc::Rc::clone(&self.module);
         let func = &module.functions[fid.index()];
         debug_assert!(!func.is_declaration);
@@ -404,10 +410,7 @@ impl Vm {
             Operand::Null => RtVal::Int(0),
             Operand::GlobalAddr(g) => RtVal::Int(self.global_addrs[g.index()]),
             Operand::FuncAddr(name) => RtVal::Int(
-                *self
-                    .func_to_addr
-                    .get(name)
-                    .ok_or_else(|| Trap::UnknownFunction(name.clone()))?,
+                *self.func_to_addr.get(name).ok_or_else(|| Trap::UnknownFunction(name.clone()))?,
             ),
             Operand::Undef(ty) => zero_of(ty),
         })
@@ -438,10 +441,8 @@ impl Vm {
             }
             InstrKind::CallIndirect { callee, args, ret } => {
                 let target = self.eval(fid, frame, callee, &Type::Ptr)?.as_int();
-                let callee_fid = *self
-                    .addr_to_func
-                    .get(&target)
-                    .ok_or(Trap::BadIndirectCall(target))?;
+                let callee_fid =
+                    *self.addr_to_func.get(&target).ok_or(Trap::BadIndirectCall(target))?;
                 let name = self.module.functions[callee_fid.index()].name.clone();
                 let mut argv = Vec::with_capacity(args.len());
                 for a in args {
@@ -506,7 +507,8 @@ impl Vm {
                         _ => iv.as_int() as i64,
                     };
                     if i == 0 {
-                        addr = addr.wrapping_add(signed.wrapping_mul(cur_ty.size_of() as i64) as u64);
+                        addr =
+                            addr.wrapping_add(signed.wrapping_mul(cur_ty.size_of() as i64) as u64);
                     } else {
                         match &cur_ty {
                             Type::Struct(_) => {
@@ -515,8 +517,9 @@ impl Vm {
                                 cur_ty = cur_ty.element_type(fi).clone();
                             }
                             Type::Array(elem, _) => {
-                                addr = addr
-                                    .wrapping_add((signed).wrapping_mul(elem.size_of() as i64) as u64);
+                                addr = addr.wrapping_add(
+                                    (signed).wrapping_mul(elem.size_of() as i64) as u64,
+                                );
                                 cur_ty = (**elem).clone();
                             }
                             other => {
@@ -603,13 +606,16 @@ impl Vm {
         // Defined module function?
         if let Some((callee_fid, f)) = self.module.function_by_name(callee) {
             if !f.is_declaration {
-                self.charge_app(self.config.cost.call + self.config.cost.call_per_arg * argv.len() as u64)?;
+                self.charge_app(
+                    self.config.cost.call + self.config.cost.call_per_arg * argv.len() as u64,
+                )?;
                 return self.exec_function(callee_fid, argv);
             }
         }
         // Host function?
         if let Some(hf) = self.registry.get(callee).cloned() {
-            let mut ctx = HostCtx { mem: &mut self.mem, stats: &mut self.stats, out: &mut self.out };
+            let mut ctx =
+                HostCtx { mem: &mut self.mem, stats: &mut self.stats, out: &mut self.out };
             let r = hf(&mut ctx, &argv)?;
             if self.stats.cost_total > self.config.max_cost {
                 return Err(Trap::CostLimit);
@@ -622,10 +628,7 @@ impl Vm {
 
 impl fmt::Debug for Vm {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Vm")
-            .field("module", &self.module.name)
-            .field("stats", &self.stats)
-            .finish()
+        f.debug_struct("Vm").field("module", &self.module.name).field("stats", &self.stats).finish()
     }
 }
 

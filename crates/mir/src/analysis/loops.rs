@@ -31,12 +31,8 @@ impl Loop {
     /// The unique predecessor of the header outside the loop, if there is
     /// exactly one (a *preheader candidate*).
     pub fn preheader(&self, cfg: &Cfg) -> Option<BlockId> {
-        let outside: Vec<BlockId> = cfg
-            .preds(self.header)
-            .iter()
-            .copied()
-            .filter(|p| !self.contains(*p))
-            .collect();
+        let outside: Vec<BlockId> =
+            cfg.preds(self.header).iter().copied().filter(|p| !self.contains(*p)).collect();
         match outside.as_slice() {
             [single] => Some(*single),
             _ => None,
@@ -74,10 +70,7 @@ impl LoopForest {
 
     /// The innermost loop containing `b`, if any (smallest body wins).
     pub fn innermost_containing(&self, b: BlockId) -> Option<&Loop> {
-        self.loops
-            .iter()
-            .filter(|l| l.contains(b))
-            .min_by_key(|l| l.blocks.len())
+        self.loops.iter().filter(|l| l.contains(b)).min_by_key(|l| l.blocks.len())
     }
 }
 
@@ -123,9 +116,7 @@ mod tests {
         fb.switch_to(body);
         let next = fb.add(Type::I64, i, Operand::i64(1));
         // Patch the phi's second incoming to the real next value.
-        if let crate::instr::InstrKind::Phi { incoming, .. } =
-            &mut fb.func_mut().instrs[0].kind
-        {
+        if let crate::instr::InstrKind::Phi { incoming, .. } = &mut fb.func_mut().instrs[0].kind {
             incoming[1].1 = next;
         }
         fb.br(header);

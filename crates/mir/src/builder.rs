@@ -21,7 +21,9 @@
 
 use crate::function::{FnAttrs, Function, Param};
 use crate::ids::{BlockId, GlobalId};
-use crate::instr::{BinOp, CastOp, FcmpPred, IcmpPred, InstrKind, IcmpPred as _IP, Operand, Terminator};
+use crate::instr::{
+    BinOp, CastOp, FcmpPred, IcmpPred, IcmpPred as _IP, InstrKind, Operand, Terminator,
+};
 use crate::module::{Effect, Global, GlobalAttrs, HostDecl, Init, Module};
 use crate::types::Type;
 
@@ -48,7 +50,12 @@ impl ModuleBuilder {
     }
 
     /// Adds a global with explicit initializer bytes.
-    pub fn global_with_data(&mut self, name: impl Into<String>, ty: Type, data: Vec<u8>) -> GlobalId {
+    pub fn global_with_data(
+        &mut self,
+        name: impl Into<String>,
+        ty: Type,
+        data: Vec<u8>,
+    ) -> GlobalId {
         self.module.add_global(Global {
             name: name.into(),
             ty,
@@ -58,7 +65,12 @@ impl ModuleBuilder {
     }
 
     /// Adds a global with explicit attributes.
-    pub fn global_with_attrs(&mut self, name: impl Into<String>, ty: Type, attrs: GlobalAttrs) -> GlobalId {
+    pub fn global_with_attrs(
+        &mut self,
+        name: impl Into<String>,
+        ty: Type,
+        attrs: GlobalAttrs,
+    ) -> GlobalId {
         self.module.add_global(Global { name: name.into(), ty, init: Init::Zero, attrs })
     }
 
@@ -74,20 +86,19 @@ impl ModuleBuilder {
         params: Vec<(&str, Type)>,
         ret_ty: Type,
     ) -> FunctionBuilder<'_> {
-        let params = params
-            .into_iter()
-            .map(|(n, ty)| Param { name: n.to_string(), ty })
-            .collect();
+        let params = params.into_iter().map(|(n, ty)| Param { name: n.to_string(), ty }).collect();
         let func = Function::new(name, params, ret_ty);
         FunctionBuilder { module: &mut self.module, func, cur: BlockId::new(0), terminated: false }
     }
 
     /// Adds a body-less declaration (external function).
-    pub fn declare_function(&mut self, name: impl Into<String>, params: Vec<(&str, Type)>, ret_ty: Type) {
-        let params = params
-            .into_iter()
-            .map(|(n, ty)| Param { name: n.to_string(), ty })
-            .collect();
+    pub fn declare_function(
+        &mut self,
+        name: impl Into<String>,
+        params: Vec<(&str, Type)>,
+        ret_ty: Type,
+    ) {
+        let params = params.into_iter().map(|(n, ty)| Param { name: n.to_string(), ty }).collect();
         self.module.add_function(Function::declaration(name, params, ret_ty));
     }
 
@@ -161,7 +172,6 @@ impl<'m> FunctionBuilder<'m> {
             None => Operand::Undef(Type::Void),
         }
     }
-
 
     // --- memory ---
 
@@ -238,7 +248,13 @@ impl<'m> FunctionBuilder<'m> {
     }
 
     /// `select cond, a, b`.
-    pub fn select(&mut self, ty: Type, cond: Operand, then_value: Operand, else_value: Operand) -> Operand {
+    pub fn select(
+        &mut self,
+        ty: Type,
+        cond: Operand,
+        then_value: Operand,
+        else_value: Operand,
+    ) -> Operand {
         self.emit(InstrKind::Select { ty, cond, then_value, else_value })
     }
 

@@ -92,7 +92,11 @@ impl Function {
             name: name.into(),
             params,
             ret_ty,
-            blocks: vec![Block { name: "entry".into(), instrs: vec![], term: Terminator::Unreachable }],
+            blocks: vec![Block {
+                name: "entry".into(),
+                instrs: vec![],
+                term: Terminator::Unreachable,
+            }],
             instrs: vec![],
             values,
             is_declaration: false,
@@ -137,7 +141,11 @@ impl Function {
     /// Appends a fresh basic block and returns its id.
     pub fn add_block(&mut self, name: impl Into<String>) -> BlockId {
         let id = BlockId::new(self.blocks.len());
-        self.blocks.push(Block { name: name.into(), instrs: vec![], term: Terminator::Unreachable });
+        self.blocks.push(Block {
+            name: name.into(),
+            instrs: vec![],
+            term: Terminator::Unreachable,
+        });
         id
     }
 
@@ -247,16 +255,17 @@ mod tests {
     use super::*;
 
     fn sample() -> Function {
-        let mut f = Function::new(
-            "f",
-            vec![Param { name: "x".into(), ty: Type::I64 }],
-            Type::I64,
-        );
+        let mut f = Function::new("f", vec![Param { name: "x".into(), ty: Type::I64 }], Type::I64);
         let entry = BlockId::new(0);
         let x = Operand::Val(f.param_value(0));
         let add = f.push_instr(
             entry,
-            InstrKind::Bin { op: crate::instr::BinOp::Add, ty: Type::I64, lhs: x.clone(), rhs: Operand::i64(1) },
+            InstrKind::Bin {
+                op: crate::instr::BinOp::Add,
+                ty: Type::I64,
+                lhs: x.clone(),
+                rhs: Operand::i64(1),
+            },
         );
         let res = f.instr_result(add).unwrap();
         f.blocks[0].term = Terminator::Ret(Some(Operand::Val(res)));
@@ -310,7 +319,12 @@ mod tests {
         let first = f.insert_instr(
             entry,
             0,
-            InstrKind::Bin { op: crate::instr::BinOp::Mul, ty: Type::I64, lhs: Operand::i64(2), rhs: Operand::i64(3) },
+            InstrKind::Bin {
+                op: crate::instr::BinOp::Mul,
+                ty: Type::I64,
+                lhs: Operand::i64(2),
+                rhs: Operand::i64(3),
+            },
         );
         assert_eq!(f.blocks[0].instrs[0], first);
         assert_eq!(f.block_of_instr(first), Some(entry));

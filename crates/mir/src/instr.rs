@@ -121,7 +121,13 @@ impl BinOp {
     pub fn is_commutative(self) -> bool {
         matches!(
             self,
-            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::FAdd | BinOp::FMul
+            BinOp::Add
+                | BinOp::Mul
+                | BinOp::And
+                | BinOp::Or
+                | BinOp::Xor
+                | BinOp::FAdd
+                | BinOp::FMul
         )
     }
 
@@ -370,7 +376,9 @@ impl InstrKind {
                 f(then_value);
                 f(else_value);
             }
-            InstrKind::Bin { lhs, rhs, .. } | InstrKind::Icmp { lhs, rhs, .. } | InstrKind::Fcmp { lhs, rhs, .. } => {
+            InstrKind::Bin { lhs, rhs, .. }
+            | InstrKind::Icmp { lhs, rhs, .. }
+            | InstrKind::Fcmp { lhs, rhs, .. } => {
                 f(lhs);
                 f(rhs);
             }
@@ -413,7 +421,9 @@ impl InstrKind {
                 f(then_value);
                 f(else_value);
             }
-            InstrKind::Bin { lhs, rhs, .. } | InstrKind::Icmp { lhs, rhs, .. } | InstrKind::Fcmp { lhs, rhs, .. } => {
+            InstrKind::Bin { lhs, rhs, .. }
+            | InstrKind::Icmp { lhs, rhs, .. }
+            | InstrKind::Fcmp { lhs, rhs, .. } => {
                 f(lhs);
                 f(rhs);
             }
@@ -492,10 +502,9 @@ impl Terminator {
     /// Replaces successor `from` with `to` (used by CFG transforms).
     pub fn replace_successor(&mut self, from: BlockId, to: BlockId) {
         match self {
-            Terminator::Br(b)
-                if *b == from => {
-                    *b = to;
-                }
+            Terminator::Br(b) if *b == from => {
+                *b = to;
+            }
             Terminator::CondBr { then_bb, else_bb, .. } => {
                 if *then_bb == from {
                     *then_bb = to;
@@ -530,16 +539,22 @@ mod tests {
         assert_eq!(store.result_type(), None);
         let call_void = InstrKind::Call { callee: "f".into(), args: vec![], ret: Type::Void };
         assert_eq!(call_void.result_type(), None);
-        let gep = InstrKind::Gep { elem_ty: Type::I8, base: Operand::Null, indices: vec![Operand::i64(1)] };
+        let gep = InstrKind::Gep {
+            elem_ty: Type::I8,
+            base: Operand::Null,
+            indices: vec![Operand::i64(1)],
+        };
         assert_eq!(gep.result_type(), Some(Type::Ptr));
     }
 
     #[test]
     fn side_effects() {
-        assert!(InstrKind::Store { ty: Type::I8, value: Operand::i64(0), ptr: Operand::Null }.has_side_effects());
+        assert!(InstrKind::Store { ty: Type::I8, value: Operand::i64(0), ptr: Operand::Null }
+            .has_side_effects());
         assert!(!InstrKind::Load { ty: Type::I8, ptr: Operand::Null }.has_side_effects());
         assert!(InstrKind::Load { ty: Type::I8, ptr: Operand::Null }.accesses_memory());
-        assert!(InstrKind::MemCpy { dst: Operand::Null, src: Operand::Null, len: Operand::i64(0) }.has_side_effects());
+        assert!(InstrKind::MemCpy { dst: Operand::Null, src: Operand::Null, len: Operand::i64(0) }
+            .has_side_effects());
     }
 
     #[test]

@@ -45,9 +45,7 @@ pub mod verifier;
 
 pub use function::{Block, Function, Param, ValueDef, ValueInfo};
 pub use ids::{BlockId, FuncId, GlobalId, InstrId, ValueId};
-pub use instr::{
-    BinOp, CastOp, FcmpPred, IcmpPred, Instr, InstrKind, Operand, Terminator,
-};
+pub use instr::{BinOp, CastOp, FcmpPred, IcmpPred, Instr, InstrKind, Operand, Terminator};
 pub use module::{Effect, Global, GlobalAttrs, HostDecl, Init, Module};
 pub use pipeline::{ExtensionPoint, OptLevel, Pipeline};
 pub use types::Type;

@@ -97,7 +97,12 @@ pub struct Module {
 impl Module {
     /// Creates an empty module.
     pub fn new(name: impl Into<String>) -> Module {
-        Module { name: name.into(), globals: vec![], functions: vec![], host_decls: BTreeMap::new() }
+        Module {
+            name: name.into(),
+            globals: vec![],
+            functions: vec![],
+            host_decls: BTreeMap::new(),
+        }
     }
 
     /// Adds a global and returns its id.
@@ -206,8 +211,15 @@ mod tests {
     #[test]
     fn callee_effects() {
         let mut m = Module::new("t");
-        m.add_function(Function::declaration("ext", vec![Param { name: "p".into(), ty: Type::Ptr }], Type::Void));
-        m.declare_host("pure_helper", HostDecl { params: vec![Type::I64], ret: Type::I64, effect: Effect::Pure });
+        m.add_function(Function::declaration(
+            "ext",
+            vec![Param { name: "p".into(), ty: Type::Ptr }],
+            Type::Void,
+        ));
+        m.declare_host(
+            "pure_helper",
+            HostDecl { params: vec![Type::I64], ret: Type::I64, effect: Effect::Pure },
+        );
         assert_eq!(m.callee_effect("ext"), Effect::Effectful);
         assert_eq!(m.callee_effect("pure_helper"), Effect::Pure);
         assert_eq!(m.callee_effect("unknown"), Effect::Effectful);

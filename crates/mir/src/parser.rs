@@ -437,17 +437,17 @@ impl<'a> Parser<'a> {
             match self.next()? {
                 Tok::Eof => break,
                 Tok::Ident(kw) => match kw.as_str() {
-                    "module" => {
-                        match self.next()? {
-                            Tok::At(name) => module.name = name,
-                            t => return Err(self.error(format!("expected module name, found {t:?}"))),
-                        }
-                    }
+                    "module" => match self.next()? {
+                        Tok::At(name) => module.name = name,
+                        t => return Err(self.error(format!("expected module name, found {t:?}"))),
+                    },
                     "hostdecl" => self.parse_hostdecl(&mut module)?,
                     "global" => self.parse_global(&mut module)?,
                     "define" => self.parse_function(&mut module, false)?,
                     "declare" => self.parse_function(&mut module, true)?,
-                    other => return Err(self.error(format!("unexpected top-level keyword '{other}'"))),
+                    other => {
+                        return Err(self.error(format!("unexpected top-level keyword '{other}'")))
+                    }
                 },
                 t => return Err(self.error(format!("unexpected top-level token {t:?}"))),
             }
@@ -537,7 +537,11 @@ impl<'a> Parser<'a> {
         Ok(())
     }
 
-    fn parse_function(&mut self, module: &mut Module, is_declaration: bool) -> Result<(), ParseError> {
+    fn parse_function(
+        &mut self,
+        module: &mut Module,
+        is_declaration: bool,
+    ) -> Result<(), ParseError> {
         let ret_ty = self.parse_type()?;
         let name = match self.next()? {
             Tok::At(n) => n,
@@ -636,7 +640,9 @@ impl<'a> Parser<'a> {
                             }
                             cur_instrs.push((Some(result), k));
                         }
-                        PKindOp::Term(_) => return Err(self.error("terminator cannot have a result")),
+                        PKindOp::Term(_) => {
+                            return Err(self.error("terminator cannot have a result"))
+                        }
                     }
                 }
                 t => return Err(self.error(format!("unexpected token in function body: {t:?}"))),
@@ -682,9 +688,7 @@ impl<'a> Parser<'a> {
         let resolve_op = |p: &Parser<'_>, op: &POp| -> Result<Operand, ParseError> {
             Ok(match op {
                 POp::Local(n) => Operand::Val(
-                    *value_ids
-                        .get(n)
-                        .ok_or_else(|| p.error(format!("unknown value %{n}")))?,
+                    *value_ids.get(n).ok_or_else(|| p.error(format!("unknown value %{n}")))?,
                 ),
                 POp::ConstInt(ty, v) => Operand::ConstInt { ty: ty.clone(), value: *v },
                 POp::ConstFloat(v) => Operand::ConstFloat(*v),
@@ -692,7 +696,9 @@ impl<'a> Parser<'a> {
                 POp::Global(n) => {
                     if let Some((gid, _)) = module.global_by_name(n) {
                         Operand::GlobalAddr(gid)
-                    } else if let Some(idx) = n.strip_prefix('g').and_then(|s| s.parse::<usize>().ok()) {
+                    } else if let Some(idx) =
+                        n.strip_prefix('g').and_then(|s| s.parse::<usize>().ok())
+                    {
                         if idx >= module.globals.len() {
                             return Err(p.error(format!("global index @{n} out of range")));
                         }
@@ -716,8 +722,12 @@ impl<'a> Parser<'a> {
             let bid = BlockId::new(bi);
             for (result, kind) in instrs {
                 let real = match kind {
-                    InstrKindP::Alloca(ty, count) => InstrKind::Alloca { ty: ty.clone(), count: resolve_op(self, count)? },
-                    InstrKindP::Load(ty, ptr) => InstrKind::Load { ty: ty.clone(), ptr: resolve_op(self, ptr)? },
+                    InstrKindP::Alloca(ty, count) => {
+                        InstrKind::Alloca { ty: ty.clone(), count: resolve_op(self, count)? }
+                    }
+                    InstrKindP::Load(ty, ptr) => {
+                        InstrKind::Load { ty: ty.clone(), ptr: resolve_op(self, ptr)? }
+                    }
                     InstrKindP::Store(ty, value, ptr) => InstrKind::Store {
                         ty: ty.clone(),
                         value: resolve_op(self, value)?,
@@ -726,7 +736,10 @@ impl<'a> Parser<'a> {
                     InstrKindP::Gep(ty, base, idxs) => InstrKind::Gep {
                         elem_ty: ty.clone(),
                         base: resolve_op(self, base)?,
-                        indices: idxs.iter().map(|i| resolve_op(self, i)).collect::<Result<_, _>>()?,
+                        indices: idxs
+                            .iter()
+                            .map(|i| resolve_op(self, i))
+                            .collect::<Result<_, _>>()?,
                     },
                     InstrKindP::Phi(ty, inc) => InstrKind::Phi {
                         ty: ty.clone(),
@@ -1048,10 +1061,7 @@ impl<'a> Parser<'a> {
 }
 
 fn is_operand_start(ident: &str) -> bool {
-    matches!(
-        ident,
-        "null" | "undef" | "i1" | "i8" | "i16" | "i32" | "i64" | "f64"
-    )
+    matches!(ident, "null" | "undef" | "i1" | "i8" | "i16" | "i32" | "i64" | "f64")
 }
 
 #[cfg(test)]

@@ -258,7 +258,10 @@ mod tests {
     use crate::passes::run_on_module;
     use crate::verifier::verify_module;
 
-    fn fold_single(mk: impl FnOnce(&mut crate::builder::FunctionBuilder<'_>) -> Operand, ret_ty: Type) -> Terminator {
+    fn fold_single(
+        mk: impl FnOnce(&mut crate::builder::FunctionBuilder<'_>) -> Operand,
+        ret_ty: Type,
+    ) -> Terminator {
         let mut mb = ModuleBuilder::new("m");
         let mut fb = mb.function("f", vec![], ret_ty);
         let v = mk(&mut fb);
@@ -279,7 +282,13 @@ mod tests {
     #[test]
     fn folds_wrapping_i8() {
         let t = fold_single(
-            |fb| fb.add(Type::I8, Operand::ConstInt { ty: Type::I8, value: 127 }, Operand::ConstInt { ty: Type::I8, value: 1 }),
+            |fb| {
+                fb.add(
+                    Type::I8,
+                    Operand::ConstInt { ty: Type::I8, value: 127 },
+                    Operand::ConstInt { ty: Type::I8, value: 1 },
+                )
+            },
             Type::I8,
         );
         assert_eq!(t, Terminator::Ret(Some(Operand::ConstInt { ty: Type::I8, value: -128 })));
@@ -303,7 +312,10 @@ mod tests {
 
     #[test]
     fn preserves_division_by_zero() {
-        let t = fold_single(|fb| fb.bin(BinOp::SDiv, Type::I64, Operand::i64(1), Operand::i64(0)), Type::I64);
+        let t = fold_single(
+            |fb| fb.bin(BinOp::SDiv, Type::I64, Operand::i64(1), Operand::i64(0)),
+            Type::I64,
+        );
         // Not folded: the trap must still happen at runtime.
         assert!(matches!(t, Terminator::Ret(Some(Operand::Val(_)))));
     }
@@ -328,12 +340,26 @@ mod tests {
     #[test]
     fn folds_casts() {
         let t = fold_single(
-            |fb| fb.cast(CastOp::Sext, Operand::ConstInt { ty: Type::I8, value: -1 }, Type::I8, Type::I64),
+            |fb| {
+                fb.cast(
+                    CastOp::Sext,
+                    Operand::ConstInt { ty: Type::I8, value: -1 },
+                    Type::I8,
+                    Type::I64,
+                )
+            },
             Type::I64,
         );
         assert_eq!(t, Terminator::Ret(Some(Operand::i64(-1))));
         let t = fold_single(
-            |fb| fb.cast(CastOp::Zext, Operand::ConstInt { ty: Type::I8, value: -1 }, Type::I8, Type::I64),
+            |fb| {
+                fb.cast(
+                    CastOp::Zext,
+                    Operand::ConstInt { ty: Type::I8, value: -1 },
+                    Type::I8,
+                    Type::I64,
+                )
+            },
             Type::I64,
         );
         assert_eq!(t, Terminator::Ret(Some(Operand::i64(255))));

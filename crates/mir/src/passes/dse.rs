@@ -93,7 +93,9 @@ mod tests {
     fn store_count(m: &crate::module::Module) -> usize {
         m.functions
             .iter()
-            .flat_map(|f| f.blocks.iter().flat_map(|b| b.instrs.iter().map(|&i| &f.instrs[i.index()].kind)))
+            .flat_map(|f| {
+                f.blocks.iter().flat_map(|b| b.instrs.iter().map(|&i| &f.instrs[i.index()].kind))
+            })
             .filter(|k| matches!(k, InstrKind::Store { .. }))
             .count()
     }

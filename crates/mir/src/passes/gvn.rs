@@ -85,17 +85,12 @@ fn expr_key(effects: &EffectInfo, kind: &InstrKind) -> Option<ExprKey> {
         InstrKind::Cast { op, value, from, to } => {
             ExprKey::Cast(*op, from.clone(), to.clone(), op_key(value))
         }
-        InstrKind::Gep { elem_ty, base, indices } => ExprKey::Gep(
-            elem_ty.clone(),
-            op_key(base),
-            indices.iter().map(op_key).collect(),
-        ),
-        InstrKind::Select { ty, cond, then_value, else_value } => ExprKey::Select(
-            ty.clone(),
-            op_key(cond),
-            op_key(then_value),
-            op_key(else_value),
-        ),
+        InstrKind::Gep { elem_ty, base, indices } => {
+            ExprKey::Gep(elem_ty.clone(), op_key(base), indices.iter().map(op_key).collect())
+        }
+        InstrKind::Select { ty, cond, then_value, else_value } => {
+            ExprKey::Select(ty.clone(), op_key(cond), op_key(then_value), op_key(else_value))
+        }
         InstrKind::Call { callee, args, ret } => {
             if *ret == Type::Void || effects.callee(callee) != crate::module::Effect::Pure {
                 return None;

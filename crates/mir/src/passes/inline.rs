@@ -75,10 +75,9 @@ fn is_leaf(m: &Module, f: &Function) -> bool {
     for block in &f.blocks {
         for &iid in &block.instrs {
             match &f.instrs[iid.index()].kind {
-                InstrKind::Call { callee, .. }
-                    if m.function_by_name(callee).is_some() => {
-                        return false;
-                    }
+                InstrKind::Call { callee, .. } if m.function_by_name(callee).is_some() => {
+                    return false;
+                }
                 InstrKind::CallIndirect { .. } => return false,
                 _ => {}
             }
@@ -92,7 +91,9 @@ fn is_leaf(m: &Module, f: &Function) -> bool {
 fn allocas_only_in_entry(f: &Function) -> bool {
     for (bid, block) in f.iter_blocks() {
         for &iid in &block.instrs {
-            if matches!(f.instrs[iid.index()].kind, InstrKind::Alloca { .. }) && bid != BlockId::new(0) {
+            if matches!(f.instrs[iid.index()].kind, InstrKind::Alloca { .. })
+                && bid != BlockId::new(0)
+            {
                 return false;
             }
         }

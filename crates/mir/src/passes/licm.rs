@@ -146,8 +146,8 @@ fn move_to_preheader(f: &mut Function, from: BlockId, iid: InstrId, pre: BlockId
 mod tests {
     use super::*;
     use crate::builder::{FunctionBuilder, ModuleBuilder};
-    use crate::instr::Operand;
     use crate::instr::IcmpPred;
+    use crate::instr::Operand;
     use crate::passes::run_on_module;
     use crate::verifier::verify_module;
 

@@ -54,7 +54,10 @@ fn promotable_allocas(f: &Function) -> Vec<Promotable> {
                 if count.as_const_int() != Some(1) {
                     continue;
                 }
-                if !matches!(ty, Type::I1 | Type::I8 | Type::I16 | Type::I32 | Type::I64 | Type::F64 | Type::Ptr) {
+                if !matches!(
+                    ty,
+                    Type::I1 | Type::I8 | Type::I16 | Type::I32 | Type::I64 | Type::F64 | Type::Ptr
+                ) {
                     continue;
                 }
                 let value = f.instrs[iid.index()].result.expect("alloca has result");
@@ -361,9 +364,6 @@ mod tests {
         assert!(run(&mut m));
         let (_, f) = m.function_by_name("f").unwrap();
         assert_eq!(f.live_instr_count(), 0);
-        assert!(matches!(
-            f.blocks[0].term,
-            crate::instr::Terminator::Ret(Some(Operand::Undef(_)))
-        ));
+        assert!(matches!(f.blocks[0].term, crate::instr::Terminator::Ret(Some(Operand::Undef(_)))));
     }
 }

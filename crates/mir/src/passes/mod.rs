@@ -119,7 +119,9 @@ pub fn remove_unreachable_blocks(f: &mut Function) -> bool {
         .filter(|&b| !cfg.is_reachable(b))
         .collect();
     for b in &unreachable {
-        if f.blocks[b.index()].instrs.is_empty() && f.blocks[b.index()].term == Terminator::Unreachable {
+        if f.blocks[b.index()].instrs.is_empty()
+            && f.blocks[b.index()].term == Terminator::Unreachable
+        {
             continue;
         }
         changed = true;
@@ -155,9 +157,18 @@ mod tests {
     #[test]
     fn effect_info_classifies() {
         let mut m = Module::new("t");
-        m.declare_host("pure_fn", HostDecl { params: vec![], ret: Type::I64, effect: Effect::Pure });
-        m.declare_host("ro_fn", HostDecl { params: vec![], ret: Type::I64, effect: Effect::ReadOnly });
-        m.declare_host("eff_fn", HostDecl { params: vec![], ret: Type::Void, effect: Effect::Effectful });
+        m.declare_host(
+            "pure_fn",
+            HostDecl { params: vec![], ret: Type::I64, effect: Effect::Pure },
+        );
+        m.declare_host(
+            "ro_fn",
+            HostDecl { params: vec![], ret: Type::I64, effect: Effect::ReadOnly },
+        );
+        m.declare_host(
+            "eff_fn",
+            HostDecl { params: vec![], ret: Type::Void, effect: Effect::Effectful },
+        );
         let e = EffectInfo::of_module(&m);
         assert_eq!(e.callee("pure_fn"), Effect::Pure);
         assert_eq!(e.callee("ro_fn"), Effect::ReadOnly);

@@ -107,26 +107,27 @@ fn promote_in_loop(
             }
         }
     }
-    let invariant = |f: &Function, op: &Operand, defined_in: &std::collections::BTreeSet<ValueId>| -> bool {
-        // The operand itself, and — for the const-gep case — its base,
-        // must be defined outside the loop, OR be a const-gep of an
-        // outside base (the gep instruction may sit inside the loop).
-        match op.as_value() {
-            None => true,
-            Some(v) => {
-                if !defined_in.contains(&v) {
-                    return true;
-                }
-                if let crate::function::ValueDef::Instr(iid) = f.values[v.index()].def {
-                    if let InstrKind::Gep { base, indices, .. } = &f.instrs[iid.index()].kind {
-                        return indices.iter().all(|i| i.as_const_int().is_some())
-                            && base.as_value().is_none_or(|bv| !defined_in.contains(&bv));
+    let invariant =
+        |f: &Function, op: &Operand, defined_in: &std::collections::BTreeSet<ValueId>| -> bool {
+            // The operand itself, and — for the const-gep case — its base,
+            // must be defined outside the loop, OR be a const-gep of an
+            // outside base (the gep instruction may sit inside the loop).
+            match op.as_value() {
+                None => true,
+                Some(v) => {
+                    if !defined_in.contains(&v) {
+                        return true;
                     }
+                    if let crate::function::ValueDef::Instr(iid) = f.values[v.index()].def {
+                        if let InstrKind::Gep { base, indices, .. } = &f.instrs[iid.index()].kind {
+                            return indices.iter().all(|i| i.as_const_int().is_some())
+                                && base.as_value().is_none_or(|bv| !defined_in.contains(&bv));
+                        }
+                    }
+                    false
                 }
-                false
             }
-        }
-    };
+        };
 
     // Collect per-key loads/stores and disqualifying instructions.
     struct Cand {
@@ -152,7 +153,16 @@ fn promote_in_loop(
                     if key == PtrKey::Unknown || !invariant(f, ptr, &defined_in) {
                         continue;
                     }
-                    if !matches!(ty, Type::I1 | Type::I8 | Type::I16 | Type::I32 | Type::I64 | Type::F64 | Type::Ptr) {
+                    if !matches!(
+                        ty,
+                        Type::I1
+                            | Type::I8
+                            | Type::I16
+                            | Type::I32
+                            | Type::I64
+                            | Type::F64
+                            | Type::Ptr
+                    ) {
                         continue;
                     }
                     let entry = cands.iter_mut().find(|c| c.key == key && c.ty == *ty);
@@ -175,7 +185,10 @@ fn promote_in_loop(
                         c.loads.push((b, iid));
                     }
                 }
-                other if effects.writes_or_aborts(other) && !matches!(other, InstrKind::Store { .. }) => {
+                other
+                    if effects.writes_or_aborts(other)
+                        && !matches!(other, InstrKind::Store { .. }) =>
+                {
                     has_barrier = true;
                 }
                 _ => {}
@@ -205,16 +218,12 @@ fn promote_in_loop(
             continue; // plain loads are handled by LICM load hoisting
         }
         // Every other store in the loop must provably not alias.
-        let safe = all_store_keys
-            .iter()
-            .all(|k| *k == c.key || no_alias(k, &c.key));
+        let safe = all_store_keys.iter().all(|k| *k == c.key || no_alias(k, &c.key));
         if !safe {
             continue;
         }
         // A mixed-type alias to the same key would break the rewrite.
-        let mixed = cands
-            .iter()
-            .any(|o| o.key == c.key && o.ty != c.ty);
+        let mixed = cands.iter().any(|o| o.key == c.key && o.ty != c.ty);
         if mixed {
             continue;
         }
@@ -309,7 +318,9 @@ mod tests {
             .iter()
             .flat_map(|l| l.blocks.iter())
             .flat_map(|b| f.blocks[b.index()].instrs.iter())
-            .filter(|&&i| matches!(f.instrs[i.index()].kind, InstrKind::Load { .. } | InstrKind::Store { .. }))
+            .filter(|&&i| {
+                matches!(f.instrs[i.index()].kind, InstrKind::Load { .. } | InstrKind::Store { .. })
+            })
             .count()
     }
 

@@ -260,9 +260,7 @@ mod tests {
         let (_, f) = m.function_by_name("f").unwrap();
         // The loop must survive: header still has two preds.
         let cfg = crate::analysis::Cfg::compute(f);
-        let header_preds = cfg
-            .preds(crate::ids::BlockId::new(1))
-            .len();
+        let header_preds = cfg.preds(crate::ids::BlockId::new(1)).len();
         assert_eq!(header_preds, 2);
     }
 }

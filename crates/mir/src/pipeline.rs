@@ -19,9 +19,8 @@
 use crate::module::Module;
 use crate::passes::{
     constfold::ConstFold, dce::Dce, dse::Dse, gvn::Gvn, inline::Inline, licm::Licm,
-    mem2reg::Mem2Reg,
-    promote::PromoteLoopScalars, simplifycfg::SimplifyCfg, run_on_module, FunctionPass,
-    ModulePass,
+    mem2reg::Mem2Reg, promote::PromoteLoopScalars, run_on_module, simplifycfg::SimplifyCfg,
+    FunctionPass, ModulePass,
 };
 
 /// Where an instrumentation pass is inserted into the pipeline.
@@ -54,7 +53,7 @@ impl ExtensionPoint {
 }
 
 /// Optimization level of the pipeline.
-#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum OptLevel {
     /// No optimization: only the extension-point plugin runs.
     O0,
@@ -83,54 +82,98 @@ impl Pipeline {
 
     /// Runs the pipeline without any plugin (the uninstrumented baseline).
     pub fn run(&self, m: &mut Module) {
-        self.run_with_plugin(m, None);
+        self.run_to(m, ExtensionPoint::VectorizerStart);
+        self.resume_at(m, ExtensionPoint::VectorizerStart, None);
     }
 
     /// Runs the pipeline, inserting `plugin` at extension point `ep`.
     pub fn run_at(&self, m: &mut Module, ep: ExtensionPoint, plugin: &mut dyn ModulePass) {
-        self.run_with_plugin(m, Some((ep, plugin)));
+        self.run_to(m, ep);
+        self.resume_at(m, ep, Some(plugin));
     }
 
-    fn run_with_plugin(&self, m: &mut Module, mut plugin: Option<(ExtensionPoint, &mut dyn ModulePass)>) {
-        let fire = |m: &mut Module, here: ExtensionPoint, plugin: &mut Option<(ExtensionPoint, &mut dyn ModulePass)>| {
-            if let Some((ep, _)) = plugin {
-                if *ep == here {
-                    let (_, pass) = plugin.as_mut().unwrap();
-                    pass.run(m);
-                }
-            }
-        };
+    /// Runs every stage that precedes extension point `ep`, leaving `m` in
+    /// exactly the state a plugin inserted at `ep` would observe.
+    ///
+    /// The module at this point is a reusable *snapshot*: callers may clone
+    /// it and complete compilation any number of times with
+    /// [`Pipeline::resume_at`] under different plugins (or none). The
+    /// evaluation driver in the `bench` crate relies on this to compile the
+    /// shared pipeline prefix once per (program, opt level, extension
+    /// point) instead of once per sweep cell.
+    pub fn run_to(&self, m: &mut Module, ep: ExtensionPoint) {
+        if self.opt == OptLevel::O0 {
+            // No optimization: there is nothing before any extension point.
+            return;
+        }
+        for stage in 0..=ep_index(ep) {
+            self.run_stage(m, stage);
+        }
+    }
 
-        match self.opt {
-            OptLevel::O0 => {
-                // No optimization; the plugin still runs (any EP behaves the
-                // same way).
-                if let Some((_, pass)) = plugin.as_mut() {
-                    pass.run(m);
-                }
-            }
-            OptLevel::O3 => {
-                // Stage 0: per-function simplification (like clang's
-                // always-on early passes: SROA/mem2reg + cleanup).
-                run_seq(m, &[&SimplifyCfg, &Mem2Reg, &ConstFold, &Dce]);
-                fire(m, ExtensionPoint::ModuleOptimizerEarly, &mut plugin);
-                // Stage 1: inlining + scalar optimizations (like clang, the
-                // inliner runs in the module optimizer, *after* the early
-                // extension point — a key driver of the §5.5 gap).
+    /// Completes a pipeline previously advanced by `run_to(m, ep)`: fires
+    /// `plugin` at `ep` (if any), then runs the remaining stages.
+    ///
+    /// `run_to(m, ep)` followed by `resume_at(m, ep, p)` is exactly
+    /// equivalent to `run_at(m, ep, p)` (or to `run(m)` when `p` is
+    /// `None`, for any `ep`).
+    pub fn resume_at(
+        &self,
+        m: &mut Module,
+        ep: ExtensionPoint,
+        plugin: Option<&mut dyn ModulePass>,
+    ) {
+        if let Some(pass) = plugin {
+            // Under O0 only the plugin runs (any EP behaves the same way).
+            pass.run(m);
+        }
+        if self.opt == OptLevel::O0 {
+            return;
+        }
+        for stage in ep_index(ep) + 1..=LAST_STAGE {
+            self.run_stage(m, stage);
+        }
+    }
+
+    /// Runs one pipeline stage. Stage `i` ends at `ExtensionPoint::ALL[i]`;
+    /// the final stage has no extension point after it.
+    fn run_stage(&self, m: &mut Module, stage: usize) {
+        match stage {
+            // Stage 0: per-function simplification (like clang's always-on
+            // early passes: SROA/mem2reg + cleanup).
+            0 => run_seq(m, &[&SimplifyCfg, &Mem2Reg, &ConstFold, &Dce]),
+            // Stage 1: inlining + scalar optimizations (like clang, the
+            // inliner runs in the module optimizer, *after* the early
+            // extension point — a key driver of the §5.5 gap).
+            1 => {
                 Inline.run(m);
                 run_seq(m, &[&ConstFold, &Gvn, &Dse, &Dce, &SimplifyCfg, &Gvn, &Dce]);
-                fire(m, ExtensionPoint::ScalarOptimizerLate, &mut plugin);
-                // Stage 2: loop optimizations (LICM hoisting + scalar
-                // promotion, completed by a mem2reg round).
-                run_seq(m, &[&Licm, &PromoteLoopScalars, &Mem2Reg, &Gvn, &Dse, &Dce, &SimplifyCfg]);
-                fire(m, ExtensionPoint::VectorizerStart, &mut plugin);
-                // Stage 3: late cleanup (runs after every instrumentation
-                // point, like the LTO-time cleanups in the paper's setup).
-                run_seq(m, &[&ConstFold, &Dce, &SimplifyCfg]);
             }
+            // Stage 2: loop optimizations (LICM hoisting + scalar
+            // promotion, completed by a mem2reg round).
+            2 => {
+                run_seq(m, &[&Licm, &PromoteLoopScalars, &Mem2Reg, &Gvn, &Dse, &Dce, &SimplifyCfg])
+            }
+            // Stage 3: late cleanup (runs after every instrumentation
+            // point, like the LTO-time cleanups in the paper's setup).
+            3 => run_seq(m, &[&ConstFold, &Dce, &SimplifyCfg]),
+            _ => unreachable!("no pipeline stage {stage}"),
         }
     }
 }
+
+/// Index of the stage that ends at `ep` (extension points are in pipeline
+/// order, so this is also the position in [`ExtensionPoint::ALL`]).
+fn ep_index(ep: ExtensionPoint) -> usize {
+    match ep {
+        ExtensionPoint::ModuleOptimizerEarly => 0,
+        ExtensionPoint::ScalarOptimizerLate => 1,
+        ExtensionPoint::VectorizerStart => 2,
+    }
+}
+
+/// The late-cleanup stage, after the last extension point.
+const LAST_STAGE: usize = 3;
 
 fn run_seq(m: &mut Module, passes: &[&dyn FunctionPass]) {
     for pass in passes {
@@ -151,9 +194,7 @@ mod tests {
         m.functions
             .iter()
             .flat_map(|f| {
-                f.blocks
-                    .iter()
-                    .flat_map(|b| b.instrs.iter().map(|&i| &f.instrs[i.index()].kind))
+                f.blocks.iter().flat_map(|b| b.instrs.iter().map(|&i| &f.instrs[i.index()].kind))
             })
             .filter(|k| pred(k))
             .count()
@@ -221,7 +262,11 @@ mod tests {
                 self.loads_seen = m
                     .functions
                     .iter()
-                    .flat_map(|f| f.blocks.iter().flat_map(|b| b.instrs.iter().map(|&i| &f.instrs[i.index()].kind)))
+                    .flat_map(|f| {
+                        f.blocks
+                            .iter()
+                            .flat_map(|b| b.instrs.iter().map(|&i| &f.instrs[i.index()].kind))
+                    })
                     .filter(|k| matches!(k, InstrKind::Load { .. }))
                     .count();
                 false
@@ -239,6 +284,78 @@ mod tests {
         // After mem2reg the loads are gone at both points here, but the
         // early spy must see at least as many loads as the late one.
         assert!(early.loads_seen >= late.loads_seen);
+    }
+
+    #[test]
+    fn split_pipeline_equals_monolithic_run() {
+        // run_to + resume_at with no plugin must reproduce run() exactly,
+        // no matter where the pipeline is split.
+        let mut reference = sample_module();
+        Pipeline::default().run(&mut reference);
+        let want = crate::printer::print_module(&reference);
+        for ep in ExtensionPoint::ALL {
+            let mut m = sample_module();
+            let p = Pipeline::default();
+            p.run_to(&mut m, ep);
+            p.resume_at(&mut m, ep, None);
+            assert_eq!(crate::printer::print_module(&m), want, "split at {}", ep.name());
+        }
+        // Same under O0 (both stages are no-ops without a plugin).
+        let mut reference = sample_module();
+        Pipeline::new(OptLevel::O0).run(&mut reference);
+        let want = crate::printer::print_module(&reference);
+        let mut m = sample_module();
+        let p = Pipeline::new(OptLevel::O0);
+        p.run_to(&mut m, ExtensionPoint::ModuleOptimizerEarly);
+        p.resume_at(&mut m, ExtensionPoint::ModuleOptimizerEarly, None);
+        assert_eq!(crate::printer::print_module(&m), want);
+    }
+
+    #[test]
+    fn snapshot_is_reusable_across_plugins() {
+        // A cloned run_to snapshot completed twice (with and without a
+        // plugin) must match from-scratch compilations — the caching
+        // contract of the evaluation driver.
+        struct AddNote;
+        impl ModulePass for AddNote {
+            fn name(&self) -> &'static str {
+                "add-note"
+            }
+            fn run(&mut self, m: &mut Module) -> bool {
+                // A visible, optimization-surviving change: rename the
+                // module (the printer emits the name).
+                m.name = format!("{}+instrumented", m.name);
+                true
+            }
+        }
+        for ep in ExtensionPoint::ALL {
+            let p = Pipeline::default();
+            let mut snapshot = sample_module();
+            p.run_to(&mut snapshot, ep);
+
+            let mut plain = snapshot.clone();
+            p.resume_at(&mut plain, ep, None);
+            let mut with_plugin = snapshot.clone();
+            p.resume_at(&mut with_plugin, ep, Some(&mut AddNote));
+
+            let mut want_plain = sample_module();
+            p.run(&mut want_plain);
+            let mut want_plugin = sample_module();
+            p.run_at(&mut want_plugin, ep, &mut AddNote);
+
+            assert_eq!(
+                crate::printer::print_module(&plain),
+                crate::printer::print_module(&want_plain),
+                "plain resume at {}",
+                ep.name()
+            );
+            assert_eq!(
+                crate::printer::print_module(&with_plugin),
+                crate::printer::print_module(&want_plugin),
+                "plugin resume at {}",
+                ep.name()
+            );
+        }
     }
 
     #[test]

@@ -15,12 +15,7 @@ pub fn print_module(m: &Module) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "module @{}", m.name);
     for (name, decl) in &m.host_decls {
-        let params = decl
-            .params
-            .iter()
-            .map(|t| t.to_string())
-            .collect::<Vec<_>>()
-            .join(", ");
+        let params = decl.params.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ");
         let eff = match decl.effect {
             Effect::Pure => " pure",
             Effect::ReadOnly => " readonly",

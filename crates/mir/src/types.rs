@@ -256,10 +256,7 @@ mod tests {
     fn display_forms() {
         assert_eq!(Type::Ptr.to_string(), "ptr");
         assert_eq!(Type::array(Type::I8, 4).to_string(), "[4 x i8]");
-        assert_eq!(
-            Type::structure(vec![Type::I32, Type::Ptr]).to_string(),
-            "{ i32, ptr }"
-        );
+        assert_eq!(Type::structure(vec![Type::I32, Type::Ptr]).to_string(), "{ i32, ptr }");
     }
 
     #[test]

@@ -45,9 +45,13 @@ pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
     let mut names = BTreeSet::new();
     for f in &m.functions {
         if !names.insert(f.name.clone()) {
-            return Err(VerifyError { function: None, message: format!("duplicate function @{}", f.name) });
+            return Err(VerifyError {
+                function: None,
+                message: format!("duplicate function @{}", f.name),
+            });
         }
-        verify_function(m, f).map_err(|msg| VerifyError { function: Some(f.name.clone()), message: msg })?;
+        verify_function(m, f)
+            .map_err(|msg| VerifyError { function: Some(f.name.clone()), message: msg })?;
     }
     Ok(())
 }
@@ -175,14 +179,18 @@ fn verify_function(m: &Module, f: &Function) -> Result<(), String> {
                     for (pred, op) in incoming {
                         let opty = f.operand_type(op);
                         if opty != *ty && !matches!(op, Operand::Undef(_)) {
-                            return Err(format!("phi {iid} incoming from {pred} has type {opty}, expected {ty}"));
+                            return Err(format!(
+                                "phi {iid} incoming from {pred} has type {opty}, expected {ty}"
+                            ));
                         }
                         // Phi uses are checked at the end of the incoming block.
                         if let Operand::Val(v) = op {
                             if cfg.is_reachable(*pred)
                                 && !dominates_use(*v, *pred, f.blocks[pred.index()].instrs.len())
                             {
-                                return Err(format!("phi {iid} operand {v} does not dominate edge from {pred}"));
+                                return Err(format!(
+                                    "phi {iid} operand {v} does not dominate edge from {pred}"
+                                ));
                             }
                         }
                     }
@@ -196,7 +204,9 @@ fn verify_function(m: &Module, f: &Function) -> Result<(), String> {
                         }
                         if let Operand::Val(v) = op {
                             if !dominates_use(*v, bid, pos) {
-                                err = Some(format!("use of {v} at {bid}:{pos} not dominated by its definition"));
+                                err = Some(format!(
+                                    "use of {v} at {bid}:{pos} not dominated by its definition"
+                                ));
                             }
                         }
                     });
@@ -309,23 +319,40 @@ fn verify_instr_types(m: &Module, f: &Function, kind: &InstrKind) -> Result<(), 
         InstrKind::Call { callee, args, ret } => {
             if let Some((_, callee_f)) = m.function_by_name(callee) {
                 if callee_f.params.len() != args.len() {
-                    return Err(format!("call to @{callee} with {} args, expected {}", args.len(), callee_f.params.len()));
+                    return Err(format!(
+                        "call to @{callee} with {} args, expected {}",
+                        args.len(),
+                        callee_f.params.len()
+                    ));
                 }
                 if callee_f.ret_ty != *ret {
-                    return Err(format!("call to @{callee} annotated {ret}, function returns {}", callee_f.ret_ty));
+                    return Err(format!(
+                        "call to @{callee} annotated {ret}, function returns {}",
+                        callee_f.ret_ty
+                    ));
                 }
                 for (arg, param) in args.iter().zip(&callee_f.params) {
                     let at = ty_of(arg);
                     if at != param.ty && !matches!(arg, Operand::Undef(_)) {
-                        return Err(format!("call to @{callee}: arg type {at} does not match param {}", param.ty));
+                        return Err(format!(
+                            "call to @{callee}: arg type {at} does not match param {}",
+                            param.ty
+                        ));
                     }
                 }
             } else if let Some(decl) = m.host_decls.get(callee) {
                 if decl.params.len() != args.len() {
-                    return Err(format!("host call @{callee} with {} args, expected {}", args.len(), decl.params.len()));
+                    return Err(format!(
+                        "host call @{callee} with {} args, expected {}",
+                        args.len(),
+                        decl.params.len()
+                    ));
                 }
                 if decl.ret != *ret {
-                    return Err(format!("host call @{callee} annotated {ret}, declared {}", decl.ret));
+                    return Err(format!(
+                        "host call @{callee} annotated {ret}, declared {}",
+                        decl.ret
+                    ));
                 }
             } else {
                 return Err(format!("call to undeclared callee @{callee}"));
@@ -373,7 +400,9 @@ fn verify_terminator(
         Terminator::Ret(op) => {
             match (op, &f.ret_ty) {
                 (None, Type::Void) => {}
-                (None, other) => return Err(format!("ret without value in function returning {other}")),
+                (None, other) => {
+                    return Err(format!("ret without value in function returning {other}"))
+                }
                 (Some(_), Type::Void) => return Err("ret with value in void function".into()),
                 (Some(v), want) => {
                     let vt = f.operand_type(v);
@@ -485,7 +514,8 @@ mod tests {
         fb.br(next);
         fb.switch_to(next);
         // Phi claims an incoming edge from a non-predecessor.
-        let v = fb.phi(Type::I64, vec![(BlockId::new(0), Operand::i64(1)), (next, Operand::i64(2))]);
+        let v =
+            fb.phi(Type::I64, vec![(BlockId::new(0), Operand::i64(1)), (next, Operand::i64(2))]);
         fb.ret(Some(v));
         fb.finish();
         let err = verify_module(&mb.finish()).unwrap_err();

@@ -98,9 +98,7 @@ impl MetadataTrie {
 
 impl std::fmt::Debug for MetadataTrie {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MetadataTrie")
-            .field("secondary_tables", &self.secondary_tables)
-            .finish()
+        f.debug_struct("MetadataTrie").field("secondary_tables", &self.secondary_tables).finish()
     }
 }
 

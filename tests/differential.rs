@@ -1,0 +1,144 @@
+//! Differential testing over `tests/corpus/` through the `evald` driver.
+//!
+//! The corpus harness (`tests/corpus.rs`) asserts per-configuration
+//! *verdicts*. This suite asserts something stronger: semantics
+//! preservation. For every corpus program, the driver runs a matrix of
+//!
+//! * baseline at `O0` and `O3`,
+//! * SoftBound and Low-Fat at `O0` and at all three `O3` extension points,
+//!
+//! off a single cached frontend module per program, and demands that every
+//! configuration under which a memory-safe program completes produces
+//! byte-identical printed output and the same return value. Instrumented
+//! and optimized builds may only *detect more*, never *compute different
+//! answers*.
+//!
+//! Programs with expected violations are still swept across the full
+//! matrix (the driver must never panic on them — traps become cells), but
+//! their outputs are exempt from the byte-comparison: a program with
+//! undefined behaviour has no single correct output across optimization
+//! levels.
+
+use bench::driver::{Driver, JobConfig, Program};
+use meminstrument::runtime::BuildOptions;
+use meminstrument::{Mechanism, MiConfig};
+use mir::pipeline::{ExtensionPoint, OptLevel};
+
+/// The differential matrix: 2 baselines + 2 mechanisms × (O0 + 3×O3) = 10
+/// configurations per program.
+fn differential_configs() -> Vec<JobConfig> {
+    let o0 = BuildOptions { opt: OptLevel::O0, ..BuildOptions::default() };
+    let mut configs = vec![JobConfig::baseline_with(o0), JobConfig::baseline()];
+    for mech in [Mechanism::SoftBound, Mechanism::LowFat] {
+        configs.push(JobConfig::with(MiConfig::new(mech), o0));
+        for ep in ExtensionPoint::ALL {
+            configs.push(JobConfig::with(
+                MiConfig::new(mech),
+                BuildOptions { ep, ..BuildOptions::default() },
+            ));
+        }
+    }
+    configs
+}
+
+/// A corpus program is "safe" iff no CHECK line expects a violation or a
+/// segfault under any configuration.
+fn is_safe(src: &str) -> bool {
+    !src.lines().any(|l| {
+        let l = l.trim();
+        l.starts_with("// CHECK ") && (l.contains("violation") || l.contains("segfault"))
+    })
+}
+
+fn corpus() -> Vec<(Program, bool)> {
+    let dir = format!("{}/tests/corpus", env!("CARGO_MANIFEST_DIR"));
+    let mut paths: Vec<_> = std::fs::read_dir(&dir)
+        .expect("corpus directory")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "c"))
+        .collect();
+    paths.sort();
+    assert!(paths.len() >= 30, "corpus shrank to {}", paths.len());
+    paths
+        .iter()
+        .map(|p| {
+            let source = std::fs::read_to_string(p).unwrap();
+            let safe = is_safe(&source);
+            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            (Program { name, source }, safe)
+        })
+        .collect()
+}
+
+#[test]
+fn corpus_differential() {
+    let programs = corpus();
+    let configs = differential_configs();
+    let n_configs = configs.len();
+    let driver = Driver::new(programs.iter().map(|(p, _)| p.clone()).collect(), configs);
+    let report = driver.run();
+
+    // Full coverage: every corpus file × every configuration is a cell.
+    assert_eq!(report.cells.len(), programs.len() * n_configs);
+    // The frontend ran exactly once per corpus file.
+    assert_eq!(report.cache.frontend_compiles, programs.len() as u64);
+
+    let mut failures = vec![];
+    for (prog, safe) in &programs {
+        let cells: Vec<_> = report.cells.iter().filter(|c| c.program == prog.name).collect();
+        assert_eq!(cells.len(), n_configs, "{}: missing cells", prog.name);
+        if !safe {
+            continue;
+        }
+        // Memory-safe program: every configuration must complete, and all
+        // of them must agree byte-for-byte.
+        let reference = match &cells[0].outcome {
+            Ok(ok) => ok,
+            Err(t) => {
+                failures.push(format!("{} [{}]: trapped: {t}", prog.name, cells[0].config));
+                continue;
+            }
+        };
+        for cell in &cells[1..] {
+            match &cell.outcome {
+                Err(t) => {
+                    failures.push(format!("{} [{}]: trapped: {t}", prog.name, cell.config));
+                }
+                Ok(ok) => {
+                    if ok.output != reference.output {
+                        failures.push(format!(
+                            "{} [{}]: output diverges from [{}]:\n  {:?}\nvs\n  {:?}",
+                            prog.name, cell.config, cells[0].config, ok.output, reference.output
+                        ));
+                    }
+                    if ok.ret != reference.ret {
+                        failures.push(format!(
+                            "{} [{}]: ret {:?} != {:?} of [{}]",
+                            prog.name, cell.config, ok.ret, reference.ret, cells[0].config
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} differential mismatches:\n  {}",
+        failures.len(),
+        failures.join("\n  ")
+    );
+}
+
+/// The report over the corpus is independent of the worker count — the
+/// tentpole's determinism guarantee, exercised on real (partly trapping)
+/// inputs rather than synthetic ones.
+#[test]
+fn corpus_report_is_scheduling_independent() {
+    // A slice of the corpus keeps this affordable in debug runs; the full
+    // matrix identity is covered per-program by `corpus_differential`.
+    let programs: Vec<Program> = corpus().into_iter().take(6).map(|(p, _)| p).collect();
+    let configs = differential_configs();
+    let r1 = Driver::new(programs.clone(), configs.clone()).with_jobs(1).run();
+    let r4 = Driver::new(programs, configs).with_jobs(4).run();
+    assert_eq!(r1.to_json(false), r4.to_json(false));
+}

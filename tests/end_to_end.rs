@@ -189,8 +189,8 @@ fn geninvariants_mode_never_reports_deref_violations() {
     for mech in [Mechanism::SoftBound, Mechanism::LowFat] {
         let mut cfg = MiConfig::new(mech);
         cfg.mode = MiMode::GenInvariantsOnly;
-        let r = compile(module.clone(), &cfg, BuildOptions::default())
-            .run_main(VmConfig::default());
+        let r =
+            compile(module.clone(), &cfg, BuildOptions::default()).run_main(VmConfig::default());
         assert!(r.is_ok(), "{mech:?}: {r:?}");
     }
 }
@@ -286,8 +286,8 @@ fn wrapper_checks_catch_overflowing_memcpy() {
         // Enabled: the destination range check fires.
         let mut cfg = MiConfig::new(mech);
         cfg.sb_wrapper_checks = true;
-        let on = compile(module.clone(), &cfg, BuildOptions::default())
-            .run_main(VmConfig::default());
+        let on =
+            compile(module.clone(), &cfg, BuildOptions::default()).run_main(VmConfig::default());
         assert!(
             matches!(on, Err(Trap::MemSafetyViolation { .. })),
             "{mech:?} with wrapper checks: {on:?}"
