@@ -18,7 +18,7 @@
 //!    execution) next to the existing [`InstrStats`]/[`VmStats`] and can
 //!    serialize everything into a machine-readable JSON report with a
 //!    stable schema and deterministic ordering (`schema` =
-//!    `"evald-report/1"`).
+//!    `"evald-report/2"`).
 //!
 //! Determinism contract: with timings excluded, the report is
 //! byte-identical no matter how many worker threads ran the sweep — cell
@@ -124,6 +124,59 @@ pub struct CellOk {
     pub instr: InstrStats,
 }
 
+/// Coarse classification of a trap, preserved in structured form so
+/// differential oracles (the corpus suite, the `fuzz` crate) can tell an
+/// *instrumentation verdict* from a raw fault without parsing display
+/// strings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TrapKind {
+    /// A mechanism reported a memory-safety violation (named mechanism).
+    Violation(String),
+    /// A hardware-level fault: unmapped access ("segfault").
+    Segfault,
+    /// Anything else (cost limit, div-by-zero, abort, ...).
+    Other,
+}
+
+impl TrapKind {
+    /// Stable lower-case name used in the JSON report.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TrapKind::Violation(_) => "violation",
+            TrapKind::Segfault => "segfault",
+            TrapKind::Other => "other",
+        }
+    }
+}
+
+/// A trapped cell: the classification plus the trap's display string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellTrap {
+    /// What kind of trap this was.
+    pub kind: TrapKind,
+    /// The trap's human-readable rendering (what `evald-report/1` used to
+    /// carry as its whole `trap` field).
+    pub message: String,
+}
+
+impl CellTrap {
+    /// Classifies a VM trap.
+    pub fn from_trap(trap: &memvm::interp::Trap) -> CellTrap {
+        use memvm::interp::Trap;
+        let kind = match trap {
+            Trap::MemSafetyViolation { mechanism, .. } => TrapKind::Violation(mechanism.clone()),
+            Trap::UnmappedAccess { .. } => TrapKind::Segfault,
+            _ => TrapKind::Other,
+        };
+        CellTrap { kind, message: trap.to_string() }
+    }
+
+    /// Whether this trap is a memory-safety violation report.
+    pub fn is_violation(&self) -> bool {
+        matches!(self.kind, TrapKind::Violation(_))
+    }
+}
+
 /// One cell of the completed sweep.
 #[derive(Clone, Debug)]
 pub struct CellResult {
@@ -131,8 +184,8 @@ pub struct CellResult {
     pub program: String,
     /// Configuration label (see [`JobConfig::label`]).
     pub config: String,
-    /// Execution outcome; `Err` carries the trap display string.
-    pub outcome: Result<CellOk, String>,
+    /// Execution outcome; `Err` carries the classified trap.
+    pub outcome: Result<CellOk, CellTrap>,
     /// Wall-clock spent in this cell's stages (the frontend/pipeline
     /// portions are the shared cached stages, attributed to every cell
     /// that consumed them).
@@ -145,7 +198,7 @@ impl CellResult {
     pub fn ok(&self) -> &CellOk {
         match &self.outcome {
             Ok(ok) => ok,
-            Err(t) => panic!("{} [{}] trapped: {t}", self.program, self.config),
+            Err(t) => panic!("{} [{}] trapped: {}", self.program, self.config, t.message),
         }
     }
 }
@@ -225,14 +278,14 @@ impl Report {
             .ok()
     }
 
-    /// Serializes the report as JSON (schema `evald-report/1`).
+    /// Serializes the report as JSON (schema `evald-report/2`).
     ///
     /// Key order and cell order are fixed, so two reports over the same
     /// matrix are byte-identical regardless of worker count — unless
     /// `include_timings` adds the (run-dependent) wall-clock section.
     pub fn to_json(&self, include_timings: bool) -> String {
         let mut out = String::with_capacity(64 * 1024);
-        out.push_str("{\n  \"schema\": \"evald-report/1\",\n");
+        out.push_str("{\n  \"schema\": \"evald-report/2\",\n");
         let _ = writeln!(out, "  \"programs\": {},", json_str_array(&self.programs));
         let _ = writeln!(out, "  \"configs\": {},", json_str_array(&self.configs));
         let c = &self.cache;
@@ -282,7 +335,12 @@ impl Report {
                     );
                 }
                 Err(t) => {
-                    let _ = write!(out, ", \"ok\": false, \"trap\": {}", json_str(t));
+                    let _ = write!(
+                        out,
+                        ", \"ok\": false, \"trap_kind\": {}, \"trap\": {}",
+                        json_str(t.kind.name()),
+                        json_str(&t.message)
+                    );
                 }
             }
             if include_timings {
@@ -407,7 +465,7 @@ impl Driver {
                     stats: out.stats,
                     instr: prog.stats.clone(),
                 }),
-                Err(trap) => Err(trap.to_string()),
+                Err(trap) => Err(CellTrap::from_trap(&trap)),
             };
             let execution = t.elapsed();
 
@@ -453,7 +511,11 @@ impl Driver {
 /// input order in the result. Workers pull indices from a shared atomic
 /// counter; a generous stack accommodates the interpreter's recursion on
 /// deeply recursive benchmark programs in debug builds.
-fn par_map<T: Sync, R: Send>(
+///
+/// Public because other deterministic sweeps (the `fuzz` crate's per-case
+/// parallelism) reuse it: results land in input order, so the caller's
+/// output is independent of scheduling.
+pub fn par_map<T: Sync, R: Send>(
     jobs: usize,
     items: &[T],
     f: impl Fn(usize, &T) -> R + Sync,

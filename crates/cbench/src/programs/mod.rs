@@ -12,22 +12,13 @@ pub fn all() -> Vec<Benchmark> {
     v
 }
 
-/// The deterministic xorshift-style PRNG shared by the benchmark sources
-/// (embedded in each program; exposed here for tests that recompute
-/// expected workloads).
-pub fn prng_next(seed: &mut i64) -> i64 {
-    *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-    (*seed >> 33) & 0x7FFF_FFFF
-}
+/// The deterministic PRNG shared by the benchmark sources (embedded in
+/// each program; the host-side mirror lives in [`testutil`] so every
+/// randomized harness in the workspace shares one implementation).
+pub use testutil::minic_prng_next as prng_next;
 
 /// The PRNG as mini-C source, textually included in benchmark programs.
-pub const PRNG_C: &str = r#"
-long __seed = 88172645463325252;
-long rnd(void) {
-    __seed = __seed * 6364136223846793005 + 1442695040888963407;
-    return (__seed >> 33) & 0x7FFFFFFF;
-}
-"#;
+pub use testutil::MINIC_PRNG_C as PRNG_C;
 
 #[cfg(test)]
 mod tests {

@@ -178,7 +178,13 @@ impl Env {
         let vp = CType::Void.ptr_to();
         funcs.insert("malloc".into(), (vec![CType::Long], vp.clone()));
         funcs.insert("calloc".into(), (vec![CType::Long, CType::Long], vp.clone()));
-        funcs.insert("free".into(), (vec![vp], CType::Void));
+        funcs.insert("free".into(), (vec![vp.clone()], CType::Void));
+        // memcpy/memset lower to the mir intrinsics (not host calls), the
+        // same instructions struct assignment produces — so user-level
+        // bulk copies get the paper's memcpy metadata-propagation
+        // treatment (§4.5) instead of looking like opaque library calls.
+        funcs.insert("memcpy".into(), (vec![vp.clone(), vp.clone(), CType::Long], CType::Void));
+        funcs.insert("memset".into(), (vec![vp, CType::Long, CType::Long], CType::Void));
         funcs.insert("print_i64".into(), (vec![CType::Long], CType::Void));
         funcs.insert("print_f64".into(), (vec![CType::Double], CType::Void));
         funcs.insert("abort".into(), (vec![], CType::Void));
@@ -543,6 +549,21 @@ impl FnCg<'_, '_> {
                     let v = self.rvalue(a)?;
                     let v = self.convert(v, pt, line)?;
                     ops.push(v.op);
+                }
+                // Intrinsics with dedicated mir instructions.
+                if name == "memcpy" {
+                    let len = ops.pop().unwrap();
+                    let src = ops.pop().unwrap();
+                    let dst = ops.pop().unwrap();
+                    self.fb.memcpy(dst, src, len);
+                    return Ok(TV { op: Operand::i64(0), ty: CType::Void });
+                }
+                if name == "memset" {
+                    let len = ops.pop().unwrap();
+                    let byte = ops.pop().unwrap();
+                    let dst = ops.pop().unwrap();
+                    self.fb.memset(dst, byte, len);
+                    return Ok(TV { op: Operand::i64(0), ty: CType::Void });
                 }
                 let rmty = self.env.mty(&ret, line)?;
                 let r = self.fb.call(name.clone(), rmty, ops);

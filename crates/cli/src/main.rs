@@ -13,6 +13,14 @@
 //!                               variants × extension points) through the
 //!                               parallel cached evaluation driver; with no
 //!                               files, sweeps the built-in benchmark suite
+//! mi fuzz  [--seed S] [--cases N] [--jobs N] [--fail-dir DIR]
+//!          [--no-shrink] [--replay IDX]
+//!                               generative differential fuzzing: run N
+//!                               (safe, mutant) cases through the
+//!                               14-configuration oracle matrix; exits 1 on
+//!                               any false positive/negative, writing
+//!                               minimized repros to --fail-dir. --replay
+//!                               re-runs a single case verbosely.
 //!
 //! options:
 //!   --mech softbound|lowfat|redzone|none    mechanism (default softbound)
@@ -34,6 +42,8 @@ use mir::pipeline::{ExtensionPoint, OptLevel};
 fn usage() -> ExitCode {
     eprintln!("usage: mi <run|ir|check|stats> <file.c> [options]");
     eprintln!("       mi eval [file.c ...] [--jobs N] [--out report.json] [--timings]");
+    eprintln!("       mi fuzz [--seed S] [--cases N] [--jobs N] [--fail-dir DIR]");
+    eprintln!("               [--no-shrink] [--replay IDX]");
     eprintln!("       (see `crates/cli/src/main.rs` header for options)");
     ExitCode::from(2)
 }
@@ -249,7 +259,7 @@ fn cmd_stats(path: &str, o: &Options) -> ExitCode {
 
 /// `mi eval`: the full paper sweep through the parallel cached driver.
 ///
-/// Writes the `evald-report/1` JSON to `--out` (or stdout) and a one-line
+/// Writes the `evald-report/2` JSON to `--out` (or stdout) and a one-line
 /// summary per stage to stderr. Without `--timings` the JSON is
 /// byte-identical for any `--jobs` value.
 fn cmd_eval(args: &[String]) -> ExitCode {
@@ -344,6 +354,73 @@ fn cmd_eval(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `mi fuzz`: the generative differential fuzzer (see `crates/fuzz`).
+///
+/// The report on stdout is deterministic for a given `(--seed, --cases)`
+/// pair — byte-identical across reruns and `--jobs` values. Exit code 0
+/// means every case matched the guarantee matrix; 1 means at least one
+/// false positive or false negative (minimized repros go to `--fail-dir`).
+fn cmd_fuzz(args: &[String]) -> ExitCode {
+    let mut opts = fuzz::FuzzOpts::default();
+    let mut replay: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut num = |name: &str| -> Result<u64, String> {
+            it.next().and_then(|s| s.parse().ok()).ok_or_else(|| format!("{name} expects a number"))
+        };
+        match a.as_str() {
+            "--seed" => match num("--seed") {
+                Ok(n) => opts.seed = n,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--cases" | "-n" => match num("--cases") {
+                Ok(n) => opts.cases = n,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--jobs" | "-j" => match num("--jobs") {
+                Ok(n) => opts.jobs = n.max(1) as usize,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--replay" => match num("--replay") {
+                Ok(n) => replay = Some(n),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--fail-dir" => match it.next() {
+                Some(p) => opts.fail_dir = Some(std::path::PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --fail-dir expects a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--no-shrink" => opts.shrink = false,
+            other => {
+                eprintln!("error: unknown fuzz option {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(index) = replay {
+        let (text, failed) = fuzz::replay(opts.seed, index);
+        print!("{text}");
+        return ExitCode::from(failed as u8);
+    }
+    let report = fuzz::fuzz(&opts);
+    print!("{}", report.render());
+    ExitCode::from(!report.ok() as u8)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = match args.split_first() {
@@ -352,6 +429,9 @@ fn main() -> ExitCode {
     };
     if cmd == "eval" {
         return cmd_eval(rest);
+    }
+    if cmd == "fuzz" {
+        return cmd_fuzz(rest);
     }
     let (path, opt_args) = match rest.split_first() {
         Some((p, o)) if !p.starts_with("--") => (p.as_str(), o),

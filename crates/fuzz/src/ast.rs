@@ -1,0 +1,826 @@
+//! Program representation for the generative fuzzer.
+//!
+//! A [`FuzzProgram`] is a small, structured model of a mini-C program:
+//! a table of memory objects plus a list of statements operating on an
+//! `x` accumulator. The model is *safe by construction* — every access
+//! expressible through [`Stmt`] stays inside its object — and compiles
+//! to C text via [`FuzzProgram::emit_c`]. Violations are never part of
+//! the statement language; they are appended separately from a
+//! [`crate::mutate::Mutation`], which keeps the safe/unsafe boundary
+//! explicit and lets the shrinker delete arbitrary statements without
+//! ever losing the injected bug.
+
+use std::fmt::Write as _;
+
+/// Byte size of the oversized allocation region. Chosen as exactly
+/// 1 GiB: `lowfat::layout::class_for_request(1 << 30)` is `None` (the
+/// one-past-the-end padding byte pushes it over the largest class), so
+/// Low-Fat falls back to the plain allocator and the object is
+/// *unchecked* — the guarantee gap the `OversizedOverflow` mutation
+/// targets.
+pub const OVERSIZED_BYTES: u64 = 1 << 30;
+
+/// Element type of an object's primary array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Elem {
+    /// 1-byte `char`.
+    Char,
+    /// 4-byte `int`.
+    Int,
+    /// 8-byte `long`.
+    Long,
+}
+
+impl Elem {
+    /// Width in bytes.
+    pub fn width(self) -> u64 {
+        match self {
+            Elem::Char => 1,
+            Elem::Int => 4,
+            Elem::Long => 8,
+        }
+    }
+
+    /// C type name.
+    pub fn cname(self) -> &'static str {
+        match self {
+            Elem::Char => "char",
+            Elem::Int => "int",
+            Elem::Long => "long",
+        }
+    }
+
+    /// Mask applied to values stored into this element type, keeping
+    /// every value small, positive, and identical under any sign
+    /// convention.
+    pub fn mask(self) -> i64 {
+        match self {
+            Elem::Char => 63,
+            _ => 255,
+        }
+    }
+}
+
+/// Where an object lives. The region decides both the C declaration and
+/// which allocator (and therefore which protection layout) each
+/// mechanism applies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Region {
+    /// File-scope global.
+    Global,
+    /// `main`-frame array.
+    Stack,
+    /// `malloc`ed.
+    Heap,
+    /// `calloc`ed (zero-initialized; the generator skips the init loop).
+    HeapCalloc,
+    /// A >1 GiB `malloc` that overflows Low-Fat's largest size class.
+    /// Only the first `len` elements are ever touched by safe code.
+    HeapOversized,
+}
+
+impl Region {
+    /// Declaration-name prefix (`g0`, `s1`, `h2`, `c3`, `v4`).
+    pub fn prefix(self) -> char {
+        match self {
+            Region::Global => 'g',
+            Region::Stack => 's',
+            Region::Heap => 'h',
+            Region::HeapCalloc => 'c',
+            Region::HeapOversized => 'v',
+        }
+    }
+
+    /// Whether the object is heap-allocated (declared as a pointer).
+    pub fn is_heap(self) -> bool {
+        matches!(self, Region::Heap | Region::HeapCalloc | Region::HeapOversized)
+    }
+}
+
+/// One memory object of the program.
+#[derive(Clone, Debug)]
+pub struct Obj {
+    /// Element type of the primary array. Struct-wrapped objects
+    /// (`tail.is_some()`) are always `Long` so the layout has no
+    /// padding holes.
+    pub elem: Elem,
+    /// Element count of the primary array. For `HeapOversized` this is
+    /// the small prefix safe code touches, not the allocation size.
+    pub len: u64,
+    /// Allocation region.
+    pub region: Region,
+    /// `Some(t)`: the object is `struct stN { long arr[len]; long tail[t]; }`.
+    /// Struct objects are the substrate for intra-object overflow
+    /// mutations (`arr[len + k]` lands in `tail` — inside the object).
+    pub tail: Option<u64>,
+}
+
+impl Obj {
+    /// Total allocation size in bytes.
+    pub fn size(&self) -> u64 {
+        match (self.region, self.tail) {
+            (Region::HeapOversized, _) => OVERSIZED_BYTES,
+            (_, Some(t)) => {
+                assert_eq!(self.elem, Elem::Long, "struct objects are long-only");
+                (self.len + t) * 8
+            }
+            (_, None) => self.len * self.elem.width(),
+        }
+    }
+
+    /// Declaration name for object index `i`.
+    pub fn name(&self, i: usize) -> String {
+        format!("{}{}", self.region.prefix(), i)
+    }
+
+    /// C expression for element `idx` of the primary array.
+    pub fn access(&self, i: usize, idx: &str) -> String {
+        let n = self.name(i);
+        match (self.tail, self.region.is_heap()) {
+            (None, _) => format!("{n}[{idx}]"),
+            (Some(_), false) => format!("{n}.arr[{idx}]"),
+            (Some(_), true) => format!("{n}->arr[{idx}]"),
+        }
+    }
+
+    /// C expression for element `idx` of the struct tail.
+    pub fn tail_access(&self, i: usize, idx: &str) -> String {
+        let n = self.name(i);
+        if self.region.is_heap() {
+            format!("{n}->tail[{idx}]")
+        } else {
+            format!("{n}.tail[{idx}]")
+        }
+    }
+
+    /// C expression evaluating to a pointer to the first array element
+    /// (the canonical base pointer handed to helper calls).
+    pub fn base(&self, i: usize) -> String {
+        format!("&{}", self.access(i, "0"))
+    }
+}
+
+/// Arithmetic rewrites of the accumulator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `x = x + k`
+    Add,
+    /// `x = x - k`
+    Sub,
+    /// `x = x * k`
+    Mul,
+    /// `x = x ^ k`
+    Xor,
+}
+
+impl ArithOp {
+    fn c(self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Xor => "^",
+        }
+    }
+}
+
+/// A safe-by-construction statement. Indices are object-table indices;
+/// every element index carried here is validated in-bounds by the
+/// generator (and re-checked by [`FuzzProgram::validate`]).
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// `x = x <op> k;`
+    Arith {
+        /// Operator.
+        op: ArithOp,
+        /// Constant operand.
+        k: i64,
+    },
+    /// `obj[idx] = x & mask;`
+    Store {
+        /// Object index.
+        obj: usize,
+        /// In-bounds element index.
+        idx: u64,
+    },
+    /// `x += obj[idx];`
+    Load {
+        /// Object index.
+        obj: usize,
+        /// In-bounds element index.
+        idx: u64,
+    },
+    /// `for (i < len) obj[i] = (i * mul + add) & mask;`
+    LoopFill {
+        /// Object index.
+        obj: usize,
+        /// Per-element multiplier.
+        mul: i64,
+        /// Per-element offset.
+        add: i64,
+    },
+    /// `for (i < len) x += obj[i];`
+    LoopSum {
+        /// Object index.
+        obj: usize,
+    },
+    /// A strided pointer walk over a `long` array:
+    /// `long *wp = &obj[start]; for (count) { x += *wp; wp = wp + step; }`
+    /// The final pointer value is at most one-past-the-end, so Low-Fat's
+    /// escape invariant holds on every iteration.
+    PtrWalk {
+        /// Object index (must be `Long`-element).
+        obj: usize,
+        /// Start element.
+        start: u64,
+        /// Stride in elements.
+        step: u64,
+        /// Iterations; `start + step * count <= len`.
+        count: u64,
+    },
+    /// `long *sp = (x & 1) ? &a[ia] : &b[ib]; x += *sp;` — a
+    /// select-merged pointer whose witness must follow the select.
+    SelectDeref {
+        /// First candidate object (`Long`).
+        a: usize,
+        /// In-bounds index into `a`.
+        ia: u64,
+        /// Second candidate object (`Long`).
+        b: usize,
+        /// In-bounds index into `b`.
+        ib: u64,
+    },
+    /// `long *pp; if (..) pp = &a[ia]; else pp = &b[ib]; x += *pp;` — a
+    /// phi-merged pointer (control-flow join witness).
+    PhiDeref {
+        /// First candidate object (`Long`).
+        a: usize,
+        /// In-bounds index into `a`.
+        ia: u64,
+        /// Second candidate object (`Long`).
+        b: usize,
+        /// In-bounds index into `b`.
+        ib: u64,
+    },
+    /// `long t = (long)&obj[idx]; long *ip = (long*)t; x += *ip;` — an
+    /// inttoptr round-trip (SoftBound assigns wide bounds, §4.4).
+    IntPtr {
+        /// Object index (`Long`).
+        obj: usize,
+        /// In-bounds element index.
+        idx: u64,
+    },
+    /// `x += f_sum(n);` — pure arithmetic helper call.
+    CallSum {
+        /// Loop trip count inside the helper.
+        n: u64,
+    },
+    /// `x += f_peek(&obj[0], idx);` — pointer argument crosses a call.
+    CallPeek {
+        /// Object index (`Long`).
+        obj: usize,
+        /// In-bounds element index.
+        idx: u64,
+    },
+    /// `f_poke(&obj[0], idx, x & 255);` — write through an argument.
+    CallPoke {
+        /// Object index (`Long`).
+        obj: usize,
+        /// In-bounds element index.
+        idx: u64,
+    },
+    /// `x += f_range(&obj[0], n);` — helper loops over a prefix.
+    CallRange {
+        /// Object index (`Long`).
+        obj: usize,
+        /// Prefix length, `n <= len`.
+        n: u64,
+    },
+    /// `x += f_rec(n);` — recursion with a per-frame stack array.
+    CallRec {
+        /// Recursion depth.
+        n: u64,
+    },
+    /// `memcpy(&dst[0], &src[0], n);` — `n` bytes, in-bounds for both.
+    MemCpy {
+        /// Destination object index.
+        dst: usize,
+        /// Source object index (distinct from `dst`).
+        src: usize,
+        /// Byte count, `<=` both accessible sizes.
+        n: u64,
+    },
+    /// `memset(&dst[0], byte, n);` — `n` in-bounds bytes.
+    MemSet {
+        /// Destination object index.
+        dst: usize,
+        /// Fill byte.
+        byte: u8,
+        /// Byte count, `<=` accessible size.
+        n: u64,
+    },
+    /// `obj.tail[idx] = x & 255;` (struct objects only).
+    TailStore {
+        /// Object index (must have a tail).
+        obj: usize,
+        /// In-bounds tail index.
+        idx: u64,
+    },
+    /// `x += obj.tail[idx];` (struct objects only).
+    TailLoad {
+        /// Object index (must have a tail).
+        obj: usize,
+        /// In-bounds tail index.
+        idx: u64,
+    },
+    /// `if ((x & 7) < k) { .. } else { .. }`
+    If {
+        /// Comparison bound in `[1, 8]`.
+        k: u64,
+        /// Taken branch.
+        then_s: Vec<Stmt>,
+        /// Else branch (omitted from the C text when empty).
+        else_s: Vec<Stmt>,
+    },
+    /// `for (iD = 0; iD < n; iD += 1) { .. }`
+    Loop {
+        /// Trip count.
+        n: u64,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+}
+
+/// A complete generated program: objects + statements (+ an optional
+/// injected violation, attached by the mutator).
+#[derive(Clone, Debug)]
+pub struct FuzzProgram {
+    /// Object table; statement indices refer into this.
+    pub objs: Vec<Obj>,
+    /// Body of `main` between the init loops and the checksum epilogue.
+    pub body: Vec<Stmt>,
+    /// Initial accumulator value.
+    pub x0: i64,
+    /// Per-object init-loop parameters `(mul, add)`, same length as
+    /// `objs`.
+    pub init: Vec<(i64, i64)>,
+    /// The injected violation, if this is a mutant.
+    pub mutation: Option<crate::mutate::Mutation>,
+}
+
+/// Which helper functions a program's C text must define.
+#[derive(Default)]
+struct Helpers {
+    sum: bool,
+    peek: bool,
+    poke: bool,
+    range: bool,
+    rec: bool,
+}
+
+impl Helpers {
+    fn scan(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            match s {
+                Stmt::CallSum { .. } => self.sum = true,
+                Stmt::CallPeek { .. } => self.peek = true,
+                Stmt::CallPoke { .. } => self.poke = true,
+                Stmt::CallRange { .. } => self.range = true,
+                Stmt::CallRec { .. } => self.rec = true,
+                Stmt::If { then_s, else_s, .. } => {
+                    self.scan(then_s);
+                    self.scan(else_s);
+                }
+                Stmt::Loop { body, .. } => self.scan(body),
+                _ => {}
+            }
+        }
+    }
+}
+
+impl FuzzProgram {
+    /// Emits the program as mini-C text. Deterministic: the same program
+    /// value always produces byte-identical source.
+    pub fn emit_c(&self, title: &str) -> String {
+        let mut c = String::new();
+        let _ = writeln!(c, "// {title}");
+
+        // Struct declarations.
+        for (i, o) in self.objs.iter().enumerate() {
+            if let Some(t) = o.tail {
+                let _ = writeln!(c, "struct st{i} {{ long arr[{}]; long tail[{t}]; }};", o.len);
+            }
+        }
+
+        // Helper functions (only the ones used).
+        let mut h = Helpers::default();
+        h.scan(&self.body);
+        if let Some(m) = &self.mutation {
+            if m.uses_peek() {
+                h.peek = true;
+            }
+        }
+        if h.sum {
+            c.push_str(
+                "long f_sum(long n) {\n    long s = 0;\n    for (long i = 0; i < n; i += 1) s += i * 3;\n    return s;\n}\n",
+            );
+        }
+        if h.peek {
+            c.push_str("long f_peek(long *p, long i) { return p[i]; }\n");
+        }
+        if h.poke {
+            c.push_str("void f_poke(long *p, long i, long v) { p[i] = v; }\n");
+        }
+        if h.range {
+            c.push_str(
+                "long f_range(long *p, long n) {\n    long s = 0;\n    for (long i = 0; i < n; i += 1) s += p[i];\n    return s;\n}\n",
+            );
+        }
+        if h.rec {
+            c.push_str(
+                "long f_rec(long n) {\n    long t[4];\n    t[n & 3] = n;\n    if (n <= 0) return 0;\n    return t[n & 3] + f_rec(n - 1);\n}\n",
+            );
+        }
+
+        // Globals.
+        for (i, o) in self.objs.iter().enumerate() {
+            if o.region == Region::Global {
+                if o.tail.is_some() {
+                    let _ = writeln!(c, "struct st{i} {};", o.name(i));
+                } else {
+                    let _ = writeln!(c, "{} {}[{}];", o.elem.cname(), o.name(i), o.len);
+                }
+            }
+        }
+
+        c.push_str("long main(void) {\n");
+        let _ = writeln!(c, "    long x = {};", self.x0);
+
+        // Local declarations.
+        for (i, o) in self.objs.iter().enumerate() {
+            let n = o.name(i);
+            let ty = o.elem.cname();
+            match (o.region, o.tail) {
+                (Region::Global, _) => {}
+                (Region::Stack, None) => {
+                    let _ = writeln!(c, "    {ty} {n}[{}];", o.len);
+                }
+                (Region::Stack, Some(_)) => {
+                    let _ = writeln!(c, "    struct st{i} {n};");
+                }
+                (Region::Heap, None) => {
+                    let _ = writeln!(c, "    {ty} *{n} = ({ty}*)malloc({} * sizeof({ty}));", o.len);
+                }
+                (Region::Heap, Some(_)) => {
+                    let _ = writeln!(
+                        c,
+                        "    struct st{i} *{n} = (struct st{i}*)malloc(sizeof(struct st{i}));"
+                    );
+                }
+                (Region::HeapCalloc, _) => {
+                    let _ = writeln!(c, "    {ty} *{n} = ({ty}*)calloc({}, sizeof({ty}));", o.len);
+                }
+                (Region::HeapOversized, _) => {
+                    let _ = writeln!(c, "    {ty} *{n} = ({ty}*)malloc({OVERSIZED_BYTES});");
+                }
+            }
+        }
+
+        // Init loops (calloc objects are already zero).
+        for (i, o) in self.objs.iter().enumerate() {
+            if o.region == Region::HeapCalloc {
+                continue;
+            }
+            let (mul, add) = self.init[i];
+            let _ = writeln!(
+                c,
+                "    for (long i = 0; i < {}; i += 1) {} = (i * {mul} + {add}) & {};",
+                o.len,
+                o.access(i, "i"),
+                o.elem.mask()
+            );
+            if let Some(t) = o.tail {
+                let _ = writeln!(
+                    c,
+                    "    for (long i = 0; i < {t}; i += 1) {} = (i * {add} + {mul}) & 255;",
+                    o.tail_access(i, "i"),
+                );
+            }
+        }
+
+        // Body.
+        for s in &self.body {
+            self.emit_stmt(&mut c, s, 1, 0);
+        }
+
+        // Checksum epilogue: read back every object (weighted so element
+        // order matters), then print the accumulator.
+        c.push_str("    long chk = 0;\n");
+        for (i, o) in self.objs.iter().enumerate() {
+            let _ = writeln!(
+                c,
+                "    for (long i = 0; i < {}; i += 1) chk += {} * (i + 1);",
+                o.len,
+                o.access(i, "i"),
+            );
+            if let Some(t) = o.tail {
+                let _ = writeln!(
+                    c,
+                    "    for (long i = 0; i < {t}; i += 1) chk += {} * (i + 3);",
+                    o.tail_access(i, "i"),
+                );
+            }
+        }
+        c.push_str("    print_i64(chk);\n    print_i64(x);\n");
+
+        // The injected violation, if any, goes last: nothing after it
+        // depends on it except its own liveness print, so the optimizer
+        // cannot reorder it relative to the safe computation.
+        if let Some(m) = &self.mutation {
+            m.emit(&mut c, &self.objs);
+        }
+
+        c.push_str("    return 0;\n}\n");
+        c
+    }
+
+    fn emit_stmt(&self, c: &mut String, s: &Stmt, ind: usize, depth: usize) {
+        let pad = "    ".repeat(ind);
+        match s {
+            Stmt::Arith { op, k } => {
+                let _ = writeln!(c, "{pad}x = x {} {k};", op.c());
+            }
+            Stmt::Store { obj, idx } => {
+                let o = &self.objs[*obj];
+                let _ = writeln!(
+                    c,
+                    "{pad}{} = x & {};",
+                    o.access(*obj, &idx.to_string()),
+                    o.elem.mask()
+                );
+            }
+            Stmt::Load { obj, idx } => {
+                let o = &self.objs[*obj];
+                let _ = writeln!(c, "{pad}x += {};", o.access(*obj, &idx.to_string()));
+            }
+            Stmt::LoopFill { obj, mul, add } => {
+                let o = &self.objs[*obj];
+                let v = format!("i{depth}");
+                let _ = writeln!(
+                    c,
+                    "{pad}for (long {v} = 0; {v} < {}; {v} += 1) {} = ({v} * {mul} + {add}) & {};",
+                    o.len,
+                    o.access(*obj, &v),
+                    o.elem.mask()
+                );
+            }
+            Stmt::LoopSum { obj } => {
+                let o = &self.objs[*obj];
+                let v = format!("i{depth}");
+                let _ = writeln!(
+                    c,
+                    "{pad}for (long {v} = 0; {v} < {}; {v} += 1) x += {};",
+                    o.len,
+                    o.access(*obj, &v)
+                );
+            }
+            Stmt::PtrWalk { obj, start, step, count } => {
+                let o = &self.objs[*obj];
+                let v = format!("i{depth}");
+                let _ = writeln!(c, "{pad}{{");
+                let _ = writeln!(c, "{pad}    long *wp = &{};", o.access(*obj, &start.to_string()));
+                let _ = writeln!(
+                    c,
+                    "{pad}    for (long {v} = 0; {v} < {count}; {v} += 1) {{ x += *wp; wp = wp + {step}; }}"
+                );
+                let _ = writeln!(c, "{pad}}}");
+            }
+            Stmt::SelectDeref { a, ia, b, ib } => {
+                let (oa, ob) = (&self.objs[*a], &self.objs[*b]);
+                let _ = writeln!(c, "{pad}{{");
+                let _ = writeln!(
+                    c,
+                    "{pad}    long *sp = (x & 1) ? &{} : &{};",
+                    oa.access(*a, &ia.to_string()),
+                    ob.access(*b, &ib.to_string())
+                );
+                let _ = writeln!(c, "{pad}    x += *sp;");
+                let _ = writeln!(c, "{pad}}}");
+            }
+            Stmt::PhiDeref { a, ia, b, ib } => {
+                let (oa, ob) = (&self.objs[*a], &self.objs[*b]);
+                let _ = writeln!(c, "{pad}{{");
+                let _ = writeln!(c, "{pad}    long *pp;");
+                let _ = writeln!(
+                    c,
+                    "{pad}    if ((x & 3) > 1) pp = &{}; else pp = &{};",
+                    oa.access(*a, &ia.to_string()),
+                    ob.access(*b, &ib.to_string())
+                );
+                let _ = writeln!(c, "{pad}    x += *pp;");
+                let _ = writeln!(c, "{pad}}}");
+            }
+            Stmt::IntPtr { obj, idx } => {
+                let o = &self.objs[*obj];
+                let _ = writeln!(c, "{pad}{{");
+                let _ =
+                    writeln!(c, "{pad}    long ia = (long)&{};", o.access(*obj, &idx.to_string()));
+                let _ = writeln!(c, "{pad}    long *ip = (long*)ia;");
+                let _ = writeln!(c, "{pad}    x += *ip;");
+                let _ = writeln!(c, "{pad}}}");
+            }
+            Stmt::CallSum { n } => {
+                let _ = writeln!(c, "{pad}x += f_sum({n});");
+            }
+            Stmt::CallPeek { obj, idx } => {
+                let o = &self.objs[*obj];
+                let _ = writeln!(c, "{pad}x += f_peek({}, {idx});", o.base(*obj));
+            }
+            Stmt::CallPoke { obj, idx } => {
+                let o = &self.objs[*obj];
+                let _ = writeln!(c, "{pad}f_poke({}, {idx}, x & 255);", o.base(*obj));
+            }
+            Stmt::CallRange { obj, n } => {
+                let o = &self.objs[*obj];
+                let _ = writeln!(c, "{pad}x += f_range({}, {n});", o.base(*obj));
+            }
+            Stmt::CallRec { n } => {
+                let _ = writeln!(c, "{pad}x += f_rec({n});");
+            }
+            Stmt::MemCpy { dst, src, n } => {
+                let (od, os) = (&self.objs[*dst], &self.objs[*src]);
+                let _ = writeln!(c, "{pad}memcpy({}, {}, {n});", od.base(*dst), os.base(*src));
+            }
+            Stmt::MemSet { dst, byte, n } => {
+                let o = &self.objs[*dst];
+                let _ = writeln!(c, "{pad}memset({}, {byte}, {n});", o.base(*dst));
+            }
+            Stmt::TailStore { obj, idx } => {
+                let o = &self.objs[*obj];
+                let _ = writeln!(c, "{pad}{} = x & 255;", o.tail_access(*obj, &idx.to_string()));
+            }
+            Stmt::TailLoad { obj, idx } => {
+                let o = &self.objs[*obj];
+                let _ = writeln!(c, "{pad}x += {};", o.tail_access(*obj, &idx.to_string()));
+            }
+            Stmt::If { k, then_s, else_s } => {
+                let _ = writeln!(c, "{pad}if ((x & 7) < {k}) {{");
+                for s in then_s {
+                    self.emit_stmt(c, s, ind + 1, depth);
+                }
+                if else_s.is_empty() {
+                    let _ = writeln!(c, "{pad}}}");
+                } else {
+                    let _ = writeln!(c, "{pad}}} else {{");
+                    for s in else_s {
+                        self.emit_stmt(c, s, ind + 1, depth);
+                    }
+                    let _ = writeln!(c, "{pad}}}");
+                }
+            }
+            Stmt::Loop { n, body } => {
+                let v = format!("i{depth}");
+                let _ = writeln!(c, "{pad}for (long {v} = 0; {v} < {n}; {v} += 1) {{");
+                for s in body {
+                    self.emit_stmt(c, s, ind + 1, depth + 1);
+                }
+                let _ = writeln!(c, "{pad}}}");
+            }
+        }
+    }
+
+    /// Structural well-formedness: every index a statement carries is
+    /// in-bounds for its object, every referenced object supports the
+    /// operation. The generator upholds this by construction; the
+    /// shrinker re-validates after every candidate edit.
+    pub fn validate(&self) -> Result<(), String> {
+        assert_eq!(self.init.len(), self.objs.len(), "init table length");
+        validate_stmts(&self.objs, &self.body)
+    }
+}
+
+fn validate_stmts(objs: &[Obj], stmts: &[Stmt]) -> Result<(), String> {
+    for s in stmts {
+        validate_stmt(objs, s)?;
+    }
+    Ok(())
+}
+
+fn validate_stmt(objs: &[Obj], s: &Stmt) -> Result<(), String> {
+    let obj = |i: usize| -> Result<&Obj, String> {
+        objs.get(i).ok_or_else(|| format!("object index {i} out of table"))
+    };
+    let idx_ok = |i: usize, idx: u64| -> Result<(), String> {
+        if idx >= obj(i)?.len {
+            return Err(format!("index {idx} not below len {}", objs[i].len));
+        }
+        Ok(())
+    };
+    let long_only = |i: usize| -> Result<(), String> {
+        if obj(i)?.elem != Elem::Long {
+            return Err(format!("object {i} is not long-element"));
+        }
+        Ok(())
+    };
+    match s {
+        Stmt::Arith { .. } | Stmt::CallSum { .. } | Stmt::CallRec { .. } => Ok(()),
+        Stmt::Store { obj: o, idx } | Stmt::Load { obj: o, idx } => idx_ok(*o, *idx),
+        Stmt::LoopFill { obj: o, .. } | Stmt::LoopSum { obj: o } => obj(*o).map(|_| ()),
+        Stmt::PtrWalk { obj: o, start, step, count } => {
+            long_only(*o)?;
+            if start + step * count > obj(*o)?.len {
+                return Err("pointer walk exits the array".into());
+            }
+            Ok(())
+        }
+        Stmt::SelectDeref { a, ia, b, ib } | Stmt::PhiDeref { a, ia, b, ib } => {
+            long_only(*a)?;
+            long_only(*b)?;
+            idx_ok(*a, *ia)?;
+            idx_ok(*b, *ib)
+        }
+        Stmt::IntPtr { obj: o, idx }
+        | Stmt::CallPeek { obj: o, idx }
+        | Stmt::CallPoke { obj: o, idx } => {
+            long_only(*o)?;
+            idx_ok(*o, *idx)
+        }
+        Stmt::CallRange { obj: o, n } => {
+            long_only(*o)?;
+            if *n > obj(*o)?.len {
+                return Err("range sum exceeds len".into());
+            }
+            Ok(())
+        }
+        Stmt::MemCpy { dst, src, n } => {
+            if dst == src {
+                return Err("memcpy with aliasing operands".into());
+            }
+            let cap = |i: usize| -> Result<u64, String> {
+                let o = obj(i)?;
+                Ok(o.len * o.elem.width())
+            };
+            if *n > cap(*dst)?.min(cap(*src)?) {
+                return Err("memcpy length exceeds an operand".into());
+            }
+            Ok(())
+        }
+        Stmt::MemSet { dst, n, .. } => {
+            let o = obj(*dst)?;
+            if *n > o.len * o.elem.width() {
+                return Err("memset length exceeds object".into());
+            }
+            Ok(())
+        }
+        Stmt::TailStore { obj: o, idx } | Stmt::TailLoad { obj: o, idx } => match obj(*o)?.tail {
+            Some(t) if *idx < t => Ok(()),
+            Some(t) => Err(format!("tail index {idx} not below {t}")),
+            None => Err(format!("object {o} has no tail")),
+        },
+        Stmt::If { then_s, else_s, .. } => {
+            validate_stmts(objs, then_s)?;
+            validate_stmts(objs, else_s)
+        }
+        Stmt::Loop { body, .. } => validate_stmts(objs, body),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> FuzzProgram {
+        FuzzProgram {
+            objs: vec![Obj { elem: Elem::Long, len: 4, region: Region::Global, tail: None }],
+            body: vec![
+                Stmt::Arith { op: ArithOp::Add, k: 3 },
+                Stmt::Store { obj: 0, idx: 2 },
+                Stmt::Load { obj: 0, idx: 2 },
+            ],
+            x0: 7,
+            init: vec![(3, 1)],
+            mutation: None,
+        }
+    }
+
+    #[test]
+    fn emission_is_deterministic() {
+        let p = tiny();
+        assert_eq!(p.emit_c("t"), p.emit_c("t"));
+        assert!(p.emit_c("t").contains("long g0[4];"));
+    }
+
+    #[test]
+    fn validate_rejects_oob_index() {
+        let mut p = tiny();
+        p.body.push(Stmt::Load { obj: 0, idx: 4 });
+        assert!(p.validate().is_err());
+        assert!(tiny().validate().is_ok());
+    }
+
+    #[test]
+    fn oversized_object_overflows_lowfat_classes() {
+        assert!(lowfat::layout::class_for_request(OVERSIZED_BYTES).is_none());
+        assert!(lowfat::layout::class_for_request(OVERSIZED_BYTES / 2).is_some());
+    }
+}

@@ -1,0 +1,519 @@
+//! The violation-injecting mutator and its expected-verdict model.
+//!
+//! A mutation appends exactly one labelled out-of-bounds access to the
+//! end of a safe program (after the checksum epilogue, so the optimizer
+//! cannot mix it into the safe computation and the safe prefix behaves
+//! identically in the safe and mutant builds). For every mutation the
+//! mutator *predicts* what each mechanism must do, from the mechanisms'
+//! own layout math:
+//!
+//! * **SoftBound** keeps exact per-pointer bounds `[0, size)`: it must
+//!   catch any access interval leaving the allocation — except through
+//!   `memcpy`/`memset`, whose wrapper checks are off by default
+//!   (§5.1.2).
+//! * **Low-Fat** checks against the power-of-two size class
+//!   (`lowfat::layout::class_for_request`): accesses inside the class
+//!   padding are tolerated, anything beyond (or any underflow, which
+//!   wraps the unsigned offset) traps. Requests over the largest class
+//!   fall back to the plain allocator and are unchecked. No
+//!   `memcpy`/`memset` checks.
+//! * **RedZone** only sees the 16-byte guard zones around the
+//!   16-rounded object: an access overlapping a zone traps (including
+//!   via `memcpy`/`memset` — ASan-style interceptors), anything that
+//!   jumps past it is missed.
+//!
+//! The oracle then *tests the prediction*: a mechanism catching less is
+//! a false negative (broken guarantee), catching more is a false
+//! positive (broken usability). Either way the model — this file — and
+//! the implementation are out of sync, which is exactly what the fuzzer
+//! exists to detect.
+
+use std::fmt::Write as _;
+
+use crate::ast::{Elem, FuzzProgram, Obj, Region};
+use testutil::Rng;
+
+/// What a mechanism is expected to do with a mutation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Expect {
+    /// The mechanism must report a violation (in all four of its
+    /// configurations: O0 and every O3 extension point).
+    Caught,
+    /// The mechanism must *not* report a violation. The access may
+    /// still land in unmapped memory and segfault — that is the
+    /// documented guarantee gap, not a mechanism report.
+    Missed,
+}
+
+impl Expect {
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Expect::Caught => "caught",
+            Expect::Missed => "missed",
+        }
+    }
+}
+
+/// Expected verdicts per mechanism.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Verdicts {
+    /// SoftBound.
+    pub sb: Expect,
+    /// Low-Fat Pointers.
+    pub lf: Expect,
+    /// Red zones.
+    pub rz: Expect,
+}
+
+impl Verdicts {
+    /// The expectation for a mechanism by its `Mechanism::name()` string.
+    pub fn for_mech(&self, name: &str) -> Expect {
+        match name {
+            "softbound" => self.sb,
+            "lowfat" => self.lf,
+            "redzone" => self.rz,
+            other => panic!("unknown mechanism {other}"),
+        }
+    }
+
+    /// `sb=caught lf=missed rz=caught` display form.
+    pub fn summary(&self) -> String {
+        format!("sb={} lf={} rz={}", self.sb.name(), self.lf.name(), self.rz.name())
+    }
+}
+
+/// The mutation catalogue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MutKind {
+    /// `obj[len]` read — one element past the end.
+    OffByOneRead,
+    /// `obj[len] = x` — one element past the end.
+    OffByOneWrite,
+    /// An 8-byte read through a `long*` placed 4 bytes before the end:
+    /// the access *starts* in bounds and *widens* out.
+    WideRead,
+    /// An in-bounds base pointer escapes into a helper call which
+    /// dereferences it out of bounds — the check fires in a different
+    /// function than the allocation.
+    EscapeDeref,
+    /// A read past the red zone: the first element entirely *behind*
+    /// the trailing guard zone. Red zones are structurally blind to it.
+    GuardJump,
+    /// Read from bytes `[-8, 0)` — inside the leading red zone.
+    UnderflowNear,
+    /// Read from bytes `[-48, -40)` — beyond the leading red zone.
+    UnderflowFar,
+    /// Intra-object overflow: `obj.arr[len + k]` lands in `obj.tail`.
+    /// Inside the allocation — invisible to every whole-object
+    /// mechanism (Appendix B).
+    IntraObject,
+    /// An access far beyond a >1 GiB allocation, which no Low-Fat size
+    /// class can represent.
+    OversizedOverflow,
+    /// `memset` crossing the object end: no SoftBound/Low-Fat wrapper
+    /// checks by default, but red zones intercept it.
+    MemsetPastEnd,
+}
+
+/// All catalogue entries, in stable order.
+pub const ALL_KINDS: [MutKind; 10] = [
+    MutKind::OffByOneRead,
+    MutKind::OffByOneWrite,
+    MutKind::WideRead,
+    MutKind::EscapeDeref,
+    MutKind::GuardJump,
+    MutKind::UnderflowNear,
+    MutKind::UnderflowFar,
+    MutKind::IntraObject,
+    MutKind::OversizedOverflow,
+    MutKind::MemsetPastEnd,
+];
+
+impl MutKind {
+    /// Stable kebab-case name (report keys, repro file names).
+    pub fn name(self) -> &'static str {
+        match self {
+            MutKind::OffByOneRead => "off-by-one-read",
+            MutKind::OffByOneWrite => "off-by-one-write",
+            MutKind::WideRead => "wide-read",
+            MutKind::EscapeDeref => "escape-deref",
+            MutKind::GuardJump => "guard-jump",
+            MutKind::UnderflowNear => "underflow-near",
+            MutKind::UnderflowFar => "underflow-far",
+            MutKind::IntraObject => "intra-object",
+            MutKind::OversizedOverflow => "oversized-overflow",
+            MutKind::MemsetPastEnd => "memset-past-end",
+        }
+    }
+
+    /// Whether `obj` can host this mutation.
+    fn eligible(self, o: &Obj) -> bool {
+        match self {
+            MutKind::OffByOneRead
+            | MutKind::OffByOneWrite
+            | MutKind::WideRead
+            | MutKind::GuardJump
+            | MutKind::MemsetPastEnd => o.tail.is_none() && o.region != Region::HeapOversized,
+            MutKind::EscapeDeref | MutKind::UnderflowNear | MutKind::UnderflowFar => {
+                o.elem == Elem::Long && o.tail.is_none() && o.region != Region::HeapOversized
+            }
+            MutKind::IntraObject => o.tail.is_some(),
+            MutKind::OversizedOverflow => o.region == Region::HeapOversized,
+        }
+    }
+}
+
+/// One injected violation: the kind, the object it targets, a
+/// kind-specific parameter, and the predicted verdicts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mutation {
+    /// Catalogue entry.
+    pub kind: MutKind,
+    /// Target object (index into the program's object table).
+    pub obj: usize,
+    /// Kind-specific parameter (extra element offset for
+    /// `EscapeDeref`/`IntraObject`; unused otherwise).
+    pub param: u64,
+    /// Predicted per-mechanism verdicts.
+    pub verdicts: Verdicts,
+}
+
+/// Rounds up to the red-zone granule-aligned object footprint
+/// (mirrors `RzState::carve`).
+fn rz_rounded(size: u64) -> u64 {
+    (size.max(1) + 15) & !15
+}
+
+/// The Low-Fat size class covering `size` bytes, or `None` for
+/// oversized requests (fallback allocator, unchecked).
+fn lf_class(size: u64) -> Option<u64> {
+    lowfat::layout::class_for_request(size).map(lowfat::layout::alloc_size)
+}
+
+/// Predicts the verdicts for a single access of byte interval
+/// `[lo, hi)` relative to the object base. `via_memops` marks accesses
+/// performed by `memcpy`/`memset` rather than loads/stores.
+pub fn interval_verdicts(o: &Obj, lo: i64, hi: i64, via_memops: bool) -> Verdicts {
+    assert!(lo < hi, "empty access interval");
+    let size = o.size() as i64;
+
+    let oob = lo < 0 || hi > size;
+    let sb = if via_memops || !oob { Expect::Missed } else { Expect::Caught };
+
+    let lf = match lf_class(o.size()) {
+        None => Expect::Missed, // fallback allocator: unchecked
+        Some(_) if via_memops => Expect::Missed,
+        Some(class) => {
+            // `__lf_check` fails iff the unsigned offset leaves the
+            // class; underflow wraps and is always caught.
+            if lo < 0 || hi > class as i64 {
+                Expect::Caught
+            } else {
+                Expect::Missed
+            }
+        }
+    };
+
+    // Red zones trap any access overlapping a guard zone, whether from
+    // a load/store or a memcpy/memset interceptor. Zones are
+    // granule-aligned, so interval overlap is exact.
+    let size_r = rz_rounded(o.size()) as i64;
+    let overlaps = |a: i64, b: i64| lo < b && hi > a;
+    let rz = if overlaps(-16, 0) || overlaps(size_r, size_r + 16) {
+        Expect::Caught
+    } else {
+        Expect::Missed
+    };
+
+    Verdicts { sb, lf, rz }
+}
+
+impl Mutation {
+    /// Builds a mutation of `kind` against object `obj` (which must be
+    /// eligible), computing the predicted verdicts.
+    pub fn new(kind: MutKind, objs: &[Obj], obj: usize, param: u64) -> Mutation {
+        let o = &objs[obj];
+        assert!(kind.eligible(o), "{} not eligible for {:?}", kind.name(), o);
+        let w = o.elem.width() as i64;
+        let size = o.size() as i64;
+        let verdicts = match kind {
+            MutKind::OffByOneRead | MutKind::OffByOneWrite => {
+                interval_verdicts(o, size, size + w, false)
+            }
+            MutKind::WideRead => interval_verdicts(o, size - 4, size + 4, false),
+            MutKind::EscapeDeref => {
+                let lo = (o.len + param) as i64 * 8;
+                interval_verdicts(o, lo, lo + 8, false)
+            }
+            MutKind::GuardJump => {
+                let lo = rz_rounded(o.size()) as i64 + 16;
+                interval_verdicts(o, lo, lo + w, false)
+            }
+            MutKind::UnderflowNear => interval_verdicts(o, -8, 0, false),
+            MutKind::UnderflowFar => interval_verdicts(o, -48, -40, false),
+            MutKind::IntraObject => {
+                let lo = (o.len + param) as i64 * 8;
+                interval_verdicts(o, lo, lo + 8, false)
+            }
+            MutKind::OversizedOverflow => {
+                let lo = size + 8192;
+                interval_verdicts(o, lo, lo + 8, false)
+            }
+            MutKind::MemsetPastEnd => interval_verdicts(o, size - 4, size + 4, true),
+        };
+        Mutation { kind, obj, param, verdicts }
+    }
+
+    /// Whether the mutation's C text calls the `f_peek` helper.
+    pub fn uses_peek(&self) -> bool {
+        self.kind == MutKind::EscapeDeref
+    }
+
+    /// Appends the mutation's C text to `c` (inside `main`, after the
+    /// checksum epilogue). Every read feeds a `print_i64` so dead-code
+    /// elimination cannot drop it; writes are stores with no later
+    /// overwrite, which block-local DSE keeps.
+    pub fn emit(&self, c: &mut String, objs: &[Obj]) {
+        let o = &objs[self.obj];
+        let i = self.obj;
+        let _ = writeln!(
+            c,
+            "    /* mutation: {} on {} ({}) */",
+            self.kind.name(),
+            o.name(i),
+            self.verdicts.summary()
+        );
+        match self.kind {
+            MutKind::OffByOneRead => {
+                let _ = writeln!(c, "    x += {};", o.access(i, &o.len.to_string()));
+                c.push_str("    print_i64(x);\n");
+            }
+            MutKind::OffByOneWrite => {
+                let _ =
+                    writeln!(c, "    {} = x & {};", o.access(i, &o.len.to_string()), o.elem.mask());
+            }
+            MutKind::WideRead => {
+                c.push_str("    {\n");
+                let _ = writeln!(c, "        char *mc = (char*)&{};", o.access(i, "0"));
+                let _ = writeln!(c, "        long *mw = (long*)(mc + {});", o.size() - 4);
+                c.push_str("        x += *mw;\n        print_i64(x);\n    }\n");
+            }
+            MutKind::EscapeDeref => {
+                let _ = writeln!(c, "    x += f_peek({}, {});", o.base(i), o.len + self.param);
+                c.push_str("    print_i64(x);\n");
+            }
+            MutKind::GuardJump => {
+                let idx = (rz_rounded(o.size()) + 16) / o.elem.width();
+                let _ = writeln!(c, "    x += {};", o.access(i, &idx.to_string()));
+                c.push_str("    print_i64(x);\n");
+            }
+            MutKind::UnderflowNear => {
+                c.push_str("    {\n");
+                let _ = writeln!(c, "        long *mu = &{};", o.access(i, "1"));
+                c.push_str("        x += mu[-2];\n        print_i64(x);\n    }\n");
+            }
+            MutKind::UnderflowFar => {
+                c.push_str("    {\n");
+                let _ = writeln!(c, "        long *mu = &{};", o.access(i, "1"));
+                c.push_str("        x += mu[-7];\n        print_i64(x);\n    }\n");
+            }
+            MutKind::IntraObject => {
+                let _ = writeln!(c, "    x += {};", o.access(i, &(o.len + self.param).to_string()));
+                c.push_str("    print_i64(x);\n");
+            }
+            MutKind::OversizedOverflow => {
+                let idx = (o.size() + 8192) / 8;
+                let _ = writeln!(c, "    x += {};", o.access(i, &idx.to_string()));
+                c.push_str("    print_i64(x);\n");
+            }
+            MutKind::MemsetPastEnd => {
+                let _ = writeln!(
+                    c,
+                    "    memset((char*)&{} + {}, 1, 8);",
+                    o.access(i, "0"),
+                    o.size() - 4
+                );
+            }
+        }
+    }
+}
+
+/// Derives a mutant from a safe program: picks a catalogue entry, an
+/// eligible target object (appending a fresh one when the program has
+/// none — every kind therefore gets even coverage regardless of
+/// generator luck), and attaches the mutation with predicted verdicts.
+pub fn mutate(safe: &FuzzProgram, rng: &mut Rng) -> FuzzProgram {
+    let mut p = safe.clone();
+    let kind = *rng.pick(&ALL_KINDS);
+
+    let eligible: Vec<usize> = (0..p.objs.len()).filter(|&i| kind.eligible(&p.objs[i])).collect();
+    let obj = if kind == MutKind::UnderflowFar {
+        // The `[-48, -40)` probe must land in *defined* memory for the
+        // red-zone miss prediction to hold: relative to an arbitrary
+        // object it can hit an unrelated neighbour's guard zone (tiny
+        // stack slabs round to 16 bytes, so their zones sit at any
+        // negative offset). Heap carves are sequential, so a pad
+        // allocated immediately before a fresh heap target pins the
+        // probe inside the pad's body: with pad footprint >= 32 the
+        // probe `[pad_end - 32, pad_end - 24)` precedes the shared
+        // zone for every mechanism's allocator.
+        p.objs.push(Obj {
+            elem: Elem::Long,
+            len: rng.range(4, 17),
+            region: Region::Heap,
+            tail: None,
+        });
+        p.init.push((rng.irange(1, 7), rng.irange(0, 9)));
+        p.objs.push(fresh_target(kind, rng));
+        p.init.push((rng.irange(1, 7), rng.irange(0, 9)));
+        p.objs.len() - 1
+    } else if eligible.is_empty() {
+        p.objs.push(fresh_target(kind, rng));
+        p.init.push((rng.irange(1, 7), rng.irange(0, 9)));
+        p.objs.len() - 1
+    } else {
+        *rng.pick(&eligible)
+    };
+
+    let param = match kind {
+        MutKind::EscapeDeref => rng.range(0, 3),
+        MutKind::IntraObject => rng.range(0, p.objs[obj].tail.unwrap()),
+        _ => 0,
+    };
+    p.mutation = Some(Mutation::new(kind, &p.objs, obj, param));
+    p
+}
+
+/// A fresh object satisfying `kind`'s eligibility.
+fn fresh_target(kind: MutKind, rng: &mut Rng) -> Obj {
+    match kind {
+        MutKind::IntraObject => Obj {
+            elem: Elem::Long,
+            len: rng.range(4, 17),
+            region: *rng.pick(&[Region::Global, Region::Stack, Region::Heap]),
+            tail: Some(rng.range(2, 7)),
+        },
+        MutKind::OversizedOverflow => Obj {
+            elem: Elem::Long,
+            len: rng.range(4, 17),
+            region: Region::HeapOversized,
+            tail: None,
+        },
+        // The far-underflow target must sit right after its pad on the
+        // heap cursor (see `mutate`); `malloc` and `calloc` share it.
+        MutKind::UnderflowFar => Obj {
+            elem: Elem::Long,
+            len: rng.range(4, 33),
+            region: *rng.pick(&[Region::Heap, Region::HeapCalloc]),
+            tail: None,
+        },
+        MutKind::EscapeDeref | MutKind::UnderflowNear => Obj {
+            elem: Elem::Long,
+            len: rng.range(4, 33),
+            region: *rng.pick(&[Region::Global, Region::Stack, Region::Heap, Region::HeapCalloc]),
+            tail: None,
+        },
+        _ => Obj {
+            elem: *rng.pick(&[Elem::Long, Elem::Long, Elem::Int, Elem::Char]),
+            len: rng.range(4, 33),
+            region: *rng.pick(&[Region::Global, Region::Stack, Region::Heap, Region::HeapCalloc]),
+            tail: None,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::OVERSIZED_BYTES;
+
+    fn obj(elem: Elem, len: u64) -> Obj {
+        Obj { elem, len, region: Region::Heap, tail: None }
+    }
+
+    #[test]
+    fn off_by_one_matrix() {
+        // 24-byte long array: class 32, rounded 32. [24, 32) sits in
+        // both the Low-Fat padding and the red-zone rounding gap.
+        let o = obj(Elem::Long, 3);
+        let v = interval_verdicts(&o, 24, 32, false);
+        assert_eq!((v.sb, v.lf, v.rz), (Expect::Caught, Expect::Missed, Expect::Missed));
+
+        // 32-byte long array: rounded exactly, so [32, 40) enters the
+        // trailing zone; class 64 still tolerates it.
+        let o = obj(Elem::Long, 4);
+        let v = interval_verdicts(&o, 32, 40, false);
+        assert_eq!((v.sb, v.lf, v.rz), (Expect::Caught, Expect::Missed, Expect::Caught));
+    }
+
+    #[test]
+    fn underflow_wraps_lowfat_but_clears_far_zone() {
+        let o = obj(Elem::Long, 4);
+        let near = interval_verdicts(&o, -8, 0, false);
+        assert_eq!((near.sb, near.lf, near.rz), (Expect::Caught, Expect::Caught, Expect::Caught));
+        let far = interval_verdicts(&o, -48, -40, false);
+        assert_eq!((far.sb, far.lf, far.rz), (Expect::Caught, Expect::Caught, Expect::Missed));
+    }
+
+    #[test]
+    fn guard_jump_clears_redzone() {
+        // 40-byte array: size_r 48, access [64, 72): past the zone
+        // [48, 64), beyond class 64 -> lowfat catches, redzone blind.
+        let o = obj(Elem::Long, 5);
+        let v = interval_verdicts(&o, 64, 72, false);
+        assert_eq!((v.sb, v.lf, v.rz), (Expect::Caught, Expect::Caught, Expect::Missed));
+        // 64-byte array: size_r 64, access [80, 88) within class 128:
+        // only SoftBound sees it.
+        let o = obj(Elem::Long, 8);
+        let v = interval_verdicts(&o, 80, 88, false);
+        assert_eq!((v.sb, v.lf, v.rz), (Expect::Caught, Expect::Missed, Expect::Missed));
+    }
+
+    #[test]
+    fn memops_bypass_everything_but_redzones() {
+        // 48-byte array (16-rounded): memset [44, 52) touches the zone.
+        let o = obj(Elem::Long, 6);
+        let v = interval_verdicts(&o, 44, 52, true);
+        assert_eq!((v.sb, v.lf, v.rz), (Expect::Missed, Expect::Missed, Expect::Caught));
+        // 40-byte array: memset [36, 44) lands in the rounding gap
+        // [40, 48) -- nobody sees it.
+        let o = obj(Elem::Long, 5);
+        let v = interval_verdicts(&o, 36, 44, true);
+        assert_eq!((v.sb, v.lf, v.rz), (Expect::Missed, Expect::Missed, Expect::Missed));
+    }
+
+    #[test]
+    fn oversized_is_unchecked_by_lowfat() {
+        let o = Obj { elem: Elem::Long, len: 8, region: Region::HeapOversized, tail: None };
+        assert_eq!(o.size(), OVERSIZED_BYTES);
+        let lo = o.size() as i64 + 8192;
+        let v = interval_verdicts(&o, lo, lo + 8, false);
+        assert_eq!((v.sb, v.lf, v.rz), (Expect::Caught, Expect::Missed, Expect::Missed));
+    }
+
+    #[test]
+    fn intra_object_is_universally_missed() {
+        let o = Obj { elem: Elem::Long, len: 4, region: Region::Stack, tail: Some(3) };
+        let m = Mutation::new(MutKind::IntraObject, &[o], 0, 1);
+        assert_eq!(
+            (m.verdicts.sb, m.verdicts.lf, m.verdicts.rz),
+            (Expect::Missed, Expect::Missed, Expect::Missed)
+        );
+    }
+
+    #[test]
+    fn every_kind_mutates_every_seed() {
+        // The mutator must always produce a well-formed mutant, adding
+        // a target object when the base program lacks one.
+        let base = FuzzProgram { objs: vec![], body: vec![], x0: 1, init: vec![], mutation: None };
+        for i in 0..64 {
+            let mut rng = Rng::for_case(3, i);
+            let m = mutate(&base, &mut rng);
+            let mu = m.mutation.as_ref().unwrap();
+            assert!(mu.kind.eligible(&m.objs[mu.obj]));
+            assert!(m.validate().is_ok());
+            assert_eq!(m.objs.len(), m.init.len());
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! The cross-mechanism differential oracle.
+//!
+//! Every fuzz case runs a safe program and its mutant through a
+//! 14-configuration matrix off one shared frontend per program (the
+//! PR-1 `bench::driver` caches):
+//!
+//! * baseline at `O0` and `O3`,
+//! * SoftBound, Low-Fat, and RedZone, each at `O0` and at all three
+//!   `O3` extension points.
+//!
+//! The oracle demands:
+//!
+//! * **Safe program**: every configuration completes and prints
+//!   byte-identical output — instrumentation and optimization may never
+//!   change a correct program's answers.
+//! * **Mutant**: each mechanism behaves exactly as the guarantee
+//!   matrix ([`crate::mutate`]) predicts, in *all four* of its
+//!   configurations. `Caught` means a violation report attributed to
+//!   that mechanism; `Missed` means no violation report (the access may
+//!   still segfault — a raw fault is the documented guarantee gap, not
+//!   a report). Baselines must never report violations.
+//!
+//! A prediction the implementation does not meet is a **false
+//! negative** (guarantee broken); a violation report the model says
+//! cannot happen is a **false positive** (usability broken). Both
+//! surface as [`check_pair`] errors.
+
+use bench::driver::{Driver, JobConfig, Program, TrapKind};
+use meminstrument::runtime::BuildOptions;
+use meminstrument::{Mechanism, MiConfig};
+use mir::pipeline::{ExtensionPoint, OptLevel};
+
+use crate::ast::FuzzProgram;
+use crate::mutate::Expect;
+
+/// All three mechanisms, in matrix order.
+pub const MECHS: [Mechanism; 3] = [Mechanism::SoftBound, Mechanism::LowFat, Mechanism::RedZone];
+
+/// The 14-configuration oracle matrix.
+pub fn matrix_configs() -> Vec<JobConfig> {
+    let o0 = BuildOptions { opt: OptLevel::O0, ..BuildOptions::default() };
+    let mut configs = vec![JobConfig::baseline_with(o0), JobConfig::baseline()];
+    for mech in MECHS {
+        configs.push(JobConfig::with(MiConfig::new(mech), o0));
+        for ep in ExtensionPoint::ALL {
+            configs.push(JobConfig::with(
+                MiConfig::new(mech),
+                BuildOptions { ep, ..BuildOptions::default() },
+            ));
+        }
+    }
+    configs
+}
+
+/// Checks one (safe, mutant) pair against the full matrix. Returns the
+/// list of oracle failures; empty means the case passed.
+pub fn check_pair(safe: &FuzzProgram, mutant: &FuzzProgram, case_title: &str) -> Vec<String> {
+    let safe_src = safe.emit_c(&format!("{case_title} (safe)"));
+    let mutant_src = mutant.emit_c(&format!("{case_title} (mutant)"));
+
+    // Pre-validate the frontend gracefully: the driver panics on
+    // compile errors, but a generator construct the frontend rejects is
+    // itself a finding we want reported, not a crash.
+    for (name, src) in [("safe", &safe_src), ("mutant", &mutant_src)] {
+        if let Err(e) = cfront::compile(src) {
+            return vec![format!("{name}: frontend error: {e}")];
+        }
+    }
+
+    let programs = vec![
+        Program { name: "safe".into(), source: safe_src },
+        Program { name: "mutant".into(), source: mutant_src },
+    ];
+    let configs = matrix_configs();
+    // Single-threaded driver: case-level parallelism lives in the fuzz
+    // loop, and nested thread pools would oversubscribe.
+    let report = Driver::new(programs, configs.clone()).with_jobs(1).run();
+
+    let mut errors = Vec::new();
+
+    // Safe program: all cells complete, byte-identical output.
+    let mut reference: Option<(String, Vec<String>, Option<i64>)> = None;
+    for cfg in &configs {
+        let label = cfg.label();
+        let cell = report.get("safe", cfg).expect("safe cell");
+        match &cell.outcome {
+            Err(t) => errors.push(format!("safe [{label}]: trapped: {}", t.message)),
+            Ok(ok) => match &reference {
+                None => reference = Some((label, ok.output.clone(), ok.ret)),
+                Some((ref_label, ref_out, ref_ret)) => {
+                    if &ok.output != ref_out {
+                        errors.push(format!(
+                            "safe [{label}]: output diverges from [{ref_label}]: {:?} vs {:?}",
+                            ok.output, ref_out
+                        ));
+                    }
+                    if ok.ret != *ref_ret {
+                        errors.push(format!(
+                            "safe [{label}]: ret {:?} != {:?} of [{ref_label}]",
+                            ok.ret, ref_ret
+                        ));
+                    }
+                }
+            },
+        }
+    }
+
+    // Mutant: verdicts per mechanism, in every configuration.
+    let verdicts = mutant.mutation.as_ref().expect("mutant has a mutation").verdicts;
+    for cfg in &configs {
+        let label = cfg.label();
+        let cell = report.get("mutant", cfg).expect("mutant cell");
+        match &cfg.config {
+            None => {
+                // Baseline: a violation report is impossible by
+                // construction; anything else (clean run, segfault) is
+                // fine for a program with undefined behaviour.
+                if let Err(t) = &cell.outcome {
+                    if t.is_violation() {
+                        errors.push(format!(
+                            "mutant [{label}]: baseline reported a violation: {}",
+                            t.message
+                        ));
+                    }
+                }
+            }
+            Some(mi) => {
+                let mech = mi.mechanism.name();
+                match verdicts.for_mech(mech) {
+                    Expect::Caught => match &cell.outcome {
+                        Err(t) if matches!(&t.kind, TrapKind::Violation(m) if m == mech) => {}
+                        Err(t) => errors.push(format!(
+                            "mutant [{label}]: false negative: expected a {mech} violation, got trap: {}",
+                            t.message
+                        )),
+                        Ok(ok) => errors.push(format!(
+                            "mutant [{label}]: false negative: expected a {mech} violation, ran clean (ret {:?})",
+                            ok.ret
+                        )),
+                    },
+                    Expect::Missed => {
+                        if let Err(t) = &cell.outcome {
+                            if t.is_violation() {
+                                errors.push(format!(
+                                    "mutant [{label}]: false positive: expected a miss, got: {}",
+                                    t.message
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_shape() {
+        let configs = matrix_configs();
+        assert_eq!(configs.len(), 2 + 3 * 4);
+        // Labels are unique (report lookups key on them).
+        let labels: std::collections::BTreeSet<String> =
+            configs.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), configs.len());
+    }
+}

@@ -1,0 +1,397 @@
+//! Greedy structural shrinking of failing fuzz programs.
+//!
+//! The shrinker works on the *model* ([`FuzzProgram`]), not the C text:
+//! every candidate edit is well-formed by construction (and
+//! re-validated), so the minimized repro is still a valid program with
+//! the original mutation intact. Candidates, in pass order:
+//!
+//! 1. delete a statement (deepest-first, so nested bodies drain before
+//!    their containers),
+//! 2. hoist an `if`'s branches or a loop's body into its place (drops
+//!    the control structure, keeps the work),
+//! 3. reduce a loop's trip count to 1,
+//! 4. zero an arithmetic constant,
+//! 5. drop an object no statement references.
+//!
+//! Passes repeat until a full pass accepts nothing. Every accepted edit
+//! strictly decreases the lexicographic measure (statement count, sum
+//! of loop trip counts, count of nonzero arithmetic constants, object
+//! count), so shrinking always terminates; because acceptance demands
+//! `still_fails`, the failure is preserved; and because candidate order
+//! is deterministic, a fixpoint re-shrinks to itself (idempotence).
+//! All three properties are unit-tested below against synthetic
+//! predicates — no oracle required.
+
+use crate::ast::{FuzzProgram, Stmt};
+use crate::mutate::{MutKind, Mutation};
+
+/// Shrinks `p` while `still_fails` holds. Returns the minimized program
+/// and the number of candidate programs tried (each one costs a
+/// predicate evaluation — for the real oracle, a full matrix run).
+pub fn shrink(p: &FuzzProgram, still_fails: impl Fn(&FuzzProgram) -> bool) -> (FuzzProgram, u64) {
+    let mut cur = p.clone();
+    let mut attempts = 0u64;
+    loop {
+        let mut accepted = false;
+        for cand in candidates(&cur) {
+            if cand.validate().is_err() {
+                continue;
+            }
+            attempts += 1;
+            if still_fails(&cand) {
+                cur = cand;
+                accepted = true;
+                break; // restart candidate enumeration from the smaller program
+            }
+        }
+        if !accepted {
+            return (cur, attempts);
+        }
+    }
+}
+
+/// All candidate edits of `p`, smallest-result-first within each class.
+fn candidates(p: &FuzzProgram) -> Vec<FuzzProgram> {
+    let mut out = Vec::new();
+    let paths = collect_paths(&p.body);
+
+    // 1. Statement deletion, deepest paths first so inner statements
+    // disappear before the blocks containing them.
+    for path in paths.iter().rev() {
+        let mut q = p.clone();
+        delete_at(&mut q.body, path);
+        out.push(q);
+    }
+
+    // 2. If-hoisting and 3./4. constant shrinking, in path order.
+    for path in &paths {
+        match stmt_at(&p.body, path) {
+            Stmt::If { then_s, else_s, .. } => {
+                let mut repl = then_s.clone();
+                repl.extend(else_s.iter().cloned());
+                let mut q = p.clone();
+                replace_at(&mut q.body, path, repl);
+                out.push(q);
+            }
+            Stmt::Loop { n, body } => {
+                // Hoist the body (no statement references the loop
+                // variable, so this is always well-formed), and
+                // independently try a single-trip loop.
+                let mut q = p.clone();
+                replace_at(&mut q.body, path, body.clone());
+                out.push(q);
+                if *n > 1 {
+                    let mut q = p.clone();
+                    replace_at(&mut q.body, path, vec![Stmt::Loop { n: 1, body: body.clone() }]);
+                    out.push(q);
+                }
+            }
+            Stmt::Arith { op, k } if *k != 0 => {
+                let mut q = p.clone();
+                replace_at(&mut q.body, path, vec![Stmt::Arith { op: *op, k: 0 }]);
+                out.push(q);
+            }
+            _ => {}
+        }
+    }
+
+    // 5. Unused-object removal (highest index first keeps remapping a
+    // single decrement).
+    let used = used_objects(p);
+    for i in (0..p.objs.len()).rev() {
+        if !used.contains(&i) {
+            out.push(remove_object(p, i));
+        }
+    }
+
+    out
+}
+
+/// Paths (child-index sequences) of every statement, in DFS pre-order.
+fn collect_paths(stmts: &[Stmt]) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    fn go(stmts: &[Stmt], prefix: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        for (i, s) in stmts.iter().enumerate() {
+            prefix.push(i);
+            out.push(prefix.clone());
+            match s {
+                Stmt::If { then_s, else_s, .. } => {
+                    // Branch index 0 = then, 1 = else.
+                    prefix.push(0);
+                    go(then_s, prefix, out);
+                    prefix.pop();
+                    prefix.push(1);
+                    go(else_s, prefix, out);
+                    prefix.pop();
+                }
+                Stmt::Loop { body, .. } => {
+                    prefix.push(0);
+                    go(body, prefix, out);
+                    prefix.pop();
+                }
+                _ => {}
+            }
+            prefix.pop();
+        }
+    }
+    go(stmts, &mut Vec::new(), &mut out);
+    out
+}
+
+/// The child list a path's final index points into, resolved mutably.
+/// Paths alternate statement index / branch selector (see
+/// [`collect_paths`]).
+fn resolve<'a>(stmts: &'a mut Vec<Stmt>, path: &[usize]) -> (&'a mut Vec<Stmt>, usize) {
+    if path.len() == 1 {
+        return (stmts, path[0]);
+    }
+    let (idx, rest) = (path[0], &path[1..]);
+    match &mut stmts[idx] {
+        Stmt::If { then_s, else_s, .. } => {
+            let branch = if rest[0] == 0 { then_s } else { else_s };
+            resolve(branch, &rest[1..])
+        }
+        Stmt::Loop { body, .. } => resolve(body, &rest[1..]),
+        other => unreachable!("path descends into leaf {other:?}"),
+    }
+}
+
+fn stmt_at<'a>(stmts: &'a [Stmt], path: &[usize]) -> &'a Stmt {
+    if path.len() == 1 {
+        return &stmts[path[0]];
+    }
+    let (idx, rest) = (path[0], &path[1..]);
+    match &stmts[idx] {
+        Stmt::If { then_s, else_s, .. } => {
+            let branch = if rest[0] == 0 { then_s } else { else_s };
+            stmt_at(branch, &rest[1..])
+        }
+        Stmt::Loop { body, .. } => stmt_at(body, &rest[1..]),
+        other => unreachable!("path descends into leaf {other:?}"),
+    }
+}
+
+fn delete_at(stmts: &mut Vec<Stmt>, path: &[usize]) {
+    let (list, i) = resolve(stmts, path);
+    list.remove(i);
+}
+
+fn replace_at(stmts: &mut Vec<Stmt>, path: &[usize], with: Vec<Stmt>) {
+    let (list, i) = resolve(stmts, path);
+    list.splice(i..=i, with);
+}
+
+/// Object indices referenced by any statement or the mutation.
+fn used_objects(p: &FuzzProgram) -> std::collections::BTreeSet<usize> {
+    let mut used = std::collections::BTreeSet::new();
+    fn scan(stmts: &[Stmt], used: &mut std::collections::BTreeSet<usize>) {
+        for s in stmts {
+            match s {
+                Stmt::Store { obj, .. }
+                | Stmt::Load { obj, .. }
+                | Stmt::LoopFill { obj, .. }
+                | Stmt::LoopSum { obj }
+                | Stmt::PtrWalk { obj, .. }
+                | Stmt::IntPtr { obj, .. }
+                | Stmt::CallPeek { obj, .. }
+                | Stmt::CallPoke { obj, .. }
+                | Stmt::CallRange { obj, .. }
+                | Stmt::TailStore { obj, .. }
+                | Stmt::TailLoad { obj, .. } => {
+                    used.insert(*obj);
+                }
+                Stmt::SelectDeref { a, b, .. } | Stmt::PhiDeref { a, b, .. } => {
+                    used.insert(*a);
+                    used.insert(*b);
+                }
+                Stmt::MemCpy { dst, src, .. } => {
+                    used.insert(*dst);
+                    used.insert(*src);
+                }
+                Stmt::MemSet { dst, .. } => {
+                    used.insert(*dst);
+                }
+                Stmt::If { then_s, else_s, .. } => {
+                    scan(then_s, used);
+                    scan(else_s, used);
+                }
+                Stmt::Loop { body, .. } => scan(body, used),
+                Stmt::Arith { .. } | Stmt::CallSum { .. } | Stmt::CallRec { .. } => {}
+            }
+        }
+    }
+    scan(&p.body, &mut used);
+    if let Some(m) = &p.mutation {
+        used.insert(m.obj);
+        if m.kind == MutKind::UnderflowFar {
+            // The far-underflow probe is defined only because a pad
+            // object is carved immediately before the target (see
+            // `mutate`); dropping it would move the probe onto
+            // arbitrary neighbour memory.
+            used.insert(m.obj - 1);
+        }
+    }
+    used
+}
+
+/// Removes object `gone` and decrements every index above it.
+fn remove_object(p: &FuzzProgram, gone: usize) -> FuzzProgram {
+    let mut q = p.clone();
+    q.objs.remove(gone);
+    q.init.remove(gone);
+    let fix = |i: &mut usize| {
+        debug_assert_ne!(*i, gone, "removing a used object");
+        if *i > gone {
+            *i -= 1;
+        }
+    };
+    fn walk(stmts: &mut [Stmt], fix: &impl Fn(&mut usize)) {
+        for s in stmts {
+            match s {
+                Stmt::Store { obj, .. }
+                | Stmt::Load { obj, .. }
+                | Stmt::LoopFill { obj, .. }
+                | Stmt::LoopSum { obj }
+                | Stmt::PtrWalk { obj, .. }
+                | Stmt::IntPtr { obj, .. }
+                | Stmt::CallPeek { obj, .. }
+                | Stmt::CallPoke { obj, .. }
+                | Stmt::CallRange { obj, .. }
+                | Stmt::TailStore { obj, .. }
+                | Stmt::TailLoad { obj, .. } => fix(obj),
+                Stmt::SelectDeref { a, b, .. } | Stmt::PhiDeref { a, b, .. } => {
+                    fix(a);
+                    fix(b);
+                }
+                Stmt::MemCpy { dst, src, .. } => {
+                    fix(dst);
+                    fix(src);
+                }
+                Stmt::MemSet { dst, .. } => fix(dst),
+                Stmt::If { then_s, else_s, .. } => {
+                    walk(then_s, fix);
+                    walk(else_s, fix);
+                }
+                Stmt::Loop { body, .. } => walk(body, fix),
+                Stmt::Arith { .. } | Stmt::CallSum { .. } | Stmt::CallRec { .. } => {}
+            }
+        }
+    }
+    walk(&mut q.body, &fix);
+    if let Some(Mutation { obj, .. }) = &mut q.mutation {
+        fix(obj);
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{ArithOp, Elem, Obj, Region};
+    use crate::gen::gen_program;
+    use testutil::Rng;
+
+    /// Whether any statement (recursively) is a `Load` of object 0.
+    fn has_load_of_0(stmts: &[Stmt]) -> bool {
+        stmts.iter().any(|s| match s {
+            Stmt::Load { obj: 0, .. } => true,
+            Stmt::If { then_s, else_s, .. } => has_load_of_0(then_s) || has_load_of_0(else_s),
+            Stmt::Loop { body, .. } => has_load_of_0(body),
+            _ => false,
+        })
+    }
+
+    fn big_program() -> FuzzProgram {
+        let p = FuzzProgram {
+            objs: vec![
+                Obj { elem: Elem::Long, len: 8, region: Region::Global, tail: None },
+                Obj { elem: Elem::Long, len: 8, region: Region::Heap, tail: None },
+            ],
+            body: vec![
+                Stmt::Arith { op: ArithOp::Add, k: 5 },
+                Stmt::Loop {
+                    n: 6,
+                    body: vec![
+                        Stmt::Arith { op: ArithOp::Mul, k: 3 },
+                        Stmt::If {
+                            k: 4,
+                            then_s: vec![Stmt::Load { obj: 0, idx: 2 }],
+                            else_s: vec![Stmt::Store { obj: 1, idx: 1 }],
+                        },
+                    ],
+                },
+                Stmt::LoopSum { obj: 1 },
+                Stmt::CallSum { n: 9 },
+            ],
+            x0: 1,
+            init: vec![(1, 0), (2, 1)],
+            mutation: None,
+        };
+        p.validate().unwrap();
+        p
+    }
+
+    #[test]
+    fn shrink_terminates_and_minimizes() {
+        let p = big_program();
+        let (min, attempts) = shrink(&p, |q| has_load_of_0(&q.body));
+        assert!(attempts > 0);
+        // The predicate needs exactly one statement: the load itself,
+        // hoisted out of the loop and the if.
+        assert_eq!(count_stmts(&min.body), 1, "minimized to {:?}", min.body);
+        assert!(matches!(min.body[0], Stmt::Load { obj: 0, idx: 2 }));
+        // The unreferenced second object is gone.
+        assert_eq!(min.objs.len(), 1);
+    }
+
+    #[test]
+    fn shrink_preserves_the_failure() {
+        let p = big_program();
+        let (min, _) = shrink(&p, |q| has_load_of_0(&q.body));
+        assert!(has_load_of_0(&min.body));
+        assert!(min.validate().is_ok());
+    }
+
+    #[test]
+    fn shrink_is_idempotent() {
+        let p = big_program();
+        let (once, _) = shrink(&p, |q| has_load_of_0(&q.body));
+        let (twice, attempts) = shrink(&once, |q| has_load_of_0(&q.body));
+        assert_eq!(format!("{once:?}"), format!("{twice:?}"));
+        // The second run rejects every candidate: nothing to accept.
+        assert!(attempts <= count_stmts(&once.body) as u64 + 4);
+    }
+
+    #[test]
+    fn shrink_never_touches_the_mutation() {
+        // Generated programs with a mutation attached keep it through
+        // arbitrary shrinking (here: a predicate accepting everything,
+        // i.e. maximal deletion).
+        for i in 0..20 {
+            let mut rng = Rng::for_case(17, i);
+            let safe = gen_program(&mut rng);
+            let mutant = crate::mutate::mutate(&safe, &mut rng);
+            let want = mutant.mutation.clone().unwrap();
+            let (min, _) = shrink(&mutant, |_| true);
+            let got = min.mutation.as_ref().unwrap();
+            assert_eq!(got.kind, want.kind, "case {i}");
+            assert_eq!(got.verdicts, want.verdicts, "case {i}");
+            // Everything deletable is gone; the mutation target object
+            // survives.
+            assert_eq!(count_stmts(&min.body), 0);
+            assert!(got.obj < min.objs.len());
+            assert!(min.validate().is_ok());
+        }
+    }
+
+    fn count_stmts(stmts: &[Stmt]) -> usize {
+        stmts
+            .iter()
+            .map(|s| match s {
+                Stmt::If { then_s, else_s, .. } => 1 + count_stmts(then_s) + count_stmts(else_s),
+                Stmt::Loop { body, .. } => 1 + count_stmts(body),
+                _ => 1,
+            })
+            .sum()
+    }
+}

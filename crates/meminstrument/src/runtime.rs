@@ -227,8 +227,16 @@ impl RzState {
     }
 
     fn unpoison(&mut self, addr: u64, len: u64) {
-        for g in (addr >> 3)..((addr + len) >> 3) {
-            self.poisoned.remove(&g);
+        let (lo, hi) = (addr >> 3, (addr + len) >> 3);
+        // Bound the work by the poisoned set, not the range: a fresh
+        // multi-GiB carve would otherwise walk hundreds of millions of
+        // granules to clear the handful left by recycled stack slabs.
+        if hi - lo > self.poisoned.len() as u64 {
+            self.poisoned.retain(|&g| g < lo || g >= hi);
+        } else {
+            for g in lo..hi {
+                self.poisoned.remove(&g);
+            }
         }
     }
 
@@ -330,7 +338,11 @@ fn install_redzone(vm: &mut Vm, shadow: Rc<RefCell<RzState>>) {
             let watermark = args[0].as_int();
             let cur = st.stack_next;
             if cur > watermark {
-                st.unpoison(watermark, cur + RZ_SIZE - watermark);
+                // The zones tile: `[watermark, watermark+RZ)` is the
+                // caller's last object's *trailing* zone (doubling as the
+                // dead frame's leading zone), so unpoisoning must start
+                // one zone in or a call would erase the caller's guard.
+                st.unpoison(watermark + RZ_SIZE, cur - watermark);
                 st.stack_next = watermark;
             }
             Ok(RtVal::Int(0))

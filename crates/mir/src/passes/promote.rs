@@ -91,6 +91,33 @@ fn no_alias(a: &PtrKey, b: &PtrKey) -> bool {
     }
 }
 
+/// The identified object a pointer provably derives from: a global, an
+/// alloca, or a fresh allocator call, reached through `gep` chains only.
+/// Two accesses rooted in *distinct* identified objects never alias.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Root {
+    Global(u32),
+    Obj(usize),
+}
+
+fn ptr_root(f: &Function, op: &Operand) -> Option<Root> {
+    match op {
+        Operand::GlobalAddr(g) => Some(Root::Global(g.0)),
+        Operand::Val(v) => match f.values[v.index()].def {
+            crate::function::ValueDef::Instr(iid) => match &f.instrs[iid.index()].kind {
+                InstrKind::Gep { base, .. } => ptr_root(f, base),
+                InstrKind::Alloca { .. } => Some(Root::Obj(iid.index())),
+                InstrKind::Call { callee, .. } if callee == "malloc" || callee == "calloc" => {
+                    Some(Root::Obj(iid.index()))
+                }
+                _ => None,
+            },
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
 fn promote_in_loop(
     effects: &EffectInfo,
     f: &mut Function,
@@ -132,13 +159,19 @@ fn promote_in_loop(
     // Collect per-key loads/stores and disqualifying instructions.
     struct Cand {
         key: PtrKey,
+        root: Option<Root>,
         ptr: Operand,
         ty: Type,
         loads: Vec<(BlockId, InstrId)>,
         stores: Vec<(BlockId, InstrId)>,
     }
     let mut cands: Vec<Cand> = Vec::new();
-    let mut all_store_keys: Vec<PtrKey> = Vec::new();
+    // Every load and store in the loop is an aliasing hazard for the
+    // candidates — a store clobbers a promoted register's memory image,
+    // and a load observes it (promotion would leave it reading a stale
+    // value), so both sides must be provably disjoint.
+    let mut store_hazards: Vec<(PtrKey, Option<Root>)> = Vec::new();
+    let mut load_hazards: Vec<(PtrKey, Option<Root>)> = Vec::new();
     let mut has_barrier = false;
     for &b in &l.blocks {
         for &iid in &f.blocks[b.index()].instrs {
@@ -147,8 +180,11 @@ fn promote_in_loop(
                 InstrKind::Load { ty, ptr } | InstrKind::Store { ty, ptr, .. } => {
                     let is_store = matches!(kind, InstrKind::Store { .. });
                     let key = ptr_key(f, ptr);
+                    let root = ptr_root(f, ptr);
                     if is_store {
-                        all_store_keys.push(key.clone());
+                        store_hazards.push((key.clone(), root));
+                    } else {
+                        load_hazards.push((key.clone(), root));
                     }
                     if key == PtrKey::Unknown || !invariant(f, ptr, &defined_in) {
                         continue;
@@ -171,6 +207,7 @@ fn promote_in_loop(
                         None => {
                             cands.push(Cand {
                                 key,
+                                root,
                                 ptr: ptr.clone(),
                                 ty: ty.clone(),
                                 loads: vec![],
@@ -217,8 +254,17 @@ fn promote_in_loop(
         if c.stores.is_empty() {
             continue; // plain loads are handled by LICM load hoisting
         }
-        // Every other store in the loop must provably not alias.
-        let safe = all_store_keys.iter().all(|k| *k == c.key || no_alias(k, &c.key));
+        // Every other access in the loop must provably not alias: equal
+        // keys are the candidate's own accesses (or a mixed-type clone,
+        // rejected below), disjoint structural keys or distinct
+        // identified objects are safe, anything else may observe or
+        // clobber the promoted location through another pointer.
+        let disjoint = |(k, r): &(PtrKey, Option<Root>)| {
+            *k == c.key
+                || no_alias(k, &c.key)
+                || matches!((r, &c.root), (Some(a), Some(b)) if *a != *b)
+        };
+        let safe = store_hazards.iter().all(disjoint) && load_hazards.iter().all(disjoint);
         if !safe {
             continue;
         }
@@ -414,6 +460,68 @@ mod tests {
         "#;
         let m = promote_and_mem2reg(src);
         assert!(loop_mem_ops(&m, "f") >= 2, "possible alias must block promotion");
+    }
+
+    #[test]
+    fn aliasing_load_blocks_promotion() {
+        // The loop stores through a const gep but *loads* the same array
+        // with a variable index: promoting the store would leave the
+        // loads reading a stale element. This exact shape (inlined
+        // `h[3] = x; x += sum(h, n)` loop) once miscompiled under O3.
+        let src = r#"
+            define i64 @f(ptr %h, i64 %n) {
+            entry:
+              br header
+            header:
+              %i = phi i64, [entry: i64 0], [body: %next]
+              %c = icmp slt i64, %i, %n
+              condbr %c, body, exit
+            body:
+              %pv = gep i64, %h, [%i]
+              %v = load i64, %pv
+              %p3 = gep i64, %h, [i64 3]
+              store i64, %v, %p3
+              %next = add i64, %i, i64 1
+              br header
+            exit:
+              ret i64 0
+            }
+        "#;
+        let m = promote_and_mem2reg(src);
+        assert!(loop_mem_ops(&m, "f") >= 2, "aliasing load must block promotion");
+    }
+
+    #[test]
+    fn load_from_distinct_object_permits_promotion() {
+        // Same shape, but the loads walk a *different alloca*: distinct
+        // identified objects cannot alias, so the accumulator store
+        // still promotes.
+        let src = r#"
+            define i64 @f(i64 %n) {
+            entry:
+              %h = alloca i64, i64 8
+              %a = alloca i64, i64 8
+              br header
+            header:
+              %i = phi i64, [entry: i64 0], [body: %next]
+              %c = icmp slt i64, %i, %n
+              condbr %c, body, exit
+            body:
+              %pv = gep i64, %a, [%i]
+              %v = load i64, %pv
+              %p3 = gep i64, %h, [i64 3]
+              %cur = load i64, %p3
+              %sum = add i64, %cur, %v
+              store i64, %sum, %p3
+              %next = add i64, %i, i64 1
+              br header
+            exit:
+              ret i64 0
+            }
+        "#;
+        let m = promote_and_mem2reg(src);
+        // Only the variable-index loads from %a remain in the loop.
+        assert_eq!(loop_mem_ops(&m, "f"), 1, "\n{}", crate::printer::print_module(&m));
     }
 
     #[test]

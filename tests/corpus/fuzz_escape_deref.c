@@ -1,0 +1,22 @@
+// Promoted from the generative fuzzer: seed=0 case=4
+// kind=escape-deref, model: sb=caught lf=missed rz=caught
+// (regenerate: cargo run -p fuzz --bin promote)
+// CHECK baseline: ok=0
+// CHECK softbound: violation
+// CHECK lowfat: ok=0
+// CHECK redzone: violation
+// promoted fuzz mutant: escape-deref
+long f_peek(long *p, long i) { return p[i]; }
+long main(void) {
+    long x = 17;
+    long s0[33];
+    for (long i = 0; i < 33; i += 1) s0[i] = (i * 6 + 1) & 255;
+    long chk = 0;
+    for (long i = 0; i < 33; i += 1) chk += s0[i] * (i + 1);
+    print_i64(chk);
+    print_i64(x);
+    /* mutation: escape-deref on s0 (sb=caught lf=missed rz=caught) */
+    x += f_peek(&s0[0], 35);
+    print_i64(x);
+    return 0;
+}

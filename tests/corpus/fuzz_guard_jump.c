@@ -1,0 +1,21 @@
+// Promoted from the generative fuzzer: seed=0 case=15
+// kind=guard-jump, model: sb=caught lf=missed rz=missed
+// (regenerate: cargo run -p fuzz --bin promote)
+// CHECK baseline: ok=0
+// CHECK softbound: violation
+// CHECK lowfat: ok=0
+// CHECK redzone: ok=0
+// promoted fuzz mutant: guard-jump
+long main(void) {
+    long x = 33;
+    long *h0 = (long*)malloc(17 * sizeof(long));
+    for (long i = 0; i < 17; i += 1) h0[i] = (i * 3 + 8) & 255;
+    long chk = 0;
+    for (long i = 0; i < 17; i += 1) chk += h0[i] * (i + 1);
+    print_i64(chk);
+    print_i64(x);
+    /* mutation: guard-jump on h0 (sb=caught lf=missed rz=missed) */
+    x += h0[20];
+    print_i64(x);
+    return 0;
+}

@@ -1,0 +1,24 @@
+// Promoted from the generative fuzzer: seed=0 case=12
+// kind=intra-object, model: sb=missed lf=missed rz=missed
+// (regenerate: cargo run -p fuzz --bin promote)
+// CHECK baseline: ok=0
+// CHECK softbound: ok=0
+// CHECK lowfat: ok=0
+// CHECK redzone: ok=0
+// promoted fuzz mutant: intra-object
+struct st0 { long arr[4]; long tail[5]; };
+long main(void) {
+    long x = 46;
+    struct st0 s0;
+    for (long i = 0; i < 4; i += 1) s0.arr[i] = (i * 4 + 5) & 255;
+    for (long i = 0; i < 5; i += 1) s0.tail[i] = (i * 5 + 4) & 255;
+    long chk = 0;
+    for (long i = 0; i < 4; i += 1) chk += s0.arr[i] * (i + 1);
+    for (long i = 0; i < 5; i += 1) chk += s0.tail[i] * (i + 3);
+    print_i64(chk);
+    print_i64(x);
+    /* mutation: intra-object on s0 (sb=missed lf=missed rz=missed) */
+    x += s0.arr[5];
+    print_i64(x);
+    return 0;
+}

@@ -1,0 +1,20 @@
+// Promoted from the generative fuzzer: seed=0 case=36
+// kind=memset-past-end, model: sb=missed lf=missed rz=caught
+// (regenerate: cargo run -p fuzz --bin promote)
+// CHECK baseline: ok=0
+// CHECK softbound: ok=0
+// CHECK lowfat: ok=0
+// CHECK redzone: violation
+// promoted fuzz mutant: memset-past-end
+long main(void) {
+    long x = 24;
+    long s0[10];
+    for (long i = 0; i < 10; i += 1) s0[i] = (i * 1 + 5) & 255;
+    long chk = 0;
+    for (long i = 0; i < 10; i += 1) chk += s0[i] * (i + 1);
+    print_i64(chk);
+    print_i64(x);
+    /* mutation: memset-past-end on s0 (sb=missed lf=missed rz=caught) */
+    memset((char*)&s0[0] + 76, 1, 8);
+    return 0;
+}

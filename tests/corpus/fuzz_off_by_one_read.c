@@ -1,0 +1,21 @@
+// Promoted from the generative fuzzer: seed=0 case=23
+// kind=off-by-one-read, model: sb=caught lf=missed rz=missed
+// (regenerate: cargo run -p fuzz --bin promote)
+// CHECK baseline: ok=0
+// CHECK softbound: violation
+// CHECK lowfat: ok=0
+// CHECK redzone: ok=0
+// promoted fuzz mutant: off-by-one-read
+long main(void) {
+    long x = 67;
+    long *h0 = (long*)malloc(43 * sizeof(long));
+    for (long i = 0; i < 43; i += 1) h0[i] = (i * 1 + 7) & 255;
+    long chk = 0;
+    for (long i = 0; i < 43; i += 1) chk += h0[i] * (i + 1);
+    print_i64(chk);
+    print_i64(x);
+    /* mutation: off-by-one-read on h0 (sb=caught lf=missed rz=missed) */
+    x += h0[43];
+    print_i64(x);
+    return 0;
+}

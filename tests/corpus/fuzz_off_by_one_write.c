@@ -1,0 +1,20 @@
+// Promoted from the generative fuzzer: seed=0 case=0
+// kind=off-by-one-write, model: sb=caught lf=missed rz=missed
+// (regenerate: cargo run -p fuzz --bin promote)
+// CHECK baseline: ok=0
+// CHECK softbound: violation
+// CHECK lowfat: ok=0
+// CHECK redzone: ok=0
+// promoted fuzz mutant: off-by-one-write
+long main(void) {
+    long x = 90;
+    int *h0 = (int*)malloc(34 * sizeof(int));
+    for (long i = 0; i < 34; i += 1) h0[i] = (i * 5 + 4) & 255;
+    long chk = 0;
+    for (long i = 0; i < 34; i += 1) chk += h0[i] * (i + 1);
+    print_i64(chk);
+    print_i64(x);
+    /* mutation: off-by-one-write on h0 (sb=caught lf=missed rz=missed) */
+    h0[34] = x & 255;
+    return 0;
+}

@@ -1,0 +1,21 @@
+// Promoted from the generative fuzzer: seed=0 case=3
+// kind=oversized-overflow, model: sb=caught lf=missed rz=missed
+// (regenerate: cargo run -p fuzz --bin promote)
+// CHECK baseline: segfault
+// CHECK softbound: violation
+// CHECK lowfat: segfault
+// CHECK redzone: segfault
+// promoted fuzz mutant: oversized-overflow
+long main(void) {
+    long x = 84;
+    long *v0 = (long*)malloc(1073741824);
+    for (long i = 0; i < 9; i += 1) v0[i] = (i * 3 + 0) & 255;
+    long chk = 0;
+    for (long i = 0; i < 9; i += 1) chk += v0[i] * (i + 1);
+    print_i64(chk);
+    print_i64(x);
+    /* mutation: oversized-overflow on v0 (sb=caught lf=missed rz=missed) */
+    x += v0[134218752];
+    print_i64(x);
+    return 0;
+}

@@ -1,0 +1,27 @@
+// Promoted from the generative fuzzer: seed=0 case=5
+// kind=underflow-far, model: sb=caught lf=caught rz=missed
+// (regenerate: cargo run -p fuzz --bin promote)
+// CHECK baseline: ok=0
+// CHECK softbound: violation
+// CHECK lowfat: violation
+// CHECK redzone: ok=0
+// promoted fuzz mutant: underflow-far
+long main(void) {
+    long x = 98;
+    long *h0 = (long*)malloc(13 * sizeof(long));
+    long *h1 = (long*)malloc(14 * sizeof(long));
+    for (long i = 0; i < 13; i += 1) h0[i] = (i * 1 + 4) & 255;
+    for (long i = 0; i < 14; i += 1) h1[i] = (i * 4 + 5) & 255;
+    long chk = 0;
+    for (long i = 0; i < 13; i += 1) chk += h0[i] * (i + 1);
+    for (long i = 0; i < 14; i += 1) chk += h1[i] * (i + 1);
+    print_i64(chk);
+    print_i64(x);
+    /* mutation: underflow-far on h1 (sb=caught lf=caught rz=missed) */
+    {
+        long *mu = &h1[1];
+        x += mu[-7];
+        print_i64(x);
+    }
+    return 0;
+}

@@ -1,0 +1,24 @@
+// Promoted from the generative fuzzer: seed=0 case=1
+// kind=underflow-near, model: sb=caught lf=caught rz=caught
+// (regenerate: cargo run -p fuzz --bin promote)
+// CHECK baseline: segfault
+// CHECK softbound: violation
+// CHECK lowfat: violation
+// CHECK redzone: violation
+// promoted fuzz mutant: underflow-near
+long main(void) {
+    long x = 82;
+    long *h0 = (long*)malloc(17 * sizeof(long));
+    for (long i = 0; i < 17; i += 1) h0[i] = (i * 4 + 4) & 255;
+    long chk = 0;
+    for (long i = 0; i < 17; i += 1) chk += h0[i] * (i + 1);
+    print_i64(chk);
+    print_i64(x);
+    /* mutation: underflow-near on h0 (sb=caught lf=caught rz=caught) */
+    {
+        long *mu = &h0[1];
+        x += mu[-2];
+        print_i64(x);
+    }
+    return 0;
+}

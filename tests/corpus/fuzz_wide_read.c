@@ -1,0 +1,25 @@
+// Promoted from the generative fuzzer: seed=0 case=7
+// kind=wide-read, model: sb=caught lf=missed rz=missed
+// (regenerate: cargo run -p fuzz --bin promote)
+// CHECK baseline: ok=0
+// CHECK softbound: violation
+// CHECK lowfat: ok=0
+// CHECK redzone: ok=0
+// promoted fuzz mutant: wide-read
+long g0[9];
+long main(void) {
+    long x = 33;
+    for (long i = 0; i < 9; i += 1) g0[i] = (i * 1 + 8) & 255;
+    long chk = 0;
+    for (long i = 0; i < 9; i += 1) chk += g0[i] * (i + 1);
+    print_i64(chk);
+    print_i64(x);
+    /* mutation: wide-read on g0 (sb=caught lf=missed rz=missed) */
+    {
+        char *mc = (char*)&g0[0];
+        long *mw = (long*)(mc + 68);
+        x += *mw;
+        print_i64(x);
+    }
+    return 0;
+}

@@ -95,14 +95,16 @@ fn corpus_differential() {
         let reference = match &cells[0].outcome {
             Ok(ok) => ok,
             Err(t) => {
-                failures.push(format!("{} [{}]: trapped: {t}", prog.name, cells[0].config));
+                failures
+                    .push(format!("{} [{}]: trapped: {}", prog.name, cells[0].config, t.message));
                 continue;
             }
         };
         for cell in &cells[1..] {
             match &cell.outcome {
                 Err(t) => {
-                    failures.push(format!("{} [{}]: trapped: {t}", prog.name, cell.config));
+                    failures
+                        .push(format!("{} [{}]: trapped: {}", prog.name, cell.config, t.message));
                 }
                 Ok(ok) => {
                     if ok.output != reference.output {

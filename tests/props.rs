@@ -2,58 +2,16 @@
 //!
 //! Self-contained harness: the container image has no network access to
 //! crates.io, so instead of `proptest` these properties run over inputs
-//! drawn from a deterministic xorshift PRNG. Each property executes a
-//! fixed number of cases from fixed seeds, so failures are reproducible
-//! by construction (re-running the test replays the exact same inputs).
+//! drawn from the deterministic xorshift PRNG shared across the workspace
+//! ([`testutil::Rng`]). Each property executes a fixed number of cases
+//! from fixed seeds, so failures are reproducible by construction
+//! (re-running the test replays the exact same inputs).
 
 use meminstrument::runtime::{compile, compile_baseline, BuildOptions};
 use meminstrument::{Mechanism, MiConfig};
 use memvm::VmConfig;
 use mir::pipeline::{ExtensionPoint, OptLevel, Pipeline};
-
-// ---------------------------------------------------------------------------
-// Deterministic case generator
-// ---------------------------------------------------------------------------
-
-/// xorshift64* — deterministic, dependency-free.
-struct Rng(u64);
-
-impl Rng {
-    fn new(seed: u64) -> Rng {
-        Rng(seed | 1)
-    }
-
-    fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.0 = x;
-        x.wrapping_mul(0x2545F4914F6CDD1D)
-    }
-
-    /// Uniform in `[lo, hi)`.
-    fn range(&mut self, lo: u64, hi: u64) -> u64 {
-        lo + self.next() % (hi - lo)
-    }
-
-    /// Uniform in `[lo, hi)`.
-    fn irange(&mut self, lo: i64, hi: i64) -> i64 {
-        lo + (self.next() % (hi - lo) as u64) as i64
-    }
-
-    fn chance(&mut self) -> bool {
-        self.next() & 1 == 1
-    }
-}
-
-/// Runs `prop` over `n` deterministic cases.
-fn cases(n: u64, prop: impl Fn(&mut Rng)) {
-    for i in 0..n {
-        let mut rng = Rng::new(0x9E3779B97F4A7C15u64.wrapping_mul(i + 1));
-        prop(&mut rng);
-    }
-}
+use testutil::{cases, Rng};
 
 // ---------------------------------------------------------------------------
 // Low-fat layout: encode/decode round trips
