@@ -33,11 +33,13 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use meminstrument::runtime::{
-    compile_baseline_from_prefix, compile_from_prefix, pipeline_prefix, BuildOptions,
+    compile_baseline_from_prefix, compile_baseline_from_prefix_traced, compile_from_prefix,
+    compile_from_prefix_traced, pipeline_prefix, pipeline_prefix_traced, BuildOptions,
 };
 use meminstrument::{InstrStats, MiConfig, MiMode};
-use memvm::{VmConfig, VmStats};
+use memvm::{SiteProfile, VmConfig, VmStats};
 use mir::pipeline::{ExtensionPoint, OptLevel};
+use mir::trace::TraceRecorder;
 
 /// A program to evaluate: a name plus its mini-C source.
 #[derive(Clone, Debug)]
@@ -122,6 +124,11 @@ pub struct CellOk {
     pub stats: VmStats,
     /// Static instrumentation statistics (defaults for baselines).
     pub instr: InstrStats,
+    /// Per-check-site execution profile (empty for baselines). Site
+    /// indices refer to the compiled module's `check_sites` table; the
+    /// totals reconcile exactly with `stats.checks_executed`,
+    /// `stats.checks_wide` and `stats.cost_checks`.
+    pub profile: SiteProfile,
 }
 
 /// Coarse classification of a trap, preserved in structured form so
@@ -262,6 +269,10 @@ pub struct Report {
     pub cache: CacheStats,
     /// Aggregate per-stage wall-clock.
     pub timings: SweepTimings,
+    /// Pass-pipeline traces, one track per cached prefix and per cell (in
+    /// matrix order), when the sweep ran with [`Driver::with_trace`].
+    /// Empty otherwise.
+    pub traces: Vec<(String, TraceRecorder)>,
 }
 
 impl Report {
@@ -276,6 +287,16 @@ impl Report {
         self.get(program, config)
             .unwrap_or_else(|| panic!("no cell {program} [{}]", config.label()))
             .ok()
+    }
+
+    /// Renders the collected pass-pipeline traces as one Chrome
+    /// `trace_event` JSON document (viewable in Perfetto), one thread
+    /// track per prefix/cell. Byte-identical regardless of worker count:
+    /// track order is the matrix order and span timestamps are logical
+    /// (see [`mir::trace`]). Empty `traceEvents` if the sweep ran without
+    /// [`Driver::with_trace`].
+    pub fn trace_json(&self) -> String {
+        mir::trace::chrome_trace_document(&self.traces)
     }
 
     /// Serializes the report as JSON (schema `evald-report/2`).
@@ -386,13 +407,16 @@ pub struct Driver {
     pub jobs: usize,
     /// VM configuration for execution.
     pub vm: VmConfig,
+    /// Whether to record per-pass pipeline traces (see
+    /// [`Report::trace_json`]).
+    pub trace: bool,
 }
 
 impl Driver {
     /// A driver over `programs` × `configs` using all available cores.
     pub fn new(programs: Vec<Program>, configs: Vec<JobConfig>) -> Driver {
         let jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        Driver { programs, configs, jobs, vm: VmConfig::default() }
+        Driver { programs, configs, jobs, vm: VmConfig::default(), trace: false }
     }
 
     /// Sets the worker count (`--jobs`); 0 means "all cores".
@@ -400,6 +424,12 @@ impl Driver {
         if jobs > 0 {
             self.jobs = jobs;
         }
+        self
+    }
+
+    /// Enables pass-pipeline trace recording for the sweep.
+    pub fn with_trace(mut self, trace: bool) -> Driver {
+        self.trace = trace;
         self
     }
 
@@ -415,7 +445,7 @@ impl Driver {
         // cell in its row.
         let frontends: Vec<(mir::Module, Duration)> = par_map(self.jobs, &self.programs, |_, p| {
             let t = Instant::now();
-            let m = cfront::compile(&p.source)
+            let m = cfront::compile_named(&p.source, &p.name)
                 .unwrap_or_else(|e| panic!("{}: frontend error: {e}", p.name));
             (m, t.elapsed())
         });
@@ -431,11 +461,18 @@ impl Driver {
                 }
             }
         }
-        let prefixes: Vec<(mir::Module, Duration)> =
+        let prefixes: Vec<(mir::Module, Duration, Option<TraceRecorder>)> =
             par_map(self.jobs, &prefix_keys, |_, &(pi, opt, ep)| {
                 let t = Instant::now();
-                let m = pipeline_prefix(frontends[pi].0.clone(), BuildOptions { opt, ep });
-                (m, t.elapsed())
+                let opts = BuildOptions { opt, ep };
+                let module = frontends[pi].0.clone();
+                let (m, rec) = if self.trace {
+                    let mut rec = TraceRecorder::new();
+                    (pipeline_prefix_traced(module, opts, &mut rec), Some(rec))
+                } else {
+                    (pipeline_prefix(module, opts), None)
+                };
+                (m, t.elapsed(), rec)
             });
         let prefix_index: HashMap<(usize, OptLevel, ExtensionPoint), usize> =
             prefix_keys.iter().enumerate().map(|(i, &k)| (k, i)).collect();
@@ -445,42 +482,72 @@ impl Driver {
         let cell_keys: Vec<(usize, usize)> = (0..self.programs.len())
             .flat_map(|pi| (0..self.configs.len()).map(move |ci| (pi, ci)))
             .collect();
-        let cells: Vec<CellResult> = par_map(self.jobs, &cell_keys, |_, &(pi, ci)| {
-            let cfg = &self.configs[ci];
-            let prefix_slot = prefix_index[&(pi, cfg.opts.opt, cfg.opts.ep)];
-            let (prefix, prefix_time) = &prefixes[prefix_slot];
+        let cells: Vec<(CellResult, Option<TraceRecorder>)> =
+            par_map(self.jobs, &cell_keys, |_, &(pi, ci)| {
+                let cfg = &self.configs[ci];
+                let prefix_slot = prefix_index[&(pi, cfg.opts.opt, cfg.opts.ep)];
+                let (prefix, prefix_time, _) = &prefixes[prefix_slot];
 
-            let t = Instant::now();
-            let prog = match &cfg.config {
-                None => compile_baseline_from_prefix(prefix.clone(), cfg.opts),
-                Some(mi) => compile_from_prefix(prefix.clone(), mi, cfg.opts),
-            };
-            let instrumentation = t.elapsed();
+                let t = Instant::now();
+                let mut rec = if self.trace { Some(TraceRecorder::new()) } else { None };
+                let prog = match (&cfg.config, &mut rec) {
+                    (None, None) => compile_baseline_from_prefix(prefix.clone(), cfg.opts),
+                    (None, Some(r)) => {
+                        compile_baseline_from_prefix_traced(prefix.clone(), cfg.opts, r)
+                    }
+                    (Some(mi), None) => compile_from_prefix(prefix.clone(), mi, cfg.opts),
+                    (Some(mi), Some(r)) => {
+                        compile_from_prefix_traced(prefix.clone(), mi, cfg.opts, r)
+                    }
+                };
+                let instrumentation = t.elapsed();
 
-            let t = Instant::now();
-            let outcome = match prog.run_main(self.vm) {
-                Ok(out) => Ok(CellOk {
-                    ret: out.ret.map(|v| v.as_int() as i64),
-                    output: out.output,
-                    stats: out.stats,
-                    instr: prog.stats.clone(),
-                }),
-                Err(trap) => Err(CellTrap::from_trap(&trap)),
-            };
-            let execution = t.elapsed();
+                let t = Instant::now();
+                let outcome = match prog.run_main(self.vm) {
+                    Ok(out) => Ok(CellOk {
+                        ret: out.ret.map(|v| v.as_int() as i64),
+                        output: out.output,
+                        stats: out.stats,
+                        instr: prog.stats.clone(),
+                        profile: out.profile,
+                    }),
+                    Err(trap) => Err(CellTrap::from_trap(&trap)),
+                };
+                let execution = t.elapsed();
 
-            CellResult {
-                program: self.programs[pi].name.clone(),
-                config: cfg.label(),
-                outcome,
-                timing: CellTiming {
-                    frontend: frontends[pi].1,
-                    pipeline: *prefix_time,
-                    instrumentation,
-                    execution,
-                },
+                let cell = CellResult {
+                    program: self.programs[pi].name.clone(),
+                    config: cfg.label(),
+                    outcome,
+                    timing: CellTiming {
+                        frontend: frontends[pi].1,
+                        pipeline: *prefix_time,
+                        instrumentation,
+                        execution,
+                    },
+                };
+                (cell, rec)
+            });
+
+        // Trace tracks: cached prefixes first (in prefix-key order), then
+        // cells in matrix order — a deterministic layout, independent of
+        // which worker ran what.
+        let mut traces: Vec<(String, TraceRecorder)> = Vec::new();
+        if self.trace {
+            for (i, &(pi, opt, ep)) in prefix_keys.iter().enumerate() {
+                let opt = match opt {
+                    OptLevel::O0 => "O0",
+                    OptLevel::O3 => "O3",
+                };
+                let label = format!("{}/prefix@{opt}@{}", self.programs[pi].name, ep.name());
+                traces.push((label, prefixes[i].2.clone().unwrap_or_default()));
             }
-        });
+            for (cell, rec) in &cells {
+                let label = format!("{}/{}", cell.program, cell.config);
+                traces.push((label, rec.clone().unwrap_or_default()));
+            }
+        }
+        let cells: Vec<CellResult> = cells.into_iter().map(|(c, _)| c).collect();
 
         let n_cells = cells.len() as u64;
         let cache = CacheStats {
@@ -493,7 +560,7 @@ impl Driver {
             jobs: self.jobs,
             wall: t_start.elapsed(),
             frontend: frontends.iter().map(|(_, d)| *d).sum(),
-            pipeline: prefixes.iter().map(|(_, d)| *d).sum(),
+            pipeline: prefixes.iter().map(|(_, d, _)| *d).sum(),
             instrumentation: cells.iter().map(|c| c.timing.instrumentation).sum(),
             execution: cells.iter().map(|c| c.timing.execution).sum(),
         };
@@ -503,6 +570,7 @@ impl Driver {
             cells,
             cache,
             timings,
+            traces,
         }
     }
 }
@@ -742,6 +810,51 @@ mod tests {
         assert!(cell.outcome.is_err(), "{:?}", cell.outcome);
         let json = r.to_json(false);
         assert!(json.contains("\"ok\": false"), "{json}");
+    }
+
+    #[test]
+    fn trace_is_identical_for_any_worker_count() {
+        let configs = fig9_configs();
+        let r1 = Driver::new(tiny_programs(), configs.clone()).with_jobs(1).with_trace(true).run();
+        let r8 = Driver::new(tiny_programs(), configs).with_jobs(8).with_trace(true).run();
+        let t1 = r1.trace_json();
+        assert_eq!(t1, r8.trace_json());
+        // One track per cached prefix plus one per cell.
+        assert_eq!(r1.traces.len(), 2 + 6);
+        assert!(t1.contains("\"traceEvents\""));
+        assert!(t1.contains("\"name\":\"sum/softbound@O3@VectorizerStart\""), "{t1}");
+        assert!(t1.contains("\"name\":\"heap/prefix@O3@VectorizerStart\""), "{t1}");
+        // The instrumentation plugin shows up as a span on instrumented
+        // cell tracks.
+        assert!(t1.contains("\"cat\":\"plugin@VectorizerStart\""), "{t1}");
+        // Tracing must not perturb results.
+        let plain = Driver::new(tiny_programs(), fig9_configs()).with_jobs(2).run();
+        assert!(plain.traces.is_empty());
+        assert_eq!(plain.to_json(false), r1.to_json(false));
+    }
+
+    #[test]
+    fn site_profiles_reconcile_exactly_with_vm_stats() {
+        let r = Driver::new(tiny_programs(), paper_sweep_configs()).with_jobs(4).run();
+        let mut instrumented = 0;
+        for cell in &r.cells {
+            let ok = cell.ok();
+            let s = &ok.stats;
+            let ctx = format!("{} [{}]", cell.program, cell.config);
+            if cell.config.starts_with("baseline") {
+                assert!(ok.profile.is_empty(), "{ctx}: baseline must have no site hits");
+                continue;
+            }
+            instrumented += 1;
+            assert_eq!(
+                ok.profile.total_hits(),
+                s.checks_executed + s.invariant_checks_executed,
+                "{ctx}: site hits must equal executed checks"
+            );
+            assert_eq!(ok.profile.total_wide(), s.checks_wide, "{ctx}: wide counts");
+            assert_eq!(ok.profile.total_cost(), s.cost_checks, "{ctx}: check cost");
+        }
+        assert!(instrumented > 0);
     }
 
     #[test]

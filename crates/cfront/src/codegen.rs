@@ -103,6 +103,7 @@ pub fn lower(unit: &Unit) -> Result<Module, CError> {
                     loops: vec![],
                 };
                 // Spill parameters to stack slots (mem2reg will clean up).
+                cg.fb.set_line(f.line as u32);
                 for (i, p) in f.params.iter().enumerate() {
                     let mty = cg.env.mty(&p.ty, f.line)?;
                     let slot = cg.fb.alloca(mty.clone());
@@ -281,6 +282,7 @@ impl FnCg<'_, '_> {
                 if mty == Type::Void {
                     return Err(self.err(*line, "void variable"));
                 }
+                self.fb.set_line(*line as u32);
                 let slot = self.entry_alloca(mty);
                 if let Some(e) = init {
                     let v = self.rvalue(e)?;
@@ -376,6 +378,7 @@ impl FnCg<'_, '_> {
                 Ok(())
             }
             Stmt::Return { value, line } => {
+                self.fb.set_line(*line as u32);
                 match (value, self.ret_ty.clone()) {
                     (None, CType::Void) => self.fb.ret(None),
                     (Some(e), rt) => {
@@ -419,6 +422,7 @@ impl FnCg<'_, '_> {
     }
 
     fn lvalue(&mut self, e: &Expr) -> Result<(Operand, CType), CError> {
+        self.fb.set_line(e.line as u32);
         match &e.kind {
             ExprKind::Ident(name) => {
                 let (addr, ty, _) = self
@@ -486,6 +490,7 @@ impl FnCg<'_, '_> {
 
     fn rvalue(&mut self, e: &Expr) -> Result<TV, CError> {
         let line = e.line;
+        self.fb.set_line(line as u32);
         match &e.kind {
             ExprKind::IntLit(v) => {
                 if i32::try_from(*v).is_ok() {
@@ -814,12 +819,14 @@ impl FnCg<'_, '_> {
     /// Creates an alloca in the entry block (clang-style: all locals and
     /// temporaries live at function scope, so loops do not grow the stack).
     fn entry_alloca(&mut self, mty: Type) -> Operand {
+        let loc = self.fb.current_loc();
         let f = self.fb.func_mut();
         let id = f.insert_instr(
             BlockId::new(0),
             0,
             mir::instr::InstrKind::Alloca { ty: mty, count: Operand::i64(1) },
         );
+        f.set_instr_loc(id, loc);
         Operand::Val(f.instr_result(id).expect("alloca result"))
     }
 

@@ -83,3 +83,15 @@ pub fn compile(src: &str) -> Result<mir::Module, CError> {
     let unit = parser::parse(tokens)?;
     codegen::lower(&unit)
 }
+
+/// Compiles mini-C source to a [`mir::Module`], recording `file` as the
+/// module's source file so diagnostics and profiles render `file:line`.
+///
+/// # Errors
+///
+/// Returns a [`CError`] for lexical, syntactic, or semantic problems.
+pub fn compile_named(src: &str, file: &str) -> Result<mir::Module, CError> {
+    let mut m = compile(src)?;
+    m.src_file = Some(file.to_string());
+    Ok(m)
+}

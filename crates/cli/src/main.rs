@@ -8,7 +8,16 @@
 //! mi ir    prog.c [options]     print the optimized (instrumented) IR
 //! mi check prog.c               run under all three mechanisms, summarize
 //! mi stats prog.c [options]     static + dynamic instrumentation statistics
+//! mi profile prog.c [options] [--top N] [--json]
+//!                               per-check-site execution profile: hottest /
+//!                               widest check sites with source attribution;
+//!                               totals reconcile exactly with the dynamic
+//!                               VM statistics (--json: schema mi-profile/1)
+//!
+//! `prog.c` may also be a built-in benchmark name (e.g. `183equake`) for
+//! every file-taking subcommand, including `mi eval`.
 //! mi eval  [prog.c ...] [--jobs N] [--out report.json] [--timings]
+//!          [--trace trace.json]
 //!                               run the full paper sweep (all mechanisms ×
 //!                               variants × extension points) through the
 //!                               parallel cached evaluation driver; with no
@@ -30,18 +39,26 @@
 //!   --no-opt-dominance                      disable §5.3 check elimination
 //!   --narrow                                Appendix-B member-bounds narrowing
 //!   --wrapper-checks                        enable Figure-6 wrapper checks
+//!   --trace trace.json                      (run) write a Chrome trace_event
+//!                                           JSON of the pass pipeline,
+//!                                           viewable in Perfetto
 //! ```
 
 use std::process::ExitCode;
 
-use meminstrument::runtime::{compile, compile_baseline, BuildOptions};
+use meminstrument::runtime::{
+    compile, compile_baseline, compile_baseline_traced, compile_traced, BuildOptions,
+};
 use meminstrument::{Mechanism, MiConfig, MiMode};
 use memvm::VmConfig;
 use mir::pipeline::{ExtensionPoint, OptLevel};
+use mir::trace::TraceRecorder;
 
 fn usage() -> ExitCode {
     eprintln!("usage: mi <run|ir|check|stats> <file.c> [options]");
+    eprintln!("       mi profile <file.c> [options] [--top N] [--json]");
     eprintln!("       mi eval [file.c ...] [--jobs N] [--out report.json] [--timings]");
+    eprintln!("               [--trace trace.json]");
     eprintln!("       mi fuzz [--seed S] [--cases N] [--jobs N] [--fail-dir DIR]");
     eprintln!("               [--no-shrink] [--replay IDX]");
     eprintln!("       (see `crates/cli/src/main.rs` header for options)");
@@ -52,6 +69,20 @@ struct Options {
     mech: Option<Mechanism>,
     opts: BuildOptions,
     config: MiConfig,
+    trace: Option<String>,
+}
+
+impl Options {
+    /// Stable configuration label, mirroring the driver's cell labels:
+    /// `<mech>@<opt>@<extension point>`.
+    fn label(&self) -> String {
+        let mech = self.mech.map(|m| m.name()).unwrap_or("baseline");
+        let opt = match self.opts.opt {
+            OptLevel::O0 => "O0",
+            OptLevel::O3 => "O3",
+        };
+        format!("{mech}@{opt}@{}", self.opts.ep.name())
+    }
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -62,9 +93,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut dominance = true;
     let mut narrow = false;
     let mut wrappers = false;
+    let mut trace = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--trace" => match it.next() {
+                Some(p) => trace = Some(p.clone()),
+                None => return Err("--trace expects a path".to_string()),
+            },
             "--mech" => {
                 mech = match it.next().map(String::as_str) {
                     Some("softbound") | Some("sb") => Some(Mechanism::SoftBound),
@@ -101,18 +137,49 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     config.opt_dominance = dominance;
     config.sb_narrow_member_bounds = narrow;
     config.sb_wrapper_checks = wrappers;
-    Ok(Options { mech, opts: BuildOptions { opt, ep }, config })
+    Ok(Options { mech, opts: BuildOptions { opt, ep }, config, trace })
+}
+
+/// Resolves `path` to a (source name, source text) pair: an on-disk file,
+/// or — when no such file exists — a built-in benchmark name such as
+/// `183equake`.
+fn resolve_source(path: &str) -> Result<(String, String), String> {
+    match std::fs::read_to_string(path) {
+        Ok(src) => {
+            let name = std::path::Path::new(path)
+                .file_name()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| path.to_string());
+            Ok((name, src))
+        }
+        Err(e) => match bench::driver::benchmark_programs().into_iter().find(|p| p.name == path) {
+            Some(p) => Ok((format!("{}.c", p.name), p.source)),
+            None => Err(format!("{path}: {e} (and no built-in benchmark has that name)")),
+        },
+    }
 }
 
 fn frontend(path: &str) -> Result<mir::Module, String> {
-    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    cfront::compile(&src).map_err(|e| format!("{path}:{e}"))
+    let (name, src) = resolve_source(path)?;
+    cfront::compile_named(&src, &name).map_err(|e| format!("{path}:{e}"))
 }
 
 fn build(module: mir::Module, o: &Options) -> meminstrument::CompiledProgram {
     match o.mech {
         None => compile_baseline(module, o.opts),
         Some(_) => compile(module, &o.config, o.opts),
+    }
+}
+
+/// Like [`build`], recording a pass-pipeline trace into `rec`.
+fn build_traced(
+    module: mir::Module,
+    o: &Options,
+    rec: &mut TraceRecorder,
+) -> meminstrument::CompiledProgram {
+    match o.mech {
+        None => compile_baseline_traced(module, o.opts, rec),
+        Some(_) => compile_traced(module, &o.config, o.opts, rec),
     }
 }
 
@@ -124,7 +191,22 @@ fn cmd_run(path: &str, o: &Options) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let prog = build(module, o);
+    let prog = match &o.trace {
+        None => build(module, o),
+        Some(trace_path) => {
+            let mut rec = TraceRecorder::new();
+            let prog = build_traced(module, o, &mut rec);
+            if let Err(e) = std::fs::write(trace_path, rec.to_chrome_trace()) {
+                eprintln!("error: {trace_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "[mi] pipeline trace ({} pass spans) written to {trace_path}",
+                rec.spans().len()
+            );
+            prog
+        }
+    };
     match prog.run_main(VmConfig::default()) {
         Ok(out) => {
             for line in &out.output {
@@ -257,6 +339,153 @@ fn cmd_stats(path: &str, o: &Options) -> ExitCode {
     }
 }
 
+/// `mi profile`: per-check-site execution profile with source attribution.
+///
+/// Compiles and runs one program, then joins the VM's per-site counters
+/// ([`memvm::SiteProfile`]) with the module's `check_sites` table and ranks
+/// sites by dynamic check cost (ties: hits, then site index). The totals
+/// reconcile exactly with the aggregate VM statistics — asserted here, so
+/// a drifting profile is a hard error, not a subtly wrong report.
+fn cmd_profile(path: &str, args: &[String]) -> ExitCode {
+    let mut top = 10usize;
+    let mut json = false;
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--top" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => top = n,
+                None => {
+                    eprintln!("error: --top expects a number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => json = true,
+            other => rest.push(other.to_string()),
+        }
+    }
+    let o = match parse_options(&rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let module = match frontend(path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let prog = build(module, &o);
+    let src_file = prog.module.src_file.clone();
+    let sites = prog.module.check_sites.clone();
+    let out = match prog.run_main(VmConfig::default()) {
+        Ok(out) => out,
+        Err(t) => {
+            eprintln!("[mi] {t}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let s = &out.stats;
+    let (hits, wide, cost) =
+        (out.profile.total_hits(), out.profile.total_wide(), out.profile.total_cost());
+    assert_eq!(hits, s.checks_executed + s.invariant_checks_executed, "profile/stats drift");
+    assert_eq!(wide, s.checks_wide, "profile/stats drift");
+    assert_eq!(cost, s.cost_checks, "profile/stats drift");
+
+    // Rank executed sites by cost, then hits; stable on site index.
+    let mut ranked: Vec<(usize, memvm::SiteCounts)> =
+        (0..sites.len()).map(|i| (i, out.profile.get(i))).filter(|(_, c)| c.hits > 0).collect();
+    ranked.sort_by(|a, b| (b.1.cost, b.1.hits, a.0).cmp(&(a.1.cost, a.1.hits, b.0)));
+    let sites_hit = ranked.len();
+    ranked.truncate(top);
+
+    let file_label = src_file.as_deref().unwrap_or(path);
+    if json {
+        use mir::trace::json_string;
+        let mut j = String::new();
+        j.push_str("{\n  \"schema\": \"mi-profile/1\",\n");
+        j.push_str(&format!("  \"file\": {},\n", json_string(file_label)));
+        j.push_str(&format!("  \"config\": {},\n", json_string(&o.label())));
+        j.push_str(&format!("  \"sites_registered\": {},\n", sites.len()));
+        j.push_str(&format!("  \"sites_hit\": {sites_hit},\n"));
+        j.push_str(&format!(
+            "  \"totals\": {{\"hits\": {hits}, \"wide\": {wide}, \"cost\": {cost}}},\n"
+        ));
+        j.push_str(&format!(
+            "  \"vm\": {{\"checks_executed\": {}, \"invariant_checks\": {}, \"checks_wide\": {}, \"cost_checks\": {}}},\n",
+            s.checks_executed, s.invariant_checks_executed, s.checks_wide, s.cost_checks
+        ));
+        j.push_str("  \"sites\": [\n");
+        for (i, (site, c)) in ranked.iter().enumerate() {
+            let cs = &sites[*site];
+            let line = match cs.line {
+                Some(l) => l.to_string(),
+                None => "null".to_string(),
+            };
+            let alloc = match cs.describe_alloc(src_file.as_deref()) {
+                Some(a) => json_string(&a),
+                None => "null".to_string(),
+            };
+            j.push_str(&format!(
+                "    {{\"rank\": {}, \"site\": {site}, \"kind\": {}, \"func\": {}, \"line\": {line}, \"source\": {}, \"access\": {}, \"alloc\": {alloc}, \"hits\": {}, \"wide\": {}, \"cost\": {}}}{}\n",
+                i + 1,
+                json_string(cs.kind.keyword()),
+                json_string(&cs.func),
+                json_string(&cs.source(src_file.as_deref())),
+                json_string(&cs.access_kind()),
+                c.hits,
+                c.wide,
+                c.cost,
+                if i + 1 == ranked.len() { "" } else { "," }
+            ));
+        }
+        j.push_str("  ]\n}\n");
+        print!("{j}");
+        return ExitCode::SUCCESS;
+    }
+
+    println!("[mi profile] {file_label} — {}", o.label());
+    println!("  check sites : {} registered, {sites_hit} hit", sites.len());
+    println!(
+        "  check hits  : {hits} (checks_executed {} + invariant_checks {})",
+        s.checks_executed, s.invariant_checks_executed
+    );
+    println!("  wide checks : {wide} (= checks_wide)");
+    println!("  check cost  : {cost} (= cost_checks)");
+    if ranked.is_empty() {
+        println!("  (no check sites executed)");
+        return ExitCode::SUCCESS;
+    }
+    println!();
+    println!(
+        "  {:>4} {:>5}  {:<9} {:<14} {:<12} {:<14} {:>9} {:>7} {:>10}",
+        "rank", "site", "kind", "source", "function", "access", "hits", "wide", "cost"
+    );
+    for (i, (site, c)) in ranked.iter().enumerate() {
+        let cs = &sites[*site];
+        println!(
+            "  {:>4} {:>5}  {:<9} {:<14} {:<12} {:<14} {:>9} {:>7} {:>10}",
+            i + 1,
+            site,
+            cs.kind.keyword(),
+            cs.source(src_file.as_deref()),
+            cs.func,
+            cs.access_kind(),
+            c.hits,
+            c.wide,
+            c.cost
+        );
+        if let Some(alloc) = cs.describe_alloc(src_file.as_deref()) {
+            println!("  {:>4} {:>5}  guards {alloc}", "", "");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 /// `mi eval`: the full paper sweep through the parallel cached driver.
 ///
 /// Writes the `evald-report/2` JSON to `--out` (or stdout) and a one-line
@@ -266,6 +495,7 @@ fn cmd_eval(args: &[String]) -> ExitCode {
     use bench::driver::{benchmark_programs, paper_sweep_configs, Driver, Program};
     let mut jobs = 0usize;
     let mut out_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut timings = false;
     let mut files: Vec<String> = Vec::new();
     let mut it = args.iter();
@@ -285,6 +515,13 @@ fn cmd_eval(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--trace" => match it.next() {
+                Some(p) => trace_path = Some(p.clone()),
+                None => {
+                    eprintln!("error: --trace expects a path");
+                    return ExitCode::from(2);
+                }
+            },
             "--timings" => timings = true,
             f if !f.starts_with("--") => files.push(f.to_string()),
             other => {
@@ -301,6 +538,11 @@ fn cmd_eval(args: &[String]) -> ExitCode {
             let source = match std::fs::read_to_string(f) {
                 Ok(s) => s,
                 Err(e) => {
+                    // Fall back to a built-in benchmark name.
+                    if let Some(p) = benchmark_programs().into_iter().find(|p| &p.name == f) {
+                        programs.push(p);
+                        continue;
+                    }
                     eprintln!("error: {f}: {e}");
                     return ExitCode::FAILURE;
                 }
@@ -313,8 +555,17 @@ fn cmd_eval(args: &[String]) -> ExitCode {
         }
         programs
     };
-    let driver = Driver::new(programs, paper_sweep_configs()).with_jobs(jobs);
+    let driver = Driver::new(programs, paper_sweep_configs())
+        .with_jobs(jobs)
+        .with_trace(trace_path.is_some());
     let report = driver.run();
+    if let Some(p) = &trace_path {
+        if let Err(e) = std::fs::write(p, report.trace_json()) {
+            eprintln!("error: {p}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[mi eval] pipeline trace ({} tracks) written to {p}", report.traces.len());
+    }
     let trapped = report.cells.iter().filter(|c| c.outcome.is_err()).count();
     let t = &report.timings;
     eprintln!(
@@ -437,6 +688,9 @@ fn main() -> ExitCode {
         Some((p, o)) if !p.starts_with("--") => (p.as_str(), o),
         _ => return usage(),
     };
+    if cmd == "profile" {
+        return cmd_profile(path, opt_args);
+    }
     let options = match parse_options(opt_args) {
         Ok(o) => o,
         Err(e) => {

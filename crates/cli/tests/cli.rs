@@ -126,6 +126,89 @@ fn eval_report_is_byte_identical_across_job_counts() {
 }
 
 #[test]
+fn run_buggy_program_names_access_and_allocation_lines() {
+    let path = write_temp("prov.c", BUGGY);
+    let out = mi().args(["run", path.to_str().unwrap(), "--mech", "softbound"]).output().unwrap();
+    assert_ne!(out.status.code(), Some(0));
+    let err = String::from_utf8_lossy(&out.stderr);
+    // ASan-style provenance: the access line (p[8] = 1 on line 4) and the
+    // allocation line (malloc on line 3), both attributed to the file.
+    assert!(err.contains("8-byte write at mi_cli_test_prov.c:4"), "{err}");
+    assert!(
+        err.contains("overflows 64-byte heap object allocated at mi_cli_test_prov.c:3"),
+        "{err}"
+    );
+    assert!(err.contains("in @main (line 4)"), "{err}");
+}
+
+#[test]
+fn profile_ranks_sites_and_reconciles() {
+    let path = write_temp("profile.c", CLEAN);
+    let out = mi().args(["profile", path.to_str().unwrap(), "--mech", "lowfat"]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("(= cost_checks)"), "{stdout}");
+    assert!(stdout.contains("mi_cli_test_profile.c:"), "{stdout}");
+    assert!(stdout.contains("deref"), "{stdout}");
+
+    let out = mi()
+        .args(["profile", path.to_str().unwrap(), "--mech", "lowfat", "--top", "2", "--json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"schema\": \"mi-profile/1\""), "{json}");
+    assert!(json.contains("\"config\": \"lowfat@O3@VectorizerStart\""), "{json}");
+    assert!(json.contains("\"source\": \"mi_cli_test_profile.c:"), "{json}");
+    // --top 2 caps the ranked list.
+    assert!(!json.contains("\"rank\": 3"), "{json}");
+}
+
+#[test]
+fn run_trace_writes_chrome_trace_json() {
+    let path = write_temp("trace.c", CLEAN);
+    let trace = std::env::temp_dir().join("mi_cli_test_run_trace.json");
+    let out = mi()
+        .args(["run", path.to_str().unwrap(), "--trace", trace.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "{}", String::from_utf8_lossy(&out.stderr));
+    let doc = std::fs::read_to_string(&trace).unwrap();
+    assert!(doc.contains("\"traceEvents\""), "{doc}");
+    assert!(doc.contains("\"ph\":\"X\""), "{doc}");
+    assert!(doc.contains("plugin@VectorizerStart"), "{doc}");
+}
+
+#[test]
+fn eval_trace_is_byte_identical_across_job_counts() {
+    let path = write_temp("eval_trace.c", CLEAN);
+    let t1 = std::env::temp_dir().join("mi_cli_test_eval_trace_j1.json");
+    let t8 = std::env::temp_dir().join("mi_cli_test_eval_trace_j8.json");
+    for (jobs, trace) in [("1", &t1), ("8", &t8)] {
+        let st = mi()
+            .args([
+                "eval",
+                path.to_str().unwrap(),
+                "--jobs",
+                jobs,
+                "--out",
+                std::env::temp_dir().join("mi_cli_test_eval_trace_rep.json").to_str().unwrap(),
+                "--trace",
+                trace.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(st.status.success(), "{}", String::from_utf8_lossy(&st.stderr));
+    }
+    let d1 = std::fs::read_to_string(&t1).unwrap();
+    let d8 = std::fs::read_to_string(&t8).unwrap();
+    assert_eq!(d1, d8, "eval trace must not depend on worker count");
+    assert!(d1.contains("\"traceEvents\""), "{d1}");
+    assert!(d1.contains("/prefix@O3@VectorizerStart\""), "{d1}");
+    assert!(d1.contains("/softbound@O3@VectorizerStart\""), "{d1}");
+}
+
+#[test]
 fn eval_reports_violations_as_cells_not_failures() {
     let path = write_temp("eval_buggy.c", BUGGY);
     let out = mi().args(["eval", path.to_str().unwrap(), "--jobs", "2"]).output().unwrap();

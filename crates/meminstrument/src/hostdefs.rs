@@ -10,6 +10,11 @@
 //! low-fat base recovery is `Pure` (hoistable, CSE-able — "only recalculate
 //! the base pointer"), and everything that can abort or write is
 //! `Effectful` and therefore an optimization barrier (§5.5).
+//!
+//! Every function that can *report a violation* ([`SB_CHECK`],
+//! [`LF_CHECK`], [`LF_INVARIANT`], [`RZ_CHECK`]) takes a trailing `i64`
+//! check-site id indexing [`mir::module::Module::check_sites`]; the runtime
+//! uses it for per-site profiles and source-attributed trap reports.
 
 use mir::module::{Effect, HostDecl, Module};
 use mir::types::Type;
@@ -64,7 +69,11 @@ pub fn declare_softbound(m: &mut Module) {
     let d = |params: Vec<Type>, ret: Type, effect: Effect| HostDecl { params, ret, effect };
     m.declare_host(
         SB_CHECK,
-        d(vec![p.clone(), i.clone(), p.clone(), p.clone()], v.clone(), Effect::Effectful),
+        d(
+            vec![p.clone(), i.clone(), p.clone(), p.clone(), i.clone()],
+            v.clone(),
+            Effect::Effectful,
+        ),
     );
     m.declare_host(SB_TRIE_GET_BASE, d(vec![p.clone()], p.clone(), Effect::ReadOnly));
     m.declare_host(SB_TRIE_GET_BOUND, d(vec![p.clone()], p.clone(), Effect::ReadOnly));
@@ -105,7 +114,10 @@ pub fn declare_redzone(m: &mut Module) {
     let i = Type::I64;
     let v = Type::Void;
     let d = |params: Vec<Type>, ret: Type, effect: Effect| HostDecl { params, ret, effect };
-    m.declare_host(RZ_CHECK, d(vec![p.clone(), i.clone()], v.clone(), Effect::Effectful));
+    m.declare_host(
+        RZ_CHECK,
+        d(vec![p.clone(), i.clone(), i.clone()], v.clone(), Effect::Effectful),
+    );
     m.declare_host(RZ_STACK_ALLOC, d(vec![i.clone()], p, Effect::Effectful));
     m.declare_host(RZ_STACK_SAVE, d(vec![], i.clone(), Effect::Effectful));
     m.declare_host(RZ_STACK_RESTORE, d(vec![i], v, Effect::Effectful));
@@ -119,9 +131,12 @@ pub fn declare_lowfat(m: &mut Module) {
     let d = |params: Vec<Type>, ret: Type, effect: Effect| HostDecl { params, ret, effect };
     m.declare_host(
         LF_CHECK,
-        d(vec![p.clone(), i.clone(), p.clone()], v.clone(), Effect::Effectful),
+        d(vec![p.clone(), i.clone(), p.clone(), i.clone()], v.clone(), Effect::Effectful),
     );
-    m.declare_host(LF_INVARIANT, d(vec![p.clone(), p.clone()], v.clone(), Effect::Effectful));
+    m.declare_host(
+        LF_INVARIANT,
+        d(vec![p.clone(), p.clone(), i.clone()], v.clone(), Effect::Effectful),
+    );
     m.declare_host(LF_BASE, d(vec![p.clone()], p.clone(), Effect::Pure));
     m.declare_host(LF_STACK_ALLOC, d(vec![i.clone()], p, Effect::Effectful));
     m.declare_host(LF_STACK_SAVE, d(vec![], i.clone(), Effect::Effectful));

@@ -51,9 +51,15 @@ impl LowFatMech {
         value: &Operand,
         witness: &Witness,
     ) {
+        let site =
+            cx.register_site(mir::srcloc::SiteKind::Invariant, false, None, Some(anchor), value);
         cx.insert_before(
             anchor,
-            Self::call(h::LF_INVARIANT, vec![value.clone(), witness.0[0].clone()], Type::Void),
+            Self::call(
+                h::LF_INVARIANT,
+                vec![value.clone(), witness.0[0].clone(), site],
+                Type::Void,
+            ),
         );
         cx.stats.invariants_placed += 1;
     }
@@ -152,11 +158,23 @@ impl MechanismLowering for LowFatMech {
     }
 
     fn emit_check(&mut self, cx: &mut InstrumentCx<'_>, target: &CheckTarget, witness: &Witness) {
+        let site = cx.register_site(
+            mir::srcloc::SiteKind::Deref,
+            target.is_store,
+            Some(target.width),
+            Some(target.instr),
+            &target.ptr,
+        );
         cx.insert_before(
             target.instr,
             Self::call(
                 h::LF_CHECK,
-                vec![target.ptr.clone(), Operand::i64(target.width as i64), witness.0[0].clone()],
+                vec![
+                    target.ptr.clone(),
+                    Operand::i64(target.width as i64),
+                    witness.0[0].clone(),
+                    site,
+                ],
                 Type::Void,
             ),
         );
@@ -182,8 +200,12 @@ impl MechanismLowering for LowFatMech {
         value: &Operand,
         witness: &Witness,
     ) {
-        let pos_kind =
-            Self::call(h::LF_INVARIANT, vec![value.clone(), witness.0[0].clone()], Type::Void);
+        let site = cx.register_site(mir::srcloc::SiteKind::Invariant, false, None, None, value);
+        let pos_kind = Self::call(
+            h::LF_INVARIANT,
+            vec![value.clone(), witness.0[0].clone(), site],
+            Type::Void,
+        );
         cx.insert_at_block_end(block, pos_kind);
         cx.stats.invariants_placed += 1;
     }
@@ -227,13 +249,18 @@ impl MechanismLowering for LowFatMech {
                 InstrKind::MemCpy { dst, src, len } => (dst.clone(), src.clone(), len.clone()),
                 other => unreachable!("memcpy target is {other:?}"),
             };
+            let width = len.as_const_int().map(|n| n.max(0) as u64);
+            let dsite =
+                cx.register_site(mir::srcloc::SiteKind::Wrapper, true, width, Some(instr), &dst);
             cx.insert_before(
                 instr,
-                Self::call(h::LF_CHECK, vec![dst, len.clone(), wd.0[0].clone()], Type::Void),
+                Self::call(h::LF_CHECK, vec![dst, len.clone(), wd.0[0].clone(), dsite], Type::Void),
             );
+            let ssite =
+                cx.register_site(mir::srcloc::SiteKind::Wrapper, false, width, Some(instr), &src);
             cx.insert_before(
                 instr,
-                Self::call(h::LF_CHECK, vec![src, len, ws.0[0].clone()], Type::Void),
+                Self::call(h::LF_CHECK, vec![src, len, ws.0[0].clone(), ssite], Type::Void),
             );
             cx.stats.checks_placed += 2;
         }

@@ -91,11 +91,18 @@ impl MechanismLowering for RedZoneMech {
     }
 
     fn emit_check(&mut self, cx: &mut InstrumentCx<'_>, target: &CheckTarget, _witness: &Witness) {
+        let site = cx.register_site(
+            mir::srcloc::SiteKind::Deref,
+            target.is_store,
+            Some(target.width),
+            Some(target.instr),
+            &target.ptr,
+        );
         cx.insert_before(
             target.instr,
             Self::call(
                 h::RZ_CHECK,
-                vec![target.ptr.clone(), Operand::i64(target.width as i64)],
+                vec![target.ptr.clone(), Operand::i64(target.width as i64), site],
                 Type::Void,
             ),
         );
@@ -154,8 +161,13 @@ impl MechanismLowering for RedZoneMech {
             InstrKind::MemCpy { dst, src, len } => (dst.clone(), src.clone(), len.clone()),
             other => unreachable!("memcpy target is {other:?}"),
         };
-        cx.insert_before(instr, Self::call(h::RZ_CHECK, vec![dst, len.clone()], Type::Void));
-        cx.insert_before(instr, Self::call(h::RZ_CHECK, vec![src, len], Type::Void));
+        let width = len.as_const_int().map(|n| n.max(0) as u64);
+        let dsite =
+            cx.register_site(mir::srcloc::SiteKind::Wrapper, true, width, Some(instr), &dst);
+        cx.insert_before(instr, Self::call(h::RZ_CHECK, vec![dst, len.clone(), dsite], Type::Void));
+        let ssite =
+            cx.register_site(mir::srcloc::SiteKind::Wrapper, false, width, Some(instr), &src);
+        cx.insert_before(instr, Self::call(h::RZ_CHECK, vec![src, len, ssite], Type::Void));
         cx.stats.checks_placed += 2;
     }
 
@@ -164,7 +176,9 @@ impl MechanismLowering for RedZoneMech {
             InstrKind::MemSet { dst, len, .. } => (dst.clone(), len.clone()),
             other => unreachable!("memset target is {other:?}"),
         };
-        cx.insert_before(instr, Self::call(h::RZ_CHECK, vec![dst, len], Type::Void));
+        let width = len.as_const_int().map(|n| n.max(0) as u64);
+        let site = cx.register_site(mir::srcloc::SiteKind::Wrapper, true, width, Some(instr), &dst);
+        cx.insert_before(instr, Self::call(h::RZ_CHECK, vec![dst, len, site], Type::Void));
         cx.stats.checks_placed += 1;
     }
 }

@@ -204,6 +204,13 @@ impl MechanismLowering for SoftBoundMech {
     fn prepare_function(&mut self, _cx: &mut InstrumentCx<'_>) {}
 
     fn emit_check(&mut self, cx: &mut InstrumentCx<'_>, target: &CheckTarget, witness: &Witness) {
+        let site = cx.register_site(
+            mir::srcloc::SiteKind::Deref,
+            target.is_store,
+            Some(target.width),
+            Some(target.instr),
+            &target.ptr,
+        );
         cx.insert_before(
             target.instr,
             Self::call(
@@ -213,6 +220,7 @@ impl MechanismLowering for SoftBoundMech {
                     Operand::i64(target.width as i64),
                     witness.0[0].clone(),
                     witness.0[1].clone(),
+                    site,
                 ],
                 Type::Void,
             ),
@@ -327,19 +335,24 @@ impl MechanismLowering for SoftBoundMech {
         };
         if let Some((wd, ws)) = wrapper_witnesses {
             // Figure 6's check_abort calls (disabled by default, §5.1.2).
+            let width = len.as_const_int().map(|n| n.max(0) as u64);
+            let dsite =
+                cx.register_site(mir::srcloc::SiteKind::Wrapper, true, width, Some(instr), &dst);
             cx.insert_before(
                 instr,
                 Self::call(
                     h::SB_CHECK,
-                    vec![dst.clone(), len.clone(), wd.0[0].clone(), wd.0[1].clone()],
+                    vec![dst.clone(), len.clone(), wd.0[0].clone(), wd.0[1].clone(), dsite],
                     Type::Void,
                 ),
             );
+            let ssite =
+                cx.register_site(mir::srcloc::SiteKind::Wrapper, false, width, Some(instr), &src);
             cx.insert_before(
                 instr,
                 Self::call(
                     h::SB_CHECK,
-                    vec![src.clone(), len.clone(), ws.0[0].clone(), ws.0[1].clone()],
+                    vec![src.clone(), len.clone(), ws.0[0].clone(), ws.0[1].clone(), ssite],
                     Type::Void,
                 ),
             );

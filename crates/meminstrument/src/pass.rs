@@ -74,6 +74,7 @@ impl ModulePass for MemInstrumentPass {
         }
 
         let minfo = ModuleInfo::collect(m, &self.config);
+        let mut sites = std::mem::take(&mut m.check_sites);
         for i in 0..m.functions.len() {
             let skip = {
                 let f = &m.functions[i];
@@ -90,20 +91,21 @@ impl ModulePass for MemInstrumentPass {
             match self.config.mechanism {
                 Mechanism::SoftBound => {
                     let mut mech = SoftBoundMech;
-                    instrument_function(&mut f, &minfo, &mut self.stats, &mut mech);
+                    instrument_function(&mut f, &minfo, &mut self.stats, &mut sites, &mut mech);
                 }
                 Mechanism::LowFat => {
                     let mut mech = LowFatMech;
-                    instrument_function(&mut f, &minfo, &mut self.stats, &mut mech);
+                    instrument_function(&mut f, &minfo, &mut self.stats, &mut sites, &mut mech);
                 }
                 Mechanism::RedZone => {
                     let mut mech = RedZoneMech;
-                    instrument_function(&mut f, &minfo, &mut self.stats, &mut mech);
+                    instrument_function(&mut f, &minfo, &mut self.stats, &mut sites, &mut mech);
                 }
             }
             m.functions[i] = f;
             self.stats.functions_instrumented += 1;
         }
+        m.check_sites = sites;
         true
     }
 }
@@ -112,10 +114,11 @@ fn instrument_function(
     f: &mut Function,
     minfo: &ModuleInfo,
     stats: &mut InstrStats,
+    sites: &mut Vec<mir::srcloc::CheckSite>,
     mech: &mut dyn MechanismLowering,
 ) {
     let config = &minfo.config;
-    let mut cx = InstrumentCx::new(f, minfo, stats);
+    let mut cx = InstrumentCx::new(f, minfo, stats, sites);
 
     mech.prepare_function(&mut cx);
 

@@ -18,6 +18,8 @@ use memvm::interp::{ExecOutcome, GlobalPlacer, Trap, Vm, VmConfig};
 use memvm::{CostCategory, RtVal};
 use mir::module::{Global, Module};
 use mir::pipeline::{ExtensionPoint, OptLevel, Pipeline};
+use mir::srcloc::{CheckSite, SiteKind};
+use mir::trace::TraceRecorder;
 use softbound_rt::{Bounds, MetadataTrie, ShadowStack};
 
 use crate::config::{Mechanism, MiConfig};
@@ -57,10 +59,37 @@ pub fn compile(module: Module, config: &MiConfig, opts: BuildOptions) -> Compile
     compile_from_prefix(pipeline_prefix(module, opts), config, opts)
 }
 
+/// Like [`compile`], recording a per-pass span (including the
+/// instrumentation plugin) in `rec`.
+pub fn compile_traced(
+    mut module: Module,
+    config: &MiConfig,
+    opts: BuildOptions,
+    rec: &mut TraceRecorder,
+) -> CompiledProgram {
+    let p = Pipeline::new(opts.opt);
+    p.run_to_traced(&mut module, opts.ep, rec);
+    let mut pass = MemInstrumentPass::new(config.clone());
+    p.resume_at_traced(&mut module, opts.ep, Some(&mut pass), rec);
+    CompiledProgram { module, mechanism: Some(config.mechanism), stats: pass.stats }
+}
+
 /// Compiles `module` without instrumentation (the `-O3` baseline of the
 /// paper's figures).
 pub fn compile_baseline(module: Module, opts: BuildOptions) -> CompiledProgram {
     compile_baseline_from_prefix(pipeline_prefix(module, opts), opts)
+}
+
+/// Like [`compile_baseline`], recording a per-pass span in `rec`.
+pub fn compile_baseline_traced(
+    mut module: Module,
+    opts: BuildOptions,
+    rec: &mut TraceRecorder,
+) -> CompiledProgram {
+    let p = Pipeline::new(opts.opt);
+    p.run_to_traced(&mut module, opts.ep, rec);
+    p.resume_at_traced(&mut module, opts.ep, None, rec);
+    CompiledProgram { module, mechanism: None, stats: InstrStats::default() }
 }
 
 /// Runs the pipeline stages *before* the extension point in `opts` and
@@ -73,6 +102,16 @@ pub fn compile_baseline(module: Module, opts: BuildOptions) -> CompiledProgram {
 /// instead of once per sweep cell.
 pub fn pipeline_prefix(mut module: Module, opts: BuildOptions) -> Module {
     Pipeline::new(opts.opt).run_to(&mut module, opts.ep);
+    module
+}
+
+/// Like [`pipeline_prefix`], recording a per-pass span in `rec`.
+pub fn pipeline_prefix_traced(
+    mut module: Module,
+    opts: BuildOptions,
+    rec: &mut TraceRecorder,
+) -> Module {
+    Pipeline::new(opts.opt).run_to_traced(&mut module, opts.ep, rec);
     module
 }
 
@@ -90,11 +129,35 @@ pub fn compile_from_prefix(
     CompiledProgram { module, mechanism: Some(config.mechanism), stats: pass.stats }
 }
 
+/// Like [`compile_from_prefix`], recording a per-pass span (including the
+/// instrumentation plugin) in `rec`.
+pub fn compile_from_prefix_traced(
+    mut module: Module,
+    config: &MiConfig,
+    opts: BuildOptions,
+    rec: &mut TraceRecorder,
+) -> CompiledProgram {
+    let mut pass = MemInstrumentPass::new(config.clone());
+    Pipeline::new(opts.opt).resume_at_traced(&mut module, opts.ep, Some(&mut pass), rec);
+    CompiledProgram { module, mechanism: Some(config.mechanism), stats: pass.stats }
+}
+
 /// Completes compilation of a [`pipeline_prefix`] snapshot without
 /// instrumentation; the composition equals [`compile_baseline`] on the
 /// original module.
 pub fn compile_baseline_from_prefix(mut module: Module, opts: BuildOptions) -> CompiledProgram {
     Pipeline::new(opts.opt).resume_at(&mut module, opts.ep, None);
+    CompiledProgram { module, mechanism: None, stats: InstrStats::default() }
+}
+
+/// Like [`compile_baseline_from_prefix`], recording a per-pass span in
+/// `rec`.
+pub fn compile_baseline_from_prefix_traced(
+    mut module: Module,
+    opts: BuildOptions,
+    rec: &mut TraceRecorder,
+) -> CompiledProgram {
+    Pipeline::new(opts.opt).resume_at_traced(&mut module, opts.ep, None, rec);
     CompiledProgram { module, mechanism: None, stats: InstrStats::default() }
 }
 
@@ -170,7 +233,72 @@ impl GlobalPlacer for LowFatPlacer {
 }
 
 fn violation(mechanism: &str, kind: &str, addr: u64, detail: String) -> Trap {
-    Trap::MemSafetyViolation { mechanism: mechanism.into(), kind: kind.into(), addr, detail }
+    Trap::MemSafetyViolation {
+        mechanism: mechanism.into(),
+        kind: kind.into(),
+        addr,
+        detail,
+        func: None,
+        line: None,
+    }
+}
+
+/// Snapshot of the module's check-site table, captured when the runtime is
+/// installed and shared (via `Rc`) by the check closures. Lets the runtime
+/// attribute dynamic check executions to source lines (per-site profile)
+/// and render ASan-style provenance in violation reports.
+struct SiteTable {
+    src_file: Option<String>,
+    sites: Vec<CheckSite>,
+}
+
+impl SiteTable {
+    fn of(vm: &Vm) -> Rc<SiteTable> {
+        let m = vm.module();
+        Rc::new(SiteTable { src_file: m.src_file.clone(), sites: m.check_sites.clone() })
+    }
+
+    /// Resolves a check call's trailing site-id operand. `None` for calls
+    /// without the operand or with an id outside the table (hand-written
+    /// IR) — those still check, they just go unattributed.
+    fn site(&self, arg: Option<&RtVal>) -> Option<(usize, &CheckSite)> {
+        let id = arg?.as_int() as usize;
+        self.sites.get(id).map(|s| (id, s))
+    }
+
+    /// Records one execution of the site in the VM's per-site profile,
+    /// with the same cost the closure charges into the checks bucket.
+    fn record(&self, ctx: &mut memvm::HostCtx<'_>, arg: Option<&RtVal>, wide: bool, cost: u64) {
+        if let Some((id, _)) = self.site(arg) {
+            ctx.record_site(id, wide, cost);
+        }
+    }
+
+    /// Builds a violation trap. With a resolved site the trap kind comes
+    /// from the site ([`SiteKind`]) and the detail is prefixed with the
+    /// ASan-style provenance sentence; otherwise `default_kind`/`detail`
+    /// are used as-is.
+    fn violation(
+        &self,
+        mechanism: &str,
+        default_kind: &str,
+        arg: Option<&RtVal>,
+        addr: u64,
+        detail: String,
+    ) -> Trap {
+        match self.site(arg) {
+            Some((_, s)) => {
+                let kind = match s.kind {
+                    SiteKind::Deref => "deref-check",
+                    SiteKind::Wrapper => "wrapper-check",
+                    SiteKind::Invariant => "invariant",
+                };
+                let prov = s.describe_violation(self.src_file.as_deref());
+                violation(mechanism, kind, addr, format!("{prov}; {detail}"))
+            }
+            None => violation(mechanism, default_kind, addr, detail),
+        }
+    }
 }
 
 /// Installs the runtime library for `mechanism` into `vm`.
@@ -290,6 +418,7 @@ impl GlobalPlacer for RedZonePlacer {
 }
 
 fn install_redzone(vm: &mut Vm, shadow: Rc<RefCell<RzState>>) {
+    let table = SiteTable::of(vm);
     let reg = vm.registry_mut();
     {
         let shadow = shadow.clone();
@@ -354,10 +483,12 @@ fn install_redzone(vm: &mut Vm, shadow: Rc<RefCell<RzState>>) {
             ctx.charge(CostCategory::Checks, helper::RZ_CHECK);
             ctx.stats.checks_executed += 1;
             let (ptr, width) = (args[0].as_int(), args[1].as_int());
+            table.record(ctx, args.get(2), false, helper::RZ_CHECK);
             if shadow.borrow().hits_poison(ptr, width) {
-                return Err(violation(
+                return Err(table.violation(
                     "redzone",
                     "deref-check",
+                    args.get(2),
                     ptr,
                     format!("access of {width} B touches a poisoned red zone"),
                 ));
@@ -368,23 +499,27 @@ fn install_redzone(vm: &mut Vm, shadow: Rc<RefCell<RzState>>) {
 }
 
 fn install_softbound(vm: &mut Vm) {
+    let table = SiteTable::of(vm);
     let trie = Rc::new(RefCell::new(MetadataTrie::new()));
     let ss = Rc::new(RefCell::new(ShadowStack::new()));
     let reg = vm.registry_mut();
 
-    reg.register("__sb_check", |ctx, args| {
+    reg.register("__sb_check", move |ctx, args| {
         ctx.charge(CostCategory::Checks, helper::SB_CHECK);
         ctx.stats.checks_executed += 1;
         let (ptr, width) = (args[0].as_int(), args[1].as_int());
         let b = Bounds { base: args[2].as_int(), bound: args[3].as_int() };
-        if b.bound == u64::MAX {
+        let wide = b.bound == u64::MAX;
+        table.record(ctx, args.get(4), wide, helper::SB_CHECK);
+        if wide {
             ctx.stats.checks_wide += 1;
             return Ok(RtVal::Int(0));
         }
         if !b.allows(ptr, width) {
-            return Err(violation(
+            return Err(table.violation(
                 "softbound",
                 "deref-check",
+                args.get(4),
                 ptr,
                 format!("access of {width} B outside [0x{:x}, 0x{:x})", b.base, b.bound),
             ));
@@ -514,6 +649,7 @@ fn install_softbound(vm: &mut Vm) {
 const LF_FALLBACK_STACK_BASE: u64 = 0xF800_0000_0000;
 
 fn install_lowfat(vm: &mut Vm, heap: Rc<RefCell<LowFatHeap>>) {
+    let table = SiteTable::of(vm);
     let stack = Rc::new(RefCell::new(LowFatStack::new()));
     let heap_fallback = Rc::new(RefCell::new(BumpAllocator::new(memvm::layout::HEAP_BASE)));
     let stack_fallback = Rc::new(RefCell::new(BumpAllocator::new(LF_FALLBACK_STACK_BASE)));
@@ -597,34 +733,44 @@ fn install_lowfat(vm: &mut Vm, heap: Rc<RefCell<LowFatHeap>>) {
         ctx.stats.metadata_loads += 1;
         Ok(RtVal::Int(base_of(args[0].as_int())))
     });
-    reg.register("__lf_check", |ctx, args| {
-        ctx.charge(CostCategory::Checks, helper::LF_CHECK);
-        ctx.stats.checks_executed += 1;
-        let (ptr, width, base) = (args[0].as_int(), args[1].as_int(), args[2].as_int());
-        if !is_low_fat(base) {
-            // Wide bounds: the pointer is outside every low-fat region
-            // (legacy stack, uninstrumented-library globals, oversized
-            // allocations) — nothing can be validated (§4.6, Table 2).
-            ctx.stats.checks_wide += 1;
-            return Ok(RtVal::Int(0));
-        }
-        let size = alloc_size(region_of(base));
-        // Figure 5: (ptr - base) > alloc_size - width, with underflow on
-        // ptr < base making the check fail as intended.
-        if width > size || ptr.wrapping_sub(base) > size - width {
-            return Err(violation(
-                "lowfat",
-                "deref-check",
-                ptr,
-                format!("access of {width} B outside object at 0x{base:x} (size {size})"),
-            ));
-        }
-        Ok(RtVal::Int(0))
-    });
-    reg.register("__lf_invariant", |ctx, args| {
+    {
+        let table = table.clone();
+        reg.register("__lf_check", move |ctx, args| {
+            ctx.charge(CostCategory::Checks, helper::LF_CHECK);
+            ctx.stats.checks_executed += 1;
+            let (ptr, width, base) = (args[0].as_int(), args[1].as_int(), args[2].as_int());
+            let wide = !is_low_fat(base);
+            table.record(ctx, args.get(3), wide, helper::LF_CHECK);
+            if wide {
+                // Wide bounds: the pointer is outside every low-fat region
+                // (legacy stack, uninstrumented-library globals, oversized
+                // allocations) — nothing can be validated (§4.6, Table 2).
+                ctx.stats.checks_wide += 1;
+                return Ok(RtVal::Int(0));
+            }
+            let size = alloc_size(region_of(base));
+            // Figure 5: (ptr - base) > alloc_size - width, with underflow on
+            // ptr < base making the check fail as intended.
+            if width > size || ptr.wrapping_sub(base) > size - width {
+                return Err(table.violation(
+                    "lowfat",
+                    "deref-check",
+                    args.get(3),
+                    ptr,
+                    format!("access of {width} B outside object at 0x{base:x} (size {size})"),
+                ));
+            }
+            Ok(RtVal::Int(0))
+        });
+    }
+    reg.register("__lf_invariant", move |ctx, args| {
         ctx.charge(CostCategory::Checks, helper::LF_INVARIANT);
         ctx.stats.invariant_checks_executed += 1;
         let (ptr, base) = (args[0].as_int(), args[1].as_int());
+        // Invariant checks never count into `checks_wide` (Table 2 tracks
+        // dereference checks only), so the site records wide = false to
+        // keep profile totals reconciling exactly with the aggregates.
+        table.record(ctx, args.get(2), false, helper::LF_INVARIANT);
         if !is_low_fat(base) {
             return Ok(RtVal::Int(0));
         }
@@ -633,9 +779,10 @@ fn install_lowfat(vm: &mut Vm, heap: Rc<RefCell<LowFatHeap>>) {
             // An out-of-bounds pointer escapes: Low-Fat must reject it to
             // keep its invariant — even if the program would have brought
             // it back in bounds before dereferencing (§4.2).
-            return Err(violation(
+            return Err(table.violation(
                 "lowfat",
                 "invariant",
+                args.get(2),
                 ptr,
                 format!("out-of-bounds pointer escapes object at 0x{base:x} (size {size})"),
             ));
@@ -663,6 +810,32 @@ mod tests {
         );
         let lf = compile_and_run(m, &MiConfig::new(Mechanism::LowFat), BuildOptions::default());
         [base, sb, lf]
+    }
+
+    #[test]
+    fn traced_compilation_matches_untraced() {
+        let m = parse(CORRECT_PROGRAM);
+        for mech in [Mechanism::SoftBound, Mechanism::LowFat, Mechanism::RedZone] {
+            let cfg = MiConfig::new(mech);
+            let plain = compile(m.clone(), &cfg, BuildOptions::default());
+            let mut rec = TraceRecorder::new();
+            let traced = compile_traced(m.clone(), &cfg, BuildOptions::default(), &mut rec);
+            assert_eq!(
+                mir::printer::print_module(&plain.module),
+                mir::printer::print_module(&traced.module),
+                "{mech:?}"
+            );
+            assert!(rec.spans().iter().any(|s| s.stage.starts_with("plugin@")));
+        }
+        let plain = compile_baseline(m.clone(), BuildOptions::default());
+        let mut rec = TraceRecorder::new();
+        let traced = compile_baseline_traced(m, BuildOptions::default(), &mut rec);
+        assert_eq!(
+            mir::printer::print_module(&plain.module),
+            mir::printer::print_module(&traced.module)
+        );
+        assert!(!rec.spans().is_empty());
+        assert!(rec.spans().iter().all(|s| !s.stage.starts_with("plugin@")));
     }
 
     const CORRECT_PROGRAM: &str = r#"

@@ -44,6 +44,48 @@ impl InstrStats {
     }
 }
 
+impl std::ops::AddAssign<&InstrStats> for InstrStats {
+    fn add_assign(&mut self, rhs: &InstrStats) {
+        self.checks_discovered += rhs.checks_discovered;
+        self.checks_eliminated += rhs.checks_eliminated;
+        self.checks_placed += rhs.checks_placed;
+        self.invariants_placed += rhs.invariants_placed;
+        self.metadata_loads_placed += rhs.metadata_loads_placed;
+        self.metadata_stores_placed += rhs.metadata_stores_placed;
+        self.allocas_replaced += rhs.allocas_replaced;
+        self.globals_mirrored += rhs.globals_mirrored;
+        self.functions_instrumented += rhs.functions_instrumented;
+        self.functions_skipped += rhs.functions_skipped;
+        self.checks_narrowed += rhs.checks_narrowed;
+    }
+}
+
+impl std::ops::AddAssign for InstrStats {
+    fn add_assign(&mut self, rhs: InstrStats) {
+        *self += &rhs;
+    }
+}
+
+impl std::iter::Sum for InstrStats {
+    fn sum<I: Iterator<Item = InstrStats>>(iter: I) -> InstrStats {
+        let mut total = InstrStats::default();
+        for s in iter {
+            total += &s;
+        }
+        total
+    }
+}
+
+impl<'a> std::iter::Sum<&'a InstrStats> for InstrStats {
+    fn sum<I: Iterator<Item = &'a InstrStats>>(iter: I) -> InstrStats {
+        let mut total = InstrStats::default();
+        for s in iter {
+            total += s;
+        }
+        total
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -55,5 +97,50 @@ mod tests {
         s.checks_discovered = 200;
         s.checks_eliminated = 50;
         assert!((s.eliminated_percent() - 25.0).abs() < 1e-12);
+    }
+
+    fn sample(n: u64) -> InstrStats {
+        InstrStats {
+            checks_discovered: n,
+            checks_eliminated: n + 1,
+            checks_placed: n + 2,
+            invariants_placed: n + 3,
+            metadata_loads_placed: n + 4,
+            metadata_stores_placed: n + 5,
+            allocas_replaced: n + 6,
+            globals_mirrored: n + 7,
+            functions_instrumented: n + 8,
+            functions_skipped: n + 9,
+            checks_narrowed: n + 10,
+        }
+    }
+
+    #[test]
+    fn add_assign_sums_every_field() {
+        let mut a = sample(10);
+        a += sample(100);
+        // Every field is the sum of the two samples; spot-check ends and
+        // compare wholesale against a directly-constructed expectation.
+        assert_eq!(a.checks_discovered, 110);
+        assert_eq!(a.checks_narrowed, 130);
+        let mut expect = sample(0);
+        expect += &sample(110);
+        let mut b = InstrStats::default();
+        for f in [10u64, 100] {
+            b += sample(f);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a, expect);
+    }
+
+    #[test]
+    fn sum_over_iterators_matches_fold() {
+        let parts = vec![sample(1), sample(2), sample(3)];
+        let owned: InstrStats = parts.clone().into_iter().sum();
+        let borrowed: InstrStats = parts.iter().sum();
+        assert_eq!(owned, borrowed);
+        assert_eq!(owned.checks_discovered, 6);
+        assert_eq!(owned.functions_skipped, (1 + 9) + (2 + 9) + (3 + 9));
+        assert_eq!(std::iter::empty::<InstrStats>().sum::<InstrStats>(), InstrStats::default());
     }
 }

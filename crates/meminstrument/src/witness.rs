@@ -14,6 +14,7 @@ use mir::function::ValueDef;
 use mir::ids::{BlockId, GlobalId, InstrId, ValueId};
 use mir::instr::{CastOp, InstrKind, Operand};
 use mir::module::Module;
+use mir::srcloc::{AllocKind, AllocSite, CheckSite, SiteKind};
 use mir::types::Type;
 use mir::Function;
 
@@ -191,6 +192,9 @@ pub struct InstrumentCx<'a> {
     /// Instructions inserted as witness materialization (used to order
     /// protocol code after them).
     pub witness_instrs: HashSet<InstrId>,
+    /// Module-wide check-site table (indexed by the trailing site-id
+    /// argument of every check/invariant call).
+    pub sites: &'a mut Vec<CheckSite>,
     cache: HashMap<CacheKey, Witness>,
     entry_cursor: usize,
     wide_ptr: Option<Operand>,
@@ -205,13 +209,20 @@ enum CacheKey {
 }
 
 impl<'a> InstrumentCx<'a> {
-    /// Creates a context for one function.
-    pub fn new(func: &'a mut Function, minfo: &'a ModuleInfo, stats: &'a mut InstrStats) -> Self {
+    /// Creates a context for one function. `sites` is the module-wide
+    /// check-site table; new sites are appended and referenced by index.
+    pub fn new(
+        func: &'a mut Function,
+        minfo: &'a ModuleInfo,
+        stats: &'a mut InstrStats,
+        sites: &'a mut Vec<CheckSite>,
+    ) -> Self {
         InstrumentCx {
             func,
             minfo,
             stats,
             witness_instrs: HashSet::new(),
+            sites,
             cache: HashMap::new(),
             entry_cursor: 0,
             wide_ptr: None,
@@ -238,17 +249,24 @@ impl<'a> InstrumentCx<'a> {
     }
 
     /// Inserts `kind` immediately before `anchor`, returning the new id.
+    /// The new instruction inherits `anchor`'s source location, so check
+    /// calls report the line of the access they guard.
     pub fn insert_before(&mut self, anchor: InstrId, kind: InstrKind) -> InstrId {
         let (bid, pos) = self.position_of(anchor);
+        let loc = self.func.instrs[anchor.index()].loc;
         let id = self.func.insert_instr(bid, pos, kind);
+        self.func.set_instr_loc(id, loc);
         self.bump_entry_cursor(bid, pos);
         id
     }
 
-    /// Inserts `kind` immediately after `anchor` (marked as witness code).
+    /// Inserts `kind` immediately after `anchor` (marked as witness code,
+    /// inheriting `anchor`'s source location).
     pub fn insert_witness_after(&mut self, anchor: InstrId, kind: InstrKind) -> InstrId {
         let (bid, pos) = self.position_of(anchor);
+        let loc = self.func.instrs[anchor.index()].loc;
         let id = self.func.insert_instr(bid, pos + 1, kind);
+        self.func.set_instr_loc(id, loc);
         self.witness_instrs.insert(id);
         self.bump_entry_cursor(bid, pos + 1);
         id
@@ -264,7 +282,9 @@ impl<'a> InstrumentCx<'a> {
         while pos < block.instrs.len() && self.witness_instrs.contains(&block.instrs[pos]) {
             pos += 1;
         }
+        let loc = self.func.instrs[anchor.index()].loc;
         let id = self.func.insert_instr(bid, pos, kind);
+        self.func.set_instr_loc(id, loc);
         self.bump_entry_cursor(bid, pos);
         id
     }
@@ -327,6 +347,106 @@ impl<'a> InstrumentCx<'a> {
     /// Looks up a cached witness (used by tests).
     pub fn cached(&self, v: ValueId) -> Option<&Witness> {
         self.cache.get(&CacheKey::Val(v))
+    }
+
+    /// Registers a check site anchored at `anchor` (the guarded access or
+    /// escape instruction; `None` for block-terminator escapes) and returns
+    /// the site-id operand to append to the runtime call.
+    pub fn register_site(
+        &mut self,
+        kind: SiteKind,
+        is_store: bool,
+        width: Option<u64>,
+        anchor: Option<InstrId>,
+        ptr: &Operand,
+    ) -> Operand {
+        let line = anchor.and_then(|a| self.func.instrs[a.index()].loc).map(|l| l.line);
+        let alloc = self.derive_alloc_site(ptr);
+        let id = self.sites.len();
+        self.sites.push(CheckSite {
+            func: self.func.name.clone(),
+            kind,
+            is_store,
+            width,
+            line,
+            alloc,
+        });
+        Operand::i64(id as i64)
+    }
+
+    /// Statically derives the allocation site of `op` by walking `gep`s and
+    /// bitcasts back to a visible allocation (the provenance ASan prints as
+    /// "allocated by thread T0 here"). Returns `None` when the chain leaves
+    /// the function (params, loads, opaque calls, phis).
+    pub fn derive_alloc_site(&self, op: &Operand) -> Option<AllocSite> {
+        let mut cur = op.clone();
+        // SSA defs cannot cycle except through phis, which terminate the
+        // walk below; the bound is belt-and-braces.
+        for _ in 0..64 {
+            match cur {
+                Operand::GlobalAddr(g) => {
+                    let meta = &self.minfo.globals[g.index()];
+                    return Some(AllocSite {
+                        kind: AllocKind::Global,
+                        line: None,
+                        name: Some(meta.name.clone()),
+                        size: if meta.size_unknown { None } else { Some(meta.size) },
+                    });
+                }
+                Operand::Val(v) => match self.func.values[v.index()].def {
+                    ValueDef::Instr(iid) => {
+                        let instr = &self.func.instrs[iid.index()];
+                        match &instr.kind {
+                            InstrKind::Gep { base, .. } => cur = base.clone(),
+                            InstrKind::Cast { op: CastOp::Bitcast, value, .. } => {
+                                cur = value.clone()
+                            }
+                            InstrKind::Alloca { ty, count } => {
+                                let size = count
+                                    .as_const_int()
+                                    .map(|n| ty.size_of().max(1) * n.max(0) as u64);
+                                return Some(AllocSite {
+                                    kind: AllocKind::Stack,
+                                    line: instr.loc.map(|l| l.line),
+                                    name: None,
+                                    size,
+                                });
+                            }
+                            InstrKind::Call { callee, args, .. } => {
+                                let kind = match callee.as_str() {
+                                    "malloc" | "calloc" => AllocKind::Heap,
+                                    crate::hostdefs::LF_STACK_ALLOC
+                                    | crate::hostdefs::RZ_STACK_ALLOC => AllocKind::Stack,
+                                    _ => return None,
+                                };
+                                let size = match callee.as_str() {
+                                    "calloc" => {
+                                        match (args[0].as_const_int(), args[1].as_const_int()) {
+                                            (Some(a), Some(b)) => Some((a * b).max(0) as u64),
+                                            _ => None,
+                                        }
+                                    }
+                                    _ => args
+                                        .first()
+                                        .and_then(|a| a.as_const_int())
+                                        .map(|n| n.max(0) as u64),
+                                };
+                                return Some(AllocSite {
+                                    kind,
+                                    line: instr.loc.map(|l| l.line),
+                                    name: None,
+                                    size,
+                                });
+                            }
+                            _ => return None,
+                        }
+                    }
+                    ValueDef::Param(_) => return None,
+                },
+                _ => return None,
+            }
+        }
+        None
     }
 }
 
@@ -553,7 +673,8 @@ mod tests {
         let info = minfo();
         let mut stats = InstrStats::default();
         let f = m.function_by_name_mut("f").unwrap();
-        let mut cx = InstrumentCx::new(f, &info, &mut stats);
+        let mut sites = Vec::new();
+        let mut cx = InstrumentCx::new(f, &info, &mut stats, &mut sites);
         let mut mech = ToyMech { seen: vec![] };
         let w1 = resolve_witness(&mut cx, &mut mech, &r);
         let w2 = resolve_witness(&mut cx, &mut mech, &q);
@@ -589,7 +710,8 @@ mod tests {
         let header = BlockId::new(1);
         let phi_iid = f.blocks[header.index()].instrs[0];
         let cur = Operand::Val(f.instr_result(phi_iid).unwrap());
-        let mut cx = InstrumentCx::new(f, &info, &mut stats);
+        let mut sites = Vec::new();
+        let mut cx = InstrumentCx::new(f, &info, &mut stats, &mut sites);
         let mut mech = ToyMech { seen: vec![] };
         let w = resolve_witness(&mut cx, &mut mech, &cur);
         // The witness is a companion phi in the header.
@@ -617,7 +739,8 @@ mod tests {
         let f = m.function_by_name_mut("f").unwrap();
         let sel_iid = f.blocks[0].instrs[0];
         let s = Operand::Val(f.instr_result(sel_iid).unwrap());
-        let mut cx = InstrumentCx::new(f, &info, &mut stats);
+        let mut sites = Vec::new();
+        let mut cx = InstrumentCx::new(f, &info, &mut stats, &mut sites);
         let mut mech = ToyMech { seen: vec![] };
         let w = resolve_witness(&mut cx, &mut mech, &s);
         assert_eq!(w.0.len(), 1);

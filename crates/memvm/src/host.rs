@@ -14,7 +14,7 @@ use std::rc::Rc;
 use crate::cost::{helper, CostModel};
 use crate::interp::Trap;
 use crate::memory::Memory;
-use crate::stats::VmStats;
+use crate::stats::{SiteProfile, VmStats};
 use crate::value::RtVal;
 
 /// Which statistics bucket a host function's cost lands in.
@@ -40,6 +40,8 @@ pub struct HostCtx<'a> {
     pub stats: &'a mut VmStats,
     /// Program output lines (`print_*` helpers append here).
     pub out: &'a mut Vec<String>,
+    /// Per-check-site dynamic counters (check helpers record here).
+    pub profile: &'a mut SiteProfile,
 }
 
 impl HostCtx<'_> {
@@ -53,6 +55,15 @@ impl HostCtx<'_> {
             CostCategory::Allocator => self.stats.cost_allocator += cost,
             CostCategory::Other => self.stats.cost_other += cost,
         }
+    }
+
+    /// Records one execution of check site `site` in the per-site profile.
+    ///
+    /// Check helpers call this with the same `cost` they charge into
+    /// [`CostCategory::Checks`], so per-site cost totals reconcile exactly
+    /// with [`VmStats::cost_checks`].
+    pub fn record_site(&mut self, site: usize, wide: bool, cost: u64) {
+        self.profile.record(site, wide, cost);
     }
 }
 
@@ -186,6 +197,8 @@ pub fn default_registry(cost: &CostModel) -> HostRegistry {
                 addr: f.addr,
                 width: 1,
                 write: false,
+                func: None,
+                line: None,
             })? as u8;
             if b == 0 || bytes.len() > 4096 {
                 break;
@@ -204,8 +217,8 @@ pub fn default_registry(cost: &CostModel) -> HostRegistry {
 mod tests {
     use super::*;
 
-    fn ctx_parts() -> (Memory, VmStats, Vec<String>) {
-        (Memory::new(), VmStats::default(), Vec::new())
+    fn ctx_parts() -> (Memory, VmStats, Vec<String>, SiteProfile) {
+        (Memory::new(), VmStats::default(), Vec::new(), SiteProfile::new())
     }
 
     #[test]
@@ -219,8 +232,9 @@ mod tests {
     #[test]
     fn malloc_maps_memory_and_charges_allocator() {
         let reg = default_registry(&CostModel::default());
-        let (mut mem, mut stats, mut out) = ctx_parts();
-        let mut ctx = HostCtx { mem: &mut mem, stats: &mut stats, out: &mut out };
+        let (mut mem, mut stats, mut out, mut prof) = ctx_parts();
+        let mut ctx =
+            HostCtx { mem: &mut mem, stats: &mut stats, out: &mut out, profile: &mut prof };
         let f = reg.get("malloc").unwrap().clone();
         let p = f(&mut ctx, &[RtVal::Int(100)]).unwrap().as_int();
         assert!(p >= crate::layout::HEAP_BASE);
@@ -232,8 +246,9 @@ mod tests {
     #[test]
     fn consecutive_mallocs_do_not_overlap() {
         let reg = default_registry(&CostModel::default());
-        let (mut mem, mut stats, mut out) = ctx_parts();
-        let mut ctx = HostCtx { mem: &mut mem, stats: &mut stats, out: &mut out };
+        let (mut mem, mut stats, mut out, mut prof) = ctx_parts();
+        let mut ctx =
+            HostCtx { mem: &mut mem, stats: &mut stats, out: &mut out, profile: &mut prof };
         let f = reg.get("malloc").unwrap().clone();
         let a = f(&mut ctx, &[RtVal::Int(24)]).unwrap().as_int();
         let b = f(&mut ctx, &[RtVal::Int(24)]).unwrap().as_int();
@@ -243,8 +258,9 @@ mod tests {
     #[test]
     fn print_appends_output() {
         let reg = default_registry(&CostModel::default());
-        let (mut mem, mut stats, mut out) = ctx_parts();
-        let mut ctx = HostCtx { mem: &mut mem, stats: &mut stats, out: &mut out };
+        let (mut mem, mut stats, mut out, mut prof) = ctx_parts();
+        let mut ctx =
+            HostCtx { mem: &mut mem, stats: &mut stats, out: &mut out, profile: &mut prof };
         let f = reg.get("print_i64").unwrap().clone();
         f(&mut ctx, &[RtVal::Int((-5i64) as u64)]).unwrap();
         assert_eq!(out, vec!["-5".to_string()]);
@@ -254,8 +270,9 @@ mod tests {
     fn replacement_overrides() {
         let mut reg = default_registry(&CostModel::default());
         reg.register("malloc", |_ctx, _args| Ok(RtVal::Int(0x1234)));
-        let (mut mem, mut stats, mut out) = ctx_parts();
-        let mut ctx = HostCtx { mem: &mut mem, stats: &mut stats, out: &mut out };
+        let (mut mem, mut stats, mut out, mut prof) = ctx_parts();
+        let mut ctx =
+            HostCtx { mem: &mut mem, stats: &mut stats, out: &mut out, profile: &mut prof };
         let f = reg.get("malloc").unwrap().clone();
         assert_eq!(f(&mut ctx, &[RtVal::Int(8)]).unwrap().as_int(), 0x1234);
     }

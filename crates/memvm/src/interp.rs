@@ -12,7 +12,7 @@ use crate::cost::CostModel;
 use crate::host::{default_registry, HostCtx, HostRegistry};
 use crate::layout::{FUNC_BASE, GLOBAL_BASE, STACK_BASE};
 use crate::memory::{Fault, Memory};
-use crate::stats::VmStats;
+use crate::stats::{SiteProfile, VmStats};
 use crate::value::RtVal;
 
 /// Reasons an execution stops abnormally.
@@ -29,6 +29,11 @@ pub enum Trap {
         addr: u64,
         /// Human-readable detail.
         detail: String,
+        /// Function that was executing (filled by the interpreter via
+        /// [`Trap::with_frame`]; `None` before annotation).
+        func: Option<String>,
+        /// Source line of the faulting instruction, if known.
+        line: Option<u32>,
     },
     /// Hardware-level fault: access to an unmapped page.
     UnmappedAccess {
@@ -38,6 +43,11 @@ pub enum Trap {
         width: u64,
         /// Whether it was a write.
         write: bool,
+        /// Function that was executing (filled by the interpreter via
+        /// [`Trap::with_frame`]; `None` before annotation).
+        func: Option<String>,
+        /// Source line of the faulting instruction, if known.
+        line: Option<u32>,
     },
     /// Integer division by zero.
     DivByZero,
@@ -55,15 +65,61 @@ pub enum Trap {
     Unsupported(String),
 }
 
+impl Trap {
+    /// Annotates a memory trap with the frame it escaped from: the executing
+    /// function's name and the source line of the faulting instruction.
+    ///
+    /// Only [`Trap::MemSafetyViolation`] and [`Trap::UnmappedAccess`] carry
+    /// provenance; other traps pass through unchanged. Already-set fields
+    /// are kept, so the innermost annotated frame wins when a trap unwinds
+    /// through nested calls.
+    #[must_use]
+    pub fn with_frame(self, func_name: &str, src_line: Option<u32>) -> Trap {
+        match self {
+            Trap::MemSafetyViolation { mechanism, kind, addr, detail, func, line } => {
+                Trap::MemSafetyViolation {
+                    mechanism,
+                    kind,
+                    addr,
+                    detail,
+                    func: func.or_else(|| Some(func_name.to_string())),
+                    line: line.or(src_line),
+                }
+            }
+            Trap::UnmappedAccess { addr, width, write, func, line } => Trap::UnmappedAccess {
+                addr,
+                width,
+                write,
+                func: func.or_else(|| Some(func_name.to_string())),
+                line: line.or(src_line),
+            },
+            other => other,
+        }
+    }
+}
+
+/// Formats the `in @func (line N)` provenance suffix shared by the two
+/// memory traps. Empty when nothing is known.
+fn frame_suffix(func: &Option<String>, line: &Option<u32>) -> String {
+    match (func, line) {
+        (Some(fname), Some(l)) => format!(" in @{fname} (line {l})"),
+        (Some(fname), None) => format!(" in @{fname}"),
+        (None, Some(l)) => format!(" (line {l})"),
+        (None, None) => String::new(),
+    }
+}
+
 impl fmt::Display for Trap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Trap::MemSafetyViolation { mechanism, kind, addr, detail } => {
-                write!(f, "{mechanism}: {kind} violation at 0x{addr:x}: {detail}")
+            Trap::MemSafetyViolation { mechanism, kind, addr, detail, func, line } => {
+                let at = frame_suffix(func, line);
+                write!(f, "{mechanism}: {kind} violation at 0x{addr:x}{at}: {detail}")
             }
-            Trap::UnmappedAccess { addr, width, write } => {
+            Trap::UnmappedAccess { addr, width, write, func, line } => {
                 let rw = if *write { "write" } else { "read" };
-                write!(f, "segmentation fault: {width}-byte {rw} at unmapped 0x{addr:x}")
+                let at = frame_suffix(func, line);
+                write!(f, "segmentation fault: {width}-byte {rw} at unmapped 0x{addr:x}{at}")
             }
             Trap::DivByZero => write!(f, "integer division by zero"),
             Trap::CostLimit => write!(f, "cost budget exhausted"),
@@ -87,6 +143,9 @@ pub struct ExecOutcome {
     pub stats: VmStats,
     /// Lines printed by the program.
     pub output: Vec<String>,
+    /// Per-check-site dynamic counters collected during the run (empty when
+    /// the program carries no instrumented check sites).
+    pub profile: SiteProfile,
 }
 
 /// VM configuration.
@@ -140,6 +199,7 @@ pub struct Vm {
     mem: Memory,
     stats: VmStats,
     out: Vec<String>,
+    profile: SiteProfile,
     global_addrs: Vec<u64>,
     addr_to_func: HashMap<u64, FuncId>,
     func_to_addr: HashMap<String, u64>,
@@ -191,6 +251,8 @@ impl Vm {
                     addr: f.addr,
                     width: f.width,
                     write: true,
+                    func: None,
+                    line: None,
                 })?;
             }
             global_addrs.push(addr);
@@ -212,6 +274,7 @@ impl Vm {
             mem,
             stats: VmStats::default(),
             out: Vec::new(),
+            profile: SiteProfile::new(),
             global_addrs,
             addr_to_func,
             func_to_addr,
@@ -233,6 +296,11 @@ impl Vm {
     /// Statistics collected so far.
     pub fn stats(&self) -> &VmStats {
         &self.stats
+    }
+
+    /// Per-check-site profile collected so far.
+    pub fn profile(&self) -> &SiteProfile {
+        &self.profile
     }
 
     /// Program output so far.
@@ -262,7 +330,12 @@ impl Vm {
         };
         let ret = self.exec_function(fid, args.to_vec())?;
         self.stats.mapped_bytes = self.mem.mapped_bytes();
-        Ok(ExecOutcome { ret, stats: self.stats.clone(), output: self.out.clone() })
+        Ok(ExecOutcome {
+            ret,
+            stats: self.stats.clone(),
+            output: self.out.clone(),
+            profile: self.profile.clone(),
+        })
     }
 
     fn charge_app(&mut self, cost: u64) -> Result<(), Trap> {
@@ -354,7 +427,9 @@ impl Vm {
                 let iid = block.instrs[pos];
                 let instr = &module.functions[fid.index()].instrs[iid.index()];
                 self.stats.instrs_executed += 1;
-                let value = self.exec_instr(fid, &mut frame, &instr.kind)?;
+                let value = self.exec_instr(fid, &mut frame, &instr.kind).map_err(|t| {
+                    t.with_frame(&module.functions[fid.index()].name, instr.loc.map(|l| l.line))
+                })?;
                 if let (Some(result), Some(v)) = (instr.result, value) {
                     frame[result.index()] = Some(v);
                 }
@@ -417,7 +492,13 @@ impl Vm {
     }
 
     fn mem_err(f: Fault) -> Trap {
-        Trap::UnmappedAccess { addr: f.addr, width: f.width, write: f.write }
+        Trap::UnmappedAccess {
+            addr: f.addr,
+            width: f.width,
+            write: f.write,
+            func: None,
+            line: None,
+        }
     }
 
     /// Executes one instruction. Calls are handled here (so that the
@@ -614,8 +695,12 @@ impl Vm {
         }
         // Host function?
         if let Some(hf) = self.registry.get(callee).cloned() {
-            let mut ctx =
-                HostCtx { mem: &mut self.mem, stats: &mut self.stats, out: &mut self.out };
+            let mut ctx = HostCtx {
+                mem: &mut self.mem,
+                stats: &mut self.stats,
+                out: &mut self.out,
+                profile: &mut self.profile,
+            };
             let r = hf(&mut ctx, &argv)?;
             if self.stats.cost_total > self.config.max_cost {
                 return Err(Trap::CostLimit);

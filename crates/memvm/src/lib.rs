@@ -54,5 +54,5 @@ pub use cost::CostModel;
 pub use host::{CostCategory, HostCtx, HostRegistry};
 pub use interp::{ExecOutcome, Trap, Vm, VmConfig};
 pub use memory::Memory;
-pub use stats::VmStats;
+pub use stats::{SiteCounts, SiteProfile, VmStats};
 pub use value::RtVal;

@@ -1,4 +1,8 @@
-//! Execution statistics: cost accounting and dynamic check counters.
+//! Execution statistics: cost accounting, dynamic check counters, and the
+//! per-check-site profile.
+
+use std::iter::Sum;
+use std::ops::AddAssign;
 
 /// Counters collected during one execution.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -46,6 +50,149 @@ impl VmStats {
     }
 }
 
+impl AddAssign<&VmStats> for VmStats {
+    fn add_assign(&mut self, rhs: &VmStats) {
+        self.cost_total += rhs.cost_total;
+        self.cost_app += rhs.cost_app;
+        self.cost_checks += rhs.cost_checks;
+        self.cost_metadata += rhs.cost_metadata;
+        self.cost_allocator += rhs.cost_allocator;
+        self.cost_other += rhs.cost_other;
+        self.instrs_executed += rhs.instrs_executed;
+        self.checks_executed += rhs.checks_executed;
+        self.checks_wide += rhs.checks_wide;
+        self.invariant_checks_executed += rhs.invariant_checks_executed;
+        self.metadata_loads += rhs.metadata_loads;
+        self.metadata_stores += rhs.metadata_stores;
+        self.mapped_bytes += rhs.mapped_bytes;
+    }
+}
+
+impl AddAssign for VmStats {
+    fn add_assign(&mut self, rhs: VmStats) {
+        *self += &rhs;
+    }
+}
+
+impl Sum for VmStats {
+    fn sum<I: Iterator<Item = VmStats>>(iter: I) -> VmStats {
+        let mut acc = VmStats::default();
+        for s in iter {
+            acc += s;
+        }
+        acc
+    }
+}
+
+impl<'a> Sum<&'a VmStats> for VmStats {
+    fn sum<I: Iterator<Item = &'a VmStats>>(iter: I) -> VmStats {
+        let mut acc = VmStats::default();
+        for s in iter {
+            acc += s;
+        }
+        acc
+    }
+}
+
+/// Dynamic counters for a single check site.
+///
+/// A *check site* is one statically inserted check instruction; the static
+/// half ([`mir::srcloc::CheckSite`]) lives in the module's site table and
+/// carries the source attribution, while these counters record what the
+/// site did at run time.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SiteCounts {
+    /// Times the site's check executed.
+    pub hits: u64,
+    /// Times it executed with wide bounds (validated nothing).
+    pub wide: u64,
+    /// Cost units the site charged into the checks bucket.
+    pub cost: u64,
+}
+
+/// Per-check-site dynamic profile, indexed by check-site id.
+///
+/// Runtime check helpers call [`SiteProfile::record`] with the trailing
+/// site-id operand of their call; the totals reconcile exactly with the
+/// aggregate counters in [`VmStats`] (`checks_executed` +
+/// `invariant_checks_executed` = total hits, `checks_wide` = total wide,
+/// `cost_checks` = total cost) when every executed check carries a site id.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SiteProfile {
+    counts: Vec<SiteCounts>,
+}
+
+impl SiteProfile {
+    /// An empty profile.
+    pub fn new() -> SiteProfile {
+        SiteProfile::default()
+    }
+
+    /// Records one execution of check site `site`.
+    pub fn record(&mut self, site: usize, wide: bool, cost: u64) {
+        if site >= self.counts.len() {
+            self.counts.resize(site + 1, SiteCounts::default());
+        }
+        let c = &mut self.counts[site];
+        c.hits += 1;
+        if wide {
+            c.wide += 1;
+        }
+        c.cost += cost;
+    }
+
+    /// Counters for every site seen so far, indexed by site id. Sites past
+    /// the highest recorded id are not represented; use [`SiteProfile::get`]
+    /// for zero-defaulting access.
+    pub fn counts(&self) -> &[SiteCounts] {
+        &self.counts
+    }
+
+    /// Counters for `site` (all-zero if the site never executed).
+    pub fn get(&self, site: usize) -> SiteCounts {
+        self.counts.get(site).copied().unwrap_or_default()
+    }
+
+    /// Whether no site has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|c| c.hits == 0)
+    }
+
+    /// Sum of hits over all sites.
+    pub fn total_hits(&self) -> u64 {
+        self.counts.iter().map(|c| c.hits).sum()
+    }
+
+    /// Sum of wide executions over all sites.
+    pub fn total_wide(&self) -> u64 {
+        self.counts.iter().map(|c| c.wide).sum()
+    }
+
+    /// Sum of cost over all sites.
+    pub fn total_cost(&self) -> u64 {
+        self.counts.iter().map(|c| c.cost).sum()
+    }
+}
+
+impl AddAssign<&SiteProfile> for SiteProfile {
+    fn add_assign(&mut self, rhs: &SiteProfile) {
+        if rhs.counts.len() > self.counts.len() {
+            self.counts.resize(rhs.counts.len(), SiteCounts::default());
+        }
+        for (a, b) in self.counts.iter_mut().zip(&rhs.counts) {
+            a.hits += b.hits;
+            a.wide += b.wide;
+            a.cost += b.cost;
+        }
+    }
+}
+
+impl AddAssign for SiteProfile {
+    fn add_assign(&mut self, rhs: SiteProfile) {
+        *self += &rhs;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -57,5 +204,75 @@ mod tests {
         s.checks_executed = 200;
         s.checks_wide = 3;
         assert!((s.wide_check_percent() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vmstats_add_assign_sums_every_field() {
+        let mut a = VmStats {
+            cost_total: 1,
+            cost_app: 2,
+            cost_checks: 3,
+            cost_metadata: 4,
+            cost_allocator: 5,
+            cost_other: 6,
+            instrs_executed: 7,
+            checks_executed: 8,
+            checks_wide: 9,
+            invariant_checks_executed: 10,
+            metadata_loads: 11,
+            metadata_stores: 12,
+            mapped_bytes: 13,
+        };
+        let b = a.clone();
+        a += &b;
+        assert_eq!(a.cost_total, 2);
+        assert_eq!(a.cost_other, 12);
+        assert_eq!(a.instrs_executed, 14);
+        assert_eq!(a.checks_wide, 18);
+        assert_eq!(a.mapped_bytes, 26);
+    }
+
+    #[test]
+    fn vmstats_sum_matches_repeated_add() {
+        let one = VmStats { cost_total: 10, checks_executed: 4, ..VmStats::default() };
+        let total: VmStats = vec![one.clone(), one.clone(), one.clone()].into_iter().sum();
+        let mut by_add = VmStats::default();
+        for _ in 0..3 {
+            by_add += one.clone();
+        }
+        assert_eq!(total, by_add);
+        assert_eq!(total.cost_total, 30);
+        assert_eq!(total.checks_executed, 12);
+        let by_ref: VmStats = [&one, &one, &one].into_iter().sum();
+        assert_eq!(by_ref, total);
+    }
+
+    #[test]
+    fn site_profile_records_and_totals() {
+        let mut p = SiteProfile::new();
+        assert!(p.is_empty());
+        p.record(2, false, 5);
+        p.record(2, true, 5);
+        p.record(0, false, 3);
+        assert_eq!(p.get(2), SiteCounts { hits: 2, wide: 1, cost: 10 });
+        assert_eq!(p.get(0), SiteCounts { hits: 1, wide: 0, cost: 3 });
+        assert_eq!(p.get(1), SiteCounts::default());
+        assert_eq!(p.get(99), SiteCounts::default());
+        assert_eq!(p.total_hits(), 3);
+        assert_eq!(p.total_wide(), 1);
+        assert_eq!(p.total_cost(), 13);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn site_profile_merge_aligns_lengths() {
+        let mut a = SiteProfile::new();
+        a.record(0, false, 1);
+        let mut b = SiteProfile::new();
+        b.record(3, true, 7);
+        a += &b;
+        assert_eq!(a.get(0), SiteCounts { hits: 1, wide: 0, cost: 1 });
+        assert_eq!(a.get(3), SiteCounts { hits: 1, wide: 1, cost: 7 });
+        assert_eq!(a.total_hits(), 2);
     }
 }

@@ -25,6 +25,7 @@ use crate::instr::{
     BinOp, CastOp, FcmpPred, IcmpPred, IcmpPred as _IP, InstrKind, Operand, Terminator,
 };
 use crate::module::{Effect, Global, GlobalAttrs, HostDecl, Init, Module};
+use crate::srcloc::SrcLoc;
 use crate::types::Type;
 
 /// Builds a [`Module`].
@@ -88,7 +89,13 @@ impl ModuleBuilder {
     ) -> FunctionBuilder<'_> {
         let params = params.into_iter().map(|(n, ty)| Param { name: n.to_string(), ty }).collect();
         let func = Function::new(name, params, ret_ty);
-        FunctionBuilder { module: &mut self.module, func, cur: BlockId::new(0), terminated: false }
+        FunctionBuilder {
+            module: &mut self.module,
+            func,
+            cur: BlockId::new(0),
+            terminated: false,
+            loc: None,
+        }
     }
 
     /// Adds a body-less declaration (external function).
@@ -120,6 +127,7 @@ pub struct FunctionBuilder<'m> {
     func: Function,
     cur: BlockId,
     terminated: bool,
+    loc: Option<SrcLoc>,
 }
 
 impl<'m> FunctionBuilder<'m> {
@@ -164,9 +172,26 @@ impl<'m> FunctionBuilder<'m> {
         self.terminated
     }
 
+    /// Sets the source location stamped on subsequently emitted
+    /// instructions (like an LLVM IRBuilder debug-location cursor).
+    pub fn set_loc(&mut self, loc: Option<SrcLoc>) {
+        self.loc = loc;
+    }
+
+    /// Shorthand for [`FunctionBuilder::set_loc`] with a 1-based line.
+    pub fn set_line(&mut self, line: u32) {
+        self.loc = Some(SrcLoc::line(line));
+    }
+
+    /// The current source-location cursor.
+    pub fn current_loc(&self) -> Option<SrcLoc> {
+        self.loc
+    }
+
     fn emit(&mut self, kind: InstrKind) -> Operand {
         assert!(!self.terminated, "emitting into terminated block {}", self.cur);
         let id = self.func.push_instr(self.cur, kind);
+        self.func.set_instr_loc(id, self.loc);
         match self.func.instr_result(id) {
             Some(v) => Operand::Val(v),
             None => Operand::Undef(Type::Void),
@@ -262,6 +287,7 @@ impl<'m> FunctionBuilder<'m> {
     pub fn phi(&mut self, ty: Type, incoming: Vec<(BlockId, Operand)>) -> Operand {
         assert!(!self.terminated, "emitting into terminated block");
         let id = self.func.create_instr(InstrKind::Phi { ty, incoming });
+        self.func.set_instr_loc(id, self.loc);
         // Phis must precede non-phi instructions.
         let block = &mut self.func.blocks[self.cur.index()];
         let pos = block

@@ -2,6 +2,7 @@
 
 use crate::ids::{BlockId, InstrId, ValueId};
 use crate::instr::{Instr, InstrKind, Operand, Terminator};
+use crate::srcloc::SrcLoc;
 use crate::types::Type;
 
 /// A formal function parameter.
@@ -158,8 +159,18 @@ impl Function {
             self.values.push(ValueInfo { ty, def: ValueDef::Instr(id) });
             v
         });
-        self.instrs.push(Instr { kind, result });
+        self.instrs.push(Instr { kind, result, loc: None });
         id
+    }
+
+    /// Sets the source location of instruction `id`.
+    pub fn set_instr_loc(&mut self, id: InstrId, loc: Option<SrcLoc>) {
+        self.instrs[id.index()].loc = loc;
+    }
+
+    /// The source location of instruction `id`, if any.
+    pub fn instr_loc(&self, id: InstrId) -> Option<SrcLoc> {
+        self.instrs[id.index()].loc
     }
 
     /// Creates an instruction and appends it to `block`.

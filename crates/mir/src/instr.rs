@@ -455,6 +455,10 @@ pub struct Instr {
     pub kind: InstrKind,
     /// The SSA value defined by this instruction, if it produces one.
     pub result: Option<ValueId>,
+    /// Source location, like an LLVM debug location: set by the frontend,
+    /// preserved or legally dropped by passes, never required for
+    /// correctness.
+    pub loc: Option<crate::srcloc::SrcLoc>,
 }
 
 /// Block terminators.

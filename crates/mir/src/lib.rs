@@ -40,6 +40,8 @@ pub mod parser;
 pub mod passes;
 pub mod pipeline;
 pub mod printer;
+pub mod srcloc;
+pub mod trace;
 pub mod types;
 pub mod verifier;
 
@@ -48,4 +50,5 @@ pub use ids::{BlockId, FuncId, GlobalId, InstrId, ValueId};
 pub use instr::{BinOp, CastOp, FcmpPred, IcmpPred, Instr, InstrKind, Operand, Terminator};
 pub use module::{Effect, Global, GlobalAttrs, HostDecl, Init, Module};
 pub use pipeline::{ExtensionPoint, OptLevel, Pipeline};
+pub use srcloc::{AllocKind, AllocSite, CheckSite, SiteKind, SrcLoc};
 pub use types::Type;

@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 
 use crate::function::Function;
 use crate::ids::{FuncId, GlobalId};
+use crate::srcloc::CheckSite;
 use crate::types::Type;
 
 /// Initializer of a global variable.
@@ -92,6 +93,12 @@ pub struct Module {
     pub functions: Vec<Function>,
     /// Host functions the module may call (the runtime library interface).
     pub host_decls: BTreeMap<String, HostDecl>,
+    /// Name of the source file this module was compiled from, used to
+    /// render `file:line` provenance (one file per translation unit).
+    pub src_file: Option<String>,
+    /// Check sites registered by the instrumentation; a check call's
+    /// trailing `i64` argument indexes this table.
+    pub check_sites: Vec<CheckSite>,
 }
 
 impl Module {
@@ -102,6 +109,8 @@ impl Module {
             globals: vec![],
             functions: vec![],
             host_decls: BTreeMap::new(),
+            src_file: None,
+            check_sites: vec![],
         }
     }
 

@@ -54,6 +54,10 @@ enum Tok {
     /// `@fn:name`
     FuncRef(String),
     Int(i64),
+    /// `"..."` (source file names).
+    Str(String),
+    /// `!` (source-location suffix).
+    Bang,
     LParen,
     RParen,
     LBracket,
@@ -154,6 +158,35 @@ impl<'a> Lexer<'a> {
             b'=' => {
                 self.pos += 1;
                 Ok(Tok::Eq)
+            }
+            b'!' => {
+                self.pos += 1;
+                Ok(Tok::Bang)
+            }
+            b'"' => {
+                self.pos += 1;
+                let mut s = String::new();
+                loop {
+                    if self.pos >= self.src.len() {
+                        return Err(self.error("unterminated string literal"));
+                    }
+                    match self.src[self.pos] {
+                        b'"' => {
+                            self.pos += 1;
+                            break;
+                        }
+                        b'\\' if self.pos + 1 < self.src.len() => {
+                            s.push(self.src[self.pos + 1] as char);
+                            self.pos += 2;
+                        }
+                        b'\n' => return Err(self.error("unterminated string literal")),
+                        c => {
+                            s.push(c as char);
+                            self.pos += 1;
+                        }
+                    }
+                }
+                Ok(Tok::Str(s))
             }
             b'%' => {
                 self.pos += 1;
@@ -288,8 +321,9 @@ impl InstrKindP {
     }
 }
 
-/// A parsed block before resolution: label, instructions, terminator.
-type PBlock = (String, Vec<(Option<String>, InstrKindP)>, TermP);
+/// A parsed block before resolution: label, instructions (result name,
+/// kind, source line), terminator.
+type PBlock = (String, Vec<(Option<String>, InstrKindP, Option<u32>)>, TermP);
 
 struct Parser<'a> {
     lex: Lexer<'a>,
@@ -441,6 +475,15 @@ impl<'a> Parser<'a> {
                         Tok::At(name) => module.name = name,
                         t => return Err(self.error(format!("expected module name, found {t:?}"))),
                     },
+                    "source" => match self.next()? {
+                        Tok::Str(file) => module.src_file = Some(file),
+                        t => {
+                            return Err(
+                                self.error(format!("expected source file name, found {t:?}"))
+                            )
+                        }
+                    },
+                    "checksite" => self.parse_checksite(&mut module)?,
                     "hostdecl" => self.parse_hostdecl(&mut module)?,
                     "global" => self.parse_global(&mut module)?,
                     "define" => self.parse_function(&mut module, false)?,
@@ -453,6 +496,78 @@ impl<'a> Parser<'a> {
             }
         }
         Ok(module)
+    }
+
+    fn parse_checksite(&mut self, module: &mut Module) -> Result<(), ParseError> {
+        use crate::srcloc::{AllocKind, AllocSite, CheckSite, SiteKind};
+        let func = match self.next()? {
+            Tok::At(n) => n,
+            t => return Err(self.error(format!("expected function name, found {t:?}"))),
+        };
+        let kind = match self.expect_ident()?.as_str() {
+            "deref" => SiteKind::Deref,
+            "wrapper" => SiteKind::Wrapper,
+            "invariant" => SiteKind::Invariant,
+            other => return Err(self.error(format!("unknown check-site kind '{other}'"))),
+        };
+        let is_store = match self.expect_ident()?.as_str() {
+            "write" => true,
+            "read" => false,
+            other => return Err(self.error(format!("expected read/write, found '{other}'"))),
+        };
+        let mut site = CheckSite { func, kind, is_store, width: None, line: None, alloc: None };
+        loop {
+            match self.peek()? {
+                Tok::Ident(s) if s == "width" => {
+                    self.next()?;
+                    site.width = Some(self.expect_int()? as u64);
+                }
+                Tok::Ident(s) if s == "line" => {
+                    self.next()?;
+                    site.line = Some(self.expect_int()? as u32);
+                }
+                Tok::Ident(s) if s == "obj" => {
+                    self.next()?;
+                    let kind = match self.expect_ident()?.as_str() {
+                        "heap" => AllocKind::Heap,
+                        "stack" => AllocKind::Stack,
+                        "global" => AllocKind::Global,
+                        other => return Err(self.error(format!("unknown object kind '{other}'"))),
+                    };
+                    let mut alloc = AllocSite { kind, line: None, name: None, size: None };
+                    loop {
+                        match self.peek()? {
+                            Tok::At(_) => {
+                                let Tok::At(name) = self.next()? else { unreachable!() };
+                                alloc.name = Some(name);
+                            }
+                            Tok::Ident(s) if s == "size" => {
+                                self.next()?;
+                                alloc.size = Some(self.expect_int()? as u64);
+                            }
+                            Tok::Ident(s) if s == "line" => {
+                                self.next()?;
+                                alloc.line = Some(self.expect_int()? as u32);
+                            }
+                            _ => break,
+                        }
+                    }
+                    site.alloc = Some(alloc);
+                }
+                _ => break,
+            }
+        }
+        module.check_sites.push(site);
+        Ok(())
+    }
+
+    /// Parses an optional ` !N` source-location suffix after an instruction.
+    fn parse_loc_suffix(&mut self) -> Result<Option<u32>, ParseError> {
+        if self.eat(&Tok::Bang)? {
+            Ok(Some(self.expect_int()? as u32))
+        } else {
+            Ok(None)
+        }
     }
 
     fn parse_hostdecl(&mut self, module: &mut Module) -> Result<(), ParseError> {
@@ -591,7 +706,7 @@ impl<'a> Parser<'a> {
         // Parse blocks into intermediate form.
         let mut blocks: Vec<PBlock> = vec![];
         let mut cur_label: Option<String> = None;
-        let mut cur_instrs: Vec<(Option<String>, InstrKindP)> = vec![];
+        let mut cur_instrs: Vec<(Option<String>, InstrKindP, Option<u32>)> = vec![];
         loop {
             match self.next()? {
                 Tok::RBrace => {
@@ -616,7 +731,8 @@ impl<'a> Parser<'a> {
                                 if cur_label.is_none() {
                                     return Err(self.error("instruction outside block"));
                                 }
-                                cur_instrs.push((None, k));
+                                let loc = self.parse_loc_suffix()?;
+                                cur_instrs.push((None, k, loc));
                             }
                             PKindOp::Term(t) => {
                                 let label = cur_label
@@ -638,7 +754,8 @@ impl<'a> Parser<'a> {
                             if k.result_type().is_none() {
                                 return Err(self.error("instruction cannot produce a result"));
                             }
-                            cur_instrs.push((Some(result), k));
+                            let loc = self.parse_loc_suffix()?;
+                            cur_instrs.push((Some(result), k, loc));
                         }
                         PKindOp::Term(_) => {
                             return Err(self.error("terminator cannot have a result"))
@@ -672,7 +789,7 @@ impl<'a> Parser<'a> {
         }
         let mut next_value = param_names.len();
         for (_, instrs, _) in &blocks {
-            for (result, kind) in instrs {
+            for (result, kind, _) in instrs {
                 if let Some(rname) = result {
                     if kind.result_type().is_some() {
                         if value_ids.contains_key(rname) {
@@ -720,7 +837,7 @@ impl<'a> Parser<'a> {
 
         for (bi, (_, instrs, term)) in blocks.iter().enumerate() {
             let bid = BlockId::new(bi);
-            for (result, kind) in instrs {
+            for (result, kind, loc) in instrs {
                 let real = match kind {
                     InstrKindP::Alloca(ty, count) => {
                         InstrKind::Alloca { ty: ty.clone(), count: resolve_op(self, count)? }
@@ -799,6 +916,7 @@ impl<'a> Parser<'a> {
                     },
                 };
                 let iid = f.push_instr(bid, real);
+                f.set_instr_loc(iid, loc.map(crate::srcloc::SrcLoc::line));
                 if let (Some(rname), Some(rv)) = (result, f.instr_result(iid)) {
                     debug_assert_eq!(value_ids.get(rname), Some(&rv), "value numbering drift");
                 }
@@ -1192,6 +1310,39 @@ mod tests {
         let t1 = print_module(&m1);
         let m2 = parse_module(&t1).unwrap();
         verify_module(&m2).unwrap();
+        let t2 = print_module(&m2);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn roundtrips_provenance() {
+        let src = r#"
+            module @prov
+            source "dir/prog.c"
+            checksite @main deref write width 8 line 12 obj heap size 40 line 7
+            checksite @main wrapper read line 3 obj global @buf size 16
+            checksite @f invariant write
+            global @buf : [16 x i8] = zero
+            define i64 @main() {
+            entry:
+              %p = alloca i64, i64 1 !7
+              store i64, i64 5, %p !12
+              %x = load i64, %p
+              ret %x
+            }
+        "#;
+        let m1 = parse_module(src).unwrap();
+        assert_eq!(m1.src_file.as_deref(), Some("dir/prog.c"));
+        assert_eq!(m1.check_sites.len(), 3);
+        assert_eq!(m1.check_sites[0].width, Some(8));
+        assert_eq!(m1.check_sites[0].alloc.as_ref().unwrap().size, Some(40));
+        assert_eq!(m1.check_sites[1].alloc.as_ref().unwrap().name.as_deref(), Some("buf"));
+        let (_, f) = m1.function_by_name("main").unwrap();
+        assert_eq!(f.instrs[0].loc, Some(crate::srcloc::SrcLoc::line(7)));
+        assert_eq!(f.instrs[1].loc, Some(crate::srcloc::SrcLoc::line(12)));
+        assert_eq!(f.instrs[2].loc, None);
+        let t1 = print_module(&m1);
+        let m2 = parse_module(&t1).unwrap();
         let t2 = print_module(&m2);
         assert_eq!(t1, t2);
     }

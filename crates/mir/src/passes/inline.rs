@@ -178,6 +178,9 @@ fn inline_site(f: &mut Function, call_block: BlockId, call_iid: InstrId, callee:
         for &ciid in &cblock.instrs {
             let kind = callee.instrs[ciid.index()].kind.clone();
             let niid = f.create_instr(kind);
+            // Cloned instructions keep the callee's source locations, like
+            // LLVM's inliner propagating debug locations.
+            f.set_instr_loc(niid, callee.instrs[ciid.index()].loc);
             instr_map.insert(ciid, niid);
             if let (Some(cres), Some(nres)) =
                 (callee.instrs[ciid.index()].result, f.instr_result(niid))
@@ -267,7 +270,9 @@ fn inline_site(f: &mut Function, call_block: BlockId, call_iid: InstrId, callee:
             1 => ret_values[0].1.clone(),
             _ => {
                 let ty = f.value_type(res).clone();
+                let call_loc = f.instrs[call_iid.index()].loc;
                 let phi = f.create_instr(InstrKind::Phi { ty, incoming: ret_values.clone() });
+                f.set_instr_loc(phi, call_loc);
                 f.blocks[cont.index()].instrs.insert(0, phi);
                 Operand::Val(f.instr_result(phi).expect("phi result"))
             }

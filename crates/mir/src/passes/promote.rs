@@ -282,7 +282,9 @@ fn promote_in_loop(
                     continue;
                 };
                 let kind = f.instrs[iid.index()].kind.clone();
+                let loc = f.instrs[iid.index()].loc;
                 let new = f.create_instr(kind);
+                f.set_instr_loc(new, loc);
                 let pos = f.blocks[pre.index()].instrs.len();
                 f.blocks[pre.index()].instrs.insert(pos, new);
                 Operand::Val(f.instr_result(new).expect("gep result"))
@@ -290,16 +292,25 @@ fn promote_in_loop(
             _ => c.ptr.clone(),
         };
 
+        // The rewrite's loads and stores inherit the source locations of
+        // the accesses they stand in for, so a check on the hoisted load
+        // still attributes to the original source line.
+        let load_loc = c.loads.first().unwrap_or(&c.stores[0]);
+        let load_loc = f.instrs[load_loc.1.index()].loc;
+        let store_loc = f.instrs[c.stores[0].1.index()].loc;
+
         // tmp = alloca; tmp <- load ptr (preheader)
         let alloca = f.create_instr(InstrKind::Alloca { ty: c.ty.clone(), count: Operand::i64(1) });
         let tmp = Operand::Val(f.instr_result(alloca).expect("alloca result"));
         let init_load = f.create_instr(InstrKind::Load { ty: c.ty.clone(), ptr: pre_ptr.clone() });
+        f.set_instr_loc(init_load, load_loc);
         let init_val = Operand::Val(f.instr_result(init_load).expect("load result"));
         let init_store = f.create_instr(InstrKind::Store {
             ty: c.ty.clone(),
             value: init_val,
             ptr: tmp.clone(),
         });
+        f.set_instr_loc(init_store, load_loc);
         let pre_len = f.blocks[pre.index()].instrs.len();
         f.blocks[pre.index()].instrs.splice(pre_len..pre_len, [alloca, init_load, init_store]);
 
@@ -319,12 +330,14 @@ fn promote_in_loop(
         // the head of the exit block, after phis).
         for &e in &exits {
             let back_load = f.create_instr(InstrKind::Load { ty: c.ty.clone(), ptr: tmp.clone() });
+            f.set_instr_loc(back_load, store_loc);
             let back_val = Operand::Val(f.instr_result(back_load).expect("load result"));
             let back_store = f.create_instr(InstrKind::Store {
                 ty: c.ty.clone(),
                 value: back_val,
                 ptr: pre_ptr.clone(),
             });
+            f.set_instr_loc(back_store, store_loc);
             let pos = f.blocks[e.index()]
                 .instrs
                 .iter()
@@ -394,6 +407,50 @@ mod tests {
     fn promotes_accumulator_out_of_loop() {
         let m = promote_and_mem2reg(ACCUMULATOR);
         assert_eq!(loop_mem_ops(&m, "f"), 0, "\n{}", crate::printer::print_module(&m));
+    }
+
+    #[test]
+    fn promotion_keeps_source_locations() {
+        // The preheader load and exit store-back stand in for the loop's
+        // accesses; a bounds check placed on them must still attribute to
+        // the original source lines (the hoisted load once showed up as
+        // `<unknown>` in `mi profile`).
+        let src = r#"
+            define i64 @f(ptr %acc, i64 %n) {
+            entry:
+              br header
+            header:
+              %i = phi i64, [entry: i64 0], [body: %next]
+              %c = icmp slt i64, %i, %n
+              condbr %c, body, exit
+            body:
+              %cur = load i64, %acc !7
+              %sum = add i64, %cur, %i !7
+              store i64, %sum, %acc !9
+              %next = add i64, %i, i64 1
+              br header
+            exit:
+              ret i64 0
+            }
+        "#;
+        let mut m = crate::parser::parse_module(src).unwrap();
+        run_on_module(&PromoteLoopScalars, &mut m);
+        let (_, f) = m.function_by_name("f").unwrap();
+        let loc_of = |bid: usize, pred: &dyn Fn(&InstrKind) -> bool| {
+            f.blocks[bid]
+                .instrs
+                .iter()
+                .map(|&i| &f.instrs[i.index()])
+                .find(|i| pred(&i.kind))
+                .map(|i| i.loc.expect("instr has a loc").line)
+        };
+        // entry (preheader): the hoisted load carries the loop load's line.
+        let pre_load =
+            loc_of(0, &|k| matches!(k, InstrKind::Load { ptr, .. } if ptr.as_value().is_some()));
+        assert_eq!(pre_load, Some(7));
+        // exit: the store-back carries the loop store's line.
+        let back_store = loc_of(3, &|k| matches!(k, InstrKind::Store { .. }));
+        assert_eq!(back_store, Some(9));
     }
 
     #[test]

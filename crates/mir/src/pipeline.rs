@@ -22,6 +22,7 @@ use crate::passes::{
     mem2reg::Mem2Reg, promote::PromoteLoopScalars, run_on_module, simplifycfg::SimplifyCfg,
     FunctionPass, ModulePass,
 };
+use crate::trace::TraceRecorder;
 
 /// Where an instrumentation pass is inserted into the pipeline.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
@@ -86,10 +87,29 @@ impl Pipeline {
         self.resume_at(m, ExtensionPoint::VectorizerStart, None);
     }
 
+    /// Like [`Pipeline::run`], recording a span per executed pass in `rec`.
+    pub fn run_traced(&self, m: &mut Module, rec: &mut TraceRecorder) {
+        self.run_to_traced(m, ExtensionPoint::VectorizerStart, rec);
+        self.resume_at_traced(m, ExtensionPoint::VectorizerStart, None, rec);
+    }
+
     /// Runs the pipeline, inserting `plugin` at extension point `ep`.
     pub fn run_at(&self, m: &mut Module, ep: ExtensionPoint, plugin: &mut dyn ModulePass) {
         self.run_to(m, ep);
         self.resume_at(m, ep, Some(plugin));
+    }
+
+    /// Like [`Pipeline::run_at`], recording a span per executed pass
+    /// (including the plugin) in `rec`.
+    pub fn run_at_traced(
+        &self,
+        m: &mut Module,
+        ep: ExtensionPoint,
+        plugin: &mut dyn ModulePass,
+        rec: &mut TraceRecorder,
+    ) {
+        self.run_to_traced(m, ep, rec);
+        self.resume_at_traced(m, ep, Some(plugin), rec);
     }
 
     /// Runs every stage that precedes extension point `ep`, leaving `m` in
@@ -102,12 +122,21 @@ impl Pipeline {
     /// shared pipeline prefix once per (program, opt level, extension
     /// point) instead of once per sweep cell.
     pub fn run_to(&self, m: &mut Module, ep: ExtensionPoint) {
+        self.run_to_rec(m, ep, None);
+    }
+
+    /// Like [`Pipeline::run_to`], recording a span per executed pass.
+    pub fn run_to_traced(&self, m: &mut Module, ep: ExtensionPoint, rec: &mut TraceRecorder) {
+        self.run_to_rec(m, ep, Some(rec));
+    }
+
+    fn run_to_rec(&self, m: &mut Module, ep: ExtensionPoint, mut rec: Option<&mut TraceRecorder>) {
         if self.opt == OptLevel::O0 {
             // No optimization: there is nothing before any extension point.
             return;
         }
         for stage in 0..=ep_index(ep) {
-            self.run_stage(m, stage);
+            self.run_stage(m, stage, rec.as_deref_mut());
         }
     }
 
@@ -123,40 +152,82 @@ impl Pipeline {
         ep: ExtensionPoint,
         plugin: Option<&mut dyn ModulePass>,
     ) {
+        self.resume_at_rec(m, ep, plugin, None);
+    }
+
+    /// Like [`Pipeline::resume_at`], recording a span per executed pass
+    /// (including the plugin, under the stage label `plugin@<ep>`).
+    pub fn resume_at_traced(
+        &self,
+        m: &mut Module,
+        ep: ExtensionPoint,
+        plugin: Option<&mut dyn ModulePass>,
+        rec: &mut TraceRecorder,
+    ) {
+        self.resume_at_rec(m, ep, plugin, Some(rec));
+    }
+
+    fn resume_at_rec(
+        &self,
+        m: &mut Module,
+        ep: ExtensionPoint,
+        plugin: Option<&mut dyn ModulePass>,
+        mut rec: Option<&mut TraceRecorder>,
+    ) {
         if let Some(pass) = plugin {
             // Under O0 only the plugin runs (any EP behaves the same way).
-            pass.run(m);
+            match rec.as_deref_mut() {
+                Some(r) => {
+                    let stage = format!("plugin@{}", ep.name());
+                    r.record_pass(&stage, pass.name(), m, |m| pass.run(m));
+                }
+                None => {
+                    pass.run(m);
+                }
+            }
         }
         if self.opt == OptLevel::O0 {
             return;
         }
         for stage in ep_index(ep) + 1..=LAST_STAGE {
-            self.run_stage(m, stage);
+            self.run_stage(m, stage, rec.as_deref_mut());
         }
     }
 
     /// Runs one pipeline stage. Stage `i` ends at `ExtensionPoint::ALL[i]`;
     /// the final stage has no extension point after it.
-    fn run_stage(&self, m: &mut Module, stage: usize) {
+    fn run_stage(&self, m: &mut Module, stage: usize, mut rec: Option<&mut TraceRecorder>) {
+        let label = ["stage0", "stage1", "stage2", "stage3"][stage];
         match stage {
             // Stage 0: per-function simplification (like clang's always-on
             // early passes: SROA/mem2reg + cleanup).
-            0 => run_seq(m, &[&SimplifyCfg, &Mem2Reg, &ConstFold, &Dce]),
+            0 => run_seq(m, label, &[&SimplifyCfg, &Mem2Reg, &ConstFold, &Dce], rec),
             // Stage 1: inlining + scalar optimizations (like clang, the
             // inliner runs in the module optimizer, *after* the early
             // extension point — a key driver of the §5.5 gap).
             1 => {
-                Inline.run(m);
-                run_seq(m, &[&ConstFold, &Gvn, &Dse, &Dce, &SimplifyCfg, &Gvn, &Dce]);
+                match rec.as_deref_mut() {
+                    Some(r) => {
+                        let mut inline = Inline;
+                        r.record_pass(label, inline.name(), m, |m| inline.run(m));
+                    }
+                    None => {
+                        Inline.run(m);
+                    }
+                }
+                run_seq(m, label, &[&ConstFold, &Gvn, &Dse, &Dce, &SimplifyCfg, &Gvn, &Dce], rec);
             }
             // Stage 2: loop optimizations (LICM hoisting + scalar
             // promotion, completed by a mem2reg round).
-            2 => {
-                run_seq(m, &[&Licm, &PromoteLoopScalars, &Mem2Reg, &Gvn, &Dse, &Dce, &SimplifyCfg])
-            }
+            2 => run_seq(
+                m,
+                label,
+                &[&Licm, &PromoteLoopScalars, &Mem2Reg, &Gvn, &Dse, &Dce, &SimplifyCfg],
+                rec,
+            ),
             // Stage 3: late cleanup (runs after every instrumentation
             // point, like the LTO-time cleanups in the paper's setup).
-            3 => run_seq(m, &[&ConstFold, &Dce, &SimplifyCfg]),
+            3 => run_seq(m, label, &[&ConstFold, &Dce, &SimplifyCfg], rec),
             _ => unreachable!("no pipeline stage {stage}"),
         }
     }
@@ -175,9 +246,21 @@ fn ep_index(ep: ExtensionPoint) -> usize {
 /// The late-cleanup stage, after the last extension point.
 const LAST_STAGE: usize = 3;
 
-fn run_seq(m: &mut Module, passes: &[&dyn FunctionPass]) {
+fn run_seq(
+    m: &mut Module,
+    stage: &str,
+    passes: &[&dyn FunctionPass],
+    mut rec: Option<&mut TraceRecorder>,
+) {
     for pass in passes {
-        run_on_module(*pass, m);
+        match rec.as_deref_mut() {
+            Some(r) => {
+                r.record_pass(stage, pass.name(), m, |m| run_on_module(*pass, m));
+            }
+            None => {
+                run_on_module(*pass, m);
+            }
+        }
     }
 }
 

@@ -14,6 +14,10 @@ use crate::module::{Effect, Init, Module};
 pub fn print_module(m: &Module) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "module @{}", m.name);
+    if let Some(file) = &m.src_file {
+        let escaped = file.replace('\\', "\\\\").replace('"', "\\\"");
+        let _ = writeln!(out, "source \"{escaped}\"");
+    }
     for (name, decl) in &m.host_decls {
         let params = decl.params.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ");
         let eff = match decl.effect {
@@ -47,11 +51,43 @@ pub fn print_module(m: &Module) -> String {
             }
         }
     }
+    for site in &m.check_sites {
+        out.push_str(&format_check_site(site));
+        out.push('\n');
+    }
     for f in &m.functions {
         out.push('\n');
         out.push_str(&print_function(f));
     }
     out
+}
+
+fn format_check_site(site: &crate::srcloc::CheckSite) -> String {
+    let mut s = format!(
+        "checksite @{} {} {}",
+        site.func,
+        site.kind.keyword(),
+        if site.is_store { "write" } else { "read" }
+    );
+    if let Some(w) = site.width {
+        let _ = write!(s, " width {w}");
+    }
+    if let Some(l) = site.line {
+        let _ = write!(s, " line {l}");
+    }
+    if let Some(a) = &site.alloc {
+        let _ = write!(s, " obj {}", a.kind.keyword());
+        if let Some(name) = &a.name {
+            let _ = write!(s, " @{name}");
+        }
+        if let Some(sz) = a.size {
+            let _ = write!(s, " size {sz}");
+        }
+        if let Some(l) = a.line {
+            let _ = write!(s, " line {l}");
+        }
+    }
+    s
 }
 
 /// Renders one function.
@@ -163,7 +199,10 @@ fn format_instr(f: &Function, instr: &crate::instr::Instr) -> String {
         InstrKind::Nop => "nop".to_string(),
     };
     let _ = f; // reserved for richer name printing
-    format!("{lhs}{rhs}")
+    match instr.loc {
+        Some(loc) => format!("{lhs}{rhs} !{loc}"),
+        None => format!("{lhs}{rhs}"),
+    }
 }
 
 fn format_term(t: &Terminator) -> String {

@@ -1,0 +1,243 @@
+//! Source provenance: per-instruction source locations and check-site
+//! descriptors.
+//!
+//! [`SrcLoc`] is the IR-level analogue of an LLVM debug location: an
+//! optional side-channel on every [`crate::instr::Instr`], set by the
+//! frontend, preserved (or legally dropped) by optimization passes, and
+//! consumed by the VM for trap reports and per-site profiles. The module
+//! records the originating file name once ([`crate::module::Module::src_file`])
+//! instead of per instruction — the mini-C frontend compiles single
+//! translation units, so `file:line` factors into a module-level file and
+//! a per-instruction line.
+//!
+//! [`CheckSite`] describes one check inserted by the instrumentation: the
+//! access it guards (location, width, read/write) and, where statically
+//! derivable, the allocation site of the checked object. The
+//! instrumentation appends the site's index as a trailing constant
+//! argument on every emitted check call, so the runtime can attribute
+//! dynamic hits, wide-bound hits, and cost back to source lines and can
+//! render ASan-style violation reports ("8-byte write at prog.c:12
+//! overflows 40-byte heap object allocated at prog.c:7").
+
+use std::fmt;
+
+/// A source location attached to an instruction (1-based line).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct SrcLoc {
+    /// 1-based source line in the module's source file.
+    pub line: u32,
+}
+
+impl SrcLoc {
+    /// Creates a location for `line`.
+    pub fn line(line: u32) -> SrcLoc {
+        SrcLoc { line }
+    }
+}
+
+impl fmt::Display for SrcLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.line)
+    }
+}
+
+/// What kind of check a [`CheckSite`] describes.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum SiteKind {
+    /// A dereference check guarding one load or store.
+    Deref,
+    /// A range check guarding a `memcpy`/`memset` endpoint.
+    Wrapper,
+    /// A pointer-escape invariant check (Low-Fat stores/calls/returns).
+    Invariant,
+}
+
+impl SiteKind {
+    /// Keyword used by the printer/parser.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            SiteKind::Deref => "deref",
+            SiteKind::Wrapper => "wrapper",
+            SiteKind::Invariant => "invariant",
+        }
+    }
+}
+
+/// Storage class of a statically-identified allocation site.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum AllocKind {
+    /// `malloc`/`calloc` result.
+    Heap,
+    /// `alloca` (or a mechanism's stack-alloc replacement).
+    Stack,
+    /// A module global.
+    Global,
+}
+
+impl AllocKind {
+    /// Keyword used by the printer/parser and in trap reports.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            AllocKind::Heap => "heap",
+            AllocKind::Stack => "stack",
+            AllocKind::Global => "global",
+        }
+    }
+}
+
+/// The allocation site of a checked object, where the instrumentation
+/// could derive it statically by walking the pointer's def chain.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AllocSite {
+    /// Storage class.
+    pub kind: AllocKind,
+    /// Source line of the allocation, if the allocating instruction
+    /// carried one (globals have none).
+    pub line: Option<u32>,
+    /// Global name, for [`AllocKind::Global`] sites.
+    pub name: Option<String>,
+    /// Statically-known object size in bytes, if constant.
+    pub size: Option<u64>,
+}
+
+/// One check inserted by the instrumentation, identified by its index in
+/// [`crate::module::Module::check_sites`]. The index is passed to the
+/// runtime as the check call's trailing `i64` argument.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CheckSite {
+    /// Name of the function containing the check.
+    pub func: String,
+    /// What the check guards.
+    pub kind: SiteKind,
+    /// `true` for stores (and memset/memcpy destinations).
+    pub is_store: bool,
+    /// Access width in bytes; `None` when dynamic (wrapper ranges).
+    pub width: Option<u64>,
+    /// Source line of the guarded access.
+    pub line: Option<u32>,
+    /// Allocation site of the checked object, when statically derivable.
+    pub alloc: Option<AllocSite>,
+}
+
+impl CheckSite {
+    /// Renders `file:line` (or a placeholder) for a line in `src_file`.
+    fn at(src_file: Option<&str>, line: Option<u32>) -> String {
+        match (src_file, line) {
+            (Some(f), Some(l)) => format!("{f}:{l}"),
+            (None, Some(l)) => format!("line {l}"),
+            (_, None) => "<unknown>".to_string(),
+        }
+    }
+
+    /// Renders this site's `file:line` (or a placeholder).
+    pub fn source(&self, src_file: Option<&str>) -> String {
+        CheckSite::at(src_file, self.line)
+    }
+
+    /// Short description of the guarded access without its location,
+    /// e.g. `8-byte write`, `bulk read`, `pointer escape`.
+    pub fn access_kind(&self) -> String {
+        let rw = if self.is_store { "write" } else { "read" };
+        match (self.kind, self.width) {
+            (SiteKind::Deref, Some(w)) => format!("{w}-byte {rw}"),
+            (SiteKind::Deref, None) => rw.to_string(),
+            (SiteKind::Wrapper, _) => format!("bulk {rw}"),
+            (SiteKind::Invariant, _) => "pointer escape".to_string(),
+        }
+    }
+
+    /// Short description of the guarded access, e.g. `8-byte write at
+    /// prog.c:12`.
+    pub fn describe_access(&self, src_file: Option<&str>) -> String {
+        format!("{} at {}", self.access_kind(), self.source(src_file))
+    }
+
+    /// Description of the checked object's allocation site, e.g.
+    /// `40-byte heap object allocated at prog.c:7`, if known.
+    pub fn describe_alloc(&self, src_file: Option<&str>) -> Option<String> {
+        let a = self.alloc.as_ref()?;
+        let size = match a.size {
+            Some(s) => format!("{s}-byte "),
+            None => String::new(),
+        };
+        let mut s = format!("{size}{} object", a.kind.keyword());
+        if let Some(name) = &a.name {
+            s.push_str(&format!(" @{name}"));
+        }
+        if a.line.is_some() {
+            s.push_str(&format!(" allocated at {}", CheckSite::at(src_file, a.line)));
+        }
+        Some(s)
+    }
+
+    /// Full ASan-style provenance sentence for a violation at this site:
+    /// `8-byte write at prog.c:12 overflows 40-byte heap object allocated
+    /// at prog.c:7`.
+    pub fn describe_violation(&self, src_file: Option<&str>) -> String {
+        let access = self.describe_access(src_file);
+        match self.describe_alloc(src_file) {
+            Some(alloc) => format!("{access} overflows {alloc}"),
+            None => access,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn describe_full_violation() {
+        let site = CheckSite {
+            func: "main".into(),
+            kind: SiteKind::Deref,
+            is_store: true,
+            width: Some(8),
+            line: Some(12),
+            alloc: Some(AllocSite {
+                kind: AllocKind::Heap,
+                line: Some(7),
+                name: None,
+                size: Some(40),
+            }),
+        };
+        assert_eq!(
+            site.describe_violation(Some("prog.c")),
+            "8-byte write at prog.c:12 overflows 40-byte heap object allocated at prog.c:7"
+        );
+    }
+
+    #[test]
+    fn describe_without_file_or_alloc() {
+        let site = CheckSite {
+            func: "f".into(),
+            kind: SiteKind::Deref,
+            is_store: false,
+            width: Some(4),
+            line: Some(3),
+            alloc: None,
+        };
+        assert_eq!(site.describe_violation(None), "4-byte read at line 3");
+    }
+
+    #[test]
+    fn describe_global_alloc() {
+        let site = CheckSite {
+            func: "f".into(),
+            kind: SiteKind::Wrapper,
+            is_store: true,
+            width: None,
+            line: Some(9),
+            alloc: Some(AllocSite {
+                kind: AllocKind::Global,
+                line: None,
+                name: Some("buf".into()),
+                size: Some(16),
+            }),
+        };
+        assert_eq!(
+            site.describe_violation(Some("t.c")),
+            "bulk write at t.c:9 overflows 16-byte global object @buf"
+        );
+    }
+}

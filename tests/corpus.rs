@@ -9,6 +9,18 @@
 //! ```
 //!
 //! where `<config>` is `baseline`, `softbound`, `lowfat`, or `redzone`.
+//!
+//! A file may additionally assert on the *provenance text* of a trap:
+//!
+//! ```text
+//! // CHECKTRAP <config>: <substring>
+//! ```
+//!
+//! requires that configuration to trap with a display string containing
+//! `<substring>` — used to pin the ASan-style source attribution
+//! ("8-byte write at f.c:12 overflows 40-byte heap object allocated at
+//! f.c:7"). CHECKTRAP lines may appear anywhere in the file; putting them
+//! at the end keeps the source line numbers the text asserts on stable.
 
 use meminstrument::runtime::{compile, compile_baseline, BuildOptions};
 use meminstrument::{Mechanism, MiConfig};
@@ -47,6 +59,16 @@ fn parse_expectations(src: &str) -> Vec<(String, Expect)> {
     out
 }
 
+fn parse_trap_expectations(src: &str) -> Vec<(String, String)> {
+    let mut out = vec![];
+    for line in src.lines() {
+        let Some(rest) = line.trim().strip_prefix("// CHECKTRAP ") else { continue };
+        let (config, needle) = rest.split_once(':').expect("CHECKTRAP line has a colon");
+        out.push((config.trim().to_string(), needle.trim().to_string()));
+    }
+    out
+}
+
 #[test]
 fn corpus_verdicts() {
     let dir = format!("{}/tests/corpus", env!("CARGO_MANIFEST_DIR"));
@@ -64,28 +86,29 @@ fn corpus_verdicts() {
         let src = std::fs::read_to_string(path).unwrap();
         let expectations = parse_expectations(&src);
         assert!(!expectations.is_empty(), "{name}: no CHECK lines");
-        let module = match cfront::compile(&src) {
+        let module = match cfront::compile_named(&src, &name) {
             Ok(m) => m,
             Err(e) => {
                 failures.push(format!("{name}: frontend error: {e}"));
                 continue;
             }
         };
+        let run_config = |config: &str| match config {
+            "baseline" => compile_baseline(module.clone(), BuildOptions::default())
+                .run_main(VmConfig::default()),
+            mech => {
+                let mech = match mech {
+                    "softbound" => Mechanism::SoftBound,
+                    "lowfat" => Mechanism::LowFat,
+                    "redzone" => Mechanism::RedZone,
+                    other => panic!("{name}: unknown config {other}"),
+                };
+                compile(module.clone(), &MiConfig::new(mech), BuildOptions::default())
+                    .run_main(VmConfig::default())
+            }
+        };
         for (config, expect) in expectations {
-            let result = match config.as_str() {
-                "baseline" => compile_baseline(module.clone(), BuildOptions::default())
-                    .run_main(VmConfig::default()),
-                mech => {
-                    let mech = match mech {
-                        "softbound" => Mechanism::SoftBound,
-                        "lowfat" => Mechanism::LowFat,
-                        "redzone" => Mechanism::RedZone,
-                        other => panic!("{name}: unknown config {other}"),
-                    };
-                    compile(module.clone(), &MiConfig::new(mech), BuildOptions::default())
-                        .run_main(VmConfig::default())
-                }
-            };
+            let result = run_config(&config);
             let verdict = match (&expect, &result) {
                 (Expect::Ok(want), Ok(out)) => {
                     let got = out.ret.map(|v| v.as_int() as i64).unwrap_or(0);
@@ -104,6 +127,21 @@ fn corpus_verdicts() {
             };
             if let Some(msg) = verdict {
                 failures.push(format!("{name} [{config}]: {msg}"));
+            }
+        }
+        for (config, needle) in parse_trap_expectations(&src) {
+            match run_config(&config) {
+                Err(t) => {
+                    let s = t.to_string();
+                    if !s.contains(&needle) {
+                        failures.push(format!(
+                            "{name} [{config}]: trap {s:?} lacks provenance {needle:?}"
+                        ));
+                    }
+                }
+                Ok(_) => failures.push(format!(
+                    "{name} [{config}]: expected a trap containing {needle:?}, ran through"
+                )),
             }
         }
     }

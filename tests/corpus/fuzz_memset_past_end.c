@@ -18,3 +18,5 @@ long main(void) {
     memset((char*)&s0[0] + 76, 1, 8);
     return 0;
 }
+// Provenance assertions (hand-added; line numbers refer to this file):
+// CHECKTRAP redzone: bulk write at fuzz_memset_past_end.c:18 overflows 80-byte stack object allocated at fuzz_memset_past_end.c:11

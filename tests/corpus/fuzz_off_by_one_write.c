@@ -18,3 +18,6 @@ long main(void) {
     h0[34] = x & 255;
     return 0;
 }
+// Provenance assertions (hand-added; line numbers refer to this file):
+// CHECKTRAP softbound: 4-byte write at fuzz_off_by_one_write.c:18 overflows 136-byte heap object allocated at fuzz_off_by_one_write.c:11
+// CHECKTRAP softbound: in @main (line 18)

@@ -22,3 +22,7 @@ long main(void) {
     }
     return 0;
 }
+// Provenance assertions (hand-added; line numbers refer to this file):
+// CHECKTRAP softbound: 8-byte read at fuzz_underflow_near.c:20 overflows 136-byte heap object allocated at fuzz_underflow_near.c:11
+// CHECKTRAP lowfat: 8-byte read at fuzz_underflow_near.c:20 overflows 136-byte heap object allocated at fuzz_underflow_near.c:11
+// CHECKTRAP redzone: 8-byte read at fuzz_underflow_near.c:20 overflows 136-byte heap object allocated at fuzz_underflow_near.c:11

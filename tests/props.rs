@@ -510,6 +510,122 @@ fn cfront_never_panics_on_token_soup() {
 // Cost accounting: the category split always sums to the total
 // ---------------------------------------------------------------------------
 
+// ---------------------------------------------------------------------------
+// Source provenance: SrcLocs and check-site IDs survive the pipeline
+// ---------------------------------------------------------------------------
+
+/// All live (block-linked) instructions of a module.
+fn live_instrs(m: &mir::Module) -> impl Iterator<Item = &mir::Instr> + '_ {
+    m.functions.iter().flat_map(|f| {
+        f.blocks.iter().flat_map(move |b| b.instrs.iter().map(move |id| &f.instrs[id.index()]))
+    })
+}
+
+/// Source lines referenced by live instructions.
+fn loc_lines(m: &mir::Module) -> std::collections::HashSet<u32> {
+    live_instrs(m).filter_map(|i| i.loc.map(|l| l.line)).collect()
+}
+
+/// If `kind` is a call to one of the four check helpers, returns its
+/// trailing site-id operand (None when absent) and the [`mir::SiteKind`]s
+/// legal for that helper.
+fn check_site_ref(kind: &mir::InstrKind) -> Option<(Option<i64>, &'static [mir::SiteKind])> {
+    use mir::SiteKind::{Deref, Invariant, Wrapper};
+    let mir::InstrKind::Call { callee, args, .. } = kind else { return None };
+    let (idx, kinds): (usize, &'static [mir::SiteKind]) = match callee.as_str() {
+        "__sb_check" => (4, &[Deref, Wrapper]),
+        "__lf_check" => (3, &[Deref, Wrapper]),
+        "__rz_check" => (2, &[Deref, Wrapper]),
+        "__lf_invariant" => (2, &[Invariant]),
+        _ => return None,
+    };
+    Some((args.get(idx).and_then(|a| a.as_const_int()), kinds))
+}
+
+/// Over every corpus program, at O0 and O3, baseline and all three
+/// mechanisms: passes preserve source locations or drop them, but never
+/// invent lines the frontend didn't stamp; and after the full pipeline
+/// (including post-extension-point simplifycfg/gvn/inline) every check
+/// call's site ID still indexes a `check_sites` entry of the right kind —
+/// no dangling and no stale IDs.
+#[test]
+fn corpus_srclocs_and_site_ids_survive_the_pipeline() {
+    let dir = format!("{}/tests/corpus", env!("CARGO_MANIFEST_DIR"));
+    let mut paths: Vec<_> = std::fs::read_dir(&dir)
+        .expect("corpus directory")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "c"))
+        .collect();
+    paths.sort();
+
+    let mut failures = vec![];
+    for path in &paths {
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        let src = std::fs::read_to_string(path).unwrap();
+        let Ok(frontend) = cfront::compile_named(&src, &name) else { continue };
+        let frontend_lines = loc_lines(&frontend);
+        if frontend_lines.is_empty() {
+            failures.push(format!("{name}: frontend stamped no source locations"));
+            continue;
+        }
+
+        for opt in [OptLevel::O0, OptLevel::O3] {
+            let opts = BuildOptions { opt, ep: ExtensionPoint::VectorizerStart };
+            let mut builds = vec![("baseline", compile_baseline(frontend.clone(), opts).module)];
+            for mech in [Mechanism::SoftBound, Mechanism::LowFat, Mechanism::RedZone] {
+                builds.push((
+                    mech.name(),
+                    compile(frontend.clone(), &MiConfig::new(mech), opts).module,
+                ));
+            }
+            for (cfg, module) in builds {
+                let ctx = format!("{name} [{cfg}@{opt:?}]");
+                for line in loc_lines(&module) {
+                    if !frontend_lines.contains(&line) {
+                        failures.push(format!("{ctx}: pass invented source line {line}"));
+                    }
+                }
+                let n_sites = module.check_sites.len();
+                for instr in live_instrs(&module) {
+                    let Some((id, kinds)) = check_site_ref(&instr.kind) else { continue };
+                    let Some(id) = id else {
+                        failures.push(format!("{ctx}: check call lacks a site-id operand"));
+                        continue;
+                    };
+                    if id < 0 || id as usize >= n_sites {
+                        failures
+                            .push(format!("{ctx}: dangling site id {id} (table has {n_sites})"));
+                        continue;
+                    }
+                    let site = &module.check_sites[id as usize];
+                    if !kinds.contains(&site.kind) {
+                        failures.push(format!(
+                            "{ctx}: site {id} has stale kind {:?}, expected one of {kinds:?}",
+                            site.kind
+                        ));
+                    }
+                    if let Some(l) = site.line {
+                        if !frontend_lines.contains(&l) {
+                            failures.push(format!("{ctx}: site {id} cites unknown line {l}"));
+                        }
+                    }
+                    if let Some(l) = site.alloc.as_ref().and_then(|a| a.line) {
+                        if !frontend_lines.contains(&l) {
+                            failures.push(format!("{ctx}: site {id} cites unknown alloc line {l}"));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} provenance violations:\n  {}",
+        failures.len(),
+        failures.join("\n  ")
+    );
+}
+
 #[test]
 fn cost_categories_sum_to_total() {
     for name in ["186crafty", "183equake", "197parser"] {

@@ -81,8 +81,18 @@ fn trap_display_strings_are_informative() {
         (Trap::Abort("x".into()), "aborted"),
         (Trap::Unsupported("y".into()), "unsupported"),
         (
-            Trap::UnmappedAccess { addr: 0x10, width: 8, write: true },
+            Trap::UnmappedAccess { addr: 0x10, width: 8, write: true, func: None, line: None },
             "8-byte write at unmapped 0x10",
+        ),
+        (
+            Trap::UnmappedAccess {
+                addr: 0x10,
+                width: 8,
+                write: true,
+                func: Some("main".into()),
+                line: Some(12),
+            },
+            "8-byte write at unmapped 0x10 in @main (line 12)",
         ),
         (
             Trap::MemSafetyViolation {
@@ -90,8 +100,21 @@ fn trap_display_strings_are_informative() {
                 kind: "deref-check".into(),
                 addr: 0x20,
                 detail: "d".into(),
+                func: None,
+                line: None,
             },
             "softbound: deref-check violation at 0x20",
+        ),
+        (
+            Trap::MemSafetyViolation {
+                mechanism: "softbound".into(),
+                kind: "deref-check".into(),
+                addr: 0x20,
+                detail: "d".into(),
+                func: Some("spin".into()),
+                line: Some(3),
+            },
+            "softbound: deref-check violation at 0x20 in @spin (line 3)",
         ),
     ];
     for (trap, needle) in cases {
