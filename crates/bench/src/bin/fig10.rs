@@ -9,8 +9,8 @@
 //! the metadata series *under*-approximates propagation cost (§5.4).
 
 use bench::driver::{benchmark_programs, variants_configs, Driver, JobConfig};
-use bench::{geomean, measurement_of, paper_options, print_table, slowdown};
-use meminstrument::{Mechanism, MiConfig};
+use bench::{geomean, measurement_of, print_table, slowdown};
+use meminstrument::{Mechanism, MiMode, OptConfig};
 
 fn main() {
     run(Mechanism::SoftBound, "Figure 10", "metadata");
@@ -21,9 +21,9 @@ pub fn run(mech: Mechanism, figure: &str, third_label: &str) {
     let report = Driver::new(benchmark_programs(), variants_configs(mech)).run();
     let base_cfg = JobConfig::baseline();
     let configs = [
-        ("optimized", JobConfig::with(MiConfig::new(mech), paper_options())),
-        ("unoptimized", JobConfig::with(MiConfig::unoptimized(mech), paper_options())),
-        (third_label, JobConfig::with(MiConfig::invariants_only(mech), paper_options())),
+        ("optimized", JobConfig::mechanism(mech)),
+        ("unoptimized", JobConfig::mechanism(mech).opt(OptConfig::none())),
+        (third_label, JobConfig::mechanism(mech).mode(MiMode::GenInvariantsOnly)),
     ];
     let mut rows = vec![];
     let mut sums: Vec<Vec<f64>> = vec![vec![]; 3];

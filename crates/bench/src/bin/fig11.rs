@@ -7,8 +7,8 @@
 //! invariant (escape checks + low-fat allocators).
 
 use bench::driver::{benchmark_programs, variants_configs, Driver, JobConfig};
-use bench::{geomean, measurement_of, paper_options, print_table, slowdown};
-use meminstrument::{Mechanism, MiConfig};
+use bench::{geomean, measurement_of, print_table, slowdown};
+use meminstrument::{Mechanism, MiMode, OptConfig};
 
 fn main() {
     let mech = Mechanism::LowFat;
@@ -16,9 +16,9 @@ fn main() {
     let report = Driver::new(benchmark_programs(), variants_configs(mech)).run();
     let base_cfg = JobConfig::baseline();
     let configs = [
-        ("optimized", JobConfig::with(MiConfig::new(mech), paper_options())),
-        ("unoptimized", JobConfig::with(MiConfig::unoptimized(mech), paper_options())),
-        ("invariants", JobConfig::with(MiConfig::invariants_only(mech), paper_options())),
+        ("optimized", JobConfig::mechanism(mech)),
+        ("unoptimized", JobConfig::mechanism(mech).opt(OptConfig::none())),
+        ("invariants", JobConfig::mechanism(mech).mode(MiMode::GenInvariantsOnly)),
     ];
     let mut rows = vec![];
     let mut sums: Vec<Vec<f64>> = vec![vec![]; 3];

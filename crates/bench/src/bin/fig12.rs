@@ -6,8 +6,8 @@
 //! the scalar/loop optimizations and the inliner.
 
 use bench::driver::{benchmark_programs, extension_point_configs, Driver, JobConfig};
-use bench::{geomean, measurement_of, options_at, print_table, slowdown};
-use meminstrument::{Mechanism, MiConfig};
+use bench::{geomean, measurement_of, print_table, slowdown};
+use meminstrument::Mechanism;
 use mir::pipeline::ExtensionPoint;
 
 fn main() {
@@ -24,7 +24,7 @@ pub fn run(mech: Mechanism, figure: &str) {
         let base = measurement_of(&report, &b, &base_cfg);
         let mut row = vec![b.name.to_string()];
         for (i, ep) in ExtensionPoint::ALL.into_iter().enumerate() {
-            let cfg = JobConfig::with(MiConfig::new(mech), options_at(ep));
+            let cfg = JobConfig::mechanism(mech).at(ep);
             let m = measurement_of(&report, &b, &cfg);
             let s = slowdown(&m, &base);
             sums[i].push(s);

@@ -2,8 +2,8 @@
 //! pipeline extension points (§5.5). See `fig12` for the SoftBound variant.
 
 use bench::driver::{benchmark_programs, extension_point_configs, Driver, JobConfig};
-use bench::{geomean, measurement_of, options_at, print_table, slowdown};
-use meminstrument::{Mechanism, MiConfig};
+use bench::{geomean, measurement_of, print_table, slowdown};
+use meminstrument::Mechanism;
 use mir::pipeline::ExtensionPoint;
 
 fn main() {
@@ -17,7 +17,7 @@ fn main() {
         let base = measurement_of(&report, &b, &base_cfg);
         let mut row = vec![b.name.to_string()];
         for (i, ep) in ExtensionPoint::ALL.into_iter().enumerate() {
-            let cfg = JobConfig::with(MiConfig::new(mech), options_at(ep));
+            let cfg = JobConfig::mechanism(mech).at(ep);
             let m = measurement_of(&report, &b, &cfg);
             let s = slowdown(&m, &base);
             sums[i].push(s);

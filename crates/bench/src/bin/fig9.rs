@@ -7,15 +7,15 @@
 //! hot loop), Low-Fat worse on `186crafty` (wider check sequence).
 
 use bench::driver::{benchmark_programs, fig9_configs, Driver, JobConfig};
-use bench::{geomean, measurement_of, paper_options, print_table, slowdown};
-use meminstrument::{Mechanism, MiConfig};
+use bench::{geomean, measurement_of, print_table, slowdown};
+use meminstrument::Mechanism;
 
 fn main() {
     println!("Figure 9: execution-time overhead vs -O3 baseline (VectorizerStart, optimized)\n");
     let report = Driver::new(benchmark_programs(), fig9_configs()).run();
     let base_cfg = JobConfig::baseline();
-    let sb_cfg = JobConfig::with(MiConfig::new(Mechanism::SoftBound), paper_options());
-    let lf_cfg = JobConfig::with(MiConfig::new(Mechanism::LowFat), paper_options());
+    let sb_cfg = JobConfig::mechanism(Mechanism::SoftBound);
+    let lf_cfg = JobConfig::mechanism(Mechanism::LowFat);
     let mut rows = vec![];
     let mut sbs = vec![];
     let mut lfs = vec![];

@@ -36,7 +36,7 @@ use meminstrument::runtime::{
     compile_baseline_from_prefix, compile_baseline_from_prefix_traced, compile_from_prefix,
     compile_from_prefix_traced, pipeline_prefix, pipeline_prefix_traced, BuildOptions,
 };
-use meminstrument::{InstrStats, MiConfig, MiMode};
+use meminstrument::{InstrStats, Instrument, Mechanism, MiMode, OptConfig};
 use memvm::{SiteProfile, VmConfig, VmStats};
 use mir::pipeline::{ExtensionPoint, OptLevel};
 use mir::trace::TraceRecorder;
@@ -61,57 +61,12 @@ pub fn benchmark_programs() -> Vec<Program> {
     cbench::all().iter().map(Program::from).collect()
 }
 
-/// One configuration column of the sweep matrix.
-#[derive(Clone, Debug)]
-pub struct JobConfig {
-    /// Instrumentation configuration; `None` is the uninstrumented
-    /// baseline.
-    pub config: Option<MiConfig>,
-    /// Pipeline options (opt level + extension point).
-    pub opts: BuildOptions,
-}
-
-impl JobConfig {
-    /// The uninstrumented baseline at the paper's `-O3` configuration.
-    pub fn baseline() -> JobConfig {
-        JobConfig { config: None, opts: BuildOptions::default() }
-    }
-
-    /// An uninstrumented baseline with explicit pipeline options.
-    pub fn baseline_with(opts: BuildOptions) -> JobConfig {
-        JobConfig { config: None, opts }
-    }
-
-    /// An instrumented configuration with explicit pipeline options.
-    pub fn with(config: MiConfig, opts: BuildOptions) -> JobConfig {
-        JobConfig { config: Some(config), opts }
-    }
-
-    /// Stable, human-readable cell label, unique per distinct
-    /// configuration: `<mech>[-unopt|-inv]@<opt>@<extension point>`, e.g.
-    /// `softbound@O3@VectorizerStart` or `baseline@O0@VectorizerStart`.
-    /// Report lookups key on this.
-    pub fn label(&self) -> String {
-        let mech = match &self.config {
-            None => "baseline".to_string(),
-            Some(c) => {
-                let suffix = if c.mode == MiMode::GenInvariantsOnly {
-                    "-inv"
-                } else if !c.opt_dominance {
-                    "-unopt"
-                } else {
-                    ""
-                };
-                format!("{}{suffix}", c.mechanism.name())
-            }
-        };
-        let opt = match self.opts.opt {
-            OptLevel::O0 => "O0",
-            OptLevel::O3 => "O3",
-        };
-        format!("{mech}@{opt}@{}", self.opts.ep.name())
-    }
-}
+/// One configuration column of the sweep matrix: a typed
+/// [`Instrument`] cell under the driver's historical name. Its `Display`
+/// rendering (`softbound@O3@VectorizerStart`, `lowfat-inv@O0@…`, …) is the
+/// stable, unique label report lookups key on — the single source of
+/// truth lives on [`Instrument`], shared with `cli` and `fuzz`.
+pub type JobConfig = Instrument;
 
 /// Successful execution of one cell.
 #[derive(Clone, Debug)]
@@ -189,7 +144,7 @@ impl CellTrap {
 pub struct CellResult {
     /// Program name.
     pub program: String,
-    /// Configuration label (see [`JobConfig::label`]).
+    /// Configuration label (the [`JobConfig`]'s `Display` rendering).
     pub config: String,
     /// Execution outcome; `Err` carries the classified trap.
     pub outcome: Result<CellOk, CellTrap>,
@@ -278,15 +233,13 @@ pub struct Report {
 impl Report {
     /// Looks up the cell for (`program`, `config`).
     pub fn get(&self, program: &str, config: &JobConfig) -> Option<&CellResult> {
-        let label = config.label();
+        let label = config.to_string();
         self.cells.iter().find(|c| c.program == program && c.config == label)
     }
 
     /// Looks up a cell that must exist and must have run to completion.
     pub fn ok(&self, program: &str, config: &JobConfig) -> &CellOk {
-        self.get(program, config)
-            .unwrap_or_else(|| panic!("no cell {program} [{}]", config.label()))
-            .ok()
+        self.get(program, config).unwrap_or_else(|| panic!("no cell {program} [{config}]")).ok()
     }
 
     /// Renders the collected pass-pipeline traces as one Chrome
@@ -348,8 +301,9 @@ impl Report {
                     let st = &ok.instr;
                     let _ = write!(
                         out,
-                        ", \"static\": {{\"checks_discovered\": {}, \"checks_eliminated\": {}, \"checks_placed\": {}, \"invariants_placed\": {}, \"metadata_loads_placed\": {}, \"metadata_stores_placed\": {}, \"allocas_replaced\": {}, \"globals_mirrored\": {}, \"functions_instrumented\": {}, \"functions_skipped\": {}, \"checks_narrowed\": {}}}",
-                        st.checks_discovered, st.checks_eliminated, st.checks_placed,
+                        ", \"static\": {{\"checks_discovered\": {}, \"checks_eliminated\": {}, \"checks_hoisted\": {}, \"checks_widened\": {}, \"checks_placed\": {}, \"invariants_placed\": {}, \"metadata_loads_placed\": {}, \"metadata_stores_placed\": {}, \"allocas_replaced\": {}, \"globals_mirrored\": {}, \"functions_instrumented\": {}, \"functions_skipped\": {}, \"checks_narrowed\": {}}}",
+                        st.checks_discovered, st.checks_eliminated, st.checks_hoisted,
+                        st.checks_widened, st.checks_placed,
                         st.invariants_placed, st.metadata_loads_placed, st.metadata_stores_placed,
                         st.allocas_replaced, st.globals_mirrored, st.functions_instrumented,
                         st.functions_skipped, st.checks_narrowed
@@ -455,7 +409,7 @@ impl Driver {
         let mut prefix_keys: Vec<(usize, OptLevel, ExtensionPoint)> = Vec::new();
         for pi in 0..self.programs.len() {
             for cfg in &self.configs {
-                let key = (pi, cfg.opts.opt, cfg.opts.ep);
+                let key = (pi, cfg.build_options().opt, cfg.build_options().ep);
                 if !prefix_keys.contains(&key) {
                     prefix_keys.push(key);
                 }
@@ -485,20 +439,17 @@ impl Driver {
         let cells: Vec<(CellResult, Option<TraceRecorder>)> =
             par_map(self.jobs, &cell_keys, |_, &(pi, ci)| {
                 let cfg = &self.configs[ci];
-                let prefix_slot = prefix_index[&(pi, cfg.opts.opt, cfg.opts.ep)];
+                let opts = cfg.build_options();
+                let prefix_slot = prefix_index[&(pi, opts.opt, opts.ep)];
                 let (prefix, prefix_time, _) = &prefixes[prefix_slot];
 
                 let t = Instant::now();
                 let mut rec = if self.trace { Some(TraceRecorder::new()) } else { None };
-                let prog = match (&cfg.config, &mut rec) {
-                    (None, None) => compile_baseline_from_prefix(prefix.clone(), cfg.opts),
-                    (None, Some(r)) => {
-                        compile_baseline_from_prefix_traced(prefix.clone(), cfg.opts, r)
-                    }
-                    (Some(mi), None) => compile_from_prefix(prefix.clone(), mi, cfg.opts),
-                    (Some(mi), Some(r)) => {
-                        compile_from_prefix_traced(prefix.clone(), mi, cfg.opts, r)
-                    }
+                let prog = match (cfg.mi_config(), &mut rec) {
+                    (None, None) => compile_baseline_from_prefix(prefix.clone(), opts),
+                    (None, Some(r)) => compile_baseline_from_prefix_traced(prefix.clone(), opts, r),
+                    (Some(mi), None) => compile_from_prefix(prefix.clone(), mi, opts),
+                    (Some(mi), Some(r)) => compile_from_prefix_traced(prefix.clone(), mi, opts, r),
                 };
                 let instrumentation = t.elapsed();
 
@@ -517,7 +468,7 @@ impl Driver {
 
                 let cell = CellResult {
                     program: self.programs[pi].name.clone(),
-                    config: cfg.label(),
+                    config: cfg.to_string(),
                     outcome,
                     timing: CellTiming {
                         frontend: frontends[pi].1,
@@ -566,7 +517,7 @@ impl Driver {
         };
         Report {
             programs: self.programs.iter().map(|p| p.name.clone()).collect(),
-            configs: self.configs.iter().map(|c| c.label()).collect(),
+            configs: self.configs.iter().map(|c| c.to_string()).collect(),
             cells,
             cache,
             timings,
@@ -619,14 +570,12 @@ pub fn par_map<T: Sync, R: Send>(
 // Standard matrices
 // ---------------------------------------------------------------------------
 
-use meminstrument::Mechanism;
-
 /// Baseline + both paper mechanisms at the Figure 9 configuration.
 pub fn fig9_configs() -> Vec<JobConfig> {
     vec![
-        JobConfig::baseline(),
-        JobConfig::with(MiConfig::new(Mechanism::SoftBound), BuildOptions::default()),
-        JobConfig::with(MiConfig::new(Mechanism::LowFat), BuildOptions::default()),
+        Instrument::baseline(),
+        Instrument::mechanism(Mechanism::SoftBound),
+        Instrument::mechanism(Mechanism::LowFat),
     ]
 }
 
@@ -634,42 +583,38 @@ pub fn fig9_configs() -> Vec<JobConfig> {
 /// (Figures 10/11).
 pub fn variants_configs(mech: Mechanism) -> Vec<JobConfig> {
     vec![
-        JobConfig::baseline(),
-        JobConfig::with(MiConfig::new(mech), BuildOptions::default()),
-        JobConfig::with(MiConfig::unoptimized(mech), BuildOptions::default()),
-        JobConfig::with(MiConfig::invariants_only(mech), BuildOptions::default()),
+        Instrument::baseline(),
+        Instrument::mechanism(mech),
+        Instrument::mechanism(mech).opt(OptConfig::none()),
+        Instrument::mechanism(mech).mode(MiMode::GenInvariantsOnly),
     ]
 }
 
 /// Baseline + `mech` at all three extension points (Figures 12/13).
 pub fn extension_point_configs(mech: Mechanism) -> Vec<JobConfig> {
-    let mut v = vec![JobConfig::baseline()];
+    let mut v = vec![Instrument::baseline()];
     for ep in ExtensionPoint::ALL {
-        v.push(JobConfig::with(
-            MiConfig::new(mech),
-            BuildOptions { ep, ..BuildOptions::default() },
-        ));
+        v.push(Instrument::mechanism(mech).at(ep));
     }
     v
 }
 
 /// The full paper sweep: everything `report`/`mi eval` needs — baseline,
-/// both mechanisms at all extension points, the unoptimized and
-/// invariants-only variants, and the red-zone extension (12 cells per
-/// program).
+/// both mechanisms at all extension points, the unoptimized,
+/// dominance-only (`-noloop`, isolating the loop-aware check
+/// optimizations), and invariants-only variants, and the red-zone
+/// extension (14 cells per program).
 pub fn paper_sweep_configs() -> Vec<JobConfig> {
-    let mut v = vec![JobConfig::baseline()];
+    let mut v = vec![Instrument::baseline()];
     for mech in [Mechanism::SoftBound, Mechanism::LowFat] {
         for ep in ExtensionPoint::ALL {
-            v.push(JobConfig::with(
-                MiConfig::new(mech),
-                BuildOptions { ep, ..BuildOptions::default() },
-            ));
+            v.push(Instrument::mechanism(mech).at(ep));
         }
-        v.push(JobConfig::with(MiConfig::unoptimized(mech), BuildOptions::default()));
-        v.push(JobConfig::with(MiConfig::invariants_only(mech), BuildOptions::default()));
+        v.push(Instrument::mechanism(mech).opt(OptConfig::none()));
+        v.push(Instrument::mechanism(mech).opt(OptConfig::no_loops()));
+        v.push(Instrument::mechanism(mech).mode(MiMode::GenInvariantsOnly));
     }
-    v.push(JobConfig::with(MiConfig::new(Mechanism::RedZone), BuildOptions::default()));
+    v.push(Instrument::mechanism(Mechanism::RedZone));
     v
 }
 
@@ -764,28 +709,22 @@ mod tests {
 
     #[test]
     fn cached_cells_match_direct_compilation() {
-        use meminstrument::runtime::{compile, compile_baseline};
         let programs = tiny_programs();
         let configs = paper_sweep_configs();
         let r = Driver::new(programs.clone(), configs.clone()).with_jobs(3).run();
         for p in &programs {
             let m = cfront::compile(&p.source).unwrap();
             for cfg in &configs {
-                let direct = match &cfg.config {
-                    None => compile_baseline(m.clone(), cfg.opts),
-                    Some(mi) => compile(m.clone(), mi, cfg.opts),
-                };
+                let direct = cfg.compile(m.clone());
                 let direct_out = direct.run_main(VmConfig::default()).unwrap();
                 let cell = r.ok(&p.name, cfg);
-                assert_eq!(cell.output, direct_out.output, "{} [{}]", p.name, cfg.label());
+                assert_eq!(cell.output, direct_out.output, "{} [{cfg}]", p.name);
                 assert_eq!(
-                    cell.stats.cost_total,
-                    direct_out.stats.cost_total,
-                    "{} [{}]",
-                    p.name,
-                    cfg.label()
+                    cell.stats.cost_total, direct_out.stats.cost_total,
+                    "{} [{cfg}]",
+                    p.name
                 );
-                assert_eq!(cell.instr, direct.stats, "{} [{}]", p.name, cfg.label());
+                assert_eq!(cell.instr, direct.stats, "{} [{cfg}]", p.name);
             }
         }
     }
@@ -805,7 +744,7 @@ mod tests {
             .into(),
         };
         let r = Driver::new(vec![buggy], fig9_configs()).with_jobs(2).run();
-        let sb = JobConfig::with(MiConfig::new(Mechanism::SoftBound), BuildOptions::default());
+        let sb = Instrument::mechanism(Mechanism::SoftBound);
         let cell = r.get("buggy", &sb).unwrap();
         assert!(cell.outcome.is_err(), "{:?}", cell.outcome);
         let json = r.to_json(false);
@@ -859,14 +798,13 @@ mod tests {
 
     #[test]
     fn labels_are_stable() {
-        assert_eq!(JobConfig::baseline().label(), "baseline@O3@VectorizerStart");
-        let lf_inv =
-            JobConfig::with(MiConfig::invariants_only(Mechanism::LowFat), BuildOptions::default());
-        assert_eq!(lf_inv.label(), "lowfat-inv@O3@VectorizerStart");
-        let sb_early = JobConfig::with(
-            MiConfig::new(Mechanism::SoftBound),
-            BuildOptions { ep: ExtensionPoint::ModuleOptimizerEarly, ..BuildOptions::default() },
-        );
-        assert_eq!(sb_early.label(), "softbound@O3@ModuleOptimizerEarly");
+        assert_eq!(JobConfig::baseline().to_string(), "baseline@O3@VectorizerStart");
+        let lf_inv = Instrument::mechanism(Mechanism::LowFat).mode(MiMode::GenInvariantsOnly);
+        assert_eq!(lf_inv.to_string(), "lowfat-inv@O3@VectorizerStart");
+        let sb_early =
+            Instrument::mechanism(Mechanism::SoftBound).at(ExtensionPoint::ModuleOptimizerEarly);
+        assert_eq!(sb_early.to_string(), "softbound@O3@ModuleOptimizerEarly");
+        let sb_noloop = Instrument::mechanism(Mechanism::SoftBound).opt(OptConfig::no_loops());
+        assert_eq!(sb_noloop.to_string(), "softbound-noloop@O3@VectorizerStart");
     }
 }

@@ -52,7 +52,7 @@ pub fn measurement_of(
     let cell = report.ok(b.name, cfg);
     Measurement {
         bench: b.name,
-        config: cfg.label(),
+        config: cfg.to_string(),
         cost: cell.stats.cost_total,
         stats: cell.stats.clone(),
         instr: cell.instr.clone(),

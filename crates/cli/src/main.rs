@@ -32,11 +32,13 @@
 //!                               re-runs a single case verbosely.
 //!
 //! options:
-//!   --mech softbound|lowfat|redzone|none    mechanism (default softbound)
+//!   --mech softbound|lowfat|redzone|none    mechanism (default softbound;
+//!                                           sb/lf/rz short forms accepted)
 //!   --ep early|scalar|vectorizer            extension point (default vectorizer)
 //!   --O0                                    disable the optimization pipeline
 //!   --mode full|invariants                  -mi-mode= (default full)
-//!   --no-opt-dominance                      disable §5.3 check elimination
+//!   --no-opt-dominance                      disable §5.3 dominance elimination
+//!   --no-opt-loops                          disable §5.3 loop hoisting/widening
 //!   --narrow                                Appendix-B member-bounds narrowing
 //!   --wrapper-checks                        enable Figure-6 wrapper checks
 //!   --trace trace.json                      (run) write a Chrome trace_event
@@ -45,11 +47,9 @@
 //! ```
 
 use std::process::ExitCode;
+use std::str::FromStr;
 
-use meminstrument::runtime::{
-    compile, compile_baseline, compile_baseline_traced, compile_traced, BuildOptions,
-};
-use meminstrument::{Mechanism, MiConfig, MiMode};
+use meminstrument::{Instrument, Mechanism, MiMode, OptConfig};
 use memvm::VmConfig;
 use mir::pipeline::{ExtensionPoint, OptLevel};
 use mir::trace::TraceRecorder;
@@ -66,31 +66,19 @@ fn usage() -> ExitCode {
 }
 
 struct Options {
-    mech: Option<Mechanism>,
-    opts: BuildOptions,
-    config: MiConfig,
+    /// The typed instrumentation cell built from the command line; its
+    /// `Display` form is the stable configuration label shared with the
+    /// driver, fuzzer, and eval reports.
+    cell: Instrument,
     trace: Option<String>,
-}
-
-impl Options {
-    /// Stable configuration label, mirroring the driver's cell labels:
-    /// `<mech>@<opt>@<extension point>`.
-    fn label(&self) -> String {
-        let mech = self.mech.map(|m| m.name()).unwrap_or("baseline");
-        let opt = match self.opts.opt {
-            OptLevel::O0 => "O0",
-            OptLevel::O3 => "O3",
-        };
-        format!("{mech}@{opt}@{}", self.opts.ep.name())
-    }
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut mech = Some(Mechanism::SoftBound);
     let mut ep = ExtensionPoint::VectorizerStart;
-    let mut opt = OptLevel::O3;
+    let mut opt_level = OptLevel::O3;
     let mut mode = MiMode::Full;
-    let mut dominance = true;
+    let mut opt = OptConfig::default();
     let mut narrow = false;
     let mut wrappers = false;
     let mut trace = None;
@@ -103,11 +91,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             },
             "--mech" => {
                 mech = match it.next().map(String::as_str) {
-                    Some("softbound") | Some("sb") => Some(Mechanism::SoftBound),
-                    Some("lowfat") | Some("lf") => Some(Mechanism::LowFat),
-                    Some("redzone") | Some("rz") => Some(Mechanism::RedZone),
                     Some("none") => None,
-                    other => return Err(format!("bad --mech {other:?}")),
+                    Some(s) => {
+                        Some(Mechanism::from_str(s).map_err(|_| format!("bad --mech {s:?}"))?)
+                    }
+                    None => return Err("--mech expects a mechanism".to_string()),
                 }
             }
             "--ep" => {
@@ -118,7 +106,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     other => return Err(format!("bad --ep {other:?}")),
                 }
             }
-            "--O0" => opt = OptLevel::O0,
+            "--O0" => opt_level = OptLevel::O0,
             "--mode" => {
                 mode = match it.next().map(String::as_str) {
                     Some("full") => MiMode::Full,
@@ -126,18 +114,24 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     other => return Err(format!("bad --mode {other:?}")),
                 }
             }
-            "--no-opt-dominance" => dominance = false,
+            "--no-opt-dominance" => opt.dominance = false,
+            "--no-opt-loops" => {
+                opt.loop_hoist = false;
+                opt.loop_widen = false;
+            }
             "--narrow" => narrow = true,
             "--wrapper-checks" => wrappers = true,
             other => return Err(format!("unknown option {other}")),
         }
     }
-    let mut config = MiConfig::new(mech.unwrap_or(Mechanism::SoftBound));
-    config.mode = mode;
-    config.opt_dominance = dominance;
-    config.sb_narrow_member_bounds = narrow;
-    config.sb_wrapper_checks = wrappers;
-    Ok(Options { mech, opts: BuildOptions { opt, ep }, config, trace })
+    let cell = match mech {
+        None => Instrument::baseline(),
+        Some(m) => Instrument::mechanism(m).mode(mode).opt(opt).configure(|c| {
+            c.sb_narrow_member_bounds = narrow;
+            c.sb_wrapper_checks = wrappers;
+        }),
+    };
+    Ok(Options { cell: cell.at(ep).opt_level(opt_level), trace })
 }
 
 /// Resolves `path` to a (source name, source text) pair: an on-disk file,
@@ -165,10 +159,7 @@ fn frontend(path: &str) -> Result<mir::Module, String> {
 }
 
 fn build(module: mir::Module, o: &Options) -> meminstrument::CompiledProgram {
-    match o.mech {
-        None => compile_baseline(module, o.opts),
-        Some(_) => compile(module, &o.config, o.opts),
-    }
+    o.cell.compile(module)
 }
 
 /// Like [`build`], recording a pass-pipeline trace into `rec`.
@@ -177,10 +168,7 @@ fn build_traced(
     o: &Options,
     rec: &mut TraceRecorder,
 ) -> meminstrument::CompiledProgram {
-    match o.mech {
-        None => compile_baseline_traced(module, o.opts, rec),
-        Some(_) => compile_traced(module, &o.config, o.opts, rec),
-    }
+    o.cell.compile_traced(module, rec)
 }
 
 fn cmd_run(path: &str, o: &Options) -> ExitCode {
@@ -249,7 +237,7 @@ fn cmd_check(path: &str) -> ExitCode {
         }
     };
     println!("{path}:");
-    let base = compile_baseline(module.clone(), BuildOptions::default());
+    let base = Instrument::baseline().compile(module.clone());
     match base.run_main(VmConfig::default()) {
         Ok(out) => {
             println!("  baseline : ok (exit {})", out.ret.map(|v| v.as_int() as i64).unwrap_or(0))
@@ -258,7 +246,7 @@ fn cmd_check(path: &str) -> ExitCode {
     }
     let mut verdict = 0;
     for mech in [Mechanism::SoftBound, Mechanism::LowFat, Mechanism::RedZone] {
-        let prog = compile(module.clone(), &MiConfig::new(mech), BuildOptions::default());
+        let prog = Instrument::mechanism(mech).compile(module.clone());
         match prog.run_main(VmConfig::default()) {
             Ok(out) => println!(
                 "  {:9}: ok ({} checks, {:.2}% wide)",
@@ -283,7 +271,7 @@ fn cmd_stats(path: &str, o: &Options) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let base = compile_baseline(module.clone(), o.opts);
+    let base = Instrument::from_parts(None, o.cell.build_options()).compile(module.clone());
     let base_size: usize = base.module.functions.iter().map(|f| f.live_instr_count()).sum();
     let prog = build(module, o);
     let size: usize = prog.module.functions.iter().map(|f| f.live_instr_count()).sum();
@@ -295,6 +283,8 @@ fn cmd_stats(path: &str, o: &Options) -> ExitCode {
     let s = &prog.stats;
     println!("  checks discovered: {}", s.checks_discovered);
     println!("  checks eliminated: {} ({:.1}%)", s.checks_eliminated, s.eliminated_percent());
+    println!("  checks hoisted   : {}", s.checks_hoisted);
+    println!("  checks widened   : {}", s.checks_widened);
     println!("  checks placed    : {}", s.checks_placed);
     println!("  invariants placed: {}", s.invariants_placed);
     println!("  metadata loads   : {}", s.metadata_loads_placed);
@@ -409,7 +399,7 @@ fn cmd_profile(path: &str, args: &[String]) -> ExitCode {
         let mut j = String::new();
         j.push_str("{\n  \"schema\": \"mi-profile/1\",\n");
         j.push_str(&format!("  \"file\": {},\n", json_string(file_label)));
-        j.push_str(&format!("  \"config\": {},\n", json_string(&o.label())));
+        j.push_str(&format!("  \"config\": {},\n", json_string(&o.cell.to_string())));
         j.push_str(&format!("  \"sites_registered\": {},\n", sites.len()));
         j.push_str(&format!("  \"sites_hit\": {sites_hit},\n"));
         j.push_str(&format!(
@@ -448,7 +438,7 @@ fn cmd_profile(path: &str, args: &[String]) -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    println!("[mi profile] {file_label} — {}", o.label());
+    println!("[mi profile] {file_label} — {}", o.cell);
     println!("  check sites : {} registered, {sites_hit} hit", sites.len());
     println!(
         "  check hits  : {hits} (checks_executed {} + invariant_checks {})",

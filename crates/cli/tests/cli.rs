@@ -122,7 +122,7 @@ fn eval_report_is_byte_identical_across_job_counts() {
     let j8 = std::fs::read_to_string(&out8).unwrap();
     assert_eq!(j1, j8, "eval report must not depend on worker count");
     assert!(j1.contains("\"schema\": \"evald-report/2\""), "{j1}");
-    assert!(j1.contains("\"frontend_reuses\": 11"), "{j1}");
+    assert!(j1.contains("\"frontend_reuses\": 13"), "{j1}");
 }
 
 #[test]

@@ -26,8 +26,7 @@
 //! surface as [`check_pair`] errors.
 
 use bench::driver::{Driver, JobConfig, Program, TrapKind};
-use meminstrument::runtime::BuildOptions;
-use meminstrument::{Mechanism, MiConfig};
+use meminstrument::Mechanism;
 use mir::pipeline::{ExtensionPoint, OptLevel};
 
 use crate::ast::FuzzProgram;
@@ -38,15 +37,11 @@ pub const MECHS: [Mechanism; 3] = [Mechanism::SoftBound, Mechanism::LowFat, Mech
 
 /// The 14-configuration oracle matrix.
 pub fn matrix_configs() -> Vec<JobConfig> {
-    let o0 = BuildOptions { opt: OptLevel::O0, ..BuildOptions::default() };
-    let mut configs = vec![JobConfig::baseline_with(o0), JobConfig::baseline()];
+    let mut configs = vec![JobConfig::baseline().opt_level(OptLevel::O0), JobConfig::baseline()];
     for mech in MECHS {
-        configs.push(JobConfig::with(MiConfig::new(mech), o0));
+        configs.push(JobConfig::mechanism(mech).opt_level(OptLevel::O0));
         for ep in ExtensionPoint::ALL {
-            configs.push(JobConfig::with(
-                MiConfig::new(mech),
-                BuildOptions { ep, ..BuildOptions::default() },
-            ));
+            configs.push(JobConfig::mechanism(mech).at(ep));
         }
     }
     configs
@@ -81,7 +76,7 @@ pub fn check_pair(safe: &FuzzProgram, mutant: &FuzzProgram, case_title: &str) ->
     // Safe program: all cells complete, byte-identical output.
     let mut reference: Option<(String, Vec<String>, Option<i64>)> = None;
     for cfg in &configs {
-        let label = cfg.label();
+        let label = cfg.to_string();
         let cell = report.get("safe", cfg).expect("safe cell");
         match &cell.outcome {
             Err(t) => errors.push(format!("safe [{label}]: trapped: {}", t.message)),
@@ -108,9 +103,9 @@ pub fn check_pair(safe: &FuzzProgram, mutant: &FuzzProgram, case_title: &str) ->
     // Mutant: verdicts per mechanism, in every configuration.
     let verdicts = mutant.mutation.as_ref().expect("mutant has a mutation").verdicts;
     for cfg in &configs {
-        let label = cfg.label();
+        let label = cfg.to_string();
         let cell = report.get("mutant", cfg).expect("mutant cell");
-        match &cfg.config {
+        match cfg.mi_config() {
             None => {
                 // Baseline: a violation report is impossible by
                 // construction; anything else (clean run, segfault) is
@@ -166,7 +161,7 @@ mod tests {
         assert_eq!(configs.len(), 2 + 3 * 4);
         // Labels are unique (report lookups key on them).
         let labels: std::collections::BTreeSet<String> =
-            configs.iter().map(|c| c.label()).collect();
+            configs.iter().map(|c| c.to_string()).collect();
         assert_eq!(labels.len(), configs.len());
     }
 }

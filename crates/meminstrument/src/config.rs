@@ -1,5 +1,13 @@
 //! Instrumentation configuration, mirroring the artifact's command-line
-//! flags (§A.6 of the paper).
+//! flags (§A.6 of the paper), plus the typed [`Instrument`] builder that
+//! `cli`, `bench`, and `fuzz` share as the single entry point.
+
+use std::fmt;
+use std::str::FromStr;
+
+use mir::pipeline::{ExtensionPoint, OptLevel};
+
+use crate::runtime::BuildOptions;
 
 /// Which memory-safety mechanism to apply (`-mi-config=`).
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
@@ -27,6 +35,26 @@ impl Mechanism {
     }
 }
 
+impl fmt::Display for Mechanism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Mechanism {
+    type Err = String;
+
+    /// Accepts the report name or its CLI short form (`sb`, `lf`, `rz`).
+    fn from_str(s: &str) -> Result<Mechanism, String> {
+        match s {
+            "softbound" | "sb" => Ok(Mechanism::SoftBound),
+            "lowfat" | "lf" => Ok(Mechanism::LowFat),
+            "redzone" | "rz" => Ok(Mechanism::RedZone),
+            other => Err(format!("unknown mechanism `{other}`")),
+        }
+    }
+}
+
 /// What the instrumentation generates (`-mi-mode=`).
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum MiMode {
@@ -38,16 +66,52 @@ pub enum MiMode {
     GenInvariantsOnly,
 }
 
+/// Which of the §5.3 static check optimizations run.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct OptConfig {
+    /// Dominance-based redundant check elimination (`-mi-opt-dominance`).
+    pub dominance: bool,
+    /// Hoist loop-invariant checks into the loop preheader.
+    pub loop_hoist: bool,
+    /// Widen monotone induction-variable checks into a single preheader
+    /// range check covering every byte the loop accesses.
+    pub loop_widen: bool,
+}
+
+impl Default for OptConfig {
+    /// Everything on — the "optimized" configuration of Figures 9–11.
+    fn default() -> OptConfig {
+        OptConfig { dominance: true, loop_hoist: true, loop_widen: true }
+    }
+}
+
+impl OptConfig {
+    /// No static check optimization at all (the "unoptimized" series).
+    pub fn none() -> OptConfig {
+        OptConfig { dominance: false, loop_hoist: false, loop_widen: false }
+    }
+
+    /// Dominance elimination only, no loop-aware optimization.
+    pub fn no_loops() -> OptConfig {
+        OptConfig { loop_hoist: false, loop_widen: false, ..OptConfig::default() }
+    }
+
+    /// Whether any loop-aware optimization is enabled.
+    pub fn any_loop_opts(&self) -> bool {
+        self.loop_hoist || self.loop_widen
+    }
+}
+
 /// The instrumentation configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct MiConfig {
     /// The mechanism.
     pub mechanism: Mechanism,
     /// Generation mode.
     pub mode: MiMode,
-    /// Dominance-based redundant check elimination (`-mi-opt-dominance`,
-    /// §5.3). This is the "optimized" configuration of Figures 9–11.
-    pub opt_dominance: bool,
+    /// Static check optimizations (§5.3). This is the "optimized"
+    /// configuration of Figures 9–11 when everything is enabled.
+    pub opt: OptConfig,
     /// SoftBound: use a wide upper bound for external array declarations
     /// without size information (`-mi-sb-size-zero-wide-upper`, §4.3).
     /// When disabled, such globals get NULL bounds and accesses report
@@ -71,12 +135,12 @@ pub struct MiConfig {
 impl MiConfig {
     /// The paper's configuration basis for the given mechanism (§A.6):
     /// full instrumentation, wide-bounds escape hatches on for SoftBound,
-    /// wrapper checks off, dominance optimization on.
+    /// wrapper checks off, check optimizations on.
     pub fn new(mechanism: Mechanism) -> MiConfig {
         MiConfig {
             mechanism,
             mode: MiMode::Full,
-            opt_dominance: true,
+            opt: OptConfig::default(),
             sb_size_zero_wide_upper: true,
             sb_inttoptr_wide_bounds: true,
             sb_wrapper_checks: false,
@@ -84,16 +148,204 @@ impl MiConfig {
         }
     }
 
-    /// Same, but without the dominance optimization (the "unoptimized"
+    /// Same, but without any static check optimization (the "unoptimized"
     /// series of Figures 10/11).
     pub fn unoptimized(mechanism: Mechanism) -> MiConfig {
-        MiConfig { opt_dominance: false, ..MiConfig::new(mechanism) }
+        MiConfig { opt: OptConfig::none(), ..MiConfig::new(mechanism) }
     }
 
     /// Metadata/invariant propagation only (the "metadata" series of
     /// Figures 10/11; `-mi-mode=geninvariants`).
     pub fn invariants_only(mechanism: Mechanism) -> MiConfig {
         MiConfig { mode: MiMode::GenInvariantsOnly, ..MiConfig::new(mechanism) }
+    }
+}
+
+/// Typed, builder-style description of one compilation cell: *what* to
+/// instrument ([`MiConfig`], or nothing for the uninstrumented baseline)
+/// plus *where and how hard* the surrounding pipeline optimizes
+/// ([`BuildOptions`]).
+///
+/// This is the documented entry point shared by `cli`, `bench`, and
+/// `fuzz`; its [`fmt::Display`]/[`FromStr`] pair is the single source of truth
+/// for the configuration labels appearing in every report
+/// (`softbound@O3@VectorizerStart`, `lowfat-inv@O0@ScalarOptimizerLate`,
+/// `baseline@O3@ModuleOptimizerEarly`, …).
+///
+/// ```
+/// use meminstrument::{ExtensionPoint, Instrument, Mechanism, OptConfig};
+///
+/// let cell = Instrument::mechanism(Mechanism::SoftBound)
+///     .at(ExtensionPoint::ScalarOptimizerLate)
+///     .opt(OptConfig { dominance: true, loop_hoist: true, ..OptConfig::default() });
+/// assert_eq!(cell.to_string(), "softbound@O3@ScalarOptimizerLate");
+/// assert_eq!(cell.to_string().parse::<Instrument>().unwrap(), cell);
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct Instrument {
+    config: Option<MiConfig>,
+    opts: BuildOptions,
+}
+
+impl Instrument {
+    /// Instrumentation with `mechanism` at the paper's default pipeline
+    /// position (`O3` @ `VectorizerStart`).
+    pub fn mechanism(mechanism: Mechanism) -> Instrument {
+        Instrument { config: Some(MiConfig::new(mechanism)), opts: BuildOptions::default() }
+    }
+
+    /// The uninstrumented baseline at the default pipeline position.
+    pub fn baseline() -> Instrument {
+        Instrument { config: None, opts: BuildOptions::default() }
+    }
+
+    /// Builds from already-assembled parts (`None` config = baseline).
+    pub fn from_parts(config: Option<MiConfig>, opts: BuildOptions) -> Instrument {
+        Instrument { config, opts }
+    }
+
+    /// Sets the extension point the instrumentation is inserted at.
+    pub fn at(mut self, ep: ExtensionPoint) -> Instrument {
+        self.opts.ep = ep;
+        self
+    }
+
+    /// Sets the pipeline optimization level.
+    pub fn opt_level(mut self, opt: OptLevel) -> Instrument {
+        self.opts.opt = opt;
+        self
+    }
+
+    /// Sets the static check-optimization configuration (ignored for the
+    /// baseline).
+    pub fn opt(mut self, opt: OptConfig) -> Instrument {
+        if let Some(c) = &mut self.config {
+            c.opt = opt;
+        }
+        self
+    }
+
+    /// Sets the generation mode (ignored for the baseline).
+    pub fn mode(mut self, mode: MiMode) -> Instrument {
+        if let Some(c) = &mut self.config {
+            c.mode = mode;
+        }
+        self
+    }
+
+    /// Applies arbitrary [`MiConfig`] tweaks (the SoftBound toggles, for
+    /// example); a no-op for the baseline.
+    pub fn configure(mut self, f: impl FnOnce(&mut MiConfig)) -> Instrument {
+        if let Some(c) = &mut self.config {
+            f(c);
+        }
+        self
+    }
+
+    /// The instrumentation configuration (`None` for the baseline).
+    pub fn mi_config(&self) -> Option<&MiConfig> {
+        self.config.as_ref()
+    }
+
+    /// The mechanism (`None` for the baseline).
+    pub fn mechanism_kind(&self) -> Option<Mechanism> {
+        self.config.as_ref().map(|c| c.mechanism)
+    }
+
+    /// The pipeline options.
+    pub fn build_options(&self) -> BuildOptions {
+        self.opts
+    }
+
+    /// Whether this is the uninstrumented baseline.
+    pub fn is_baseline(&self) -> bool {
+        self.config.is_none()
+    }
+
+    /// Decomposes into `(config, build options)`.
+    pub fn into_parts(self) -> (Option<MiConfig>, BuildOptions) {
+        (self.config, self.opts)
+    }
+}
+
+/// The mechanism suffix of a label: how mode and [`OptConfig`] render.
+fn opt_suffix(c: &MiConfig) -> String {
+    if c.mode == MiMode::GenInvariantsOnly {
+        return "-inv".into();
+    }
+    match (c.opt.dominance, c.opt.loop_hoist, c.opt.loop_widen) {
+        (true, true, true) => String::new(),
+        (false, false, false) => "-unopt".into(),
+        (true, false, false) => "-noloop".into(),
+        (false, true, true) => "-nodom".into(),
+        (d, h, w) => format!("-optd{}h{}w{}", d as u8, h as u8, w as u8),
+    }
+}
+
+fn parse_suffix(s: &str) -> Result<(MiMode, OptConfig), String> {
+    match s {
+        "" => Ok((MiMode::Full, OptConfig::default())),
+        "-inv" => Ok((MiMode::GenInvariantsOnly, OptConfig::default())),
+        "-unopt" => Ok((MiMode::Full, OptConfig::none())),
+        "-noloop" => Ok((MiMode::Full, OptConfig::no_loops())),
+        "-nodom" => Ok((MiMode::Full, OptConfig { dominance: false, ..OptConfig::default() })),
+        _ => {
+            let rest =
+                s.strip_prefix("-optd").ok_or_else(|| format!("unknown config suffix `{s}`"))?;
+            let bit = |c: u8| match c {
+                b'0' => Ok(false),
+                b'1' => Ok(true),
+                _ => Err(format!("unknown config suffix `{s}`")),
+            };
+            match rest.as_bytes() {
+                [d, b'h', h, b'w', w] => Ok((
+                    MiMode::Full,
+                    OptConfig { dominance: bit(*d)?, loop_hoist: bit(*h)?, loop_widen: bit(*w)? },
+                )),
+                _ => Err(format!("unknown config suffix `{s}`")),
+            }
+        }
+    }
+}
+
+impl fmt::Display for Instrument {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.config {
+            None => write!(f, "baseline@{}@{}", self.opts.opt, self.opts.ep),
+            Some(c) => {
+                write!(f, "{}{}@{}@{}", c.mechanism, opt_suffix(c), self.opts.opt, self.opts.ep)
+            }
+        }
+    }
+}
+
+impl FromStr for Instrument {
+    type Err = String;
+
+    /// Parses a configuration label of the form
+    /// `<mechanism>[-<suffix>]@<opt level>@<extension point>` (or
+    /// `baseline@…`), the inverse of [`fmt::Display`]. Mechanism and extension
+    /// point accept their CLI short forms.
+    fn from_str(s: &str) -> Result<Instrument, String> {
+        let mut parts = s.split('@');
+        let (mech_spec, opt, ep) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some(m), Some(o), Some(e), None) => (m, o, e),
+            _ => return Err(format!("expected `<config>@<opt level>@<extension point>`: `{s}`")),
+        };
+        let opts = BuildOptions { opt: opt.parse()?, ep: ep.parse()? };
+        if mech_spec == "baseline" || mech_spec == "none" {
+            return Ok(Instrument { config: None, opts });
+        }
+        // The mechanism name is dash-free, so the first `-` starts the
+        // mode/optimization suffix.
+        let (mech_str, suffix) = match mech_spec.find('-') {
+            Some(i) => mech_spec.split_at(i),
+            None => (mech_spec, ""),
+        };
+        let mechanism: Mechanism = mech_str.parse()?;
+        let (mode, opt) = parse_suffix(suffix)?;
+        let config = MiConfig { mode, opt, ..MiConfig::new(mechanism) };
+        Ok(Instrument { config: Some(config), opts })
     }
 }
 
@@ -105,7 +357,8 @@ mod tests {
     fn paper_basis_defaults() {
         let c = MiConfig::new(Mechanism::SoftBound);
         assert_eq!(c.mode, MiMode::Full);
-        assert!(c.opt_dominance);
+        assert_eq!(c.opt, OptConfig::default());
+        assert!(c.opt.dominance && c.opt.loop_hoist && c.opt.loop_widen);
         assert!(c.sb_size_zero_wide_upper);
         assert!(c.sb_inttoptr_wide_bounds);
         assert!(!c.sb_wrapper_checks, "§5.1.2 disables wrapper checks");
@@ -113,9 +366,91 @@ mod tests {
 
     #[test]
     fn variants() {
-        assert!(!MiConfig::unoptimized(Mechanism::LowFat).opt_dominance);
+        assert_eq!(MiConfig::unoptimized(Mechanism::LowFat).opt, OptConfig::none());
+        assert!(!MiConfig::unoptimized(Mechanism::LowFat).opt.any_loop_opts());
         assert_eq!(MiConfig::invariants_only(Mechanism::LowFat).mode, MiMode::GenInvariantsOnly);
         assert_eq!(Mechanism::LowFat.name(), "lowfat");
         assert_eq!(Mechanism::SoftBound.name(), "softbound");
+        assert!(OptConfig::no_loops().dominance);
+        assert!(!OptConfig::no_loops().any_loop_opts());
+    }
+
+    #[test]
+    fn mechanism_round_trip_and_short_forms() {
+        for m in [Mechanism::SoftBound, Mechanism::LowFat, Mechanism::RedZone] {
+            assert_eq!(m.to_string().parse::<Mechanism>(), Ok(m));
+        }
+        assert_eq!("sb".parse::<Mechanism>(), Ok(Mechanism::SoftBound));
+        assert_eq!("lf".parse::<Mechanism>(), Ok(Mechanism::LowFat));
+        assert_eq!("rz".parse::<Mechanism>(), Ok(Mechanism::RedZone));
+        assert!("asan".parse::<Mechanism>().is_err());
+    }
+
+    #[test]
+    fn builder_produces_expected_labels() {
+        assert_eq!(Instrument::baseline().to_string(), "baseline@O3@VectorizerStart");
+        assert_eq!(
+            Instrument::mechanism(Mechanism::SoftBound).to_string(),
+            "softbound@O3@VectorizerStart"
+        );
+        assert_eq!(
+            Instrument::mechanism(Mechanism::LowFat).mode(MiMode::GenInvariantsOnly).to_string(),
+            "lowfat-inv@O3@VectorizerStart"
+        );
+        assert_eq!(
+            Instrument::mechanism(Mechanism::SoftBound)
+                .at(ExtensionPoint::ModuleOptimizerEarly)
+                .to_string(),
+            "softbound@O3@ModuleOptimizerEarly"
+        );
+        assert_eq!(
+            Instrument::mechanism(Mechanism::RedZone)
+                .opt(OptConfig::none())
+                .opt_level(OptLevel::O0)
+                .to_string(),
+            "redzone-unopt@O0@VectorizerStart"
+        );
+        assert_eq!(
+            Instrument::mechanism(Mechanism::LowFat).opt(OptConfig::no_loops()).to_string(),
+            "lowfat-noloop@O3@VectorizerStart"
+        );
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        let mut cells: Vec<Instrument> = vec![Instrument::baseline()];
+        for m in [Mechanism::SoftBound, Mechanism::LowFat, Mechanism::RedZone] {
+            for opt in [
+                OptConfig::default(),
+                OptConfig::none(),
+                OptConfig::no_loops(),
+                OptConfig { dominance: false, ..OptConfig::default() },
+                OptConfig { loop_widen: false, ..OptConfig::default() },
+            ] {
+                cells.push(
+                    Instrument::mechanism(m).opt(opt).at(ExtensionPoint::ScalarOptimizerLate),
+                );
+            }
+            cells.push(
+                Instrument::mechanism(m).mode(MiMode::GenInvariantsOnly).opt_level(OptLevel::O0),
+            );
+        }
+        for cell in cells {
+            let label = cell.to_string();
+            let parsed: Instrument = label.parse().unwrap_or_else(|e| panic!("{label}: {e}"));
+            assert_eq!(parsed, cell, "{label}");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_short_forms_and_rejects_garbage() {
+        let c: Instrument = "sb@O0@vec".parse().unwrap();
+        assert_eq!(c.mechanism_kind(), Some(Mechanism::SoftBound));
+        assert_eq!(c.build_options().opt, OptLevel::O0);
+        assert_eq!(c.build_options().ep, ExtensionPoint::VectorizerStart);
+        assert!("sb@O0".parse::<Instrument>().is_err());
+        assert!("sb@O1@vec".parse::<Instrument>().is_err());
+        assert!("sb-bogus@O0@vec".parse::<Instrument>().is_err());
+        assert!("@@".parse::<Instrument>().is_err());
     }
 }

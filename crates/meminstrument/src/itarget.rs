@@ -9,19 +9,38 @@ use mir::ids::{BlockId, InstrId};
 use mir::instr::{CastOp, InstrKind, Operand};
 use mir::{Function, Type};
 
+/// Where a check call is inserted relative to the access it guards.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum CheckPlacement {
+    /// Immediately before the access instruction (the default).
+    AtAccess,
+    /// At the end of the given block, before its terminator. Used by the
+    /// loop optimizations (§5.3) to hoist or widen a check into the loop
+    /// preheader.
+    BlockEnd(BlockId),
+}
+
 /// A dereference that needs an in-bounds check.
 #[derive(Clone, Debug)]
 pub struct CheckTarget {
-    /// The access instruction (`load` or `store`).
+    /// The access instruction (`load` or `store`). Also for hoisted or
+    /// widened checks this stays the *guarded access*, so check-site
+    /// provenance (source line, ASan-style allocation description) reports
+    /// the access rather than the preheader.
     pub instr: InstrId,
     /// Block containing the access.
     pub block: BlockId,
-    /// The pointer being dereferenced.
+    /// The pointer the check validates. For widened checks the optimizer
+    /// redirects this to a preheader address covering the loop's first
+    /// accessed byte.
     pub ptr: Operand,
-    /// Access width in bytes.
+    /// Checked width in bytes (the access width, or for widened checks the
+    /// whole `[first, last]` byte range the loop accesses).
     pub width: u64,
     /// Whether the access is a store.
     pub is_store: bool,
+    /// Where the check call is placed.
+    pub placement: CheckPlacement,
 }
 
 /// Why a pointer escapes (drives mechanism-specific invariant code).
@@ -89,6 +108,7 @@ pub fn discover(f: &Function) -> Targets {
                         ptr: ptr.clone(),
                         width: ty.size_of().max(1),
                         is_store: false,
+                        placement: CheckPlacement::AtAccess,
                     });
                 }
                 InstrKind::Store { ty, value, ptr } => {
@@ -98,6 +118,7 @@ pub fn discover(f: &Function) -> Targets {
                         ptr: ptr.clone(),
                         width: ty.size_of().max(1),
                         is_store: true,
+                        placement: CheckPlacement::AtAccess,
                     });
                     if *ty == Type::Ptr {
                         t.invariants.push(InvariantTarget {

@@ -14,8 +14,9 @@
 //! * [`itarget`] discovers *instrumentation targets* on unmodified IR:
 //!   dereference checks at loads/stores, invariants at pointer escapes,
 //!   metadata updates at `memcpy`.
-//! * [`opt`] filters targets; currently the dominance-based redundant-check
-//!   elimination the paper evaluates (§5.3).
+//! * [`opt`] filters and rewrites targets: dominance-based redundant-check
+//!   elimination, loop-invariant check hoisting, and induction-variable
+//!   range widening (§5.3), all configured by [`OptConfig`].
 //! * [`witness`] resolves a *witness* (the values carrying a pointer's
 //!   bounds) for every pointer that needs one, handling the shared SSA
 //!   plumbing (phi/select companions, gep inheritance) and delegating true
@@ -30,8 +31,12 @@
 //!
 //! # Quickstart
 //!
+//! The [`Instrument`] builder is the documented entry point: it names an
+//! instrumentation cell — mechanism, pipeline extension point, optimization
+//! level, check-optimization flags — and compiles/runs modules under it.
+//!
 //! ```
-//! use meminstrument::{compile_and_run, MiConfig, Mechanism};
+//! use meminstrument::{ExtensionPoint, Instrument, Mechanism};
 //!
 //! let src = r#"
 //!     hostdecl ptr @malloc(i64)
@@ -44,8 +49,9 @@
 //!     }
 //! "#;
 //! let module = mir::parser::parse_module(src).unwrap();
-//! let cfg = MiConfig::new(Mechanism::SoftBound);
-//! let result = compile_and_run(module, &cfg, Default::default());
+//! let cell = Instrument::mechanism(Mechanism::SoftBound).at(ExtensionPoint::VectorizerStart);
+//! assert_eq!(cell.to_string(), "softbound@O3@VectorizerStart");
+//! let result = cell.run(module);
 //! assert!(result.is_err(), "SoftBound must catch the overflow");
 //! ```
 
@@ -59,7 +65,12 @@ pub mod runtime;
 pub mod stats;
 pub mod witness;
 
-pub use config::{Mechanism, MiConfig, MiMode};
+pub use config::{Instrument, Mechanism, MiConfig, MiMode, OptConfig};
+pub use itarget::CheckPlacement;
 pub use pass::MemInstrumentPass;
-pub use runtime::{compile, compile_and_run, install_runtime, CompiledProgram};
+pub use runtime::{compile, compile_and_run, install_runtime, BuildOptions, CompiledProgram};
 pub use stats::InstrStats;
+
+// Re-exported so builder call sites can name pipeline cells without an
+// explicit `mir` dependency edge in every downstream crate.
+pub use mir::pipeline::{ExtensionPoint, OptLevel};

@@ -165,8 +165,8 @@ impl MechanismLowering for LowFatMech {
             Some(target.instr),
             &target.ptr,
         );
-        cx.insert_before(
-            target.instr,
+        cx.insert_check(
+            target,
             Self::call(
                 h::LF_CHECK,
                 vec![

@@ -98,8 +98,8 @@ impl MechanismLowering for RedZoneMech {
             Some(target.instr),
             &target.ptr,
         );
-        cx.insert_before(
-            target.instr,
+        cx.insert_check(
+            target,
             Self::call(
                 h::RZ_CHECK,
                 vec![target.ptr.clone(), Operand::i64(target.width as i64), site],

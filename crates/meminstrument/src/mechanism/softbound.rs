@@ -211,8 +211,8 @@ impl MechanismLowering for SoftBoundMech {
             Some(target.instr),
             &target.ptr,
         );
-        cx.insert_before(
-            target.instr,
+        cx.insert_check(
+            target,
             Self::call(
                 h::SB_CHECK,
                 vec![

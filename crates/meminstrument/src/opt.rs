@@ -1,18 +1,43 @@
 //! Approach-independent check optimizations (§5.3).
 //!
-//! The dominance-based elimination removes a check when another check of
-//! the *same pointer* with at least the same access width dominates it: if
-//! the dominating check passed, the dominated one cannot fail. The paper
-//! reports 8–50 % of checks removed this way, with minor runtime impact
-//! because the compiler's own redundancy elimination is already effective.
+//! Three cooperating transformations run over the discovered check targets
+//! before any code is emitted, so every mechanism (SoftBound, Low-Fat,
+//! red-zone) benefits identically:
+//!
+//! 1. **Dominance elimination** ([`eliminate_dominated_checks`]): a check
+//!    is removed when another check of the *same pointer* with at least
+//!    the same access width dominates it — if the dominating check passed,
+//!    the dominated one cannot fail. The paper reports 8–50 % of checks
+//!    removed this way.
+//! 2. **Loop-invariant hoisting** ([`optimize_loop_checks`]): a check of a
+//!    loop-invariant pointer that provably executes whenever the loop is
+//!    entered moves into the loop's dedicated preheader and runs once.
+//! 3. **Induction-variable widening** ([`optimize_loop_checks`]): a check
+//!    of `gep ty, base, [iv]` on a counted loop that executes on every
+//!    iteration is replaced by a single preheader range check covering
+//!    every byte the loop will access (`[first, last]` element), so the
+//!    per-iteration checks disappear entirely.
+//!
+//! Both loop transformations are gated on a static proof that the guarded
+//! access executes whenever the preheader does (trip count ≥ 1, the check
+//! dominates every latch, and the loop has no side exits), so a hoisted or
+//! widened check can only trap *earlier* — never on a program that was
+//! safe without the optimization.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
-use mir::analysis::{dom::instr_dominates, Cfg, DomTree};
-use mir::instr::Operand;
+use mir::analysis::{
+    dom::instr_dominates, ensure_dedicated_preheader, operand_is_invariant, Cfg, CountedLoop,
+    DomTree, Loop, LoopForest,
+};
+use mir::function::ValueDef;
+use mir::ids::BlockId;
+use mir::instr::{InstrKind, Operand};
+use mir::types::Type;
 use mir::Function;
 
-use crate::itarget::{CheckTarget, Targets};
+use crate::config::{Mechanism, OptConfig};
+use crate::itarget::{CheckPlacement, CheckTarget, Targets};
 
 /// Filters `targets.checks`, removing dominated redundant checks.
 /// Returns the number of checks eliminated.
@@ -21,9 +46,9 @@ pub fn eliminate_dominated_checks(f: &Function, targets: &mut Targets) -> u64 {
     let dom = DomTree::compute(f, &cfg);
 
     // Group checks by checked pointer (identical SSA operand).
-    let mut groups: HashMap<String, Vec<usize>> = HashMap::new();
+    let mut groups: HashMap<Operand, Vec<usize>> = HashMap::new();
     for (i, c) in targets.checks.iter().enumerate() {
-        groups.entry(operand_key(&c.ptr)).or_default().push(i);
+        groups.entry(c.ptr.clone()).or_default().push(i);
     }
 
     let mut dead = vec![false; targets.checks.len()];
@@ -53,8 +78,249 @@ pub fn eliminate_dominated_checks(f: &Function, targets: &mut Targets) -> u64 {
     (before - targets.checks.len()) as u64
 }
 
-fn operand_key(op: &Operand) -> String {
-    format!("{op:?}")
+/// Result of one [`optimize_loop_checks`] run.
+#[derive(Copy, Clone, Default, PartialEq, Eq, Debug)]
+pub struct LoopOptOutcome {
+    /// Loop-invariant checks moved into a preheader.
+    pub hoisted: u64,
+    /// Induction-variable checks widened into a preheader range check.
+    pub widened: u64,
+    /// Preheader checks merged with an identical/covering one afterwards
+    /// (counted into `checks_eliminated`).
+    pub merged: u64,
+}
+
+/// Hoists loop-invariant checks and widens monotone induction-variable
+/// checks into loop preheaders (may insert preheader blocks and `gep`s
+/// into `f`). Must run before witness resolution; rewritten targets keep
+/// their original access instruction so check-site provenance still names
+/// the guarded access.
+pub fn optimize_loop_checks(
+    f: &mut Function,
+    targets: &mut Targets,
+    opt: &OptConfig,
+    mechanism: Mechanism,
+) -> LoopOptOutcome {
+    let mut out = LoopOptOutcome::default();
+    if !opt.loop_hoist && !opt.loop_widen {
+        return out;
+    }
+    // Loops are optimized one per round: preheader insertion invalidates
+    // the CFG analyses, so they are recomputed between rounds. Headers
+    // identify loops across rounds (block ids are stable: blocks only
+    // ever get appended).
+    let mut handled: BTreeSet<BlockId> = BTreeSet::new();
+    loop {
+        let cfg = Cfg::compute(f);
+        let dom = DomTree::compute(f, &cfg);
+        let forest = LoopForest::compute(&cfg, &dom);
+        let Some(l) = forest.loops.iter().find(|l| !handled.contains(&l.header)) else {
+            break;
+        };
+        handled.insert(l.header);
+        let round = optimize_one_loop(f, &cfg, &dom, l, targets, opt, mechanism);
+        out.hoisted += round.hoisted;
+        out.widened += round.widened;
+        out.merged += round.merged;
+    }
+    out
+}
+
+/// What a candidate check in the current loop becomes.
+enum Plan {
+    Hoist,
+    Widen { base: Operand, elem_ty: Type, min_idx: i64, width: u64 },
+}
+
+fn optimize_one_loop(
+    f: &mut Function,
+    cfg: &Cfg,
+    dom: &DomTree,
+    l: &Loop,
+    targets: &mut Targets,
+    opt: &OptConfig,
+    mechanism: Mechanism,
+) -> LoopOptOutcome {
+    let mut out = LoopOptOutcome::default();
+
+    // Red-zone checks consult mutable shadow state: any call inside the
+    // loop (allocators, frees, arbitrary functions) may poison or unpoison
+    // granules mid-loop, so moving a red-zone check across iterations is
+    // only sound in loops free of calls and bulk memory ops.
+    if mechanism == Mechanism::RedZone && loop_has_calls(f, l) {
+        return out;
+    }
+
+    let loop_defs = l.defined_values(f);
+    let counted = CountedLoop::analyze(f, l).filter(|cl| cl.trip_count >= 1);
+    // A side exit (any in-loop edge leaving the loop other than from the
+    // header) could end the loop before the guarded access ran its full
+    // range — the trip-count proof only covers single-exit loops.
+    let single_exit =
+        l.blocks.iter().all(|&b| b == l.header || cfg.succs(b).iter().all(|&s| l.contains(s)));
+    let every_iteration = |b: BlockId| l.latches.iter().all(|&latch| dom.dominates(b, latch));
+
+    let mut plans: Vec<(usize, Plan)> = Vec::new();
+    for (i, c) in targets.checks.iter().enumerate() {
+        if c.placement != CheckPlacement::AtAccess || !l.contains(c.block) {
+            continue;
+        }
+        // Both transformations need the access to provably execute
+        // whenever the preheader does. A check in the header always
+        // executes once the loop is entered; anything deeper additionally
+        // needs trip ≥ 1, no side exits, and execution on every iteration.
+        let proven_deep = counted.is_some() && single_exit && every_iteration(c.block);
+        // Widening additionally excludes header checks: the header runs
+        // trip + 1 times (the final, failing test included), so a header
+        // access sees the induction variable one step past `last` — a
+        // byte the `[first, last]` hull does not cover.
+        if opt.loop_widen && proven_deep && c.block != l.header {
+            if let Some(cl) = &counted {
+                if let Some(plan) = widen_plan(f, c, cl, &loop_defs, mechanism) {
+                    plans.push((i, plan));
+                    continue;
+                }
+            }
+        }
+        if opt.loop_hoist
+            && operand_is_invariant(&c.ptr, &loop_defs)
+            && (c.block == l.header || proven_deep)
+        {
+            plans.push((i, Plan::Hoist));
+        }
+    }
+    if plans.is_empty() {
+        return out;
+    }
+    let Some(pre) = ensure_dedicated_preheader(f, cfg, l) else {
+        return out;
+    };
+
+    // Identical widened ranges share one preheader gep.
+    let mut geps: HashMap<(Operand, Type, i64), Operand> = HashMap::new();
+    for (i, plan) in plans {
+        match plan {
+            Plan::Hoist => {
+                targets.checks[i].placement = CheckPlacement::BlockEnd(pre);
+                out.hoisted += 1;
+            }
+            Plan::Widen { base, elem_ty, min_idx, width } => {
+                let loc = f.instrs[targets.checks[i].instr.index()].loc;
+                let ptr = geps
+                    .entry((base.clone(), elem_ty.clone(), min_idx))
+                    .or_insert_with(|| {
+                        let pos = f.blocks[pre.index()].instrs.len();
+                        let id = f.insert_instr(
+                            pre,
+                            pos,
+                            InstrKind::Gep { elem_ty, base, indices: vec![Operand::i64(min_idx)] },
+                        );
+                        f.set_instr_loc(id, loc);
+                        Operand::Val(f.instr_result(id).expect("gep has a result"))
+                    })
+                    .clone();
+                let c = &mut targets.checks[i];
+                c.ptr = ptr;
+                c.width = width;
+                c.placement = CheckPlacement::BlockEnd(pre);
+                out.widened += 1;
+            }
+        }
+    }
+
+    // Merge preheader checks that now validate the same pointer: keep one
+    // per pointer, carrying the widest range and the strongest access kind.
+    let mut kept: HashMap<Operand, usize> = HashMap::new();
+    let mut dead = vec![false; targets.checks.len()];
+    for (i, d) in dead.iter_mut().enumerate() {
+        if targets.checks[i].placement != CheckPlacement::BlockEnd(pre) {
+            continue;
+        }
+        match kept.entry(targets.checks[i].ptr.clone()) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(i);
+            }
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let k = *e.get();
+                let width = targets.checks[i].width;
+                let is_store = targets.checks[i].is_store;
+                let keeper = &mut targets.checks[k];
+                keeper.width = keeper.width.max(width);
+                keeper.is_store |= is_store;
+                *d = true;
+                out.merged += 1;
+            }
+        }
+    }
+    let mut keep = dead.iter().map(|d| !d);
+    targets.checks.retain(|_| keep.next().unwrap());
+    out
+}
+
+/// Whether the loop contains any call or bulk memory instruction.
+fn loop_has_calls(f: &Function, l: &Loop) -> bool {
+    l.blocks.iter().any(|&b| {
+        f.blocks[b.index()].instrs.iter().any(|&iid| {
+            matches!(
+                f.instrs[iid.index()].kind,
+                InstrKind::Call { .. }
+                    | InstrKind::CallIndirect { .. }
+                    | InstrKind::MemCpy { .. }
+                    | InstrKind::MemSet { .. }
+            )
+        })
+    })
+}
+
+/// Builds a widening plan for check `c` if its pointer is a single-index
+/// `gep` of the loop's induction variable off a loop-invariant base and
+/// the widened range is representable.
+fn widen_plan(
+    f: &Function,
+    c: &CheckTarget,
+    cl: &CountedLoop,
+    loop_defs: &BTreeSet<mir::ids::ValueId>,
+    mechanism: Mechanism,
+) -> Option<Plan> {
+    let v = c.ptr.as_value()?;
+    let ValueDef::Instr(iid) = f.values[v.index()].def else {
+        return None;
+    };
+    let InstrKind::Gep { elem_ty, base, indices } = &f.instrs[iid.index()].kind else {
+        return None;
+    };
+    if indices.len() != 1 || indices[0].as_value() != Some(cl.iv) {
+        return None;
+    }
+    if !operand_is_invariant(base, loop_defs) {
+        return None;
+    }
+    let es = elem_ty.size_of();
+    if es == 0 {
+        return None;
+    }
+    // Red-zone shadow lookups inspect every granule in the checked range;
+    // the union of the per-iteration accesses must therefore *cover* the
+    // hull, or the widened check could hit a poisoned granule the loop
+    // itself skips over. SoftBound and Low-Fat validate against a single
+    // interval, where hull containment and per-access containment agree.
+    if mechanism == Mechanism::RedZone && cl.step.unsigned_abs().saturating_mul(es) > c.width {
+        return None;
+    }
+    let (min_idx, max_idx) = {
+        let (a, b) = (cl.init, cl.last());
+        (a.min(b), b.max(a))
+    };
+    // All byte arithmetic in i128: the hull must be addressable without
+    // wrapping for the preheader check to mean what the per-iteration
+    // checks meant.
+    let es = es as i128;
+    let first_byte = min_idx as i128 * es;
+    let width = (max_idx as i128 - min_idx as i128) * es + c.width as i128;
+    if first_byte.checked_add(width)? > i64::MAX as i128 || first_byte < i64::MIN as i128 {
+        return None;
+    }
+    Some(Plan::Widen { base: base.clone(), elem_ty: elem_ty.clone(), min_idx, width: width as u64 })
 }
 
 #[cfg(test)]
@@ -64,6 +330,7 @@ mod tests {
     use mir::builder::ModuleBuilder;
     use mir::instr::IcmpPred;
     use mir::types::Type;
+    use mir::verifier::verify_module;
 
     #[test]
     fn removes_same_block_duplicate() {
@@ -182,5 +449,262 @@ mod tests {
         assert_eq!(t.checks.len(), 2);
     }
 
-    use mir::instr::Operand;
+    // ---------------------------------------------------------------
+    // Loop hoisting / widening
+    // ---------------------------------------------------------------
+
+    /// `for (i = 0; i < 10; i++) p[i] = i;` followed by a load of p[9].
+    const COUNTED_STORE: &str = r#"
+        define i64 @f(ptr %p) {
+        entry:
+          br header
+        header:
+          %i = phi i64, [entry: i64 0], [body: %next]
+          %c = icmp slt i64, %i, i64 10
+          condbr %c, body, exit
+        body:
+          %q = gep i64, %p, [%i]
+          store i64, %i, %q
+          %next = add i64, %i, i64 1
+          br header
+        exit:
+          %last = gep i64, %p, [i64 9]
+          %v = load i64, %last
+          ret %v
+        }
+    "#;
+
+    fn run_loop_opt(src: &str, opt: OptConfig, mech: Mechanism) -> (Targets, LoopOptOutcome) {
+        let mut m = mir::parser::parse_module(src).unwrap();
+        let f = m.function_by_name_mut("f").unwrap();
+        let mut t = discover(f);
+        let out = optimize_loop_checks(f, &mut t, &opt, mech);
+        verify_module(&m)
+            .unwrap_or_else(|e| panic!("verify failed: {e}\n{}", mir::printer::print_module(&m)));
+        (t, out)
+    }
+
+    #[test]
+    fn widens_counted_loop_store() {
+        let (t, out) = run_loop_opt(COUNTED_STORE, OptConfig::default(), Mechanism::SoftBound);
+        assert_eq!(out, LoopOptOutcome { hoisted: 0, widened: 1, merged: 0 });
+        let widened = t
+            .checks
+            .iter()
+            .find(|c| matches!(c.placement, CheckPlacement::BlockEnd(_)))
+            .expect("one widened check");
+        // Bytes 0..80: elements 0..=9, 8 B each.
+        assert_eq!(widened.width, 80);
+        assert!(widened.is_store);
+        // The exit load stays a plain access check.
+        assert_eq!(t.checks.len(), 2);
+    }
+
+    #[test]
+    fn widening_disabled_leaves_targets_alone() {
+        let (t, out) = run_loop_opt(COUNTED_STORE, OptConfig::no_loops(), Mechanism::SoftBound);
+        assert_eq!(out, LoopOptOutcome::default());
+        assert!(t.checks.iter().all(|c| c.placement == CheckPlacement::AtAccess));
+    }
+
+    #[test]
+    fn widens_descending_loop_to_full_range() {
+        // for (i = 9; i >= 2; i--) p[i] = i  →  bytes 16..80 (width 64).
+        let src = r#"
+            define i64 @f(ptr %p) {
+            entry:
+              br header
+            header:
+              %i = phi i64, [entry: i64 9], [body: %next]
+              %c = icmp sge i64, %i, i64 2
+              condbr %c, body, exit
+            body:
+              %q = gep i64, %p, [%i]
+              store i64, %i, %q
+              %next = add i64, %i, i64 -1
+              br header
+            exit:
+              ret i64 0
+            }
+        "#;
+        let (t, out) = run_loop_opt(src, OptConfig::default(), Mechanism::LowFat);
+        assert_eq!(out.widened, 1);
+        assert_eq!(t.checks[0].width, 64);
+    }
+
+    #[test]
+    fn zero_trip_loop_not_widened() {
+        // for (i = 5; i < 5; ...) — never entered; a preheader check would
+        // trap a program that accesses nothing.
+        let src = r#"
+            define i64 @f(ptr %p) {
+            entry:
+              br header
+            header:
+              %i = phi i64, [entry: i64 5], [body: %next]
+              %c = icmp slt i64, %i, i64 5
+              condbr %c, body, exit
+            body:
+              %q = gep i64, %p, [%i]
+              store i64, %i, %q
+              %next = add i64, %i, i64 1
+              br header
+            exit:
+              ret i64 0
+            }
+        "#;
+        let (t, out) = run_loop_opt(src, OptConfig::default(), Mechanism::SoftBound);
+        assert_eq!(out, LoopOptOutcome::default());
+        assert!(t.checks.iter().all(|c| c.placement == CheckPlacement::AtAccess));
+    }
+
+    #[test]
+    fn side_exit_prevents_widening() {
+        // A data-dependent break can end the loop before the range is
+        // fully accessed: widening would over-approximate.
+        let src = r#"
+            define i64 @f(ptr %p, i64 %x) {
+            entry:
+              br header
+            header:
+              %i = phi i64, [entry: i64 0], [latch: %next]
+              %c = icmp slt i64, %i, i64 100
+              condbr %c, body, exit
+            body:
+              %b = icmp eq i64, %x, %i
+              condbr %b, exit, work
+            work:
+              %q = gep i64, %p, [%i]
+              store i64, %i, %q
+              br latch
+            latch:
+              %next = add i64, %i, i64 1
+              br header
+            exit:
+              ret i64 0
+            }
+        "#;
+        let (t, out) = run_loop_opt(src, OptConfig::default(), Mechanism::SoftBound);
+        assert_eq!(out, LoopOptOutcome::default());
+        assert!(t.checks.iter().all(|c| c.placement == CheckPlacement::AtAccess));
+    }
+
+    #[test]
+    fn hoists_invariant_pointer_check() {
+        // for (i = 0; i < 10; i++) *p += 1 — invariant pointer, checked
+        // once in the preheader (load + store merge into one check).
+        let src = r#"
+            define i64 @f(ptr %p) {
+            entry:
+              br header
+            header:
+              %i = phi i64, [entry: i64 0], [body: %next]
+              %c = icmp slt i64, %i, i64 10
+              condbr %c, body, exit
+            body:
+              %v = load i64, %p
+              %w = add i64, %v, i64 1
+              store i64, %w, %p
+              %next = add i64, %i, i64 1
+              br header
+            exit:
+              ret i64 0
+            }
+        "#;
+        let (t, out) = run_loop_opt(src, OptConfig::default(), Mechanism::SoftBound);
+        assert_eq!(out.hoisted, 2);
+        assert_eq!(out.merged, 1, "load and store checks merge in the preheader");
+        assert_eq!(t.checks.len(), 1);
+        assert!(matches!(t.checks[0].placement, CheckPlacement::BlockEnd(_)));
+        assert!(t.checks[0].is_store, "merged check keeps the store kind");
+    }
+
+    #[test]
+    fn redzone_skips_loops_with_calls() {
+        let src = r#"
+            hostdecl i64 @work(i64)
+            define i64 @f(ptr %p) {
+            entry:
+              br header
+            header:
+              %i = phi i64, [entry: i64 0], [body: %next]
+              %c = icmp slt i64, %i, i64 10
+              condbr %c, body, exit
+            body:
+              %q = gep i64, %p, [%i]
+              store i64, %i, %q
+              %z = call i64 @work(%i)
+              %next = add i64, %i, i64 1
+              br header
+            exit:
+              ret i64 0
+            }
+        "#;
+        let (_, rz) = run_loop_opt(src, OptConfig::default(), Mechanism::RedZone);
+        assert_eq!(rz, LoopOptOutcome::default());
+        // SoftBound bounds are immutable SSA values: calls don't matter.
+        let (_, sb) = run_loop_opt(src, OptConfig::default(), Mechanism::SoftBound);
+        assert_eq!(sb.widened, 1);
+    }
+
+    #[test]
+    fn redzone_requires_dense_coverage_for_widening() {
+        // Stride 2 × 8 B with an 8 B access skips every other element;
+        // the hull may contain poison the loop never touches.
+        let src = r#"
+            define i64 @f(ptr %p) {
+            entry:
+              br header
+            header:
+              %i = phi i64, [entry: i64 0], [body: %next]
+              %c = icmp slt i64, %i, i64 10
+              condbr %c, body, exit
+            body:
+              %q = gep i64, %p, [%i]
+              store i64, %i, %q
+              %next = add i64, %i, i64 2
+              br header
+            exit:
+              ret i64 0
+            }
+        "#;
+        let (_, rz) = run_loop_opt(src, OptConfig::default(), Mechanism::RedZone);
+        assert_eq!(rz.widened, 0);
+        // Interval-based mechanisms widen sparse strides soundly.
+        let (t, lf) = run_loop_opt(src, OptConfig::default(), Mechanism::LowFat);
+        assert_eq!(lf.widened, 1);
+        // i ∈ {0, 2, 4, 6, 8}: bytes 0..72.
+        assert_eq!(t.checks[0].width, 72);
+    }
+
+    #[test]
+    fn widened_checks_share_the_preheader_gep() {
+        // Load and store of p[i] in the same loop widen to the same range
+        // and merge into a single preheader check.
+        let src = r#"
+            define i64 @f(ptr %p) {
+            entry:
+              br header
+            header:
+              %i = phi i64, [entry: i64 0], [body: %next]
+              %c = icmp slt i64, %i, i64 10
+              condbr %c, body, exit
+            body:
+              %q = gep i64, %p, [%i]
+              %v = load i64, %q
+              %w = add i64, %v, i64 1
+              store i64, %w, %q
+              %next = add i64, %i, i64 1
+              br header
+            exit:
+              ret i64 0
+            }
+        "#;
+        let (t, out) = run_loop_opt(src, OptConfig::default(), Mechanism::SoftBound);
+        assert_eq!(out.widened, 2);
+        assert_eq!(out.merged, 1);
+        assert_eq!(t.checks.len(), 1);
+        assert_eq!(t.checks[0].width, 80);
+        assert!(t.checks[0].is_store);
+    }
 }

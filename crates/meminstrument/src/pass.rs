@@ -27,7 +27,7 @@ use crate::itarget::{discover, EscapeKind, Targets};
 use crate::mechanism::{
     lowfat::LowFatMech, redzone::RedZoneMech, softbound::SoftBoundMech, MechanismLowering, PtrArg,
 };
-use crate::opt::eliminate_dominated_checks;
+use crate::opt::{eliminate_dominated_checks, optimize_loop_checks};
 use crate::stats::InstrStats;
 use crate::witness::{resolve_witness, InstrumentCx, ModuleInfo};
 
@@ -124,8 +124,17 @@ fn instrument_function(
 
     let mut targets: Targets = discover(cx.func);
     cx.stats.checks_discovered += targets.checks.len() as u64;
-    if config.opt_dominance {
+    if config.opt.dominance {
         cx.stats.checks_eliminated += eliminate_dominated_checks(cx.func, &mut targets);
+    }
+    // Loop-aware check optimization (§5.3): hoist invariant checks into the
+    // preheader and widen monotone induction-variable checks into a single
+    // range check. Only meaningful when checks will actually be placed.
+    if config.mode == MiMode::Full && config.opt.any_loop_opts() {
+        let out = optimize_loop_checks(cx.func, &mut targets, &config.opt, config.mechanism);
+        cx.stats.checks_hoisted += out.hoisted;
+        cx.stats.checks_widened += out.widened;
+        cx.stats.checks_eliminated += out.merged;
     }
 
     // Phase A: resolve (and materialize) every witness that will be needed,
@@ -300,6 +309,8 @@ mod tests {
         assert_eq!(count_calls(&m, "__sb_check"), 2);
         assert_eq!(stats.checks_placed, 2);
         assert_eq!(stats.checks_discovered, 2);
+        // The in-loop store check is widened into a single preheader check.
+        assert_eq!(stats.checks_widened, 1);
         // No metadata traffic needed: the pointer never escapes.
         assert_eq!(count_calls(&m, "__sb_trie_set"), 0);
     }
@@ -309,6 +320,7 @@ mod tests {
         let (m, stats) = instrument(HEAP_LOOP, MiConfig::new(Mechanism::LowFat));
         assert_eq!(count_calls(&m, "__lf_check"), 2);
         assert_eq!(stats.checks_placed, 2);
+        assert_eq!(stats.checks_widened, 1);
         assert_eq!(count_calls(&m, "__lf_invariant"), 0);
     }
 

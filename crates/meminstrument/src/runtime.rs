@@ -27,7 +27,7 @@ use crate::pass::MemInstrumentPass;
 use crate::stats::InstrStats;
 
 /// Pipeline options for compilation.
-#[derive(Copy, Clone, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub struct BuildOptions {
     /// Optimization level.
     pub opt: OptLevel,
@@ -214,6 +214,45 @@ pub fn compile_and_run(
     opts: BuildOptions,
 ) -> Result<ExecOutcome, Trap> {
     compile(module, config, opts).run_main(VmConfig::default())
+}
+
+impl crate::config::Instrument {
+    /// Compiles `module` under this configuration (instrumented or
+    /// baseline).
+    pub fn compile(&self, module: Module) -> CompiledProgram {
+        match self.mi_config() {
+            Some(c) => compile(module, c, self.build_options()),
+            None => compile_baseline(module, self.build_options()),
+        }
+    }
+
+    /// Like [`Instrument::compile`](crate::Instrument::compile), recording
+    /// a per-pass span in `rec`.
+    pub fn compile_traced(&self, module: Module, rec: &mut TraceRecorder) -> CompiledProgram {
+        match self.mi_config() {
+            Some(c) => compile_traced(module, c, self.build_options(), rec),
+            None => compile_baseline_traced(module, self.build_options(), rec),
+        }
+    }
+
+    /// Completes compilation of a matching [`pipeline_prefix`] snapshot.
+    pub fn compile_from_prefix(&self, prefix: Module) -> CompiledProgram {
+        match self.mi_config() {
+            Some(c) => compile_from_prefix(prefix, c, self.build_options()),
+            None => compile_baseline_from_prefix(prefix, self.build_options()),
+        }
+    }
+
+    /// Compiles and runs `main` to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns the trap that ended execution, if any — in particular
+    /// [`Trap::MemSafetyViolation`] when the instrumentation catches an
+    /// error.
+    pub fn run(&self, module: Module) -> Result<ExecOutcome, Trap> {
+        self.compile(module).run_main(VmConfig::default())
+    }
 }
 
 /// Places `lowfat`-attributed globals into their size-class regions.

@@ -10,6 +10,11 @@ pub struct InstrStats {
     pub checks_discovered: u64,
     /// Check targets removed by the dominance optimization (§5.3).
     pub checks_eliminated: u64,
+    /// Loop-invariant checks hoisted into a loop preheader (§5.3).
+    pub checks_hoisted: u64,
+    /// Monotone induction-variable checks widened into a single preheader
+    /// range check covering every accessed byte (§5.3).
+    pub checks_widened: u64,
     /// Dereference checks actually placed.
     pub checks_placed: u64,
     /// Invariant targets placed (Low-Fat escapes; SoftBound metadata
@@ -48,6 +53,8 @@ impl std::ops::AddAssign<&InstrStats> for InstrStats {
     fn add_assign(&mut self, rhs: &InstrStats) {
         self.checks_discovered += rhs.checks_discovered;
         self.checks_eliminated += rhs.checks_eliminated;
+        self.checks_hoisted += rhs.checks_hoisted;
+        self.checks_widened += rhs.checks_widened;
         self.checks_placed += rhs.checks_placed;
         self.invariants_placed += rhs.invariants_placed;
         self.metadata_loads_placed += rhs.metadata_loads_placed;
@@ -112,6 +119,8 @@ mod tests {
             functions_instrumented: n + 8,
             functions_skipped: n + 9,
             checks_narrowed: n + 10,
+            checks_hoisted: n + 11,
+            checks_widened: n + 12,
         }
     }
 

@@ -304,6 +304,27 @@ impl<'a> InstrumentCx<'a> {
         self.func.insert_instr(block, pos, kind)
     }
 
+    /// Inserts a check call `kind` for `target` at the target's placement:
+    /// immediately before the guarded access, or (for checks the loop
+    /// optimizer hoisted/widened) at the end of the designated block. The
+    /// call inherits the guarded access's source location either way, so
+    /// violation reports name the access even for preheader checks.
+    pub fn insert_check(
+        &mut self,
+        target: &crate::itarget::CheckTarget,
+        kind: InstrKind,
+    ) -> InstrId {
+        match target.placement {
+            crate::itarget::CheckPlacement::AtAccess => self.insert_before(target.instr, kind),
+            crate::itarget::CheckPlacement::BlockEnd(b) => {
+                let loc = self.func.instrs[target.instr.index()].loc;
+                let id = self.insert_at_block_end(b, kind);
+                self.func.set_instr_loc(id, loc);
+                id
+            }
+        }
+    }
+
     /// Inserts a phi companion after the existing phis of `block`.
     pub fn insert_phi_companion(&mut self, block: BlockId, kind: InstrKind) -> InstrId {
         let pos = self.first_non_phi(block);

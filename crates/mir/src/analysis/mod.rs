@@ -6,4 +6,4 @@ pub mod loops;
 
 pub use cfg::Cfg;
 pub use dom::DomTree;
-pub use loops::{Loop, LoopForest};
+pub use loops::{ensure_dedicated_preheader, operand_is_invariant, CountedLoop, Loop, LoopForest};

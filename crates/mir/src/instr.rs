@@ -10,8 +10,12 @@ use crate::ids::{BlockId, GlobalId, ValueId};
 use crate::types::Type;
 
 /// An operand of an instruction: either an SSA value or an inline constant.
+///
+/// Operands are usable as hash-map keys: equality and hashing are
+/// structural, with float constants compared and hashed by their bit
+/// pattern (so `NaN == NaN` and `0.0 != -0.0` here, unlike IEEE `==`).
 #[allow(missing_docs)] // variant fields are idiomatic short names
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Clone, Debug)]
 pub enum Operand {
     /// Reference to an SSA value (parameter or instruction result).
     Val(ValueId),
@@ -27,6 +31,44 @@ pub enum Operand {
     FuncAddr(String),
     /// An undefined value of the given type.
     Undef(Type),
+}
+
+impl PartialEq for Operand {
+    fn eq(&self, other: &Operand) -> bool {
+        match (self, other) {
+            (Operand::Val(a), Operand::Val(b)) => a == b,
+            (Operand::ConstInt { ty: ta, value: va }, Operand::ConstInt { ty: tb, value: vb }) => {
+                ta == tb && va == vb
+            }
+            // Bitwise, not IEEE: keeps the Eq/Hash contracts intact.
+            (Operand::ConstFloat(a), Operand::ConstFloat(b)) => a.to_bits() == b.to_bits(),
+            (Operand::Null, Operand::Null) => true,
+            (Operand::GlobalAddr(a), Operand::GlobalAddr(b)) => a == b,
+            (Operand::FuncAddr(a), Operand::FuncAddr(b)) => a == b,
+            (Operand::Undef(a), Operand::Undef(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Operand {}
+
+impl std::hash::Hash for Operand {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        std::mem::discriminant(self).hash(state);
+        match self {
+            Operand::Val(v) => v.hash(state),
+            Operand::ConstInt { ty, value } => {
+                ty.hash(state);
+                value.hash(state);
+            }
+            Operand::ConstFloat(f) => f.to_bits().hash(state),
+            Operand::Null => {}
+            Operand::GlobalAddr(g) => g.hash(state),
+            Operand::FuncAddr(name) => name.hash(state),
+            Operand::Undef(ty) => ty.hash(state),
+        }
+    }
 }
 
 impl Operand {
@@ -181,6 +223,38 @@ pub enum IcmpPred {
 }
 
 impl IcmpPred {
+    /// The logically negated predicate: `!(a pred b)` ⟺ `a inverse(pred) b`.
+    pub fn inverse(self) -> IcmpPred {
+        match self {
+            IcmpPred::Eq => IcmpPred::Ne,
+            IcmpPred::Ne => IcmpPred::Eq,
+            IcmpPred::Slt => IcmpPred::Sge,
+            IcmpPred::Sge => IcmpPred::Slt,
+            IcmpPred::Sle => IcmpPred::Sgt,
+            IcmpPred::Sgt => IcmpPred::Sle,
+            IcmpPred::Ult => IcmpPred::Uge,
+            IcmpPred::Uge => IcmpPred::Ult,
+            IcmpPred::Ule => IcmpPred::Ugt,
+            IcmpPred::Ugt => IcmpPred::Ule,
+        }
+    }
+
+    /// The predicate with operands swapped: `a pred b` ⟺ `b swapped(pred) a`.
+    pub fn swapped(self) -> IcmpPred {
+        match self {
+            IcmpPred::Eq => IcmpPred::Eq,
+            IcmpPred::Ne => IcmpPred::Ne,
+            IcmpPred::Slt => IcmpPred::Sgt,
+            IcmpPred::Sgt => IcmpPred::Slt,
+            IcmpPred::Sle => IcmpPred::Sge,
+            IcmpPred::Sge => IcmpPred::Sle,
+            IcmpPred::Ult => IcmpPred::Ugt,
+            IcmpPred::Ugt => IcmpPred::Ult,
+            IcmpPred::Ule => IcmpPred::Uge,
+            IcmpPred::Uge => IcmpPred::Ule,
+        }
+    }
+
     /// The mnemonic used by the printer/parser.
     pub fn mnemonic(self) -> &'static str {
         match self {
@@ -536,6 +610,19 @@ mod tests {
     }
 
     #[test]
+    fn operand_hash_eq_use_bit_semantics_for_floats() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Operand::ConstFloat(f64::NAN));
+        assert!(set.contains(&Operand::ConstFloat(f64::NAN)));
+        assert_ne!(Operand::ConstFloat(0.0), Operand::ConstFloat(-0.0));
+        set.insert(Operand::i64(7));
+        set.insert(Operand::i64(7));
+        assert_eq!(set.len(), 2);
+        assert_ne!(Operand::i64(7), Operand::i32(7));
+    }
+
+    #[test]
     fn result_types() {
         let load = InstrKind::Load { ty: Type::I32, ptr: Operand::Null };
         assert_eq!(load.result_type(), Some(Type::I32));
@@ -590,6 +677,27 @@ mod tests {
         let mut n = 0;
         k.for_each_operand(|_| n += 1);
         assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn icmp_inverse_and_swap_are_involutions() {
+        for p in [
+            IcmpPred::Eq,
+            IcmpPred::Ne,
+            IcmpPred::Slt,
+            IcmpPred::Sle,
+            IcmpPred::Sgt,
+            IcmpPred::Sge,
+            IcmpPred::Ult,
+            IcmpPred::Ule,
+            IcmpPred::Ugt,
+            IcmpPred::Uge,
+        ] {
+            assert_eq!(p.inverse().inverse(), p);
+            assert_eq!(p.swapped().swapped(), p);
+        }
+        assert_eq!(IcmpPred::Slt.inverse(), IcmpPred::Sge);
+        assert_eq!(IcmpPred::Slt.swapped(), IcmpPred::Sgt);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::collections::BTreeSet;
 use crate::analysis::{Cfg, DomTree, LoopForest};
 use crate::function::Function;
 use crate::ids::{BlockId, InstrId, ValueId};
-use crate::instr::{InstrKind, Terminator};
+use crate::instr::InstrKind;
 use crate::module::Effect;
 use crate::passes::{EffectInfo, FunctionPass};
 use crate::types::Type;
@@ -34,10 +34,7 @@ impl FunctionPass for Licm {
         for l in &forest.loops {
             // Only hoist into a dedicated preheader: the unique outside
             // predecessor, ending in an unconditional branch to the header.
-            let Some(pre) = l.preheader(&cfg) else { continue };
-            if !matches!(f.blocks[pre.index()].term, Terminator::Br(t) if t == l.header) {
-                continue;
-            }
+            let Some(pre) = l.dedicated_preheader(f, &cfg) else { continue };
             changed |= hoist_loop(effects, f, &dom, l, pre);
         }
         changed
@@ -52,14 +49,7 @@ fn hoist_loop(
     pre: BlockId,
 ) -> bool {
     // Values defined inside the loop.
-    let mut defined_in: BTreeSet<ValueId> = BTreeSet::new();
-    for &b in &l.blocks {
-        for &iid in &f.blocks[b.index()].instrs {
-            if let Some(v) = f.instrs[iid.index()].result {
-                defined_in.insert(v);
-            }
-        }
-    }
+    let mut defined_in: BTreeSet<ValueId> = l.defined_values(f);
     // Does the loop contain any memory writes or effectful calls?
     let loop_has_writes = l.blocks.iter().any(|&b| {
         f.blocks[b.index()]
@@ -78,11 +68,7 @@ fn hoist_loop(
                 let invariant_operands = {
                     let mut ok = true;
                     kind.for_each_operand(|op| {
-                        if let Some(v) = op.as_value() {
-                            if defined_in.contains(&v) {
-                                ok = false;
-                            }
-                        }
+                        ok &= crate::analysis::operand_is_invariant(op, &defined_in);
                     });
                     ok
                 };

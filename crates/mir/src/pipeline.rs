@@ -53,6 +53,27 @@ impl ExtensionPoint {
     }
 }
 
+impl std::fmt::Display for ExtensionPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for ExtensionPoint {
+    type Err = String;
+
+    /// Accepts the full report name or the CLI short forms
+    /// (`early`, `scalar`, `vectorizer`/`vec`), case-sensitively.
+    fn from_str(s: &str) -> Result<ExtensionPoint, String> {
+        match s {
+            "ModuleOptimizerEarly" | "early" => Ok(ExtensionPoint::ModuleOptimizerEarly),
+            "ScalarOptimizerLate" | "scalar" => Ok(ExtensionPoint::ScalarOptimizerLate),
+            "VectorizerStart" | "vectorizer" | "vec" => Ok(ExtensionPoint::VectorizerStart),
+            other => Err(format!("unknown extension point `{other}`")),
+        }
+    }
+}
+
 /// Optimization level of the pipeline.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum OptLevel {
@@ -60,6 +81,34 @@ pub enum OptLevel {
     O0,
     /// The full pipeline (the paper's `-O3` baseline).
     O3,
+}
+
+impl OptLevel {
+    /// Short name used in reports (`O0`/`O3`).
+    pub fn name(self) -> &'static str {
+        match self {
+            OptLevel::O0 => "O0",
+            OptLevel::O3 => "O3",
+        }
+    }
+}
+
+impl std::fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for OptLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<OptLevel, String> {
+        match s {
+            "O0" => Ok(OptLevel::O0),
+            "O3" => Ok(OptLevel::O3),
+            other => Err(format!("unknown opt level `{other}`")),
+        }
+    }
 }
 
 /// The compiler pipeline.
@@ -445,5 +494,20 @@ mod tests {
     fn extension_point_names() {
         assert_eq!(ExtensionPoint::ALL.len(), 3);
         assert_eq!(ExtensionPoint::VectorizerStart.name(), "VectorizerStart");
+    }
+
+    #[test]
+    fn extension_point_and_opt_level_round_trip() {
+        for ep in ExtensionPoint::ALL {
+            assert_eq!(ep.to_string().parse::<ExtensionPoint>(), Ok(ep));
+        }
+        assert_eq!("early".parse::<ExtensionPoint>(), Ok(ExtensionPoint::ModuleOptimizerEarly));
+        assert_eq!("scalar".parse::<ExtensionPoint>(), Ok(ExtensionPoint::ScalarOptimizerLate));
+        assert_eq!("vec".parse::<ExtensionPoint>(), Ok(ExtensionPoint::VectorizerStart));
+        assert!("bogus".parse::<ExtensionPoint>().is_err());
+        for o in [OptLevel::O0, OptLevel::O3] {
+            assert_eq!(o.to_string().parse::<OptLevel>(), Ok(o));
+        }
+        assert!("O2".parse::<OptLevel>().is_err());
     }
 }

@@ -20,22 +20,17 @@
 //! levels.
 
 use bench::driver::{Driver, JobConfig, Program};
-use meminstrument::runtime::BuildOptions;
-use meminstrument::{Mechanism, MiConfig};
+use meminstrument::{Mechanism, OptConfig};
 use mir::pipeline::{ExtensionPoint, OptLevel};
 
 /// The differential matrix: 2 baselines + 2 mechanisms × (O0 + 3×O3) = 10
 /// configurations per program.
 fn differential_configs() -> Vec<JobConfig> {
-    let o0 = BuildOptions { opt: OptLevel::O0, ..BuildOptions::default() };
-    let mut configs = vec![JobConfig::baseline_with(o0), JobConfig::baseline()];
+    let mut configs = vec![JobConfig::baseline().opt_level(OptLevel::O0), JobConfig::baseline()];
     for mech in [Mechanism::SoftBound, Mechanism::LowFat] {
-        configs.push(JobConfig::with(MiConfig::new(mech), o0));
+        configs.push(JobConfig::mechanism(mech).opt_level(OptLevel::O0));
         for ep in ExtensionPoint::ALL {
-            configs.push(JobConfig::with(
-                MiConfig::new(mech),
-                BuildOptions { ep, ..BuildOptions::default() },
-            ));
+            configs.push(JobConfig::mechanism(mech).at(ep));
         }
     }
     configs
@@ -129,6 +124,97 @@ fn corpus_differential() {
         failures.len(),
         failures.join("\n  ")
     );
+}
+
+/// §5.3 loop optimizations are refinements, not semantic changes: for every
+/// memory-safe corpus program and both full-metadata mechanisms, the fully
+/// optimized build (dominance + hoist + widen), the dominance-only build,
+/// and the unoptimized build must produce byte-identical output, and their
+/// dynamic check counts must be monotone non-increasing as optimizations
+/// are added.
+#[test]
+fn corpus_loop_opts_preserve_semantics_and_reduce_checks() {
+    let programs = corpus();
+    // Per mechanism: [full opts, dominance only, no opts] — ordered from
+    // most to least optimized.
+    let ladders: Vec<(Mechanism, Vec<JobConfig>)> = [Mechanism::SoftBound, Mechanism::LowFat]
+        .into_iter()
+        .map(|mech| {
+            (
+                mech,
+                vec![
+                    JobConfig::mechanism(mech),
+                    JobConfig::mechanism(mech).opt(OptConfig::no_loops()),
+                    JobConfig::mechanism(mech).opt(OptConfig::none()),
+                ],
+            )
+        })
+        .collect();
+    let configs: Vec<JobConfig> = ladders.iter().flat_map(|(_, l)| l.iter().cloned()).collect();
+    let report =
+        Driver::new(programs.iter().map(|(p, _)| p.clone()).collect(), configs.clone()).run();
+
+    let mut failures = vec![];
+    let mut helped = 0usize;
+    for (prog, safe) in &programs {
+        if !safe {
+            continue;
+        }
+        for (mech, ladder) in &ladders {
+            let cells: Vec<_> = ladder
+                .iter()
+                .map(|cfg| {
+                    report
+                        .get(&prog.name, cfg)
+                        .unwrap_or_else(|| panic!("{}: missing cell for {}", prog.name, cfg))
+                })
+                .collect();
+            let outs: Vec<_> = cells
+                .iter()
+                .map(|c| match &c.outcome {
+                    Ok(ok) => ok,
+                    Err(t) => {
+                        panic!("{} [{}]: safe program trapped: {}", prog.name, c.config, t.message)
+                    }
+                })
+                .collect();
+            for (cell, ok) in cells.iter().zip(&outs).skip(1) {
+                if ok.output != outs[0].output || ok.ret != outs[0].ret {
+                    failures.push(format!(
+                        "{} [{}]: output/ret diverges from [{}]",
+                        prog.name, cell.config, cells[0].config
+                    ));
+                }
+            }
+            // checks_executed: full ≤ dominance-only ≤ unoptimized.
+            let counts: Vec<u64> = outs.iter().map(|ok| ok.stats.checks_executed).collect();
+            if !(counts[0] <= counts[1] && counts[1] <= counts[2]) {
+                failures.push(format!(
+                    "{} [{mech:?}]: checks_executed not monotone: full {} / no-loop {} / unopt {}",
+                    prog.name, counts[0], counts[1], counts[2]
+                ));
+            }
+            if counts[0] < counts[1] {
+                helped += 1;
+            }
+            // Counter reconciliation: the full build reports its loop work.
+            let instr = &outs[0].instr;
+            if counts[0] < counts[1] && instr.checks_hoisted + instr.checks_widened == 0 {
+                failures.push(format!(
+                    "{} [{mech:?}]: dynamic checks dropped but no hoist/widen counted",
+                    prog.name
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} loop-opt mismatches:\n  {}",
+        failures.len(),
+        failures.join("\n  ")
+    );
+    // The optimization must actually fire somewhere in the corpus.
+    assert!(helped >= 5, "loop opts reduced dynamic checks on only {helped} (program, mech) pairs");
 }
 
 /// The report over the corpus is independent of the worker count — the
