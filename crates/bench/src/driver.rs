@@ -69,7 +69,7 @@ pub fn benchmark_programs() -> Vec<Program> {
 pub type JobConfig = Instrument;
 
 /// Successful execution of one cell.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CellOk {
     /// Return value of `main` (if non-void).
     pub ret: Option<i64>,
@@ -175,6 +175,10 @@ pub struct CellTiming {
     pub pipeline: Duration,
     /// Instrumentation + post-prefix pipeline stages (per cell).
     pub instrumentation: Duration,
+    /// VM setup: loading the module, installing the runtime, and — under
+    /// the bytecode backend — compiling to bytecode (per cell). Zero-cost
+    /// work for the tree-walker beyond module loading.
+    pub vm_compile: Duration,
     /// VM execution (per cell).
     pub execution: Duration,
 }
@@ -206,6 +210,9 @@ pub struct SweepTimings {
     pub pipeline: Duration,
     /// Sum over cells: instrumentation + pipeline completion.
     pub instrumentation: Duration,
+    /// Sum over cells: VM setup (module load, runtime install, bytecode
+    /// compilation).
+    pub vm_compile: Duration,
     /// Sum over cells: VM execution.
     pub execution: Duration,
 }
@@ -322,10 +329,11 @@ impl Report {
                 let t = &cell.timing;
                 let _ = write!(
                     out,
-                    ", \"timing_us\": {{\"frontend\": {}, \"pipeline\": {}, \"instrumentation\": {}, \"execution\": {}}}",
+                    ", \"timing_us\": {{\"frontend\": {}, \"pipeline\": {}, \"instrumentation\": {}, \"vm_compile\": {}, \"execution\": {}}}",
                     t.frontend.as_micros(),
                     t.pipeline.as_micros(),
                     t.instrumentation.as_micros(),
+                    t.vm_compile.as_micros(),
                     t.execution.as_micros()
                 );
             }
@@ -336,12 +344,13 @@ impl Report {
             let t = &self.timings;
             let _ = write!(
                 out,
-                ",\n  \"timings\": {{\"jobs\": {}, \"wall_us\": {}, \"stage_us\": {{\"frontend\": {}, \"pipeline\": {}, \"instrumentation\": {}, \"execution\": {}}}}}",
+                ",\n  \"timings\": {{\"jobs\": {}, \"wall_us\": {}, \"stage_us\": {{\"frontend\": {}, \"pipeline\": {}, \"instrumentation\": {}, \"vm_compile\": {}, \"execution\": {}}}}}",
                 t.jobs,
                 t.wall.as_micros(),
                 t.frontend.as_micros(),
                 t.pipeline.as_micros(),
                 t.instrumentation.as_micros(),
+                t.vm_compile.as_micros(),
                 t.execution.as_micros()
             );
         }
@@ -384,6 +393,13 @@ impl Driver {
     /// Enables pass-pipeline trace recording for the sweep.
     pub fn with_trace(mut self, trace: bool) -> Driver {
         self.trace = trace;
+        self
+    }
+
+    /// Sets the VM configuration every cell executes under (backend
+    /// selection, cost budget, ...).
+    pub fn with_vm(mut self, vm: VmConfig) -> Driver {
+        self.vm = vm;
         self
     }
 
@@ -453,8 +469,17 @@ impl Driver {
                 };
                 let instrumentation = t.elapsed();
 
+                // VM setup is timed separately from execution so the
+                // report attributes bytecode compilation correctly.
                 let t = Instant::now();
-                let outcome = match prog.run_main(self.vm) {
+                let vm = prog.make_vm(self.vm).map(|mut vm| {
+                    vm.prepare();
+                    vm
+                });
+                let vm_compile = t.elapsed();
+
+                let t = Instant::now();
+                let outcome = match vm.and_then(|mut vm| vm.run("main", &[])) {
                     Ok(out) => Ok(CellOk {
                         ret: out.ret.map(|v| v.as_int() as i64),
                         output: out.output,
@@ -474,6 +499,7 @@ impl Driver {
                         frontend: frontends[pi].1,
                         pipeline: *prefix_time,
                         instrumentation,
+                        vm_compile,
                         execution,
                     },
                 };
@@ -513,6 +539,7 @@ impl Driver {
             frontend: frontends.iter().map(|(_, d)| *d).sum(),
             pipeline: prefixes.iter().map(|(_, d, _)| *d).sum(),
             instrumentation: cells.iter().map(|c| c.timing.instrumentation).sum(),
+            vm_compile: cells.iter().map(|c| c.timing.vm_compile).sum(),
             execution: cells.iter().map(|c| c.timing.execution).sum(),
         };
         Report {
@@ -691,6 +718,24 @@ mod tests {
         // With timings the reports still parse to the same deterministic
         // cells, but the byte-identity guarantee is explicitly dropped.
         assert_eq!(r1.cells.len(), 6);
+        // The timed report splits VM setup (bytecode compilation) from
+        // execution, per cell and in the stage totals.
+        let timed = r1.to_json(true);
+        assert!(timed.contains("\"vm_compile\":"), "{timed}");
+        assert!(timed.contains("\"execution\":"), "{timed}");
+    }
+
+    #[test]
+    fn vm_backend_choice_does_not_change_the_report() {
+        use memvm::VmBackend;
+        let run = |backend| {
+            Driver::new(tiny_programs(), fig9_configs())
+                .with_jobs(1)
+                .with_vm(VmConfig { backend, ..VmConfig::default() })
+                .run()
+                .to_json(false)
+        };
+        assert_eq!(run(VmBackend::Walk), run(VmBackend::Bytecode));
     }
 
     #[test]

@@ -41,6 +41,9 @@
 //!   --no-opt-loops                          disable §5.3 loop hoisting/widening
 //!   --narrow                                Appendix-B member-bounds narrowing
 //!   --wrapper-checks                        enable Figure-6 wrapper checks
+//!   --vm walk|bytecode                      VM backend (default bytecode; the
+//!                                           tree-walker is the reference
+//!                                           semantics; also on eval and fuzz)
 //!   --trace trace.json                      (run) write a Chrome trace_event
 //!                                           JSON of the pass pipeline,
 //!                                           viewable in Perfetto
@@ -50,7 +53,7 @@ use std::process::ExitCode;
 use std::str::FromStr;
 
 use meminstrument::{Instrument, Mechanism, MiMode, OptConfig};
-use memvm::VmConfig;
+use memvm::{VmBackend, VmConfig};
 use mir::pipeline::{ExtensionPoint, OptLevel};
 use mir::trace::TraceRecorder;
 
@@ -58,9 +61,9 @@ fn usage() -> ExitCode {
     eprintln!("usage: mi <run|ir|check|stats> <file.c> [options]");
     eprintln!("       mi profile <file.c> [options] [--top N] [--json]");
     eprintln!("       mi eval [file.c ...] [--jobs N] [--out report.json] [--timings]");
-    eprintln!("               [--trace trace.json]");
+    eprintln!("               [--trace trace.json] [--vm walk|bytecode]");
     eprintln!("       mi fuzz [--seed S] [--cases N] [--jobs N] [--fail-dir DIR]");
-    eprintln!("               [--no-shrink] [--replay IDX]");
+    eprintln!("               [--no-shrink] [--replay IDX] [--vm walk|bytecode]");
     eprintln!("       (see `crates/cli/src/main.rs` header for options)");
     ExitCode::from(2)
 }
@@ -81,6 +84,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut opt = OptConfig::default();
     let mut narrow = false;
     let mut wrappers = false;
+    let mut backend = VmBackend::default();
     let mut trace = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -121,6 +125,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--narrow" => narrow = true,
             "--wrapper-checks" => wrappers = true,
+            "--vm" => match it.next() {
+                Some(s) => backend = VmBackend::from_str(s)?,
+                None => return Err("--vm expects walk|bytecode".to_string()),
+            },
+            a if a.starts_with("--vm=") => backend = VmBackend::from_str(&a["--vm=".len()..])?,
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -131,7 +140,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             c.sb_wrapper_checks = wrappers;
         }),
     };
-    Ok(Options { cell: cell.at(ep).opt_level(opt_level), trace })
+    Ok(Options { cell: cell.at(ep).opt_level(opt_level).vm_backend(backend), trace })
 }
 
 /// Resolves `path` to a (source name, source text) pair: an on-disk file,
@@ -195,7 +204,7 @@ fn cmd_run(path: &str, o: &Options) -> ExitCode {
             prog
         }
     };
-    match prog.run_main(VmConfig::default()) {
+    match prog.run_main(o.cell.vm_config()) {
         Ok(out) => {
             for line in &out.output {
                 println!("{line}");
@@ -291,7 +300,7 @@ fn cmd_stats(path: &str, o: &Options) -> ExitCode {
     println!("  metadata stores  : {}", s.metadata_stores_placed);
     println!("  allocas replaced : {}", s.allocas_replaced);
     println!("  globals mirrored : {}", s.globals_mirrored);
-    match (prog.run_main(VmConfig::default()), base.run_main(VmConfig::default())) {
+    match (prog.run_main(o.cell.vm_config()), base.run_main(o.cell.vm_config())) {
         (Ok(out), Ok(b)) => {
             let d = &out.stats;
             println!("dynamic:");
@@ -371,7 +380,7 @@ fn cmd_profile(path: &str, args: &[String]) -> ExitCode {
     let prog = build(module, &o);
     let src_file = prog.module.src_file.clone();
     let sites = prog.module.check_sites.clone();
-    let out = match prog.run_main(VmConfig::default()) {
+    let out = match prog.run_main(o.cell.vm_config()) {
         Ok(out) => out,
         Err(t) => {
             eprintln!("[mi] {t}");
@@ -487,6 +496,7 @@ fn cmd_eval(args: &[String]) -> ExitCode {
     let mut out_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut timings = false;
+    let mut backend = VmBackend::default();
     let mut files: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -495,6 +505,20 @@ fn cmd_eval(args: &[String]) -> ExitCode {
                 Some(n) => jobs = n,
                 None => {
                     eprintln!("error: --jobs expects a number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--vm" => match it.next().map(|s| VmBackend::from_str(s)) {
+                Some(Ok(b)) => backend = b,
+                _ => {
+                    eprintln!("error: --vm expects walk|bytecode");
+                    return ExitCode::from(2);
+                }
+            },
+            a if a.starts_with("--vm=") => match VmBackend::from_str(&a["--vm=".len()..]) {
+                Ok(b) => backend = b,
+                Err(e) => {
+                    eprintln!("error: {e}");
                     return ExitCode::from(2);
                 }
             },
@@ -547,7 +571,8 @@ fn cmd_eval(args: &[String]) -> ExitCode {
     };
     let driver = Driver::new(programs, paper_sweep_configs())
         .with_jobs(jobs)
-        .with_trace(trace_path.is_some());
+        .with_trace(trace_path.is_some())
+        .with_vm(VmConfig { backend, ..VmConfig::default() });
     let report = driver.run();
     if let Some(p) = &trace_path {
         if let Err(e) = std::fs::write(p, report.trace_json()) {
@@ -574,12 +599,14 @@ fn cmd_eval(args: &[String]) -> ExitCode {
         report.cache.prefix_reuses
     );
     eprintln!(
-        "[mi eval] wall {:.2}s (stage totals: frontend {:.2}s, pipeline {:.2}s, instrument {:.2}s, execute {:.2}s)",
+        "[mi eval] wall {:.2}s (stage totals: frontend {:.2}s, pipeline {:.2}s, instrument {:.2}s, vm-compile {:.2}s, execute {:.2}s) [{}]",
         t.wall.as_secs_f64(),
         t.frontend.as_secs_f64(),
         t.pipeline.as_secs_f64(),
         t.instrumentation.as_secs_f64(),
-        t.execution.as_secs_f64()
+        t.vm_compile.as_secs_f64(),
+        t.execution.as_secs_f64(),
+        backend.name()
     );
     let json = report.to_json(timings);
     match out_path {
@@ -646,6 +673,20 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
                 }
             },
             "--no-shrink" => opts.shrink = false,
+            "--vm" => match it.next().map(|s| VmBackend::from_str(s)) {
+                Some(Ok(b)) => opts.backend = b,
+                _ => {
+                    eprintln!("error: --vm expects walk|bytecode");
+                    return ExitCode::from(2);
+                }
+            },
+            a if a.starts_with("--vm=") => match VmBackend::from_str(&a["--vm=".len()..]) {
+                Ok(b) => opts.backend = b,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
                 eprintln!("error: unknown fuzz option {other}");
                 return ExitCode::from(2);

@@ -47,6 +47,11 @@ pub struct FuzzOpts {
     pub shrink: bool,
     /// Where to write minimized `.c` repros for failing cases.
     pub fail_dir: Option<PathBuf>,
+    /// VM backend the oracle matrix executes under. Independent of the
+    /// backend, every eighth case is additionally swept through *both*
+    /// backends and the reports byte-compared
+    /// ([`oracle::backend_divergence`]).
+    pub backend: memvm::VmBackend,
 }
 
 impl Default for FuzzOpts {
@@ -57,6 +62,7 @@ impl Default for FuzzOpts {
             jobs: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
             shrink: true,
             fail_dir: None,
+            backend: memvm::VmBackend::default(),
         }
     }
 }
@@ -164,11 +170,17 @@ type CaseResult = (u64, &'static str, Verdicts, Vec<String>, Option<(String, u64
 /// Runs the full fuzzing sweep.
 pub fn fuzz(opts: &FuzzOpts) -> FuzzReport {
     let indices: Vec<u64> = (0..opts.cases).collect();
+    let vm = memvm::VmConfig { backend: opts.backend, ..memvm::VmConfig::default() };
     let results: Vec<CaseResult> = bench::driver::par_map(opts.jobs, &indices, |_, &index| {
         let (safe, mutant) = case_programs(opts.seed, index);
         let m = mutant.mutation.clone().expect("mutant");
-        let errors =
-            oracle::check_pair(&safe, &mutant, &format!("fuzz seed={} case={index}", opts.seed));
+        let title = format!("fuzz seed={} case={index}", opts.seed);
+        let mut errors = oracle::check_pair_with(&safe, &mutant, &title, vm);
+        // Sampled dual-backend sweep: every eighth case also runs the
+        // whole matrix under the other backend and byte-compares.
+        if index % 8 == 0 {
+            errors.extend(oracle::backend_divergence(&safe, &mutant, &title));
+        }
         let minimized = if errors.is_empty() {
             None
         } else {

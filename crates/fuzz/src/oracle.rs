@@ -27,6 +27,7 @@
 
 use bench::driver::{Driver, JobConfig, Program, TrapKind};
 use meminstrument::Mechanism;
+use memvm::{VmBackend, VmConfig};
 use mir::pipeline::{ExtensionPoint, OptLevel};
 
 use crate::ast::FuzzProgram;
@@ -47,29 +48,50 @@ pub fn matrix_configs() -> Vec<JobConfig> {
     configs
 }
 
-/// Checks one (safe, mutant) pair against the full matrix. Returns the
-/// list of oracle failures; empty means the case passed.
+/// Like [`check_pair_with`] under the default VM configuration.
 pub fn check_pair(safe: &FuzzProgram, mutant: &FuzzProgram, case_title: &str) -> Vec<String> {
+    check_pair_with(safe, mutant, case_title, VmConfig::default())
+}
+
+/// Emits the (safe, mutant) sources and pre-validates them through the
+/// frontend. `Err` carries the oracle error list for a rejected program:
+/// the driver panics on compile errors, but a generator construct the
+/// frontend rejects is itself a finding we want reported, not a crash.
+fn case_sources(
+    safe: &FuzzProgram,
+    mutant: &FuzzProgram,
+    case_title: &str,
+) -> Result<Vec<Program>, Vec<String>> {
     let safe_src = safe.emit_c(&format!("{case_title} (safe)"));
     let mutant_src = mutant.emit_c(&format!("{case_title} (mutant)"));
-
-    // Pre-validate the frontend gracefully: the driver panics on
-    // compile errors, but a generator construct the frontend rejects is
-    // itself a finding we want reported, not a crash.
     for (name, src) in [("safe", &safe_src), ("mutant", &mutant_src)] {
         if let Err(e) = cfront::compile(src) {
-            return vec![format!("{name}: frontend error: {e}")];
+            return Err(vec![format!("{name}: frontend error: {e}")]);
         }
     }
-
-    let programs = vec![
+    Ok(vec![
         Program { name: "safe".into(), source: safe_src },
         Program { name: "mutant".into(), source: mutant_src },
-    ];
+    ])
+}
+
+/// Checks one (safe, mutant) pair against the full matrix under the
+/// given VM configuration. Returns the list of oracle failures; empty
+/// means the case passed.
+pub fn check_pair_with(
+    safe: &FuzzProgram,
+    mutant: &FuzzProgram,
+    case_title: &str,
+    vm: VmConfig,
+) -> Vec<String> {
+    let programs = match case_sources(safe, mutant, case_title) {
+        Ok(p) => p,
+        Err(errors) => return errors,
+    };
     let configs = matrix_configs();
     // Single-threaded driver: case-level parallelism lives in the fuzz
     // loop, and nested thread pools would oversubscribe.
-    let report = Driver::new(programs, configs.clone()).with_jobs(1).run();
+    let report = Driver::new(programs, configs.clone()).with_jobs(1).with_vm(vm).run();
 
     let mut errors = Vec::new();
 
@@ -149,6 +171,45 @@ pub fn check_pair(safe: &FuzzProgram, mutant: &FuzzProgram, case_title: &str) ->
     }
 
     errors
+}
+
+/// Differential backend check: sweeps the (safe, mutant) pair through
+/// the full matrix under **both** VM backends and byte-compares the
+/// reports — outputs, return values, dynamic statistics, per-site
+/// profiles, and trap reports (including CHECKTRAP provenance) must all
+/// be identical. The fuzz loop samples this on a slice of the case
+/// stream; any difference is a VM bug, independent of the guarantee
+/// matrix.
+pub fn backend_divergence(
+    safe: &FuzzProgram,
+    mutant: &FuzzProgram,
+    case_title: &str,
+) -> Vec<String> {
+    let programs = match case_sources(safe, mutant, case_title) {
+        // Frontend rejections are check_pair_with's finding to report.
+        Err(_) => return Vec::new(),
+        Ok(p) => p,
+    };
+    let run = |backend: VmBackend| {
+        Driver::new(programs.clone(), matrix_configs())
+            .with_jobs(1)
+            .with_vm(VmConfig { backend, ..VmConfig::default() })
+            .run()
+            .to_json(false)
+    };
+    let (walk, bytecode) = (run(VmBackend::Walk), run(VmBackend::Bytecode));
+    if walk == bytecode {
+        return Vec::new();
+    }
+    // Point at the first differing line so the repro header says more
+    // than "reports differ".
+    let diff = walk
+        .lines()
+        .zip(bytecode.lines())
+        .find(|(w, b)| w != b)
+        .map(|(w, b)| format!("walk: {} | bytecode: {}", w.trim(), b.trim()))
+        .unwrap_or_else(|| "reports differ in length".to_string());
+    vec![format!("VM backend divergence: {diff}")]
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@
 use std::fmt;
 use std::str::FromStr;
 
+use memvm::{VmBackend, VmConfig};
 use mir::pipeline::{ExtensionPoint, OptLevel};
 
 use crate::runtime::BuildOptions;
@@ -185,23 +186,31 @@ impl MiConfig {
 pub struct Instrument {
     config: Option<MiConfig>,
     opts: BuildOptions,
+    /// Which VM engine executes the compiled program. Deliberately *not*
+    /// part of the configuration label: both backends are byte-identical,
+    /// so reports stay comparable across backends.
+    backend: VmBackend,
 }
 
 impl Instrument {
     /// Instrumentation with `mechanism` at the paper's default pipeline
     /// position (`O3` @ `VectorizerStart`).
     pub fn mechanism(mechanism: Mechanism) -> Instrument {
-        Instrument { config: Some(MiConfig::new(mechanism)), opts: BuildOptions::default() }
+        Instrument {
+            config: Some(MiConfig::new(mechanism)),
+            opts: BuildOptions::default(),
+            backend: VmBackend::default(),
+        }
     }
 
     /// The uninstrumented baseline at the default pipeline position.
     pub fn baseline() -> Instrument {
-        Instrument { config: None, opts: BuildOptions::default() }
+        Instrument { config: None, opts: BuildOptions::default(), backend: VmBackend::default() }
     }
 
     /// Builds from already-assembled parts (`None` config = baseline).
     pub fn from_parts(config: Option<MiConfig>, opts: BuildOptions) -> Instrument {
-        Instrument { config, opts }
+        Instrument { config, opts, backend: VmBackend::default() }
     }
 
     /// Sets the extension point the instrumentation is inserted at.
@@ -250,6 +259,23 @@ impl Instrument {
     /// The mechanism (`None` for the baseline).
     pub fn mechanism_kind(&self) -> Option<Mechanism> {
         self.config.as_ref().map(|c| c.mechanism)
+    }
+
+    /// Selects the VM execution engine (tree-walker or bytecode).
+    pub fn vm_backend(mut self, backend: VmBackend) -> Instrument {
+        self.backend = backend;
+        self
+    }
+
+    /// The selected VM execution engine.
+    pub fn backend(&self) -> VmBackend {
+        self.backend
+    }
+
+    /// The [`VmConfig`] matching this cell: defaults plus the selected
+    /// backend.
+    pub fn vm_config(&self) -> VmConfig {
+        VmConfig { backend: self.backend, ..VmConfig::default() }
     }
 
     /// The pipeline options.
@@ -334,7 +360,7 @@ impl FromStr for Instrument {
         };
         let opts = BuildOptions { opt: opt.parse()?, ep: ep.parse()? };
         if mech_spec == "baseline" || mech_spec == "none" {
-            return Ok(Instrument { config: None, opts });
+            return Ok(Instrument { config: None, opts, backend: VmBackend::default() });
         }
         // The mechanism name is dash-free, so the first `-` starts the
         // mode/optimization suffix.
@@ -345,7 +371,7 @@ impl FromStr for Instrument {
         let mechanism: Mechanism = mech_str.parse()?;
         let (mode, opt) = parse_suffix(suffix)?;
         let config = MiConfig { mode, opt, ..MiConfig::new(mechanism) };
-        Ok(Instrument { config: Some(config), opts })
+        Ok(Instrument { config: Some(config), opts, backend: VmBackend::default() })
     }
 }
 

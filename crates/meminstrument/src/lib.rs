@@ -71,6 +71,9 @@ pub use pass::MemInstrumentPass;
 pub use runtime::{compile, compile_and_run, install_runtime, BuildOptions, CompiledProgram};
 pub use stats::InstrStats;
 
+/// Re-export of the VM backend selector, for `Instrument::vm_backend`.
+pub use memvm::VmBackend;
+
 // Re-exported so builder call sites can name pipeline cells without an
 // explicit `mir` dependency edge in every downstream crate.
 pub use mir::pipeline::{ExtensionPoint, OptLevel};

@@ -251,7 +251,7 @@ impl crate::config::Instrument {
     /// [`Trap::MemSafetyViolation`] when the instrumentation catches an
     /// error.
     pub fn run(&self, module: Module) -> Result<ExecOutcome, Trap> {
-        self.compile(module).run_main(VmConfig::default())
+        self.compile(module).run_main(self.vm_config())
     }
 }
 

@@ -1,0 +1,514 @@
+//! The bytecode dispatch loop.
+//!
+//! Executes [`crate::bytecode::BcModule`] programs with semantics
+//! byte-identical to the tree-walking interpreter in [`crate::interp`]: the
+//! same cost charges in the same order, the same statistics counters, the
+//! same trap values and the same `with_frame` provenance annotation points.
+//! The walker remains the reference; `tests/vm_backend.rs` holds the two
+//! engines equal over the whole corpus.
+
+use std::rc::Rc;
+
+use mir::types::Type;
+
+use crate::bytecode::{BcFunc, BcModule, CallTarget, IdxSpec, MoveEntry, Op, Src, NO_EDGE};
+use crate::host::HostCtx;
+use crate::interp::{exec_bin, exec_cast, exec_icmp, Trap, TruncIfInt, Vm};
+use crate::layout::FUNC_BASE;
+use crate::value::RtVal;
+
+/// Resolves a pre-compiled operand against the frame. `BadFunc` operands
+/// trap lazily, exactly like the walker's evaluation of a `FuncAddr` that
+/// names no function.
+#[inline(always)]
+fn fetch(code: &BcModule, bf: &BcFunc, frame: &[RtVal], s: Src) -> Result<RtVal, Trap> {
+    match s {
+        Src::Reg(r) => Ok(frame[r as usize]),
+        Src::Const(c) => Ok(bf.consts[c as usize]),
+        Src::BadFunc(n) => Err(Trap::UnknownFunction(code.names[n as usize].clone())),
+    }
+}
+
+/// Fetches a call's arguments into `v` (cleared first). The buffer comes
+/// from the VM's frame pool so steady-state calls allocate nothing.
+fn fetch_args_into(
+    code: &BcModule,
+    bf: &BcFunc,
+    frame: &[RtVal],
+    args: &[Src],
+    v: &mut Vec<RtVal>,
+) -> Result<(), Trap> {
+    v.clear();
+    for &a in args {
+        v.push(fetch(code, bf, frame, a)?);
+    }
+    Ok(())
+}
+
+/// Applies the phi move list of a CFG edge: all reads happen against the
+/// pre-edge frame (parallel assignment), buffered through `scratch`. A
+/// `Missing` entry raises the walker's "phi without incoming" trap at the
+/// same point in evaluation order.
+fn run_edge(
+    code: &BcModule,
+    bf: &BcFunc,
+    frame: &mut [RtVal],
+    edge: u32,
+    scratch: &mut Vec<(u32, RtVal)>,
+) -> Result<(), Trap> {
+    if edge == NO_EDGE {
+        return Ok(());
+    }
+    // A single move needs no parallel-assignment buffering.
+    if let [MoveEntry::Move { dst, src }] = &*bf.edges[edge as usize] {
+        frame[*dst as usize] = fetch(code, bf, frame, *src)?;
+        return Ok(());
+    }
+    scratch.clear();
+    for m in bf.edges[edge as usize].iter() {
+        match m {
+            MoveEntry::Move { dst, src } => scratch.push((*dst, fetch(code, bf, frame, *src)?)),
+            MoveEntry::Missing(msg) => return Err(Trap::Unsupported(msg.to_string())),
+        }
+    }
+    for &(dst, v) in scratch.iter() {
+        frame[dst as usize] = v;
+    }
+    Ok(())
+}
+
+/// Decodes a function address minted as `FUNC_BASE + (fid + 1) * 16`.
+fn decode_func_addr(addr: u64, nfuncs: usize) -> Option<usize> {
+    if addr <= FUNC_BASE {
+        return None;
+    }
+    let off = addr - FUNC_BASE;
+    if !off.is_multiple_of(16) {
+        return None;
+    }
+    let k = off / 16;
+    if k >= 1 && k <= nfuncs as u64 {
+        Some((k - 1) as usize)
+    } else {
+        None
+    }
+}
+
+/// Outcome of a terminator opcode.
+enum Flow {
+    /// Continue at this opcode index.
+    Jump(usize),
+    /// Function returned.
+    Return(Option<RtVal>),
+}
+
+impl Vm {
+    /// Executes compiled function `fidx` with `args`, enforcing the same
+    /// call-depth limit and stack-pointer save/restore as the walker's
+    /// `exec_function`.
+    pub(crate) fn exec_bc(
+        &mut self,
+        code: &Rc<BcModule>,
+        fidx: usize,
+        args: Vec<RtVal>,
+    ) -> Result<Option<RtVal>, Trap> {
+        if self.call_depth >= self.config.max_call_depth {
+            return Err(Trap::StackOverflow);
+        }
+        self.call_depth += 1;
+        let saved_sp = self.stack_ptr;
+        let result = self.exec_bc_inner(code, fidx, args);
+        self.stack_ptr = saved_sp;
+        self.call_depth -= 1;
+        result
+    }
+
+    fn exec_bc_inner(
+        &mut self,
+        code: &Rc<BcModule>,
+        fidx: usize,
+        mut args: Vec<RtVal>,
+    ) -> Result<Option<RtVal>, Trap> {
+        let code = Rc::clone(code);
+        let bf = code.funcs[fidx].as_ref().expect("call into declaration body");
+        // Register frames are recycled through `frame_pool`: a trap abandons
+        // the frame to the allocator, which is fine because traps always
+        // abort the whole execution.
+        let mut frame = self.frame_pool.pop().unwrap_or_default();
+        frame.clear();
+        frame.extend_from_slice(&bf.reg_init);
+        for (i, a) in args.drain(..).enumerate() {
+            frame[i] = a;
+        }
+        self.frame_pool.push(args);
+        let mut pc = 0usize;
+        loop {
+            match &bf.ops[pc] {
+                Op::Ret { .. } | Op::Br { .. } | Op::CondBr { .. } | Op::Unreachable => {
+                    match self.bc_term(&code, bf, &mut frame, pc)? {
+                        Flow::Jump(t) => pc = t,
+                        Flow::Return(v) => {
+                            self.frame_pool.push(frame);
+                            return Ok(v);
+                        }
+                    }
+                }
+                op @ (Op::CallStatic { .. } | Op::CallIndirect { .. }) => {
+                    self.stats.instrs_executed += 1;
+                    self.bc_call(&code, bf, &mut frame, op)
+                        .map_err(|t| t.with_frame(&bf.name, bf.locs[pc]))?;
+                    pc += 1;
+                }
+                op @ (Op::CallHost { .. }
+                | Op::CallUnknown { .. }
+                | Op::SbCheck(_)
+                | Op::LfCheck(_)
+                | Op::RzCheck(_)
+                | Op::LfInvariant(_)) => {
+                    self.stats.instrs_executed += 1;
+                    self.bc_call_leaf(&code, bf, &mut frame, op)
+                        .map_err(|t| t.with_frame(&bf.name, bf.locs[pc]))?;
+                    pc += 1;
+                }
+                op => {
+                    self.stats.instrs_executed += 1;
+                    self.bc_data_hot(&code, bf, &mut frame, op)
+                        .map_err(|t| t.with_frame(&bf.name, bf.locs[pc]))?;
+                    pc += 1;
+                }
+            }
+        }
+    }
+
+    /// The hottest data opcodes, kept behind an `#[inline]` hint so release
+    /// builds fold them straight into the dispatch loop while unoptimized
+    /// builds keep `exec_bc_inner`'s per-recursion stack frame small.
+    /// Everything else falls through to the outlined [`Vm::exec_bc_data`].
+    #[inline]
+    fn bc_data_hot(
+        &mut self,
+        code: &BcModule,
+        bf: &BcFunc,
+        frame: &mut [RtVal],
+        op: &Op,
+    ) -> Result<(), Trap> {
+        match op {
+            Op::Load { dst, ty, width, ptr } => {
+                self.charge_app(self.config.cost.load)?;
+                let addr = fetch(code, bf, frame, *ptr)?.as_int();
+                let bits = self.mem.read_uint(addr, *width).map_err(Vm::mem_err)?;
+                let ty = &bf.types[*ty as usize];
+                frame[*dst as usize] = RtVal::from_bits(ty, bits).truncated_if_int(ty);
+                Ok(())
+            }
+            Op::Store { width, ptr, val } => {
+                self.charge_app(self.config.cost.store)?;
+                let addr = fetch(code, bf, frame, *ptr)?.as_int();
+                let v = fetch(code, bf, frame, *val)?;
+                self.mem.write_uint(addr, *width, v.to_bits()).map_err(Vm::mem_err)
+            }
+            Op::Bin { dst, op, ty, lhs, rhs } => {
+                self.charge_app(self.config.cost.arith)?;
+                let a = fetch(code, bf, frame, *lhs)?;
+                let b = fetch(code, bf, frame, *rhs)?;
+                frame[*dst as usize] = exec_bin(*op, &bf.types[*ty as usize], a, b)?;
+                Ok(())
+            }
+            Op::Icmp { dst, pred, ty, lhs, rhs } => {
+                self.charge_app(self.config.cost.arith)?;
+                let a = fetch(code, bf, frame, *lhs)?;
+                let b = fetch(code, bf, frame, *rhs)?;
+                frame[*dst as usize] =
+                    RtVal::Int(exec_icmp(*pred, &bf.types[*ty as usize], a, b) as u64);
+                Ok(())
+            }
+            Op::Gep { dst, base, off, terms } => {
+                self.charge_app(self.config.cost.gep)?;
+                let mut addr = fetch(code, bf, frame, *base)?.as_int().wrapping_add(*off);
+                for t in terms.iter() {
+                    let signed = match &t.spec {
+                        IdxSpec::RawConst(v) => *v,
+                        IdxSpec::Signed(ty) => {
+                            fetch(code, bf, frame, t.src)?.as_signed(&bf.types[*ty as usize])
+                        }
+                        IdxSpec::Unsigned => fetch(code, bf, frame, t.src)?.as_int() as i64,
+                    };
+                    addr = addr.wrapping_add(signed.wrapping_mul(t.size) as u64);
+                }
+                frame[*dst as usize] = RtVal::Int(addr);
+                Ok(())
+            }
+            Op::Cast { dst, op, from, to, val } => {
+                self.charge_app(self.config.cost.arith)?;
+                let v = fetch(code, bf, frame, *val)?;
+                frame[*dst as usize] =
+                    exec_cast(*op, v, &bf.types[*from as usize], &bf.types[*to as usize]);
+                Ok(())
+            }
+            Op::Select { dst, cond, t, e } => {
+                self.charge_app(self.config.cost.arith)?;
+                let c = fetch(code, bf, frame, *cond)?.as_int();
+                let v = if c & 1 != 0 {
+                    fetch(code, bf, frame, *t)?
+                } else {
+                    fetch(code, bf, frame, *e)?
+                };
+                frame[*dst as usize] = v;
+                Ok(())
+            }
+            Op::Alloca { dst, size, count } => {
+                self.charge_app(self.config.cost.alloca)?;
+                let n = fetch(code, bf, frame, *count)?.as_int();
+                let total = size.saturating_mul(n.max(1));
+                let addr = (self.stack_ptr + 15) & !15;
+                self.stack_ptr = addr + total;
+                self.mem.map(addr, total);
+                frame[*dst as usize] = RtVal::Int(addr);
+                Ok(())
+            }
+            op => self.exec_bc_data(code, bf, frame, op),
+        }
+    }
+
+    /// Terminator opcodes. The `#[inline]` hint folds them into the
+    /// dispatch loop in release builds; unoptimized builds ignore the hint,
+    /// keeping the per-recursion stack frame of `exec_bc_inner` small.
+    #[inline]
+    fn bc_term(
+        &mut self,
+        code: &BcModule,
+        bf: &BcFunc,
+        frame: &mut [RtVal],
+        pc: usize,
+    ) -> Result<Flow, Trap> {
+        match &bf.ops[pc] {
+            Op::Ret { val } => {
+                self.charge_app(self.config.cost.ret)?;
+                match val {
+                    None => Ok(Flow::Return(None)),
+                    Some(s) => Ok(Flow::Return(Some(fetch(code, bf, frame, *s)?))),
+                }
+            }
+            Op::Br { target, edge } => {
+                self.charge_app(self.config.cost.br)?;
+                run_edge(code, bf, frame, *edge, &mut self.phi_scratch)?;
+                Ok(Flow::Jump(*target as usize))
+            }
+            Op::CondBr { cond, tt, te, et, ee } => {
+                self.charge_app(self.config.cost.condbr)?;
+                let c = fetch(code, bf, frame, *cond)?.as_int();
+                let (t, e) = if c & 1 != 0 { (*tt, *te) } else { (*et, *ee) };
+                run_edge(code, bf, frame, e, &mut self.phi_scratch)?;
+                Ok(Flow::Jump(t as usize))
+            }
+            Op::Unreachable => Err(Trap::Unsupported("executed unreachable".into())),
+            _ => unreachable!("non-terminator opcode routed to bc_term"),
+        }
+    }
+
+    /// The two call opcodes that can recurse into `exec_bc`. Only this
+    /// function sits on the interpreter recursion path besides
+    /// `exec_bc`/`exec_bc_inner`, so its frame is kept deliberately small
+    /// (the host-call family lives in [`Vm::bc_call_leaf`]). Keeping it
+    /// outlined also keeps the dispatch loop's register pressure low.
+    #[inline(never)]
+    fn bc_call(
+        &mut self,
+        code: &Rc<BcModule>,
+        bf: &BcFunc,
+        frame: &mut [RtVal],
+        op: &Op,
+    ) -> Result<(), Trap> {
+        match op {
+            Op::CallStatic { dst, fid, charge, args } => {
+                let mut argv = self.frame_pool.pop().unwrap_or_default();
+                fetch_args_into(code, bf, frame, args, &mut argv)?;
+                self.charge_app(*charge)?;
+                if let Some(v) = self.exec_bc(code, *fid as usize, argv)? {
+                    frame[*dst as usize] = v;
+                }
+            }
+            Op::CallIndirect { dst, void, charge, callee, args } => {
+                let target = fetch(code, bf, frame, *callee)?.as_int();
+                let fid = decode_func_addr(target, code.funcs.len())
+                    .ok_or(Trap::BadIndirectCall(target))?;
+                let mut argv = self.frame_pool.pop().unwrap_or_default();
+                fetch_args_into(code, bf, frame, args, &mut argv)?;
+                match code.targets[fid] {
+                    CallTarget::Static(f) => {
+                        self.charge_app(*charge)?;
+                        if let Some(v) = self.exec_bc(code, f as usize, argv)? {
+                            frame[*dst as usize] = v;
+                        }
+                    }
+                    CallTarget::Host(h) => {
+                        let r = self.bc_host_call(code, h, &argv)?;
+                        self.frame_pool.push(argv);
+                        if !*void {
+                            frame[*dst as usize] = r;
+                        }
+                    }
+                    CallTarget::Unknown(n) => {
+                        return Err(Trap::UnknownFunction(code.names[n as usize].clone()));
+                    }
+                }
+            }
+            _ => unreachable!("non-recursing opcode routed to bc_call"),
+        }
+        Ok(())
+    }
+
+    /// Host calls, specialized checks, and unknown-function calls: none of
+    /// these re-enter `exec_bc`, so their (larger) frame pops before any
+    /// deeper interpreter recursion. Outlined for the same register-pressure
+    /// reason as [`Vm::bc_call`].
+    #[inline(never)]
+    fn bc_call_leaf(
+        &mut self,
+        code: &BcModule,
+        bf: &BcFunc,
+        frame: &mut [RtVal],
+        op: &Op,
+    ) -> Result<(), Trap> {
+        match op {
+            Op::CallHost { dst, host, void, args } => {
+                let mut argv = self.frame_pool.pop().unwrap_or_default();
+                fetch_args_into(code, bf, frame, args, &mut argv)?;
+                let r = self.bc_host_call(code, *host, &argv)?;
+                self.frame_pool.push(argv);
+                if !*void {
+                    frame[*dst as usize] = r;
+                }
+            }
+            Op::SbCheck(c) | Op::LfCheck(c) | Op::RzCheck(c) | Op::LfInvariant(c) => {
+                let mut buf = [RtVal::Int(0); 5];
+                let n = c.n as usize;
+                for (slot, &a) in buf[..n].iter_mut().zip(c.args.iter()) {
+                    *slot = fetch(code, bf, frame, a)?;
+                }
+                self.bc_host_call(code, c.host, &buf[..n])?;
+            }
+            Op::CallUnknown { name, args } => {
+                // The walker evaluates the arguments first (they may trap),
+                // then fails the by-name dispatch.
+                for &a in args.iter() {
+                    fetch(code, bf, frame, a)?;
+                }
+                return Err(Trap::UnknownFunction(code.names[*name as usize].clone()));
+            }
+            _ => unreachable!("non-host opcode routed to bc_call_leaf"),
+        }
+        Ok(())
+    }
+
+    /// Invokes host-pool entry `h`, then applies the walker's post-call cost
+    /// check (host functions charge through `HostCtx` without a limit check;
+    /// the dispatcher enforces the budget afterwards).
+    fn bc_host_call(&mut self, code: &BcModule, h: u32, argv: &[RtVal]) -> Result<RtVal, Trap> {
+        let hf = &code.hosts[h as usize];
+        let mut ctx = HostCtx {
+            mem: &mut self.mem,
+            stats: &mut self.stats,
+            out: &mut self.out,
+            profile: &mut self.profile,
+        };
+        let r = hf(&mut ctx, argv)?;
+        if self.stats.cost_total > self.config.max_cost {
+            return Err(Trap::CostLimit);
+        }
+        Ok(r)
+    }
+
+    /// The colder data opcodes (the hot ones live in [`Vm::bc_data_hot`]),
+    /// one arm per walker `exec_data_instr` arm, preserving its
+    /// charge/evaluate/act ordering exactly.
+    #[inline(never)]
+    fn exec_bc_data(
+        &mut self,
+        code: &BcModule,
+        bf: &BcFunc,
+        frame: &mut [RtVal],
+        op: &Op,
+    ) -> Result<(), Trap> {
+        let cost = self.config.cost;
+        match op {
+            Op::GepDyn { dst, elem_ty, base, indices } => {
+                self.charge_app(cost.gep)?;
+                let mut addr = fetch(code, bf, frame, *base)?.as_int();
+                let mut cur_ty = bf.types[*elem_ty as usize].clone();
+                for (i, (src, spec)) in indices.iter().enumerate() {
+                    let signed = match spec {
+                        IdxSpec::RawConst(v) => *v,
+                        IdxSpec::Signed(ty) => {
+                            fetch(code, bf, frame, *src)?.as_signed(&bf.types[*ty as usize])
+                        }
+                        IdxSpec::Unsigned => fetch(code, bf, frame, *src)?.as_int() as i64,
+                    };
+                    if i == 0 {
+                        addr =
+                            addr.wrapping_add(signed.wrapping_mul(cur_ty.size_of() as i64) as u64);
+                    } else {
+                        match &cur_ty {
+                            Type::Struct(_) => {
+                                let fi = signed as usize;
+                                addr = addr.wrapping_add(cur_ty.field_offset(fi));
+                                cur_ty = cur_ty.element_type(fi).clone();
+                            }
+                            Type::Array(elem, _) => {
+                                addr =
+                                    addr.wrapping_add(
+                                        signed.wrapping_mul(elem.size_of() as i64) as u64
+                                    );
+                                cur_ty = (**elem).clone();
+                            }
+                            other => {
+                                return Err(Trap::Unsupported(format!(
+                                    "gep step into non-aggregate {other}"
+                                )))
+                            }
+                        }
+                    }
+                }
+                frame[*dst as usize] = RtVal::Int(addr);
+            }
+            Op::Fcmp { dst, pred, lhs, rhs } => {
+                self.charge_app(cost.arith)?;
+                let a = fetch(code, bf, frame, *lhs)?.as_float();
+                let b = fetch(code, bf, frame, *rhs)?.as_float();
+                let r = match pred {
+                    mir::instr::FcmpPred::Oeq => a == b,
+                    mir::instr::FcmpPred::One => a != b,
+                    mir::instr::FcmpPred::Olt => a < b,
+                    mir::instr::FcmpPred::Ole => a <= b,
+                    mir::instr::FcmpPred::Ogt => a > b,
+                    mir::instr::FcmpPred::Oge => a >= b,
+                };
+                frame[*dst as usize] = RtVal::Int(r as u64);
+            }
+            Op::MemCpy { dst, src, len } => {
+                let d = fetch(code, bf, frame, *dst)?.as_int();
+                let s = fetch(code, bf, frame, *src)?.as_int();
+                let n = fetch(code, bf, frame, *len)?.as_int();
+                self.charge_app(cost.memop_base + (n / 8) * cost.memop_per_word)?;
+                self.mem.copy(d, s, n).map_err(Vm::mem_err)?;
+            }
+            Op::MemSet { dst, byte, len } => {
+                let d = fetch(code, bf, frame, *dst)?.as_int();
+                let b = fetch(code, bf, frame, *byte)?.as_int() as u8;
+                let n = fetch(code, bf, frame, *len)?.as_int();
+                self.charge_app(cost.memop_base + (n / 8) * cost.memop_per_word)?;
+                self.mem.fill(d, b, n).map_err(Vm::mem_err)?;
+            }
+            Op::Nop => {}
+            Op::TrapUnsupported { charge, pre, msg } => {
+                self.charge_app(*charge)?;
+                for &s in pre.iter() {
+                    fetch(code, bf, frame, s)?;
+                }
+                return Err(Trap::Unsupported(msg.to_string()));
+            }
+            _ => unreachable!("call/terminator/hot opcode routed to exec_bc_data"),
+        }
+        Ok(())
+    }
+}

@@ -75,6 +75,7 @@ pub type HostFn = Rc<dyn Fn(&mut HostCtx<'_>, &[RtVal]) -> Result<RtVal, Trap>>;
 #[derive(Clone, Default)]
 pub struct HostRegistry {
     map: HashMap<String, HostFn>,
+    version: u64,
 }
 
 impl HostRegistry {
@@ -89,7 +90,17 @@ impl HostRegistry {
         name: impl Into<String>,
         f: impl Fn(&mut HostCtx<'_>, &[RtVal]) -> Result<RtVal, Trap> + 'static,
     ) {
+        self.version += 1;
         self.map.insert(name.into(), Rc::new(f));
+    }
+
+    /// A counter bumped on every [`HostRegistry::register`] call.
+    ///
+    /// The bytecode backend caches compiled code keyed on this value, so
+    /// installing (or replacing) a runtime library after a compile
+    /// invalidates the cache and call sites are re-resolved.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Looks up a host function.

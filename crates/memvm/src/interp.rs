@@ -8,6 +8,7 @@ use mir::instr::{BinOp, CastOp, FcmpPred, IcmpPred, InstrKind, Operand, Terminat
 use mir::module::{Global, Init, Module};
 use mir::types::Type;
 
+use crate::bytecode::{self, BcModule, VmBackend};
 use crate::cost::CostModel;
 use crate::host::{default_registry, HostCtx, HostRegistry};
 use crate::layout::{FUNC_BASE, GLOBAL_BASE, STACK_BASE};
@@ -161,11 +162,20 @@ pub struct VmConfig {
     /// 2 MiB test-thread stack under *debug* profiles; raise it (with a
     /// bigger thread stack) for deeply recursive programs.
     pub max_call_depth: u32,
+    /// Which execution engine [`Vm::run`] uses. Both engines produce
+    /// byte-identical results; the bytecode backend (default) is faster,
+    /// the tree-walker is the reference semantics.
+    pub backend: VmBackend,
 }
 
 impl Default for VmConfig {
     fn default() -> VmConfig {
-        VmConfig { cost: CostModel::default(), max_cost: 200_000_000_000, max_call_depth: 160 }
+        VmConfig {
+            cost: CostModel::default(),
+            max_cost: 200_000_000_000,
+            max_call_depth: 160,
+            backend: VmBackend::default(),
+        }
     }
 }
 
@@ -193,18 +203,28 @@ impl GlobalPlacer for DefaultPlacer {
 
 /// The virtual machine.
 pub struct Vm {
-    module: std::rc::Rc<Module>,
-    config: VmConfig,
-    registry: HostRegistry,
-    mem: Memory,
-    stats: VmStats,
-    out: Vec<String>,
-    profile: SiteProfile,
-    global_addrs: Vec<u64>,
-    addr_to_func: HashMap<u64, FuncId>,
-    func_to_addr: HashMap<String, u64>,
-    stack_ptr: u64,
-    call_depth: u32,
+    pub(crate) module: std::rc::Rc<Module>,
+    pub(crate) config: VmConfig,
+    pub(crate) registry: HostRegistry,
+    pub(crate) mem: Memory,
+    pub(crate) stats: VmStats,
+    pub(crate) out: Vec<String>,
+    pub(crate) profile: SiteProfile,
+    pub(crate) global_addrs: Vec<u64>,
+    pub(crate) addr_to_func: HashMap<u64, FuncId>,
+    pub(crate) func_to_addr: HashMap<String, u64>,
+    pub(crate) stack_ptr: u64,
+    pub(crate) call_depth: u32,
+    /// Compiled bytecode, cached with the registry version it was resolved
+    /// against (installing a runtime library invalidates it).
+    pub(crate) code: Option<(u64, std::rc::Rc<BcModule>)>,
+    /// Retired bytecode register frames, recycled across calls so the
+    /// dispatch loop does not pay an allocation per function invocation.
+    pub(crate) frame_pool: Vec<Vec<RtVal>>,
+    /// Shared phi-move buffer for the bytecode backend's edge moves. Only
+    /// live inside a single `run_edge` application (no call can intervene),
+    /// so one buffer serves every recursion depth.
+    pub(crate) phi_scratch: Vec<(u32, RtVal)>,
 }
 
 impl Vm {
@@ -280,6 +300,9 @@ impl Vm {
             func_to_addr,
             stack_ptr: STACK_BASE,
             call_depth: 0,
+            code: None,
+            frame_pool: Vec::new(),
+            phi_scratch: Vec::new(),
         })
     }
 
@@ -328,7 +351,13 @@ impl Vm {
             Some((fid, f)) if !f.is_declaration => fid,
             _ => return Err(Trap::UnknownFunction(name.to_string())),
         };
-        let ret = self.exec_function(fid, args.to_vec())?;
+        let ret = match self.config.backend {
+            VmBackend::Walk => self.exec_function(fid, args.to_vec())?,
+            VmBackend::Bytecode => {
+                let code = self.bytecode();
+                self.exec_bc(&code, fid.index(), args.to_vec())?
+            }
+        };
         self.stats.mapped_bytes = self.mem.mapped_bytes();
         Ok(ExecOutcome {
             ret,
@@ -338,7 +367,38 @@ impl Vm {
         })
     }
 
-    fn charge_app(&mut self, cost: u64) -> Result<(), Trap> {
+    /// Performs any ahead-of-execution work the configured backend needs
+    /// (compiling to bytecode); a no-op for the walker. [`Vm::run`] does
+    /// this lazily — calling it explicitly lets drivers time compilation
+    /// separately from execution.
+    pub fn prepare(&mut self) {
+        if self.config.backend == VmBackend::Bytecode {
+            let _ = self.bytecode();
+        }
+    }
+
+    /// The module compiled to bytecode against the current VM state (placed
+    /// globals, host registry, cost model). Compiled once and cached; the
+    /// cache is invalidated when the registry changes.
+    pub fn bytecode(&mut self) -> std::rc::Rc<BcModule> {
+        let version = self.registry.version();
+        if let Some((v, code)) = &self.code {
+            if *v == version {
+                return std::rc::Rc::clone(code);
+            }
+        }
+        let code = std::rc::Rc::new(bytecode::compile(
+            &self.module,
+            &self.registry,
+            &self.config.cost,
+            &self.global_addrs,
+            &self.func_to_addr,
+        ));
+        self.code = Some((version, std::rc::Rc::clone(&code)));
+        code
+    }
+
+    pub(crate) fn charge_app(&mut self, cost: u64) -> Result<(), Trap> {
         self.stats.cost_total += cost;
         self.stats.cost_app += cost;
         if self.stats.cost_total > self.config.max_cost {
@@ -491,7 +551,7 @@ impl Vm {
         })
     }
 
-    fn mem_err(f: Fault) -> Trap {
+    pub(crate) fn mem_err(f: Fault) -> Trap {
         Trap::UnmappedAccess {
             addr: f.addr,
             width: f.width,
@@ -734,7 +794,7 @@ fn scalar_width(ty: &Type) -> Result<u64, Trap> {
     }
 }
 
-trait TruncIfInt {
+pub(crate) trait TruncIfInt {
     fn truncated_if_int(self, ty: &Type) -> RtVal;
 }
 
@@ -747,7 +807,7 @@ impl TruncIfInt for RtVal {
     }
 }
 
-fn exec_bin(op: BinOp, ty: &Type, a: RtVal, b: RtVal) -> Result<RtVal, Trap> {
+pub(crate) fn exec_bin(op: BinOp, ty: &Type, a: RtVal, b: RtVal) -> Result<RtVal, Trap> {
     if op.is_float() {
         let (x, y) = (a.as_float(), b.as_float());
         let r = match op {
@@ -803,7 +863,7 @@ fn exec_bin(op: BinOp, ty: &Type, a: RtVal, b: RtVal) -> Result<RtVal, Trap> {
     Ok(RtVal::Int(v).truncated(ty))
 }
 
-fn exec_icmp(pred: IcmpPred, ty: &Type, a: RtVal, b: RtVal) -> bool {
+pub(crate) fn exec_icmp(pred: IcmpPred, ty: &Type, a: RtVal, b: RtVal) -> bool {
     let (ua, ub) = (a.as_int(), b.as_int());
     match pred {
         IcmpPred::Eq => ua == ub,
@@ -826,7 +886,7 @@ fn exec_icmp(pred: IcmpPred, ty: &Type, a: RtVal, b: RtVal) -> bool {
     }
 }
 
-fn exec_cast(op: CastOp, v: RtVal, from: &Type, to: &Type) -> RtVal {
+pub(crate) fn exec_cast(op: CastOp, v: RtVal, from: &Type, to: &Type) -> RtVal {
     match op {
         CastOp::Zext => RtVal::Int(v.as_int()), // already zero-extended
         CastOp::Sext => RtVal::Int(v.as_signed(from) as u64).truncated(to),

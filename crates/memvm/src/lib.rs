@@ -42,7 +42,9 @@
 //! assert_eq!(outcome.ret.unwrap().as_int(), 42);
 //! ```
 
+pub mod bytecode;
 pub mod cost;
+mod exec;
 pub mod host;
 pub mod interp;
 pub mod layout;
@@ -50,6 +52,7 @@ pub mod memory;
 pub mod stats;
 pub mod value;
 
+pub use bytecode::{parse_bytecode, BcModule, VmBackend};
 pub use cost::CostModel;
 pub use host::{CostCategory, HostCtx, HostRegistry};
 pub use interp::{ExecOutcome, Trap, Vm, VmConfig};

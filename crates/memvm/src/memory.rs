@@ -10,17 +10,59 @@
 //! to catch.
 
 use std::collections::{BTreeMap, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::layout::PAGE_SIZE;
 
-/// A sparse memory with interval-tracked mappings.
+/// Multiplicative hasher for page-base keys. Page bases are already
+/// well-distributed u64s; a Fibonacci multiply beats SipHash on the
+/// per-access page lookup without any collision pathology (keys come
+/// from the VM's own allocators, not an adversary).
 #[derive(Default)]
+pub struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+    fn finish(&self) -> u64 {
+        // Mix the high bits down: HashMap keys buckets on the low bits.
+        self.0 ^ (self.0 >> 32)
+    }
+}
+
+/// Number of direct-mapped hot-page slots (power of two).
+const HOT_SLOTS: usize = 16;
+
+/// A sparse memory with interval-tracked mappings.
 pub struct Memory {
-    /// Materialized pages (page base → bytes).
-    pages: HashMap<u64, Box<[u8]>>,
+    /// Direct-mapped cache of recently accessed materialized pages, held
+    /// *out of* `pages`: repeated accesses to the same few pages (the
+    /// common pattern in loops, and in an instrumentation's data/shadow
+    /// interleave) skip the hash lookup entirely. Invariant: a page lives
+    /// either in its slot here or in `pages`, never both.
+    hot: [Option<(u64, Box<[u8]>)>; HOT_SLOTS],
+    /// Materialized pages (page base → bytes), minus the `hot` slots.
+    pages: HashMap<u64, Box<[u8]>, BuildHasherDefault<PageHasher>>,
     /// Mapped intervals: start → end (exclusive), non-overlapping, merged.
     ranges: BTreeMap<u64, u64>,
     mapped_bytes: u64,
+}
+
+impl Default for Memory {
+    fn default() -> Memory {
+        Memory {
+            hot: std::array::from_fn(|_| None),
+            pages: HashMap::default(),
+            ranges: BTreeMap::new(),
+            mapped_bytes: 0,
+        }
+    }
 }
 
 /// Error for accesses to unmapped addresses.
@@ -103,12 +145,67 @@ impl Memory {
         self.mapped_bytes
     }
 
+    /// The direct-mapped `hot` slot for a page base.
+    #[inline]
+    fn slot_of(base: u64) -> usize {
+        ((base / PAGE_SIZE) as usize) & (HOT_SLOTS - 1)
+    }
+
+    /// Promotes the materialized page at `base` into its `hot` slot,
+    /// demoting the slot's current occupant back into `pages`. Returns
+    /// `false` when `base` has no materialized page anywhere.
+    #[inline]
+    fn promote(&mut self, base: u64) -> bool {
+        match self.pages.remove(&base) {
+            Some(page) => {
+                let slot = &mut self.hot[Self::slot_of(base)];
+                if let Some((old_base, old_page)) = slot.take() {
+                    self.pages.insert(old_base, old_page);
+                }
+                *slot = Some((base, page));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The materialized page at `base` (hot slot or map), if any.
+    #[inline]
+    fn page(&self, base: u64) -> Option<&[u8]> {
+        match &self.hot[Self::slot_of(base)] {
+            Some((b, page)) if *b == base => Some(page),
+            _ => self.pages.get(&base).map(|p| &**p),
+        }
+    }
+
     /// Reads `buf.len()` bytes starting at `addr`.
     ///
     /// # Errors
     ///
     /// Faults if any byte is unmapped.
-    pub fn read(&self, addr: u64, buf: &mut [u8]) -> Result<(), Fault> {
+    pub fn read(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), Fault> {
+        // Fast path: the access sits inside one already-materialized
+        // page. Pages only materialize inside mapped intervals (there is
+        // no unmap), so a materialized page proves mapped-ness without
+        // consulting the interval set.
+        let base = Self::page_base(addr);
+        let off = (addr - base) as usize;
+        if off + buf.len() <= PAGE_SIZE as usize {
+            match &self.hot[Self::slot_of(base)] {
+                Some((b, page)) if *b == base => {
+                    buf.copy_from_slice(&page[off..off + buf.len()]);
+                    return Ok(());
+                }
+                _ => {
+                    if self.promote(base) {
+                        let (_, page) =
+                            self.hot[Self::slot_of(base)].as_ref().expect("just promoted");
+                        buf.copy_from_slice(&page[off..off + buf.len()]);
+                        return Ok(());
+                    }
+                }
+            }
+        }
         if !self.is_mapped(addr, buf.len() as u64) {
             return Err(Fault { addr, width: buf.len() as u64, write: false });
         }
@@ -118,7 +215,7 @@ impl Memory {
             let base = Self::page_base(a);
             let off = (a - base) as usize;
             let n = ((PAGE_SIZE as usize) - off).min(buf.len() - i);
-            match self.pages.get(&base) {
+            match self.page(base) {
                 Some(page) => buf[i..i + n].copy_from_slice(&page[off..off + n]),
                 None => buf[i..i + n].fill(0), // mapped but untouched
             }
@@ -134,6 +231,25 @@ impl Memory {
     ///
     /// Faults if any byte is unmapped.
     pub fn write(&mut self, addr: u64, buf: &[u8]) -> Result<(), Fault> {
+        // Fast path: same single-materialized-page shortcut as `read`.
+        let base = Self::page_base(addr);
+        let off = (addr - base) as usize;
+        if off + buf.len() <= PAGE_SIZE as usize {
+            match &mut self.hot[Self::slot_of(base)] {
+                Some((b, page)) if *b == base => {
+                    page[off..off + buf.len()].copy_from_slice(buf);
+                    return Ok(());
+                }
+                _ => {
+                    if self.promote(base) {
+                        let (_, page) =
+                            self.hot[Self::slot_of(base)].as_mut().expect("just promoted");
+                        page[off..off + buf.len()].copy_from_slice(buf);
+                        return Ok(());
+                    }
+                }
+            }
+        }
         if !self.is_mapped(addr, buf.len() as u64) {
             return Err(Fault { addr, width: buf.len() as u64, write: true });
         }
@@ -143,10 +259,14 @@ impl Memory {
             let base = Self::page_base(a);
             let off = (a - base) as usize;
             let n = ((PAGE_SIZE as usize) - off).min(buf.len() - i);
-            let page = self
-                .pages
-                .entry(base)
-                .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+            // Route around the hot slots so a page never exists twice.
+            let page = match &mut self.hot[Self::slot_of(base)] {
+                Some((b, page)) if *b == base => page,
+                _ => self
+                    .pages
+                    .entry(base)
+                    .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice()),
+            };
             page[off..off + n].copy_from_slice(&buf[i..i + n]);
             a += n as u64;
             i += n;
@@ -155,7 +275,33 @@ impl Memory {
     }
 
     /// Reads a little-endian unsigned integer of `width` bytes (1..=8).
-    pub fn read_uint(&self, addr: u64, width: u64) -> Result<u64, Fault> {
+    pub fn read_uint(&mut self, addr: u64, width: u64) -> Result<u64, Fault> {
+        // Width-specialized hot-slot path: fixed-size slice conversions
+        // compile to single loads, unlike the variable-length copy in the
+        // generic `read`.
+        let base = Self::page_base(addr);
+        let off = (addr - base) as usize;
+        if off + width as usize <= PAGE_SIZE as usize {
+            if let Some((b, page)) = &self.hot[Self::slot_of(base)] {
+                if *b == base {
+                    return Ok(match width {
+                        8 => u64::from_le_bytes(page[off..off + 8].try_into().expect("width")),
+                        4 => {
+                            u32::from_le_bytes(page[off..off + 4].try_into().expect("width")) as u64
+                        }
+                        2 => {
+                            u16::from_le_bytes(page[off..off + 2].try_into().expect("width")) as u64
+                        }
+                        1 => page[off] as u64,
+                        w => {
+                            let mut buf = [0u8; 8];
+                            buf[..w as usize].copy_from_slice(&page[off..off + w as usize]);
+                            u64::from_le_bytes(buf)
+                        }
+                    });
+                }
+            }
+        }
         let mut buf = [0u8; 8];
         self.read(addr, &mut buf[..width as usize])?;
         Ok(u64::from_le_bytes(buf))
@@ -163,6 +309,26 @@ impl Memory {
 
     /// Writes a little-endian unsigned integer of `width` bytes (1..=8).
     pub fn write_uint(&mut self, addr: u64, width: u64, value: u64) -> Result<(), Fault> {
+        // Same width specialization as `read_uint`, on the mutable slot.
+        let base = Self::page_base(addr);
+        let off = (addr - base) as usize;
+        if off + width as usize <= PAGE_SIZE as usize {
+            if let Some((b, page)) = &mut self.hot[Self::slot_of(base)] {
+                if *b == base {
+                    match width {
+                        8 => page[off..off + 8].copy_from_slice(&value.to_le_bytes()),
+                        4 => page[off..off + 4].copy_from_slice(&(value as u32).to_le_bytes()),
+                        2 => page[off..off + 2].copy_from_slice(&(value as u16).to_le_bytes()),
+                        1 => page[off] = value as u8,
+                        w => {
+                            let bytes = value.to_le_bytes();
+                            page[off..off + w as usize].copy_from_slice(&bytes[..w as usize]);
+                        }
+                    }
+                    return Ok(());
+                }
+            }
+        }
         let bytes = value.to_le_bytes();
         self.write(addr, &bytes[..width as usize])
     }
@@ -184,7 +350,7 @@ impl Memory {
 impl std::fmt::Debug for Memory {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Memory")
-            .field("materialized_pages", &self.pages.len())
+            .field("materialized_pages", &(self.pages.len() + self.hot.iter().flatten().count()))
             .field("mapped_bytes", &self.mapped_bytes)
             .finish()
     }

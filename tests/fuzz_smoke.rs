@@ -9,7 +9,7 @@
 use fuzz::{fuzz, FuzzOpts};
 
 fn opts(seed: u64, cases: u64, jobs: usize) -> FuzzOpts {
-    FuzzOpts { seed, cases, jobs, shrink: true, fail_dir: None }
+    FuzzOpts { seed, cases, jobs, shrink: true, fail_dir: None, backend: Default::default() }
 }
 
 #[test]

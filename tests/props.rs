@@ -626,6 +626,110 @@ fn corpus_srclocs_and_site_ids_survive_the_pipeline() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Bytecode backend: structural invariants of compiled modules
+// ---------------------------------------------------------------------------
+
+/// Bytecode modules compiled from every corpus program × mechanism. The
+/// closure receives the program name, the configuration label, and the
+/// compiled module.
+fn for_each_corpus_bytecode(mut f: impl FnMut(&str, &str, &std::rc::Rc<memvm::BcModule>)) {
+    use memvm::VmBackend;
+    let dir = format!("{}/tests/corpus", env!("CARGO_MANIFEST_DIR"));
+    let mut paths: Vec<_> = std::fs::read_dir(&dir)
+        .expect("corpus directory")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "c"))
+        .collect();
+    paths.sort();
+    let vm_config = VmConfig { backend: VmBackend::Bytecode, ..VmConfig::default() };
+    for path in &paths {
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        let src = std::fs::read_to_string(path).unwrap();
+        let Ok(module) = cfront::compile_named(&src, &name) else { continue };
+        let mut builds = vec![(
+            "baseline".to_string(),
+            compile_baseline(module.clone(), BuildOptions::default()),
+        )];
+        for mech in [Mechanism::SoftBound, Mechanism::LowFat, Mechanism::RedZone] {
+            builds.push((
+                mech.name().to_string(),
+                compile(module.clone(), &MiConfig::new(mech), BuildOptions::default()),
+            ));
+        }
+        for (cfg, prog) in builds {
+            let mut vm = prog.make_vm(vm_config).unwrap_or_else(|t| panic!("{name} [{cfg}]: {t}"));
+            f(&name, &cfg, &vm.bytecode());
+        }
+    }
+}
+
+/// `disassemble → parse → disassemble` is a fixpoint for every compiled
+/// corpus module, and the parsed module still validates. (Host-function
+/// snapshots are not part of the textual format, so the round trip is
+/// over the structural content: functions, opcodes, pools, edges.)
+#[test]
+fn bytecode_disassembly_round_trips() {
+    for_each_corpus_bytecode(|name, cfg, code| {
+        let t1 = code.disassemble();
+        let parsed = memvm::parse_bytecode(&t1)
+            .unwrap_or_else(|e| panic!("{name} [{cfg}]: parse error: {e}\n{t1}"));
+        let t2 = parsed.disassemble();
+        assert_eq!(t1, t2, "{name} [{cfg}]: disassembly is not a fixpoint");
+        parsed.validate().unwrap_or_else(|e| panic!("{name} [{cfg}]: reparse invalid: {e}"));
+    });
+}
+
+/// Every operand register named by any opcode (sources, destinations,
+/// phi moves) stays within the function's declared frame size — the
+/// property `BcModule::validate` enforces, checked here over the whole
+/// corpus so a register-allocation bug cannot ship silently.
+#[test]
+fn bytecode_registers_stay_within_declared_frames() {
+    for_each_corpus_bytecode(|name, cfg, code| {
+        code.validate().unwrap_or_else(|e| panic!("{name} [{cfg}]: {e}"));
+        for bf in code.funcs.iter().flatten() {
+            assert!(
+                bf.nparams <= bf.nregs,
+                "{name} [{cfg}] @{}: {} params in a {}-register frame",
+                bf.name,
+                bf.nparams,
+                bf.nregs
+            );
+            assert_eq!(bf.ops.len(), bf.locs.len(), "{name} [{cfg}] @{}: locs", bf.name);
+        }
+    });
+}
+
+/// Every specialized check opcode carries a site ID that indexes the
+/// source module's `check_sites` table (or the explicit no-site
+/// sentinel) — the bytecode analogue of
+/// [`corpus_srclocs_and_site_ids_survive_the_pipeline`].
+#[test]
+fn bytecode_check_opcodes_cite_real_sites() {
+    use memvm::bytecode::{Op, NO_SITE};
+    let mut checks_seen = 0u64;
+    for_each_corpus_bytecode(|name, cfg, code| {
+        for bf in code.funcs.iter().flatten() {
+            for op in &bf.ops {
+                let co = match op {
+                    Op::SbCheck(co) | Op::LfCheck(co) | Op::RzCheck(co) | Op::LfInvariant(co) => co,
+                    _ => continue,
+                };
+                checks_seen += 1;
+                assert!(
+                    co.site == NO_SITE || (co.site as usize) < code.nsites,
+                    "{name} [{cfg}] @{}: check cites site {} of {}",
+                    bf.name,
+                    co.site,
+                    code.nsites
+                );
+            }
+        }
+    });
+    assert!(checks_seen > 0, "no check opcodes compiled from the corpus");
+}
+
 #[test]
 fn cost_categories_sum_to_total() {
     for name in ["186crafty", "183equake", "197parser"] {

@@ -2,11 +2,24 @@
 //! textual IR format.
 
 use memvm::interp::Trap;
-use memvm::{Vm, VmConfig};
+use memvm::{Vm, VmBackend, VmConfig};
+
+/// Both execution backends; robustness guarantees (stack-depth limits,
+/// unmapped-access traps, allocation handling) must be identical on the
+/// tree-walker and the bytecode VM.
+const BACKENDS: [VmBackend; 2] = [VmBackend::Walk, VmBackend::Bytecode];
+
+fn vm_config(backend: VmBackend) -> VmConfig {
+    VmConfig { backend, ..VmConfig::default() }
+}
+
+fn run_src_on(src: &str, backend: VmBackend) -> Result<memvm::interp::ExecOutcome, Trap> {
+    let m = mir::parser::parse_module(src).unwrap();
+    Vm::new(m, vm_config(backend)).unwrap().run("main", &[])
+}
 
 fn run_src(src: &str) -> Result<memvm::interp::ExecOutcome, Trap> {
-    let m = mir::parser::parse_module(src).unwrap();
-    Vm::new(m, VmConfig::default()).unwrap().run("main", &[])
+    run_src_on(src, VmBackend::default())
 }
 
 #[test]
@@ -24,7 +37,9 @@ fn runaway_recursion_traps_instead_of_crashing() {
           ret %r
         }
     "#;
-    assert_eq!(run_src(src), Err(Trap::StackOverflow));
+    for backend in BACKENDS {
+        assert_eq!(run_src_on(src, backend), Err(Trap::StackOverflow), "{}", backend.name());
+    }
 }
 
 #[test]
@@ -48,7 +63,10 @@ fn deep_but_bounded_recursion_is_fine() {
           ret %r
         }
     "#;
-    assert_eq!(run_src(src).unwrap().ret.unwrap().as_int(), 120);
+    let walk = run_src_on(src, VmBackend::Walk).unwrap();
+    assert_eq!(walk.ret.unwrap().as_int(), 120);
+    // The whole outcome — including the dynamic statistics — matches.
+    assert_eq!(Ok(walk), run_src_on(src, VmBackend::Bytecode));
 }
 
 #[test]
@@ -65,9 +83,72 @@ fn instrumented_recursion_also_guarded() {
         }
     "#;
     let module = cfront::compile(src).unwrap();
-    let r = compile(module, &MiConfig::new(Mechanism::SoftBound), BuildOptions::default())
-        .run_main(VmConfig::default());
-    assert_eq!(r, Err(Trap::StackOverflow));
+    for backend in BACKENDS {
+        let r =
+            compile(module.clone(), &MiConfig::new(Mechanism::SoftBound), BuildOptions::default())
+                .run_main(vm_config(backend));
+        assert_eq!(r, Err(Trap::StackOverflow), "{}", backend.name());
+    }
+}
+
+#[test]
+fn unmapped_access_traps_identically_on_both_backends() {
+    // A wild pointer faults like hardware would: an UnmappedAccess trap
+    // carrying the access shape and frame provenance — not a crash, and
+    // not backend-dependent.
+    let src = r#"
+        define i64 @main() {
+        entry:
+          %p = inttoptr i64 3735879680, i64 to ptr
+          %v = load i64, %p
+          ret %v
+        }
+    "#;
+    let walk = run_src_on(src, VmBackend::Walk);
+    assert!(
+        matches!(
+            &walk,
+            Err(Trap::UnmappedAccess { addr: 0xdead_0000, width: 8, write: false, func: Some(f), .. })
+                if f == "main"
+        ),
+        "{walk:?}"
+    );
+    assert_eq!(walk, run_src_on(src, VmBackend::Bytecode));
+}
+
+#[test]
+fn oversized_allocation_behaves_identically_on_both_backends() {
+    // A 32 GiB alloca: the sparse interval memory makes this legal, and
+    // both backends must agree on the resulting layout and statistics.
+    let big_alloca = r#"
+        define i64 @main() {
+        entry:
+          %a = alloca i64, i64 4294967296
+          store i64, i64 7, %a
+          %v = load i64, %a
+          ret %v
+        }
+    "#;
+    let walk = run_src_on(big_alloca, VmBackend::Walk);
+    assert_eq!(walk.as_ref().unwrap().ret.unwrap().as_int(), 7);
+    assert_eq!(walk, run_src_on(big_alloca, VmBackend::Bytecode));
+
+    // An oversized heap request goes through the malloc host; whatever
+    // the allocator's verdict, it is the same verdict on both backends.
+    let big_malloc = r#"
+        hostdecl ptr @malloc(i64)
+        define i64 @main() {
+        entry:
+          %p = call ptr @malloc(i64 1099511627776)
+          store i64, i64 9, %p
+          %v = load i64, %p
+          ret %v
+        }
+    "#;
+    assert_eq!(
+        run_src_on(big_malloc, VmBackend::Walk),
+        run_src_on(big_malloc, VmBackend::Bytecode)
+    );
 }
 
 #[test]
