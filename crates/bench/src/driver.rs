@@ -37,9 +37,10 @@ use meminstrument::runtime::{
     compile_from_prefix_traced, pipeline_prefix, pipeline_prefix_traced, BuildOptions,
 };
 use meminstrument::{InstrStats, Instrument, Mechanism, MiMode, OptConfig};
-use memvm::{SiteProfile, VmConfig, VmStats};
+use memvm::{MemCounters, OpMetrics, SiteProfile, VmConfig, VmStats};
 use mir::pipeline::{ExtensionPoint, OptLevel};
 use mir::trace::TraceRecorder;
+use telemetry::{FoldedStacks, Registry};
 
 /// A program to evaluate: a name plus its mini-C source.
 #[derive(Clone, Debug)]
@@ -84,6 +85,15 @@ pub struct CellOk {
     /// totals reconcile exactly with `stats.checks_executed`,
     /// `stats.checks_wide` and `stats.cost_checks`.
     pub profile: SiteProfile,
+    /// Per-opcode-class execution counts and charged cost. The class
+    /// costs sum to exactly `stats.cost_total`.
+    pub ops: OpMetrics,
+    /// Hot-page cache and page-materialization counters.
+    pub mem: MemCounters,
+    /// Folded flame-sampler stacks (`Some` iff the sweep ran with a
+    /// non-zero [`VmConfig::sample_interval`]). Byte-identical across VM
+    /// backends and worker counts.
+    pub flame: Option<FoldedStacks>,
 }
 
 /// Coarse classification of a trap, preserved in structured form so
@@ -235,6 +245,9 @@ pub struct Report {
     /// matrix order), when the sweep ran with [`Driver::with_trace`].
     /// Empty otherwise.
     pub traces: Vec<(String, TraceRecorder)>,
+    /// The flame-sampler interval the sweep executed under (0 = off),
+    /// copied from the driver's [`VmConfig`].
+    pub sample_interval: u64,
 }
 
 impl Report {
@@ -257,6 +270,115 @@ impl Report {
     /// [`Driver::with_trace`].
     pub fn trace_json(&self) -> String {
         mir::trace::chrome_trace_document(&self.traces)
+    }
+
+    /// The merged sweep flamegraph: every completed cell's folded stacks
+    /// with `program;config` prepended as the two root frames, so one
+    /// flamegraph shows the whole matrix side by side. Empty unless the
+    /// sweep ran with a non-zero sample interval.
+    ///
+    /// Deterministic: cells merge in matrix order into an accumulator
+    /// whose rendering is order-independent, so the collapsed-stack text
+    /// is byte-identical across worker counts and VM backends.
+    pub fn flame(&self) -> FoldedStacks {
+        let mut out = FoldedStacks::new();
+        for cell in &self.cells {
+            if let Ok(ok) = &cell.outcome {
+                if let Some(f) = &ok.flame {
+                    out.merge(&f.prefixed(&format!("{};{}", cell.program, cell.config)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Builds the unified `mi-metrics/1` registry for the sweep.
+    ///
+    /// Per completed cell (labels `program`, `config`): per-opcode-class
+    /// execution counts and charged cost (`vm_op_count`/`vm_op_cost`,
+    /// label `op`, nonzero classes only — the `vm_op_cost` series sums to
+    /// exactly `vm_cost_total`), the cost-category split (`vm_cost_units`,
+    /// label `category`, summing to `vm_cost_total` as well), dynamic
+    /// check tallies, peak guest memory (`vm_mapped_bytes` gauge),
+    /// hot-page cache effectiveness, and — when sampling was on — the
+    /// flame sample count. Trapped cells tally `vm_traps` by trap kind.
+    /// Sweep-wide series cover cache effectiveness and cell outcomes, and
+    /// each cell's total cost feeds the `vm_cell_cost` histogram
+    /// (label `config`).
+    ///
+    /// Wall-clock timings are deliberately excluded: like
+    /// [`Report::to_json`] without timings, the registry's JSON and
+    /// Prometheus renderings are byte-identical across worker counts and
+    /// VM backends.
+    pub fn metrics(&self) -> Registry {
+        let mut r = Registry::new();
+        for cell in &self.cells {
+            let l: &[(&str, &str)] = &[("program", &cell.program), ("config", &cell.config)];
+            match &cell.outcome {
+                Ok(ok) => {
+                    r.counter_add("sweep_cells", &[("outcome", "ok")], 1);
+                    for (class, count, cost) in ok.ops.iter() {
+                        let lo = [l[0], l[1], ("op", class.name())];
+                        r.counter_add("vm_op_count", &lo, count);
+                        r.counter_add("vm_op_cost", &lo, cost);
+                    }
+                    let s = &ok.stats;
+                    r.counter_add("vm_cost_total", l, s.cost_total);
+                    for (cat, cost) in [
+                        ("app", s.cost_app),
+                        ("checks", s.cost_checks),
+                        ("metadata", s.cost_metadata),
+                        ("allocator", s.cost_allocator),
+                        ("other", s.cost_other),
+                    ] {
+                        if cost > 0 {
+                            r.counter_add("vm_cost_units", &[l[0], l[1], ("category", cat)], cost);
+                        }
+                    }
+                    r.counter_add("vm_instrs_executed", l, s.instrs_executed);
+                    r.counter_add("vm_checks_executed", l, s.checks_executed);
+                    r.counter_add("vm_checks_wide", l, s.checks_wide);
+                    r.gauge_set("vm_mapped_bytes", l, s.mapped_bytes);
+                    let m = &ok.mem;
+                    r.counter_add("mem_cache_hits", l, m.cache_hits);
+                    r.counter_add("mem_cache_misses", l, m.cache_misses);
+                    r.counter_add("mem_cache_demotions", l, m.cache_demotions);
+                    r.counter_add("mem_pages_materialized", l, m.pages_materialized);
+                    if let Some(f) = &ok.flame {
+                        r.counter_add("flame_samples", l, f.total_samples());
+                    }
+                    r.observe("vm_cell_cost", &[("config", &cell.config)], s.cost_total);
+                }
+                Err(t) => {
+                    r.counter_add("sweep_cells", &[("outcome", "trap")], 1);
+                    r.counter_add("vm_traps", &[l[0], l[1], ("kind", t.kind.name())], 1);
+                }
+            }
+        }
+        let c = &self.cache;
+        r.counter_add("sweep_frontend_compiles", &[], c.frontend_compiles);
+        r.counter_add("sweep_frontend_reuses", &[], c.frontend_reuses);
+        r.counter_add("sweep_prefix_compiles", &[], c.prefix_compiles);
+        r.counter_add("sweep_prefix_reuses", &[], c.prefix_reuses);
+        if self.sample_interval > 0 {
+            r.gauge_set("flame_sample_interval", &[], self.sample_interval);
+        }
+        r
+    }
+
+    /// Hot-page cache effectiveness aggregated over all completed cells:
+    /// `(hits, misses, demotions, pages materialized)`.
+    pub fn mem_totals(&self) -> MemCounters {
+        let mut t = MemCounters::default();
+        for cell in &self.cells {
+            if let Ok(ok) = &cell.outcome {
+                t.cache_hits += ok.mem.cache_hits;
+                t.cache_misses += ok.mem.cache_misses;
+                t.cache_demotions += ok.mem.cache_demotions;
+                t.pages_materialized += ok.mem.pages_materialized;
+            }
+        }
+        t
     }
 
     /// Serializes the report as JSON (schema `evald-report/2`).
@@ -478,15 +600,24 @@ impl Driver {
                 });
                 let vm_compile = t.elapsed();
 
+                // The VM is kept alive across `run` so per-opcode metrics,
+                // memory counters, and the flame profile survive the
+                // outcome extraction.
                 let t = Instant::now();
-                let outcome = match vm.and_then(|mut vm| vm.run("main", &[])) {
-                    Ok(out) => Ok(CellOk {
-                        ret: out.ret.map(|v| v.as_int() as i64),
-                        output: out.output,
-                        stats: out.stats,
-                        instr: prog.stats.clone(),
-                        profile: out.profile,
-                    }),
+                let outcome = match vm {
+                    Ok(mut vm) => match vm.run("main", &[]) {
+                        Ok(out) => Ok(CellOk {
+                            ret: out.ret.map(|v| v.as_int() as i64),
+                            output: out.output,
+                            stats: out.stats,
+                            instr: prog.stats.clone(),
+                            profile: out.profile,
+                            ops: vm.op_metrics().clone(),
+                            mem: vm.memory().counters(),
+                            flame: vm.flame(),
+                        }),
+                        Err(trap) => Err(CellTrap::from_trap(&trap)),
+                    },
                     Err(trap) => Err(CellTrap::from_trap(&trap)),
                 };
                 let execution = t.elapsed();
@@ -549,6 +680,7 @@ impl Driver {
             cache,
             timings,
             traces,
+            sample_interval: self.vm.sample_interval,
         }
     }
 }

@@ -17,11 +17,18 @@
 //! `prog.c` may also be a built-in benchmark name (e.g. `183equake`) for
 //! every file-taking subcommand, including `mi eval`.
 //! mi eval  [prog.c ...] [--jobs N] [--out report.json] [--timings]
-//!          [--trace trace.json]
+//!          [--trace trace.json] [--metrics metrics.json]
+//!          [--flame out.folded] [--sample-interval N]
 //!                               run the full paper sweep (all mechanisms ×
 //!                               variants × extension points) through the
 //!                               parallel cached evaluation driver; with no
-//!                               files, sweeps the built-in benchmark suite
+//!                               files, sweeps the built-in benchmark suite.
+//!                               --metrics writes the unified mi-metrics/1
+//!                               JSON (Prometheus text if the path ends in
+//!                               .prom); --flame writes one merged
+//!                               collapsed-stack profile with program;config
+//!                               root frames — both byte-identical across
+//!                               --jobs and --vm
 //! mi fuzz  [--seed S] [--cases N] [--jobs N] [--fail-dir DIR]
 //!          [--no-shrink] [--replay IDX]
 //!                               generative differential fuzzing: run N
@@ -47,6 +54,14 @@
 //!   --trace trace.json                      (run) write a Chrome trace_event
 //!                                           JSON of the pass pipeline,
 //!                                           viewable in Perfetto
+//!   --flame out.folded                      (run/profile) write the
+//!                                           cost-driven sampling profile as
+//!                                           inferno-compatible collapsed
+//!                                           stacks; deterministic (clocked
+//!                                           by the cost model, not time)
+//!   --sample-interval N                     cost units between flame samples
+//!                                           (default 1000 when --flame is
+//!                                           given, otherwise sampling is off)
 //! ```
 
 use std::process::ExitCode;
@@ -62,11 +77,17 @@ fn usage() -> ExitCode {
     eprintln!("       mi profile <file.c> [options] [--top N] [--json]");
     eprintln!("       mi eval [file.c ...] [--jobs N] [--out report.json] [--timings]");
     eprintln!("               [--trace trace.json] [--vm walk|bytecode]");
+    eprintln!("               [--metrics metrics.json] [--flame out.folded]");
+    eprintln!("               [--sample-interval N]");
     eprintln!("       mi fuzz [--seed S] [--cases N] [--jobs N] [--fail-dir DIR]");
     eprintln!("               [--no-shrink] [--replay IDX] [--vm walk|bytecode]");
     eprintln!("       (see `crates/cli/src/main.rs` header for options)");
     ExitCode::from(2)
 }
+
+/// Sample interval used when `--flame` is requested without an explicit
+/// `--sample-interval`: one stack sample per 1000 charged cost units.
+const DEFAULT_SAMPLE_INTERVAL: u64 = 1000;
 
 struct Options {
     /// The typed instrumentation cell built from the command line; its
@@ -74,6 +95,10 @@ struct Options {
     /// driver, fuzzer, and eval reports.
     cell: Instrument,
     trace: Option<String>,
+    /// Collapsed-stack output path for the cost-driven flame sampler.
+    flame: Option<String>,
+    /// Effective sampling interval (non-zero iff sampling is on).
+    sample_interval: u64,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -86,12 +111,24 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut wrappers = false;
     let mut backend = VmBackend::default();
     let mut trace = None;
+    let mut flame = None;
+    let mut sample_interval = 0u64;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--trace" => match it.next() {
                 Some(p) => trace = Some(p.clone()),
                 None => return Err("--trace expects a path".to_string()),
+            },
+            "--flame" => match it.next() {
+                Some(p) => flame = Some(p.clone()),
+                None => return Err("--flame expects a path".to_string()),
+            },
+            "--sample-interval" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(0) | None => {
+                    return Err("--sample-interval expects a positive number".to_string())
+                }
+                Some(n) => sample_interval = n,
             },
             "--mech" => {
                 mech = match it.next().map(String::as_str) {
@@ -140,7 +177,24 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             c.sb_wrapper_checks = wrappers;
         }),
     };
-    Ok(Options { cell: cell.at(ep).opt_level(opt_level).vm_backend(backend), trace })
+    if flame.is_some() && sample_interval == 0 {
+        sample_interval = DEFAULT_SAMPLE_INTERVAL;
+    }
+    let cell =
+        cell.at(ep).opt_level(opt_level).vm_backend(backend).sample_interval(sample_interval);
+    Ok(Options { cell, trace, flame, sample_interval })
+}
+
+/// Writes the VM's folded flame profile to `path` (collapsed-stack text).
+/// A no-op returning success when sampling was off.
+fn write_flame(tag: &str, path: &str, vm: &memvm::Vm, interval: u64) -> Result<(), String> {
+    let Some(f) = vm.flame() else { return Ok(()) };
+    std::fs::write(path, f.render()).map_err(|e| format!("{path}: {e}"))?;
+    eprintln!(
+        "[{tag}] flame profile ({} samples, 1 per {interval} cost units) written to {path}",
+        f.total_samples()
+    );
+    Ok(())
 }
 
 /// Resolves `path` to a (source name, source text) pair: an on-disk file,
@@ -204,7 +258,23 @@ fn cmd_run(path: &str, o: &Options) -> ExitCode {
             prog
         }
     };
-    match prog.run_main(o.cell.vm_config()) {
+    // Build the VM by hand (instead of `run_main`) so the flame profile
+    // survives the run — including runs that end in a trap.
+    let mut vm = match prog.make_vm(o.cell.vm_config()) {
+        Ok(vm) => vm,
+        Err(t) => {
+            eprintln!("[mi] {t}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = vm.run("main", &[]);
+    if let Some(fp) = &o.flame {
+        if let Err(e) = write_flame("mi", fp, &vm, o.sample_interval) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match result {
         Ok(out) => {
             for line in &out.output {
                 println!("{line}");
@@ -380,7 +450,21 @@ fn cmd_profile(path: &str, args: &[String]) -> ExitCode {
     let prog = build(module, &o);
     let src_file = prog.module.src_file.clone();
     let sites = prog.module.check_sites.clone();
-    let out = match prog.run_main(o.cell.vm_config()) {
+    let mut vm = match prog.make_vm(o.cell.vm_config()) {
+        Ok(vm) => vm,
+        Err(t) => {
+            eprintln!("[mi] {t}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = vm.run("main", &[]);
+    if let Some(fp) = &o.flame {
+        if let Err(e) = write_flame("mi profile", fp, &vm, o.sample_interval) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let out = match result {
         Ok(out) => out,
         Err(t) => {
             eprintln!("[mi] {t}");
@@ -497,6 +581,9 @@ fn cmd_eval(args: &[String]) -> ExitCode {
     let mut trace_path: Option<String> = None;
     let mut timings = false;
     let mut backend = VmBackend::default();
+    let mut metrics_path: Option<String> = None;
+    let mut flame_path: Option<String> = None;
+    let mut sample_interval = 0u64;
     let mut files: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -536,6 +623,27 @@ fn cmd_eval(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--metrics" => match it.next() {
+                Some(p) => metrics_path = Some(p.clone()),
+                None => {
+                    eprintln!("error: --metrics expects a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--flame" => match it.next() {
+                Some(p) => flame_path = Some(p.clone()),
+                None => {
+                    eprintln!("error: --flame expects a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--sample-interval" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => sample_interval = n,
+                _ => {
+                    eprintln!("error: --sample-interval expects a positive number");
+                    return ExitCode::from(2);
+                }
+            },
             "--timings" => timings = true,
             f if !f.starts_with("--") => files.push(f.to_string()),
             other => {
@@ -569,10 +677,13 @@ fn cmd_eval(args: &[String]) -> ExitCode {
         }
         programs
     };
+    if flame_path.is_some() && sample_interval == 0 {
+        sample_interval = DEFAULT_SAMPLE_INTERVAL;
+    }
     let driver = Driver::new(programs, paper_sweep_configs())
         .with_jobs(jobs)
         .with_trace(trace_path.is_some())
-        .with_vm(VmConfig { backend, ..VmConfig::default() });
+        .with_vm(VmConfig { backend, sample_interval, ..VmConfig::default() });
     let report = driver.run();
     if let Some(p) = &trace_path {
         if let Err(e) = std::fs::write(p, report.trace_json()) {
@@ -598,6 +709,40 @@ fn cmd_eval(args: &[String]) -> ExitCode {
         report.cache.prefix_compiles,
         report.cache.prefix_reuses
     );
+    let mem = report.mem_totals();
+    eprintln!(
+        "[mi eval] hot-page cache: {} hits / {} misses ({:.1}% hit rate), {} demotions, {} pages materialized",
+        mem.cache_hits,
+        mem.cache_misses,
+        100.0 * mem.cache_hits as f64 / (mem.cache_hits + mem.cache_misses).max(1) as f64,
+        mem.cache_demotions,
+        mem.pages_materialized
+    );
+    if let Some(p) = &flame_path {
+        let folded = report.flame();
+        if let Err(e) = std::fs::write(p, folded.render()) {
+            eprintln!("error: {p}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "[mi eval] flame profile ({} stacks, {} samples, 1 per {sample_interval} cost units) written to {p}",
+            folded.iter().count(),
+            folded.total_samples()
+        );
+    }
+    if let Some(p) = &metrics_path {
+        let reg = report.metrics();
+        let (text, kind) = if p.ends_with(".prom") {
+            (reg.to_prometheus(), "prometheus text")
+        } else {
+            (reg.to_json(), "mi-metrics/1")
+        };
+        if let Err(e) = std::fs::write(p, text) {
+            eprintln!("error: {p}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[mi eval] metrics ({kind}) written to {p}");
+    }
     eprintln!(
         "[mi eval] wall {:.2}s (stage totals: frontend {:.2}s, pipeline {:.2}s, instrument {:.2}s, vm-compile {:.2}s, execute {:.2}s) [{}]",
         t.wall.as_secs_f64(),

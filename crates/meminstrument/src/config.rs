@@ -190,6 +190,10 @@ pub struct Instrument {
     /// part of the configuration label: both backends are byte-identical,
     /// so reports stay comparable across backends.
     backend: VmBackend,
+    /// Flame-sampler interval in cost units (0 = profiling off). Also not
+    /// part of the label: sampling observes execution without perturbing
+    /// it, so configurations stay comparable with or without a profile.
+    sample_interval: u64,
 }
 
 impl Instrument {
@@ -200,17 +204,23 @@ impl Instrument {
             config: Some(MiConfig::new(mechanism)),
             opts: BuildOptions::default(),
             backend: VmBackend::default(),
+            sample_interval: 0,
         }
     }
 
     /// The uninstrumented baseline at the default pipeline position.
     pub fn baseline() -> Instrument {
-        Instrument { config: None, opts: BuildOptions::default(), backend: VmBackend::default() }
+        Instrument {
+            config: None,
+            opts: BuildOptions::default(),
+            backend: VmBackend::default(),
+            sample_interval: 0,
+        }
     }
 
     /// Builds from already-assembled parts (`None` config = baseline).
     pub fn from_parts(config: Option<MiConfig>, opts: BuildOptions) -> Instrument {
-        Instrument { config, opts, backend: VmBackend::default() }
+        Instrument { config, opts, backend: VmBackend::default(), sample_interval: 0 }
     }
 
     /// Sets the extension point the instrumentation is inserted at.
@@ -272,10 +282,21 @@ impl Instrument {
         self.backend
     }
 
+    /// Enables the cost-driven flame sampler: one stack sample every
+    /// `interval` charged cost units (0 disables sampling, the default).
+    pub fn sample_interval(mut self, interval: u64) -> Instrument {
+        self.sample_interval = interval;
+        self
+    }
+
     /// The [`VmConfig`] matching this cell: defaults plus the selected
     /// backend.
     pub fn vm_config(&self) -> VmConfig {
-        VmConfig { backend: self.backend, ..VmConfig::default() }
+        VmConfig {
+            backend: self.backend,
+            sample_interval: self.sample_interval,
+            ..VmConfig::default()
+        }
     }
 
     /// The pipeline options.
@@ -360,7 +381,12 @@ impl FromStr for Instrument {
         };
         let opts = BuildOptions { opt: opt.parse()?, ep: ep.parse()? };
         if mech_spec == "baseline" || mech_spec == "none" {
-            return Ok(Instrument { config: None, opts, backend: VmBackend::default() });
+            return Ok(Instrument {
+                config: None,
+                opts,
+                backend: VmBackend::default(),
+                sample_interval: 0,
+            });
         }
         // The mechanism name is dash-free, so the first `-` starts the
         // mode/optimization suffix.
@@ -371,7 +397,12 @@ impl FromStr for Instrument {
         let mechanism: Mechanism = mech_str.parse()?;
         let (mode, opt) = parse_suffix(suffix)?;
         let config = MiConfig { mode, opt, ..MiConfig::new(mechanism) };
-        Ok(Instrument { config: Some(config), opts, backend: VmBackend::default() })
+        Ok(Instrument {
+            config: Some(config),
+            opts,
+            backend: VmBackend::default(),
+            sample_interval: 0,
+        })
     }
 }
 

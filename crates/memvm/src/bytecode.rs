@@ -38,6 +38,7 @@ use mir::types::Type;
 
 use crate::cost::CostModel;
 use crate::host::{HostFn, HostRegistry};
+use crate::metrics::{classify_host, OpClass};
 use crate::value::RtVal;
 
 /// Which execution engine [`crate::Vm::run`] uses.
@@ -280,6 +281,7 @@ pub enum Op {
     /// raises the message.
     TrapUnsupported {
         charge: u64,
+        class: OpClass,
         pre: Box<[Src]>,
         msg: Box<str>,
     },
@@ -375,6 +377,9 @@ pub struct BcModule {
     pub hosts: Vec<HostFn>,
     /// Names of the snapshot entries, parallel to `hosts`.
     pub host_names: Vec<String>,
+    /// Metrics class of each snapshot entry, parallel to `hosts`
+    /// (pre-computed so the dispatch loop never classifies by name).
+    pub host_classes: Vec<OpClass>,
     /// Pool of unknown-function names referenced by `Src::BadFunc`,
     /// `Op::CallUnknown` and `CallTarget::Unknown`.
     pub names: Vec<String>,
@@ -419,6 +424,7 @@ struct Cx<'a> {
     name_ix: HashMap<String, u32>,
     hosts: Vec<HostFn>,
     host_names: Vec<String>,
+    host_classes: Vec<OpClass>,
     host_ix: HashMap<String, u32>,
     resolve_memo: HashMap<String, Resolved>,
 }
@@ -441,6 +447,7 @@ impl Cx<'_> {
         let ix = self.hosts.len() as u32;
         self.hosts.push(hf);
         self.host_names.push(name.to_string());
+        self.host_classes.push(classify_host(name));
         self.host_ix.insert(name.to_string(), ix);
         ix
     }
@@ -524,6 +531,7 @@ pub fn compile(
         name_ix: HashMap::new(),
         hosts: Vec::new(),
         host_names: Vec::new(),
+        host_classes: Vec::new(),
         host_ix: HashMap::new(),
         resolve_memo: HashMap::new(),
     };
@@ -554,6 +562,7 @@ pub fn compile(
         funcs,
         hosts: cx.hosts,
         host_names: cx.host_names,
+        host_classes: cx.host_classes,
         names: cx.names,
         targets,
         nsites: module.check_sites.len(),
@@ -766,6 +775,7 @@ fn compile_instr(
             Some(width) => Op::Load { dst, ty: fx.ty(ty), width, ptr: operand(cx, fx, ptr) },
             None => Op::TrapUnsupported {
                 charge: cost.load,
+                class: OpClass::Load,
                 pre: vec![operand(cx, fx, ptr)].into_boxed_slice(),
                 msg: format!("aggregate load/store of {ty}").into(),
             },
@@ -776,6 +786,7 @@ fn compile_instr(
             }
             None => Op::TrapUnsupported {
                 charge: cost.store,
+                class: OpClass::Store,
                 pre: vec![operand(cx, fx, ptr), operand(cx, fx, value)].into_boxed_slice(),
                 msg: format!("aggregate load/store of {ty}").into(),
             },
@@ -786,7 +797,12 @@ fn compile_instr(
         InstrKind::Phi { .. } => {
             // Phis are compiled into edge move lists; a phi below the leading
             // cluster is malformed IR (the walker would panic executing it).
-            Op::TrapUnsupported { charge: 0, pre: Box::new([]), msg: "phi below block head".into() }
+            Op::TrapUnsupported {
+                charge: 0,
+                class: OpClass::Other,
+                pre: Box::new([]),
+                msg: "phi below block head".into(),
+            }
         }
         InstrKind::Select { cond, then_value, else_value, .. } => Op::Select {
             dst,
@@ -967,6 +983,7 @@ fn compile_gep(
                     }
                     return Op::TrapUnsupported {
                         charge: cx.cost.gep,
+                        class: OpClass::Gep,
                         pre: pre.into_boxed_slice(),
                         msg: format!("gep step into non-aggregate {other}").into(),
                     };
@@ -1418,8 +1435,13 @@ fn disasm_op(op: &Op) -> String {
             format!("memset d={} b={} n={}", src_tok(*dst), src_tok(*byte), src_tok(*len))
         }
         Op::Nop => "nop".to_string(),
-        Op::TrapUnsupported { charge, pre, msg } => {
-            format!("trap charge={charge} pre={} msg={:?}", list_tok(pre), &**msg)
+        Op::TrapUnsupported { charge, class, pre, msg } => {
+            format!(
+                "trap charge={charge} class={} pre={} msg={:?}",
+                class.name(),
+                list_tok(pre),
+                &**msg
+            )
         }
         Op::Ret { val } => match val {
             Some(v) => format!("ret v={}", src_tok(*v)),
@@ -1829,6 +1851,9 @@ fn parse_op(line: &str) -> Result<Op, String> {
         "nop" => Op::Nop,
         "trap" => Op::TrapUnsupported {
             charge: f.num("charge")?,
+            class: f
+                .get("class")
+                .and_then(|c| OpClass::from_name(c).ok_or_else(|| format!("bad class `{c}`")))?,
             pre: f.list("pre")?.into_boxed_slice(),
             msg: msg.ok_or("trap op missing msg")?.into(),
         },
@@ -1899,6 +1924,7 @@ pub fn parse_bytecode(text: &str) -> Result<BcModule, String> {
                     .and_then(|t| t.strip_prefix('@'))
                     .ok_or_else(|| err("missing @name".into()))?;
                 m.host_names.push(n.to_string());
+                m.host_classes.push(classify_host(n));
             }
             "targets" => {
                 for t in toks {

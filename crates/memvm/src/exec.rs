@@ -15,6 +15,7 @@ use crate::bytecode::{BcFunc, BcModule, CallTarget, IdxSpec, MoveEntry, Op, Src,
 use crate::host::HostCtx;
 use crate::interp::{exec_bin, exec_cast, exec_icmp, Trap, TruncIfInt, Vm};
 use crate::layout::FUNC_BASE;
+use crate::metrics::OpClass;
 use crate::value::RtVal;
 
 /// Resolves a pre-compiled operand against the frame. `BadFunc` operands
@@ -111,15 +112,22 @@ impl Vm {
         code: &Rc<BcModule>,
         fidx: usize,
         args: Vec<RtVal>,
+        loc: Option<u32>,
     ) -> Result<Option<RtVal>, Trap> {
         if self.call_depth >= self.config.max_call_depth {
             return Err(Trap::StackOverflow);
         }
         self.call_depth += 1;
+        if let Some(s) = &mut self.sampler {
+            s.push_id(self.flame_fn_ids[fidx], loc);
+        }
         let saved_sp = self.stack_ptr;
         let result = self.exec_bc_inner(code, fidx, args);
         self.stack_ptr = saved_sp;
         self.call_depth -= 1;
+        if let Some(s) = &mut self.sampler {
+            s.pop();
+        }
         result
     }
 
@@ -155,7 +163,7 @@ impl Vm {
                 }
                 op @ (Op::CallStatic { .. } | Op::CallIndirect { .. }) => {
                     self.stats.instrs_executed += 1;
-                    self.bc_call(&code, bf, &mut frame, op)
+                    self.bc_call(&code, bf, &mut frame, op, bf.locs[pc])
                         .map_err(|t| t.with_frame(&bf.name, bf.locs[pc]))?;
                     pc += 1;
                 }
@@ -166,7 +174,7 @@ impl Vm {
                 | Op::RzCheck(_)
                 | Op::LfInvariant(_)) => {
                     self.stats.instrs_executed += 1;
-                    self.bc_call_leaf(&code, bf, &mut frame, op)
+                    self.bc_call_leaf(&code, bf, &mut frame, op, bf.locs[pc])
                         .map_err(|t| t.with_frame(&bf.name, bf.locs[pc]))?;
                     pc += 1;
                 }
@@ -194,7 +202,7 @@ impl Vm {
     ) -> Result<(), Trap> {
         match op {
             Op::Load { dst, ty, width, ptr } => {
-                self.charge_app(self.config.cost.load)?;
+                self.charge_app(OpClass::Load, self.config.cost.load)?;
                 let addr = fetch(code, bf, frame, *ptr)?.as_int();
                 let bits = self.mem.read_uint(addr, *width).map_err(Vm::mem_err)?;
                 let ty = &bf.types[*ty as usize];
@@ -202,20 +210,20 @@ impl Vm {
                 Ok(())
             }
             Op::Store { width, ptr, val } => {
-                self.charge_app(self.config.cost.store)?;
+                self.charge_app(OpClass::Store, self.config.cost.store)?;
                 let addr = fetch(code, bf, frame, *ptr)?.as_int();
                 let v = fetch(code, bf, frame, *val)?;
                 self.mem.write_uint(addr, *width, v.to_bits()).map_err(Vm::mem_err)
             }
             Op::Bin { dst, op, ty, lhs, rhs } => {
-                self.charge_app(self.config.cost.arith)?;
+                self.charge_app(OpClass::Bin, self.config.cost.arith)?;
                 let a = fetch(code, bf, frame, *lhs)?;
                 let b = fetch(code, bf, frame, *rhs)?;
                 frame[*dst as usize] = exec_bin(*op, &bf.types[*ty as usize], a, b)?;
                 Ok(())
             }
             Op::Icmp { dst, pred, ty, lhs, rhs } => {
-                self.charge_app(self.config.cost.arith)?;
+                self.charge_app(OpClass::Icmp, self.config.cost.arith)?;
                 let a = fetch(code, bf, frame, *lhs)?;
                 let b = fetch(code, bf, frame, *rhs)?;
                 frame[*dst as usize] =
@@ -223,7 +231,7 @@ impl Vm {
                 Ok(())
             }
             Op::Gep { dst, base, off, terms } => {
-                self.charge_app(self.config.cost.gep)?;
+                self.charge_app(OpClass::Gep, self.config.cost.gep)?;
                 let mut addr = fetch(code, bf, frame, *base)?.as_int().wrapping_add(*off);
                 for t in terms.iter() {
                     let signed = match &t.spec {
@@ -239,14 +247,14 @@ impl Vm {
                 Ok(())
             }
             Op::Cast { dst, op, from, to, val } => {
-                self.charge_app(self.config.cost.arith)?;
+                self.charge_app(OpClass::Cast, self.config.cost.arith)?;
                 let v = fetch(code, bf, frame, *val)?;
                 frame[*dst as usize] =
                     exec_cast(*op, v, &bf.types[*from as usize], &bf.types[*to as usize]);
                 Ok(())
             }
             Op::Select { dst, cond, t, e } => {
-                self.charge_app(self.config.cost.arith)?;
+                self.charge_app(OpClass::Select, self.config.cost.arith)?;
                 let c = fetch(code, bf, frame, *cond)?.as_int();
                 let v = if c & 1 != 0 {
                     fetch(code, bf, frame, *t)?
@@ -257,7 +265,7 @@ impl Vm {
                 Ok(())
             }
             Op::Alloca { dst, size, count } => {
-                self.charge_app(self.config.cost.alloca)?;
+                self.charge_app(OpClass::Alloca, self.config.cost.alloca)?;
                 let n = fetch(code, bf, frame, *count)?.as_int();
                 let total = size.saturating_mul(n.max(1));
                 let addr = (self.stack_ptr + 15) & !15;
@@ -283,19 +291,19 @@ impl Vm {
     ) -> Result<Flow, Trap> {
         match &bf.ops[pc] {
             Op::Ret { val } => {
-                self.charge_app(self.config.cost.ret)?;
+                self.charge_app(OpClass::Ret, self.config.cost.ret)?;
                 match val {
                     None => Ok(Flow::Return(None)),
                     Some(s) => Ok(Flow::Return(Some(fetch(code, bf, frame, *s)?))),
                 }
             }
             Op::Br { target, edge } => {
-                self.charge_app(self.config.cost.br)?;
+                self.charge_app(OpClass::Br, self.config.cost.br)?;
                 run_edge(code, bf, frame, *edge, &mut self.phi_scratch)?;
                 Ok(Flow::Jump(*target as usize))
             }
             Op::CondBr { cond, tt, te, et, ee } => {
-                self.charge_app(self.config.cost.condbr)?;
+                self.charge_app(OpClass::CondBr, self.config.cost.condbr)?;
                 let c = fetch(code, bf, frame, *cond)?.as_int();
                 let (t, e) = if c & 1 != 0 { (*tt, *te) } else { (*et, *ee) };
                 run_edge(code, bf, frame, e, &mut self.phi_scratch)?;
@@ -318,13 +326,14 @@ impl Vm {
         bf: &BcFunc,
         frame: &mut [RtVal],
         op: &Op,
+        loc: Option<u32>,
     ) -> Result<(), Trap> {
         match op {
             Op::CallStatic { dst, fid, charge, args } => {
                 let mut argv = self.frame_pool.pop().unwrap_or_default();
                 fetch_args_into(code, bf, frame, args, &mut argv)?;
-                self.charge_app(*charge)?;
-                if let Some(v) = self.exec_bc(code, *fid as usize, argv)? {
+                self.charge_app(OpClass::Call, *charge)?;
+                if let Some(v) = self.exec_bc(code, *fid as usize, argv, loc)? {
                     frame[*dst as usize] = v;
                 }
             }
@@ -336,13 +345,13 @@ impl Vm {
                 fetch_args_into(code, bf, frame, args, &mut argv)?;
                 match code.targets[fid] {
                     CallTarget::Static(f) => {
-                        self.charge_app(*charge)?;
-                        if let Some(v) = self.exec_bc(code, f as usize, argv)? {
+                        self.charge_app(OpClass::Call, *charge)?;
+                        if let Some(v) = self.exec_bc(code, f as usize, argv, loc)? {
                             frame[*dst as usize] = v;
                         }
                     }
                     CallTarget::Host(h) => {
-                        let r = self.bc_host_call(code, h, &argv)?;
+                        let r = self.bc_host_call(code, h, &argv, loc)?;
                         self.frame_pool.push(argv);
                         if !*void {
                             frame[*dst as usize] = r;
@@ -369,12 +378,13 @@ impl Vm {
         bf: &BcFunc,
         frame: &mut [RtVal],
         op: &Op,
+        loc: Option<u32>,
     ) -> Result<(), Trap> {
         match op {
             Op::CallHost { dst, host, void, args } => {
                 let mut argv = self.frame_pool.pop().unwrap_or_default();
                 fetch_args_into(code, bf, frame, args, &mut argv)?;
-                let r = self.bc_host_call(code, *host, &argv)?;
+                let r = self.bc_host_call(code, *host, &argv, loc)?;
                 self.frame_pool.push(argv);
                 if !*void {
                     frame[*dst as usize] = r;
@@ -386,7 +396,7 @@ impl Vm {
                 for (slot, &a) in buf[..n].iter_mut().zip(c.args.iter()) {
                     *slot = fetch(code, bf, frame, a)?;
                 }
-                self.bc_host_call(code, c.host, &buf[..n])?;
+                self.bc_host_call(code, c.host, &buf[..n], loc)?;
             }
             Op::CallUnknown { name, args } => {
                 // The walker evaluates the arguments first (they may trap),
@@ -403,16 +413,40 @@ impl Vm {
 
     /// Invokes host-pool entry `h`, then applies the walker's post-call cost
     /// check (host functions charge through `HostCtx` without a limit check;
-    /// the dispatcher enforces the budget afterwards).
-    fn bc_host_call(&mut self, code: &BcModule, h: u32, argv: &[RtVal]) -> Result<RtVal, Trap> {
+    /// the dispatcher enforces the budget afterwards). The cost_total delta
+    /// across the invocation is attributed to the entry's pre-computed
+    /// [`OpClass`], and the sampler ticks once with a synthetic host frame
+    /// pushed — the exact sequence of the walker's `dispatch_call`.
+    fn bc_host_call(
+        &mut self,
+        code: &BcModule,
+        h: u32,
+        argv: &[RtVal],
+        loc: Option<u32>,
+    ) -> Result<RtVal, Trap> {
         let hf = &code.hosts[h as usize];
-        let mut ctx = HostCtx {
-            mem: &mut self.mem,
-            stats: &mut self.stats,
-            out: &mut self.out,
-            profile: &mut self.profile,
+        let class = code.host_classes[h as usize];
+        if let Some(s) = &mut self.sampler {
+            s.push_id(self.flame_host_ids[h as usize], loc);
+        }
+        let before = self.stats.cost_total;
+        let r = {
+            let mut ctx = HostCtx {
+                mem: &mut self.mem,
+                stats: &mut self.stats,
+                out: &mut self.out,
+                profile: &mut self.profile,
+            };
+            hf(&mut ctx, argv)
         };
-        let r = hf(&mut ctx, argv)?;
+        self.op_metrics.record(class, self.stats.cost_total - before);
+        if let Some(s) = &mut self.sampler {
+            if self.stats.cost_total >= self.flame_next_at {
+                self.flame_next_at = s.sample_until(self.flame_next_at, self.stats.cost_total);
+            }
+            s.pop();
+        }
+        let r = r?;
         if self.stats.cost_total > self.config.max_cost {
             return Err(Trap::CostLimit);
         }
@@ -433,7 +467,7 @@ impl Vm {
         let cost = self.config.cost;
         match op {
             Op::GepDyn { dst, elem_ty, base, indices } => {
-                self.charge_app(cost.gep)?;
+                self.charge_app(OpClass::Gep, cost.gep)?;
                 let mut addr = fetch(code, bf, frame, *base)?.as_int();
                 let mut cur_ty = bf.types[*elem_ty as usize].clone();
                 for (i, (src, spec)) in indices.iter().enumerate() {
@@ -472,7 +506,7 @@ impl Vm {
                 frame[*dst as usize] = RtVal::Int(addr);
             }
             Op::Fcmp { dst, pred, lhs, rhs } => {
-                self.charge_app(cost.arith)?;
+                self.charge_app(OpClass::Fcmp, cost.arith)?;
                 let a = fetch(code, bf, frame, *lhs)?.as_float();
                 let b = fetch(code, bf, frame, *rhs)?.as_float();
                 let r = match pred {
@@ -489,19 +523,19 @@ impl Vm {
                 let d = fetch(code, bf, frame, *dst)?.as_int();
                 let s = fetch(code, bf, frame, *src)?.as_int();
                 let n = fetch(code, bf, frame, *len)?.as_int();
-                self.charge_app(cost.memop_base + (n / 8) * cost.memop_per_word)?;
+                self.charge_app(OpClass::MemCpy, cost.memop_base + (n / 8) * cost.memop_per_word)?;
                 self.mem.copy(d, s, n).map_err(Vm::mem_err)?;
             }
             Op::MemSet { dst, byte, len } => {
                 let d = fetch(code, bf, frame, *dst)?.as_int();
                 let b = fetch(code, bf, frame, *byte)?.as_int() as u8;
                 let n = fetch(code, bf, frame, *len)?.as_int();
-                self.charge_app(cost.memop_base + (n / 8) * cost.memop_per_word)?;
+                self.charge_app(OpClass::MemSet, cost.memop_base + (n / 8) * cost.memop_per_word)?;
                 self.mem.fill(d, b, n).map_err(Vm::mem_err)?;
             }
             Op::Nop => {}
-            Op::TrapUnsupported { charge, pre, msg } => {
-                self.charge_app(*charge)?;
+            Op::TrapUnsupported { charge, class, pre, msg } => {
+                self.charge_app(*class, *charge)?;
                 for &s in pre.iter() {
                     fetch(code, bf, frame, s)?;
                 }

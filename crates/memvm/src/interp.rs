@@ -13,6 +13,8 @@ use crate::cost::CostModel;
 use crate::host::{default_registry, HostCtx, HostRegistry};
 use crate::layout::{FUNC_BASE, GLOBAL_BASE, STACK_BASE};
 use crate::memory::{Fault, Memory};
+use crate::metrics::{classify_host, OpClass, OpMetrics};
+use crate::profiler::FlameSampler;
 use crate::stats::{SiteProfile, VmStats};
 use crate::value::RtVal;
 
@@ -166,6 +168,11 @@ pub struct VmConfig {
     /// byte-identical results; the bytecode backend (default) is faster,
     /// the tree-walker is the reference semantics.
     pub backend: VmBackend,
+    /// Cost units between flamegraph samples; `0` (the default) disables
+    /// the sampling profiler. Because sampling is clocked by charged cost
+    /// — not wall time — the resulting profile is deterministic and
+    /// identical across backends.
+    pub sample_interval: u64,
 }
 
 impl Default for VmConfig {
@@ -175,6 +182,7 @@ impl Default for VmConfig {
             max_cost: 200_000_000_000,
             max_call_depth: 160,
             backend: VmBackend::default(),
+            sample_interval: 0,
         }
     }
 }
@@ -225,6 +233,23 @@ pub struct Vm {
     /// live inside a single `run_edge` application (no call can intervene),
     /// so one buffer serves every recursion depth.
     pub(crate) phi_scratch: Vec<(u32, RtVal)>,
+    /// Per-opcode-class execute counts and attributed cost. Lives on the
+    /// `Vm` (not in [`VmStats`]) so it survives trapped runs and stays out
+    /// of the outcome-equality contract.
+    pub(crate) op_metrics: OpMetrics,
+    /// Cost-driven sampling profiler; present only when
+    /// [`VmConfig::sample_interval`] is non-zero.
+    pub(crate) sampler: Option<FlameSampler>,
+    /// Cost total at which the next flamegraph sample is due; `u64::MAX`
+    /// when sampling is off. Kept as a bare field (not inside the sampler)
+    /// so the per-charge hot path is one compare with no `Option` walk.
+    pub(crate) flame_next_at: u64,
+    /// Sampler frame ids pre-interned per bytecode function index
+    /// (`u32::MAX` for declarations), so the bytecode call path never
+    /// hashes a name. Rebuilt alongside the bytecode cache.
+    pub(crate) flame_fn_ids: Vec<u32>,
+    /// Sampler frame ids pre-interned per bytecode host-pool entry.
+    pub(crate) flame_host_ids: Vec<u32>,
 }
 
 impl Vm {
@@ -303,6 +328,17 @@ impl Vm {
             code: None,
             frame_pool: Vec::new(),
             phi_scratch: Vec::new(),
+            op_metrics: OpMetrics::new(),
+            sampler: match config.sample_interval {
+                0 => None,
+                n => Some(FlameSampler::new(n)),
+            },
+            flame_next_at: match config.sample_interval {
+                0 => u64::MAX,
+                n => n,
+            },
+            flame_fn_ids: Vec::new(),
+            flame_host_ids: Vec::new(),
         })
     }
 
@@ -336,6 +372,24 @@ impl Vm {
         &mut self.mem
     }
 
+    /// Memory (read-only, for counter snapshots).
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Per-opcode-class execute counts and attributed cost collected so
+    /// far. The costs sum exactly to [`VmStats::cost_total`].
+    pub fn op_metrics(&self) -> &OpMetrics {
+        &self.op_metrics
+    }
+
+    /// The folded stacks accumulated by the sampling profiler, or `None`
+    /// when [`VmConfig::sample_interval`] is zero. Materialized on demand:
+    /// the sampler keeps stacks in a compact interned form while running.
+    pub fn flame(&self) -> Option<telemetry::FoldedStacks> {
+        self.sampler.as_ref().map(|s| s.folded())
+    }
+
     /// Address of a global by name.
     pub fn global_addr(&self, name: &str) -> Option<u64> {
         self.module.global_by_name(name).map(|(gid, _)| self.global_addrs[gid.index()])
@@ -352,10 +406,10 @@ impl Vm {
             _ => return Err(Trap::UnknownFunction(name.to_string())),
         };
         let ret = match self.config.backend {
-            VmBackend::Walk => self.exec_function(fid, args.to_vec())?,
+            VmBackend::Walk => self.exec_function(fid, args.to_vec(), None)?,
             VmBackend::Bytecode => {
                 let code = self.bytecode();
-                self.exec_bc(&code, fid.index(), args.to_vec())?
+                self.exec_bc(&code, fid.index(), args.to_vec(), None)?
             }
         };
         self.stats.mapped_bytes = self.mem.mapped_bytes();
@@ -395,27 +449,66 @@ impl Vm {
             &self.func_to_addr,
         ));
         self.code = Some((version, std::rc::Rc::clone(&code)));
+        if let Some(s) = &mut self.sampler {
+            // Pre-intern every callee name so the bytecode call path pushes
+            // frames by id without hashing. Declarations keep a sentinel;
+            // they have no body to execute under.
+            self.flame_fn_ids = code
+                .funcs
+                .iter()
+                .map(|f| f.as_ref().map_or(u32::MAX, |f| s.intern(&f.name)))
+                .collect();
+            self.flame_host_ids = code.host_names.iter().map(|n| s.intern(n)).collect();
+        }
         code
     }
 
-    pub(crate) fn charge_app(&mut self, cost: u64) -> Result<(), Trap> {
+    /// Charges `cost` application-cost units attributed to `class`, takes
+    /// any flamegraph samples now due, and enforces the cost budget.
+    #[inline]
+    pub(crate) fn charge_app(&mut self, class: OpClass, cost: u64) -> Result<(), Trap> {
         self.stats.cost_total += cost;
         self.stats.cost_app += cost;
+        self.op_metrics.record(class, cost);
+        if self.stats.cost_total >= self.flame_next_at {
+            self.flame_sample();
+        }
         if self.stats.cost_total > self.config.max_cost {
             return Err(Trap::CostLimit);
         }
         Ok(())
     }
 
-    fn exec_function(&mut self, fid: FuncId, args: Vec<RtVal>) -> Result<Option<RtVal>, Trap> {
+    /// The cold half of the sampling check: records every flamegraph sample
+    /// now due and advances the boundary cursor. Only reachable when a
+    /// sampler is configured (`flame_next_at` is `u64::MAX` otherwise).
+    #[cold]
+    #[inline(never)]
+    pub(crate) fn flame_sample(&mut self) {
+        let s = self.sampler.as_mut().expect("finite flame_next_at implies a sampler");
+        self.flame_next_at = s.sample_until(self.flame_next_at, self.stats.cost_total);
+    }
+
+    fn exec_function(
+        &mut self,
+        fid: FuncId,
+        args: Vec<RtVal>,
+        loc: Option<u32>,
+    ) -> Result<Option<RtVal>, Trap> {
         if self.call_depth >= self.config.max_call_depth {
             return Err(Trap::StackOverflow);
         }
         self.call_depth += 1;
+        if let Some(s) = &mut self.sampler {
+            s.push(&self.module.functions[fid.index()].name, loc);
+        }
         let saved_sp = self.stack_ptr;
         let result = self.exec_function_inner(fid, args);
         self.stack_ptr = saved_sp;
         self.call_depth -= 1;
+        if let Some(s) = &mut self.sampler {
+            s.pop();
+        }
         result
     }
 
@@ -487,9 +580,10 @@ impl Vm {
                 let iid = block.instrs[pos];
                 let instr = &module.functions[fid.index()].instrs[iid.index()];
                 self.stats.instrs_executed += 1;
-                let value = self.exec_instr(fid, &mut frame, &instr.kind).map_err(|t| {
-                    t.with_frame(&module.functions[fid.index()].name, instr.loc.map(|l| l.line))
-                })?;
+                let loc = instr.loc.map(|l| l.line);
+                let value = self
+                    .exec_instr(fid, &mut frame, &instr.kind, loc)
+                    .map_err(|t| t.with_frame(&module.functions[fid.index()].name, loc))?;
                 if let (Some(result), Some(v)) = (instr.result, value) {
                     frame[result.index()] = Some(v);
                 }
@@ -498,7 +592,7 @@ impl Vm {
             // Terminator.
             match &block.term {
                 Terminator::Ret(op) => {
-                    self.charge_app(self.config.cost.ret)?;
+                    self.charge_app(OpClass::Ret, self.config.cost.ret)?;
                     return match op {
                         None => Ok(None),
                         Some(op) => {
@@ -508,12 +602,12 @@ impl Vm {
                     };
                 }
                 Terminator::Br(b) => {
-                    self.charge_app(self.config.cost.br)?;
+                    self.charge_app(OpClass::Br, self.config.cost.br)?;
                     prev = Some(cur);
                     cur = *b;
                 }
                 Terminator::CondBr { cond, then_bb, else_bb } => {
-                    self.charge_app(self.config.cost.condbr)?;
+                    self.charge_app(OpClass::CondBr, self.config.cost.condbr)?;
                     let c = self.eval(fid, &frame, cond, &Type::I1)?.as_int();
                     prev = Some(cur);
                     cur = if c & 1 != 0 { *then_bb } else { *else_bb };
@@ -570,6 +664,7 @@ impl Vm {
         fid: FuncId,
         frame: &mut [Option<RtVal>],
         kind: &InstrKind,
+        loc: Option<u32>,
     ) -> Result<Option<RtVal>, Trap> {
         match kind {
             InstrKind::Call { callee, args, ret } => {
@@ -578,7 +673,7 @@ impl Vm {
                     let ty = self.module.functions[fid.index()].operand_type(a);
                     argv.push(self.eval(fid, frame, a, &ty)?);
                 }
-                self.dispatch_call(callee, argv, ret)
+                self.dispatch_call(callee, argv, ret, loc)
             }
             InstrKind::CallIndirect { callee, args, ret } => {
                 let target = self.eval(fid, frame, callee, &Type::Ptr)?.as_int();
@@ -590,7 +685,7 @@ impl Vm {
                     let ty = self.module.functions[fid.index()].operand_type(a);
                     argv.push(self.eval(fid, frame, a, &ty)?);
                 }
-                self.dispatch_call(&name, argv, ret)
+                self.dispatch_call(&name, argv, ret, loc)
             }
             other => self.exec_data_instr(fid, frame, other),
         }
@@ -606,7 +701,7 @@ impl Vm {
         let cost = &self.config.cost;
         match kind {
             InstrKind::Alloca { ty, count } => {
-                self.charge_app(cost.alloca)?;
+                self.charge_app(OpClass::Alloca, cost.alloca)?;
                 let n = self.eval(fid, frame, count, &Type::I64)?.as_int();
                 let size = (ty.size_of().max(1)).saturating_mul(n.max(1));
                 let addr = (self.stack_ptr + 15) & !15;
@@ -615,14 +710,14 @@ impl Vm {
                 Ok(Some(RtVal::Int(addr)))
             }
             InstrKind::Load { ty, ptr } => {
-                self.charge_app(cost.load)?;
+                self.charge_app(OpClass::Load, cost.load)?;
                 let addr = self.eval(fid, frame, ptr, &Type::Ptr)?.as_int();
                 let width = scalar_width(ty)?;
                 let bits = self.mem.read_uint(addr, width).map_err(Self::mem_err)?;
                 Ok(Some(RtVal::from_bits(ty, bits).truncated_if_int(ty)))
             }
             InstrKind::Store { ty, value, ptr } => {
-                self.charge_app(cost.store)?;
+                self.charge_app(OpClass::Store, cost.store)?;
                 let addr = self.eval(fid, frame, ptr, &Type::Ptr)?.as_int();
                 let v = self.eval(fid, frame, value, ty)?;
                 let width = scalar_width(ty)?;
@@ -630,7 +725,7 @@ impl Vm {
                 Ok(None)
             }
             InstrKind::Gep { elem_ty, base, indices } => {
-                self.charge_app(cost.gep)?;
+                self.charge_app(OpClass::Gep, cost.gep)?;
                 let mut addr = self.eval(fid, frame, base, &Type::Ptr)?.as_int();
                 let mut cur_ty = elem_ty.clone();
                 for (i, idx) in indices.iter().enumerate() {
@@ -675,7 +770,7 @@ impl Vm {
             }
             InstrKind::Phi { .. } => unreachable!("phis handled at block entry"),
             InstrKind::Select { ty, cond, then_value, else_value } => {
-                self.charge_app(cost.arith)?;
+                self.charge_app(OpClass::Select, cost.arith)?;
                 let c = self.eval(fid, frame, cond, &Type::I1)?.as_int();
                 let v = if c & 1 != 0 {
                     self.eval(fid, frame, then_value, ty)?
@@ -685,19 +780,19 @@ impl Vm {
                 Ok(Some(v))
             }
             InstrKind::Bin { op, ty, lhs, rhs } => {
-                self.charge_app(cost.arith)?;
+                self.charge_app(OpClass::Bin, cost.arith)?;
                 let a = self.eval(fid, frame, lhs, ty)?;
                 let b = self.eval(fid, frame, rhs, ty)?;
                 Ok(Some(exec_bin(*op, ty, a, b)?))
             }
             InstrKind::Icmp { pred, ty, lhs, rhs } => {
-                self.charge_app(cost.arith)?;
+                self.charge_app(OpClass::Icmp, cost.arith)?;
                 let a = self.eval(fid, frame, lhs, ty)?;
                 let b = self.eval(fid, frame, rhs, ty)?;
                 Ok(Some(RtVal::Int(exec_icmp(*pred, ty, a, b) as u64)))
             }
             InstrKind::Fcmp { pred, lhs, rhs } => {
-                self.charge_app(cost.arith)?;
+                self.charge_app(OpClass::Fcmp, cost.arith)?;
                 let a = self.eval(fid, frame, lhs, &Type::F64)?.as_float();
                 let b = self.eval(fid, frame, rhs, &Type::F64)?.as_float();
                 let r = match pred {
@@ -711,7 +806,7 @@ impl Vm {
                 Ok(Some(RtVal::Int(r as u64)))
             }
             InstrKind::Cast { op, value, from, to } => {
-                self.charge_app(cost.arith)?;
+                self.charge_app(OpClass::Cast, cost.arith)?;
                 let v = self.eval(fid, frame, value, from)?;
                 Ok(Some(exec_cast(*op, v, from, to)))
             }
@@ -722,7 +817,7 @@ impl Vm {
                 let d = self.eval(fid, frame, dst, &Type::Ptr)?.as_int();
                 let s = self.eval(fid, frame, src, &Type::Ptr)?.as_int();
                 let n = self.eval(fid, frame, len, &Type::I64)?.as_int();
-                self.charge_app(cost.memop_base + (n / 8) * cost.memop_per_word)?;
+                self.charge_app(OpClass::MemCpy, cost.memop_base + (n / 8) * cost.memop_per_word)?;
                 self.mem.copy(d, s, n).map_err(Self::mem_err)?;
                 Ok(None)
             }
@@ -730,7 +825,7 @@ impl Vm {
                 let d = self.eval(fid, frame, dst, &Type::Ptr)?.as_int();
                 let b = self.eval(fid, frame, byte, &Type::I8)?.as_int() as u8;
                 let n = self.eval(fid, frame, len, &Type::I64)?.as_int();
-                self.charge_app(cost.memop_base + (n / 8) * cost.memop_per_word)?;
+                self.charge_app(OpClass::MemSet, cost.memop_base + (n / 8) * cost.memop_per_word)?;
                 self.mem.fill(d, b, n).map_err(Self::mem_err)?;
                 Ok(None)
             }
@@ -743,25 +838,47 @@ impl Vm {
         callee: &str,
         argv: Vec<RtVal>,
         ret: &Type,
+        loc: Option<u32>,
     ) -> Result<Option<RtVal>, Trap> {
         // Defined module function?
         if let Some((callee_fid, f)) = self.module.function_by_name(callee) {
             if !f.is_declaration {
                 self.charge_app(
+                    OpClass::Call,
                     self.config.cost.call + self.config.cost.call_per_arg * argv.len() as u64,
                 )?;
-                return self.exec_function(callee_fid, argv);
+                return self.exec_function(callee_fid, argv, loc);
             }
         }
         // Host function?
         if let Some(hf) = self.registry.get(callee).cloned() {
-            let mut ctx = HostCtx {
-                mem: &mut self.mem,
-                stats: &mut self.stats,
-                out: &mut self.out,
-                profile: &mut self.profile,
+            // The host function charges through `HostCtx` without ticking the
+            // sampler; the cost_total delta across the invocation attributes
+            // its whole cost to the callee's class, and one deferred tick
+            // samples with the synthetic host frame still pushed. This exact
+            // sequence is mirrored by the bytecode backend's host-call path.
+            let class = classify_host(callee);
+            if let Some(s) = &mut self.sampler {
+                s.push(callee, loc);
+            }
+            let before = self.stats.cost_total;
+            let r = {
+                let mut ctx = HostCtx {
+                    mem: &mut self.mem,
+                    stats: &mut self.stats,
+                    out: &mut self.out,
+                    profile: &mut self.profile,
+                };
+                hf(&mut ctx, &argv)
             };
-            let r = hf(&mut ctx, &argv)?;
+            self.op_metrics.record(class, self.stats.cost_total - before);
+            if let Some(s) = &mut self.sampler {
+                if self.stats.cost_total >= self.flame_next_at {
+                    self.flame_next_at = s.sample_until(self.flame_next_at, self.stats.cost_total);
+                }
+                s.pop();
+            }
+            let r = r?;
             if self.stats.cost_total > self.config.max_cost {
                 return Err(Trap::CostLimit);
             }

@@ -49,6 +49,8 @@ pub mod host;
 pub mod interp;
 pub mod layout;
 pub mod memory;
+pub mod metrics;
+pub mod profiler;
 pub mod stats;
 pub mod value;
 
@@ -56,6 +58,8 @@ pub use bytecode::{parse_bytecode, BcModule, VmBackend};
 pub use cost::CostModel;
 pub use host::{CostCategory, HostCtx, HostRegistry};
 pub use interp::{ExecOutcome, Trap, Vm, VmConfig};
-pub use memory::Memory;
+pub use memory::{MemCounters, Memory};
+pub use metrics::{classify_host, OpClass, OpMetrics};
+pub use profiler::FlameSampler;
 pub use stats::{SiteCounts, SiteProfile, VmStats};
 pub use value::RtVal;

@@ -52,6 +52,14 @@ pub struct Memory {
     /// Mapped intervals: start → end (exclusive), non-overlapping, merged.
     ranges: BTreeMap<u64, u64>,
     mapped_bytes: u64,
+    /// Hot-slot fast-path accesses (single-page access found in its slot).
+    cache_hits: u64,
+    /// Accesses that had to promote a page out of the hash map.
+    cache_misses: u64,
+    /// Promotions that evicted a previous occupant back into the map.
+    cache_demotions: u64,
+    /// Pages created on first write.
+    pages_materialized: u64,
 }
 
 impl Default for Memory {
@@ -61,8 +69,33 @@ impl Default for Memory {
             pages: HashMap::default(),
             ranges: BTreeMap::new(),
             mapped_bytes: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_demotions: 0,
+            pages_materialized: 0,
         }
     }
+}
+
+/// Snapshot of [`Memory`]'s hot-page cache effectiveness counters.
+///
+/// *Hits* count accesses served by the direct-mapped hot-slot fast path;
+/// *misses* count accesses that found their page in the hash map and
+/// promoted it; *demotions* count promotions that evicted a slot's previous
+/// occupant. Accesses to mapped-but-unmaterialized memory are neither hits
+/// nor misses (there is nothing cached to find), and multi-page accesses
+/// bypass the cache entirely. Because both VM backends perform identical
+/// access sequences, these counters are deterministic and backend-invariant.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct MemCounters {
+    /// Hot-slot fast-path accesses.
+    pub cache_hits: u64,
+    /// Accesses that promoted a page from the hash map into a slot.
+    pub cache_misses: u64,
+    /// Promotions that demoted a previous slot occupant.
+    pub cache_demotions: u64,
+    /// Pages materialized on first write.
+    pub pages_materialized: u64,
 }
 
 /// Error for accesses to unmapped addresses.
@@ -145,6 +178,16 @@ impl Memory {
         self.mapped_bytes
     }
 
+    /// Snapshot of the hot-page cache effectiveness counters.
+    pub fn counters(&self) -> MemCounters {
+        MemCounters {
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            cache_demotions: self.cache_demotions,
+            pages_materialized: self.pages_materialized,
+        }
+    }
+
     /// The direct-mapped `hot` slot for a page base.
     #[inline]
     fn slot_of(base: u64) -> usize {
@@ -158,8 +201,10 @@ impl Memory {
     fn promote(&mut self, base: u64) -> bool {
         match self.pages.remove(&base) {
             Some(page) => {
+                self.cache_misses += 1;
                 let slot = &mut self.hot[Self::slot_of(base)];
                 if let Some((old_base, old_page)) = slot.take() {
+                    self.cache_demotions += 1;
                     self.pages.insert(old_base, old_page);
                 }
                 *slot = Some((base, page));
@@ -194,6 +239,7 @@ impl Memory {
             match &self.hot[Self::slot_of(base)] {
                 Some((b, page)) if *b == base => {
                     buf.copy_from_slice(&page[off..off + buf.len()]);
+                    self.cache_hits += 1;
                     return Ok(());
                 }
                 _ => {
@@ -238,6 +284,7 @@ impl Memory {
             match &mut self.hot[Self::slot_of(base)] {
                 Some((b, page)) if *b == base => {
                     page[off..off + buf.len()].copy_from_slice(buf);
+                    self.cache_hits += 1;
                     return Ok(());
                 }
                 _ => {
@@ -262,10 +309,13 @@ impl Memory {
             // Route around the hot slots so a page never exists twice.
             let page = match &mut self.hot[Self::slot_of(base)] {
                 Some((b, page)) if *b == base => page,
-                _ => self
-                    .pages
-                    .entry(base)
-                    .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice()),
+                _ => {
+                    let materialized = &mut self.pages_materialized;
+                    self.pages.entry(base).or_insert_with(|| {
+                        *materialized += 1;
+                        vec![0u8; PAGE_SIZE as usize].into_boxed_slice()
+                    })
+                }
             };
             page[off..off + n].copy_from_slice(&buf[i..i + n]);
             a += n as u64;
@@ -284,21 +334,22 @@ impl Memory {
         if off + width as usize <= PAGE_SIZE as usize {
             if let Some((b, page)) = &self.hot[Self::slot_of(base)] {
                 if *b == base {
-                    return Ok(match width {
-                        8 => u64::from_le_bytes(page[off..off + 8].try_into().expect("width")),
-                        4 => {
-                            u32::from_le_bytes(page[off..off + 4].try_into().expect("width")) as u64
-                        }
-                        2 => {
-                            u16::from_le_bytes(page[off..off + 2].try_into().expect("width")) as u64
-                        }
-                        1 => page[off] as u64,
-                        w => {
-                            let mut buf = [0u8; 8];
-                            buf[..w as usize].copy_from_slice(&page[off..off + w as usize]);
-                            u64::from_le_bytes(buf)
-                        }
-                    });
+                    let v =
+                        match width {
+                            8 => u64::from_le_bytes(page[off..off + 8].try_into().expect("width")),
+                            4 => u32::from_le_bytes(page[off..off + 4].try_into().expect("width"))
+                                as u64,
+                            2 => u16::from_le_bytes(page[off..off + 2].try_into().expect("width"))
+                                as u64,
+                            1 => page[off] as u64,
+                            w => {
+                                let mut buf = [0u8; 8];
+                                buf[..w as usize].copy_from_slice(&page[off..off + w as usize]);
+                                u64::from_le_bytes(buf)
+                            }
+                        };
+                    self.cache_hits += 1;
+                    return Ok(v);
                 }
             }
         }
@@ -325,6 +376,7 @@ impl Memory {
                             page[off..off + w as usize].copy_from_slice(&bytes[..w as usize]);
                         }
                     }
+                    self.cache_hits += 1;
                     return Ok(());
                 }
             }
@@ -479,5 +531,57 @@ mod tests {
         assert_eq!(m.mapped_bytes(), PAGE_SIZE);
         m.map(0, PAGE_SIZE + 1);
         assert_eq!(m.mapped_bytes(), 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn cache_counters_track_crafted_pattern() {
+        let mut m = Memory::new();
+        m.map(0x1000, PAGE_SIZE);
+        assert_eq!(m.counters(), MemCounters::default());
+
+        // First write: the page is not yet materialized anywhere, so the
+        // access is neither a hit nor a miss — it materializes the page
+        // into the hash map (the hot slot stays empty).
+        m.write_uint(0x1000, 8, 1).unwrap();
+        assert_eq!(
+            m.counters(),
+            MemCounters {
+                cache_hits: 0,
+                cache_misses: 0,
+                cache_demotions: 0,
+                pages_materialized: 1
+            }
+        );
+
+        // The next access finds the page in the map and promotes it: a miss.
+        assert_eq!(m.read_uint(0x1000, 8).unwrap(), 1);
+        assert_eq!(m.counters().cache_misses, 1);
+        assert_eq!(m.counters().cache_hits, 0);
+
+        // Repeated accesses to the promoted page are hot-slot hits.
+        for _ in 0..10 {
+            m.read_uint(0x1000, 8).unwrap();
+        }
+        m.write_uint(0x1000, 4, 7).unwrap();
+        let c = m.counters();
+        assert_eq!(c.cache_hits, 11);
+        assert_eq!(c.cache_misses, 1);
+        assert_eq!(c.cache_demotions, 0);
+
+        // A page HOT_SLOTS pages away maps to the same direct-mapped slot:
+        // promoting it demotes the first page, and touching the first page
+        // again demotes the second right back.
+        let conflict = 0x1000 + HOT_SLOTS as u64 * PAGE_SIZE;
+        m.map(conflict, PAGE_SIZE);
+        m.write_uint(conflict, 8, 2).unwrap(); // materializes, slot untouched
+        m.read_uint(conflict, 8).unwrap(); // miss + demotion of 0x1000's page
+        let c = m.counters();
+        assert_eq!(c.pages_materialized, 2);
+        assert_eq!(c.cache_misses, 2);
+        assert_eq!(c.cache_demotions, 1);
+        m.read_uint(0x1000, 8).unwrap(); // miss + demotion of the conflict page
+        let c = m.counters();
+        assert_eq!(c.cache_misses, 3);
+        assert_eq!(c.cache_demotions, 2);
     }
 }

@@ -1,0 +1,203 @@
+//! Folded ("collapsed") call-stack accumulation in the flamegraph format.
+//!
+//! One entry per distinct stack: frames joined by `;` (root first) mapped to
+//! a sample count. [`FoldedStacks::render`] emits the standard
+//! `frame;frame;frame count` lines accepted by inferno / flamegraph.pl /
+//! speedscope, sorted lexicographically so output is byte-stable.
+
+use std::collections::BTreeMap;
+
+/// An accumulator of folded stacks.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FoldedStacks {
+    map: BTreeMap<String, u64>,
+}
+
+impl FoldedStacks {
+    /// An empty accumulator.
+    pub fn new() -> FoldedStacks {
+        FoldedStacks::default()
+    }
+
+    /// Records `count` samples of the stack `frames` (root first).
+    pub fn record<S: AsRef<str>>(&mut self, frames: &[S], count: u64) {
+        if frames.is_empty() || count == 0 {
+            return;
+        }
+        let joined: Vec<&str> = frames.iter().map(|f| f.as_ref()).collect();
+        self.record_key(&joined.join(";"), count);
+    }
+
+    /// Records `count` samples of an already-joined `a;b;c` stack key.
+    pub fn record_key(&mut self, stack: &str, count: u64) {
+        if stack.is_empty() || count == 0 {
+            return;
+        }
+        *self.map.entry(stack.to_string()).or_insert(0) += count;
+    }
+
+    /// Sums `other` into `self`.
+    pub fn merge(&mut self, other: &FoldedStacks) {
+        for (k, v) in &other.map {
+            *self.map.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+
+    /// A copy with `prefix` prepended as the root frame of every stack.
+    pub fn prefixed(&self, prefix: &str) -> FoldedStacks {
+        let mut out = FoldedStacks::new();
+        for (k, v) in &self.map {
+            out.map.insert(format!("{prefix};{k}"), *v);
+        }
+        out
+    }
+
+    /// Total sample count over all stacks.
+    pub fn total_samples(&self) -> u64 {
+        self.map.values().sum()
+    }
+
+    /// Whether no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates `(stack, count)` in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Sample count attributed to each *leaf* frame (the flamegraph's
+    /// self-cost view), sorted by descending count then frame name.
+    pub fn leaf_totals(&self) -> Vec<(String, u64)> {
+        let mut per_leaf: BTreeMap<&str, u64> = BTreeMap::new();
+        for (k, v) in &self.map {
+            let leaf = k.rsplit(';').next().unwrap_or(k);
+            *per_leaf.entry(leaf).or_insert(0) += v;
+        }
+        let mut v: Vec<(String, u64)> =
+            per_leaf.into_iter().map(|(k, c)| (k.to_string(), c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Renders the collapsed-stack text: one `stack count` line per entry,
+    /// sorted lexicographically by stack.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for (k, v) in &self.map {
+            s.push_str(k);
+            s.push(' ');
+            s.push_str(&v.to_string());
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Parses collapsed-stack text produced by [`FoldedStacks::render`]
+    /// (or any flamegraph tool). Duplicate stacks are summed.
+    pub fn parse(text: &str) -> Result<FoldedStacks, String> {
+        let mut out = FoldedStacks::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            let (stack, count) =
+                line.rsplit_once(' ').ok_or_else(|| format!("line {}: no count", i + 1))?;
+            let count: u64 =
+                count.parse().map_err(|e| format!("line {}: bad count: {e}", i + 1))?;
+            out.record_key(stack, count);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_render_sorted() {
+        let mut f = FoldedStacks::new();
+        f.record(&["main", "work", "leaf"], 3);
+        f.record(&["main"], 1);
+        f.record(&["main", "work", "leaf"], 2);
+        assert_eq!(f.render(), "main 1\nmain;work;leaf 5\n");
+        assert_eq!(f.total_samples(), 6);
+    }
+
+    #[test]
+    fn empty_and_zero_records_ignored() {
+        let mut f = FoldedStacks::new();
+        f.record::<&str>(&[], 5);
+        f.record(&["main"], 0);
+        f.record_key("", 3);
+        assert!(f.is_empty());
+        assert_eq!(f.render(), "");
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = FoldedStacks::new();
+        a.record(&["m", "f"], 2);
+        let mut b = FoldedStacks::new();
+        b.record(&["m", "f"], 3);
+        b.record(&["m", "g"], 1);
+        a.merge(&b);
+        assert_eq!(a.render(), "m;f 5\nm;g 1\n");
+    }
+
+    #[test]
+    fn prefixed_prepends_root() {
+        let mut f = FoldedStacks::new();
+        f.record(&["main", "leaf"], 4);
+        let p = f.prefixed("prog;softbound@O0");
+        assert_eq!(p.render(), "prog;softbound@O0;main;leaf 4\n");
+        assert_eq!(p.total_samples(), 4);
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        let mut f = FoldedStacks::new();
+        f.record(&["main", "a:12"], 7);
+        f.record(&["main"], 2);
+        let text = f.render();
+        let g = FoldedStacks::parse(&text).unwrap();
+        assert_eq!(f, g);
+        assert!(FoldedStacks::parse("nocount\n").is_err());
+        assert!(FoldedStacks::parse("x notanumber\n").is_err());
+        assert_eq!(FoldedStacks::parse("\n\n").unwrap(), FoldedStacks::new());
+    }
+
+    #[test]
+    fn leaf_totals_aggregate_self_cost() {
+        let mut f = FoldedStacks::new();
+        f.record(&["main", "hot"], 10);
+        f.record(&["main", "other", "hot"], 5);
+        f.record(&["main"], 3);
+        let leaves = f.leaf_totals();
+        assert_eq!(leaves[0], ("hot".to_string(), 15));
+        assert_eq!(leaves[1], ("main".to_string(), 3));
+    }
+
+    #[test]
+    fn merge_order_independent() {
+        let mut parts = Vec::new();
+        for i in 0..3u64 {
+            let mut f = FoldedStacks::new();
+            f.record(&["main", "w"], i + 1);
+            f.record(&[format!("f{i}")], 1);
+            parts.push(f);
+        }
+        let mut fwd = FoldedStacks::new();
+        for p in &parts {
+            fwd.merge(p);
+        }
+        let mut rev = FoldedStacks::new();
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        assert_eq!(fwd.render(), rev.render());
+    }
+}

@@ -1,0 +1,27 @@
+// Promoted from the generative fuzzer: seed=11 case=6
+// kind=oversized-overflow, model: sb=caught lf=missed rz=missed
+// (regenerate: cargo run -p fuzz --bin promote -- --seed 11)
+// Unlike fuzz_oversized_overflow.c (seed 0), this case is kept for its
+// trap-kind spread: one violation + three segfaults, which
+// tests/observability.rs pins in the mi-metrics/1 `vm_traps` tallies.
+// CHECK baseline: segfault
+// CHECK softbound: violation
+// CHECK lowfat: segfault
+// CHECK redzone: segfault
+// promoted fuzz mutant: oversized-overflow
+long main(void) {
+    long x = 24;
+    long *v0 = (long*)malloc(1073741824);
+    for (long i = 0; i < 16; i += 1) v0[i] = (i * 2 + 5) & 255;
+    long chk = 0;
+    for (long i = 0; i < 16; i += 1) chk += v0[i] * (i + 1);
+    print_i64(chk);
+    print_i64(x);
+    /* mutation: oversized-overflow on v0 (sb=caught lf=missed rz=missed) */
+    x += v0[134218752];
+    print_i64(x);
+    return 0;
+}
+// CHECKTRAP softbound: 8-byte read at fuzz_oversized_overflow_tally.c:21 overflows 1073741824-byte heap object allocated at fuzz_oversized_overflow_tally.c:14
+// CHECKTRAP baseline: 8-byte read at unmapped 0xe00040002000 in @main (line 21)
+// CHECKTRAP lowfat: in @main (line 21)
