@@ -42,6 +42,8 @@ use mir::pipeline::{ExtensionPoint, OptLevel};
 use mir::trace::TraceRecorder;
 use telemetry::{FoldedStacks, Registry};
 
+use crate::json::{json_str, json_str_array};
+
 /// A program to evaluate: a name plus its mini-C source.
 #[derive(Clone, Debug)]
 pub struct Program {
@@ -399,67 +401,14 @@ impl Report {
         );
         out.push_str("  \"cells\": [\n");
         for (i, cell) in self.cells.iter().enumerate() {
-            let _ = write!(
-                out,
-                "    {{\"program\": {}, \"config\": {}",
-                json_str(&cell.program),
-                json_str(&cell.config)
-            );
-            match &cell.outcome {
-                Ok(ok) => {
-                    out.push_str(", \"ok\": true");
-                    match ok.ret {
-                        Some(r) => {
-                            let _ = write!(out, ", \"ret\": {r}");
-                        }
-                        None => out.push_str(", \"ret\": null"),
-                    }
-                    let _ = write!(out, ", \"output\": {}", json_str_array(&ok.output));
-                    let s = &ok.stats;
-                    let _ = write!(
-                        out,
-                        ", \"cost\": {}, \"cost_app\": {}, \"cost_checks\": {}, \"cost_metadata\": {}, \"cost_allocator\": {}, \"cost_other\": {}",
-                        s.cost_total, s.cost_app, s.cost_checks, s.cost_metadata, s.cost_allocator, s.cost_other
-                    );
-                    let _ = write!(
-                        out,
-                        ", \"instrs_executed\": {}, \"checks_executed\": {}, \"checks_wide\": {}, \"invariant_checks\": {}, \"metadata_loads\": {}, \"metadata_stores\": {}, \"mapped_bytes\": {}",
-                        s.instrs_executed, s.checks_executed, s.checks_wide,
-                        s.invariant_checks_executed, s.metadata_loads, s.metadata_stores, s.mapped_bytes
-                    );
-                    let st = &ok.instr;
-                    let _ = write!(
-                        out,
-                        ", \"static\": {{\"checks_discovered\": {}, \"checks_eliminated\": {}, \"checks_hoisted\": {}, \"checks_widened\": {}, \"checks_placed\": {}, \"invariants_placed\": {}, \"metadata_loads_placed\": {}, \"metadata_stores_placed\": {}, \"allocas_replaced\": {}, \"globals_mirrored\": {}, \"functions_instrumented\": {}, \"functions_skipped\": {}, \"checks_narrowed\": {}}}",
-                        st.checks_discovered, st.checks_eliminated, st.checks_hoisted,
-                        st.checks_widened, st.checks_placed,
-                        st.invariants_placed, st.metadata_loads_placed, st.metadata_stores_placed,
-                        st.allocas_replaced, st.globals_mirrored, st.functions_instrumented,
-                        st.functions_skipped, st.checks_narrowed
-                    );
-                }
-                Err(t) => {
-                    let _ = write!(
-                        out,
-                        ", \"ok\": false, \"trap_kind\": {}, \"trap\": {}",
-                        json_str(t.kind.name()),
-                        json_str(&t.message)
-                    );
-                }
-            }
-            if include_timings {
-                let t = &cell.timing;
-                let _ = write!(
-                    out,
-                    ", \"timing_us\": {{\"frontend\": {}, \"pipeline\": {}, \"instrumentation\": {}, \"vm_compile\": {}, \"execution\": {}}}",
-                    t.frontend.as_micros(),
-                    t.pipeline.as_micros(),
-                    t.instrumentation.as_micros(),
-                    t.vm_compile.as_micros(),
-                    t.execution.as_micros()
-                );
-            }
-            out.push_str(if i + 1 == self.cells.len() { "}\n" } else { "},\n" });
+            out.push_str("    ");
+            out.push_str(&cell_json(
+                &cell.program,
+                &cell.config,
+                &cell.outcome,
+                include_timings.then_some(&cell.timing),
+            ));
+            out.push_str(if i + 1 == self.cells.len() { "\n" } else { ",\n" });
         }
         out.push_str("  ]");
         if include_timings {
@@ -479,6 +428,81 @@ impl Report {
         out.push_str("\n}\n");
         out
     }
+}
+
+/// Renders the `"static"` instrumentation-statistics object of a report
+/// cell. Shared with [`crate::job::JobOutcome::result_json`] so compile
+/// jobs report exactly the block a sweep cell would.
+pub fn static_json(st: &InstrStats) -> String {
+    format!(
+        "{{\"checks_discovered\": {}, \"checks_eliminated\": {}, \"checks_hoisted\": {}, \"checks_widened\": {}, \"checks_placed\": {}, \"invariants_placed\": {}, \"metadata_loads_placed\": {}, \"metadata_stores_placed\": {}, \"allocas_replaced\": {}, \"globals_mirrored\": {}, \"functions_instrumented\": {}, \"functions_skipped\": {}, \"checks_narrowed\": {}}}",
+        st.checks_discovered, st.checks_eliminated, st.checks_hoisted,
+        st.checks_widened, st.checks_placed,
+        st.invariants_placed, st.metadata_loads_placed, st.metadata_stores_placed,
+        st.allocas_replaced, st.globals_mirrored, st.functions_instrumented,
+        st.functions_skipped, st.checks_narrowed
+    )
+}
+
+/// Renders one report cell as a single-line JSON object — the exact bytes
+/// [`Report::to_json`] emits per cell (minus indentation and the list
+/// comma). This is the byte-identity contract of the `mi serve` daemon:
+/// its run-job responses carry precisely this rendering, so a served
+/// result can be diffed against an in-process sweep byte for byte.
+pub fn cell_json(
+    program: &str,
+    config: &str,
+    outcome: &Result<CellOk, CellTrap>,
+    timing: Option<&CellTiming>,
+) -> String {
+    let mut out = String::with_capacity(512);
+    let _ = write!(out, "{{\"program\": {}, \"config\": {}", json_str(program), json_str(config));
+    match outcome {
+        Ok(ok) => {
+            out.push_str(", \"ok\": true");
+            match ok.ret {
+                Some(r) => {
+                    let _ = write!(out, ", \"ret\": {r}");
+                }
+                None => out.push_str(", \"ret\": null"),
+            }
+            let _ = write!(out, ", \"output\": {}", json_str_array(&ok.output));
+            let s = &ok.stats;
+            let _ = write!(
+                out,
+                ", \"cost\": {}, \"cost_app\": {}, \"cost_checks\": {}, \"cost_metadata\": {}, \"cost_allocator\": {}, \"cost_other\": {}",
+                s.cost_total, s.cost_app, s.cost_checks, s.cost_metadata, s.cost_allocator, s.cost_other
+            );
+            let _ = write!(
+                out,
+                ", \"instrs_executed\": {}, \"checks_executed\": {}, \"checks_wide\": {}, \"invariant_checks\": {}, \"metadata_loads\": {}, \"metadata_stores\": {}, \"mapped_bytes\": {}",
+                s.instrs_executed, s.checks_executed, s.checks_wide,
+                s.invariant_checks_executed, s.metadata_loads, s.metadata_stores, s.mapped_bytes
+            );
+            let _ = write!(out, ", \"static\": {}", static_json(&ok.instr));
+        }
+        Err(t) => {
+            let _ = write!(
+                out,
+                ", \"ok\": false, \"trap_kind\": {}, \"trap\": {}",
+                json_str(t.kind.name()),
+                json_str(&t.message)
+            );
+        }
+    }
+    if let Some(t) = timing {
+        let _ = write!(
+            out,
+            ", \"timing_us\": {{\"frontend\": {}, \"pipeline\": {}, \"instrumentation\": {}, \"vm_compile\": {}, \"execution\": {}}}",
+            t.frontend.as_micros(),
+            t.pipeline.as_micros(),
+            t.instrumentation.as_micros(),
+            t.vm_compile.as_micros(),
+            t.execution.as_micros()
+        );
+    }
+    out.push('}');
+    out
 }
 
 /// The evaluation driver: a job matrix plus execution settings.
@@ -523,6 +547,13 @@ impl Driver {
     pub fn with_vm(mut self, vm: VmConfig) -> Driver {
         self.vm = vm;
         self
+    }
+
+    /// The sweep as typed job specs (program-major matrix order, `run`
+    /// action) — what `mi bench-serve` submits to a daemon to replay this
+    /// driver's sweep cell for cell.
+    pub fn job_matrix(&self) -> Vec<crate::job::JobSpec> {
+        crate::job::job_matrix(&self.programs, &self.configs)
     }
 
     /// Runs the sweep and collects the report.
@@ -591,36 +622,20 @@ impl Driver {
                 };
                 let instrumentation = t.elapsed();
 
-                // VM setup is timed separately from execution so the
-                // report attributes bytecode compilation correctly.
-                let t = Instant::now();
-                let vm = prog.make_vm(self.vm).map(|mut vm| {
-                    vm.prepare();
-                    vm
-                });
-                let vm_compile = t.elapsed();
-
-                // The VM is kept alive across `run` so per-opcode metrics,
-                // memory counters, and the flame profile survive the
-                // outcome extraction.
-                let t = Instant::now();
-                let outcome = match vm {
-                    Ok(mut vm) => match vm.run("main", &[]) {
-                        Ok(out) => Ok(CellOk {
-                            ret: out.ret.map(|v| v.as_int() as i64),
-                            output: out.output,
-                            stats: out.stats,
-                            instr: prog.stats.clone(),
-                            profile: out.profile,
-                            ops: vm.op_metrics().clone(),
-                            mem: vm.memory().counters(),
-                            flame: vm.flame(),
-                        }),
-                        Err(trap) => Err(CellTrap::from_trap(&trap)),
-                    },
-                    Err(trap) => Err(CellTrap::from_trap(&trap)),
-                };
-                let execution = t.elapsed();
+                // The VM stage (setup timed separately from execution, so
+                // the report attributes bytecode compilation correctly) is
+                // the shared implementation behind the typed job API — the
+                // daemon runs the same code path, which is what makes its
+                // responses byte-identical to this sweep.
+                let stage = crate::job::run_vm_stage(
+                    &prog,
+                    self.vm,
+                    &crate::job::JobCtl::default(),
+                    None,
+                    false,
+                );
+                let outcome = stage.outcome.map_err(|t| CellTrap::from_trap(&t));
+                let (vm_compile, execution) = (stage.vm_compile, stage.execution);
 
                 let cell = CellResult {
                     program: self.programs[pi].name.clone(),
@@ -775,35 +790,6 @@ pub fn paper_sweep_configs() -> Vec<JobConfig> {
     }
     v.push(Instrument::mechanism(Mechanism::RedZone));
     v
-}
-
-// ---------------------------------------------------------------------------
-// JSON helpers (no dependencies, deterministic output)
-// ---------------------------------------------------------------------------
-
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-fn json_str_array(items: &[String]) -> String {
-    let inner: Vec<String> = items.iter().map(|s| json_str(s)).collect();
-    format!("[{}]", inner.join(", "))
 }
 
 #[cfg(test)]

@@ -1,0 +1,698 @@
+//! The typed job API — the single source of truth for "compile/run/profile
+//! one program under one [`Instrument`] configuration".
+//!
+//! Every execution path in the workspace constructs jobs through this
+//! module: the driver's cell loop ([`crate::driver::Driver::run`]), the
+//! `mi run`/`mi profile` subcommands, the fuzz oracle's per-case matrix,
+//! and the `mi serve` daemon's workers. A [`JobSpec`] names *what* to do
+//! (source, configuration label, action); [`execute`] performs it against
+//! a shared [`ArtifactStore`]; the result is a [`JobOutcome`] whose JSON
+//! rendering reuses the driver's cell renderer byte-for-byte — which is
+//! how the daemon's responses stay byte-identical to in-process sweeps.
+//!
+//! The wire encoding ([`JobSpec::to_json`]/[`JobSpec::from_json`],
+//! [`JobError`]) is part of the frozen `mi-serve/1` schema documented in
+//! `DESIGN.md`; the golden-file test in `crates/serve` pins the bytes.
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use meminstrument::runtime::{
+    compile_baseline_from_prefix, compile_from_prefix, pipeline_prefix, CompiledProgram,
+};
+use meminstrument::{InstrStats, Instrument};
+use memvm::{BcImage, Trap, VmBackend, VmConfig};
+
+use crate::driver::{cell_json, static_json, CellOk, CellTrap, Program};
+use crate::json::{json_str, Json};
+use crate::store::ArtifactStore;
+
+/// Where a job's source text comes from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SourceRef {
+    /// A built-in benchmark, by suite name (e.g. `183equake`).
+    Benchmark {
+        /// The benchmark's name in [`cbench`].
+        name: String,
+    },
+    /// Source text carried inline in the job.
+    Inline {
+        /// Report key (drives `src_file` attribution in outputs).
+        name: String,
+        /// Mini-C source text.
+        text: String,
+    },
+}
+
+impl SourceRef {
+    /// The program name this reference reports under.
+    pub fn name(&self) -> &str {
+        match self {
+            SourceRef::Benchmark { name } | SourceRef::Inline { name, .. } => name,
+        }
+    }
+
+    /// Materializes the source. Benchmark sources are generated once per
+    /// process and served from a cache — a daemon resolving thousands of
+    /// benchmark-ref jobs must not regenerate the whole suite each time.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for an unknown benchmark name.
+    pub fn resolve(&self) -> Result<Program, String> {
+        static SUITE: std::sync::OnceLock<Vec<Program>> = std::sync::OnceLock::new();
+        match self {
+            SourceRef::Inline { name, text } => {
+                Ok(Program { name: name.clone(), source: text.clone() })
+            }
+            SourceRef::Benchmark { name } => SUITE
+                .get_or_init(crate::driver::benchmark_programs)
+                .iter()
+                .find(|p| p.name == *name)
+                .cloned()
+                .ok_or_else(|| format!("unknown benchmark {name:?}")),
+        }
+    }
+}
+
+/// FNV-1a content hash of a program (name and source both contribute: the
+/// name flows into `src_file` and report keys, so two programs with equal
+/// text but different names are distinct artifacts).
+pub fn program_hash(p: &Program) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for chunk in [p.name.as_bytes(), &[0xFF], p.source.as_bytes()] {
+        for &b in chunk {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// What to do with the compiled program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobAction {
+    /// Compile only; the outcome reports the static instrumentation stats.
+    Compile,
+    /// Compile and execute `main`; the outcome is a driver cell.
+    Run,
+    /// Compile, execute, and render the `mi-profile/1` check-site profile.
+    Profile {
+        /// How many ranked sites to include.
+        top: usize,
+    },
+}
+
+/// Default `top` for [`JobAction::Profile`] when the wire request omits it.
+pub const DEFAULT_PROFILE_TOP: usize = 10;
+
+/// One job: a source, a configuration, and an action.
+///
+/// The configuration travels as the `Instrument` label
+/// (`softbound-noloop@O3@VectorizerStart`, …) — the same round-tripped
+/// grammar the driver's reports key on. VM backend and sampling are
+/// deliberately *not* part of the spec: they are execution-environment
+/// choices made by whoever runs the job (the daemon's `VmConfig`), and
+/// both backends produce byte-identical results.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    /// What to compile.
+    pub source: SourceRef,
+    /// The instrumentation cell to compile it under.
+    pub config: Instrument,
+    /// What to do with it.
+    pub action: JobAction,
+}
+
+impl JobSpec {
+    /// The wire encoding (one line, frozen field order — `mi-serve/1`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        out.push_str("{\"source\":{\"kind\":");
+        match &self.source {
+            SourceRef::Benchmark { name } => {
+                out.push_str("\"benchmark\",\"name\":");
+                out.push_str(&json_str(name));
+            }
+            SourceRef::Inline { name, text } => {
+                out.push_str("\"inline\",\"name\":");
+                out.push_str(&json_str(name));
+                out.push_str(",\"text\":");
+                out.push_str(&json_str(text));
+            }
+        }
+        out.push_str("},\"config\":");
+        out.push_str(&json_str(&self.config.to_string()));
+        out.push_str(",\"action\":");
+        match self.action {
+            JobAction::Compile => out.push_str("\"compile\"}"),
+            JobAction::Run => out.push_str("\"run\"}"),
+            JobAction::Profile { top } => {
+                out.push_str(&format!("\"profile\",\"top\":{top}}}"));
+            }
+        }
+        out
+    }
+
+    /// Decodes the wire encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first missing or malformed field.
+    pub fn from_json(v: &Json) -> Result<JobSpec, String> {
+        let src = v.get("source").ok_or("job missing \"source\"")?;
+        let name =
+            src.get("name").and_then(Json::as_str).ok_or("source missing \"name\"")?.to_string();
+        let source = match src.get("kind").and_then(Json::as_str) {
+            Some("benchmark") => SourceRef::Benchmark { name },
+            Some("inline") => SourceRef::Inline {
+                name,
+                text: src
+                    .get("text")
+                    .and_then(Json::as_str)
+                    .ok_or("inline source missing \"text\"")?
+                    .to_string(),
+            },
+            other => return Err(format!("bad source kind {other:?}")),
+        };
+        let label = v.get("config").and_then(Json::as_str).ok_or("job missing \"config\"")?;
+        let config: Instrument =
+            label.parse().map_err(|e| format!("bad config label {label:?}: {e}"))?;
+        let action = match v.get("action").and_then(Json::as_str) {
+            Some("compile") => JobAction::Compile,
+            Some("run") => JobAction::Run,
+            Some("profile") => JobAction::Profile {
+                top: v
+                    .get("top")
+                    .and_then(Json::as_u64)
+                    .map_or(DEFAULT_PROFILE_TOP, |n| n as usize),
+            },
+            other => return Err(format!("bad action {other:?}")),
+        };
+        Ok(JobSpec { source, config, action })
+    }
+}
+
+/// The program-major job matrix for a sweep — the same cell order the
+/// driver's report uses, shared by `mi bench-serve` and the byte-identity
+/// tests so both sides enumerate identical work.
+pub fn job_matrix(programs: &[Program], configs: &[Instrument]) -> Vec<JobSpec> {
+    programs
+        .iter()
+        .flat_map(|p| {
+            configs.iter().map(move |c| JobSpec {
+                source: SourceRef::Inline { name: p.name.clone(), text: p.source.clone() },
+                config: c.clone(),
+                action: JobAction::Run,
+            })
+        })
+        .collect()
+}
+
+/// Structured job failure — the `mi-serve/1` error variants. Note the
+/// split with trapped *runs*: a VM trap under [`JobAction::Run`] is a
+/// successful job whose cell reports `"ok": false` (preserving driver
+/// byte-identity); [`JobError::Trap`] is for actions that cannot render a
+/// result from a trapped execution (profiles).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobError {
+    /// The per-job deadline passed (queued or mid-execution).
+    Timeout,
+    /// The job was cancelled (queued or mid-execution).
+    Cancelled,
+    /// The job never ran: malformed spec, unknown benchmark, frontend
+    /// diagnostic, full queue, or a draining server.
+    Rejected {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The action needed a completed execution but the program trapped;
+    /// `report` carries the trap's driver-cell JSON.
+    Trap {
+        /// The trapped cell, rendered by the driver's cell renderer.
+        report: String,
+    },
+}
+
+impl JobError {
+    /// The wire encoding (`{"kind": ...}`, frozen).
+    pub fn to_json(&self) -> String {
+        match self {
+            JobError::Timeout => "{\"kind\":\"timeout\"}".to_string(),
+            JobError::Cancelled => "{\"kind\":\"cancelled\"}".to_string(),
+            JobError::Rejected { reason } => {
+                format!("{{\"kind\":\"rejected\",\"reason\":{}}}", json_str(reason))
+            }
+            JobError::Trap { report } => format!("{{\"kind\":\"trap\",\"report\":{report}}}"),
+        }
+    }
+
+    /// Decodes the wire encoding. A `trap` report is kept as its raw
+    /// re-rendering (clients treating it as opaque JSON).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for an unknown `kind` or missing field.
+    pub fn from_json(v: &Json) -> Result<JobError, String> {
+        match v.get("kind").and_then(Json::as_str) {
+            Some("timeout") => Ok(JobError::Timeout),
+            Some("cancelled") => Ok(JobError::Cancelled),
+            Some("rejected") => Ok(JobError::Rejected {
+                reason: v
+                    .get("reason")
+                    .and_then(Json::as_str)
+                    .ok_or("rejected error missing \"reason\"")?
+                    .to_string(),
+            }),
+            Some("trap") => Ok(JobError::Trap {
+                report: v.get("report").ok_or("trap error missing \"report\"")?.render(),
+            }),
+            other => Err(format!("bad error kind {other:?}")),
+        }
+    }
+}
+
+/// A completed job.
+#[derive(Clone, Debug)]
+pub enum JobOutcome {
+    /// [`JobAction::Compile`]: the static instrumentation statistics.
+    Compiled {
+        /// Program name.
+        program: String,
+        /// Configuration label.
+        config: String,
+        /// Static instrumentation statistics.
+        instr: InstrStats,
+    },
+    /// [`JobAction::Run`]: one driver cell (trap included — a trapped run
+    /// is a result, not a protocol error).
+    Cell {
+        /// Program name.
+        program: String,
+        /// Configuration label.
+        config: String,
+        /// The cell outcome (boxed: `CellOk` is large and this variant
+        /// would otherwise dominate the enum's size).
+        outcome: Box<Result<CellOk, CellTrap>>,
+    },
+    /// [`JobAction::Profile`]: the rendered `mi-profile/1` document.
+    Profile {
+        /// The multi-line JSON document (carried as a string on the wire
+        /// so its bytes survive newline-delimited framing).
+        document: String,
+    },
+}
+
+impl JobOutcome {
+    /// The `result` payload of an `mi-serve/1` response. For [`Self::Cell`]
+    /// this is exactly the driver's cell JSON — the byte-identity contract.
+    pub fn result_json(&self) -> String {
+        match self {
+            JobOutcome::Compiled { program, config, instr } => format!(
+                "{{\"program\": {}, \"config\": {}, \"compiled\": true, \"static\": {}}}",
+                json_str(program),
+                json_str(config),
+                static_json(instr)
+            ),
+            JobOutcome::Cell { program, config, outcome } => {
+                cell_json(program, config, outcome, None)
+            }
+            JobOutcome::Profile { document } => {
+                format!("{{\"profile\": {}}}", json_str(document))
+            }
+        }
+    }
+}
+
+/// Execution controls a job runs under (none by default): a wall-clock
+/// deadline and a cooperative cancellation flag, both enforced inside the
+/// VM via its cost-clocked budget polls.
+#[derive(Clone, Debug, Default)]
+pub struct JobCtl {
+    /// Trap with `DeadlineExceeded` once this instant passes.
+    pub deadline: Option<Instant>,
+    /// Trap with `Interrupted` once this flag reads `true`.
+    pub interrupt: Option<Arc<AtomicBool>>,
+}
+
+/// The VM stage of one cell, with per-stage wall-clock.
+pub struct VmStage {
+    /// The raw execution outcome (traps unclassified, so callers can map
+    /// `DeadlineExceeded`/`Interrupted` to protocol errors).
+    pub outcome: Result<CellOk, Trap>,
+    /// VM setup: module load, runtime install, bytecode compile/adopt.
+    pub vm_compile: Duration,
+    /// Execution of `main`.
+    pub execution: Duration,
+    /// Fresh bytecode image captured for the store (only when requested
+    /// and nothing was adopted).
+    pub image: Option<BcImage>,
+}
+
+/// Loads, prepares, and runs one compiled program — the single VM-stage
+/// implementation shared by the driver's cell loop and the daemon's
+/// executor (which is what keeps their cells byte-identical).
+///
+/// `image` short-circuits bytecode compilation by adopting a cached
+/// [`BcImage`] (falling back to [`memvm::Vm::prepare`] if adoption fails);
+/// `capture_image` snapshots freshly compiled bytecode for the caller's
+/// store.
+pub fn run_vm_stage(
+    prog: &CompiledProgram,
+    vm_cfg: VmConfig,
+    ctl: &JobCtl,
+    image: Option<&BcImage>,
+    capture_image: bool,
+) -> VmStage {
+    let t = Instant::now();
+    let mut captured = None;
+    let vm = match prog.make_vm(vm_cfg) {
+        Ok(mut vm) => {
+            let adopted = vm_cfg.backend == VmBackend::Bytecode
+                && image.is_some_and(|img| vm.adopt_bytecode(img).is_ok());
+            if !adopted {
+                vm.prepare();
+                if capture_image && vm_cfg.backend == VmBackend::Bytecode {
+                    captured = Some(vm.bytecode_image());
+                }
+            }
+            Ok(vm)
+        }
+        Err(trap) => Err(trap),
+    };
+    let vm_compile = t.elapsed();
+
+    let t = Instant::now();
+    let outcome = match vm {
+        Ok(mut vm) => {
+            if let Some(d) = ctl.deadline {
+                vm.set_deadline(d);
+            }
+            if let Some(f) = &ctl.interrupt {
+                vm.set_interrupt(Arc::clone(f));
+            }
+            match vm.run("main", &[]) {
+                Ok(out) => Ok(CellOk {
+                    ret: out.ret.map(|v| v.as_int() as i64),
+                    output: out.output,
+                    stats: out.stats,
+                    instr: prog.stats.clone(),
+                    profile: out.profile,
+                    ops: vm.op_metrics().clone(),
+                    mem: vm.memory().counters(),
+                    flame: vm.flame(),
+                }),
+                Err(trap) => Err(trap),
+            }
+        }
+        Err(trap) => Err(trap),
+    };
+    let execution = t.elapsed();
+    VmStage { outcome, vm_compile, execution, image: captured }
+}
+
+/// Executes one job against `store` under `vm_cfg` and `ctl`.
+///
+/// Compilation stages flow through the store's levels (frontend → prefix →
+/// instrumented program → bytecode image); the VM stage runs through
+/// [`run_vm_stage`], so results are byte-identical to a direct
+/// [`crate::driver::Driver`] sweep of the same cell.
+///
+/// # Errors
+///
+/// [`JobError::Rejected`] for unknown benchmarks and frontend diagnostics;
+/// [`JobError::Timeout`]/[`JobError::Cancelled`] when `ctl` fires;
+/// [`JobError::Trap`] for a profile of a trapped program.
+pub fn execute(
+    spec: &JobSpec,
+    store: &ArtifactStore,
+    vm_cfg: VmConfig,
+    ctl: &JobCtl,
+) -> Result<JobOutcome, JobError> {
+    let program = spec.source.resolve().map_err(|reason| JobError::Rejected { reason })?;
+    let h = program_hash(&program);
+    let module = store
+        .frontend(h, || {
+            cfront::compile_named(&program.source, &program.name)
+                .map_err(|e| format!("frontend error: {e}"))
+        })
+        .map_err(|reason| JobError::Rejected { reason })?;
+
+    let opts = spec.config.build_options();
+    let label = spec.config.to_string();
+    let prefix = store.prefix((h, opts.opt, opts.ep), || pipeline_prefix((*module).clone(), opts));
+    let prog = store.compiled((h, label.clone()), || match spec.config.mi_config() {
+        None => compile_baseline_from_prefix((*prefix).clone(), opts),
+        Some(mi) => compile_from_prefix((*prefix).clone(), mi, opts),
+    });
+
+    if spec.action == JobAction::Compile {
+        return Ok(JobOutcome::Compiled {
+            program: program.name,
+            config: label,
+            instr: prog.stats.clone(),
+        });
+    }
+
+    let cached = if vm_cfg.backend == VmBackend::Bytecode {
+        store.bytecode(&(h, label.clone()))
+    } else {
+        None
+    };
+    let stage = run_vm_stage(&prog, vm_cfg, ctl, cached.as_deref(), cached.is_none());
+    if let Some(img) = stage.image {
+        store.insert_bytecode((h, label.clone()), img);
+    }
+    let outcome = match stage.outcome {
+        Ok(ok) => Ok(ok),
+        Err(Trap::DeadlineExceeded) => return Err(JobError::Timeout),
+        Err(Trap::Interrupted) => return Err(JobError::Cancelled),
+        Err(trap) => Err(CellTrap::from_trap(&trap)),
+    };
+
+    match spec.action {
+        JobAction::Run => Ok(JobOutcome::Cell {
+            program: program.name,
+            config: label,
+            outcome: Box::new(outcome),
+        }),
+        JobAction::Profile { top } => match outcome {
+            Ok(ok) => Ok(JobOutcome::Profile {
+                document: profile_report(&prog, &ok, &program.name, &label, top),
+            }),
+            Err(t) => {
+                Err(JobError::Trap { report: cell_json(&program.name, &label, &Err(t), None) })
+            }
+        },
+        JobAction::Compile => unreachable!("handled above"),
+    }
+}
+
+/// Renders the `mi-profile/1` per-check-site profile for a completed cell:
+/// executed sites ranked by dynamic check cost (ties: hits, then site
+/// index), joined with the module's `check_sites` table for source
+/// attribution. The totals are asserted to reconcile exactly with the
+/// aggregate VM statistics — shared by `mi profile --json` and the
+/// daemon's profile jobs.
+pub fn profile_report(
+    prog: &CompiledProgram,
+    ok: &CellOk,
+    file_fallback: &str,
+    config_label: &str,
+    top: usize,
+) -> String {
+    let src_file = prog.module.src_file.clone();
+    let sites = &prog.module.check_sites;
+    let s = &ok.stats;
+    let (hits, wide, cost) =
+        (ok.profile.total_hits(), ok.profile.total_wide(), ok.profile.total_cost());
+    assert_eq!(hits, s.checks_executed + s.invariant_checks_executed, "profile/stats drift");
+    assert_eq!(wide, s.checks_wide, "profile/stats drift");
+    assert_eq!(cost, s.cost_checks, "profile/stats drift");
+
+    let mut ranked: Vec<(usize, memvm::SiteCounts)> =
+        (0..sites.len()).map(|i| (i, ok.profile.get(i))).filter(|(_, c)| c.hits > 0).collect();
+    ranked.sort_by(|a, b| (b.1.cost, b.1.hits, a.0).cmp(&(a.1.cost, a.1.hits, b.0)));
+    let sites_hit = ranked.len();
+    ranked.truncate(top);
+
+    let file_label = src_file.as_deref().unwrap_or(file_fallback);
+    let mut j = String::new();
+    j.push_str("{\n  \"schema\": \"mi-profile/1\",\n");
+    j.push_str(&format!("  \"file\": {},\n", json_str(file_label)));
+    j.push_str(&format!("  \"config\": {},\n", json_str(config_label)));
+    j.push_str(&format!("  \"sites_registered\": {},\n", sites.len()));
+    j.push_str(&format!("  \"sites_hit\": {sites_hit},\n"));
+    j.push_str(&format!(
+        "  \"totals\": {{\"hits\": {hits}, \"wide\": {wide}, \"cost\": {cost}}},\n"
+    ));
+    j.push_str(&format!(
+        "  \"vm\": {{\"checks_executed\": {}, \"invariant_checks\": {}, \"checks_wide\": {}, \"cost_checks\": {}}},\n",
+        s.checks_executed, s.invariant_checks_executed, s.checks_wide, s.cost_checks
+    ));
+    j.push_str("  \"sites\": [\n");
+    for (i, (site, c)) in ranked.iter().enumerate() {
+        let cs = &sites[*site];
+        let line = match cs.line {
+            Some(l) => l.to_string(),
+            None => "null".to_string(),
+        };
+        let alloc = match cs.describe_alloc(src_file.as_deref()) {
+            Some(a) => json_str(&a),
+            None => "null".to_string(),
+        };
+        j.push_str(&format!(
+            "    {{\"rank\": {}, \"site\": {site}, \"kind\": {}, \"func\": {}, \"line\": {line}, \"source\": {}, \"access\": {}, \"alloc\": {alloc}, \"hits\": {}, \"wide\": {}, \"cost\": {}}}{}\n",
+            i + 1,
+            json_str(cs.kind.keyword()),
+            json_str(&cs.func),
+            json_str(&cs.source(src_file.as_deref())),
+            json_str(&cs.access_kind()),
+            c.hits,
+            c.wide,
+            c.cost,
+            if i + 1 == ranked.len() { "" } else { "," }
+        ));
+    }
+    j.push_str("  ]\n}\n");
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mir::pipeline::OptLevel;
+
+    fn specs() -> Vec<JobSpec> {
+        vec![
+            JobSpec {
+                source: SourceRef::Benchmark { name: "183equake".into() },
+                config: Instrument::baseline(),
+                action: JobAction::Compile,
+            },
+            JobSpec {
+                source: SourceRef::Inline {
+                    name: "demo.c".into(),
+                    text: "long main(void) { return 0; }\n".into(),
+                },
+                config: "softbound-noloop@O3@VectorizerStart".parse().unwrap(),
+                action: JobAction::Run,
+            },
+            JobSpec {
+                source: SourceRef::Inline { name: "p.c".into(), text: "x \"quoted\"".into() },
+                config: Instrument::mechanism(meminstrument::Mechanism::LowFat)
+                    .opt_level(OptLevel::O0),
+                action: JobAction::Profile { top: 5 },
+            },
+        ]
+    }
+
+    #[test]
+    fn spec_json_round_trips() {
+        for spec in specs() {
+            let line = spec.to_json();
+            let v = Json::parse(&line).unwrap();
+            let back = JobSpec::from_json(&v).unwrap();
+            assert_eq!(back, spec, "{line}");
+            // Encoding is stable under a decode/encode cycle.
+            assert_eq!(back.to_json(), line);
+        }
+    }
+
+    #[test]
+    fn error_json_round_trips() {
+        let errs = [
+            JobError::Timeout,
+            JobError::Cancelled,
+            JobError::Rejected { reason: "queue full (cap 64)".into() },
+            JobError::Trap { report: "{\"ok\":false,\"trap\":\"x\"}".to_string() },
+        ];
+        for e in errs {
+            let v = Json::parse(&e.to_json()).unwrap();
+            assert_eq!(JobError::from_json(&v).unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn content_hash_distinguishes_name_and_text() {
+        let a = Program { name: "a".into(), source: "x".into() };
+        let b = Program { name: "b".into(), source: "x".into() };
+        let c = Program { name: "a".into(), source: "y".into() };
+        assert_ne!(program_hash(&a), program_hash(&b));
+        assert_ne!(program_hash(&a), program_hash(&c));
+        assert_eq!(program_hash(&a), program_hash(&a.clone()));
+    }
+
+    #[test]
+    fn execute_matches_direct_compilation() {
+        let store = ArtifactStore::new();
+        let spec = JobSpec {
+            source: SourceRef::Inline {
+                name: "sum.c".into(),
+                text: r#"
+                    long main(void) {
+                        long *p = (long*)malloc(4 * sizeof(long));
+                        for (long i = 0; i < 4; i += 1) p[i] = i + 10;
+                        print_i64(p[0] + p[3]);
+                        return 0;
+                    }
+                "#
+                .into(),
+            },
+            config: Instrument::mechanism(meminstrument::Mechanism::SoftBound),
+            action: JobAction::Run,
+        };
+        // Twice through the store (cold then warm) — identical cells.
+        let cold = execute(&spec, &store, VmConfig::default(), &JobCtl::default()).unwrap();
+        let warm = execute(&spec, &store, VmConfig::default(), &JobCtl::default()).unwrap();
+        assert_eq!(cold.result_json(), warm.result_json());
+        // And identical to compiling directly, without any cache.
+        let m = cfront::compile_named(&spec.source.resolve().unwrap().source, "sum.c").unwrap();
+        let direct = spec.config.compile(m);
+        let out = direct.run_main(VmConfig::default()).unwrap();
+        match &cold {
+            JobOutcome::Cell { outcome, .. } => match &**outcome {
+                Ok(ok) => {
+                    assert_eq!(ok.output, out.output);
+                    assert_eq!(ok.stats.cost_total, out.stats.cost_total);
+                    assert_eq!(ok.instr, direct.stats);
+                }
+                Err(t) => panic!("unexpected trap {t:?}"),
+            },
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_and_interrupt_map_to_protocol_errors() {
+        let store = ArtifactStore::new();
+        let spec = JobSpec {
+            source: SourceRef::Inline {
+                name: "spin.c".into(),
+                text: r#"
+                    long main(void) {
+                        long s = 0;
+                        for (long i = 0; i < 100000000000; i += 1) s += i;
+                        return s;
+                    }
+                "#
+                .into(),
+            },
+            config: Instrument::baseline(),
+            action: JobAction::Run,
+        };
+        let expired =
+            JobCtl { deadline: Some(Instant::now() - Duration::from_millis(1)), interrupt: None };
+        assert_eq!(
+            execute(&spec, &store, VmConfig::default(), &expired).unwrap_err(),
+            JobError::Timeout
+        );
+        let flag = Arc::new(AtomicBool::new(true));
+        let cancelled = JobCtl { deadline: None, interrupt: Some(flag) };
+        assert_eq!(
+            execute(&spec, &store, VmConfig::default(), &cancelled).unwrap_err(),
+            JobError::Cancelled
+        );
+    }
+}

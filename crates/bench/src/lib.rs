@@ -20,6 +20,9 @@
 //! comparisons reproduce the paper's *shapes*, not its wall-clock numbers.
 
 pub mod driver;
+pub mod job;
+pub mod json;
+pub mod store;
 
 use cbench::Benchmark;
 use meminstrument::runtime::BuildOptions;

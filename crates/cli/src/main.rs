@@ -37,6 +37,24 @@
 //!                               any false positive/negative, writing
 //!                               minimized repros to --fail-dir. --replay
 //!                               re-runs a single case verbosely.
+//! mi serve [--socket PATH] [--workers N] [--queue N] [--deadline-ms N]
+//!          [--vm walk|bytecode]
+//!                               instrumentation-as-a-service daemon: accept
+//!                               mi-serve/1 jobs (compile/run/profile) over a
+//!                               Unix domain socket, executed on a bounded
+//!                               worker pool against one shared
+//!                               content-addressed artifact store. Results
+//!                               are byte-identical to the in-process
+//!                               driver/CLI. Stops when a client sends a
+//!                               shutdown op (drains first).
+//! mi bench-serve [--clients N] [--requests N] [--action compile|run]
+//!                [--programs N] [--socket PATH] [--vm walk|bytecode]
+//!                               closed-loop daemon throughput benchmark:
+//!                               drive the job matrix through N pipelined
+//!                               clients twice (cold store, then warm) and
+//!                               report req/s and p50/p90/p99 latency per
+//!                               pass. Without --socket an in-process daemon
+//!                               is started and shut down automatically.
 //!
 //! options:
 //!   --mech softbound|lowfat|redzone|none    mechanism (default softbound;
@@ -51,6 +69,10 @@
 //!   --vm walk|bytecode                      VM backend (default bytecode; the
 //!                                           tree-walker is the reference
 //!                                           semantics; also on eval and fuzz)
+//!   --connect PATH                          (run) submit the program to a
+//!                                           running `mi serve` daemon instead
+//!                                           of executing in-process; output
+//!                                           and exit code are identical
 //!   --trace trace.json                      (run) write a Chrome trace_event
 //!                                           JSON of the pass pipeline,
 //!                                           viewable in Perfetto
@@ -81,6 +103,9 @@ fn usage() -> ExitCode {
     eprintln!("               [--sample-interval N]");
     eprintln!("       mi fuzz [--seed S] [--cases N] [--jobs N] [--fail-dir DIR]");
     eprintln!("               [--no-shrink] [--replay IDX] [--vm walk|bytecode]");
+    eprintln!("       mi serve [--socket PATH] [--workers N] [--queue N] [--deadline-ms N]");
+    eprintln!("       mi bench-serve [--clients N] [--requests N] [--action compile|run]");
+    eprintln!("               [--programs N] [--socket PATH]");
     eprintln!("       (see `crates/cli/src/main.rs` header for options)");
     ExitCode::from(2)
 }
@@ -472,6 +497,23 @@ fn cmd_profile(path: &str, args: &[String]) -> ExitCode {
         }
     };
 
+    if json {
+        // The daemon renders profile jobs through the same function, so
+        // `mi profile --json` and a served profile job agree byte-for-byte.
+        let ok = bench::driver::CellOk {
+            ret: out.ret.map(|v| v.as_int() as i64),
+            output: out.output,
+            stats: out.stats,
+            instr: prog.stats.clone(),
+            profile: out.profile,
+            ops: vm.op_metrics().clone(),
+            mem: vm.memory().counters(),
+            flame: vm.flame(),
+        };
+        print!("{}", bench::job::profile_report(&prog, &ok, path, &o.cell.to_string(), top));
+        return ExitCode::SUCCESS;
+    }
+
     let s = &out.stats;
     let (hits, wide, cost) =
         (out.profile.total_hits(), out.profile.total_wide(), out.profile.total_cost());
@@ -487,50 +529,6 @@ fn cmd_profile(path: &str, args: &[String]) -> ExitCode {
     ranked.truncate(top);
 
     let file_label = src_file.as_deref().unwrap_or(path);
-    if json {
-        use mir::trace::json_string;
-        let mut j = String::new();
-        j.push_str("{\n  \"schema\": \"mi-profile/1\",\n");
-        j.push_str(&format!("  \"file\": {},\n", json_string(file_label)));
-        j.push_str(&format!("  \"config\": {},\n", json_string(&o.cell.to_string())));
-        j.push_str(&format!("  \"sites_registered\": {},\n", sites.len()));
-        j.push_str(&format!("  \"sites_hit\": {sites_hit},\n"));
-        j.push_str(&format!(
-            "  \"totals\": {{\"hits\": {hits}, \"wide\": {wide}, \"cost\": {cost}}},\n"
-        ));
-        j.push_str(&format!(
-            "  \"vm\": {{\"checks_executed\": {}, \"invariant_checks\": {}, \"checks_wide\": {}, \"cost_checks\": {}}},\n",
-            s.checks_executed, s.invariant_checks_executed, s.checks_wide, s.cost_checks
-        ));
-        j.push_str("  \"sites\": [\n");
-        for (i, (site, c)) in ranked.iter().enumerate() {
-            let cs = &sites[*site];
-            let line = match cs.line {
-                Some(l) => l.to_string(),
-                None => "null".to_string(),
-            };
-            let alloc = match cs.describe_alloc(src_file.as_deref()) {
-                Some(a) => json_string(&a),
-                None => "null".to_string(),
-            };
-            j.push_str(&format!(
-                "    {{\"rank\": {}, \"site\": {site}, \"kind\": {}, \"func\": {}, \"line\": {line}, \"source\": {}, \"access\": {}, \"alloc\": {alloc}, \"hits\": {}, \"wide\": {}, \"cost\": {}}}{}\n",
-                i + 1,
-                json_string(cs.kind.keyword()),
-                json_string(&cs.func),
-                json_string(&cs.source(src_file.as_deref())),
-                json_string(&cs.access_kind()),
-                c.hits,
-                c.wide,
-                c.cost,
-                if i + 1 == ranked.len() { "" } else { "," }
-            ));
-        }
-        j.push_str("  ]\n}\n");
-        print!("{j}");
-        return ExitCode::SUCCESS;
-    }
-
     println!("[mi profile] {file_label} — {}", o.cell);
     println!("  check sites : {} registered, {sites_hit} hit", sites.len());
     println!(
@@ -848,6 +846,400 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
     ExitCode::from(!report.ok() as u8)
 }
 
+/// `mi serve`: the foreground instrumentation-as-a-service daemon.
+///
+/// Binds the socket, then blocks until a client sends a `shutdown` op
+/// (the daemon drains queued and running jobs before replying and
+/// stopping). See `crates/serve` for the wire protocol.
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut cfg = serve::ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => match it.next() {
+                Some(p) => cfg.socket = std::path::PathBuf::from(p),
+                None => {
+                    eprintln!("error: --socket expects a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--workers" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => cfg.workers = n,
+                None => {
+                    eprintln!("error: --workers expects a number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--queue" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => cfg.queue_cap = n,
+                _ => {
+                    eprintln!("error: --queue expects a positive number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--deadline-ms" => match it.next().and_then(|s| s.parse().ok()) {
+                // 0 disables the default deadline entirely.
+                Some(0) => cfg.default_deadline = None,
+                Some(n) => cfg.default_deadline = Some(std::time::Duration::from_millis(n)),
+                None => {
+                    eprintln!("error: --deadline-ms expects a number (0 = none)");
+                    return ExitCode::from(2);
+                }
+            },
+            "--vm" => match it.next().map(|s| VmBackend::from_str(s)) {
+                Some(Ok(b)) => cfg.vm.backend = b,
+                _ => {
+                    eprintln!("error: --vm expects walk|bytecode");
+                    return ExitCode::from(2);
+                }
+            },
+            a if a.starts_with("--vm=") => match VmBackend::from_str(&a["--vm=".len()..]) {
+                Ok(b) => cfg.vm.backend = b,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown serve option {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let workers = if cfg.workers == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        cfg.workers
+    };
+    let queue_cap = cfg.queue_cap;
+    let socket = cfg.socket.clone();
+    match serve::start(cfg) {
+        Ok(server) => {
+            eprintln!(
+                "[mi serve] listening on {} ({workers} worker(s), queue cap {queue_cap}); \
+                 send a shutdown op to stop",
+                socket.display()
+            );
+            server.wait();
+            eprintln!("[mi serve] stopped");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {}: {e}", socket.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// One `mi bench-serve` pass: `clients` connections each drive
+/// `per_client` jobs (round-robin over `specs`, rotated per client so
+/// connections interleave distinct cells), keeping at most `window`
+/// in flight. The window bounds pipelining so neither side's socket
+/// buffer can fill with unread responses (an unbounded pipeline against
+/// a small server queue deadlocks once the reader blocks writing
+/// rejections), and it makes the latency numbers queue-depth-controlled.
+/// Returns the pass wall clock and every request's submit-to-response
+/// latency.
+fn bench_serve_pass(
+    socket: &std::path::Path,
+    specs: &[bench::job::JobSpec],
+    clients: usize,
+    per_client: usize,
+    window: usize,
+) -> Result<(std::time::Duration, Vec<std::time::Duration>), String> {
+    use std::time::Instant;
+    let latencies = std::sync::Mutex::new(Vec::new());
+    let failures = std::sync::Mutex::new(Vec::new());
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let (latencies, failures) = (&latencies, &failures);
+            scope.spawn(move || {
+                let run = || -> Result<Vec<std::time::Duration>, String> {
+                    let mut client = serve::Client::connect(socket)
+                        .map_err(|e| format!("connect {}: {e}", socket.display()))?;
+                    let mut sent = std::collections::HashMap::new();
+                    let mut lat = Vec::with_capacity(per_client);
+                    let mut submitted = 0;
+                    while lat.len() < per_client {
+                        while submitted < per_client && submitted - lat.len() < window {
+                            let spec = specs[(submitted + c) % specs.len()].clone();
+                            let id = client
+                                .submit(serve::Op::Job { spec, deadline_ms: None })
+                                .map_err(|e| format!("submit: {e}"))?;
+                            sent.insert(id, Instant::now());
+                            submitted += 1;
+                        }
+                        let resp = client.recv().map_err(|e| format!("recv: {e}"))?;
+                        let done = Instant::now();
+                        match &resp.body {
+                            serve::ResponseBody::Ok { .. } => {}
+                            serve::ResponseBody::Err(e) => {
+                                return Err(format!("job {} failed: {e:?}", resp.id))
+                            }
+                        }
+                        lat.push(done - sent[&resp.id]);
+                    }
+                    Ok(lat)
+                };
+                match run() {
+                    Ok(mut lat) => latencies.lock().unwrap().append(&mut lat),
+                    Err(e) => failures.lock().unwrap().push(format!("client {c}: {e}")),
+                }
+            });
+        }
+    });
+    let wall = start.elapsed();
+    let failures = failures.into_inner().unwrap();
+    if !failures.is_empty() {
+        return Err(failures.join("; "));
+    }
+    Ok((wall, latencies.into_inner().unwrap()))
+}
+
+/// `mi bench-serve`: closed-loop daemon throughput benchmark.
+///
+/// Drives the benchmark-suite job matrix through pipelined clients twice:
+/// the *cold* pass populates the shared artifact store, the *warm* pass
+/// measures cache-served throughput. Latency is submission to response
+/// under full pipelining (queueing + service — a saturation benchmark,
+/// not an unloaded-latency one). Without `--socket` an in-process daemon
+/// is started and shut down automatically.
+fn cmd_bench_serve(args: &[String]) -> ExitCode {
+    use bench::driver::{benchmark_programs, paper_sweep_configs};
+    use bench::job::{job_matrix, JobAction};
+
+    let mut clients = 2usize;
+    let mut requests = 0usize; // 0 = one full matrix per client
+    let mut window = 32usize;
+    let mut action = JobAction::Compile;
+    let mut action_name = "compile";
+    let mut program_cap = 0usize;
+    let mut socket_arg: Option<std::path::PathBuf> = None;
+    let mut backend = VmBackend::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--clients" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => clients = n,
+                _ => {
+                    eprintln!("error: --clients expects a positive number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--requests" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => requests = n,
+                _ => {
+                    eprintln!("error: --requests expects a positive number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--programs" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => program_cap = n,
+                _ => {
+                    eprintln!("error: --programs expects a positive number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--window" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => window = n,
+                _ => {
+                    eprintln!("error: --window expects a positive number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--action" => match it.next().map(String::as_str) {
+                Some("compile") => (action, action_name) = (JobAction::Compile, "compile"),
+                Some("run") => (action, action_name) = (JobAction::Run, "run"),
+                other => {
+                    eprintln!("error: bad --action {other:?} (compile|run)");
+                    return ExitCode::from(2);
+                }
+            },
+            "--socket" => match it.next() {
+                Some(p) => socket_arg = Some(std::path::PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --socket expects a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--vm" => match it.next().map(|s| VmBackend::from_str(s)) {
+                Some(Ok(b)) => backend = b,
+                _ => {
+                    eprintln!("error: --vm expects walk|bytecode");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown bench-serve option {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut programs = benchmark_programs();
+    if program_cap > 0 {
+        programs.truncate(program_cap);
+    }
+    let configs = paper_sweep_configs();
+    let mut specs = job_matrix(&programs, &configs);
+    for spec in &mut specs {
+        spec.action = action;
+        // Benchmark refs keep each request line ~100 bytes instead of the
+        // full source text; the daemon resolves them to identical
+        // artifacts (same name, same source, same content hash).
+        spec.source = bench::job::SourceRef::Benchmark { name: spec.source.name().to_string() };
+    }
+    let per_client = if requests == 0 { specs.len() } else { requests };
+
+    let (socket, server) = match socket_arg {
+        Some(p) => (p, None),
+        None => {
+            let p =
+                std::env::temp_dir().join(format!("mi-bench-serve-{}.sock", std::process::id()));
+            let _ = std::fs::remove_file(&p);
+            let cfg = serve::ServerConfig {
+                socket: p.clone(),
+                // Room for every client's full window; deadlines off so
+                // slow debug builds measure throughput, not timeouts.
+                queue_cap: (clients * window).max(256),
+                default_deadline: None,
+                vm: VmConfig { backend, ..VmConfig::default() },
+                ..serve::ServerConfig::default()
+            };
+            match serve::start(cfg) {
+                Ok(s) => (p, Some(s)),
+                Err(e) => {
+                    eprintln!("error: {}: {e}", p.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    eprintln!(
+        "[mi bench-serve] {clients} client(s) x {per_client} {action_name} request(s), \
+         window {window}, matrix {} program(s) x {} config(s){}",
+        programs.len(),
+        configs.len(),
+        if server.is_some() { ", in-process daemon" } else { "" }
+    );
+
+    println!("pass  requests  wall_s  req_per_s   p50_ms   p90_ms   p99_ms");
+    let mut rates = Vec::new();
+    for pass in ["cold", "warm"] {
+        match bench_serve_pass(&socket, &specs, clients, per_client, window) {
+            Ok((wall, mut lat)) => {
+                lat.sort();
+                let rate = lat.len() as f64 / wall.as_secs_f64();
+                let pct = |p: usize| lat[(lat.len() - 1) * p / 100].as_secs_f64() * 1e3;
+                println!(
+                    "{pass:<5} {:>8} {:>7.2} {:>9.1} {:>8.2} {:>8.2} {:>8.2}",
+                    lat.len(),
+                    wall.as_secs_f64(),
+                    rate,
+                    pct(50),
+                    pct(90),
+                    pct(99)
+                );
+                rates.push(rate);
+            }
+            Err(e) => {
+                eprintln!("error: {pass} pass: {e}");
+                if let Some(s) = server {
+                    s.shutdown();
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let [cold, warm] = rates[..] {
+        println!("warm/cold throughput: {:.2}x", warm / cold);
+    }
+    if let Some(s) = server {
+        s.shutdown();
+    }
+    ExitCode::SUCCESS
+}
+
+/// `mi run --connect`: submit the program to a running daemon as a typed
+/// `run` job instead of executing in-process. Output lines, the exit code,
+/// and the stderr summary numbers match local `mi run` (the daemon's cell
+/// JSON is the driver's, byte-for-byte).
+fn cmd_run_connect(path: &str, socket: &str, o: &Options) -> ExitCode {
+    use bench::json::Json;
+    if o.trace.is_some() || o.flame.is_some() {
+        eprintln!("error: --trace/--flame are not available with --connect");
+        return ExitCode::from(2);
+    }
+    let (name, text) = match resolve_source(path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = bench::job::JobSpec {
+        source: bench::job::SourceRef::Inline { name, text },
+        config: o.cell.clone(),
+        action: bench::job::JobAction::Run,
+    };
+    let mut client = match serve::Client::connect(std::path::Path::new(socket)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {socket}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let resp = match client.call(serve::Op::Job { spec, deadline_ms: None }) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {socket}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match resp.body {
+        serve::ResponseBody::Ok { result } => result,
+        serve::ResponseBody::Err(e) => {
+            let msg = match e {
+                bench::job::JobError::Timeout => "job deadline exceeded".to_string(),
+                bench::job::JobError::Cancelled => "job cancelled".to_string(),
+                bench::job::JobError::Rejected { reason } => reason,
+                bench::job::JobError::Trap { report } => report,
+            };
+            eprintln!("[mi] job failed: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cell = match Json::parse(&result) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: undecodable job result: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(lines) = cell.get("output").and_then(Json::as_arr) {
+        for line in lines {
+            if let Some(s) = line.as_str() {
+                println!("{s}");
+            }
+        }
+    }
+    if cell.get("ok").and_then(Json::as_bool) != Some(true) {
+        let trap = cell.get("trap").and_then(Json::as_str).unwrap_or("unknown trap");
+        eprintln!("[mi] {trap}");
+        return ExitCode::FAILURE;
+    }
+    let num = |k: &str| cell.get(k).and_then(Json::as_i64).unwrap_or(0);
+    let ret = num("ret");
+    eprintln!(
+        "[mi] exit {ret}, cost {}, {} checks ({} wide) [served by {socket}]",
+        num("cost"),
+        num("checks_executed"),
+        num("checks_wide")
+    );
+    ExitCode::from((ret & 0xFF) as u8)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = match args.split_first() {
@@ -860,6 +1252,12 @@ fn main() -> ExitCode {
     if cmd == "fuzz" {
         return cmd_fuzz(rest);
     }
+    if cmd == "serve" {
+        return cmd_serve(rest);
+    }
+    if cmd == "bench-serve" {
+        return cmd_bench_serve(rest);
+    }
     let (path, opt_args) = match rest.split_first() {
         Some((p, o)) if !p.starts_with("--") => (p.as_str(), o),
         _ => return usage(),
@@ -867,7 +1265,20 @@ fn main() -> ExitCode {
     if cmd == "profile" {
         return cmd_profile(path, opt_args);
     }
-    let options = match parse_options(opt_args) {
+    // `run` accepts `--connect PATH` ahead of the common options.
+    let mut opt_args: Vec<String> = opt_args.to_vec();
+    let mut connect: Option<String> = None;
+    if cmd == "run" {
+        if let Some(i) = opt_args.iter().position(|a| a == "--connect") {
+            if i + 1 >= opt_args.len() {
+                eprintln!("error: --connect expects a socket path");
+                return ExitCode::from(2);
+            }
+            connect = Some(opt_args.remove(i + 1));
+            opt_args.remove(i);
+        }
+    }
+    let options = match parse_options(&opt_args) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
@@ -875,7 +1286,10 @@ fn main() -> ExitCode {
         }
     };
     match cmd {
-        "run" => cmd_run(path, &options),
+        "run" => match connect {
+            Some(socket) => cmd_run_connect(path, &socket, &options),
+            None => cmd_run(path, &options),
+        },
         "ir" => cmd_ir(path, &options),
         "check" => cmd_check(path),
         "stats" => cmd_stats(path, &options),

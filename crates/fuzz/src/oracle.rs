@@ -1,8 +1,8 @@
 //! The cross-mechanism differential oracle.
 //!
 //! Every fuzz case runs a safe program and its mutant through a
-//! 14-configuration matrix off one shared frontend per program (the
-//! PR-1 `bench::driver` caches):
+//! 14-configuration matrix via the typed job API ([`bench::job`]) with
+//! one case-local artifact store sharing the frontend per program:
 //!
 //! * baseline at `O0` and `O3`,
 //! * SoftBound, Low-Fat, and RedZone, each at `O0` and at all three
@@ -25,7 +25,11 @@
 //! cannot happen is a **false positive** (usability broken). Both
 //! surface as [`check_pair`] errors.
 
-use bench::driver::{Driver, JobConfig, Program, TrapKind};
+use std::collections::HashMap;
+
+use bench::driver::{CellOk, CellTrap, Driver, JobConfig, Program, TrapKind};
+use bench::job::{self, JobCtl, JobOutcome};
+use bench::store::ArtifactStore;
 use meminstrument::Mechanism;
 use memvm::{VmBackend, VmConfig};
 use mir::pipeline::{ExtensionPoint, OptLevel};
@@ -89,18 +93,35 @@ pub fn check_pair_with(
         Err(errors) => return errors,
     };
     let configs = matrix_configs();
-    // Single-threaded driver: case-level parallelism lives in the fuzz
-    // loop, and nested thread pools would oversubscribe.
-    let report = Driver::new(programs, configs.clone()).with_jobs(1).with_vm(vm).run();
-
+    // The matrix runs through the typed job API against a case-local
+    // artifact store — the same executor the `mi serve` daemon uses, so
+    // the oracle exercises the served code path on every case. Sequential
+    // on purpose: case-level parallelism lives in the fuzz loop, and
+    // nested thread pools would oversubscribe.
+    let store = ArtifactStore::new();
     let mut errors = Vec::new();
+    let mut cells: HashMap<(String, String), Result<CellOk, CellTrap>> = HashMap::new();
+    for spec in job::job_matrix(&programs, &configs) {
+        match job::execute(&spec, &store, vm, &JobCtl::default()) {
+            Ok(JobOutcome::Cell { program, config, outcome }) => {
+                cells.insert((program, config), *outcome);
+            }
+            Ok(other) => unreachable!("run jobs yield cells, got {other:?}"),
+            Err(e) => {
+                errors.push(format!("{} [{}]: job error: {e:?}", spec.source.name(), spec.config))
+            }
+        }
+    }
+    let cell_for = |program: &str, label: &str| -> Option<&Result<CellOk, CellTrap>> {
+        cells.get(&(program.to_string(), label.to_string()))
+    };
 
     // Safe program: all cells complete, byte-identical output.
     let mut reference: Option<(String, Vec<String>, Option<i64>)> = None;
     for cfg in &configs {
         let label = cfg.to_string();
-        let cell = report.get("safe", cfg).expect("safe cell");
-        match &cell.outcome {
+        let Some(cell) = cell_for("safe", &label) else { continue };
+        match cell {
             Err(t) => errors.push(format!("safe [{label}]: trapped: {}", t.message)),
             Ok(ok) => match &reference {
                 None => reference = Some((label, ok.output.clone(), ok.ret)),
@@ -126,13 +147,13 @@ pub fn check_pair_with(
     let verdicts = mutant.mutation.as_ref().expect("mutant has a mutation").verdicts;
     for cfg in &configs {
         let label = cfg.to_string();
-        let cell = report.get("mutant", cfg).expect("mutant cell");
+        let Some(cell) = cell_for("mutant", &label) else { continue };
         match cfg.mi_config() {
             None => {
                 // Baseline: a violation report is impossible by
                 // construction; anything else (clean run, segfault) is
                 // fine for a program with undefined behaviour.
-                if let Err(t) = &cell.outcome {
+                if let Err(t) = cell {
                     if t.is_violation() {
                         errors.push(format!(
                             "mutant [{label}]: baseline reported a violation: {}",
@@ -144,7 +165,7 @@ pub fn check_pair_with(
             Some(mi) => {
                 let mech = mi.mechanism.name();
                 match verdicts.for_mech(mech) {
-                    Expect::Caught => match &cell.outcome {
+                    Expect::Caught => match cell {
                         Err(t) if matches!(&t.kind, TrapKind::Violation(m) if m == mech) => {}
                         Err(t) => errors.push(format!(
                             "mutant [{label}]: false negative: expected a {mech} violation, got trap: {}",
@@ -156,7 +177,7 @@ pub fn check_pair_with(
                         )),
                     },
                     Expect::Missed => {
-                        if let Err(t) = &cell.outcome {
+                        if let Err(t) = cell {
                             if t.is_violation() {
                                 errors.push(format!(
                                     "mutant [{label}]: false positive: expected a miss, got: {}",

@@ -398,6 +398,71 @@ impl std::fmt::Debug for BcModule {
     }
 }
 
+/// A thread-shareable snapshot of a compiled module: everything in
+/// [`BcModule`] except the host-function closures (which are `Rc`-backed
+/// and therefore pinned to one thread). Produced by [`BcModule::image`],
+/// re-armed against a concrete VM's registry by
+/// [`crate::interp::Vm::adopt_bytecode`] — the basis of cross-connection
+/// bytecode caching in the evaluation service.
+#[derive(Clone, Default, Debug)]
+pub struct BcImage {
+    /// Compiled bodies, indexed by function ID (`None` for declarations).
+    pub funcs: Vec<Option<BcFunc>>,
+    /// Names of the host-pool entries, in pool order; resolved back to
+    /// closures at adoption time.
+    pub host_names: Vec<String>,
+    /// Metrics class of each host-pool entry, parallel to `host_names`.
+    pub host_classes: Vec<OpClass>,
+    /// Pool of unknown-function names.
+    pub names: Vec<String>,
+    /// Indirect-call dispatch target per function ID.
+    pub targets: Vec<CallTarget>,
+    /// Number of check sites in the source module.
+    pub nsites: usize,
+}
+
+impl BcModule {
+    /// Snapshots this module into a host-free [`BcImage`].
+    pub fn image(&self) -> BcImage {
+        BcImage {
+            funcs: self.funcs.clone(),
+            host_names: self.host_names.clone(),
+            host_classes: self.host_classes.clone(),
+            names: self.names.clone(),
+            targets: self.targets.clone(),
+            nsites: self.nsites,
+        }
+    }
+}
+
+impl BcImage {
+    /// Rebuilds a runnable [`BcModule`] by resolving every host-pool entry
+    /// against `registry`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the name of the first host function the registry does not
+    /// provide (the image was compiled against a different runtime setup).
+    pub fn resolve(&self, registry: &crate::host::HostRegistry) -> Result<BcModule, String> {
+        let mut hosts = Vec::with_capacity(self.host_names.len());
+        for name in &self.host_names {
+            match registry.get(name) {
+                Some(hf) => hosts.push(hf.clone()),
+                None => return Err(format!("host function @{name} not in registry")),
+            }
+        }
+        Ok(BcModule {
+            funcs: self.funcs.clone(),
+            hosts,
+            host_names: self.host_names.clone(),
+            host_classes: self.host_classes.clone(),
+            names: self.names.clone(),
+            targets: self.targets.clone(),
+            nsites: self.nsites,
+        })
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Compilation
 // ---------------------------------------------------------------------------

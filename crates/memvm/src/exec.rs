@@ -447,6 +447,9 @@ impl Vm {
             s.pop();
         }
         let r = r?;
+        if self.stats.cost_total >= self.poll_next_at {
+            self.poll_budget()?;
+        }
         if self.stats.cost_total > self.config.max_cost {
             return Err(Trap::CostLimit);
         }

@@ -66,6 +66,13 @@ pub enum Trap {
     Abort(String),
     /// Instruction or type combination the VM does not support.
     Unsupported(String),
+    /// The wall-clock deadline installed via [`Vm::set_deadline`] passed.
+    /// Raised at the next budget poll, not between arbitrary instructions,
+    /// so a run without a deadline is bit-for-bit unaffected.
+    DeadlineExceeded,
+    /// The interrupt flag installed via [`Vm::set_interrupt`] was raised
+    /// (cooperative cancellation from another thread).
+    Interrupted,
 }
 
 impl Trap {
@@ -131,6 +138,8 @@ impl fmt::Display for Trap {
             Trap::BadIndirectCall(a) => write!(f, "indirect call through non-function 0x{a:x}"),
             Trap::Abort(msg) => write!(f, "aborted: {msg}"),
             Trap::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+            Trap::DeadlineExceeded => write!(f, "deadline exceeded"),
+            Trap::Interrupted => write!(f, "interrupted"),
         }
     }
 }
@@ -250,7 +259,24 @@ pub struct Vm {
     pub(crate) flame_fn_ids: Vec<u32>,
     /// Sampler frame ids pre-interned per bytecode host-pool entry.
     pub(crate) flame_host_ids: Vec<u32>,
+    /// Wall-clock deadline for the current run (see [`Vm::set_deadline`]);
+    /// checked only at budget polls, never on the per-charge hot path.
+    pub(crate) deadline: Option<std::time::Instant>,
+    /// Cooperative cancellation flag (see [`Vm::set_interrupt`]), raised
+    /// from another thread and observed at budget polls.
+    pub(crate) interrupt: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+    /// Cost total at which the next deadline/interrupt poll is due;
+    /// `u64::MAX` when neither is installed. Same next-boundary cursor
+    /// pattern as `flame_next_at`: the per-charge hot path stays one `u64`
+    /// compare, and all the `Instant::now()`/atomic-load work lives behind
+    /// it in the cold [`Vm::poll_budget`].
+    pub(crate) poll_next_at: u64,
 }
+
+/// Cost units between deadline/interrupt polls. Small enough that a
+/// runaway loop is caught within a fraction of a second, large enough
+/// that `Instant::now()` never shows up in a profile.
+const POLL_STRIDE: u64 = 1_000_000;
 
 impl Vm {
     /// Loads `module` with the default global placement and host registry.
@@ -339,7 +365,27 @@ impl Vm {
             },
             flame_fn_ids: Vec::new(),
             flame_host_ids: Vec::new(),
+            deadline: None,
+            interrupt: None,
+            poll_next_at: u64::MAX,
         })
+    }
+
+    /// Installs a wall-clock deadline: execution traps with
+    /// [`Trap::DeadlineExceeded`] at the first budget poll after `deadline`
+    /// passes. Polls are clocked by charged cost (every [`POLL_STRIDE`]
+    /// units), so runs that never reach a poll are unaffected.
+    pub fn set_deadline(&mut self, deadline: std::time::Instant) {
+        self.deadline = Some(deadline);
+        self.poll_next_at = self.stats.cost_total.saturating_add(POLL_STRIDE);
+    }
+
+    /// Installs a cooperative cancellation flag: when another thread stores
+    /// `true`, execution traps with [`Trap::Interrupted`] at the next
+    /// budget poll.
+    pub fn set_interrupt(&mut self, flag: std::sync::Arc<std::sync::atomic::AtomicBool>) {
+        self.interrupt = Some(flag);
+        self.poll_next_at = self.stats.cost_total.saturating_add(POLL_STRIDE);
     }
 
     /// Mutable access to the host registry (to install runtime libraries).
@@ -463,6 +509,38 @@ impl Vm {
         code
     }
 
+    /// A host-free, thread-shareable snapshot of the compiled bytecode
+    /// (compiling it first if needed). See [`Vm::adopt_bytecode`].
+    pub fn bytecode_image(&mut self) -> bytecode::BcImage {
+        self.bytecode().image()
+    }
+
+    /// Installs a pre-compiled bytecode image instead of compiling the
+    /// loaded module, re-resolving the image's host-pool entries against
+    /// this VM's registry. The image must come from a VM with the same
+    /// module, runtime setup, and cost model — then execution is
+    /// bit-for-bit identical to compiling locally (the artifact-store
+    /// tests in `bench`/`serve` hold this equal).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first host function this VM's registry
+    /// does not provide. The VM is left unchanged on error; callers fall
+    /// back to [`Vm::prepare`].
+    pub fn adopt_bytecode(&mut self, image: &bytecode::BcImage) -> Result<(), String> {
+        let code = std::rc::Rc::new(image.resolve(&self.registry)?);
+        self.code = Some((self.registry.version(), std::rc::Rc::clone(&code)));
+        if let Some(s) = &mut self.sampler {
+            self.flame_fn_ids = code
+                .funcs
+                .iter()
+                .map(|f| f.as_ref().map_or(u32::MAX, |f| s.intern(&f.name)))
+                .collect();
+            self.flame_host_ids = code.host_names.iter().map(|n| s.intern(n)).collect();
+        }
+        Ok(())
+    }
+
     /// Charges `cost` application-cost units attributed to `class`, takes
     /// any flamegraph samples now due, and enforces the cost budget.
     #[inline]
@@ -473,9 +551,32 @@ impl Vm {
         if self.stats.cost_total >= self.flame_next_at {
             self.flame_sample();
         }
+        if self.stats.cost_total >= self.poll_next_at {
+            self.poll_budget()?;
+        }
         if self.stats.cost_total > self.config.max_cost {
             return Err(Trap::CostLimit);
         }
+        Ok(())
+    }
+
+    /// The cold half of the deadline/interrupt check: only reachable when a
+    /// deadline or interrupt flag is installed (`poll_next_at` is
+    /// `u64::MAX` otherwise). Advances the poll cursor by [`POLL_STRIDE`].
+    #[cold]
+    #[inline(never)]
+    pub(crate) fn poll_budget(&mut self) -> Result<(), Trap> {
+        if let Some(flag) = &self.interrupt {
+            if flag.load(std::sync::atomic::Ordering::Relaxed) {
+                return Err(Trap::Interrupted);
+            }
+        }
+        if let Some(d) = self.deadline {
+            if std::time::Instant::now() >= d {
+                return Err(Trap::DeadlineExceeded);
+            }
+        }
+        self.poll_next_at = self.stats.cost_total.saturating_add(POLL_STRIDE);
         Ok(())
     }
 
@@ -879,6 +980,9 @@ impl Vm {
                 s.pop();
             }
             let r = r?;
+            if self.stats.cost_total >= self.poll_next_at {
+                self.poll_budget()?;
+            }
             if self.stats.cost_total > self.config.max_cost {
                 return Err(Trap::CostLimit);
             }
@@ -1036,6 +1140,100 @@ mod tests {
         let out = run_main(mb.finish()).unwrap();
         assert_eq!(out.ret.unwrap().as_int(), 42);
         assert!(out.stats.cost_total > 0);
+    }
+
+    fn spin_module() -> Module {
+        // A long-running cell: ~10^12 iterations, far beyond any test's
+        // patience but within the cost budget for a while — the budget
+        // poll must cut it short.
+        let src = r#"
+            define i64 @main() {
+            entry:
+              br header
+            header:
+              %i = phi i64, [entry: i64 0], [body: %next]
+              %c = icmp slt i64, %i, i64 1000000000000
+              condbr %c, body, exit
+            body:
+              %next = add i64, %i, i64 1
+              br header
+            exit:
+              ret %i
+            }
+        "#;
+        mir::parser::parse_module(src).unwrap()
+    }
+
+    #[test]
+    fn deadline_traps_long_running_cells_on_both_backends() {
+        for backend in [crate::VmBackend::Walk, crate::VmBackend::Bytecode] {
+            let cfg = VmConfig { backend, ..VmConfig::default() };
+            let mut vm = Vm::new(spin_module(), cfg).unwrap();
+            vm.set_deadline(std::time::Instant::now());
+            assert!(matches!(vm.run("main", &[]), Err(Trap::DeadlineExceeded)), "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn interrupt_flag_traps_long_running_cells() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let flag = Arc::new(AtomicBool::new(true));
+        let mut vm = Vm::new(spin_module(), VmConfig::default()).unwrap();
+        vm.set_interrupt(Arc::clone(&flag));
+        assert!(matches!(vm.run("main", &[]), Err(Trap::Interrupted)));
+    }
+
+    #[test]
+    fn future_deadline_does_not_perturb_results() {
+        let mut plain = Vm::new(spin_module(), VmConfig::default()).unwrap();
+        // Bound the spin to something a test can execute.
+        let mut vm = {
+            let mut mb = ModuleBuilder::new("m");
+            let mut fb = mb.function("main", vec![], Type::I64);
+            let a = fb.add(Type::I64, Operand::i64(40), Operand::i64(2));
+            fb.ret(Some(a));
+            fb.finish();
+            Vm::new(mb.finish(), VmConfig::default()).unwrap()
+        };
+        vm.set_deadline(std::time::Instant::now() + std::time::Duration::from_secs(3600));
+        let out = vm.run("main", &[]).unwrap();
+        assert_eq!(out.ret.unwrap().as_int(), 42);
+        // The long spin still hits the ordinary cost ceiling, not the
+        // deadline, when no deadline is armed.
+        plain.config.max_cost = 1_000_000;
+        let trap = plain.run("main", &[]).unwrap_err();
+        assert!(matches!(trap, Trap::CostLimit), "{trap}");
+    }
+
+    #[test]
+    fn adopted_bytecode_image_reproduces_results() {
+        let module = spin_module();
+        let cfg = VmConfig {
+            backend: crate::VmBackend::Bytecode,
+            max_cost: 1_000_000,
+            ..VmConfig::default()
+        };
+        let mut donor = Vm::new(module.clone(), cfg).unwrap();
+        donor.prepare();
+        let image = donor.bytecode_image();
+        let donor_trap = donor.run("main", &[]).unwrap_err();
+
+        let mut vm = Vm::new(module.clone(), cfg).unwrap();
+        vm.adopt_bytecode(&image).unwrap();
+        let trap = vm.run("main", &[]).unwrap_err();
+        assert_eq!(trap.to_string(), donor_trap.to_string());
+        assert_eq!(vm.stats.cost_total, donor.stats.cost_total);
+
+        // A stale image naming an unknown host is refused, and the VM
+        // still works via ordinary preparation afterwards.
+        let mut stale = image.clone();
+        stale.host_names.push("no-such-host".to_string());
+        stale.host_classes.push(crate::OpClass::Host);
+        let mut vm = Vm::new(module, cfg).unwrap();
+        assert!(vm.adopt_bytecode(&stale).is_err());
+        vm.prepare();
+        assert!(vm.run("main", &[]).is_err());
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub mod profiler;
 pub mod stats;
 pub mod value;
 
-pub use bytecode::{parse_bytecode, BcModule, VmBackend};
+pub use bytecode::{parse_bytecode, BcImage, BcModule, VmBackend};
 pub use cost::CostModel;
 pub use host::{CostCategory, HostCtx, HostRegistry};
 pub use interp::{ExecOutcome, Trap, Vm, VmConfig};

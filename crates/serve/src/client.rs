@@ -1,0 +1,102 @@
+//! A blocking `mi-serve/1` client over a Unix domain socket.
+//!
+//! Supports pipelining: submit any number of requests, then collect
+//! responses as they arrive ([`Client::recv`]) or wait for a specific id
+//! ([`Client::wait_for`], which buffers everything else). Job responses
+//! arrive in *completion* order, not submission order.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use crate::protocol::{Op, Request, Response};
+
+/// A connected client.
+pub struct Client {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+    next_id: u64,
+    pending: Vec<Response>,
+}
+
+impl Client {
+    /// Connects to a daemon socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(path: &Path) -> io::Result<Client> {
+        let stream = UnixStream::connect(path)?;
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer, next_id: 0, pending: Vec::new() })
+    }
+
+    /// Submits `op` without waiting, returning the assigned request id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn submit(&mut self, op: Op) -> io::Result<u64> {
+        self.next_id += 1;
+        let id = self.next_id;
+        let mut line = Request { id, op }.encode();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        Ok(id)
+    }
+
+    /// Receives the next response (buffered responses first).
+    ///
+    /// # Errors
+    ///
+    /// An `UnexpectedEof` error when the server closes the connection, and
+    /// an `InvalidData` error for an undecodable line.
+    pub fn recv(&mut self) -> io::Result<Response> {
+        if !self.pending.is_empty() {
+            return Ok(self.pending.remove(0));
+        }
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed connection"));
+        }
+        Response::decode(&line).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Receives responses until the one for `id` arrives, buffering the
+    /// rest for later [`Client::recv`] calls.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::recv`].
+    pub fn wait_for(&mut self, id: u64) -> io::Result<Response> {
+        if let Some(i) = self.pending.iter().position(|r| r.id == id) {
+            return Ok(self.pending.remove(i));
+        }
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed connection",
+                ));
+            }
+            let resp = Response::decode(&line)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            if resp.id == id {
+                return Ok(resp);
+            }
+            self.pending.push(resp);
+        }
+    }
+
+    /// Submits `op` and waits for its response.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::submit`] and [`Client::wait_for`].
+    pub fn call(&mut self, op: Op) -> io::Result<Response> {
+        let id = self.submit(op)?;
+        self.wait_for(id)
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! `serve`: instrumentation as a service.
+//!
+//! The `mi serve` daemon accepts compile/run/profile jobs over a Unix
+//! domain socket (newline-delimited JSON, schema `mi-serve/1`), executes
+//! them on a bounded worker pool against a shared content-addressed
+//! [`bench::store::ArtifactStore`], and replies with byte-for-byte the
+//! JSON the in-process `bench` driver would produce for the same cell —
+//! so a warm daemon turns repeated evaluation sweeps (editor tooling, CI,
+//! the fuzz oracle's matrix) from recompile-everything into cache hits,
+//! without changing a single output byte.
+//!
+//! * [`protocol`] — the frozen wire schema (requests, responses, errors).
+//! * [`server`] — the daemon: listener, per-connection readers, worker
+//!   pool, deadline/cancel enforcement, graceful drain.
+//! * [`client`] — a blocking, pipelining-capable client.
+//!
+//! Jobs themselves are the typed [`bench::job`] API; this crate only adds
+//! transport and scheduling.
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use protocol::{Op, Request, Response, ResponseBody, SCHEMA};
+pub use server::{start, Server, ServerConfig};

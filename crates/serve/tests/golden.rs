@@ -1,0 +1,54 @@
+//! Golden-file round-trip pinning the frozen `mi-serve/1` wire schema.
+//!
+//! Every request and response line in `tests/golden/mi-serve-v1.txt` must
+//! decode and re-encode to exactly its own bytes. A failure here means the
+//! wire format changed — which requires a schema version bump, not a
+//! golden-file update.
+
+use serve::{Request, Response};
+
+const GOLDEN: &str = include_str!("golden/mi-serve-v1.txt");
+
+#[test]
+fn golden_lines_round_trip_byte_identically() {
+    let mut requests = 0;
+    let mut responses = 0;
+    for (i, line) in GOLDEN.lines().enumerate() {
+        let n = i + 1;
+        if let Some(wire) = line.strip_prefix("> ") {
+            let req = Request::decode(wire).unwrap_or_else(|e| panic!("line {n}: {e}"));
+            assert_eq!(req.encode(), wire, "request on line {n} re-encodes differently");
+            requests += 1;
+        } else if let Some(wire) = line.strip_prefix("< ") {
+            let resp = Response::decode(wire).unwrap_or_else(|e| panic!("line {n}: {e}"));
+            assert_eq!(resp.encode(), wire, "response on line {n} re-encodes differently");
+            responses += 1;
+        }
+    }
+    // The transcript must keep covering every op and every error kind.
+    assert_eq!(requests, 7, "golden transcript lost request coverage");
+    assert_eq!(responses, 9, "golden transcript lost response coverage");
+}
+
+#[test]
+fn golden_covers_every_op_and_error_kind() {
+    for needle in [
+        "\"op\":\"job\"",
+        "\"action\":\"run\"",
+        "\"action\":\"profile\"",
+        "\"action\":\"compile\"",
+        "\"kind\":\"benchmark\"",
+        "\"kind\":\"inline\"",
+        "\"op\":\"cancel\"",
+        "\"op\":\"metrics\"",
+        "\"op\":\"ping\"",
+        "\"op\":\"shutdown\"",
+        "\"kind\":\"timeout\"",
+        "\"kind\":\"cancelled\"",
+        "\"kind\":\"rejected\"",
+        "\"kind\":\"trap\"",
+        "\"deadline_ms\":",
+    ] {
+        assert!(GOLDEN.contains(needle), "golden transcript no longer covers {needle}");
+    }
+}

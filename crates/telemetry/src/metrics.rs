@@ -214,6 +214,19 @@ impl Registry {
         s
     }
 
+    /// Serializes as single-line `mi-metrics/1` JSON, for carriers whose
+    /// framing is newline-delimited (the `mi serve` daemon's `metrics`
+    /// responses). In [`Registry::to_json`] raw newlines are structural
+    /// only — string values escape them — so joining the trimmed lines
+    /// yields an equivalent document with no `0x0A` byte.
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::new();
+        for line in self.to_json().lines() {
+            s.push_str(line.trim_start());
+        }
+        s
+    }
+
     /// Serializes in the Prometheus text exposition format (deterministic
     /// order; histogram buckets rendered cumulatively per convention).
     pub fn to_prometheus(&self) -> String {
@@ -320,6 +333,23 @@ fn prom_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> Stri
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_line_is_newline_free_and_equivalent() {
+        let mut r = Registry::new();
+        r.counter_add("ops", &[("op", "with\nnewline")], 2);
+        r.gauge_set("depth", &[], 3);
+        r.observe("latency", &[("route", "job")], 17);
+        let line = r.to_json_line();
+        assert!(!line.contains('\n'), "{line}");
+        assert!(line.starts_with("{\"schema\": \"mi-metrics/1\","), "{line}");
+        // The escaped newline inside the label value survives.
+        assert!(line.contains("with\\nnewline"), "{line}");
+        // Same document, just reflowed.
+        let reflowed: String =
+            r.to_json().lines().map(|l| l.trim_start()).collect::<Vec<_>>().join("");
+        assert_eq!(line, reflowed);
+    }
 
     #[test]
     fn counters_accumulate_and_read_back() {
