@@ -29,15 +29,16 @@
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use meminstrument::runtime::{
-    compile_baseline_from_prefix, compile_baseline_from_prefix_traced, compile_from_prefix,
-    compile_from_prefix_traced, pipeline_prefix, pipeline_prefix_traced, BuildOptions,
+    compile_baseline_from_prefix, compile_baseline_from_prefix_traced, compile_from_prefix_traced,
+    compile_from_prefix_with_summaries, pipeline_prefix, pipeline_prefix_traced, BuildOptions,
 };
 use meminstrument::{InstrStats, Instrument, Mechanism, MiMode, OptConfig};
 use memvm::{MemCounters, OpMetrics, SiteProfile, VmConfig, VmStats};
+use mir::analysis::ipo::ModuleSummaries;
 use mir::pipeline::{ExtensionPoint, OptLevel};
 use mir::trace::TraceRecorder;
 use telemetry::{FoldedStacks, Registry};
@@ -340,6 +341,12 @@ impl Report {
                     r.counter_add("vm_instrs_executed", l, s.instrs_executed);
                     r.counter_add("vm_checks_executed", l, s.checks_executed);
                     r.counter_add("vm_checks_wide", l, s.checks_wide);
+                    if ok.instr.checks_elided_ipo > 0 {
+                        r.counter_add("instr_checks_elided_ipo", l, ok.instr.checks_elided_ipo);
+                    }
+                    if ok.instr.summaries_computed > 0 {
+                        r.counter_add("instr_summaries_computed", l, ok.instr.summaries_computed);
+                    }
                     r.gauge_set("vm_mapped_bytes", l, s.mapped_bytes);
                     let m = &ok.mem;
                     r.counter_add("mem_cache_hits", l, m.cache_hits);
@@ -435,12 +442,12 @@ impl Report {
 /// jobs report exactly the block a sweep cell would.
 pub fn static_json(st: &InstrStats) -> String {
     format!(
-        "{{\"checks_discovered\": {}, \"checks_eliminated\": {}, \"checks_hoisted\": {}, \"checks_widened\": {}, \"checks_placed\": {}, \"invariants_placed\": {}, \"metadata_loads_placed\": {}, \"metadata_stores_placed\": {}, \"allocas_replaced\": {}, \"globals_mirrored\": {}, \"functions_instrumented\": {}, \"functions_skipped\": {}, \"checks_narrowed\": {}}}",
+        "{{\"checks_discovered\": {}, \"checks_eliminated\": {}, \"checks_hoisted\": {}, \"checks_widened\": {}, \"checks_elided_ipo\": {}, \"checks_placed\": {}, \"invariants_placed\": {}, \"metadata_loads_placed\": {}, \"metadata_stores_placed\": {}, \"allocas_replaced\": {}, \"globals_mirrored\": {}, \"functions_instrumented\": {}, \"functions_skipped\": {}, \"checks_narrowed\": {}, \"summaries_computed\": {}}}",
         st.checks_discovered, st.checks_eliminated, st.checks_hoisted,
-        st.checks_widened, st.checks_placed,
+        st.checks_widened, st.checks_elided_ipo, st.checks_placed,
         st.invariants_placed, st.metadata_loads_placed, st.metadata_stores_placed,
         st.allocas_replaced, st.globals_mirrored, st.functions_instrumented,
-        st.functions_skipped, st.checks_narrowed
+        st.functions_skipped, st.checks_narrowed, st.summaries_computed
     )
 }
 
@@ -600,6 +607,21 @@ impl Driver {
         let prefix_index: HashMap<(usize, OptLevel, ExtensionPoint), usize> =
             prefix_keys.iter().enumerate().map(|(i, &k)| (k, i)).collect();
 
+        // Phase 2.5 — interprocedural summaries: one per prefix snapshot
+        // that an IPO-enabled configuration will consume. Summaries are a
+        // pure function of the prefix, so sharing one computation across
+        // every cell of the (program, opt, ep) row cannot change results.
+        let summary_slots: Vec<usize> = (0..prefix_keys.len()).collect();
+        let summaries: Vec<Option<Arc<ModuleSummaries>>> =
+            par_map(self.jobs, &summary_slots, |_, &slot| {
+                let (_, opt, ep) = prefix_keys[slot];
+                let wanted = self.configs.iter().any(|cfg| {
+                    let o = cfg.build_options();
+                    o.opt == opt && o.ep == ep && cfg.mi_config().is_some_and(|mi| mi.uses_ipo())
+                });
+                wanted.then(|| Arc::new(mir::analysis::ipo::summarize(&prefixes[slot].0)))
+            });
+
         // Phase 3 — cells: instrument (completing the pipeline) + execute,
         // from a clone of the cached prefix.
         let cell_keys: Vec<(usize, usize)> = (0..self.programs.len())
@@ -617,7 +639,12 @@ impl Driver {
                 let prog = match (cfg.mi_config(), &mut rec) {
                     (None, None) => compile_baseline_from_prefix(prefix.clone(), opts),
                     (None, Some(r)) => compile_baseline_from_prefix_traced(prefix.clone(), opts, r),
-                    (Some(mi), None) => compile_from_prefix(prefix.clone(), mi, opts),
+                    (Some(mi), None) => compile_from_prefix_with_summaries(
+                        prefix.clone(),
+                        mi,
+                        opts,
+                        summaries[prefix_slot].clone(),
+                    ),
                     (Some(mi), Some(r)) => compile_from_prefix_traced(prefix.clone(), mi, opts, r),
                 };
                 let instrumentation = t.elapsed();

@@ -19,7 +19,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use meminstrument::runtime::{
-    compile_baseline_from_prefix, compile_from_prefix, pipeline_prefix, CompiledProgram,
+    compile_baseline_from_prefix, compile_from_prefix_with_summaries, pipeline_prefix,
+    CompiledProgram,
 };
 use meminstrument::{InstrStats, Instrument};
 use memvm::{BcImage, Trap, VmBackend, VmConfig};
@@ -442,9 +443,18 @@ pub fn execute(
     let opts = spec.config.build_options();
     let label = spec.config.to_string();
     let prefix = store.prefix((h, opts.opt, opts.ep), || pipeline_prefix((*module).clone(), opts));
+    // Interprocedural summaries are a pure function of the prefix snapshot,
+    // so one cached computation serves every IPO-enabled configuration of
+    // this (program, opt level, extension point).
+    let summaries = match spec.config.mi_config() {
+        Some(mi) if mi.uses_ipo() => {
+            Some(store.summaries((h, opts.opt, opts.ep), || mir::analysis::ipo::summarize(&prefix)))
+        }
+        _ => None,
+    };
     let prog = store.compiled((h, label.clone()), || match spec.config.mi_config() {
         None => compile_baseline_from_prefix((*prefix).clone(), opts),
-        Some(mi) => compile_from_prefix((*prefix).clone(), mi, opts),
+        Some(mi) => compile_from_prefix_with_summaries((*prefix).clone(), mi, opts, summaries),
     });
 
     if spec.action == JobAction::Compile {

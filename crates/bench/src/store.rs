@@ -5,12 +5,18 @@
 //! of the source (see [`crate::job::SourceRef::content_hash`]) plus the
 //! stage's configuration:
 //!
-//! | level      | key                         | artifact                     |
-//! |------------|-----------------------------|------------------------------|
-//! | `frontend` | source hash                 | [`mir::Module`]              |
-//! | `prefix`   | hash × opt level × ext pt   | post-prefix [`mir::Module`]  |
-//! | `compiled` | hash × `Instrument` label   | [`CompiledProgram`]          |
-//! | `bytecode` | hash × `Instrument` label   | [`memvm::BcImage`]           |
+//! | level       | key                         | artifact                     |
+//! |-------------|-----------------------------|------------------------------|
+//! | `frontend`  | source hash                 | [`mir::Module`]              |
+//! | `prefix`    | hash × opt level × ext pt   | post-prefix [`mir::Module`]  |
+//! | `summaries` | hash × opt level × ext pt   | [`ipo::ModuleSummaries`]     |
+//! | `compiled`  | hash × `Instrument` label   | [`CompiledProgram`]          |
+//! | `bytecode`  | hash × `Instrument` label   | [`memvm::BcImage`]           |
+//!
+//! The `summaries` level shares the prefix key: interprocedural summaries
+//! are a pure function of the prefix snapshot they were computed over, so
+//! one entry serves every mechanism and optimization-flag combination of
+//! that snapshot.
 //!
 //! Correctness rests on the pipeline being a pure function of its key: the
 //! `Instrument` label grammar round-trips the whole configuration, the
@@ -30,6 +36,7 @@ use std::sync::{Arc, Mutex};
 
 use meminstrument::runtime::CompiledProgram;
 use memvm::BcImage;
+use mir::analysis::ipo::ModuleSummaries;
 use mir::pipeline::{ExtensionPoint, OptLevel};
 use telemetry::Registry;
 
@@ -87,6 +94,7 @@ struct Inner {
     tick: u64,
     frontend: Level<u64, mir::Module>,
     prefix: Level<(u64, OptLevel, ExtensionPoint), mir::Module>,
+    summaries: Level<(u64, OptLevel, ExtensionPoint), ModuleSummaries>,
     compiled: Level<(u64, String), CompiledProgram>,
     bytecode: Level<(u64, String), BcImage>,
     metrics: Registry,
@@ -120,6 +128,7 @@ impl ArtifactStore {
                 tick: 0,
                 frontend: Level::new("frontend", capacity),
                 prefix: Level::new("prefix", capacity),
+                summaries: Level::new("summaries", capacity),
                 compiled: Level::new("compiled", capacity),
                 bytecode: Level::new("bytecode", capacity),
                 metrics: Registry::new(),
@@ -174,6 +183,28 @@ impl ArtifactStore {
         inner.prefix.insert(key, built, tick, &mut inner.metrics)
     }
 
+    /// Interprocedural summaries for the `(hash, opt, ep)` prefix
+    /// snapshot, building them on a miss. [`mir::analysis::ipo::summarize`]
+    /// is deterministic, so a cached entry composes byte-identically with
+    /// self-summarizing compilation of the same snapshot.
+    pub fn summaries(
+        &self,
+        key: (u64, OptLevel, ExtensionPoint),
+        build: impl FnOnce() -> ModuleSummaries,
+    ) -> Arc<ModuleSummaries> {
+        {
+            let inner = &mut *self.inner.lock().unwrap();
+            let tick = Self::tick(inner);
+            if let Some(s) = inner.summaries.get(&key, tick, &mut inner.metrics) {
+                return s;
+            }
+        }
+        let built = Arc::new(build());
+        let inner = &mut *self.inner.lock().unwrap();
+        let tick = Self::tick(inner);
+        inner.summaries.insert(key, built, tick, &mut inner.metrics)
+    }
+
     /// Instrumented program for `(hash, label)`, building it on a miss.
     pub fn compiled(
         &self,
@@ -212,6 +243,7 @@ impl ArtifactStore {
         let inner = self.inner.lock().unwrap();
         inner.frontend.map.len()
             + inner.prefix.map.len()
+            + inner.summaries.map.len()
             + inner.compiled.map.len()
             + inner.bytecode.map.len()
     }

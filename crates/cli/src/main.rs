@@ -64,6 +64,8 @@
 //!   --mode full|invariants                  -mi-mode= (default full)
 //!   --no-opt-dominance                      disable §5.3 dominance elimination
 //!   --no-opt-loops                          disable §5.3 loop hoisting/widening
+//!   --no-opt-ipo                            disable interprocedural summary-based
+//!                                           check elision (mir::analysis::ipo)
 //!   --narrow                                Appendix-B member-bounds narrowing
 //!   --wrapper-checks                        enable Figure-6 wrapper checks
 //!   --vm walk|bytecode                      VM backend (default bytecode; the
@@ -185,6 +187,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opt.loop_hoist = false;
                 opt.loop_widen = false;
             }
+            "--no-opt-ipo" => opt.ipo = false,
             "--narrow" => narrow = true,
             "--wrapper-checks" => wrappers = true,
             "--vm" => match it.next() {
@@ -389,12 +392,14 @@ fn cmd_stats(path: &str, o: &Options) -> ExitCode {
     println!("  checks eliminated: {} ({:.1}%)", s.checks_eliminated, s.eliminated_percent());
     println!("  checks hoisted   : {}", s.checks_hoisted);
     println!("  checks widened   : {}", s.checks_widened);
+    println!("  checks elided ipo: {}", s.checks_elided_ipo);
     println!("  checks placed    : {}", s.checks_placed);
     println!("  invariants placed: {}", s.invariants_placed);
     println!("  metadata loads   : {}", s.metadata_loads_placed);
     println!("  metadata stores  : {}", s.metadata_stores_placed);
     println!("  allocas replaced : {}", s.allocas_replaced);
     println!("  globals mirrored : {}", s.globals_mirrored);
+    println!("  ipo summaries    : {}", s.summaries_computed);
     match (prog.run_main(o.cell.vm_config()), base.run_main(o.cell.vm_config())) {
         (Ok(out), Ok(b)) => {
             let d = &out.stats;

@@ -145,8 +145,14 @@ pub fn case_programs(seed: u64, index: u64) -> (ast::FuzzProgram, ast::FuzzProgr
 /// Runs one case through the oracle. Returns the oracle errors (empty
 /// means pass).
 pub fn run_case(seed: u64, index: u64) -> Vec<String> {
+    run_case_with(seed, index, memvm::VmConfig::default())
+}
+
+/// Like [`run_case`] under an explicit VM configuration — the entry point
+/// the `mi serve` daemon's fuzz jobs execute cases through.
+pub fn run_case_with(seed: u64, index: u64, vm: memvm::VmConfig) -> Vec<String> {
     let (safe, mutant) = case_programs(seed, index);
-    oracle::check_pair(&safe, &mutant, &format!("fuzz seed={seed} case={index}"))
+    oracle::check_pair_with(&safe, &mutant, &format!("fuzz seed={seed} case={index}"), vm)
 }
 
 /// The standalone repro source for a failing (possibly shrunk) mutant.

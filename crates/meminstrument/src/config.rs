@@ -77,24 +77,33 @@ pub struct OptConfig {
     /// Widen monotone induction-variable checks into a single preheader
     /// range check covering every byte the loop accesses.
     pub loop_widen: bool,
+    /// Interprocedural summary-based check elision (`mir::analysis::ipo`):
+    /// drop checks the caller-propagated pointer summary proves in bounds.
+    pub ipo: bool,
 }
 
 impl Default for OptConfig {
     /// Everything on — the "optimized" configuration of Figures 9–11.
     fn default() -> OptConfig {
-        OptConfig { dominance: true, loop_hoist: true, loop_widen: true }
+        OptConfig { dominance: true, loop_hoist: true, loop_widen: true, ipo: true }
     }
 }
 
 impl OptConfig {
     /// No static check optimization at all (the "unoptimized" series).
     pub fn none() -> OptConfig {
-        OptConfig { dominance: false, loop_hoist: false, loop_widen: false }
+        OptConfig { dominance: false, loop_hoist: false, loop_widen: false, ipo: false }
     }
 
     /// Dominance elimination only, no loop-aware optimization.
     pub fn no_loops() -> OptConfig {
         OptConfig { loop_hoist: false, loop_widen: false, ..OptConfig::default() }
+    }
+
+    /// Everything except interprocedural elision — the `-noipo` ladder
+    /// rung the differential suite compares against.
+    pub fn no_ipo() -> OptConfig {
+        OptConfig { ipo: false, ..OptConfig::default() }
     }
 
     /// Whether any loop-aware optimization is enabled.
@@ -159,6 +168,17 @@ impl MiConfig {
     /// Figures 10/11; `-mi-mode=geninvariants`).
     pub fn invariants_only(mechanism: Mechanism) -> MiConfig {
         MiConfig { mode: MiMode::GenInvariantsOnly, ..MiConfig::new(mechanism) }
+    }
+
+    /// Whether this configuration runs interprocedural check elision.
+    /// Requires full instrumentation with the `ipo` knob on; disabled
+    /// under SoftBound member-bound narrowing, whose sub-object bounds
+    /// are stricter than the whole-allocation extents the summaries
+    /// prove against.
+    pub fn uses_ipo(&self) -> bool {
+        self.mode == MiMode::Full
+            && self.opt.ipo
+            && !(self.mechanism == Mechanism::SoftBound && self.sb_narrow_member_bounds)
     }
 }
 
@@ -320,12 +340,13 @@ fn opt_suffix(c: &MiConfig) -> String {
     if c.mode == MiMode::GenInvariantsOnly {
         return "-inv".into();
     }
-    match (c.opt.dominance, c.opt.loop_hoist, c.opt.loop_widen) {
-        (true, true, true) => String::new(),
-        (false, false, false) => "-unopt".into(),
-        (true, false, false) => "-noloop".into(),
-        (false, true, true) => "-nodom".into(),
-        (d, h, w) => format!("-optd{}h{}w{}", d as u8, h as u8, w as u8),
+    match (c.opt.dominance, c.opt.loop_hoist, c.opt.loop_widen, c.opt.ipo) {
+        (true, true, true, true) => String::new(),
+        (false, false, false, false) => "-unopt".into(),
+        (true, true, true, false) => "-noipo".into(),
+        (true, false, false, true) => "-noloop".into(),
+        (false, true, true, true) => "-nodom".into(),
+        (d, h, w, i) => format!("-optd{}h{}w{}i{}", d as u8, h as u8, w as u8, i as u8),
     }
 }
 
@@ -334,6 +355,7 @@ fn parse_suffix(s: &str) -> Result<(MiMode, OptConfig), String> {
         "" => Ok((MiMode::Full, OptConfig::default())),
         "-inv" => Ok((MiMode::GenInvariantsOnly, OptConfig::default())),
         "-unopt" => Ok((MiMode::Full, OptConfig::none())),
+        "-noipo" => Ok((MiMode::Full, OptConfig::no_ipo())),
         "-noloop" => Ok((MiMode::Full, OptConfig::no_loops())),
         "-nodom" => Ok((MiMode::Full, OptConfig { dominance: false, ..OptConfig::default() })),
         _ => {
@@ -345,9 +367,24 @@ fn parse_suffix(s: &str) -> Result<(MiMode, OptConfig), String> {
                 _ => Err(format!("unknown config suffix `{s}`")),
             };
             match rest.as_bytes() {
+                [d, b'h', h, b'w', w, b'i', i] => Ok((
+                    MiMode::Full,
+                    OptConfig {
+                        dominance: bit(*d)?,
+                        loop_hoist: bit(*h)?,
+                        loop_widen: bit(*w)?,
+                        ipo: bit(*i)?,
+                    },
+                )),
+                // Pre-ipo labels: `-optd{d}h{h}w{w}` implied ipo on.
                 [d, b'h', h, b'w', w] => Ok((
                     MiMode::Full,
-                    OptConfig { dominance: bit(*d)?, loop_hoist: bit(*h)?, loop_widen: bit(*w)? },
+                    OptConfig {
+                        dominance: bit(*d)?,
+                        loop_hoist: bit(*h)?,
+                        loop_widen: bit(*w)?,
+                        ipo: true,
+                    },
                 )),
                 _ => Err(format!("unknown config suffix `{s}`")),
             }
@@ -430,6 +467,24 @@ mod tests {
         assert_eq!(Mechanism::SoftBound.name(), "softbound");
         assert!(OptConfig::no_loops().dominance);
         assert!(!OptConfig::no_loops().any_loop_opts());
+        assert!(OptConfig::no_loops().ipo);
+        assert!(!OptConfig::no_ipo().ipo);
+        assert!(OptConfig::no_ipo().any_loop_opts());
+    }
+
+    #[test]
+    fn uses_ipo_gating() {
+        assert!(MiConfig::new(Mechanism::SoftBound).uses_ipo());
+        assert!(MiConfig::new(Mechanism::RedZone).uses_ipo());
+        assert!(!MiConfig::unoptimized(Mechanism::LowFat).uses_ipo());
+        assert!(!MiConfig::invariants_only(Mechanism::LowFat).uses_ipo());
+        let narrow =
+            MiConfig { sb_narrow_member_bounds: true, ..MiConfig::new(Mechanism::SoftBound) };
+        assert!(!narrow.uses_ipo());
+        // Narrowing is SoftBound-only; it must not disable ipo elsewhere.
+        let narrow_lf =
+            MiConfig { sb_narrow_member_bounds: true, ..MiConfig::new(Mechanism::LowFat) };
+        assert!(narrow_lf.uses_ipo());
     }
 
     #[test]
@@ -471,6 +526,10 @@ mod tests {
             Instrument::mechanism(Mechanism::LowFat).opt(OptConfig::no_loops()).to_string(),
             "lowfat-noloop@O3@VectorizerStart"
         );
+        assert_eq!(
+            Instrument::mechanism(Mechanism::SoftBound).opt(OptConfig::no_ipo()).to_string(),
+            "softbound-noipo@O3@VectorizerStart"
+        );
     }
 
     #[test]
@@ -481,8 +540,10 @@ mod tests {
                 OptConfig::default(),
                 OptConfig::none(),
                 OptConfig::no_loops(),
+                OptConfig::no_ipo(),
                 OptConfig { dominance: false, ..OptConfig::default() },
                 OptConfig { loop_widen: false, ..OptConfig::default() },
+                OptConfig { loop_widen: false, ipo: false, ..OptConfig::default() },
             ] {
                 cells.push(
                     Instrument::mechanism(m).opt(opt).at(ExtensionPoint::ScalarOptimizerLate),
@@ -509,5 +570,11 @@ mod tests {
         assert!("sb@O1@vec".parse::<Instrument>().is_err());
         assert!("sb-bogus@O0@vec".parse::<Instrument>().is_err());
         assert!("@@".parse::<Instrument>().is_err());
+        // `-noipo` round-trips; legacy three-bit labels imply ipo on.
+        let c: Instrument = "lf-noipo@O3@vec".parse().unwrap();
+        assert_eq!(c.to_string(), "lowfat-noipo@O3@VectorizerStart");
+        let legacy: Instrument = "sb-optd1h0w1@O3@vec".parse().unwrap();
+        assert_eq!(legacy.to_string(), "softbound-optd1h0w1i1@O3@VectorizerStart");
+        assert!("sb-optd1h0w1i2@O3@vec".parse::<Instrument>().is_err());
     }
 }

@@ -67,8 +67,11 @@ pub mod witness;
 
 pub use config::{Instrument, Mechanism, MiConfig, MiMode, OptConfig};
 pub use itarget::CheckPlacement;
+pub use opt::ElisionRecord;
 pub use pass::MemInstrumentPass;
-pub use runtime::{compile, compile_and_run, install_runtime, BuildOptions, CompiledProgram};
+pub use runtime::{
+    compile, compile_and_run, install_runtime, BuildOptions, CompiledProgram, SbAccess, SbAccessLog,
+};
 pub use stats::InstrStats;
 
 /// Re-export of the VM backend selector, for `Instrument::vm_backend`.

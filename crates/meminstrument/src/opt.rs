@@ -323,6 +323,87 @@ fn widen_plan(
     Some(Plan::Widen { base: base.clone(), elem_ty: elem_ty.clone(), min_idx, width: width as u64 })
 }
 
+/// One check dropped by [`elide_proven_checks`]: the summary-derived
+/// precondition that justified the elision, kept for auditability (the
+/// property suite replays these against the walker VM's per-access
+/// bounds log).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ElisionRecord {
+    /// Function containing the elided check.
+    pub func: String,
+    /// Source line of the guarded access, when known.
+    pub line: Option<u32>,
+    /// Checked width in bytes (the whole range for widened checks).
+    pub width: u64,
+    /// Proven byte-offset range of the checked pointer.
+    pub off: (i64, i64),
+    /// Proven minimum extent of the underlying allocation.
+    pub size_min: u64,
+}
+
+/// Interprocedural check elision (the `mir::analysis::ipo` consumer):
+/// recomputes per-value pointer facts for `f` under the whole-program
+/// `summaries` and drops every check the facts prove in bounds of the
+/// original allocation. Runs after the loop optimizations so widened
+/// preheader range checks (whose pointer is a constant-index `gep` of
+/// a summarized base) are themselves elidable.
+///
+/// SoftBound and Low-Fat elide on the spatial proof alone: SoftBound
+/// bounds equal the allocation extent the summary reasons about, and a
+/// Low-Fat size-class always contains the allocation. Both tolerate
+/// in-bounds accesses to freed memory even with the check in place, so
+/// the proof loses no temporal coverage. RedZone additionally demands
+/// the access provably hits the *original, still-live* allocation —
+/// its shadow poisons freed heap heads and dead stack frames, so heap
+/// facts are only elidable while the module never calls `free`, and
+/// stack facts must not have escaped a frame through a `ret`.
+///
+/// Returns the number of checks elided and appends one record each to
+/// `records`.
+pub fn elide_proven_checks(
+    f: &Function,
+    targets: &mut Targets,
+    summaries: &mir::analysis::ipo::ModuleSummaries,
+    env: &mir::analysis::ipo::FactEnv,
+    mechanism: Mechanism,
+    records: &mut Vec<ElisionRecord>,
+) -> u64 {
+    use mir::analysis::ipo::{operand_fact, value_facts, Provenance};
+
+    if targets.checks.is_empty() {
+        return 0;
+    }
+    let facts = value_facts(f, env, summaries);
+    let before = targets.checks.len();
+    targets.checks.retain(|c| {
+        let Some(fact) = operand_fact(&c.ptr, &facts, env) else {
+            return true; // bottom: no flow reached this value, keep
+        };
+        if !fact.proves_in_bounds(c.width) {
+            return true;
+        }
+        let temporal_ok = match mechanism {
+            Mechanism::SoftBound | Mechanism::LowFat => true,
+            Mechanism::RedZone => {
+                !fact.prov.contains(Provenance::STACK_RET)
+                    && (!fact.prov.contains(Provenance::HEAP) || !env.has_free)
+            }
+        };
+        if !temporal_ok {
+            return true;
+        }
+        records.push(ElisionRecord {
+            func: f.name.clone(),
+            line: f.instrs[c.instr.index()].loc.map(|l| l.line),
+            width: c.width,
+            off: fact.off.expect("proven fact has a bounded offset"),
+            size_min: fact.size_min,
+        });
+        false
+    });
+    (before - targets.checks.len()) as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -706,5 +787,187 @@ mod tests {
         assert_eq!(t.checks.len(), 1);
         assert_eq!(t.checks[0].width, 80);
         assert!(t.checks[0].is_store);
+    }
+
+    // ---------------------------------------------------------------
+    // Interprocedural elision
+    // ---------------------------------------------------------------
+
+    /// Runs summarize + elide over function `fname` of `src` under
+    /// `mech`; returns (kept checks, elided count, records).
+    fn run_elide(src: &str, fname: &str, mech: Mechanism) -> (Targets, u64, Vec<ElisionRecord>) {
+        let m = mir::parser::parse_module(src).unwrap();
+        let summaries = mir::analysis::ipo::summarize(&m);
+        let env = mir::analysis::ipo::FactEnv::collect(&m);
+        let f = m.function_by_name(fname).unwrap().1;
+        let mut t = discover(f);
+        let mut records = Vec::new();
+        let n = elide_proven_checks(f, &mut t, &summaries, &env, mech, &mut records);
+        (t, n, records)
+    }
+
+    const CROSS_FN: &str = r#"
+        hostdecl ptr @malloc(i64)
+        define i64 @main() {
+        entry:
+          %p = call ptr @malloc(i64 80)
+          %r = call i64 @reader(%p)
+          ret %r
+        }
+        define i64 @reader(ptr %p) {
+        entry:
+          %in = gep i64, %p, [i64 9]
+          %v = load i64, %in
+          %out = gep i64, %p, [i64 10]
+          %w = load i64, %out
+          %s = add i64, %v, %w
+          ret %s
+        }
+    "#;
+
+    #[test]
+    fn elides_proven_cross_function_access_keeps_unproven() {
+        for mech in [Mechanism::SoftBound, Mechanism::LowFat, Mechanism::RedZone] {
+            let (t, n, records) = run_elide(CROSS_FN, "reader", mech);
+            // p[9] is bytes 72..80 of an 80-byte allocation: proven.
+            // p[10] is bytes 80..88: out of bounds, the check stays.
+            assert_eq!(n, 1, "{mech:?}");
+            assert_eq!(t.checks.len(), 1, "{mech:?}");
+            assert_eq!(records.len(), 1);
+            assert_eq!(records[0].func, "reader");
+            assert_eq!(records[0].off, (72, 72));
+            assert_eq!(records[0].size_min, 80);
+        }
+    }
+
+    #[test]
+    fn redzone_keeps_heap_elisions_when_free_is_reachable() {
+        let src = r#"
+            hostdecl ptr @malloc(i64)
+            hostdecl void @free(ptr)
+            define i64 @main() {
+            entry:
+              %p = call ptr @malloc(i64 16)
+              %v = load i64, %p
+              call void @free(%p)
+              ret %v
+            }
+        "#;
+        // Spatially proven for everyone; RedZone also needs the temporal
+        // proof, which `free` in the module denies for heap facts.
+        let (_, sb, _) = run_elide(src, "main", Mechanism::SoftBound);
+        assert_eq!(sb, 1);
+        let (_, lf, _) = run_elide(src, "main", Mechanism::LowFat);
+        assert_eq!(lf, 1);
+        let (t, rz, _) = run_elide(src, "main", Mechanism::RedZone);
+        assert_eq!(rz, 0);
+        assert_eq!(t.checks.len(), 1);
+    }
+
+    #[test]
+    fn redzone_keeps_stack_pointers_that_escaped_a_return() {
+        let src = r#"
+            define ptr @make() {
+            entry:
+              %a = alloca i64, i64 4
+              ret %a
+            }
+            define i64 @main() {
+            entry:
+              %p = call ptr @make()
+              %v = load i64, %p
+              ret %v
+            }
+        "#;
+        // The frame is dead at the load: RedZone's shadow may have
+        // repoisoned it. SoftBound/Low-Fat are spatial-only and elide.
+        let (_, sb, _) = run_elide(src, "main", Mechanism::SoftBound);
+        assert_eq!(sb, 1);
+        let (_, rz, _) = run_elide(src, "main", Mechanism::RedZone);
+        assert_eq!(rz, 0);
+    }
+
+    #[test]
+    fn unknown_provenance_is_never_elided() {
+        let src = r#"
+            define i64 @main(ptr %p) {
+            entry:
+              %v = load i64, %p
+              ret %v
+            }
+        "#;
+        // main is an entry point: its params are TOP.
+        for mech in [Mechanism::SoftBound, Mechanism::LowFat, Mechanism::RedZone] {
+            let (t, n, records) = run_elide(src, "main", mech);
+            assert_eq!(n, 0);
+            assert_eq!(t.checks.len(), 1);
+            assert!(records.is_empty());
+        }
+    }
+
+    #[test]
+    fn widened_range_check_is_elidable_after_loop_opt() {
+        let src = r#"
+            hostdecl ptr @malloc(i64)
+            define i64 @main() {
+            entry:
+              %p = call ptr @malloc(i64 80)
+              %r = call i64 @f(%p)
+              ret %r
+            }
+            define i64 @f(ptr %p) {
+            entry:
+              br header
+            header:
+              %i = phi i64, [entry: i64 0], [body: %next]
+              %c = icmp slt i64, %i, i64 10
+              condbr %c, body, exit
+            body:
+              %q = gep i64, %p, [%i]
+              store i64, %i, %q
+              %next = add i64, %i, i64 1
+              br header
+            exit:
+              ret i64 0
+            }
+        "#;
+        let mut m = mir::parser::parse_module(src).unwrap();
+        let summaries = mir::analysis::ipo::summarize(&m);
+        let env = mir::analysis::ipo::FactEnv::collect(&m);
+        let f = m.function_by_name_mut("f").unwrap();
+        let mut t = discover(f);
+        let out = optimize_loop_checks(f, &mut t, &OptConfig::default(), Mechanism::SoftBound);
+        assert_eq!(out.widened, 1);
+        // The widened preheader check covers bytes 0..80 of the 80-byte
+        // summary extent — provable, so the whole loop runs check-free.
+        let mut records = Vec::new();
+        let n =
+            elide_proven_checks(f, &mut t, &summaries, &env, Mechanism::SoftBound, &mut records);
+        assert_eq!(n, 1);
+        assert!(t.checks.is_empty());
+        assert_eq!(records[0].width, 80);
+    }
+
+    #[test]
+    fn access_ending_exactly_at_bound_is_proven() {
+        let src = r#"
+            hostdecl ptr @malloc(i64)
+            define i64 @main() {
+            entry:
+              %p = call ptr @malloc(i64 80)
+              %edge = gep i64, %p, [i64 9]
+              %v = load i64, %edge
+              %past = gep i32, %edge, [i32 1]
+              %w = load i32, %past
+              %s = add i64, %v, %w
+              ret %s
+            }
+        "#;
+        // %edge loads bytes 72..80 and %past bytes 76..80: both end
+        // exactly at the 80-byte extent, which is still in bounds
+        // (`hi + width <= size_min`). One byte further would fail.
+        let (t, n, _) = run_elide(src, "main", Mechanism::SoftBound);
+        assert_eq!(n, 2);
+        assert!(t.checks.is_empty());
     }
 }

@@ -15,6 +15,9 @@
 //! assert!(mir::verifier::verify_module(&module).is_ok());
 //! ```
 
+use std::sync::Arc;
+
+use mir::analysis::ipo::{self, FactEnv, ModuleSummaries};
 use mir::instr::InstrKind;
 use mir::module::Module;
 use mir::passes::ModulePass;
@@ -27,7 +30,9 @@ use crate::itarget::{discover, EscapeKind, Targets};
 use crate::mechanism::{
     lowfat::LowFatMech, redzone::RedZoneMech, softbound::SoftBoundMech, MechanismLowering, PtrArg,
 };
-use crate::opt::{eliminate_dominated_checks, optimize_loop_checks};
+use crate::opt::{
+    elide_proven_checks, eliminate_dominated_checks, optimize_loop_checks, ElisionRecord,
+};
 use crate::stats::InstrStats;
 use crate::witness::{resolve_witness, InstrumentCx, ModuleInfo};
 
@@ -38,13 +43,37 @@ pub struct MemInstrumentPass {
     pub config: MiConfig,
     /// Statistics accumulated over the run.
     pub stats: InstrStats,
+    /// Audit trail of interprocedurally elided checks.
+    pub elisions: Vec<ElisionRecord>,
+    /// Precomputed whole-program summaries (normally computed on the
+    /// frontend module and cached by source hash). `None` means the pass
+    /// summarizes the module it runs on.
+    summaries: Option<Arc<ModuleSummaries>>,
     ran: bool,
 }
 
 impl MemInstrumentPass {
     /// Creates a pass for `config`.
     pub fn new(config: MiConfig) -> MemInstrumentPass {
-        MemInstrumentPass { config, stats: InstrStats::default(), ran: false }
+        MemInstrumentPass {
+            config,
+            stats: InstrStats::default(),
+            elisions: Vec::new(),
+            summaries: None,
+            ran: false,
+        }
+    }
+
+    /// Supplies precomputed pointer summaries (from the frontend module
+    /// or the artifact cache) instead of summarizing at pass time.
+    /// Summaries key by function name and parameter index only, so a
+    /// frontend summary stays valid at any extension point — pipeline
+    /// passes rewrite bodies, never signatures, and inlining only
+    /// removes call sites (a join over more sites is weaker, hence
+    /// sound).
+    pub fn with_summaries(mut self, summaries: Option<Arc<ModuleSummaries>>) -> MemInstrumentPass {
+        self.summaries = summaries;
+        self
     }
 }
 
@@ -73,6 +102,17 @@ impl ModulePass for MemInstrumentPass {
             }
         }
 
+        // Interprocedural context: whole-program summaries (supplied or
+        // computed here) plus the module-local fact environment, which
+        // must always reflect *this* module's global ids.
+        let ipo_cx = if self.config.uses_ipo() {
+            let summaries = self.summaries.clone().unwrap_or_else(|| Arc::new(ipo::summarize(m)));
+            self.stats.summaries_computed += summaries.len() as u64;
+            Some((summaries, FactEnv::collect(m)))
+        } else {
+            None
+        };
+
         let minfo = ModuleInfo::collect(m, &self.config);
         let mut sites = std::mem::take(&mut m.check_sites);
         for i in 0..m.functions.len() {
@@ -88,18 +128,43 @@ impl ModulePass for MemInstrumentPass {
                 &mut m.functions[i],
                 Function::declaration("__mi_placeholder", vec![], Type::Void),
             );
+            let ipo_ref = ipo_cx.as_ref().map(|(s, env)| (s.as_ref(), env));
             match self.config.mechanism {
                 Mechanism::SoftBound => {
                     let mut mech = SoftBoundMech;
-                    instrument_function(&mut f, &minfo, &mut self.stats, &mut sites, &mut mech);
+                    instrument_function(
+                        &mut f,
+                        &minfo,
+                        &mut self.stats,
+                        &mut sites,
+                        &mut mech,
+                        ipo_ref,
+                        &mut self.elisions,
+                    );
                 }
                 Mechanism::LowFat => {
                     let mut mech = LowFatMech;
-                    instrument_function(&mut f, &minfo, &mut self.stats, &mut sites, &mut mech);
+                    instrument_function(
+                        &mut f,
+                        &minfo,
+                        &mut self.stats,
+                        &mut sites,
+                        &mut mech,
+                        ipo_ref,
+                        &mut self.elisions,
+                    );
                 }
                 Mechanism::RedZone => {
                     let mut mech = RedZoneMech;
-                    instrument_function(&mut f, &minfo, &mut self.stats, &mut sites, &mut mech);
+                    instrument_function(
+                        &mut f,
+                        &minfo,
+                        &mut self.stats,
+                        &mut sites,
+                        &mut mech,
+                        ipo_ref,
+                        &mut self.elisions,
+                    );
                 }
             }
             m.functions[i] = f;
@@ -116,6 +181,8 @@ fn instrument_function(
     stats: &mut InstrStats,
     sites: &mut Vec<mir::srcloc::CheckSite>,
     mech: &mut dyn MechanismLowering,
+    ipo_cx: Option<(&ModuleSummaries, &FactEnv)>,
+    elisions: &mut Vec<ElisionRecord>,
 ) {
     let config = &minfo.config;
     let mut cx = InstrumentCx::new(f, minfo, stats, sites);
@@ -135,6 +202,12 @@ fn instrument_function(
         cx.stats.checks_hoisted += out.hoisted;
         cx.stats.checks_widened += out.widened;
         cx.stats.checks_eliminated += out.merged;
+    }
+    // Interprocedural elision runs after the loop optimizations so the
+    // widened preheader range checks are themselves candidates.
+    if let Some((summaries, env)) = ipo_cx {
+        cx.stats.checks_elided_ipo +=
+            elide_proven_checks(cx.func, &mut targets, summaries, env, config.mechanism, elisions);
     }
 
     // Phase A: resolve (and materialize) every witness that will be needed,
@@ -260,6 +333,7 @@ fn call_shape(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::OptConfig;
     use mir::verifier::verify_module;
 
     fn count_calls(m: &Module, name: &str) -> usize {
@@ -305,23 +379,60 @@ mod tests {
 
     #[test]
     fn softbound_inserts_checks_and_verifies() {
-        let (m, stats) = instrument(HEAP_LOOP, MiConfig::new(Mechanism::SoftBound));
+        // Without interprocedural elision: the widened preheader check and
+        // the exit load check are both placed.
+        let config = MiConfig { opt: OptConfig::no_ipo(), ..MiConfig::new(Mechanism::SoftBound) };
+        let (m, stats) = instrument(HEAP_LOOP, config);
         assert_eq!(count_calls(&m, "__sb_check"), 2);
         assert_eq!(stats.checks_placed, 2);
         assert_eq!(stats.checks_discovered, 2);
         // The in-loop store check is widened into a single preheader check.
         assert_eq!(stats.checks_widened, 1);
+        assert_eq!(stats.checks_elided_ipo, 0);
         // No metadata traffic needed: the pointer never escapes.
         assert_eq!(count_calls(&m, "__sb_trie_set"), 0);
     }
 
     #[test]
+    fn softbound_ipo_elides_proven_heap_accesses() {
+        // With summaries, malloc(80) proves both the widened 0..80 range
+        // check and the exit access of bytes 72..80: nothing remains.
+        let (m, stats) = instrument(HEAP_LOOP, MiConfig::new(Mechanism::SoftBound));
+        assert_eq!(count_calls(&m, "__sb_check"), 0);
+        assert_eq!(stats.checks_placed, 0);
+        assert_eq!(stats.checks_elided_ipo, 2);
+        assert_eq!(stats.checks_widened, 1);
+        assert!(stats.summaries_computed >= 1);
+    }
+
+    #[test]
     fn lowfat_inserts_checks_and_verifies() {
-        let (m, stats) = instrument(HEAP_LOOP, MiConfig::new(Mechanism::LowFat));
+        let config = MiConfig { opt: OptConfig::no_ipo(), ..MiConfig::new(Mechanism::LowFat) };
+        let (m, stats) = instrument(HEAP_LOOP, config);
         assert_eq!(count_calls(&m, "__lf_check"), 2);
         assert_eq!(stats.checks_placed, 2);
         assert_eq!(stats.checks_widened, 1);
         assert_eq!(count_calls(&m, "__lf_invariant"), 0);
+    }
+
+    #[test]
+    fn redzone_ipo_respects_free() {
+        // HEAP_LOOP never frees: RedZone elides like the others.
+        let (m, stats) = instrument(HEAP_LOOP, MiConfig::new(Mechanism::RedZone));
+        assert_eq!(count_calls(&m, "__rz_check"), 0);
+        assert_eq!(stats.checks_elided_ipo, 2);
+        // The same program with a trailing free keeps every heap check.
+        let with_free = HEAP_LOOP.replace(
+            "%v = load i64, %last\n          ret %v",
+            "%v = load i64, %last\n          call void @free(%p)\n          ret %v",
+        );
+        let with_free = format!("hostdecl void @free(ptr)\n{with_free}");
+        let (m, stats) = instrument(&with_free, MiConfig::new(Mechanism::RedZone));
+        assert!(count_calls(&m, "__rz_check") >= 2);
+        assert_eq!(stats.checks_elided_ipo, 0);
+        // SoftBound's guarantee is spatial-only: still elides.
+        let (_, stats) = instrument(&with_free, MiConfig::new(Mechanism::SoftBound));
+        assert_eq!(stats.checks_elided_ipo, 2);
     }
 
     #[test]
@@ -495,7 +606,10 @@ mod tests {
               ret %v
             }
         "#;
-        let (m, _) = instrument(src, MiConfig::new(Mechanism::SoftBound));
+        // no_ipo: the phi of two mallocs would otherwise prove its load
+        // in bounds and elide the very check whose witness this exercises.
+        let config = MiConfig { opt: OptConfig::no_ipo(), ..MiConfig::new(Mechanism::SoftBound) };
+        let (m, _) = instrument(src, config);
         // The join block has the original phi plus two companions.
         let (_, f) = m.function_by_name("main").unwrap();
         let join = &f.blocks[3];
@@ -505,7 +619,8 @@ mod tests {
             .filter(|&&i| matches!(f.instrs[i.index()].kind, InstrKind::Phi { .. }))
             .count();
         assert_eq!(phis, 3);
-        let (m, _) = instrument(src, MiConfig::new(Mechanism::LowFat));
+        let config = MiConfig { opt: OptConfig::no_ipo(), ..MiConfig::new(Mechanism::LowFat) };
+        let (m, _) = instrument(src, config);
         let (_, f) = m.function_by_name("main").unwrap();
         let join = &f.blocks[3];
         let phis = join

@@ -10,12 +10,14 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use lowfat::{alloc_size, base_of, is_low_fat, region_of, LowFatHeap, LowFatStack, StackToken};
 use memvm::cost::helper;
 use memvm::host::BumpAllocator;
 use memvm::interp::{ExecOutcome, GlobalPlacer, Trap, Vm, VmConfig};
 use memvm::{CostCategory, RtVal};
+use mir::analysis::ipo::ModuleSummaries;
 use mir::module::{Global, Module};
 use mir::pipeline::{ExtensionPoint, OptLevel, Pipeline};
 use mir::srcloc::{CheckSite, SiteKind};
@@ -23,6 +25,7 @@ use mir::trace::TraceRecorder;
 use softbound_rt::{Bounds, MetadataTrie, ShadowStack};
 
 use crate::config::{Mechanism, MiConfig};
+use crate::opt::ElisionRecord;
 use crate::pass::MemInstrumentPass;
 use crate::stats::InstrStats;
 
@@ -51,6 +54,9 @@ pub struct CompiledProgram {
     pub mechanism: Option<Mechanism>,
     /// Static instrumentation statistics.
     pub stats: InstrStats,
+    /// Check sites dropped by interprocedural summary proof, with the
+    /// proof each elision rests on (empty unless IPO ran).
+    pub elisions: Vec<ElisionRecord>,
 }
 
 /// Compiles `module` with instrumentation per `config` at the extension
@@ -71,7 +77,12 @@ pub fn compile_traced(
     p.run_to_traced(&mut module, opts.ep, rec);
     let mut pass = MemInstrumentPass::new(config.clone());
     p.resume_at_traced(&mut module, opts.ep, Some(&mut pass), rec);
-    CompiledProgram { module, mechanism: Some(config.mechanism), stats: pass.stats }
+    CompiledProgram {
+        module,
+        mechanism: Some(config.mechanism),
+        stats: pass.stats,
+        elisions: pass.elisions,
+    }
 }
 
 /// Compiles `module` without instrumentation (the `-O3` baseline of the
@@ -89,7 +100,7 @@ pub fn compile_baseline_traced(
     let p = Pipeline::new(opts.opt);
     p.run_to_traced(&mut module, opts.ep, rec);
     p.resume_at_traced(&mut module, opts.ep, None, rec);
-    CompiledProgram { module, mechanism: None, stats: InstrStats::default() }
+    CompiledProgram { module, mechanism: None, stats: InstrStats::default(), elisions: Vec::new() }
 }
 
 /// Runs the pipeline stages *before* the extension point in `opts` and
@@ -120,13 +131,34 @@ pub fn pipeline_prefix_traced(
 /// was built with; the composition equals [`compile`] on the original
 /// module.
 pub fn compile_from_prefix(
-    mut module: Module,
+    module: Module,
     config: &MiConfig,
     opts: BuildOptions,
 ) -> CompiledProgram {
-    let mut pass = MemInstrumentPass::new(config.clone());
+    compile_from_prefix_with_summaries(module, config, opts, None)
+}
+
+/// Like [`compile_from_prefix`], but reusing precomputed interprocedural
+/// summaries instead of letting the pass summarize the module itself.
+///
+/// The summaries must have been computed (by [`mir::analysis::ipo::summarize`])
+/// over this exact prefix snapshot; `summarize` is deterministic, so a
+/// cached result keyed by (source, build options) composes byte-identically
+/// with the self-summarizing path. Pass `None` to self-summarize.
+pub fn compile_from_prefix_with_summaries(
+    mut module: Module,
+    config: &MiConfig,
+    opts: BuildOptions,
+    summaries: Option<Arc<ModuleSummaries>>,
+) -> CompiledProgram {
+    let mut pass = MemInstrumentPass::new(config.clone()).with_summaries(summaries);
     Pipeline::new(opts.opt).resume_at(&mut module, opts.ep, Some(&mut pass));
-    CompiledProgram { module, mechanism: Some(config.mechanism), stats: pass.stats }
+    CompiledProgram {
+        module,
+        mechanism: Some(config.mechanism),
+        stats: pass.stats,
+        elisions: pass.elisions,
+    }
 }
 
 /// Like [`compile_from_prefix`], recording a per-pass span (including the
@@ -139,7 +171,12 @@ pub fn compile_from_prefix_traced(
 ) -> CompiledProgram {
     let mut pass = MemInstrumentPass::new(config.clone());
     Pipeline::new(opts.opt).resume_at_traced(&mut module, opts.ep, Some(&mut pass), rec);
-    CompiledProgram { module, mechanism: Some(config.mechanism), stats: pass.stats }
+    CompiledProgram {
+        module,
+        mechanism: Some(config.mechanism),
+        stats: pass.stats,
+        elisions: pass.elisions,
+    }
 }
 
 /// Completes compilation of a [`pipeline_prefix`] snapshot without
@@ -147,7 +184,7 @@ pub fn compile_from_prefix_traced(
 /// original module.
 pub fn compile_baseline_from_prefix(mut module: Module, opts: BuildOptions) -> CompiledProgram {
     Pipeline::new(opts.opt).resume_at(&mut module, opts.ep, None);
-    CompiledProgram { module, mechanism: None, stats: InstrStats::default() }
+    CompiledProgram { module, mechanism: None, stats: InstrStats::default(), elisions: Vec::new() }
 }
 
 /// Like [`compile_baseline_from_prefix`], recording a per-pass span in
@@ -158,7 +195,7 @@ pub fn compile_baseline_from_prefix_traced(
     rec: &mut TraceRecorder,
 ) -> CompiledProgram {
     Pipeline::new(opts.opt).resume_at_traced(&mut module, opts.ep, None, rec);
-    CompiledProgram { module, mechanism: None, stats: InstrStats::default() }
+    CompiledProgram { module, mechanism: None, stats: InstrStats::default(), elisions: Vec::new() }
 }
 
 impl CompiledProgram {
@@ -190,6 +227,25 @@ impl CompiledProgram {
                 Ok(vm)
             }
         }
+    }
+
+    /// Like [`make_vm`](Self::make_vm) for a SoftBound build, additionally
+    /// recording every executed `__sb_check` (pointer, width, and the
+    /// bounds metadata it consulted) into `log` — the ground truth the
+    /// property tests replay interprocedural elision proofs against.
+    ///
+    /// # Errors
+    ///
+    /// Propagates VM load failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this program is not a SoftBound build.
+    pub fn make_vm_sb_logged(&self, vm_config: VmConfig, log: SbAccessLog) -> Result<Vm, Trap> {
+        assert_eq!(self.mechanism, Some(Mechanism::SoftBound), "access log is SoftBound-only");
+        let mut vm = Vm::new(self.module.clone(), vm_config)?;
+        install_softbound(&mut vm, Some(log));
+        Ok(vm)
     }
 
     /// Builds a VM and runs `main` to completion.
@@ -282,6 +338,31 @@ fn violation(mechanism: &str, kind: &str, addr: u64, detail: String) -> Trap {
     }
 }
 
+/// One executed SoftBound dereference check, as captured by
+/// [`CompiledProgram::make_vm_sb_logged`]. Records the metadata the check
+/// consulted, so an interprocedural elision proof (`off` within
+/// `size_min`) can be re-verified against the bounds the walker actually
+/// enforced at that site.
+#[derive(Clone, Debug)]
+pub struct SbAccess {
+    /// Function containing the check site (`None` when unattributed).
+    pub func: Option<String>,
+    /// Source line of the check site.
+    pub line: Option<u32>,
+    /// Pointer value checked.
+    pub ptr: u64,
+    /// Access width in bytes.
+    pub width: u64,
+    /// Object base per the pointer's metadata.
+    pub base: u64,
+    /// One past the object end per the metadata (`u64::MAX` = wide).
+    pub bound: u64,
+}
+
+/// Shared log filled by the `__sb_check` helper when installed via
+/// [`CompiledProgram::make_vm_sb_logged`].
+pub type SbAccessLog = Rc<RefCell<Vec<SbAccess>>>;
+
 /// Snapshot of the module's check-site table, captured when the runtime is
 /// installed and shared (via `Rc`) by the check closures. Lets the runtime
 /// attribute dynamic check executions to source lines (per-site profile)
@@ -348,7 +429,7 @@ impl SiteTable {
 /// placer must run at load time).
 pub fn install_runtime(vm: &mut Vm, mechanism: Mechanism) {
     match mechanism {
-        Mechanism::SoftBound => install_softbound(vm),
+        Mechanism::SoftBound => install_softbound(vm, None),
         Mechanism::LowFat => install_lowfat(vm, Rc::new(RefCell::new(LowFatHeap::new()))),
         Mechanism::RedZone => install_redzone(vm, Rc::new(RefCell::new(RzState::new()))),
     }
@@ -537,7 +618,7 @@ fn install_redzone(vm: &mut Vm, shadow: Rc<RefCell<RzState>>) {
     }
 }
 
-fn install_softbound(vm: &mut Vm) {
+fn install_softbound(vm: &mut Vm, log: Option<SbAccessLog>) {
     let table = SiteTable::of(vm);
     let trie = Rc::new(RefCell::new(MetadataTrie::new()));
     let ss = Rc::new(RefCell::new(ShadowStack::new()));
@@ -550,6 +631,17 @@ fn install_softbound(vm: &mut Vm) {
         let b = Bounds { base: args[2].as_int(), bound: args[3].as_int() };
         let wide = b.bound == u64::MAX;
         table.record(ctx, args.get(4), wide, helper::SB_CHECK);
+        if let Some(log) = &log {
+            let site = table.site(args.get(4)).map(|(_, s)| s);
+            log.borrow_mut().push(SbAccess {
+                func: site.map(|s| s.func.clone()),
+                line: site.and_then(|s| s.line),
+                ptr,
+                width,
+                base: b.base,
+                bound: b.bound,
+            });
+        }
         if wide {
             ctx.stats.checks_wide += 1;
             return Ok(RtVal::Int(0));
@@ -833,6 +925,7 @@ fn install_lowfat(vm: &mut Vm, heap: Rc<RefCell<LowFatHeap>>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::OptConfig;
 
     fn parse(src: &str) -> Module {
         mir::parser::parse_module(src).unwrap()
@@ -928,14 +1021,26 @@ mod tests {
         assert_eq!(lf.ret.unwrap().as_int(), 45);
         assert_eq!(base.output, sb.output);
         assert_eq!(base.output, lf.output);
-        // Instrumented runs cost more than the baseline.
-        assert!(sb.stats.cost_total > base.stats.cost_total);
-        assert!(lf.stats.cost_total > base.stats.cost_total);
-        // Checks actually executed.
-        assert!(sb.stats.checks_executed > 0);
-        assert!(lf.stats.checks_executed > 0);
-        assert_eq!(sb.stats.checks_wide, 0);
-        assert_eq!(lf.stats.checks_wide, 0);
+        // Interprocedural summaries prove every access in bounds here (the
+        // 80-byte malloc reaches both loops' pointers with known offsets),
+        // so the default configuration executes no dereference checks at
+        // all — SoftBound's residual cost can drop to the baseline's.
+        assert!(sb.stats.cost_total >= base.stats.cost_total);
+        assert!(lf.stats.cost_total >= base.stats.cost_total);
+        assert_eq!(sb.stats.checks_executed, 0);
+        assert_eq!(lf.stats.checks_executed, 0);
+        // Disabling IPO brings every check back, with identical output and
+        // a strictly higher cost than the baseline.
+        let m = parse(CORRECT_PROGRAM);
+        for mech in [Mechanism::SoftBound, Mechanism::LowFat] {
+            let cfg = MiConfig { opt: OptConfig::no_ipo(), ..MiConfig::new(mech) };
+            let out = compile_and_run(m.clone(), &cfg, BuildOptions::default()).unwrap();
+            assert_eq!(out.ret.unwrap().as_int(), 45, "{mech:?}");
+            assert_eq!(out.output, base.output, "{mech:?}");
+            assert!(out.stats.checks_executed > 0, "{mech:?}");
+            assert_eq!(out.stats.checks_wide, 0, "{mech:?}");
+            assert!(out.stats.cost_total > base.stats.cost_total, "{mech:?}");
+        }
     }
 
     const HEAP_OVERFLOW: &str = r#"
@@ -1061,7 +1166,11 @@ mod tests {
             }
         "#;
         let m = parse(src);
-        let prog = compile(m, &MiConfig::new(Mechanism::LowFat), BuildOptions::default());
+        // IPO would prove this constant-offset access in bounds and elide
+        // the check entirely; disable it so the wide-bounds fallback the
+        // test demonstrates stays observable.
+        let cfg = MiConfig { opt: OptConfig::no_ipo(), ..MiConfig::new(Mechanism::LowFat) };
+        let prog = compile(m, &cfg, BuildOptions::default());
         let out = prog.run_main(VmConfig::default()).unwrap();
         assert_eq!(out.ret.unwrap().as_int(), 1);
         assert!(out.stats.checks_wide > 0);
@@ -1189,12 +1298,12 @@ mod tests {
     #[test]
     fn geninvariants_cheaper_than_full() {
         let m = parse(CORRECT_PROGRAM);
-        let full = compile_and_run(
-            m.clone(),
-            &MiConfig::new(Mechanism::SoftBound),
-            BuildOptions::default(),
-        )
-        .unwrap();
+        // Compare against full instrumentation without IPO: on this fully
+        // provable program interprocedural elision makes full mode as cheap
+        // as invariants-only, which is exactly the point of the analysis
+        // but not of this test.
+        let full_cfg = MiConfig { opt: OptConfig::no_ipo(), ..MiConfig::new(Mechanism::SoftBound) };
+        let full = compile_and_run(m.clone(), &full_cfg, BuildOptions::default()).unwrap();
         let inv = compile_and_run(
             m,
             &MiConfig::invariants_only(Mechanism::SoftBound),

@@ -35,6 +35,10 @@ pub struct InstrStats {
     pub functions_skipped: u64,
     /// Witnesses narrowed to struct members (Appendix-B experiment).
     pub checks_narrowed: u64,
+    /// Checks elided by interprocedural summary proof (`mir::analysis::ipo`).
+    pub checks_elided_ipo: u64,
+    /// Function summaries computed (or loaded from cache) for this module.
+    pub summaries_computed: u64,
 }
 
 impl InstrStats {
@@ -64,6 +68,8 @@ impl std::ops::AddAssign<&InstrStats> for InstrStats {
         self.functions_instrumented += rhs.functions_instrumented;
         self.functions_skipped += rhs.functions_skipped;
         self.checks_narrowed += rhs.checks_narrowed;
+        self.checks_elided_ipo += rhs.checks_elided_ipo;
+        self.summaries_computed += rhs.summaries_computed;
     }
 }
 
@@ -121,6 +127,8 @@ mod tests {
             checks_narrowed: n + 10,
             checks_hoisted: n + 11,
             checks_widened: n + 12,
+            checks_elided_ipo: n + 13,
+            summaries_computed: n + 14,
         }
     }
 

@@ -1,0 +1,949 @@
+//! Interprocedural pointer-summary analysis.
+//!
+//! Summary-based whole-program analysis over the call graph: for every
+//! defined function we compute a [`FnSummary`] — one [`PtrFact`] per
+//! pointer parameter (the join over every call site's argument fact)
+//! and one for the return value (the join over every `ret` operand).
+//! Summaries are computed bottom-up over the SCC condensation of the
+//! call graph with a monotone fixpoint for recursive components, so a
+//! callee's facts are (mostly) settled before its callers consume them
+//! and recursion converges by widening.
+//!
+//! A [`PtrFact`] answers three questions about a pointer:
+//!
+//! * **provenance** — which storage classes can the base object have
+//!   ([`Provenance`] bitflags: heap, global, live stack frame, stack
+//!   escaped through a return, unknown)?
+//! * **offset** — what byte-offset range from the base of the original
+//!   allocation can the pointer hold (`None` once unbounded)?
+//! * **extent** — what is the guaranteed minimum size in bytes of the
+//!   underlying allocation, across every possible base object?
+//!
+//! An access of `width` bytes through a pointer with fact `f` is
+//! provably in bounds when `f` has no unknown provenance, a known
+//! offset range `[lo, hi]` with `lo >= 0`, and `hi + width <=
+//! f.size_min` — see [`PtrFact::proves_in_bounds`]. The consumer pass
+//! (`meminstrument::opt::elide_proven_checks`) drops checks this
+//! predicate discharges.
+//!
+//! The analysis is deliberately conservative at every escape hatch:
+//! loads, int-to-ptr casts, indirect calls, undeclared callees, and
+//! externally-visible globals all produce [`PtrFact::TOP`]. Summaries
+//! key functions by **name and parameter index** only, never by value
+//! or global ids, so a summary computed on the frontend module remains
+//! valid after any pipeline prefix (passes rewrite bodies but never
+//! function signatures). Module-dependent context (global sizes, the
+//! defined-function set, whether `free` is ever reachable) lives in
+//! [`FactEnv`], which callers rebuild from the module they are
+//! actually instrumenting.
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+use crate::function::Function;
+use crate::instr::{CastOp, InstrKind, Operand, Terminator};
+use crate::module::Module;
+use crate::types::Type;
+
+/// Bitset of possible storage classes for a pointer's base object.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Provenance(u8);
+
+impl Provenance {
+    /// No provenance bits (the empty set; only meaningful mid-join).
+    pub const EMPTY: Provenance = Provenance(0);
+    /// A heap allocation (`malloc` / `calloc`).
+    pub const HEAP: Provenance = Provenance(1);
+    /// An instrumented global with a statically known size.
+    pub const GLOBAL: Provenance = Provenance(1 << 1);
+    /// A stack slot whose frame is still live (intraprocedural `alloca`
+    /// or a parameter fed by a caller's live frame).
+    pub const STACK: Provenance = Provenance(1 << 2);
+    /// A stack slot that escaped through a `ret` — the frame may be
+    /// dead at the use site.
+    pub const STACK_RET: Provenance = Provenance(1 << 3);
+    /// Anything else: loads, int-to-ptr, external globals, undeclared
+    /// callees. A fact carrying this bit proves nothing.
+    pub const UNKNOWN: Provenance = Provenance(1 << 4);
+
+    /// Set union.
+    #[inline]
+    pub fn union(self, other: Provenance) -> Provenance {
+        Provenance(self.0 | other.0)
+    }
+
+    /// `true` if any bit of `other` is set in `self`.
+    #[inline]
+    pub fn contains(self, other: Provenance) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Demotes [`STACK`](Self::STACK) to [`STACK_RET`](Self::STACK_RET):
+    /// applied when a fact crosses a `ret`, where the frame that owns
+    /// the slot dies.
+    pub fn demote_stack(self) -> Provenance {
+        if self.contains(Self::STACK) {
+            Provenance((self.0 & !Self::STACK.0) | Self::STACK_RET.0)
+        } else {
+            self
+        }
+    }
+}
+
+/// What the analysis knows about one pointer value.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct PtrFact {
+    /// Possible storage classes of the base object.
+    pub prov: Provenance,
+    /// Inclusive byte-offset range from the base of the allocation;
+    /// `None` once the offset is unbounded.
+    pub off: Option<(i64, i64)>,
+    /// Guaranteed minimum allocation size in bytes over all possible
+    /// base objects (0 = nothing guaranteed).
+    pub size_min: u64,
+}
+
+impl PtrFact {
+    /// The no-information fact: unknown provenance, unbounded offset,
+    /// no extent guarantee.
+    pub const TOP: PtrFact = PtrFact { prov: Provenance::UNKNOWN, off: None, size_min: 0 };
+
+    /// Lattice join: union provenance, hull the offset ranges, keep the
+    /// weaker extent guarantee.
+    pub fn join(self, other: PtrFact) -> PtrFact {
+        PtrFact {
+            prov: self.prov.union(other.prov),
+            off: match (self.off, other.off) {
+                (Some((a, b)), Some((c, d))) => Some((a.min(c), b.max(d))),
+                _ => None,
+            },
+            size_min: self.size_min.min(other.size_min),
+        }
+    }
+
+    /// The fact for this pointer after adding a constant byte offset.
+    pub fn shifted(self, delta: i128) -> PtrFact {
+        let off = self.off.and_then(|(lo, hi)| {
+            let lo = i64::try_from(lo as i128 + delta).ok()?;
+            let hi = i64::try_from(hi as i128 + delta).ok()?;
+            Some((lo, hi))
+        });
+        PtrFact { off, ..self }
+    }
+
+    /// The fact after crossing a `ret` (live stack becomes escaped
+    /// stack).
+    pub fn demoted(self) -> PtrFact {
+        PtrFact { prov: self.prov.demote_stack(), ..self }
+    }
+
+    /// `true` if an access of `width` bytes through a pointer with this
+    /// fact is proven in bounds of its original allocation: provenance
+    /// fully known, offset range non-negative, and the far edge of the
+    /// access within the guaranteed extent.
+    pub fn proves_in_bounds(&self, width: u64) -> bool {
+        if self.prov == Provenance::EMPTY || self.prov.contains(Provenance::UNKNOWN) {
+            return false;
+        }
+        let Some((lo, hi)) = self.off else { return false };
+        lo >= 0 && hi as i128 + width as i128 <= self.size_min as i128
+    }
+}
+
+/// Per-function summary: one fact slot per parameter (pointer
+/// parameters only; the rest stay `None`) and one for the return
+/// value. `None` is bottom — no flow has reached that slot (the
+/// function is unreachable, or never returns a pointer).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct FnSummary {
+    /// Joined argument fact per parameter index.
+    pub params: Vec<Option<PtrFact>>,
+    /// Joined fact over every `ret` operand (stack demoted).
+    pub ret: Option<PtrFact>,
+}
+
+/// Whole-module summaries, keyed by function name. Deliberately free
+/// of value/global/instruction ids so a summary computed on the
+/// frontend module can be cached by source hash and applied after any
+/// pipeline prefix.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ModuleSummaries {
+    /// Summary per defined function, name-keyed (deterministic order).
+    pub fns: BTreeMap<String, FnSummary>,
+    /// Number of SCCs in the condensed call graph (diagnostics).
+    pub sccs: usize,
+}
+
+impl ModuleSummaries {
+    /// Number of summarized functions.
+    pub fn len(&self) -> usize {
+        self.fns.len()
+    }
+
+    /// `true` when no functions were summarized.
+    pub fn is_empty(&self) -> bool {
+        self.fns.is_empty()
+    }
+}
+
+/// Module-level context for fact evaluation, rebuilt from the module
+/// actually being instrumented (global ids are positional and must not
+/// be baked into cached summaries).
+pub struct FactEnv {
+    /// Fact per global, indexed by `GlobalId`.
+    pub globals: Vec<PtrFact>,
+    /// Names of defined (non-declaration) functions.
+    pub defined: HashSet<String>,
+    /// `true` if the module can ever call `free` (directly or through
+    /// a function address) — heap facts then have temporal caveats.
+    pub has_free: bool,
+}
+
+impl FactEnv {
+    /// Collects global facts and callability context from `m`.
+    pub fn collect(m: &Module) -> FactEnv {
+        let globals = m
+            .globals
+            .iter()
+            .map(|g| {
+                if g.attrs.external || g.attrs.size_unknown || g.attrs.uninstrumented_lib {
+                    PtrFact::TOP
+                } else {
+                    PtrFact { prov: Provenance::GLOBAL, off: Some((0, 0)), size_min: g.size() }
+                }
+            })
+            .collect();
+        let defined =
+            m.functions.iter().filter(|f| !f.is_declaration).map(|f| f.name.clone()).collect();
+        let mut has_free = false;
+        for_each_callable_name(m, |name| {
+            if name == "free" {
+                has_free = true;
+            }
+        });
+        FactEnv { globals, defined, has_free }
+    }
+}
+
+/// Visits the name of every direct callee and every function whose
+/// address is taken anywhere in `m`.
+fn for_each_callable_name(m: &Module, mut visit: impl FnMut(&str)) {
+    for f in &m.functions {
+        for instr in &f.instrs {
+            if let InstrKind::Call { callee, .. } = &instr.kind {
+                visit(callee);
+            }
+            instr.kind.for_each_operand(|op| {
+                if let Operand::FuncAddr(n) = op {
+                    visit(n);
+                }
+            });
+        }
+        for b in &f.blocks {
+            b.term.for_each_operand(|op| {
+                if let Operand::FuncAddr(n) = op {
+                    visit(n);
+                }
+            });
+        }
+    }
+}
+
+/// The direct call graph over defined functions.
+pub struct CallGraph {
+    /// Node `i` is `m.functions[funcs[i]]`.
+    pub funcs: Vec<usize>,
+    /// Function name per node (parallel to `funcs`).
+    pub names: Vec<String>,
+    /// Deduplicated callee node lists (direct calls to defined
+    /// functions only; declarations and indirect calls have no node).
+    pub edges: Vec<Vec<usize>>,
+}
+
+/// Builds the direct call graph of `m`'s defined functions.
+pub fn call_graph(m: &Module) -> CallGraph {
+    let mut funcs = Vec::new();
+    let mut names = Vec::new();
+    let mut node_of: HashMap<&str, usize> = HashMap::new();
+    for (i, f) in m.functions.iter().enumerate() {
+        if !f.is_declaration {
+            node_of.insert(f.name.as_str(), funcs.len());
+            funcs.push(i);
+            names.push(f.name.clone());
+        }
+    }
+    let mut edges = vec![Vec::new(); funcs.len()];
+    for (node, &fi) in funcs.iter().enumerate() {
+        let mut seen = HashSet::new();
+        for instr in &m.functions[fi].instrs {
+            if let InstrKind::Call { callee, .. } = &instr.kind {
+                if let Some(&target) = node_of.get(callee.as_str()) {
+                    if seen.insert(target) {
+                        edges[node].push(target);
+                    }
+                }
+            }
+        }
+    }
+    CallGraph { funcs, names, edges }
+}
+
+/// Tarjan's SCC algorithm (iterative). Components come out callees
+/// before callers — exactly the bottom-up order the summary fixpoint
+/// wants to seed its worklist with.
+pub fn condense(cg: &CallGraph) -> Vec<Vec<usize>> {
+    let n = cg.edges.len();
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    let mut next = 0usize;
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        // Explicit DFS frames: (node, next child position).
+        let mut frames: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&(v, ci)) = frames.last() {
+            if ci == 0 && index[v] == UNVISITED {
+                index[v] = next;
+                low[v] = next;
+                next += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = cg.edges[v].get(ci) {
+                frames.last_mut().expect("frame exists").1 += 1;
+                if index[w] == UNVISITED {
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(p, _)) = frames.last() {
+                    low[p] = low[p].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("SCC member on stack");
+                        on_stack[w] = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    scc.reverse();
+                    sccs.push(scc);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+/// Rounds of full-function re-evaluation before `value_facts` starts
+/// widening offsets to force convergence.
+const VALUE_ROUNDS_BEFORE_WIDEN: usize = 8;
+/// Hard safety net on value-fact rounds.
+const VALUE_ROUNDS_MAX: usize = 64;
+/// Summary updates a single function absorbs before further updates
+/// are stored with widened (unbounded) offsets.
+const SUMMARY_CHANGES_BEFORE_WIDEN: u32 = 16;
+
+/// Computes per-value pointer facts for one function. The result is
+/// indexed by `ValueId`; `None` means bottom (no pointer flow reached
+/// the value — treat as unproven). Parameter facts come from
+/// `summaries`; a function without a summary entry gets bottom params
+/// (it can still prove facts about its own allocations).
+pub fn value_facts(
+    f: &Function,
+    env: &FactEnv,
+    summaries: &ModuleSummaries,
+) -> Vec<Option<PtrFact>> {
+    let mut facts: Vec<Option<PtrFact>> = vec![None; f.values.len()];
+    let summary = summaries.fns.get(&f.name);
+    for (i, p) in f.params.iter().enumerate() {
+        if p.ty == Type::Ptr {
+            facts[f.param_value(i).index()] =
+                summary.and_then(|s| s.params.get(i).copied().flatten());
+        }
+    }
+    let mut round = 0;
+    loop {
+        round += 1;
+        let mut changed: Vec<usize> = Vec::new();
+        for (_, b) in f.iter_blocks() {
+            for &iid in &b.instrs {
+                let instr = &f.instrs[iid.index()];
+                let Some(res) = instr.result else { continue };
+                if *f.value_type(res) != Type::Ptr {
+                    continue;
+                }
+                let new = transfer(f, env, summaries, &facts, &instr.kind);
+                let slot = facts[res.index()];
+                // Accumulating join keeps widened offsets sticky.
+                let joined = match (slot, new) {
+                    (old, None) => old,
+                    (None, Some(n)) => Some(n),
+                    (Some(o), Some(n)) => Some(o.join(n)),
+                };
+                if joined != slot {
+                    facts[res.index()] = joined;
+                    changed.push(res.index());
+                }
+            }
+        }
+        if changed.is_empty() || round >= VALUE_ROUNDS_MAX {
+            break;
+        }
+        if round >= VALUE_ROUNDS_BEFORE_WIDEN {
+            // Offsets are the only unbounded dimension; pin them on
+            // still-moving values so the remaining growth (provenance
+            // bits, shrinking size_min over a finite constant set) is
+            // finite.
+            for idx in changed {
+                if let Some(fact) = &mut facts[idx] {
+                    fact.off = None;
+                }
+            }
+        }
+    }
+    facts
+}
+
+/// The fact for an operand in pointer position. `None` is bottom.
+pub fn operand_fact(op: &Operand, facts: &[Option<PtrFact>], env: &FactEnv) -> Option<PtrFact> {
+    match op {
+        Operand::Val(v) => facts.get(v.index()).copied().flatten(),
+        Operand::GlobalAddr(g) => Some(env.globals.get(g.index()).copied().unwrap_or(PtrFact::TOP)),
+        // Null, function addresses, undef, constants: never provable.
+        _ => Some(PtrFact::TOP),
+    }
+}
+
+/// Transfer function for one pointer-producing instruction.
+fn transfer(
+    f: &Function,
+    env: &FactEnv,
+    summaries: &ModuleSummaries,
+    facts: &[Option<PtrFact>],
+    kind: &InstrKind,
+) -> Option<PtrFact> {
+    match kind {
+        InstrKind::Alloca { ty, count } => {
+            let size = count
+                .as_const_int()
+                .and_then(|c| u64::try_from(c).ok())
+                .and_then(|c| ty.size_of().checked_mul(c))
+                .unwrap_or(0);
+            Some(PtrFact { prov: Provenance::STACK, off: Some((0, 0)), size_min: size })
+        }
+        InstrKind::Gep { elem_ty, base, indices } => {
+            let base = operand_fact(base, facts, env)?;
+            Some(match gep_const_offset(elem_ty, indices) {
+                Some(delta) => base.shifted(delta),
+                None => PtrFact { off: None, ..base },
+            })
+        }
+        InstrKind::Phi { incoming, .. } => {
+            incoming.iter().filter_map(|(_, op)| operand_fact(op, facts, env)).reduce(PtrFact::join)
+        }
+        InstrKind::Select { then_value, else_value, .. } => [then_value, else_value]
+            .into_iter()
+            .filter_map(|op| operand_fact(op, facts, env))
+            .reduce(PtrFact::join),
+        InstrKind::Cast { op: CastOp::Bitcast, value, from, to }
+            if *from == Type::Ptr && *to == Type::Ptr =>
+        {
+            operand_fact(value, facts, env)
+        }
+        InstrKind::Call { callee, args, .. } => {
+            if env.defined.contains(callee.as_str()) {
+                // Defined callee: its ret summary (bottom propagates).
+                summaries.fns.get(callee.as_str()).and_then(|s| s.ret)
+            } else {
+                match callee.as_str() {
+                    "malloc" => Some(heap_fact(args.first().and_then(Operand::as_const_int))),
+                    "calloc" => {
+                        let n = args.first().and_then(Operand::as_const_int);
+                        let m = args.get(1).and_then(Operand::as_const_int);
+                        Some(heap_fact(match (n, m) {
+                            (Some(a), Some(b)) => a.checked_mul(b),
+                            _ => None,
+                        }))
+                    }
+                    // Undeclared / host callee: no idea what it returns.
+                    _ => Some(PtrFact::TOP),
+                }
+            }
+        }
+        // Loads, int-to-ptr, indirect calls, anything else: TOP.
+        _ => {
+            let _ = f;
+            Some(PtrFact::TOP)
+        }
+    }
+}
+
+/// Fact for a fresh heap allocation of `size` bytes (`None` or
+/// negative = dynamic size, no extent guarantee).
+fn heap_fact(size: Option<i64>) -> PtrFact {
+    let size_min = size.and_then(|s| u64::try_from(s).ok()).unwrap_or(0);
+    PtrFact { prov: Provenance::HEAP, off: Some((0, 0)), size_min }
+}
+
+/// Constant byte offset of a `gep`, or `None` if any index is
+/// non-constant or walks outside the aggregate. The first index scales
+/// by `size_of(elem_ty)`; subsequent indices walk into the aggregate.
+fn gep_const_offset(elem_ty: &Type, indices: &[Operand]) -> Option<i128> {
+    let (first, rest) = indices.split_first()?;
+    let mut off = first.as_const_int()? as i128 * elem_ty.size_of() as i128;
+    let mut cur = elem_ty.clone();
+    for idx in rest {
+        let c = idx.as_const_int()?;
+        match &cur {
+            Type::Struct(fields) => {
+                let i = usize::try_from(c).ok()?;
+                if i >= fields.len() {
+                    return None;
+                }
+                off += cur.field_offset(i) as i128;
+                let next = fields[i].clone();
+                cur = next;
+            }
+            Type::Array(elem, _) => {
+                off += c as i128 * elem.size_of() as i128;
+                let next = (**elem).clone();
+                cur = next;
+            }
+            _ => return None,
+        }
+    }
+    Some(off)
+}
+
+/// Computes whole-module pointer summaries: builds the direct call
+/// graph, condenses it, seeds entry points (`main` plus every
+/// address-taken function) with TOP parameters, and runs a worklist
+/// fixpoint callee-first. Ret facts demote live stack to escaped
+/// stack; argument facts pass down undemoted (the caller's frame is
+/// live while the callee runs).
+pub fn summarize(m: &Module) -> ModuleSummaries {
+    let env = FactEnv::collect(m);
+    let cg = call_graph(m);
+    let sccs = condense(&cg);
+    let n = cg.funcs.len();
+
+    let mut address_taken: HashSet<String> = HashSet::new();
+    for f in &m.functions {
+        let mut note = |op: &Operand| {
+            if let Operand::FuncAddr(name) = op {
+                address_taken.insert(name.clone());
+            }
+        };
+        for instr in &f.instrs {
+            instr.kind.for_each_operand(&mut note);
+        }
+        for b in &f.blocks {
+            b.term.for_each_operand(&mut note);
+        }
+    }
+
+    let mut summaries = ModuleSummaries { fns: BTreeMap::new(), sccs: sccs.len() };
+    for (node, &fi) in cg.funcs.iter().enumerate() {
+        let f = &m.functions[fi];
+        let entry = f.name == "main" || address_taken.contains(&f.name);
+        let params =
+            f.params.iter().map(|p| (entry && p.ty == Type::Ptr).then_some(PtrFact::TOP)).collect();
+        summaries.fns.insert(cg.names[node].clone(), FnSummary { params, ret: None });
+    }
+
+    let node_of: HashMap<&str, usize> =
+        cg.names.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
+    let mut callers: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (node, callees) in cg.edges.iter().enumerate() {
+        for &c in callees {
+            callers[c].push(node);
+        }
+    }
+
+    // Seed the worklist bottom-up (SCCs come out callees-first).
+    let mut queue: VecDeque<usize> = sccs.iter().flatten().copied().collect();
+    let mut queued = vec![true; n];
+    let mut changes = vec![0u32; n];
+
+    while let Some(node) = queue.pop_front() {
+        queued[node] = false;
+        let f = &m.functions[cg.funcs[node]];
+        let facts = value_facts(f, &env, &summaries);
+
+        // Ret contribution (to this function's own summary).
+        let mut ret_fact: Option<PtrFact> = None;
+        if f.ret_ty == Type::Ptr {
+            for b in &f.blocks {
+                if let Terminator::Ret(Some(op)) = &b.term {
+                    if let Some(fact) = operand_fact(op, &facts, &env) {
+                        let fact = fact.demoted();
+                        ret_fact = Some(match ret_fact {
+                            None => fact,
+                            Some(acc) => acc.join(fact),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Argument contributions (to callee param summaries).
+        let mut arg_facts: Vec<(usize, usize, PtrFact)> = Vec::new();
+        for instr in &f.instrs {
+            let InstrKind::Call { callee, args, .. } = &instr.kind else { continue };
+            let Some(&target) = node_of.get(callee.as_str()) else { continue };
+            let callee_fn = &m.functions[cg.funcs[target]];
+            for (i, p) in callee_fn.params.iter().enumerate() {
+                if p.ty != Type::Ptr {
+                    continue;
+                }
+                let Some(arg) = args.get(i) else { continue };
+                if let Some(fact) = operand_fact(arg, &facts, &env) {
+                    arg_facts.push((target, i, fact));
+                }
+            }
+        }
+
+        let enqueue = |node: usize, queue: &mut VecDeque<usize>, queued: &mut Vec<bool>| {
+            if !queued[node] {
+                queued[node] = true;
+                queue.push_back(node);
+            }
+        };
+
+        if let Some(fact) = ret_fact {
+            let widen = changes[node] > SUMMARY_CHANGES_BEFORE_WIDEN;
+            let slot = &mut summaries.fns.get_mut(&cg.names[node]).expect("summary seeded").ret;
+            if join_into(slot, fact, widen) {
+                changes[node] += 1;
+                for &caller in &callers[node] {
+                    enqueue(caller, &mut queue, &mut queued);
+                }
+            }
+        }
+        for (target, idx, fact) in arg_facts {
+            let widen = changes[target] > SUMMARY_CHANGES_BEFORE_WIDEN;
+            let summary = summaries.fns.get_mut(&cg.names[target]).expect("summary seeded");
+            if join_into(&mut summary.params[idx], fact, widen) {
+                changes[target] += 1;
+                enqueue(target, &mut queue, &mut queued);
+            }
+        }
+    }
+
+    summaries
+}
+
+/// Joins `fact` into `slot`; with `widen`, the stored offset is pinned
+/// unbounded so repeated updates terminate. Returns `true` on change.
+fn join_into(slot: &mut Option<PtrFact>, fact: PtrFact, widen: bool) -> bool {
+    let mut new = match *slot {
+        None => fact,
+        Some(old) => old.join(fact),
+    };
+    if widen && Some(new) != *slot {
+        new.off = None;
+    }
+    if Some(new) != *slot {
+        *slot = Some(new);
+        true
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module;
+
+    fn parse(src: &str) -> Module {
+        parse_module(src).expect("test module parses")
+    }
+
+    #[test]
+    fn fact_lattice_basics() {
+        let heap = PtrFact { prov: Provenance::HEAP, off: Some((0, 8)), size_min: 64 };
+        let stack = PtrFact { prov: Provenance::STACK, off: Some((16, 24)), size_min: 32 };
+        let j = heap.join(stack);
+        assert!(j.prov.contains(Provenance::HEAP) && j.prov.contains(Provenance::STACK));
+        assert_eq!(j.off, Some((0, 24)));
+        assert_eq!(j.size_min, 32);
+        assert!(j.proves_in_bounds(8));
+        assert!(!j.proves_in_bounds(9)); // 24 + 9 > 32
+        assert!(!PtrFact::TOP.proves_in_bounds(1));
+        assert!(!heap.join(PtrFact::TOP).proves_in_bounds(1));
+        // Exactly-at-bound is out: hi + width must fit strictly within.
+        let tight = PtrFact { prov: Provenance::HEAP, off: Some((0, 56)), size_min: 64 };
+        assert!(tight.proves_in_bounds(8));
+        assert!(!tight.shifted(8).proves_in_bounds(8));
+        // Negative offsets prove nothing.
+        assert!(!heap.shifted(-16).proves_in_bounds(1));
+        // Demotion swaps STACK for STACK_RET and keeps the rest.
+        let d = stack.demoted();
+        assert!(d.prov.contains(Provenance::STACK_RET));
+        assert!(!d.prov.contains(Provenance::STACK));
+        assert_eq!(heap.demoted().prov, Provenance::HEAP);
+    }
+
+    #[test]
+    fn call_graph_condenses_bottom_up() {
+        let m = parse(
+            r#"
+            define i64 @main() {
+            entry:
+              %a = call i64 @a()
+              ret %a
+            }
+            define i64 @a() {
+            entry:
+              %b = call i64 @b()
+              ret %b
+            }
+            define i64 @b() {
+            entry:
+              %c = call i64 @c()
+              ret %c
+            }
+            define i64 @c() {
+            entry:
+              %b = call i64 @b()
+              ret i64 0
+            }
+            "#,
+        );
+        let cg = call_graph(&m);
+        assert_eq!(cg.names.len(), 4);
+        let sccs = condense(&cg);
+        let named: Vec<Vec<&str>> =
+            sccs.iter().map(|s| s.iter().map(|&n| cg.names[n].as_str()).collect()).collect();
+        // b and c are mutually recursive; callees come out first.
+        assert_eq!(named.len(), 3);
+        assert!(named[0] == ["b", "c"] || named[0] == ["c", "b"]);
+        assert_eq!(named[1], ["a"]);
+        assert_eq!(named[2], ["main"]);
+    }
+
+    #[test]
+    fn param_summary_from_call_site() {
+        let m = parse(
+            r#"
+            define i64 @main() {
+            entry:
+              %a = alloca [8 x i64], i64 1
+              %r = call i64 @reader(%a)
+              ret %r
+            }
+            define i64 @reader(ptr %p) {
+            entry:
+              %q = gep i64, %p, [i64 3]
+              %v = load i64, %q
+              ret %v
+            }
+            "#,
+        );
+        let s = summarize(&m);
+        let reader = &s.fns["reader"];
+        let p = reader.params[0].expect("param fact reached fixpoint");
+        assert_eq!(p.prov, Provenance::STACK);
+        assert_eq!(p.off, Some((0, 0)));
+        assert_eq!(p.size_min, 64);
+        // Inside reader, the gep'd pointer proves an 8-byte load.
+        let env = FactEnv::collect(&m);
+        let reader_fn = m.function_by_name("reader").unwrap().1;
+        let facts = value_facts(reader_fn, &env, &s);
+        let q = facts[reader_fn.param_value(0).index() + 1].expect("gep fact");
+        assert_eq!(q.off, Some((24, 24)));
+        assert!(q.proves_in_bounds(8));
+        assert!(!q.proves_in_bounds(48));
+    }
+
+    #[test]
+    fn param_summary_joins_all_call_sites() {
+        let m = parse(
+            r#"
+            hostdecl ptr @malloc(i64)
+            define i64 @main() {
+            entry:
+              %a = call ptr @malloc(i64 32)
+              %b = call ptr @malloc(i64 80)
+              %x = call i64 @use(%a)
+              %y = call i64 @use(%b)
+              ret i64 0
+            }
+            define i64 @use(ptr %p) {
+            entry:
+              %v = load i64, %p
+              ret %v
+            }
+            "#,
+        );
+        let s = summarize(&m);
+        let p = s.fns["use"].params[0].expect("joined fact");
+        assert_eq!(p.prov, Provenance::HEAP);
+        assert_eq!(p.off, Some((0, 0)));
+        assert_eq!(p.size_min, 32); // weaker of the two extents
+    }
+
+    #[test]
+    fn address_taken_functions_get_top_params() {
+        let m = parse(
+            r#"
+            define i64 @main() {
+            entry:
+              %a = alloca i64, i64 1
+              %f = bitcast @fn:helper, ptr to ptr
+              %r = call i64 @helper(%a)
+              ret %r
+            }
+            define i64 @helper(ptr %p) {
+            entry:
+              %v = load i64, %p
+              ret %v
+            }
+            "#,
+        );
+        let s = summarize(&m);
+        // The known call site would give a precise fact, but the taken
+        // address means unknown callers exist: param stays TOP.
+        let p = s.fns["helper"].params[0].expect("entry param seeded");
+        assert!(p.prov.contains(Provenance::UNKNOWN));
+        assert!(!p.proves_in_bounds(1));
+    }
+
+    #[test]
+    fn ret_summary_demotes_escaping_stack() {
+        let m = parse(
+            r#"
+            hostdecl ptr @malloc(i64)
+            define ptr @make_stack() {
+            entry:
+              %a = alloca i64, i64 4
+              ret %a
+            }
+            define ptr @make_heap() {
+            entry:
+              %p = call ptr @malloc(i64 32)
+              ret %p
+            }
+            define i64 @main() {
+            entry:
+              %s = call ptr @make_stack()
+              %h = call ptr @make_heap()
+              %v = load i64, %h
+              ret %v
+            }
+            "#,
+        );
+        let s = summarize(&m);
+        let stack_ret = s.fns["make_stack"].ret.expect("ret fact");
+        assert!(stack_ret.prov.contains(Provenance::STACK_RET));
+        assert!(!stack_ret.prov.contains(Provenance::STACK));
+        assert_eq!(stack_ret.size_min, 32);
+        let heap_ret = s.fns["make_heap"].ret.expect("ret fact");
+        assert_eq!(heap_ret.prov, Provenance::HEAP);
+        assert_eq!(heap_ret.size_min, 32);
+        // Caller facts see through the calls.
+        let env = FactEnv::collect(&m);
+        let main_fn = m.function_by_name("main").unwrap().1;
+        let facts = value_facts(main_fn, &env, &s);
+        let h = facts[1].expect("heap call fact");
+        assert!(h.proves_in_bounds(8));
+        let st = facts[0].expect("stack call fact");
+        assert!(st.prov.contains(Provenance::STACK_RET));
+    }
+
+    #[test]
+    fn recursion_converges_with_widening() {
+        let m = parse(
+            r#"
+            hostdecl ptr @malloc(i64)
+            define i64 @main() {
+            entry:
+              %p = call ptr @malloc(i64 1024)
+              %r = call i64 @walk(%p, i64 0)
+              ret %r
+            }
+            define i64 @walk(ptr %p, i64 %n) {
+            entry:
+              %done = icmp sgt i64, %n, i64 100
+              condbr %done, exit, step
+            step:
+              %q = gep i64, %p, [i64 1]
+              %n2 = add i64, %n, i64 1
+              %r = call i64 @walk(%q, %n2)
+              ret %r
+            exit:
+              %v = load i64, %p
+              ret %v
+            }
+            "#,
+        );
+        let s = summarize(&m);
+        let p = s.fns["walk"].params[0].expect("recursive param fact");
+        // Offset grows unboundedly through recursion: widened away.
+        assert_eq!(p.prov, Provenance::HEAP);
+        assert_eq!(p.off, None);
+        assert!(!p.proves_in_bounds(8));
+    }
+
+    #[test]
+    fn loads_globals_and_struct_geps() {
+        let m = parse(
+            r#"
+            global @g : [4 x i32] = zero
+            global @ext : i64 = zero size_unknown
+            define i64 @main() {
+            entry:
+              %a = alloca { i64, [2 x i32] }, i64 1
+              %f = gep { i64, [2 x i32] }, %a, [i64 0, i64 1, i64 1]
+              %v = load i32, %f
+              %slot = alloca ptr, i64 1
+              %l = load ptr, %slot
+              ret i64 0
+            }
+            "#,
+        );
+        let env = FactEnv::collect(&m);
+        assert_eq!(env.globals[0].prov, Provenance::GLOBAL);
+        assert_eq!(env.globals[0].size_min, 16);
+        assert!(env.globals[1].prov.contains(Provenance::UNKNOWN));
+        assert!(!env.has_free);
+        let s = summarize(&m);
+        let f = m.function_by_name("main").unwrap().1;
+        let facts = value_facts(f, &env, &s);
+        // Struct walk: field 1 at offset 8, array elem 1 adds 4.
+        let field = facts[1].expect("gep fact");
+        assert_eq!(field.off, Some((12, 12)));
+        assert!(field.proves_in_bounds(4));
+        // Loaded pointer is TOP.
+        let loaded = facts[4].expect("load fact");
+        assert!(loaded.prov.contains(Provenance::UNKNOWN));
+    }
+
+    #[test]
+    fn free_detection_in_env() {
+        let m = parse(
+            r#"
+            hostdecl ptr @malloc(i64)
+            hostdecl void @free(ptr)
+            define i64 @main() {
+            entry:
+              %p = call ptr @malloc(i64 8)
+              call void @free(%p)
+              ret i64 0
+            }
+            "#,
+        );
+        assert!(FactEnv::collect(&m).has_free);
+    }
+}

@@ -1,9 +1,12 @@
-//! Analyses over functions: CFG, dominator tree, and natural loops.
+//! Analyses over functions and modules: CFG, dominator tree, natural
+//! loops, and interprocedural pointer summaries.
 
 pub mod cfg;
 pub mod dom;
+pub mod ipo;
 pub mod loops;
 
 pub use cfg::Cfg;
 pub use dom::DomTree;
+pub use ipo::{FactEnv, FnSummary, ModuleSummaries, Provenance, PtrFact};
 pub use loops::{ensure_dedicated_preheader, operand_is_invariant, CountedLoop, Loop, LoopForest};

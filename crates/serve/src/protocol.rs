@@ -18,6 +18,9 @@ use bench::json::Json;
 /// The protocol identifier every line carries.
 pub const SCHEMA: &str = "mi-serve/1";
 
+/// Per-job case cap for [`Op::Fuzz`].
+pub const MAX_FUZZ_CASES: u64 = 64;
+
 /// A client request's operation.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Op {
@@ -29,6 +32,19 @@ pub enum Op {
         /// Per-job deadline in milliseconds, measured from arrival (so it
         /// covers queue wait). Omitted = the server's default.
         deadline_ms: Option<u64>,
+    },
+    /// Enqueue a bounded differential-fuzz job: run oracle cases
+    /// `start..start + cases` of `seed`'s deterministic case stream
+    /// (`cases` is capped at [`MAX_FUZZ_CASES`] per job so one request
+    /// cannot monopolize a worker — sweep a large range by pipelining
+    /// several jobs).
+    Fuzz {
+        /// Root seed of the case stream.
+        seed: u64,
+        /// First case index.
+        start: u64,
+        /// Number of cases (1..=[`MAX_FUZZ_CASES`]).
+        cases: u64,
     },
     /// Cancel a queued or running job submitted on this connection.
     Cancel {
@@ -49,6 +65,7 @@ impl Op {
     pub fn name(&self) -> &'static str {
         match self {
             Op::Job { .. } => "job",
+            Op::Fuzz { .. } => "fuzz",
             Op::Cancel { .. } => "cancel",
             Op::Metrics => "metrics",
             Op::Ping => "ping",
@@ -79,6 +96,11 @@ impl Request {
                     out.push_str(&format!(",\"deadline_ms\":{d}"));
                 }
             }
+            Op::Fuzz { seed, start, cases } => {
+                out.push_str(&format!(
+                    "\"fuzz\",\"seed\":{seed},\"start\":{start},\"cases\":{cases}"
+                ));
+            }
             Op::Cancel { target } => out.push_str(&format!("\"cancel\",\"target\":{target}")),
             Op::Metrics => out.push_str("\"metrics\""),
             Op::Ping => out.push_str("\"ping\""),
@@ -106,6 +128,25 @@ impl Request {
                 spec: JobSpec::from_json(v.get("job").ok_or("job op missing \"job\"")?)?,
                 deadline_ms: v.get("deadline_ms").and_then(Json::as_u64),
             },
+            Some("fuzz") => {
+                let cases = v
+                    .get("cases")
+                    .and_then(Json::as_u64)
+                    .ok_or("fuzz op missing numeric \"cases\"")?;
+                if cases == 0 || cases > MAX_FUZZ_CASES {
+                    return Err(format!(
+                        "fuzz \"cases\" must be 1..={MAX_FUZZ_CASES}, got {cases}"
+                    ));
+                }
+                Op::Fuzz {
+                    seed: v
+                        .get("seed")
+                        .and_then(Json::as_u64)
+                        .ok_or("fuzz op missing numeric \"seed\"")?,
+                    start: v.get("start").and_then(Json::as_u64).unwrap_or(0),
+                    cases,
+                }
+            }
             Some("cancel") => Op::Cancel {
                 target: v
                     .get("target")
@@ -241,6 +282,7 @@ mod tests {
                 },
             },
             Request { id: 2, op: Op::Cancel { target: 1 } },
+            Request { id: 6, op: Op::Fuzz { seed: 42, start: 128, cases: 16 } },
             Request { id: 3, op: Op::Metrics },
             Request { id: 4, op: Op::Ping },
             Request { id: 5, op: Op::Shutdown },
@@ -263,6 +305,25 @@ mod tests {
         let trap = JobError::Trap { report: r#"{"ok": false, "trap": "boom"}"#.to_string() };
         let line = Response { id: 8, body: ResponseBody::Err(trap.clone()) }.encode();
         assert_eq!(Response::decode(&line).unwrap().body, ResponseBody::Err(trap));
+    }
+
+    #[test]
+    fn fuzz_case_range_is_bounded() {
+        // An omitted start defaults to 0; the case count is mandatory and
+        // capped so one request cannot monopolize a worker.
+        let r = Request::decode(
+            "{\"schema\":\"mi-serve/1\",\"id\":1,\"op\":\"fuzz\",\"seed\":7,\"cases\":64}",
+        )
+        .unwrap();
+        assert_eq!(r.op, Op::Fuzz { seed: 7, start: 0, cases: 64 });
+        for bad in [
+            "{\"schema\":\"mi-serve/1\",\"id\":1,\"op\":\"fuzz\",\"seed\":7,\"cases\":0}",
+            "{\"schema\":\"mi-serve/1\",\"id\":1,\"op\":\"fuzz\",\"seed\":7,\"cases\":65}",
+            "{\"schema\":\"mi-serve/1\",\"id\":1,\"op\":\"fuzz\",\"cases\":8}",
+            "{\"schema\":\"mi-serve/1\",\"id\":1,\"op\":\"fuzz\",\"seed\":7}",
+        ] {
+            assert!(Request::decode(bad).is_err(), "{bad}");
+        }
     }
 
     #[test]

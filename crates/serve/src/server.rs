@@ -7,7 +7,7 @@
 //!   a stop-flag poll);
 //! * one **reader** thread per connection decodes request lines; control
 //!   ops (`ping`, `cancel`, `metrics`, `shutdown`) are answered inline,
-//!   `job` ops are enqueued;
+//!   `job` and `fuzz` ops are enqueued;
 //! * `workers` **worker** threads pull jobs off one FIFO queue and run
 //!   [`bench::job::execute`] against the shared store, replying on the
 //!   submitting connection (a per-connection write mutex serializes lines).
@@ -93,10 +93,18 @@ impl Conn {
     }
 }
 
+/// What a queued entry executes: one benchmark cell or a bounded fuzz
+/// case range. Both flow through the same queue, deadline, and cancel
+/// machinery.
+enum Work {
+    Job(JobSpec),
+    Fuzz { seed: u64, start: u64, cases: u64 },
+}
+
 struct QueuedJob {
     conn: Arc<Conn>,
     id: u64,
-    spec: JobSpec,
+    work: Work,
     deadline: Option<Instant>,
     cancel: Arc<AtomicBool>,
 }
@@ -221,15 +229,84 @@ fn run_one(state: &State, job: &QueuedJob) -> Result<String, JobError> {
     if job.deadline.is_some_and(|d| Instant::now() >= d) {
         return Err(JobError::Timeout);
     }
-    let ctl = JobCtl { deadline: job.deadline, interrupt: Some(Arc::clone(&job.cancel)) };
-    // A panic (an internal invariant failure) must not take the worker
-    // down with it; the client gets a rejection naming the job.
-    let spec = &job.spec;
-    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        job::execute(spec, &state.store, state.vm, &ctl)
-    })) {
-        Ok(r) => r.map(|outcome| outcome.result_json()),
-        Err(_) => Err(JobError::Rejected { reason: "internal error executing job".to_string() }),
+    match &job.work {
+        Work::Job(spec) => {
+            let ctl = JobCtl { deadline: job.deadline, interrupt: Some(Arc::clone(&job.cancel)) };
+            // A panic (an internal invariant failure) must not take the
+            // worker down with it; the client gets a rejection naming the
+            // job.
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                job::execute(spec, &state.store, state.vm, &ctl)
+            })) {
+                Ok(r) => r.map(|outcome| outcome.result_json()),
+                Err(_) => {
+                    Err(JobError::Rejected { reason: "internal error executing job".to_string() })
+                }
+            }
+        }
+        Work::Fuzz { seed, start, cases } => run_fuzz(state, job, *seed, *start, *cases),
+    }
+}
+
+/// Runs a fuzz case range, polling cancel/deadline between cases (a case
+/// is the preemption granularity; each one sweeps the full oracle matrix
+/// through the shared VM configuration). The result JSON is
+/// deterministic for a given range: field order is frozen and no timings
+/// appear.
+fn run_fuzz(
+    state: &State,
+    job: &QueuedJob,
+    seed: u64,
+    start: u64,
+    cases: u64,
+) -> Result<String, JobError> {
+    let mut failures = String::new();
+    for index in start..start + cases {
+        if job.cancel.load(Ordering::Acquire) {
+            return Err(JobError::Cancelled);
+        }
+        if job.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(JobError::Timeout);
+        }
+        let errors = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            fuzz::run_case_with(seed, index, state.vm)
+        })) {
+            Ok(errors) => errors,
+            Err(_) => {
+                return Err(JobError::Rejected {
+                    reason: format!("internal error fuzzing case {index}"),
+                })
+            }
+        };
+        if !errors.is_empty() {
+            if !failures.is_empty() {
+                failures.push(',');
+            }
+            let rendered: Vec<String> = errors.iter().map(|e| bench::json::json_str(e)).collect();
+            failures
+                .push_str(&format!("{{\"index\":{index},\"errors\":[{}]}}", rendered.join(",")));
+        }
+    }
+    let ok = failures.is_empty();
+    Ok(format!(
+        "{{\"seed\":{seed},\"start\":{start},\"cases\":{cases},\"ok\":{ok},\"failures\":[{failures}]}}"
+    ))
+}
+
+/// Registers a request in the connection's live table and enqueues it,
+/// replying with a rejection (and unregistering) if the queue refuses.
+fn submit(state: &State, conn: &Arc<Conn>, id: u64, work: Work, deadline_ms: Option<u64>) {
+    let deadline = deadline_ms
+        .map(Duration::from_millis)
+        .or(state.default_deadline)
+        .map(|d| Instant::now() + d);
+    let cancel = Arc::new(AtomicBool::new(false));
+    conn.live.lock().unwrap().insert(id, Arc::clone(&cancel));
+    let queued = QueuedJob { conn: Arc::clone(conn), id, work, deadline, cancel };
+    if let Err(reason) = state.enqueue(queued) {
+        conn.live.lock().unwrap().remove(&id);
+        state.count("serve_jobs", &[("outcome", "rejected")]);
+        conn.send_line(&reject_line(id, &reason));
     }
 }
 
@@ -267,19 +344,12 @@ fn reader_loop(state: &Arc<State>, stream: UnixStream) {
         state.count("serve_requests", &[("op", req.op.name())]);
         match req.op {
             Op::Job { spec, deadline_ms } => {
-                let deadline = deadline_ms
-                    .map(Duration::from_millis)
-                    .or(state.default_deadline)
-                    .map(|d| Instant::now() + d);
-                let cancel = Arc::new(AtomicBool::new(false));
-                conn.live.lock().unwrap().insert(req.id, Arc::clone(&cancel));
-                let queued =
-                    QueuedJob { conn: Arc::clone(&conn), id: req.id, spec, deadline, cancel };
-                if let Err(reason) = state.enqueue(queued) {
-                    conn.live.lock().unwrap().remove(&req.id);
-                    state.count("serve_jobs", &[("outcome", "rejected")]);
-                    conn.send_line(&reject_line(req.id, &reason));
-                }
+                submit(state, &conn, req.id, Work::Job(spec), deadline_ms);
+            }
+            Op::Fuzz { seed, start, cases } => {
+                // Deadline-less fuzz ranges fall back to the same default
+                // as jobs; the per-case poll in `run_fuzz` enforces it.
+                submit(state, &conn, req.id, Work::Fuzz { seed, start, cases }, None);
             }
             Op::Cancel { target } => {
                 let found = match conn.live.lock().unwrap().get(&target) {

@@ -26,8 +26,8 @@ fn golden_lines_round_trip_byte_identically() {
         }
     }
     // The transcript must keep covering every op and every error kind.
-    assert_eq!(requests, 7, "golden transcript lost request coverage");
-    assert_eq!(responses, 9, "golden transcript lost response coverage");
+    assert_eq!(requests, 8, "golden transcript lost request coverage");
+    assert_eq!(responses, 10, "golden transcript lost response coverage");
 }
 
 #[test]
@@ -39,6 +39,7 @@ fn golden_covers_every_op_and_error_kind() {
         "\"action\":\"compile\"",
         "\"kind\":\"benchmark\"",
         "\"kind\":\"inline\"",
+        "\"op\":\"fuzz\"",
         "\"op\":\"cancel\"",
         "\"op\":\"metrics\"",
         "\"op\":\"ping\"",

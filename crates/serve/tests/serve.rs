@@ -339,6 +339,28 @@ fn profile_jobs_render_mi_profile_documents() {
 }
 
 #[test]
+fn fuzz_jobs_sweep_case_ranges_deterministically() {
+    let server = start_server("fuzz", ServerConfig::default());
+    let mut client = Client::connect(server.socket()).unwrap();
+    // Seed 0 is the clean acceptance sweep: a bounded slice of it must
+    // come back ok, with the frozen result shape, byte-identical on
+    // resubmission.
+    let first = client.call(Op::Fuzz { seed: 0, start: 0, cases: 4 }).unwrap();
+    let second = client.call(Op::Fuzz { seed: 0, start: 0, cases: 4 }).unwrap();
+    match (&first.body, &second.body) {
+        (ResponseBody::Ok { result }, ResponseBody::Ok { result: again }) => {
+            assert_eq!(result, again, "fuzz ranges must be deterministic");
+            assert_eq!(result, "{\"seed\":0,\"start\":0,\"cases\":4,\"ok\":true,\"failures\":[]}");
+        }
+        other => panic!("fuzz job failed: {other:?}"),
+    }
+    // Out-of-range case counts never reach the queue.
+    let resp = client.call(Op::Fuzz { seed: 0, start: 0, cases: 0 });
+    assert!(resp.is_err() || matches!(resp.unwrap().body, ResponseBody::Err(_)));
+    server.shutdown();
+}
+
+#[test]
 fn metrics_expose_store_hits_after_warm_resubmission() {
     let server = start_server("metrics", ServerConfig::default());
     let mut client = Client::connect(server.socket()).unwrap();

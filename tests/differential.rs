@@ -217,6 +217,108 @@ fn corpus_loop_opts_preserve_semantics_and_reduce_checks() {
     assert!(helped >= 5, "loop opts reduced dynamic checks on only {helped} (program, mech) pairs");
 }
 
+/// Interprocedural elision is a refinement too: for every memory-safe
+/// corpus program and all three mechanisms, the full build (loop opts +
+/// IPO), the `-noipo` build (loop opts only), and the unoptimized build
+/// must produce byte-identical output with monotone non-increasing
+/// dynamic check counts — and wherever the dynamic count drops between
+/// `-noipo` and full, the full build must account for it in its
+/// `checks_elided_ipo` counter. Comparing full against `-noipo` (both
+/// with loop opts on) isolates the benefit of summaries from the §5.3
+/// loop optimizations.
+#[test]
+fn corpus_ipo_elision_preserves_semantics_and_reduces_checks() {
+    let programs = corpus();
+    // Per mechanism: [full opts, loop opts only (-noipo), no opts] —
+    // ordered from most to least optimized.
+    let ladders: Vec<(Mechanism, Vec<JobConfig>)> =
+        [Mechanism::SoftBound, Mechanism::LowFat, Mechanism::RedZone]
+            .into_iter()
+            .map(|mech| {
+                (
+                    mech,
+                    vec![
+                        JobConfig::mechanism(mech),
+                        JobConfig::mechanism(mech).opt(OptConfig::no_ipo()),
+                        JobConfig::mechanism(mech).opt(OptConfig::none()),
+                    ],
+                )
+            })
+            .collect();
+    let configs: Vec<JobConfig> = ladders.iter().flat_map(|(_, l)| l.iter().cloned()).collect();
+    let report =
+        Driver::new(programs.iter().map(|(p, _)| p.clone()).collect(), configs.clone()).run();
+
+    let mut failures = vec![];
+    let mut helped = 0usize;
+    for (prog, safe) in &programs {
+        if !safe {
+            continue;
+        }
+        for (mech, ladder) in &ladders {
+            let cells: Vec<_> = ladder
+                .iter()
+                .map(|cfg| {
+                    report
+                        .get(&prog.name, cfg)
+                        .unwrap_or_else(|| panic!("{}: missing cell for {}", prog.name, cfg))
+                })
+                .collect();
+            let outs: Vec<_> = cells
+                .iter()
+                .map(|c| match &c.outcome {
+                    Ok(ok) => ok,
+                    Err(t) => {
+                        panic!("{} [{}]: safe program trapped: {}", prog.name, c.config, t.message)
+                    }
+                })
+                .collect();
+            for (cell, ok) in cells.iter().zip(&outs).skip(1) {
+                if ok.output != outs[0].output || ok.ret != outs[0].ret {
+                    failures.push(format!(
+                        "{} [{}]: output/ret diverges from [{}]",
+                        prog.name, cell.config, cells[0].config
+                    ));
+                }
+            }
+            // checks_executed: full ≤ -noipo ≤ unoptimized.
+            let counts: Vec<u64> = outs.iter().map(|ok| ok.stats.checks_executed).collect();
+            if !(counts[0] <= counts[1] && counts[1] <= counts[2]) {
+                failures.push(format!(
+                    "{} [{mech:?}]: checks_executed not monotone: full {} / noipo {} / unopt {}",
+                    prog.name, counts[0], counts[1], counts[2]
+                ));
+            }
+            if counts[0] < counts[1] {
+                helped += 1;
+            }
+            // Counter reconciliation: a dynamic drop attributable to IPO
+            // must be accounted for statically, and the full build must
+            // have actually computed summaries.
+            let instr = &outs[0].instr;
+            if counts[0] < counts[1] {
+                if instr.checks_elided_ipo == 0 {
+                    failures.push(format!(
+                        "{} [{mech:?}]: dynamic checks dropped vs -noipo but none elided",
+                        prog.name
+                    ));
+                }
+                if instr.summaries_computed == 0 {
+                    failures
+                        .push(format!("{} [{mech:?}]: elision fired without summaries", prog.name));
+                }
+            }
+        }
+    }
+    assert!(failures.is_empty(), "{} ipo mismatches:\n  {}", failures.len(), failures.join("\n  "));
+    // The acceptance floor: summaries must pay off beyond loop opts on a
+    // meaningful share of the (program, mechanism) grid.
+    assert!(
+        helped >= 15,
+        "ipo elision reduced dynamic checks on only {helped} (program, mech) pairs"
+    );
+}
+
 /// The report over the corpus is independent of the worker count — the
 /// tentpole's determinism guarantee, exercised on real (partly trapping)
 /// inputs rather than synthetic ones.
